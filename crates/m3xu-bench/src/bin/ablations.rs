@@ -1,0 +1,60 @@
+//! Design-space ablations beyond the paper's tables: the §IV-C multiplier
+//! width sweep, the accumulator-window width needed for exactness, and a
+//! pipeline-level validation of Corollaries 2–3.
+
+use m3xu_gpu::pipeline;
+use m3xu_mxu::generic::{accumulator_width_error, split_cost_sweep};
+use m3xu_mxu::modes::MxuMode;
+use m3xu_synth::designs::mantissa_width_sweep;
+
+fn main() {
+    println!("Ablation 1: §IV-C multiplier-width design space for FP32 composition\n");
+    println!(
+        "{:>8} {:>7} {:>7} {:>10} {:>12} {:>14}",
+        "width", "parts", "steps", "products", "rel. tput", "arith area*"
+    );
+    let areas = mantissa_width_sweep();
+    for row in split_cost_sweep() {
+        let area = areas
+            .iter()
+            .find(|(b, _)| *b == row.width)
+            .map(|(_, a)| format!("{a:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>8} {:>7} {:>7} {:>10} {:>12.4} {:>14}",
+            row.width, row.parts, row.steps, row.products, row.relative_throughput, area
+        );
+    }
+    println!("(*) multiplier+accumulate-path area vs the 11-bit baseline, where modelled.");
+    println!(
+        "The paper's choice — 12-bit multipliers, 2 parts, 2 steps — is the knee:\n\
+         it reuses the FP16 datapath with a 1-bit extension at 1/4 throughput,\n\
+         while 8-bit parts would cost 9 products (1/9) and 24-bit parts the full\n\
+         3.55x native-FP32 area.\n"
+    );
+
+    println!("Ablation 2: accumulation-window width vs dot-product exactness (k=8)\n");
+    println!("{:>8} {:>16}", "bits", "max ulp error");
+    for width in [24u32, 32, 40, 48, 56] {
+        let err = accumulator_width_error(width, 8, 40);
+        println!("{width:>8} {err:>16}");
+    }
+    println!(
+        "Exactness returns around 40 bits on this cancellation-heavy workload;\n\
+         the paper's 48-bit registers add the headroom the step-weighted\n\
+         shifts need (the HH partial products arrive pre-shifted by 24 bits,\n\
+         widening the live window by up to 8 more bits).\n"
+    );
+
+    println!("Ablation 3: pipeline-level validation of Corollaries 2-3\n");
+    println!("{:>12} {:>12} {:>12}", "mode", "pipeline", "analytical");
+    let gpu = m3xu_gpu::GpuConfig::a100_40gb();
+    for mode in [MxuMode::Tf32, MxuMode::M3xuFp32, MxuMode::M3xuFp32c] {
+        let (p, a) = pipeline::validate_mode(mode, 8, &gpu);
+        println!("{:>12} {:>11.2}x {:>11.2}x", mode.name(), p, a);
+    }
+    println!(
+        "\n(slowdown of each mode vs FP16 mainloops on the event-driven SM model\n\
+         with 8 warps; the analytical column is the corollaries' 1/(steps*k_div).)"
+    );
+}

@@ -1,0 +1,25 @@
+//! Run the entire evaluation: every table and figure, with JSON dumps
+//! under `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["table1", "tables24", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"];
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => {
+                // Fallback: cargo run (when invoked outside the target dir).
+                eprintln!("direct exec failed ({e}); falling back to cargo run");
+                let _ = Command::new("cargo")
+                    .args(["run", "--quiet", "-p", "m3xu-bench", "--bin", bin])
+                    .status();
+            }
+        }
+    }
+    println!("\nJSON artefacts written under results/.");
+}

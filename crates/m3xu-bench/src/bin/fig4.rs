@@ -1,0 +1,39 @@
+//! Fig. 4: GEMM speedup over SIMT baselines, SGEMM (a) and CGEMM (b).
+
+use m3xu_bench::{render_comparisons, PaperComparison};
+use m3xu_gpu::figures::{figure4a, figure4b, render_figure4};
+use m3xu_gpu::GpuConfig;
+
+fn main() {
+    let gpu = GpuConfig::a100_40gb();
+    let fa = figure4a(&gpu);
+    let fb = figure4b(&gpu);
+    print!("{}", render_figure4(&fa, "Fig. 4(a): SGEMM speedup over cutlass_simt_sgemm"));
+    println!();
+    print!("{}", render_figure4(&fb, "Fig. 4(b): CGEMM speedup over cutlass_simt_cgemm"));
+
+    let m3xu_a = fa.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
+    let m3xu_b = fb.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap();
+    let np_a = fa.iter().find(|s| s.kernel == "M3XU_sgemm").unwrap();
+    let sw_max = fa
+        .iter()
+        .filter(|s| s.kernel.contains("tensorop") || s.kernel.contains("EEHC"))
+        .map(|s| s.max())
+        .fold(f64::MIN, f64::max);
+    let rows = vec![
+        PaperComparison::new("SGEMM M3XU mean speedup", m3xu_a.mean(), 3.64),
+        PaperComparison::new("SGEMM M3XU max speedup", m3xu_a.max(), 3.89),
+        PaperComparison::new("SGEMM software alternatives max", sw_max, 2.67),
+        PaperComparison::new("SGEMM non-pipelined M3XU mean", np_a.mean(), 3.35),
+        PaperComparison::new("CGEMM M3XU mean speedup", m3xu_b.mean(), 3.51),
+        PaperComparison::new("CGEMM M3XU max speedup", m3xu_b.max(), 3.82),
+        PaperComparison::new(
+            "CGEMM tensorop max",
+            fb.iter().find(|s| s.kernel == "cutlass_tensorop_cgemm").unwrap().max(),
+            2.1,
+        ),
+    ];
+    println!("\n{}", render_comparisons(&rows));
+    let _ = m3xu_bench::dump_json("fig4a", &fa);
+    let _ = m3xu_bench::dump_json("fig4b", &fb);
+}

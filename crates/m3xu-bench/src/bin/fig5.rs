@@ -1,0 +1,62 @@
+//! Fig. 5: relative energy (a/b) and fraction of the theoretical
+//! performance target (c/d) for SGEMM and CGEMM kernels.
+
+use m3xu_bench::{render_comparisons, PaperComparison};
+use m3xu_gpu::figures::{figure5_cgemm, figure5_sgemm};
+use m3xu_gpu::GpuConfig;
+
+fn main() {
+    let gpu = GpuConfig::a100_40gb();
+    let sg = figure5_sgemm(&gpu);
+    let cg = figure5_cgemm(&gpu);
+
+    println!("Fig. 5 (a)+(c): SGEMM at 8K^3");
+    println!("{:28} {:>18} {:>16}", "kernel", "energy vs FP32-MXU", "% of target peak");
+    for r in &sg {
+        println!("{:28} {:>18.2} {:>15.1}%", r.kernel, r.energy_vs_fp32_mxu, r.fraction_of_target * 100.0);
+    }
+    println!("\nFig. 5 (b)+(d): CGEMM at 8K^3");
+    println!("{:28} {:>18} {:>16}", "kernel", "energy vs FP32-MXU", "% of target peak");
+    for r in &cg {
+        println!("{:28} {:>18.2} {:>15.1}%", r.kernel, r.energy_vs_fp32_mxu, r.fraction_of_target * 100.0);
+    }
+
+    let find = |rows: &[m3xu_gpu::figures::Figure5Row], name: &str| {
+        rows.iter().find(|r| r.kernel == name).unwrap().clone()
+    };
+    let rows = vec![
+        PaperComparison::new(
+            "SGEMM pipelined energy vs FP32-MXU",
+            find(&sg, "M3XU_sgemm_pipelined").energy_vs_fp32_mxu,
+            0.39,
+        ),
+        PaperComparison::new(
+            "SGEMM non-pipelined energy vs FP32-MXU",
+            find(&sg, "M3XU_sgemm").energy_vs_fp32_mxu,
+            0.29,
+        ),
+        PaperComparison::new(
+            "SGEMM M3XU fraction of target peak",
+            find(&sg, "M3XU_sgemm_pipelined").fraction_of_target,
+            0.94,
+        ),
+        PaperComparison::new(
+            "SGEMM software fraction of target peak",
+            find(&sg, "cutlass_tensorop_sgemm").fraction_of_target,
+            0.63,
+        ),
+        PaperComparison::new(
+            "CGEMM pipelined energy vs FP32-MXU",
+            find(&cg, "M3XU_cgemm_pipelined").energy_vs_fp32_mxu,
+            0.43,
+        ),
+        PaperComparison::new(
+            "CGEMM M3XU fraction of target peak",
+            find(&cg, "M3XU_cgemm_pipelined").fraction_of_target,
+            0.94,
+        ),
+    ];
+    println!("\n{}", render_comparisons(&rows));
+    let _ = m3xu_bench::dump_json("fig5_sgemm", &sg);
+    let _ = m3xu_bench::dump_json("fig5_cgemm", &cg);
+}

@@ -1,0 +1,23 @@
+//! Fig. 6: FFT speedup over cuFFT.
+
+use m3xu_bench::{render_comparisons, PaperComparison};
+use m3xu_gpu::GpuConfig;
+use m3xu_kernels::fft::perf::{figure6, render_figure6};
+
+fn main() {
+    let gpu = GpuConfig::a100_40gb();
+    let f = figure6(&gpu);
+    println!("Fig. 6: FFT speedup over cuFFT (batched C2C, 2^26 total points)\n");
+    print!("{}", render_figure6(&f));
+
+    let mean: f64 = f.iter().map(|p| p.m3xu).sum::<f64>() / f.len() as f64;
+    let max = f.iter().map(|p| p.m3xu).fold(f64::MIN, f64::max);
+    let tc_max = f.iter().map(|p| p.tcfft_tf32).fold(f64::MIN, f64::max);
+    let rows = vec![
+        PaperComparison::new("M3XU FFT mean speedup over cuFFT", mean, 1.52),
+        PaperComparison::new("M3XU FFT max speedup over cuFFT", max, 1.99),
+        PaperComparison::new("tcFFT-TF32 max speedup (paper: <= 1)", tc_max, 1.0),
+    ];
+    println!("\n{}", render_comparisons(&rows));
+    let _ = m3xu_bench::dump_json("fig6", &f);
+}

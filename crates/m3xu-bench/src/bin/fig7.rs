@@ -1,0 +1,28 @@
+//! Fig. 7: end-to-end latency of one CNN training iteration.
+
+use m3xu_bench::{render_comparisons, PaperComparison};
+use m3xu_gpu::GpuConfig;
+use m3xu_kernels::dnn::models::{figure7, render_figure7};
+
+fn main() {
+    let gpu = GpuConfig::a100_40gb();
+    let rows = figure7(64, &gpu);
+    println!("Fig. 7: one-iteration training latency (batch 64), mixed-precision baseline vs M3XU\n");
+    print!("{}", render_figure7(&rows));
+
+    let mean_e2e: f64 =
+        rows.iter().map(|r| r.end_to_end_speedup).sum::<f64>() / rows.len() as f64;
+    let mean_bwd: f64 = rows.iter().map(|r| r.bwd_speedup).sum::<f64>() / rows.len() as f64;
+    let cmp = vec![
+        PaperComparison::new("backward-pass speedup", mean_bwd, 3.6),
+        PaperComparison::new("end-to-end speedup (paper headline)", mean_e2e, 1.65),
+    ];
+    println!("\n{}", render_comparisons(&cmp));
+    println!(
+        "note: Amdahl over the paper's own backward shares (39.1-46.5%) with a\n\
+         3.6x backward gain bounds the end-to-end speedup below ~1.51x; the\n\
+         paper's 1.65x headline and its per-pass fractions are in tension.\n\
+         This reproduction reports the Amdahl-consistent value."
+    );
+    let _ = m3xu_bench::dump_json("fig7", &rows);
+}

@@ -1,0 +1,16 @@
+//! Fig. 8: MRF dictionary-generation speedup over the SnapMRF baseline.
+
+use m3xu_bench::{render_comparisons, PaperComparison};
+use m3xu_gpu::GpuConfig;
+use m3xu_kernels::mrf::{figure8, render_figure8};
+
+fn main() {
+    let gpu = GpuConfig::a100_40gb();
+    let f = figure8(&gpu);
+    println!("Fig. 8: MRF dictionary-generation speedup over cublas_cgemm SnapMRF\n");
+    print!("{}", render_figure8(&f));
+    let max = f.iter().map(|p| p.speedup).fold(f64::MIN, f64::max);
+    let rows = vec![PaperComparison::new("max dictionary-generation speedup", max, 1.26)];
+    println!("\n{}", render_comparisons(&rows));
+    let _ = m3xu_bench::dump_json("fig8", &f);
+}

@@ -1,0 +1,16 @@
+//! Fig. 9: KNN speedup heatmap over the cublas_sgemm baseline (K = 16).
+
+use m3xu_bench::{render_comparisons, PaperComparison};
+use m3xu_gpu::GpuConfig;
+use m3xu_kernels::knn::{figure9, render_figure9};
+
+fn main() {
+    let gpu = GpuConfig::a100_40gb();
+    let f = figure9(&gpu);
+    println!("Fig. 9: KNN speedup over cublas_sgemm (K = 16)\n");
+    print!("{}", render_figure9(&f));
+    let max = f.iter().map(|c| c.speedup).fold(f64::MIN, f64::max);
+    let rows = vec![PaperComparison::new("max KNN speedup (largest inputs)", max, 1.8)];
+    println!("\n{}", render_comparisons(&rows));
+    let _ = m3xu_bench::dump_json("fig9", &f);
+}

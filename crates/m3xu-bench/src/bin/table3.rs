@@ -1,0 +1,28 @@
+//! Table III: relative area / cycle time / power of the five MXU designs,
+//! plus the §VI-A ablation claims.
+
+use m3xu_synth::report::{ablations, render_table3, table3};
+
+fn main() {
+    println!("Table III: relative overhead of M3XU implementations");
+    println!("(model vs paper-reported synthesis results)\n");
+    print!("{}", render_table3());
+
+    let a = ablations();
+    println!("\nSection VI-A ablations (model | paper):");
+    println!(
+        "  1-bit mantissa share of FP32 overhead : {:>5.1}% | 56%",
+        a.mantissa_bit_share * 100.0
+    );
+    println!(
+        "  FP32 overhead on a 12-bit baseline    : {:>5.1}% | 16%",
+        a.overhead_on_12bit_baseline * 100.0
+    );
+    println!("  FP32C increment over FP32-only       : {:>5.1}% |  4%", a.fp32c_increment * 100.0);
+
+    println!("\nMantissa-width sweep (multiplier+backend area vs 11-bit baseline):");
+    for (bits, ratio) in m3xu_synth::designs::mantissa_width_sweep() {
+        println!("  {bits:>2}-bit multipliers: {ratio:>5.2}x");
+    }
+    let _ = m3xu_bench::dump_json("table3", &table3());
+}

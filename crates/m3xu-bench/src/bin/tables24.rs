@@ -1,0 +1,41 @@
+//! Tables II & IV: the kernel inventories of the evaluation.
+
+use m3xu_gpu::kernel::{cgemm_kernels, native_mxu_kernels, sgemm_kernels};
+
+fn main() {
+    println!("Table II: M3XU GEMM kernels provided by the emulation framework\n");
+    println!("{:28} {:>10} {:>8} {:>10} {:>12}", "name", "engine", "passes", "decouple", "clock");
+    for k in sgemm_kernels().iter().chain(cgemm_kernels().iter()) {
+        if !k.name.starts_with("M3XU") {
+            continue;
+        }
+        println!(
+            "{:28} {:>10} {:>8} {:>10} {:>11.0}MHz",
+            k.name,
+            format!("{:?}", k.engine),
+            k.passes,
+            k.decouple,
+            1170.0 * k.clock_scale
+        );
+    }
+
+    println!("\nTable IV: baseline and prior GEMM kernels\n");
+    println!("{:28} {:>10} {:>8} {:>10}", "name", "engine", "passes", "decouple");
+    let (ns, nc) = native_mxu_kernels();
+    for k in sgemm_kernels()
+        .iter()
+        .chain(cgemm_kernels().iter())
+        .chain([&ns, &nc])
+    {
+        if k.name.starts_with("M3XU") {
+            continue;
+        }
+        println!(
+            "{:28} {:>10} {:>8} {:>10}",
+            k.name,
+            format!("{:?}", k.engine),
+            k.passes,
+            k.decouple
+        );
+    }
+}

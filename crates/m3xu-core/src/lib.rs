@@ -1,0 +1,241 @@
+//! # m3xu-core — the public API of the M3XU reproduction
+//!
+//! A downstream user's entry point: construct an [`M3xu`] device and call
+//! [`gemm`](M3xu::gemm) / [`cgemm`](M3xu::cgemm) / [`fft`](M3xu::fft) on
+//! plain FP32 / FP32C data. No data-format changes, no precision loss —
+//! the paper's deployment story ("M3XU does not require any modification
+//! to existing programs").
+//!
+//! ```
+//! use m3xu_core::{M3xu, Matrix};
+//!
+//! let dev = M3xu::new();
+//! let a = Matrix::<f32>::random(32, 32, 1);
+//! let b = Matrix::<f32>::random(32, 32, 2);
+//! let d = dev.gemm(&a, &b);
+//! assert_eq!(d.rows(), 32);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use m3xu_fp::complex::{Complex, C32, C64};
+pub use m3xu_gpu::config::GpuConfig;
+pub use m3xu_kernels::gemm::GemmPrecision;
+pub use m3xu_mxu::matrix::Matrix;
+pub use m3xu_mxu::mma::MmaStats;
+pub use m3xu_mxu::modes::{MxuMode, PipelineVariant};
+
+use m3xu_kernels::{fft, gemm, knn};
+
+/// An M3XU device handle: the pipeline variant to model and the GPU the
+/// performance estimates assume.
+#[derive(Debug, Clone)]
+pub struct M3xu {
+    /// Pipelined vs non-pipelined data-assignment stage (affects the
+    /// performance estimates; results are identical).
+    pub pipeline: PipelineVariant,
+    /// The GPU configuration performance estimates use.
+    pub gpu: GpuConfig,
+}
+
+impl Default for M3xu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A result paired with a modelled A100-class execution-time estimate.
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// The computed value (bit-exact, from the functional simulator).
+    pub value: T,
+    /// Modelled execution time on the configured GPU, seconds.
+    pub estimated_time_s: f64,
+    /// Modelled speedup over the SIMT (CUDA-core) baseline.
+    pub estimated_speedup: f64,
+}
+
+impl M3xu {
+    /// A device with the pipelined data-assignment stage (the
+    /// recommended Table III variant) on an A100-class GPU.
+    pub fn new() -> Self {
+        M3xu { pipeline: PipelineVariant::Pipelined, gpu: GpuConfig::a100_40gb() }
+    }
+
+    /// Use the non-pipelined variant (lower power, 21% longer cycles).
+    pub fn non_pipelined(mut self) -> Self {
+        self.pipeline = PipelineVariant::NonPipelined;
+        self
+    }
+
+    fn sgemm_kernel(&self) -> m3xu_gpu::KernelSpec {
+        let ks = m3xu_gpu::kernel::sgemm_kernels();
+        let name = match self.pipeline {
+            PipelineVariant::Pipelined => "M3XU_sgemm_pipelined",
+            PipelineVariant::NonPipelined => "M3XU_sgemm",
+        };
+        ks.into_iter().find(|k| k.name == name).unwrap()
+    }
+
+    fn cgemm_kernel(&self) -> m3xu_gpu::KernelSpec {
+        let ks = m3xu_gpu::kernel::cgemm_kernels();
+        let name = match self.pipeline {
+            PipelineVariant::Pipelined => "M3XU_cgemm_pipelined",
+            PipelineVariant::NonPipelined => "M3XU_cgemm",
+        };
+        ks.into_iter().find(|k| k.name == name).unwrap()
+    }
+
+    /// True-FP32 matrix multiply `A·B` (bit-exact IEEE-754 FP32).
+    pub fn gemm(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        gemm::matmul_f32(GemmPrecision::M3xuFp32, a, b)
+    }
+
+    /// True-FP32 GEMM `D = A·B + C`.
+    pub fn gemm_bias(&self, a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> Matrix<f32> {
+        gemm::gemm_f32(GemmPrecision::M3xuFp32, a, b, c).d
+    }
+
+    /// FP32 GEMM with a modelled execution-time estimate attached.
+    pub fn gemm_timed(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Timed<Matrix<f32>> {
+        let value = self.gemm(a, b);
+        let p = m3xu_gpu::Problem { m: a.rows(), n: b.cols(), k: a.cols(), complex: false };
+        let t = self.sgemm_kernel().run(p, &self.gpu);
+        let simt = m3xu_gpu::kernel::sgemm_kernels()[0].run(p, &self.gpu);
+        Timed {
+            value,
+            estimated_time_s: t.time_s,
+            estimated_speedup: simt.time_s / t.time_s,
+        }
+    }
+
+    /// FP32C complex matrix multiply `A·B`.
+    pub fn cgemm(&self, a: &Matrix<C32>, b: &Matrix<C32>) -> Matrix<C32> {
+        gemm::cmatmul_c32(a, b)
+    }
+
+    /// FP32C GEMM `D = A·B + C`.
+    pub fn cgemm_bias(&self, a: &Matrix<C32>, b: &Matrix<C32>, c: &Matrix<C32>) -> Matrix<C32> {
+        gemm::cgemm_c32(a, b, c).d
+    }
+
+    /// FP32C GEMM with a modelled execution-time estimate attached.
+    pub fn cgemm_timed(&self, a: &Matrix<C32>, b: &Matrix<C32>) -> Timed<Matrix<C32>> {
+        let value = self.cgemm(a, b);
+        let p = m3xu_gpu::Problem { m: a.rows(), n: b.cols(), k: a.cols(), complex: true };
+        let t = self.cgemm_kernel().run(p, &self.gpu);
+        let simt = m3xu_gpu::kernel::cgemm_kernels()[0].run(p, &self.gpu);
+        Timed {
+            value,
+            estimated_time_s: t.time_s,
+            estimated_speedup: simt.time_s / t.time_s,
+        }
+    }
+
+    /// Forward FFT of a power-of-two-length complex signal, computed with
+    /// the GEMM formulation on the M3XU's FP32C mode.
+    pub fn fft(&self, signal: &[C32]) -> Vec<C32> {
+        fft::gemm_fft(signal).0
+    }
+
+    /// Inverse FFT (scaled by `1/N`).
+    pub fn ifft(&self, spectrum: &[C32]) -> Vec<C32> {
+        let n = spectrum.len() as f32;
+        let conj: Vec<C32> = spectrum.iter().map(|z| z.conj()).collect();
+        self.fft(&conj).iter().map(|z| z.conj().scale(1.0 / n)).collect()
+    }
+
+    /// GEMM-based K-nearest-neighbour search at full FP32 fidelity.
+    pub fn knn(
+        &self,
+        refs: &Matrix<f32>,
+        queries: &Matrix<f32>,
+        k: usize,
+    ) -> knn::KnnResult {
+        knn::knn_gemm(GemmPrecision::M3xuFp32, refs, queries, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_identity() {
+        let dev = M3xu::new();
+        let a = Matrix::<f32>::random(16, 16, 1);
+        let i = Matrix::<f32>::identity(16);
+        assert_eq!(dev.gemm(&a, &i), a);
+    }
+
+    #[test]
+    fn gemm_bias_adds_c() {
+        let dev = M3xu::new();
+        let a = Matrix::<f32>::zeros(8, 8);
+        let b = Matrix::<f32>::zeros(8, 8);
+        let c = Matrix::<f32>::random(8, 8, 2);
+        assert_eq!(dev.gemm_bias(&a, &b, &c), c);
+    }
+
+    #[test]
+    fn timed_gemm_reports_speedup() {
+        let dev = M3xu::new();
+        let a = Matrix::<f32>::random(64, 64, 3);
+        let b = Matrix::<f32>::random(64, 64, 4);
+        let t = dev.gemm_timed(&a, &b);
+        assert!(t.estimated_time_s > 0.0);
+        // Tiny problems are launch-bound; the estimate must still be sane.
+        assert!(t.estimated_speedup > 0.1);
+        assert_eq!(t.value.rows(), 64);
+        // At realistic sizes the estimate shows the ~4x advantage.
+        let p = m3xu_gpu::Problem { m: 4096, n: 4096, k: 4096, complex: false };
+        let m3xu_t = dev.sgemm_kernel().run(p, &dev.gpu).time_s;
+        let simt_t = m3xu_gpu::kernel::sgemm_kernels()[0].run(p, &dev.gpu).time_s;
+        assert!(simt_t / m3xu_t > 3.0);
+    }
+
+    #[test]
+    fn nonpipelined_is_slower_same_result() {
+        let a = Matrix::<f32>::random(512, 512, 5);
+        let b = Matrix::<f32>::random(512, 512, 6);
+        // Compare estimates only (functional result identical by
+        // construction; skip recomputing it twice).
+        let p = m3xu_gpu::Problem { m: 512, n: 512, k: 512, complex: false };
+        let piped = M3xu::new();
+        let nonpiped = M3xu::new().non_pipelined();
+        let tp = piped.sgemm_kernel().run(p, &piped.gpu).time_s;
+        let tn = nonpiped.sgemm_kernel().run(p, &nonpiped.gpu).time_s;
+        assert!(tn > tp);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn fft_roundtrip_through_device() {
+        let dev = M3xu::new();
+        let m = Matrix::random_c32(64, 1, 7);
+        let x: Vec<C32> = (0..64).map(|i| m.get(i, 0)).collect();
+        let back = dev.ifft(&dev.fft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn knn_through_device() {
+        let dev = M3xu::new();
+        let refs = Matrix::<f32>::random(32, 4, 8);
+        let r = dev.knn(&refs, &refs, 1);
+        // Every point's nearest neighbour is itself.
+        for (qi, idx) in r.indices.iter().enumerate() {
+            assert_eq!(idx[0], qi);
+        }
+    }
+
+    #[test]
+    fn cgemm_identity() {
+        let dev = M3xu::new();
+        let a = Matrix::random_c32(8, 8, 9);
+        let i = Matrix::identity_c32(8);
+        assert_eq!(dev.cgemm(&a, &i), a);
+    }
+}

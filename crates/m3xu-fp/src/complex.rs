@@ -1,0 +1,308 @@
+//! Complex number support (FP32C / FP64C).
+//!
+//! The paper's FP32C type is a pair of IEEE-754 FP32 values stored
+//! interleaved (real, imaginary) — "the conventional interleaved
+//! representation of complex numbers where a pair of consecutive elements
+//! store a complex number's real and imaginary parts" (§IV-B). [`Complex`]
+//! mirrors that layout exactly (`#[repr(C)]`), so a matrix of `Complex<f32>`
+//! reinterprets bit-for-bit as the FP32 matrix of twice the width that the
+//! M3XU data-assignment stage consumes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with interleaved (re, im) storage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// FP32C: single-precision complex, the paper's second target type.
+pub type C32 = Complex<f32>;
+/// FP64C: double-precision complex (used as the error reference).
+pub type C64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+macro_rules! impl_complex_float {
+    ($t:ty) => {
+        impl Complex<$t> {
+            /// Additive identity.
+            pub const ZERO: Self = Complex { re: 0.0, im: 0.0 };
+            /// Multiplicative identity.
+            pub const ONE: Self = Complex { re: 1.0, im: 0.0 };
+            /// The imaginary unit.
+            pub const I: Self = Complex { re: 0.0, im: 1.0 };
+
+            /// Complex conjugate.
+            #[inline]
+            pub fn conj(self) -> Self {
+                Complex { re: self.re, im: -self.im }
+            }
+
+            /// Squared magnitude `re² + im²`.
+            #[inline]
+            pub fn norm_sqr(self) -> $t {
+                self.re * self.re + self.im * self.im
+            }
+
+            /// Magnitude (Euclidean norm).
+            #[inline]
+            pub fn abs(self) -> $t {
+                self.re.hypot(self.im)
+            }
+
+            /// Argument (phase angle) in radians.
+            #[inline]
+            pub fn arg(self) -> $t {
+                self.im.atan2(self.re)
+            }
+
+            /// `e^{iθ}` — unit complex from an angle. The workhorse of
+            /// twiddle-factor generation for the FFT substrate.
+            #[inline]
+            pub fn cis(theta: $t) -> Self {
+                let (s, c) = theta.sin_cos();
+                Complex { re: c, im: s }
+            }
+
+            /// Multiplicative inverse.
+            #[inline]
+            pub fn recip(self) -> Self {
+                let d = self.norm_sqr();
+                Complex { re: self.re / d, im: -self.im / d }
+            }
+
+            /// Scale by a real factor.
+            #[inline]
+            pub fn scale(self, k: $t) -> Self {
+                Complex { re: self.re * k, im: self.im * k }
+            }
+
+            /// True if either component is NaN.
+            #[inline]
+            pub fn is_nan(self) -> bool {
+                self.re.is_nan() || self.im.is_nan()
+            }
+
+            /// True if both components are finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.re.is_finite() && self.im.is_finite()
+            }
+        }
+
+        impl Add for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+            }
+        }
+
+        impl Sub for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+            }
+        }
+
+        impl Mul for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                // The textbook 4-multiply form — the same dataflow the M3XU
+                // FP32C mode implements in hardware (Eq. 9 of the paper).
+                Complex {
+                    re: self.re * rhs.re - self.im * rhs.im,
+                    im: self.re * rhs.im + self.im * rhs.re,
+                }
+            }
+        }
+
+        impl Div for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1
+            fn div(self, rhs: Self) -> Self {
+                self * rhs.recip()
+            }
+        }
+
+        impl Neg for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Complex { re: -self.re, im: -self.im }
+            }
+        }
+
+        impl AddAssign for Complex<$t> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl SubAssign for Complex<$t> {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl MulAssign for Complex<$t> {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl Sum for Complex<$t> {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl From<$t> for Complex<$t> {
+            #[inline]
+            fn from(re: $t) -> Self {
+                Complex { re, im: 0.0 }
+            }
+        }
+    };
+}
+
+impl_complex_float!(f32);
+impl_complex_float!(f64);
+
+impl From<Complex<f32>> for Complex<f64> {
+    #[inline]
+    fn from(c: Complex<f32>) -> Self {
+        Complex { re: c.re as f64, im: c.im as f64 }
+    }
+}
+
+impl Complex<f64> {
+    /// Round both components to FP32, producing an FP32C value.
+    #[inline]
+    pub fn to_c32(self) -> Complex<f32> {
+        Complex { re: self.re as f32, im: self.im as f32 }
+    }
+}
+
+impl<T: fmt::Display + PartialOrd + Default> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= T::default() {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Reinterpret a slice of complex values as the interleaved real slice the
+/// M3XU hardware sees ("an 8×4 FP32 matrix will contain 4×4 FP32C numbers").
+#[inline]
+pub fn as_interleaved(data: &[Complex<f32>]) -> &[f32] {
+    // SAFETY: Complex<f32> is #[repr(C)] with exactly two f32 fields, so the
+    // memory layout is precisely [re, im, re, im, ...] with no padding.
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<f32>(), data.len() * 2) }
+}
+
+/// Reinterpret an interleaved real slice as complex values (inverse of
+/// [`as_interleaved`]). Panics if the length is odd.
+#[inline]
+pub fn from_interleaved(data: &[f32]) -> &[Complex<f32>] {
+    assert!(data.len().is_multiple_of(2), "interleaved complex slice must have even length");
+    // SAFETY: same layout argument as `as_interleaved`; alignment of
+    // Complex<f32> equals that of f32.
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<Complex<f32>>(), data.len() / 2) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C32::new(3.0, -4.0);
+        assert_eq!(z + C32::ZERO, z);
+        assert_eq!(z * C32::ONE, z);
+        assert_eq!(z * C32::I, C32::new(4.0, 3.0));
+        assert_eq!(-z, C32::new(-3.0, 4.0));
+        assert_eq!(z - z, C32::ZERO);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C32::new(3.0, -4.0);
+        assert_eq!(z.conj(), C32::new(3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+        assert_eq!((z * z.conj()).im, 0.0);
+    }
+
+    #[test]
+    fn multiplication_matches_eq9() {
+        // (a+bi)(c+di) = (ac - bd) + (ad + bc)i
+        let x = C32::new(1.5, 2.5);
+        let y = C32::new(-0.5, 3.0);
+        let p = x * y;
+        assert_eq!(p.re, 1.5 * -0.5 - 2.5 * 3.0);
+        assert_eq!(p.im, 1.5 * 3.0 + 2.5 * -0.5);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let x = C64::new(1.0, 2.0);
+        let y = C64::new(3.0, -1.0);
+        let q = (x * y) / y;
+        assert!((q.re - x.re).abs() < 1e-12);
+        assert!((q.im - x.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let w = C64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((w.re).abs() < 1e-15);
+        assert!((w.im - 1.0).abs() < 1e-15);
+        assert!((C64::cis(0.7).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interleaved_layout() {
+        let zs = vec![C32::new(1.0, 2.0), C32::new(3.0, 4.0)];
+        let flat = as_interleaved(&zs);
+        assert_eq!(flat, &[1.0, 2.0, 3.0, 4.0]);
+        let back = from_interleaved(flat);
+        assert_eq!(back, &zs[..]);
+        assert_eq!(std::mem::size_of::<C32>(), 8);
+        assert_eq!(std::mem::align_of::<C32>(), 4);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: C32 = (0..4).map(|i| C32::new(i as f32, -(i as f32))).sum();
+        assert_eq!(s, C32::new(6.0, -6.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(C32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,542 @@
+//! Exact wide fixed-point accumulation (Kulisch-style).
+//!
+//! The M3XU dot-product unit accumulates partial products in widened
+//! two's-complement registers ("we also need 48-bit registers for the
+//! accumulation results", §IV-A). This module provides the *gold* version of
+//! that idea: a fixed-point window wide enough to accumulate any number of
+//! `f64` values (and exact products of `f64` pairs) with **no rounding at
+//! all**, rounding once at read-out. It serves two roles:
+//!
+//! 1. the reference against which the MXU's narrower structural
+//!    accumulators are verified, and
+//! 2. the `ExactDotProduct` accumulation semantics of the functional
+//!    simulator (a dot product rounded exactly once).
+//!
+//! Read-out rounds **directly from the limbs** to the target format: going
+//! through `f64` first would double-round (innocuous double rounding only
+//! holds for atomic operations on format-width operands, not for arbitrary
+//! accumulated reals).
+
+use crate::format::FloatFormat;
+
+/// Bit index of weight `2^EXP_FLOOR` in the accumulator. Products of two
+/// subnormal `f64`s reach `2^-2148`, so the floor sits below that.
+const EXP_FLOOR: i32 = -2200;
+/// Number of 64-bit limbs. Covers up to `2^(N*64 + EXP_FLOOR)`; products of
+/// two `f64` reach `2^2047`, leaving >100 guard bits for carries.
+const LIMBS: usize = 68;
+
+/// IEEE 754 exception flags raised by one rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundFlags {
+    /// The rounded result differs from the exact value.
+    pub inexact: bool,
+    /// The exact value's magnitude exceeded the format's largest finite.
+    pub overflow: bool,
+    /// The result is tiny (subnormal or flushed to zero) and inexact.
+    pub underflow: bool,
+}
+
+/// An exact fixed-point accumulator wide enough for arbitrary sums of `f64`
+/// values and exact `f64 * f64` products.
+///
+/// ```
+/// use m3xu_fp::fixed::Kulisch;
+/// let mut acc = Kulisch::new();
+/// acc.add_f64(1e300);
+/// acc.add_f64(1.0);
+/// acc.add_f64(-1e300);
+/// assert_eq!(acc.to_f64(), 1.0); // no catastrophic cancellation
+/// ```
+#[derive(Clone)]
+pub struct Kulisch {
+    /// Two's-complement little-endian limbs; bit 0 of limb 0 has weight
+    /// `2^EXP_FLOOR`.
+    limbs: Box<[u64; LIMBS]>,
+}
+
+impl Default for Kulisch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kulisch {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Kulisch { limbs: Box::new([0u64; LIMBS]) }
+    }
+
+    /// Reset to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.limbs.fill(0);
+    }
+
+    /// True iff the accumulated value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&w| w == 0)
+    }
+
+    /// Add the contribution `±m * 2^exp` exactly, where `m < 2^63`.
+    ///
+    /// This is the raw datapath the MXU model uses: integer partial
+    /// products from the multiplier array arrive here with their weight
+    /// exponent (the shifter settings of the paper's Observation 2),
+    /// with no intermediate floating-point representation.
+    pub fn add_scaled(&mut self, m: u64, exp: i32, negative: bool) {
+        if m == 0 {
+            return;
+        }
+        let pos = exp - EXP_FLOOR;
+        assert!(pos >= 0, "exponent {exp} below accumulator floor");
+        let limb = (pos / 64) as usize;
+        let shift = (pos % 64) as u32;
+        assert!(limb + 2 < LIMBS, "exponent {exp} above accumulator ceiling");
+        let lo = m << shift;
+        // `m < 2^63`, so after a nonzero right shift `hi < 2^63` and adding
+        // the carry below cannot wrap.
+        let hi = if shift == 0 { 0 } else { m >> (64 - shift) };
+        if !negative {
+            let (w, c1) = self.limbs[limb].overflowing_add(lo);
+            self.limbs[limb] = w;
+            let (w, c2) = self.limbs[limb + 1].overflowing_add(hi + c1 as u64);
+            self.limbs[limb + 1] = w;
+            let mut carry = c2;
+            let mut i = limb + 2;
+            while carry && i < LIMBS {
+                let (w, c) = self.limbs[i].overflowing_add(1);
+                self.limbs[i] = w;
+                carry = c;
+                i += 1;
+            }
+            // Carry off the top limb is ordinary two's-complement wrap
+            // (e.g. a negative accumulator crossing back through zero); the
+            // >100 guard bits above the largest representable contribution
+            // make true overflow unreachable.
+        } else {
+            let (w, b1) = self.limbs[limb].overflowing_sub(lo);
+            self.limbs[limb] = w;
+            let (w, b2) = self.limbs[limb + 1].overflowing_sub(hi + b1 as u64);
+            self.limbs[limb + 1] = w;
+            let mut borrow = b2;
+            let mut i = limb + 2;
+            while borrow && i < LIMBS {
+                let (w, b) = self.limbs[i].overflowing_sub(1);
+                self.limbs[i] = w;
+                borrow = b;
+                i += 1;
+            }
+            // Borrow off the top is fine: that is two's-complement negative.
+        }
+    }
+
+    /// Add a finite `f64` exactly. Panics on NaN/infinity (the structural
+    /// simulator handles specials before reaching the accumulator).
+    pub fn add_f64(&mut self, x: f64) {
+        assert!(x.is_finite(), "Kulisch accumulates finite values only, got {x}");
+        if x == 0.0 {
+            return;
+        }
+        let (sign, e, m) = crate::softfloat::decompose_f64(x);
+        self.add_scaled(m, e - 52, sign);
+    }
+
+    /// Subtract a finite `f64` exactly.
+    pub fn sub_f64(&mut self, x: f64) {
+        self.add_f64(-x);
+    }
+
+    /// Add the **exact** product `a * b` of two finite `f64`s (two-product
+    /// FMA trick: `hi = a*b` rounded, `lo = fma(a, b, -hi)` is the exact
+    /// residual, so `hi + lo == a*b` exactly).
+    pub fn add_product_f64(&mut self, a: f64, b: f64) {
+        let hi = a * b;
+        assert!(hi.is_finite(), "product overflow in exact accumulation");
+        if hi == 0.0 {
+            // Underflow to zero can still leave a nonzero exact product that
+            // f64 cannot express; for the f32-derived inputs used by the MXU
+            // (products >= 2^-298) this cannot happen.
+            return;
+        }
+        let lo = a.mul_add(b, -hi);
+        self.add_f64(hi);
+        if lo != 0.0 {
+            self.add_f64(lo);
+        }
+    }
+
+    /// Add the exact product of two `f32`s (always exact in `f64`:
+    /// 24 + 24 = 48 bits <= 53).
+    pub fn add_product_f32(&mut self, a: f32, b: f32) {
+        self.add_f64(a as f64 * b as f64);
+    }
+
+    /// Sign of the accumulated value: -1, 0, or +1.
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.limbs[LIMBS - 1] >> 63 == 1 {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Round to `fmt` and report the IEEE 754 exception flags the rounding
+    /// raised (inexact, overflow, underflow). The MXU model surfaces these
+    /// so FP32 applications see the exception behaviour they expect —
+    /// §II-C2's complaint about lossy MXUs is precisely that they cannot.
+    pub fn round_to_flagged(&self, fmt: FloatFormat) -> (f64, RoundFlags) {
+        let v = self.round_to(fmt);
+        let mut flags = RoundFlags::default();
+        if self.is_zero() {
+            return (v, flags);
+        }
+        // Exactness: the rounded value, re-subtracted, must leave zero.
+        let mut probe = self.clone();
+        if v.is_finite() {
+            probe.sub_f64(v);
+            flags.inexact = !probe.is_zero();
+        } else {
+            flags.inexact = true;
+            flags.overflow = true;
+        }
+        if v.is_finite() && v != 0.0 && v.abs() < fmt.min_positive_normal() {
+            // Subnormal result: underflow (tininess after rounding).
+            flags.underflow = flags.inexact;
+        }
+        if v == 0.0 {
+            // Nonzero accumulator rounding to zero: total underflow.
+            flags.underflow = true;
+            flags.inexact = true;
+        }
+        (v, flags)
+    }
+
+    /// Round the accumulated value to the nearest value of `fmt`
+    /// (round-to-nearest, ties-to-even), with gradual underflow and overflow
+    /// to infinity. One single rounding, straight from the limbs.
+    pub fn round_to(&self, fmt: FloatFormat) -> f64 {
+        let negative = self.signum() < 0;
+        let mag: [u64; LIMBS] = if negative {
+            let mut out = [0u64; LIMBS];
+            let mut carry = true;
+            for (o, &w) in out.iter_mut().zip(self.limbs.iter()) {
+                let (v, c) = (!w).overflowing_add(carry as u64);
+                *o = v;
+                carry = c;
+            }
+            out
+        } else {
+            *self.limbs
+        };
+        let mut top = None;
+        for i in (0..LIMBS).rev() {
+            if mag[i] != 0 {
+                top = Some(i * 64 + 63 - mag[i].leading_zeros() as usize);
+                break;
+            }
+        }
+        let Some(h) = top else {
+            return if negative { -0.0 } else { 0.0 };
+        };
+        let bit = |b: isize| -> u64 {
+            if b < 0 {
+                0
+            } else {
+                (mag[(b / 64) as usize] >> (b % 64)) & 1
+            }
+        };
+        let any_below = |b: isize| -> bool {
+            // Any set bit at position < b?
+            if b <= 0 {
+                return false;
+            }
+            let full = (b / 64) as usize;
+            if mag.iter().take(full).any(|&w| w != 0) {
+                return true;
+            }
+            let rem = (b % 64) as u32;
+            rem > 0 && mag[full] & ((1u64 << rem) - 1) != 0
+        };
+
+        let e = h as i32 + EXP_FLOOR; // exponent of the leading bit
+        let p = fmt.precision() as i32;
+        let min_e = fmt.min_normal_exp();
+        let keep = if e < min_e { p - (min_e - e) } else { p };
+
+        let apply_sign = |m: f64| if negative { -m } else { m };
+
+        if keep <= 0 {
+            // At or below half of the least subnormal.
+            let min_sub_e = fmt.min_subnormal_exp();
+            let mag_f = if e < min_sub_e - 1 {
+                0.0
+            } else {
+                // e == min_sub_e - 1 (keep == 0): exactly half or more.
+                debug_assert_eq!(e, min_sub_e - 1);
+                if any_below(h as isize) {
+                    fmt.min_positive_subnormal() // above half: round away
+                } else {
+                    0.0 // exact tie: even (zero)
+                }
+            };
+            return apply_sign(mag_f);
+        }
+
+        // Gather `keep` bits starting at the leading bit.
+        let mut frac: u64 = 0;
+        for k in 0..keep as isize {
+            frac = (frac << 1) | bit(h as isize - k);
+        }
+        let round = bit(h as isize - keep as isize);
+        let sticky = any_below(h as isize - keep as isize);
+        let mut weight = h as i32 - keep + 1 + EXP_FLOOR; // exponent of frac's LSB
+        if round == 1 && (sticky || frac & 1 == 1) {
+            frac += 1;
+            if frac == 1u64 << keep {
+                frac >>= 1;
+                weight += 1;
+            }
+        }
+        // value = frac * 2^weight, exactly representable in f64 for every
+        // format with <= 53 bits of precision.
+        let mag_f = if weight >= -1022 {
+            frac as f64 * 2.0f64.powi(weight)
+        } else {
+            (frac as f64 * 2.0f64.powi(-1000)) * 2.0f64.powi(weight + 1000)
+        };
+        if mag_f > fmt.max_finite() {
+            apply_sign(f64::INFINITY)
+        } else {
+            apply_sign(mag_f)
+        }
+    }
+
+    /// Round the accumulated value to the nearest `f64` (ties to even).
+    pub fn to_f64(&self) -> f64 {
+        self.round_to(crate::format::FP64)
+    }
+
+    /// Round the accumulated value to the nearest `f32` (single rounding,
+    /// **not** via `f64`).
+    pub fn to_f32(&self) -> f32 {
+        self.round_to(crate::format::FP32) as f32
+    }
+}
+
+impl std::fmt::Debug for Kulisch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kulisch({:?})", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{FP16, FP32};
+
+    #[test]
+    fn empty_is_zero() {
+        let acc = Kulisch::new();
+        assert!(acc.is_zero());
+        assert_eq!(acc.to_f64(), 0.0);
+        assert_eq!(acc.signum(), 0);
+    }
+
+    #[test]
+    fn single_value_roundtrip() {
+        for &x in &[1.0f64, -2.5, 1e308, -1e-308, 5e-324, 3.141592653589793] {
+            let mut acc = Kulisch::new();
+            acc.add_f64(x);
+            assert_eq!(acc.to_f64(), x, "roundtrip failed for {x:e}");
+        }
+    }
+
+    #[test]
+    fn exact_cancellation() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(1e300);
+        acc.add_f64(1.0);
+        acc.add_f64(-1e300);
+        assert_eq!(acc.to_f64(), 1.0);
+        acc.add_f64(-1.0);
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn negative_then_positive() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(-3.0);
+        assert_eq!(acc.signum(), -1);
+        assert_eq!(acc.to_f64(), -3.0);
+        acc.add_f64(5.0);
+        assert_eq!(acc.signum(), 1);
+        assert_eq!(acc.to_f64(), 2.0);
+    }
+
+    #[test]
+    fn exact_f64_products() {
+        let mut acc = Kulisch::new();
+        let a = 1.0 + 2.0f64.powi(-40);
+        let b = 1.0 + 2.0f64.powi(-41);
+        acc.add_product_f64(a, b);
+        // Exact product = 1 + 2^-40 + 2^-41 + 2^-81; subtract the parts.
+        acc.sub_f64(1.0);
+        acc.sub_f64(2.0f64.powi(-40));
+        acc.sub_f64(2.0f64.powi(-41));
+        assert_eq!(acc.to_f64(), 2.0f64.powi(-81));
+    }
+
+    #[test]
+    fn f32_product_accumulation_matches_exact_f64_sum() {
+        let a: Vec<f32> = (0..100).map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.125).collect();
+        let b: Vec<f32> = (0..100).map(|i| ((i * 53 % 29) as f32 - 14.0) * 0.25).collect();
+        let mut acc = Kulisch::new();
+        let mut exact = 0.0f64; // small dyadic rationals: the f64 sum is exact
+        for i in 0..100 {
+            acc.add_product_f32(a[i], b[i]);
+            exact += a[i] as f64 * b[i] as f64;
+        }
+        assert_eq!(acc.to_f64(), exact);
+    }
+
+    #[test]
+    fn rounding_ties_to_even_f64() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(1.0);
+        acc.add_f64(2.0f64.powi(-53)); // exactly halfway to the next f64
+        assert_eq!(acc.to_f64(), 1.0); // tie -> even
+        acc.add_f64(2.0f64.powi(-60)); // nudge above half
+        assert_eq!(acc.to_f64(), 1.0 + 2.0f64.powi(-52));
+    }
+
+    #[test]
+    fn single_rounding_to_f32_beats_double_rounding() {
+        // 1 + 2^-24 + 2^-80: a via-f64 path would round to 1 + 2^-24 (a
+        // clean f32 tie, then to 1.0); the correct single rounding is up.
+        let mut acc = Kulisch::new();
+        acc.add_f64(1.0);
+        acc.add_f64(2.0f64.powi(-24));
+        acc.add_f64(2.0f64.powi(-80));
+        assert_eq!(acc.to_f32(), 1.0 + f32::EPSILON);
+        // A clean tie goes to even.
+        let mut acc = Kulisch::new();
+        acc.add_f64(1.0);
+        acc.add_f64(2.0f64.powi(-24));
+        assert_eq!(acc.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn subnormal_results_f64() {
+        let mut acc = Kulisch::new();
+        let tiny = 5e-324; // least subnormal
+        acc.add_f64(tiny);
+        acc.add_f64(tiny);
+        assert_eq!(acc.to_f64(), 1e-323);
+        let mut acc = Kulisch::new();
+        acc.add_f64(f64::MIN_POSITIVE);
+        acc.sub_f64(5e-324);
+        assert_eq!(acc.to_f64(), f64::MIN_POSITIVE - 5e-324);
+    }
+
+    #[test]
+    fn subnormal_underflow_boundary_f32() {
+        let min_sub = 2.0f64.powi(-149);
+        let mut acc = Kulisch::new();
+        acc.add_f64(min_sub * 0.5);
+        assert_eq!(acc.to_f32(), 0.0); // exact half: tie to even (zero)
+        acc.add_f64(2.0f64.powi(-200));
+        assert_eq!(acc.to_f32(), min_sub as f32); // just above half
+        let mut acc = Kulisch::new();
+        acc.sub_f64(min_sub * 0.75);
+        assert_eq!(acc.to_f32(), -(min_sub as f32));
+    }
+
+    #[test]
+    fn overflow_to_infinity_in_narrow_format() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(70000.0);
+        assert_eq!(acc.round_to(FP16), f64::INFINITY);
+        acc.clear();
+        acc.sub_f64(1e39);
+        assert_eq!(acc.round_to(FP32), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn carry_across_limbs() {
+        let mut acc = Kulisch::new();
+        // Fill a limb boundary region with all-ones, then add 1 ulp.
+        acc.add_f64(2.0f64.powi(100));
+        acc.sub_f64(2.0f64.powi(-100));
+        // = 2^100 - 2^-100: a long borrow chain across many limbs.
+        let expect = 2.0f64.powi(100); // rounds back (2^-100 far below ulp)
+        assert_eq!(acc.to_f64(), expect);
+        acc.add_f64(2.0f64.powi(-100));
+        assert_eq!(acc.to_f64(), 2.0f64.powi(100));
+    }
+
+    #[test]
+    fn alternating_huge_sum_stays_exact() {
+        let mut acc = Kulisch::new();
+        for i in 0..1000 {
+            let v = if i % 2 == 0 { 1e200 } else { -1e200 };
+            acc.add_f64(v);
+            acc.add_f64(i as f64);
+        }
+        // The 1e200s cancel exactly; sum of 0..999 = 499500.
+        assert_eq!(acc.to_f64(), 499500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Kulisch::new().add_f64(f64::NAN);
+    }
+
+    #[test]
+    fn flags_exact_result() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(1.5);
+        let (v, f) = acc.round_to_flagged(FP32);
+        assert_eq!(v, 1.5);
+        assert_eq!(f, RoundFlags::default());
+    }
+
+    #[test]
+    fn flags_inexact() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(1.0);
+        acc.add_f64(2.0f64.powi(-30)); // below FP32 ulp(1)
+        let (v, f) = acc.round_to_flagged(FP32);
+        assert_eq!(v, 1.0);
+        assert!(f.inexact && !f.overflow && !f.underflow);
+    }
+
+    #[test]
+    fn flags_overflow() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(1e39);
+        let (v, f) = acc.round_to_flagged(FP32);
+        assert!(v.is_infinite());
+        assert!(f.overflow && f.inexact);
+    }
+
+    #[test]
+    fn flags_underflow() {
+        let mut acc = Kulisch::new();
+        acc.add_f64(2.0f64.powi(-140)); // subnormal in FP32, exact
+        let (v, f) = acc.round_to_flagged(FP32);
+        assert_eq!(v, 2.0f64.powi(-140));
+        assert!(!f.underflow, "exact subnormal raises no underflow");
+        acc.add_f64(2.0f64.powi(-180)); // now inexact and tiny
+        let (_, f) = acc.round_to_flagged(FP32);
+        assert!(f.underflow && f.inexact);
+        // Total underflow to zero.
+        let mut acc = Kulisch::new();
+        acc.add_f64(2.0f64.powi(-200));
+        let (v, f) = acc.round_to_flagged(FP32);
+        assert_eq!(v, 0.0);
+        assert!(f.underflow && f.inexact);
+    }
+}

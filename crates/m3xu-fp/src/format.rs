@@ -1,0 +1,255 @@
+//! Parametric IEEE-754-style floating-point format descriptors.
+//!
+//! Every format an MXU touches — FP16, BF16, TF32, FP32, FP64, and the
+//! internal 12-bit-mantissa buffer format of the M3XU data-assignment stage —
+//! is described by the same `(sign, exponent, mantissa)` triple the paper's
+//! Table I uses. All bit-exact conversions and arithmetic in this crate are
+//! generic over [`FloatFormat`].
+
+/// An IEEE-754-style binary floating-point format.
+///
+/// The format is described by its explicit field widths: 1 sign bit,
+/// `exp_bits` exponent bits (biased by `2^(exp_bits-1) - 1`), and
+/// `mantissa_bits` *explicit* fraction bits (the leading 1 of normal numbers
+/// is implicit, exactly as in IEEE 754).
+///
+/// ```
+/// use m3xu_fp::format::FP32;
+/// assert_eq!(FP32.exp_bits, 8);
+/// assert_eq!(FP32.mantissa_bits, 23);
+/// assert_eq!(FP32.precision(), 24); // incl. the hidden bit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    /// A short human-readable name ("fp16", "tf32", ...).
+    pub name: &'static str,
+    /// Number of exponent bits.
+    pub exp_bits: u32,
+    /// Number of explicit mantissa (fraction) bits.
+    pub mantissa_bits: u32,
+}
+
+/// IEEE 754 binary16 (half precision): (1, 5, 10).
+pub const FP16: FloatFormat = FloatFormat { name: "fp16", exp_bits: 5, mantissa_bits: 10 };
+/// bfloat16: (1, 8, 7).
+pub const BF16: FloatFormat = FloatFormat { name: "bf16", exp_bits: 8, mantissa_bits: 7 };
+/// NVIDIA TF32: (1, 8, 10) — FP32 range, FP16 precision.
+pub const TF32: FloatFormat = FloatFormat { name: "tf32", exp_bits: 8, mantissa_bits: 10 };
+/// IEEE 754 binary32 (single precision): (1, 8, 23).
+pub const FP32: FloatFormat = FloatFormat { name: "fp32", exp_bits: 8, mantissa_bits: 23 };
+/// IEEE 754 binary64 (double precision): (1, 11, 52).
+pub const FP64: FloatFormat = FloatFormat { name: "fp64", exp_bits: 11, mantissa_bits: 52 };
+/// FP8 E4M3 (OCP 8-bit format): (1, 4, 3) — the "8-bit multipliers"
+/// end of the §IV-C design space.
+pub const FP8_E4M3: FloatFormat = FloatFormat { name: "fp8-e4m3", exp_bits: 4, mantissa_bits: 3 };
+/// FP8 E5M2: (1, 5, 2).
+pub const FP8_E5M2: FloatFormat = FloatFormat { name: "fp8-e5m2", exp_bits: 5, mantissa_bits: 2 };
+
+/// The internal buffer-entry format of the M3XU data-assignment stage:
+/// 1-bit sign, 8-bit exponent, 12-bit mantissa *without* an implicit leading
+/// bit (the stage explicitly materialises the hidden 1 for high halves; low
+/// halves carry raw fraction bits). See `m3xu-mxu::buffer`.
+///
+/// Expressed here as a `FloatFormat` only for width bookkeeping; its
+/// semantics differ (no hidden bit) and live in the MXU crate.
+pub const M3XU_BUFFER: FloatFormat = FloatFormat { name: "m3xu-buf", exp_bits: 8, mantissa_bits: 12 };
+
+impl FloatFormat {
+    /// Significand precision in bits, including the implicit leading bit.
+    #[inline]
+    pub const fn precision(&self) -> u32 {
+        self.mantissa_bits + 1
+    }
+
+    /// Exponent bias: `2^(exp_bits - 1) - 1`.
+    #[inline]
+    pub const fn bias(&self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Maximum (unbiased) exponent of a finite number: `bias`.
+    #[inline]
+    pub const fn max_exp(&self) -> i32 {
+        self.bias()
+    }
+
+    /// Minimum (unbiased) exponent of a *normal* number: `1 - bias`.
+    #[inline]
+    pub const fn min_normal_exp(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Unbiased exponent of the least subnormal: `min_normal_exp - mantissa_bits`.
+    #[inline]
+    pub const fn min_subnormal_exp(&self) -> i32 {
+        self.min_normal_exp() - self.mantissa_bits as i32
+    }
+
+    /// Total storage width in bits (1 sign + exponent + mantissa).
+    #[inline]
+    pub const fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.mantissa_bits
+    }
+
+    /// Storage width rounded up to the container the memory system moves:
+    /// 8, 16, 32, or 64 bits. TF32 occupies a 32-bit container on real
+    /// hardware even though only 19 bits are significant.
+    #[inline]
+    pub const fn storage_bits(&self) -> u32 {
+        let raw = self.total_bits();
+        if raw <= 8 {
+            8
+        } else if raw <= 16 {
+            16
+        } else if raw <= 32 {
+            32
+        } else {
+            64
+        }
+    }
+
+    /// Storage width in bytes (see [`storage_bits`](Self::storage_bits)).
+    #[inline]
+    pub const fn storage_bytes(&self) -> u32 {
+        self.storage_bits() / 8
+    }
+
+    /// All-ones exponent field value (Inf/NaN encodings).
+    #[inline]
+    pub const fn exp_field_max(&self) -> u32 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// Largest finite value of the format: `(2 - 2^-m) * 2^max_exp`.
+    pub fn max_finite(&self) -> f64 {
+        let frac = 2.0 - 2.0f64.powi(-(self.mantissa_bits as i32));
+        frac * 2.0f64.powi(self.max_exp())
+    }
+
+    /// Smallest positive normal value: `2^min_normal_exp`.
+    pub fn min_positive_normal(&self) -> f64 {
+        exact_pow2(self.min_normal_exp())
+    }
+
+    /// Smallest positive subnormal value: `2^min_subnormal_exp`.
+    pub fn min_positive_subnormal(&self) -> f64 {
+        exact_pow2(self.min_subnormal_exp())
+    }
+
+    /// Machine epsilon: distance from 1.0 to the next larger representable.
+    pub fn epsilon(&self) -> f64 {
+        2.0f64.powi(-(self.mantissa_bits as i32))
+    }
+
+    /// True iff exact products of two values of this format, and sums used
+    /// by a double-rounding-safe evaluation in `f64`, are correctly rounded
+    /// when computed in `f64` and rounded back (Figueroa's criterion:
+    /// `2 * precision + 2 <= 53`).
+    #[inline]
+    pub const fn f64_evaluation_is_exact(&self) -> bool {
+        2 * self.precision() + 2 <= 53
+    }
+}
+
+/// `2^k` as an exact `f64`, valid down to the deepest subnormal
+/// (`2^-1074`). A bare `2.0f64.powi(k)` computes `1 / 2^-k` and silently
+/// underflows to zero for `k < -1022`.
+pub fn exact_pow2(k: i32) -> f64 {
+    if k >= -1022 {
+        2.0f64.powi(k)
+    } else {
+        2.0f64.powi(-1000) * 2.0f64.powi(k + 1000)
+    }
+}
+
+impl std::fmt::Display for FloatFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (1,{},{})", self.name, self.exp_bits, self.mantissa_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_matches_ieee() {
+        assert_eq!(FP32.bias(), 127);
+        assert_eq!(FP32.max_exp(), 127);
+        assert_eq!(FP32.min_normal_exp(), -126);
+        assert_eq!(FP32.min_subnormal_exp(), -149);
+        assert_eq!(FP32.total_bits(), 32);
+        assert_eq!(FP32.storage_bytes(), 4);
+        assert_eq!(FP32.min_positive_normal(), f32::MIN_POSITIVE as f64);
+        assert_eq!(FP32.epsilon(), f32::EPSILON as f64);
+    }
+
+    #[test]
+    fn fp16_matches_ieee() {
+        assert_eq!(FP16.bias(), 15);
+        assert_eq!(FP16.max_exp(), 15);
+        assert_eq!(FP16.min_normal_exp(), -14);
+        assert_eq!(FP16.min_subnormal_exp(), -24);
+        assert_eq!(FP16.total_bits(), 16);
+        assert_eq!(FP16.min_positive_subnormal(), 2.0f64.powi(-24));
+    }
+
+    #[test]
+    fn bf16_has_fp32_range() {
+        assert_eq!(BF16.bias(), FP32.bias());
+        assert_eq!(BF16.max_exp(), FP32.max_exp());
+        assert_eq!(BF16.total_bits(), 16);
+        assert_eq!(BF16.precision(), 8);
+    }
+
+    #[test]
+    fn tf32_is_fp32_range_fp16_precision() {
+        assert_eq!(TF32.exp_bits, FP32.exp_bits);
+        assert_eq!(TF32.mantissa_bits, FP16.mantissa_bits);
+        // TF32 travels in a 32-bit container.
+        assert_eq!(TF32.storage_bytes(), 4);
+    }
+
+    #[test]
+    fn f64_evaluation_criterion() {
+        assert!(FP16.f64_evaluation_is_exact());
+        assert!(BF16.f64_evaluation_is_exact());
+        assert!(TF32.f64_evaluation_is_exact());
+        assert!(FP32.f64_evaluation_is_exact()); // 2*24+2 = 50 <= 53
+        assert!(!FP64.f64_evaluation_is_exact());
+    }
+
+    #[test]
+    fn fp8_formats() {
+        assert_eq!(FP8_E4M3.total_bits(), 8);
+        assert_eq!(FP8_E5M2.total_bits(), 8);
+        assert_eq!(FP8_E4M3.storage_bytes(), 1);
+        assert!(FP8_E4M3.f64_evaluation_is_exact());
+        // E4M3 max finite in the pure-IEEE interpretation: (2-2^-3)*2^7.
+        assert_eq!(FP8_E4M3.max_finite(), 240.0);
+        assert_eq!(FP8_E5M2.max_finite(), 57344.0);
+    }
+
+    #[test]
+    fn max_finite_values() {
+        assert_eq!(FP32.max_finite(), f32::MAX as f64);
+        assert_eq!(FP16.max_finite(), 65504.0);
+    }
+
+    #[test]
+    fn exact_pow2_reaches_the_deepest_subnormal() {
+        assert_eq!(exact_pow2(-1074), f64::from_bits(1));
+        assert_eq!(exact_pow2(-1022), f64::MIN_POSITIVE);
+        assert_eq!(exact_pow2(0), 1.0);
+        assert_eq!(exact_pow2(100), 2.0f64.powi(100));
+        // The naive powi underflows where exact_pow2 does not.
+        assert_eq!(2.0f64.powi(-1074), 0.0);
+        assert_eq!(FP64.min_positive_subnormal(), 5e-324);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(format!("{}", FP32), "fp32 (1,8,23)");
+        assert_eq!(format!("{}", TF32), "tf32 (1,8,10)");
+    }
+}

@@ -1,0 +1,50 @@
+//! # m3xu-fp — floating-point substrate for the M3XU reproduction
+//!
+//! This crate provides everything the M3XU hardware model and its baselines
+//! need to reason about floating-point values *bit-exactly*:
+//!
+//! * [`format`] — parametric IEEE-754 format descriptors (FP16, BF16, TF32,
+//!   FP32, FP64) matching the paper's `(sign, exponent, mantissa)` notation;
+//! * [`softfloat`] — correctly-rounded emulation of all narrow formats,
+//!   with encode/decode to raw bit patterns;
+//! * [`split`] — the error-free FP32 → (high, low) 12-bit-significand split
+//!   at the heart of the paper's Observation 1, and the four partial
+//!   products of Eq. 3;
+//! * [`decompose`] — the *software* precision-recovery schemes the paper
+//!   compares against (3xTF32 CUTLASS emulation, 3xBF16 EEHC);
+//! * [`complex`] — FP32C/FP64C complex numbers with the interleaved layout
+//!   the M3XU data-assignment stage assumes;
+//! * [`fixed`] — an exact Kulisch-style wide accumulator used as the gold
+//!   reference for the MXU's widened accumulation registers;
+//! * [`ulp`] — ULP/relative-error metrics for the numerics validation
+//!   harnesses.
+//!
+//! ## Example: why M3XU can be bit-exact
+//!
+//! ```
+//! use m3xu_fp::split::SplitProducts;
+//!
+//! let (a, b) = (1.9999999_f32, 0.3333333_f32);
+//! // The four 12-bit partial products reconstruct the exact product:
+//! let p = SplitProducts::of_fp32(a, b);
+//! assert_eq!(p.total(), a as f64 * b as f64);
+//! // ... which is precisely what a two-step M3XU MMA accumulates.
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod complex;
+pub mod decompose;
+pub mod fixed;
+pub mod format;
+pub mod rounding;
+pub mod softfloat;
+pub mod split;
+pub mod ulp;
+
+pub use complex::{Complex, C32, C64};
+pub use fixed::{Kulisch, RoundFlags};
+pub use format::FloatFormat;
+pub use rounding::{Interval, Rounding};
+pub use softfloat::SoftFloat;

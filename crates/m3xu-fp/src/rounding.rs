@@ -1,0 +1,194 @@
+//! Directed rounding modes.
+//!
+//! The main softfloat path ([`crate::softfloat::round_to_format`]) is
+//! round-to-nearest-even, the IEEE default every MXU implements. This
+//! module adds the directed modes (toward zero / +inf / -inf) used by
+//! interval-arithmetic validation of the MXU results and by the
+//! truncating TF32 variant some hardware implements.
+
+use crate::format::FloatFormat;
+use crate::softfloat::decompose_f64;
+
+/// IEEE 754 rounding attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to nearest, ties to even (the hardware default).
+    #[default]
+    NearestEven,
+    /// Round toward zero (truncate).
+    TowardZero,
+    /// Round toward positive infinity.
+    TowardPositive,
+    /// Round toward negative infinity.
+    TowardNegative,
+}
+
+/// Round a finite `f64` into `fmt` under `mode`. NaN/Inf pass through;
+/// overflow behaviour follows IEEE 754 §4.3 (directed modes saturate at
+/// the largest finite value on the side they round toward zero from).
+pub fn round_with(x: f64, fmt: FloatFormat, mode: Rounding) -> f64 {
+    if mode == Rounding::NearestEven {
+        return crate::softfloat::round_to_format(x, fmt);
+    }
+    if fmt == crate::format::FP64 || x.is_nan() || x.is_infinite() || x == 0.0 {
+        return x;
+    }
+    let (sign, e, m) = decompose_f64(x);
+    let p = fmt.precision() as i32;
+    let min_e = fmt.min_normal_exp();
+    let keep = if e < min_e { p - (min_e - e) } else { p };
+
+    // Round-away decision for the discarded bits.
+    let away = |inexact: bool| -> bool {
+        inexact
+            && match mode {
+                Rounding::TowardZero => false,
+                Rounding::TowardPositive => !sign,
+                Rounding::TowardNegative => sign,
+                Rounding::NearestEven => unreachable!(),
+            }
+    };
+
+    if keep <= 0 {
+        // Whole value is below the least subnormal.
+        let min_sub = fmt.min_positive_subnormal();
+        let mag = if away(true) { min_sub } else { 0.0 };
+        return if sign { -mag } else { mag };
+    }
+    let drop = 53 - keep;
+    let (kept, inexact) = if drop <= 0 {
+        (m, false)
+    } else {
+        (m >> drop, m & ((1u64 << drop) - 1) != 0)
+    };
+    let rounded = kept + away(inexact) as u64;
+    let weight = e - 52 + drop.max(0);
+    let mag = if weight >= -1022 {
+        rounded as f64 * 2.0f64.powi(weight)
+    } else {
+        (rounded as f64 * 2.0f64.powi(-1000)) * 2.0f64.powi(weight + 1000)
+    };
+    let v = if sign { -mag } else { mag };
+    if v.abs() > fmt.max_finite() {
+        // Directed overflow: away-from-zero modes go to infinity, the
+        // others saturate at max finite.
+        match (mode, sign) {
+            (Rounding::TowardPositive, false) => f64::INFINITY,
+            (Rounding::TowardNegative, true) => f64::NEG_INFINITY,
+            _ => {
+                if sign {
+                    -fmt.max_finite()
+                } else {
+                    fmt.max_finite()
+                }
+            }
+        }
+    } else {
+        v
+    }
+}
+
+/// An interval `[lo, hi]` guaranteed to contain the exact value of a
+/// computation carried out in `fmt` — built by rounding the exact result
+/// down and up. Used to sandwich MXU outputs in validation tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (rounded toward -inf).
+    pub lo: f64,
+    /// Upper bound (rounded toward +inf).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Enclose an exact real value in `fmt`'s grid.
+    pub fn enclose(exact: f64, fmt: FloatFormat) -> Self {
+        Interval {
+            lo: round_with(exact, fmt, Rounding::TowardNegative),
+            hi: round_with(exact, fmt, Rounding::TowardPositive),
+        }
+    }
+
+    /// True iff `v` lies within the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval width (0 when the exact value is representable).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{FP16, FP32};
+
+    #[test]
+    fn toward_zero_truncates() {
+        let x = 1.0 + 2.0f64.powi(-30); // needs 31 bits
+        assert_eq!(round_with(x, FP32, Rounding::TowardZero), 1.0);
+        assert_eq!(round_with(-x, FP32, Rounding::TowardZero), -1.0);
+    }
+
+    #[test]
+    fn directed_modes_bracket_nearest() {
+        let x = std::f64::consts::PI;
+        let dn = round_with(x, FP32, Rounding::TowardNegative);
+        let up = round_with(x, FP32, Rounding::TowardPositive);
+        let ne = round_with(x, FP32, Rounding::NearestEven);
+        assert!(dn <= ne && ne <= up);
+        assert!(up > dn);
+        assert_eq!(up, f64::from_bits((dn as f32).to_bits() as u64).max(up)); // up is the next grid point
+    }
+
+    #[test]
+    fn exact_values_round_to_themselves_in_all_modes() {
+        for mode in [
+            Rounding::NearestEven,
+            Rounding::TowardZero,
+            Rounding::TowardPositive,
+            Rounding::TowardNegative,
+        ] {
+            assert_eq!(round_with(1.5, FP16, mode), 1.5);
+            assert_eq!(round_with(-0.25, FP16, mode), -0.25);
+        }
+    }
+
+    #[test]
+    fn directed_overflow() {
+        let big = 1e39;
+        assert_eq!(round_with(big, FP32, Rounding::TowardPositive), f64::INFINITY);
+        assert_eq!(round_with(big, FP32, Rounding::TowardZero), FP32.max_finite());
+        assert_eq!(round_with(-big, FP32, Rounding::TowardNegative), f64::NEG_INFINITY);
+        assert_eq!(round_with(-big, FP32, Rounding::TowardPositive), -FP32.max_finite());
+    }
+
+    #[test]
+    fn directed_underflow() {
+        let tiny = 2.0f64.powi(-160); // below FP32 min subnormal
+        assert_eq!(round_with(tiny, FP32, Rounding::TowardZero), 0.0);
+        assert_eq!(
+            round_with(tiny, FP32, Rounding::TowardPositive),
+            FP32.min_positive_subnormal()
+        );
+        assert_eq!(round_with(-tiny, FP32, Rounding::TowardPositive), 0.0);
+        assert_eq!(
+            round_with(-tiny, FP32, Rounding::TowardNegative),
+            -FP32.min_positive_subnormal()
+        );
+    }
+
+    #[test]
+    fn interval_encloses_and_is_tight() {
+        let exact = 1.0f64 / 3.0;
+        let iv = Interval::enclose(exact, FP32);
+        assert!(iv.contains(exact));
+        assert!(iv.contains(round_with(exact, FP32, Rounding::NearestEven)));
+        // Width is exactly one FP32 ulp of 1/3.
+        assert_eq!(iv.width(), 2.0f64.powi(-25));
+        // Representable value: zero-width interval.
+        let iv = Interval::enclose(0.5, FP32);
+        assert_eq!(iv.width(), 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Bit-exact software emulation of narrow floating-point formats.
+//!
+//! Values of every narrow format (FP16, BF16, TF32, FP32) are carried in
+//! `f64`, which represents each of them exactly. Correct rounding is
+//! guaranteed by Figueroa's double-rounding criterion: evaluating a `p`-bit
+//! operation in a format with at least `2p + 2` significand bits and rounding
+//! back is identical to a single correctly-rounded operation. `f64`'s 53 bits
+//! satisfy this for every format up to and including FP32 (`2*24 + 2 = 50`),
+//! which is asserted at runtime by [`SoftFloat::new`].
+//!
+//! Encode/decode to raw bit patterns is also provided so structural
+//! components (the M3XU data-assignment stage) can be tested against the
+//! numeric path.
+
+use crate::format::FloatFormat;
+
+/// Decompose a finite, nonzero `f64` into `(sign, exponent, significand)`
+/// with the significand normalised to exactly 53 bits (bit 52 set), i.e.
+/// `|x| = m * 2^(e - 52)` and `2^52 <= m < 2^53`.
+///
+/// Subnormal `f64` inputs are normalised (their leading bit is found and the
+/// exponent adjusted), so callers never see an unnormalised significand.
+#[inline]
+pub fn decompose_f64(x: f64) -> (bool, i32, u64) {
+    debug_assert!(x.is_finite() && x != 0.0);
+    let bits = x.to_bits();
+    let sign = bits >> 63 == 1;
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    if biased == 0 {
+        // Subnormal: value = frac * 2^(-1022 - 52); normalise.
+        let shift = frac.leading_zeros() as i32 - 11; // bits above bit 52
+        let m = frac << shift;
+        let e = -1022 - shift;
+        (sign, e, m)
+    } else {
+        (sign, biased - 1023, frac | (1u64 << 52))
+    }
+}
+
+/// Round a finite `f64` to the nearest value representable in `fmt`
+/// (round-to-nearest, ties-to-even), returning the result as an `f64`
+/// (which represents it exactly). Overflow produces the appropriately
+/// signed infinity; underflow produces a (possibly signed) zero. NaN and
+/// infinity pass through.
+pub fn round_to_format(x: f64, fmt: FloatFormat) -> f64 {
+    if fmt == crate::format::FP64 || x.is_nan() || x.is_infinite() || x == 0.0 {
+        return x;
+    }
+    let (sign, e, m) = decompose_f64(x);
+    let p = fmt.precision() as i32;
+    let min_e = fmt.min_normal_exp();
+    // Effective number of significand bits we may keep. Below the normal
+    // range the format loses one bit per power of two (gradual underflow).
+    let keep = if e < min_e { p - (min_e - e) } else { p };
+
+    if keep <= 0 {
+        // |x| is at or below half of the smallest subnormal.
+        let min_sub = fmt.min_positive_subnormal();
+        let ax = x.abs();
+        let half = min_sub * 0.5;
+        let mag = if ax > half {
+            min_sub
+        } else {
+            // Ties round to even (zero); below-half rounds to zero.
+            0.0
+        };
+        return if sign { -mag } else { mag };
+    }
+
+    let drop = 53 - keep; // bits to discard from the 53-bit significand
+    let rounded = if drop <= 0 {
+        m // keep >= 53: the f64 value is already exact in `fmt`'s grid
+    } else {
+        let kept = m >> drop;
+        let round_bit = (m >> (drop - 1)) & 1;
+        let sticky = m & ((1u64 << (drop - 1)) - 1) != 0;
+        let increment = round_bit == 1 && (sticky || kept & 1 == 1);
+        kept + increment as u64
+    };
+    // Reconstruct: value = rounded * 2^(e - 52 + drop). `rounded` may have
+    // carried out to 2^keep; the exact f64 product handles that naturally.
+    let mag = exact_scale(rounded, e - 52 + drop.max(0));
+    let result = if sign { -mag } else { mag };
+    if result.abs() > fmt.max_finite() {
+        if sign {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        result
+    }
+}
+
+/// `m * 2^k`, exactly, for `m <= 2^53` and results within `f64` range.
+#[inline]
+fn exact_scale(m: u64, k: i32) -> f64 {
+    // Split the scaling to keep each power-of-two factor in f64 range even
+    // for deeply subnormal results.
+    if k >= -1022 {
+        m as f64 * 2.0f64.powi(k)
+    } else {
+        (m as f64 * 2.0f64.powi(-1022)) * 2.0f64.powi(k + 1022)
+    }
+}
+
+/// True iff `x` is exactly representable in `fmt` (including ±0, ±inf, NaN).
+pub fn is_representable(x: f64, fmt: FloatFormat) -> bool {
+    if x.is_nan() || x.is_infinite() || x == 0.0 {
+        return true;
+    }
+    round_to_format(x, fmt) == x
+}
+
+/// Encode a value (assumed the output of [`round_to_format`] for `fmt`) into
+/// its raw bit pattern, right-aligned in a `u64`.
+pub fn encode(x: f64, fmt: FloatFormat) -> u64 {
+    let sign_bit = (x.is_sign_negative() as u64) << (fmt.exp_bits + fmt.mantissa_bits);
+    if x.is_nan() {
+        // Canonical quiet NaN: all-ones exponent, MSB of mantissa set.
+        return sign_bit
+            | ((fmt.exp_field_max() as u64) << fmt.mantissa_bits)
+            | (1u64 << (fmt.mantissa_bits - 1));
+    }
+    if x.is_infinite() {
+        return sign_bit | ((fmt.exp_field_max() as u64) << fmt.mantissa_bits);
+    }
+    if x == 0.0 {
+        return sign_bit;
+    }
+    debug_assert!(is_representable(x, fmt), "{x} not representable in {fmt}");
+    let (_, e, m) = decompose_f64(x);
+    let min_e = fmt.min_normal_exp();
+    if e < min_e {
+        // Subnormal in `fmt`: fraction = |x| / 2^min_subnormal_exp.
+        let shift = 52 - fmt.mantissa_bits as i32 + (min_e - e);
+        let frac = m >> shift;
+        sign_bit | frac
+    } else {
+        let biased = (e + fmt.bias()) as u64;
+        let frac = (m >> (53 - fmt.precision())) & ((1u64 << fmt.mantissa_bits) - 1);
+        sign_bit | (biased << fmt.mantissa_bits) | frac
+    }
+}
+
+/// Decode a raw bit pattern of `fmt` into the value it represents.
+pub fn decode(bits: u64, fmt: FloatFormat) -> f64 {
+    let sign = (bits >> (fmt.exp_bits + fmt.mantissa_bits)) & 1 == 1;
+    let biased = ((bits >> fmt.mantissa_bits) & fmt.exp_field_max() as u64) as i32;
+    let frac = bits & ((1u64 << fmt.mantissa_bits) - 1);
+    let mag = if biased as u32 == fmt.exp_field_max() {
+        if frac == 0 {
+            f64::INFINITY
+        } else {
+            return f64::NAN;
+        }
+    } else if biased == 0 {
+        exact_scale(frac, fmt.min_subnormal_exp())
+    } else {
+        let m = frac | (1u64 << fmt.mantissa_bits);
+        exact_scale(m, biased - fmt.bias() - fmt.mantissa_bits as i32)
+    };
+    if sign {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// A value tagged with its format, supporting correctly-rounded arithmetic.
+///
+/// ```
+/// use m3xu_fp::format::FP16;
+/// use m3xu_fp::softfloat::SoftFloat;
+/// let a = SoftFloat::new(1.0 / 3.0, FP16);
+/// assert_eq!(a.value(), 0.333251953125); // nearest FP16 to 1/3
+/// let b = a.mul(SoftFloat::new(3.0, FP16));
+/// // 3 * 1365/4096 = 4095/4096, exactly halfway in FP16: ties to even.
+/// assert_eq!(b.value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftFloat {
+    value: f64,
+    fmt: FloatFormat,
+}
+
+// `mul`/`add`/`sub` intentionally mirror the hardware op names; they are
+// not operator-trait impls because each takes/returns format-tagged values
+// with explicit re-rounding.
+#[allow(clippy::should_implement_trait)]
+impl SoftFloat {
+    /// Round `x` into `fmt`. Panics (debug) if `fmt` cannot be exactly
+    /// emulated through `f64` (only FP64 and wider fail the criterion; FP64
+    /// itself is handled natively).
+    pub fn new(x: f64, fmt: FloatFormat) -> Self {
+        debug_assert!(
+            fmt.f64_evaluation_is_exact() || fmt == crate::format::FP64,
+            "format {fmt} cannot be emulated bit-exactly via f64"
+        );
+        SoftFloat { value: round_to_format(x, fmt), fmt }
+    }
+
+    /// The represented value (exact).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The format tag.
+    #[inline]
+    pub fn format(&self) -> FloatFormat {
+        self.fmt
+    }
+
+    /// Raw bit pattern.
+    pub fn bits(&self) -> u64 {
+        encode(self.value, self.fmt)
+    }
+
+    /// Construct from a raw bit pattern.
+    pub fn from_bits(bits: u64, fmt: FloatFormat) -> Self {
+        SoftFloat { value: decode(bits, fmt), fmt }
+    }
+
+    /// Correctly-rounded product (both operands must share a format).
+    pub fn mul(self, rhs: Self) -> Self {
+        assert_eq!(self.fmt, rhs.fmt);
+        SoftFloat::new(self.value * rhs.value, self.fmt)
+    }
+
+    /// Correctly-rounded sum.
+    pub fn add(self, rhs: Self) -> Self {
+        assert_eq!(self.fmt, rhs.fmt);
+        SoftFloat::new(self.value + rhs.value, self.fmt)
+    }
+
+    /// Correctly-rounded difference.
+    pub fn sub(self, rhs: Self) -> Self {
+        assert_eq!(self.fmt, rhs.fmt);
+        SoftFloat::new(self.value - rhs.value, self.fmt)
+    }
+
+    /// Correctly-rounded fused multiply-add `self * b + c` (single rounding).
+    pub fn fma(self, b: Self, c: Self) -> Self {
+        assert_eq!(self.fmt, b.fmt);
+        assert_eq!(self.fmt, c.fmt);
+        SoftFloat::new(self.value.mul_add(b.value, c.value), self.fmt)
+    }
+
+    /// Convert to a different format (rounding as needed).
+    pub fn convert(self, fmt: FloatFormat) -> Self {
+        SoftFloat::new(self.value, fmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BF16, FP16, FP32, TF32};
+
+    #[test]
+    fn round_fp32_matches_hardware_cast() {
+        for &x in &[
+            1.0f64,
+            0.1,
+            std::f64::consts::PI,
+            1e-40,
+            1e38,
+            3.4028236e38, // just above f32::MAX
+            -1e-45,
+            2.0f64.powi(-149),
+            2.0f64.powi(-150),
+            1.5 * 2.0f64.powi(-150),
+        ] {
+            let expect = x as f32;
+            let got = round_to_format(x, FP32);
+            assert_eq!(
+                got,
+                expect as f64,
+                "x={x:e}: got {got:e}, hardware {expect:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_ties_to_even() {
+        // 1 + 2^-24 is exactly halfway between 1.0 and 1 + 2^-23 in FP32:
+        // ties go to the even mantissa (1.0).
+        let x = 1.0 + 2.0f64.powi(-24);
+        assert_eq!(round_to_format(x, FP32), 1.0);
+        // 1 + 3*2^-24 is halfway between 1+2^-23 and 1+2^-22: even is 1+2^-22.
+        let x = 1.0 + 3.0 * 2.0f64.powi(-24);
+        assert_eq!(round_to_format(x, FP32), 1.0 + 2.0f64.powi(-22));
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(round_to_format(1e39, FP32), f64::INFINITY);
+        assert_eq!(round_to_format(-1e39, FP32), f64::NEG_INFINITY);
+        assert_eq!(round_to_format(65520.0, FP16), f64::INFINITY); // > 65504 + 8
+        assert_eq!(round_to_format(65519.0, FP16), 65504.0);
+    }
+
+    #[test]
+    fn underflow_to_zero_and_subnormals() {
+        let min_sub = FP32.min_positive_subnormal();
+        assert_eq!(round_to_format(min_sub, FP32), min_sub);
+        assert_eq!(round_to_format(min_sub * 0.5, FP32), 0.0); // tie -> even (0)
+        assert_eq!(round_to_format(min_sub * 0.51, FP32), min_sub);
+        assert_eq!(round_to_format(min_sub * 0.49, FP32), 0.0);
+        let z = round_to_format(-(min_sub * 0.25), FP32);
+        assert_eq!(z, 0.0);
+        assert!(z.is_sign_negative());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_fp32() {
+        let mut bits_seen = std::collections::HashSet::new();
+        for &x in &[0.0f32, -0.0, 1.0, -2.5, f32::MIN_POSITIVE, 1.0e-44, f32::MAX, 0.1] {
+            let enc = encode(x as f64, FP32);
+            assert_eq!(enc as u32, x.to_bits(), "encode mismatch for {x}");
+            assert_eq!(decode(enc, FP32), x as f64);
+            bits_seen.insert(enc);
+        }
+        assert_eq!(encode(f64::INFINITY, FP32) as u32, f32::INFINITY.to_bits());
+        let nan_bits = encode(f64::NAN, FP32) as u32;
+        assert!(f32::from_bits(nan_bits).is_nan());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_fp16_exhaustive() {
+        // All 65536 FP16 bit patterns round-trip.
+        for bits in 0u64..(1 << 16) {
+            let v = decode(bits, FP16);
+            if v.is_nan() {
+                assert!(decode(encode(v, FP16), FP16).is_nan());
+                continue;
+            }
+            let re = encode(v, FP16);
+            // -0.0 and 0.0 both decode to 0.0 with sign tracked.
+            assert_eq!(re, bits, "bits {bits:#06x} decoded to {v} re-encoded {re:#06x}");
+        }
+    }
+
+    #[test]
+    fn tf32_truncates_fp32_mantissa() {
+        let x = 1.0 + 2.0f64.powi(-20); // needs 21 mantissa bits
+        let t = SoftFloat::new(x, TF32);
+        assert_eq!(t.value(), 1.0); // rounded away (10-bit mantissa)
+        let y = 1.0 + 2.0f64.powi(-10);
+        assert_eq!(SoftFloat::new(y, TF32).value(), y);
+    }
+
+    #[test]
+    fn bf16_mul_is_correctly_rounded() {
+        let a = SoftFloat::new(1.0 + 2.0f64.powi(-7), BF16);
+        let b = SoftFloat::new(1.0 + 2.0f64.powi(-7), BF16);
+        // (1+2^-7)^2 = 1 + 2^-6 + 2^-14; RNE to 8 bits of precision:
+        // halfway bit is 2^-14 relative to... compute directly.
+        let exact = a.value() * b.value();
+        assert_eq!(a.mul(b).value(), round_to_format(exact, BF16));
+    }
+
+    #[test]
+    fn fma_single_rounding() {
+        // Choose values where fused and unfused differ in FP32:
+        // a*b = 1 - 2^-46 exactly, which the separate multiply rounds to
+        // 1.0 (the true value is within half an FP32 ulp of 1.0).
+        let a = SoftFloat::new(1.0 + 2.0f64.powi(-23), FP32);
+        let b = SoftFloat::new(1.0 - 2.0f64.powi(-23), FP32);
+        let c = SoftFloat::new(-1.0, FP32);
+        let fused = a.fma(b, c).value();
+        let unfused = a.mul(b).add(c).value();
+        assert_eq!(fused, -(2.0f64.powi(-46)));
+        assert_eq!(unfused, 0.0);
+        // And it matches the hardware f32 FMA.
+        let hw = (a.value() as f32).mul_add(b.value() as f32, c.value() as f32);
+        assert_eq!(fused, hw as f64);
+    }
+
+    #[test]
+    fn representability() {
+        assert!(is_representable(1.0, FP16));
+        assert!(!is_representable(1.0 + 2.0f64.powi(-11), FP16));
+        assert!(is_representable(f64::NAN, FP16));
+        assert!(is_representable(f64::INFINITY, BF16));
+    }
+
+    #[test]
+    fn convert_chain() {
+        let x = SoftFloat::new(std::f64::consts::E, FP32);
+        let h = x.convert(FP16);
+        assert_eq!(h.value(), round_to_format(std::f64::consts::E, FP16));
+        // FP16 -> FP32 is exact.
+        assert_eq!(h.convert(FP32).value(), h.value());
+    }
+}

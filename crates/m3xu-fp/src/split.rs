@@ -1,0 +1,220 @@
+//! Error-free precision splitting — the mathematical core of M3XU.
+//!
+//! Observation 1 of the paper rests on splitting each FP32 significand into
+//! a *high* part (the hidden 1 plus the top 11 explicit mantissa bits) and a
+//! *low* part (the bottom 12 explicit mantissa bits), so that
+//! `x = x_hi + x_lo` holds **exactly** and each part fits a 12-bit
+//! multiplier. This module provides those splits as pure value-level
+//! operations; `m3xu-mxu::buffer` holds the matching structural
+//! (bit-field-level) form used by the data-assignment stage, and the two are
+//! cross-checked by tests.
+
+/// Number of explicit mantissa bits assigned to the *low* half of an FP32
+/// split (the high half receives the hidden bit + the remaining 11).
+pub const FP32_LOW_BITS: u32 = 12;
+
+/// Split an FP32 value into `(hi, lo)` with `hi + lo == x` **exactly**.
+///
+/// `hi` carries the hidden bit plus the 11 most-significant explicit
+/// mantissa bits (a 12-bit significand); `lo` carries the 12
+/// least-significant mantissa bits. Both halves are exactly representable
+/// as FP32 (`lo` may be subnormal). NaN and infinity split as `(x, 0)`.
+///
+/// ```
+/// use m3xu_fp::split::split_fp32;
+/// let x = std::f32::consts::PI;
+/// let (hi, lo) = split_fp32(x);
+/// assert_eq!(hi + lo, x);           // error-free
+/// assert!(lo.abs() < hi.abs() * 2.0_f32.powi(-11));
+/// ```
+#[inline]
+pub fn split_fp32(x: f32) -> (f32, f32) {
+    if !x.is_finite() {
+        return (x, 0.0);
+    }
+    // Clear the low 12 mantissa bits: the remaining value is the "high"
+    // 12-bit-significand number the data-assignment stage materialises.
+    let hi = f32::from_bits(x.to_bits() & !((1u32 << FP32_LOW_BITS) - 1));
+    // The difference has at most 12 significant bits and is representable
+    // exactly, so this subtraction is exact.
+    let lo = x - hi;
+    (hi, lo)
+}
+
+/// Reconstruct the original value from a split pair. Exact by construction.
+#[inline]
+pub fn join_fp32(hi: f32, lo: f32) -> f32 {
+    hi + lo
+}
+
+/// Split an FP64 value into `(hi, lo)` halves with `low_bits` explicit
+/// mantissa bits in the low half (error-free, like [`split_fp32`]).
+///
+/// Used by the §IV-C FP64 extension: with `low_bits = 26`, each half fits a
+/// 27-bit significand multiplier and FP64 GEMM becomes a 4-step operation
+/// mirroring FP32C.
+#[inline]
+pub fn split_f64(x: f64, low_bits: u32) -> (f64, f64) {
+    assert!(low_bits < 52, "low half must leave at least one high bit");
+    if !x.is_finite() {
+        return (x, 0.0);
+    }
+    let hi = f64::from_bits(x.to_bits() & !((1u64 << low_bits) - 1));
+    let lo = x - hi;
+    (hi, lo)
+}
+
+/// The four cross products of a split multiplication, in descending weight:
+/// `hh` (hi·hi), `hl` (hi·lo), `lh` (lo·hi), `ll` (lo·lo).
+///
+/// `a * b == hh + hl + lh + ll` exactly when each product is computed
+/// exactly — which is what the M3XU multiplier array does (12×12-bit exact
+/// products accumulated into 48-bit registers, Eq. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitProducts {
+    /// hi(a) · hi(b): weight `2^0` relative — shifted left 24 bits in hardware.
+    pub hh: f64,
+    /// hi(a) · lo(b): weight `2^-12` relative — shifted left 12 bits.
+    pub hl: f64,
+    /// lo(a) · hi(b): weight `2^-12` relative — shifted left 12 bits.
+    pub lh: f64,
+    /// lo(a) · lo(b): weight `2^-24` relative — unshifted.
+    pub ll: f64,
+}
+
+impl SplitProducts {
+    /// Compute the four exact partial products of `a * b` under the FP32
+    /// split. Each 12-bit × 12-bit significand product is exact in `f64`.
+    pub fn of_fp32(a: f32, b: f32) -> Self {
+        let (ah, al) = split_fp32(a);
+        let (bh, bl) = split_fp32(b);
+        SplitProducts {
+            hh: ah as f64 * bh as f64,
+            hl: ah as f64 * bl as f64,
+            lh: al as f64 * bh as f64,
+            ll: al as f64 * bl as f64,
+        }
+    }
+
+    /// Step-1 partial sum of the M3XU FP32 dataflow: `hh + ll`
+    /// (Eq. 6 — the products a 2-step MXU computes in its first pass).
+    #[inline]
+    pub fn step1(&self) -> f64 {
+        self.hh + self.ll
+    }
+
+    /// Step-2 partial sum: `hl + lh` (Eq. 8 — the cross products computed
+    /// after the data-assignment stage flips the B-input halves).
+    #[inline]
+    pub fn step2(&self) -> f64 {
+        self.hl + self.lh
+    }
+
+    /// The exact full product `a * b`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        // Sum in ascending weight so each addition is exact in f64
+        // (total significand spread is 48 bits <= 53).
+        (self.ll + self.hl + self.lh) + self.hh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_error_free() {
+        for &x in &[
+            1.0f32,
+            std::f32::consts::PI,
+            -1.2345678e-3,
+            6.5536e4,
+            f32::MIN_POSITIVE,
+            1.0e-44,            // subnormal
+            -f32::MAX,
+            1.0 + f32::EPSILON, // all-ones low bits region
+        ] {
+            let (hi, lo) = split_fp32(x);
+            assert_eq!(hi + lo, x, "split not exact for {x:e}");
+            // hi has at most 12 significant bits: its low 12 mantissa bits
+            // are zero.
+            assert_eq!(hi.to_bits() & 0xfff, 0);
+        }
+    }
+
+    #[test]
+    fn split_special_values() {
+        let (hi, lo) = split_fp32(f32::INFINITY);
+        assert_eq!(hi, f32::INFINITY);
+        assert_eq!(lo, 0.0);
+        let (hi, lo) = split_fp32(f32::NAN);
+        assert!(hi.is_nan());
+        assert_eq!(lo, 0.0);
+        let (hi, lo) = split_fp32(0.0);
+        assert_eq!(hi, 0.0);
+        assert_eq!(lo, 0.0);
+        let (hi, lo) = split_fp32(-0.0);
+        assert!(hi == 0.0 && hi.is_sign_negative());
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn low_part_magnitude_bound() {
+        let x = 1.9999999f32; // dense mantissa
+        let (hi, lo) = split_fp32(x);
+        // |lo| < 2^-11 * |hi| is the weight relationship the shifters encode.
+        assert!(lo.abs() < hi.abs() * 2.0f32.powi(-11));
+    }
+
+    #[test]
+    fn products_reconstruct_exact_multiplication() {
+        let cases = [
+            (std::f32::consts::PI, std::f32::consts::E),
+            (1.0000001, 0.9999999),
+            (-3.5e10, 2.7e-10),
+            (1.0e-30, 1.0e-8),
+        ];
+        for (a, b) in cases {
+            let p = SplitProducts::of_fp32(a, b);
+            let exact = a as f64 * b as f64;
+            assert_eq!(p.total(), exact, "products don't sum to exact a*b for ({a},{b})");
+            assert_eq!(p.step1() + p.step2(), exact);
+        }
+    }
+
+    #[test]
+    fn step_decomposition_matches_observation_1() {
+        // Observation 1: step 1 computes HH+LL, step 2 computes HL+LH, and
+        // together they cover all four partial products.
+        fn check(a: f32, b: f32) {
+            let p = SplitProducts::of_fp32(a, b);
+            let (ah, al) = split_fp32(a);
+            let (bh, bl) = split_fp32(b);
+            assert_eq!(p.step1(), ah as f64 * bh as f64 + al as f64 * bl as f64);
+            assert_eq!(p.step2(), ah as f64 * bl as f64 + al as f64 * bh as f64);
+        }
+        check(7.25, -0.1);
+        check(1.5e-5, 3.25e7);
+    }
+
+    #[test]
+    fn f64_split_error_free() {
+        for &x in &[std::f64::consts::PI, -1.0e300, 2.2250738585072014e-308] {
+            let (hi, lo) = split_f64(x, 26);
+            assert_eq!(hi + lo, x);
+            assert_eq!(hi.to_bits() & ((1 << 26) - 1), 0);
+        }
+    }
+
+    #[test]
+    fn f64_four_way_products_are_exact_in_wider_arithmetic() {
+        // With a 26-bit low split, each half has <= 27 significant bits, so
+        // half-products have <= 54 bits — NOT exact in f64. The hardware
+        // accumulates them exactly in wide registers; here we verify the
+        // split identity only.
+        let a = std::f64::consts::LN_2;
+        let (ah, al) = split_f64(a, 26);
+        assert_eq!(ah + al, a);
+    }
+}

@@ -1,0 +1,172 @@
+//! Error metrics: ULP distance and relative error.
+//!
+//! Used throughout the test suite and the numerics-validation harnesses to
+//! quantify the paper's claim that M3XU "introduces no additional error
+//! compared to conventional FP32 ALUs" while software emulation loses
+//! "between one and several bits".
+
+/// Map an `f32` onto the integer number line such that adjacent
+/// representable floats map to adjacent integers (a total order matching
+/// the IEEE-754 ordering, with -0 and +0 adjacent).
+#[inline]
+fn ordered_i64(x: f32) -> i64 {
+    let bits = x.to_bits() as i32;
+    if bits < 0 {
+        // Negative floats have sign-magnitude bit patterns; flip them onto
+        // the negative integers so -0.0 maps to 0 and -min_subnormal to -1.
+        (i32::MIN as i64) - (bits as i64)
+    } else {
+        bits as i64
+    }
+}
+
+/// Distance between two `f32` values in units-in-the-last-place: the number
+/// of representable floats strictly between them, plus one if they differ.
+/// Returns 0 iff bitwise equal (or both are the same zero), and
+/// `u64::MAX` if either is NaN.
+pub fn ulp_distance_f32(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    if a == b {
+        // Covers +0 == -0.
+        return 0;
+    }
+    let ia = ordered_i64(a);
+    let ib = ordered_i64(b);
+    ia.abs_diff(ib)
+}
+
+/// Same for `f64`.
+pub fn ulp_distance_f64(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    if a == b {
+        return 0;
+    }
+    let map = |x: f64| -> i128 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            (i64::MIN as i128) - (bits as i128)
+        } else {
+            bits as i128
+        }
+    };
+    let d = map(a) - map(b);
+    d.unsigned_abs().min(u64::MAX as u128) as u64
+}
+
+/// Relative error `|got - reference| / max(|reference|, floor)` computed in
+/// `f64`. `floor` guards division by values near zero.
+pub fn relative_error(got: f64, reference: f64, floor: f64) -> f64 {
+    (got - reference).abs() / reference.abs().max(floor)
+}
+
+/// Summary statistics of element-wise error between two slices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Maximum ULP distance observed.
+    pub max_ulp: u64,
+    /// Mean ULP distance.
+    pub mean_ulp: f64,
+    /// Maximum relative error.
+    pub max_rel: f64,
+    /// Root-mean-square relative error.
+    pub rms_rel: f64,
+    /// Number of elements compared.
+    pub count: usize,
+    /// Number of exactly (bitwise) matching elements.
+    pub exact: usize,
+}
+
+impl ErrorStats {
+    /// Compare `got` against `reference` element-wise.
+    pub fn compare_f32(got: &[f32], reference: &[f32]) -> Self {
+        assert_eq!(got.len(), reference.len());
+        let mut s = ErrorStats { count: got.len(), ..Default::default() };
+        if got.is_empty() {
+            return s;
+        }
+        let mut ulp_sum = 0.0f64;
+        let mut rel_sq_sum = 0.0f64;
+        for (&g, &r) in got.iter().zip(reference) {
+            let u = ulp_distance_f32(g, r);
+            if u == 0 {
+                s.exact += 1;
+            }
+            s.max_ulp = s.max_ulp.max(u);
+            ulp_sum += u as f64;
+            let rel = relative_error(g as f64, r as f64, f32::MIN_POSITIVE as f64);
+            s.max_rel = s.max_rel.max(rel);
+            rel_sq_sum += rel * rel;
+        }
+        s.mean_ulp = ulp_sum / got.len() as f64;
+        s.rms_rel = (rel_sq_sum / got.len() as f64).sqrt();
+        s
+    }
+
+    /// True iff every element matched bit-for-bit.
+    pub fn all_exact(&self) -> bool {
+        self.exact == self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_floats_are_one_ulp() {
+        let x = 1.0f32;
+        let y = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_distance_f32(x, y), 1);
+        assert_eq!(ulp_distance_f32(y, x), 1);
+        assert_eq!(ulp_distance_f32(x, x), 0);
+    }
+
+    #[test]
+    fn across_zero() {
+        let pos = f32::from_bits(1); // smallest positive subnormal
+        let neg = -pos;
+        // pos and neg are two ulps apart (pos -> +0/-0 -> neg).
+        assert_eq!(ulp_distance_f32(pos, neg), 2);
+        assert_eq!(ulp_distance_f32(0.0, -0.0), 0);
+        assert_eq!(ulp_distance_f32(pos, 0.0), 1);
+        assert_eq!(ulp_distance_f32(neg, 0.0), 1);
+    }
+
+    #[test]
+    fn nan_is_max() {
+        assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance_f64(1.0, f64::NAN), u64::MAX);
+    }
+
+    #[test]
+    fn f64_adjacent() {
+        let x = std::f64::consts::PI;
+        let y = f64::from_bits(x.to_bits() + 3);
+        assert_eq!(ulp_distance_f64(x, y), 3);
+    }
+
+    #[test]
+    fn stats_exactness() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let s = ErrorStats::compare_f32(&a, &a);
+        assert!(s.all_exact());
+        assert_eq!(s.max_ulp, 0);
+        assert_eq!(s.count, 3);
+
+        let b = vec![1.0f32, 2.0, f32::from_bits(3.0f32.to_bits() + 2)];
+        let s = ErrorStats::compare_f32(&b, &a);
+        assert!(!s.all_exact());
+        assert_eq!(s.exact, 2);
+        assert_eq!(s.max_ulp, 2);
+    }
+
+    #[test]
+    fn relative_error_floor() {
+        assert_eq!(relative_error(1.0, 0.0, 1.0), 1.0);
+        assert!(relative_error(1.01, 1.0, 1e-30) - 0.01 < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! GPU configuration — an A100-class accelerator (the paper's testbed).
+//!
+//! All rates come from NVIDIA's public A100 datasheet (the paper's
+//! Table I); the clock controls mirror the paper's `nvidia-smi` frequency
+//! pinning (1170 MHz base, 960 MHz for the non-pipelined M3XU kernels).
+
+use m3xu_fp::format::{FloatFormat, BF16, FP16, FP32, TF32};
+use serde::Serialize;
+
+/// Static configuration of the modelled GPU.
+#[derive(Debug, Clone, Serialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Tensor cores per SM.
+    pub tensor_cores_per_sm: u32,
+    /// Datasheet boost clock in GHz (Table I rates are quoted at this).
+    pub boost_clock_ghz: f64,
+    /// The clock the experiments pin via `nvidia-smi`, GHz (paper: 1.17).
+    pub experiment_clock_ghz: f64,
+    /// Peak FP32 SIMT (CUDA-core) TFLOPS at boost clock.
+    pub fp32_simt_tflops: f64,
+    /// Peak FP16 Tensor-Core TFLOPS at boost clock.
+    pub fp16_tc_tflops: f64,
+    /// Peak BF16 Tensor-Core TFLOPS at boost clock.
+    pub bf16_tc_tflops: f64,
+    /// Peak TF32 Tensor-Core TFLOPS at boost clock.
+    pub tf32_tc_tflops: f64,
+    /// HBM bandwidth in GB/s.
+    pub hbm_gbs: f64,
+    /// Kernel launch + epilogue fixed overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::a100_40gb()
+    }
+}
+
+impl GpuConfig {
+    /// The paper's testbed: A100-SXM4-40GB in a DGX Station.
+    pub fn a100_40gb() -> Self {
+        GpuConfig {
+            sms: 108,
+            tensor_cores_per_sm: 4,
+            boost_clock_ghz: 1.41,
+            experiment_clock_ghz: 1.17,
+            fp32_simt_tflops: 19.5,
+            fp16_tc_tflops: 312.0,
+            bf16_tc_tflops: 312.0,
+            tf32_tc_tflops: 156.0,
+            hbm_gbs: 1555.0,
+            launch_overhead_s: 6.0e-6,
+        }
+    }
+
+    /// An H100-SXM-class configuration (§III-C: M3XU would deliver
+    /// "248 TFLOPS on the Hopper architecture" — 1/4 of its ~990 TFLOPS
+    /// dense FP16 tensor peak; HBM3 at 3.35 TB/s per the paper's §II-B).
+    pub fn h100_sxm() -> Self {
+        GpuConfig {
+            sms: 132,
+            tensor_cores_per_sm: 4,
+            boost_clock_ghz: 1.83,
+            experiment_clock_ghz: 1.83,
+            fp32_simt_tflops: 66.9,
+            fp16_tc_tflops: 989.5,
+            bf16_tc_tflops: 989.5,
+            tf32_tc_tflops: 494.7,
+            hbm_gbs: 3350.0,
+            launch_overhead_s: 6.0e-6,
+        }
+    }
+
+    /// An AMD MI250-class configuration (§III-C: Matrix Core TOPS are 8x
+    /// the SIMT cores, so M3XU's advantage shrinks to 2x there).
+    pub fn mi250() -> Self {
+        GpuConfig {
+            sms: 104, // CUs per GCD
+            tensor_cores_per_sm: 4,
+            boost_clock_ghz: 1.7,
+            experiment_clock_ghz: 1.7,
+            fp32_simt_tflops: 45.3,
+            fp16_tc_tflops: 362.1, // ~8x SIMT
+            bf16_tc_tflops: 362.1,
+            tf32_tc_tflops: 181.0,
+            hbm_gbs: 3277.0,
+            launch_overhead_s: 6.0e-6,
+        }
+    }
+
+    /// Total tensor cores (Table I's 432 on A100).
+    pub fn tensor_cores(&self) -> u32 {
+        self.sms * self.tensor_cores_per_sm
+    }
+
+    /// Scale a boost-clock rate to the pinned experiment clock.
+    pub fn at_experiment_clock(&self, boost_rate: f64) -> f64 {
+        boost_rate * self.experiment_clock_ghz / self.boost_clock_ghz
+    }
+
+    /// M3XU FP32 peak TFLOPS: ¼ of FP16 Tensor-Core peak (Corollary 2;
+    /// §III-C: "78 TFLOPS on the Ampere architecture").
+    pub fn m3xu_fp32_tflops(&self) -> f64 {
+        self.fp16_tc_tflops / 4.0
+    }
+
+    /// M3XU FP32C peak, expressed in *real* TFLOPS (8 real flops per
+    /// complex MAC): `fp16_tc / 16 * 8 / 2` MACs... = fp16_tc / 4.
+    /// (Corollary 3: 1/16 of the FP16 MAC rate; each complex MAC is 4
+    /// multiplies + 4 adds.)
+    pub fn m3xu_fp32c_real_tflops(&self) -> f64 {
+        // fp16_tc TFLOPS = fp16_tc/2 TMAC/s. Complex MAC rate = /16.
+        // Real-flop equivalent = x8.
+        self.fp16_tc_tflops / 2.0 / 16.0 * 8.0
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Data type name.
+    pub data_type: &'static str,
+    /// Bit format as `(sign, exponent, mantissa)`.
+    pub bit_format: (u32, u32, u32),
+    /// Peak throughput in TFLOPS.
+    pub peak_tflops: f64,
+}
+
+/// Generate Table I (A100 HMMA peak throughput).
+pub fn table1(gpu: &GpuConfig) -> Vec<Table1Row> {
+    let fmt = |f: FloatFormat| (1, f.exp_bits, f.mantissa_bits);
+    vec![
+        Table1Row { data_type: "FP32", bit_format: fmt(FP32), peak_tflops: gpu.fp32_simt_tflops },
+        Table1Row { data_type: "FP16", bit_format: fmt(FP16), peak_tflops: 78.0 },
+        Table1Row { data_type: "BF16", bit_format: fmt(BF16), peak_tflops: 39.0 },
+        Table1Row {
+            data_type: "TF32 Tensor Core",
+            bit_format: fmt(TF32),
+            peak_tflops: gpu.tf32_tc_tflops,
+        },
+        Table1Row {
+            data_type: "FP16 Tensor Core",
+            bit_format: fmt(FP16),
+            peak_tflops: gpu.fp16_tc_tflops,
+        },
+        Table1Row {
+            data_type: "BF16 Tensor Core",
+            bit_format: fmt(BF16),
+            peak_tflops: gpu.bf16_tc_tflops,
+        },
+    ]
+}
+
+/// Render Table I as aligned text.
+pub fn render_table1(gpu: &GpuConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:20} {:>12} {:>16}\n", "Data Type", "Bit Format", "Peak Throughput"));
+    for r in table1(gpu) {
+        out.push_str(&format!(
+            "{:20} {:>12} {:>13.1} TFLOPS\n",
+            r.data_type,
+            format!("({},{},{})", r.bit_format.0, r.bit_format.1, r.bit_format.2),
+            r.peak_tflops
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_datasheet() {
+        let g = GpuConfig::a100_40gb();
+        assert_eq!(g.tensor_cores(), 432);
+        assert_eq!(g.fp32_simt_tflops, 19.5);
+        assert_eq!(g.fp16_tc_tflops, 312.0);
+        assert_eq!(g.tf32_tc_tflops, 156.0);
+    }
+
+    #[test]
+    fn m3xu_peaks_match_section_3c() {
+        let g = GpuConfig::a100_40gb();
+        // §III-C: 78 TFLOPS FP32, 4x over 19.5 TFLOPS CUDA cores.
+        assert_eq!(g.m3xu_fp32_tflops(), 78.0);
+        assert_eq!(g.m3xu_fp32_tflops() / g.fp32_simt_tflops, 4.0);
+        // FP32C: 4x advantage in complex MACs over CUDA cores.
+        assert_eq!(g.m3xu_fp32c_real_tflops() / g.fp32_simt_tflops, 4.0);
+    }
+
+    #[test]
+    fn clock_scaling() {
+        let g = GpuConfig::a100_40gb();
+        let r = g.at_experiment_clock(312.0);
+        assert!((r - 312.0 * 1.17 / 1.41).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hopper_projection_matches_section_3c() {
+        // §III-C: "78 TFLOPS on the Ampere architecture or 248 TFLOPS on
+        // the Hopper architecture".
+        let h = GpuConfig::h100_sxm();
+        assert!((h.m3xu_fp32_tflops() - 247.4).abs() < 1.0);
+        // §II-B: "the latest HBM technologies can only deliver 3.35 TB/sec".
+        assert_eq!(h.hbm_gbs, 3350.0);
+    }
+
+    #[test]
+    fn mi250_advantage_is_2x_per_section_3c() {
+        // §III-C: Matrix Cores are 8x SIMT on MI100/MI250, so M3XU's FP32
+        // advantage over SIMT is 2x there.
+        let m = GpuConfig::mi250();
+        let advantage = m.m3xu_fp32_tflops() / m.fp32_simt_tflops;
+        assert!((advantage - 2.0).abs() < 0.05, "advantage = {advantage}");
+    }
+
+    #[test]
+    fn table1_has_six_rows_like_paper() {
+        let g = GpuConfig::a100_40gb();
+        let t = table1(&g);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[3].data_type, "TF32 Tensor Core");
+        assert_eq!(t[3].bit_format, (1, 8, 10));
+        let text = render_table1(&g);
+        assert!(text.contains("312.0 TFLOPS"));
+    }
+}

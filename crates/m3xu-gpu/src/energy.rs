@@ -1,0 +1,150 @@
+//! Energy model for the Fig. 5(a)/(b) comparisons.
+//!
+//! `E(kernel) = P_engine x engine_busy_time + e_mem x HBM_traffic`, where
+//! `P_engine` comes from the synth crate's Table III power column (the
+//! MXU-array power of the design executing the kernel) and `e_mem` is the
+//! per-byte energy of the memory system (HBM + interconnect), identical
+//! across designs. Only ratios are reported, exactly as in the paper.
+
+use crate::config::GpuConfig;
+use crate::kernel::{Engine, KernelReport, KernelSpec, Problem};
+use m3xu_synth::report::PAPER_TABLE3;
+
+/// Per-byte memory-system energy relative to one engine-power-unit-second
+/// of the baseline FP16 MXU array. Calibrated so that the pipelined M3XU's
+/// SGEMM energy lands near the paper's 39% of the native FP32 MXU at the
+/// saturated 8K problem size (Fig. 5a); everything else is prediction.
+const E_MEM_PER_BYTE: f64 = 3.0e-13;
+
+/// Relative MXU-array power of the design behind each engine (Table III;
+/// the SIMT engine uses CUDA-core power, which the paper's figures never
+/// ratio against, so any constant works — set to the FP32-MXU-free 1.0).
+fn engine_power(engine: Engine, clock_scale: f64) -> f64 {
+    let p = match engine {
+        Engine::Simt => 1.0,
+        // Software emulations run on the unmodified FP16 MXU.
+        Engine::TensorFp16 | Engine::TensorBf16 | Engine::TensorTf32 => 1.0,
+        // M3XU designs: pipelined (1.07) at full clock; the non-pipelined
+        // variant's relaxed-clock power (0.69) is selected via clock_scale.
+        Engine::M3xuFp32 | Engine::M3xuFp32c => {
+            if clock_scale < 0.999 {
+                PAPER_TABLE3[3].2 // 0.69: non-pipelined M3XU
+            } else {
+                PAPER_TABLE3[4].2 // 1.07: pipelined M3XU
+            }
+        }
+        Engine::NativeFp32Mxu => PAPER_TABLE3[1].2, // 7.97
+    };
+    debug_assert!(p > 0.0);
+    p
+}
+
+/// Absolute energy (relative units) of one kernel execution.
+pub fn kernel_energy(spec: &KernelSpec, report: &KernelReport) -> f64 {
+    // Stalled engine cycles (memory waits) still clock at ~30% of active
+    // power — this is what makes the memory-bound native FP32 MXU so
+    // expensive per useful flop.
+    let idle_s = (report.time_s - report.engine_busy_s).max(0.0);
+    engine_power(spec.engine, spec.clock_scale) * (report.engine_busy_s + 0.35 * idle_s)
+        + E_MEM_PER_BYTE * report.traffic_bytes
+}
+
+/// Run a kernel and return `(report, energy)`.
+pub fn run_with_energy(spec: &KernelSpec, p: Problem, gpu: &GpuConfig) -> (KernelReport, f64) {
+    let r = spec.run(p, gpu);
+    let e = kernel_energy(spec, &r);
+    (r, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{cgemm_kernels, native_mxu_kernels, sgemm_kernels};
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_40gb()
+    }
+
+    /// Fig. 5(a): pipelined M3XU SGEMM at ~39% of the native FP32 MXU's
+    /// energy ("61% lower"), non-pipelined at ~29% ("71% lower").
+    #[test]
+    fn sgemm_energy_vs_native_mxu() {
+        let g = gpu();
+        let p = Problem::square(8192);
+        let (native, _) = native_mxu_kernels();
+        let e_native = run_with_energy(&native, p, &g).1;
+        let ks = sgemm_kernels();
+        let e_piped = run_with_energy(&ks[3], p, &g).1;
+        let e_nonpiped = run_with_energy(&ks[4], p, &g).1;
+        let r_piped = e_piped / e_native;
+        let r_nonpiped = e_nonpiped / e_native;
+        assert!((0.30..0.50).contains(&r_piped), "pipelined ratio = {r_piped}");
+        assert!((0.22..0.40).contains(&r_nonpiped), "non-pipelined ratio = {r_nonpiped}");
+        assert!(r_nonpiped < r_piped);
+    }
+
+    /// Fig. 5(a): M3XU beats the most energy-efficient software solution
+    /// (paper: 27% lower pipelined, 45% lower non-pipelined).
+    #[test]
+    fn sgemm_energy_vs_software() {
+        let g = gpu();
+        let p = Problem::square(8192);
+        let ks = sgemm_kernels();
+        let e_sw = run_with_energy(&ks[1], p, &g).1.min(run_with_energy(&ks[2], p, &g).1);
+        let e_piped = run_with_energy(&ks[3], p, &g).1;
+        let e_nonpiped = run_with_energy(&ks[4], p, &g).1;
+        let r = e_piped / e_sw;
+        assert!((0.55..0.90).contains(&r), "pipelined vs software = {r}");
+        let rn = e_nonpiped / e_sw;
+        assert!((0.40..0.75).contains(&rn), "non-pipelined vs software = {rn}");
+    }
+
+    /// Fig. 5(b): CGEMM energy ratios (paper: 43% of FP32-MXU pipelined,
+    /// 32% non-pipelined).
+    #[test]
+    fn cgemm_energy_vs_native_mxu() {
+        let g = gpu();
+        let p = Problem::square_complex(4096);
+        let (_, native) = native_mxu_kernels();
+        let e_native = run_with_energy(&native, p, &g).1;
+        let ks = cgemm_kernels();
+        let r_piped = run_with_energy(&ks[2], p, &g).1 / e_native;
+        let r_nonpiped = run_with_energy(&ks[3], p, &g).1 / e_native;
+        assert!((0.32..0.62).contains(&r_piped), "cgemm pipelined = {r_piped}");
+        assert!(r_nonpiped < r_piped);
+    }
+
+    #[test]
+    fn energy_is_positive_and_scales_with_size() {
+        let g = gpu();
+        let ks = sgemm_kernels();
+        let e1 = run_with_energy(&ks[3], Problem::square(1024), &g).1;
+        let e2 = run_with_energy(&ks[3], Problem::square(2048), &g).1;
+        assert!(e1 > 0.0);
+        assert!(e2 > 6.0 * e1, "8x flops should cost >6x energy");
+    }
+}
+
+#[cfg(test)]
+mod calib {
+    use super::*;
+    use crate::kernel::{cgemm_kernels, native_mxu_kernels, sgemm_kernels};
+
+    #[test]
+    fn print_energy_breakdown() {
+        let g = GpuConfig::a100_40gb();
+        let p = Problem::square(8192);
+        let (native, nativec) = native_mxu_kernels();
+        for k in sgemm_kernels().iter().chain(std::iter::once(&native)) {
+            let (r, e) = run_with_energy(k, p, &g);
+            println!("{:28} time {:8.2}ms busy {:8.2}ms traffic {:6.1}GB energy {:.5}",
+                k.name, r.time_s*1e3, r.engine_busy_s*1e3, r.traffic_bytes/1e9, e);
+        }
+        let pc = Problem::square_complex(8192);
+        for k in cgemm_kernels().iter().chain(std::iter::once(&nativec)) {
+            let (r, e) = run_with_energy(k, pc, &g);
+            println!("{:28} time {:8.2}ms busy {:8.2}ms traffic {:6.1}GB energy {:.5}",
+                k.name, r.time_s*1e3, r.engine_busy_s*1e3, r.traffic_bytes/1e9, e);
+        }
+    }
+}

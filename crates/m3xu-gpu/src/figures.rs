@@ -1,0 +1,216 @@
+//! Figure 4 and Figure 5 series generation.
+
+use crate::config::GpuConfig;
+use crate::energy::run_with_energy;
+use crate::kernel::{cgemm_kernels, native_mxu_kernels, sgemm_kernels, KernelSpec, Problem};
+use serde::Serialize;
+
+/// The Fig. 4 problem-size sweep: 1K^3 to 16K^3.
+pub const FIG4_SIZES: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
+
+/// One kernel's speedup series over the SIMT baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupSeries {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// `(problem edge, speedup over SIMT)` pairs.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl SpeedupSeries {
+    /// Arithmetic-mean speedup across the sweep.
+    pub fn mean(&self) -> f64 {
+        self.points.iter().map(|(_, s)| s).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Maximum speedup across the sweep.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max)
+    }
+}
+
+fn speedup_sweep(kernels: &[KernelSpec], complex: bool, gpu: &GpuConfig) -> Vec<SpeedupSeries> {
+    let baseline = &kernels[0];
+    kernels
+        .iter()
+        .map(|k| SpeedupSeries {
+            kernel: k.name,
+            points: FIG4_SIZES
+                .iter()
+                .map(|&s| {
+                    let p = if complex {
+                        Problem::square_complex(s)
+                    } else {
+                        Problem::square(s)
+                    };
+                    let t0 = baseline.run(p, gpu).time_s;
+                    let t = k.run(p, gpu).time_s;
+                    (s, t0 / t)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fig. 4(a): SGEMM speedups over `cutlass_simt_sgemm`.
+pub fn figure4a(gpu: &GpuConfig) -> Vec<SpeedupSeries> {
+    speedup_sweep(&sgemm_kernels(), false, gpu)
+}
+
+/// Fig. 4(b): CGEMM speedups over `cutlass_simt_cgemm`.
+pub fn figure4b(gpu: &GpuConfig) -> Vec<SpeedupSeries> {
+    speedup_sweep(&cgemm_kernels(), true, gpu)
+}
+
+/// One kernel's Fig. 5 row: relative energy and fraction of the
+/// theoretical performance target reached.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure5Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Energy relative to the native FP32-MXU kernel (Fig. 5a/b).
+    pub energy_vs_fp32_mxu: f64,
+    /// Fraction of the theoretical performance target reached (Fig. 5c/d):
+    /// FP32 target = 25% of FP16 TC peak; FP32C target = 6.25%.
+    pub fraction_of_target: f64,
+}
+
+/// Fig. 5 (a)+(c): SGEMM energy and peak-fraction at the saturated size.
+pub fn figure5_sgemm(gpu: &GpuConfig) -> Vec<Figure5Row> {
+    let p = Problem::square(8192);
+    let (native, _) = native_mxu_kernels();
+    let e_native = run_with_energy(&native, p, gpu).1;
+    let target_tflops = gpu.at_experiment_clock(gpu.m3xu_fp32_tflops());
+    sgemm_kernels()
+        .iter()
+        .map(|k| {
+            let (r, e) = run_with_energy(k, p, gpu);
+            Figure5Row {
+                kernel: k.name,
+                energy_vs_fp32_mxu: e / e_native,
+                fraction_of_target: r.achieved_tflops / target_tflops,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 5 (b)+(d): CGEMM energy and peak-fraction at the saturated size.
+pub fn figure5_cgemm(gpu: &GpuConfig) -> Vec<Figure5Row> {
+    let p = Problem::square_complex(8192);
+    let (_, native) = native_mxu_kernels();
+    let e_native = run_with_energy(&native, p, gpu).1;
+    let target_tflops = gpu.at_experiment_clock(gpu.m3xu_fp32c_real_tflops());
+    cgemm_kernels()
+        .iter()
+        .map(|k| {
+            let (r, e) = run_with_energy(k, p, gpu);
+            Figure5Row {
+                kernel: k.name,
+                energy_vs_fp32_mxu: e / e_native,
+                fraction_of_target: r.achieved_tflops / target_tflops,
+            }
+        })
+        .collect()
+}
+
+/// Render a Fig. 4 panel as aligned text.
+pub fn render_figure4(series: &[SpeedupSeries], title: &str) -> String {
+    let mut out = format!("{title}\n{:28}", "kernel");
+    for s in FIG4_SIZES {
+        out.push_str(&format!("{:>9}", format!("{}K", s / 1024)));
+    }
+    out.push_str(&format!("{:>9}{:>9}\n", "mean", "max"));
+    for s in series {
+        out.push_str(&format!("{:28}", s.kernel));
+        for (_, v) in &s.points {
+            out.push_str(&format!("{v:>9.2}"));
+        }
+        out.push_str(&format!("{:>9.2}{:>9.2}\n", s.mean(), s.max()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_40gb()
+    }
+
+    /// The headline: M3XU SGEMM averages ~3.64x (paper) over SIMT with a
+    /// max of ~3.89x, saturating above 8K.
+    #[test]
+    fn figure4a_headline_numbers() {
+        let f = figure4a(&gpu());
+        let m3xu = f.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
+        assert!((3.2..4.0).contains(&m3xu.mean()), "mean = {}", m3xu.mean());
+        assert!((3.6..4.0).contains(&m3xu.max()), "max = {}", m3xu.max());
+        // Saturation: the 8K and 16K points within a few % of each other.
+        let s8 = m3xu.points[3].1;
+        let s16 = m3xu.points[4].1;
+        assert!((s16 - s8).abs() / s8 < 0.06, "not saturated: {s8} vs {s16}");
+        // Software alternatives cap out below 2.9x.
+        for k in ["cutlass_tensorop_sgemm", "EEHC_sgemm_fp32B"] {
+            let s = f.iter().find(|s| s.kernel == k).unwrap();
+            assert!(s.max() < 2.9, "{k} max = {}", s.max());
+        }
+    }
+
+    /// Fig. 4(b): M3XU CGEMM ~3.5x mean, software ~2.1x max.
+    #[test]
+    fn figure4b_headline_numbers() {
+        let f = figure4b(&gpu());
+        let m3xu = f.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap();
+        assert!((3.1..4.0).contains(&m3xu.mean()), "mean = {}", m3xu.mean());
+        assert!((3.4..4.0).contains(&m3xu.max()), "max = {}", m3xu.max());
+        let sw = f.iter().find(|s| s.kernel == "cutlass_tensorop_cgemm").unwrap();
+        assert!(sw.max() < 2.4, "tensorop cgemm max = {}", sw.max());
+    }
+
+    /// Fig. 4: the non-pipelined variants trail the pipelined ones but
+    /// still deliver >3x at saturation (paper: 3.35x / 3.51x).
+    #[test]
+    fn nonpipelined_still_wins_big() {
+        let fa = figure4a(&gpu());
+        let np = fa.iter().find(|s| s.kernel == "M3XU_sgemm").unwrap();
+        assert!(np.max() > 3.0, "non-pipelined max = {}", np.max());
+        let piped = fa.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
+        assert!(np.max() < piped.max());
+    }
+
+    /// Fig. 5(c)/(d): M3XU reaches >=90% of the theoretical target while
+    /// software tops out near 63%.
+    #[test]
+    fn figure5_peak_fractions() {
+        let g = gpu();
+        let rows = figure5_sgemm(&g);
+        let m3xu = rows.iter().find(|r| r.kernel == "M3XU_sgemm_pipelined").unwrap();
+        assert!(m3xu.fraction_of_target > 0.90, "m3xu fraction = {}", m3xu.fraction_of_target);
+        let sw = rows.iter().find(|r| r.kernel == "cutlass_tensorop_sgemm").unwrap();
+        assert!(
+            (0.40..0.70).contains(&sw.fraction_of_target),
+            "software fraction = {}",
+            sw.fraction_of_target
+        );
+        let rows = figure5_cgemm(&g);
+        let m3xu = rows.iter().find(|r| r.kernel == "M3XU_cgemm_pipelined").unwrap();
+        assert!(m3xu.fraction_of_target > 0.85, "cgemm fraction = {}", m3xu.fraction_of_target);
+    }
+
+    #[test]
+    fn print_fig4_for_calibration() {
+        let g = gpu();
+        println!("{}", render_figure4(&figure4a(&g), "Fig 4a: SGEMM speedup over SIMT"));
+        println!("{}", render_figure4(&figure4b(&g), "Fig 4b: CGEMM speedup over SIMT"));
+    }
+
+    #[test]
+    fn render_contains_all_kernels() {
+        let g = gpu();
+        let txt = render_figure4(&figure4a(&g), "Fig 4a");
+        for k in sgemm_kernels() {
+            assert!(txt.contains(k.name), "missing {}", k.name);
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! GEMM kernel execution models — every kernel of Tables II and IV.
+//!
+//! Each kernel is a [`KernelSpec`] run through a common tiled-GEMM roofline
+//! that follows the paper's §V-B1 emulation rules:
+//!
+//! * **(a) latency** — a multi-step M3XU MMA occupies its unit for
+//!   `steps` cycles (folded into the engine's effective rate, Corollaries
+//!   2–3);
+//! * **(b) instruction count** — software emulations issue `passes` full
+//!   GEMM passes; M3XU FP32/FP32C issue 2x/4x the MMA instructions of the
+//!   FP16 kernel of the same shape;
+//! * **(c) memory behaviour** — traffic follows the hierarchical-blocking
+//!   model (each A tile is re-read once per column block, etc.), with 2x /
+//!   4x the FP16 bytes for FP32 / FP32C.
+//!
+//! The model picks the best threadblock tile per problem (like CUTLASS's
+//! kernel selection), including a stream-K variant that trades extra
+//! partial-sum traffic for full SM occupancy on small grids.
+
+use crate::config::GpuConfig;
+use serde::Serialize;
+
+/// A GEMM problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Problem {
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Complex-valued data (FP32C).
+    pub complex: bool,
+}
+
+impl Problem {
+    /// A square real-valued problem (the Fig. 4a sweep).
+    pub fn square(n: usize) -> Self {
+        Problem { m: n, n, k: n, complex: false }
+    }
+
+    /// A square complex-valued problem (the Fig. 4b sweep).
+    pub fn square_complex(n: usize) -> Self {
+        Problem { m: n, n, k: n, complex: true }
+    }
+
+    /// Real-flop count: `2mnk` for real GEMM, `8mnk` for complex
+    /// (4 multiplies + 4 adds per complex MAC).
+    pub fn flops(&self) -> f64 {
+        let mac_flops = if self.complex { 8.0 } else { 2.0 };
+        mac_flops * self.m as f64 * self.n as f64 * self.k as f64
+    }
+
+    /// Bytes per stored element (FP32 = 4, FP32C = 8).
+    pub fn element_bytes(&self) -> f64 {
+        if self.complex {
+            8.0
+        } else {
+            4.0
+        }
+    }
+}
+
+/// Which execution engine a kernel's inner loop occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Engine {
+    /// CUDA (SIMT) FP32 cores.
+    Simt,
+    /// Tensor cores in FP16 mode.
+    TensorFp16,
+    /// Tensor cores in BF16 mode.
+    TensorBf16,
+    /// Tensor cores in TF32 mode.
+    TensorTf32,
+    /// M3XU in FP32 mode (2-step MMAs).
+    M3xuFp32,
+    /// M3XU in FP32C mode (4-step MMAs).
+    M3xuFp32c,
+    /// The brute-force native FP32 MXU (Table III column 2).
+    NativeFp32Mxu,
+}
+
+impl Engine {
+    /// Peak real-flop rate in TFLOPS at the datasheet boost clock.
+    pub fn peak_tflops(self, gpu: &GpuConfig) -> f64 {
+        match self {
+            Engine::Simt => gpu.fp32_simt_tflops,
+            Engine::TensorFp16 => gpu.fp16_tc_tflops,
+            Engine::TensorBf16 => gpu.bf16_tc_tflops,
+            Engine::TensorTf32 => gpu.tf32_tc_tflops,
+            Engine::M3xuFp32 => gpu.m3xu_fp32_tflops(),
+            Engine::M3xuFp32c => gpu.m3xu_fp32c_real_tflops(),
+            // Full FP16-rate FP32: the expensive design's whole point.
+            Engine::NativeFp32Mxu => gpu.fp16_tc_tflops,
+        }
+    }
+}
+
+/// A kernel's execution recipe.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelSpec {
+    /// Kernel name (Tables II / IV).
+    pub name: &'static str,
+    /// Engine occupied by the math.
+    pub engine: Engine,
+    /// Full GEMM passes over the problem the kernel issues (3 for the
+    /// 3xTF32/3xBF16 emulations; 12 real-GEMM passes for 3x complex TF32;
+    /// 1 for everything native). Expressed relative to the problem's own
+    /// real-flop count.
+    pub passes: f64,
+    /// Fraction of peak the inner loop sustains when compute-bound
+    /// (instruction-issue efficiency).
+    pub issue_eff: f64,
+    /// Input decoupling stage (software split of FP32 into term matrices):
+    /// one extra read + write of A and B, plus its kernel overhead.
+    pub decouple: bool,
+    /// Bytes streamed per original input byte in the mainloop (fused
+    /// multi-term mainloops read the term matrices together: 2.0 for
+    /// 3xTF32 big+small FP32-sized terms, 1.5 for 3x BF16 terms; 1.0 for
+    /// native kernels).
+    pub stream_factor: f64,
+    /// Clock divider relative to the experiment clock (the non-pipelined
+    /// M3XU kernels run at 960/1170 of the pinned clock).
+    pub clock_scale: f64,
+}
+
+/// The time/energy/traffic report of one kernel execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Total wall-clock seconds.
+    pub time_s: f64,
+    /// Math-limited time (seconds, at full occupancy).
+    pub compute_s: f64,
+    /// Memory-limited time.
+    pub memory_s: f64,
+    /// Input-decoupling time (software emulations only).
+    pub decouple_s: f64,
+    /// HBM traffic in bytes (incl. decoupling).
+    pub traffic_bytes: f64,
+    /// Useful real flops.
+    pub flops: f64,
+    /// Achieved TFLOPS (useful flops / time).
+    pub achieved_tflops: f64,
+    /// Dynamic MMA/FMA instruction estimate.
+    pub instructions: f64,
+    /// Selected threadblock tile edge.
+    pub tile: usize,
+    /// Engine-busy seconds (for the energy model).
+    pub engine_busy_s: f64,
+}
+
+/// Threadblock tile options the model chooses between (square tiles plus a
+/// stream-K variant of the largest).
+const TILES: [usize; 3] = [64, 128, 256];
+
+/// Fixed prologue of tensor-core kernels (shared-memory pipeline fill,
+/// fragment staging) on top of the launch overhead. SIMT kernels have a
+/// much shallower prologue, folded into the launch constant.
+const TENSOR_PROLOGUE_S: f64 = 15.0e-6;
+
+impl KernelSpec {
+    /// Execute the kernel model on `p`.
+    pub fn run(&self, p: Problem, gpu: &GpuConfig) -> KernelReport {
+        let flops = p.flops();
+        let work_flops = flops * self.passes;
+        let rate = gpu.at_experiment_clock(self.engine.peak_tflops(gpu)) * 1e12
+            * self.issue_eff
+            * self.clock_scale;
+
+        // Pure math time at full occupancy.
+        let t_math_full = work_flops / rate;
+
+        let mut best: Option<(f64, usize, f64, f64)> = None; // (time, tile, t_mem, t_math)
+        for &tile in &TILES {
+            for stream_k in [false, true] {
+                let blocks =
+                    p.m.div_ceil(tile) as f64 * p.n.div_ceil(tile) as f64;
+                // Wave quantisation: the last wave may be underfull.
+                // Stream-K splits the reduction to fill all SMs at the cost
+                // of extra partial-sum traffic.
+                let util = if stream_k {
+                    1.0 // stream-K fills every SM, paying partial-sum traffic
+                } else {
+                    let waves = (blocks / gpu.sms as f64).ceil();
+                    (blocks / (waves * gpu.sms as f64)).min(1.0)
+                };
+                let t_math = t_math_full / util.max(1e-3);
+                let traffic = self.traffic_bytes(p, tile, stream_k);
+                let t_mem = traffic / (gpu.hbm_gbs * 1e9);
+                let t = t_math.max(t_mem);
+                // Tie-break toward lower traffic (a real tuner would):
+                // math-bound configurations with equal time differ in
+                // energy, not speed.
+                let better = match best {
+                    None => true,
+                    Some((bt, _, bmem, _)) => t < bt * 0.999 || (t < bt * 1.001 && t_mem < bmem),
+                };
+                if better {
+                    best = Some((t, tile, t_mem, t_math));
+                }
+            }
+        }
+        let (t_core, tile, t_mem, t_math) = best.unwrap();
+
+        // Decoupling: one extra pass over A and B (read the FP32 inputs,
+        // split, write the term matrices), bandwidth-bound, plus a fixed
+        // kernel launch for the split kernel.
+        let decouple_s = if self.decouple {
+            let ab_bytes = (p.m * p.k + p.k * p.n) as f64 * p.element_bytes();
+            2.0 * ab_bytes / (gpu.hbm_gbs * 1e9) + gpu.launch_overhead_s
+        } else {
+            0.0
+        };
+
+        let prologue_s =
+            if matches!(self.engine, Engine::Simt) { 0.0 } else { TENSOR_PROLOGUE_S };
+        let time = t_core + decouple_s + prologue_s + gpu.launch_overhead_s;
+        let traffic = self.traffic_bytes(p, tile, false)
+            + if self.decouple {
+                2.0 * (p.m * p.k + p.k * p.n) as f64 * p.element_bytes()
+            } else {
+                0.0
+            };
+
+        // Dynamic MMA instructions per §V-B1(b): fragments of 16x8x8 FP16
+        // equivalents, x2 for M3XU FP32, x4 for FP32C, x passes for
+        // software.
+        let frag = 16.0 * 8.0 * 8.0;
+        let mode_mult = match self.engine {
+            Engine::M3xuFp32 => 2.0,
+            Engine::M3xuFp32c => 4.0,
+            _ => self.passes,
+        };
+        let mac_count = p.m as f64 * p.n as f64 * p.k as f64 * if p.complex { 4.0 } else { 1.0 };
+        let instructions = mac_count / frag * mode_mult;
+
+        KernelReport {
+            name: self.name,
+            time_s: time,
+            compute_s: t_math,
+            memory_s: t_mem,
+            decouple_s,
+            traffic_bytes: traffic,
+            flops,
+            achieved_tflops: flops / time / 1e12,
+            instructions,
+            tile,
+            // Cycles the engine actually toggles (full-rate math time) —
+            // the energy model charges engine power only for these.
+            engine_busy_s: t_math_full,
+        }
+    }
+
+    /// HBM traffic of the hierarchical-blocking GEMM: each A block-row is
+    /// re-read once per B column-block and vice versa; C is read + written.
+    fn traffic_bytes(&self, p: Problem, tile: usize, stream_k: bool) -> f64 {
+        let eb = p.element_bytes();
+        let (m, n, k) = (p.m as f64, p.n as f64, p.k as f64);
+        let col_blocks = (p.n as f64 / tile as f64).ceil().max(1.0);
+        let row_blocks = (p.m as f64 / tile as f64).ceil().max(1.0);
+        let a = m * k * col_blocks;
+        let b = k * n * row_blocks;
+        let c = 2.0 * m * n;
+        let sk = if stream_k { 1.15 } else { 1.0 };
+        (a + b) * eb * self.stream_factor * sk + c * eb
+    }
+}
+
+/// All SGEMM kernels of Fig. 4(a): baseline, the two software emulations,
+/// and the two M3XU variants (Table II + Table IV).
+pub fn sgemm_kernels() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec {
+            name: "cutlass_simt_sgemm",
+            engine: Engine::Simt,
+            passes: 1.0,
+            issue_eff: 0.97,
+            decouple: false,
+            clock_scale: 1.0,
+            stream_factor: 1.0,
+        },
+        KernelSpec {
+            name: "cutlass_tensorop_sgemm",
+            engine: Engine::TensorTf32,
+            passes: 3.0,
+            issue_eff: 0.97,
+            decouple: true,
+            clock_scale: 1.0,
+            stream_factor: 2.0,
+        },
+        KernelSpec {
+            name: "EEHC_sgemm_fp32B",
+            engine: Engine::TensorBf16,
+            passes: 3.0,
+            // Warp-level exponent handling and operand reshuffles cost
+            // issue slots (§II-C1's extra dynamic instructions).
+            issue_eff: 0.52,
+            decouple: true,
+            clock_scale: 1.0,
+            stream_factor: 1.5,
+        },
+        KernelSpec {
+            name: "M3XU_sgemm_pipelined",
+            engine: Engine::M3xuFp32,
+            passes: 1.0,
+            issue_eff: 0.96,
+            decouple: false,
+            clock_scale: 1.0,
+            stream_factor: 1.0,
+        },
+        KernelSpec {
+            name: "M3XU_sgemm",
+            engine: Engine::M3xuFp32,
+            passes: 1.0,
+            issue_eff: 0.96,
+            decouple: false,
+            clock_scale: 960.0 / 1170.0,
+            stream_factor: 1.0,
+        },
+    ]
+}
+
+/// All CGEMM kernels of Fig. 4(b).
+pub fn cgemm_kernels() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec {
+            name: "cutlass_simt_cgemm",
+            engine: Engine::Simt,
+            passes: 1.0,
+            // Complex inner loops amortise addressing over 8 flops/MAC:
+            // CUDA-core CGEMM runs very close to peak.
+            issue_eff: 0.98,
+            decouple: false,
+            clock_scale: 1.0,
+            stream_factor: 1.0,
+        },
+        KernelSpec {
+            name: "cutlass_tensorop_cgemm",
+            // 3 TF32 passes x 4 real GEMMs per complex GEMM = 12 real
+            // passes; expressed against the 8-flop complex MAC -> 3x the
+            // problem's own real flops on the TF32 engine.
+            engine: Engine::TensorTf32,
+            passes: 3.0,
+            // Complex fragment shuffles cost issue slots.
+            issue_eff: 0.76,
+            decouple: true,
+            clock_scale: 1.0,
+            stream_factor: 2.0,
+        },
+        KernelSpec {
+            name: "M3XU_cgemm_pipelined",
+            engine: Engine::M3xuFp32c,
+            passes: 1.0,
+            issue_eff: 0.94,
+            decouple: false,
+            clock_scale: 1.0,
+            stream_factor: 1.0,
+        },
+        KernelSpec {
+            name: "M3XU_cgemm",
+            engine: Engine::M3xuFp32c,
+            passes: 1.0,
+            issue_eff: 0.94,
+            decouple: false,
+            clock_scale: 960.0 / 1170.0,
+            stream_factor: 1.0,
+        },
+    ]
+}
+
+/// Fig. 5's extra reference kernels: FP32/FP32C GEMM on the brute-force
+/// native FP32 MXU (`baseline_MXU_sgemm` / `baseline_MXU_cgemm`).
+pub fn native_mxu_kernels() -> (KernelSpec, KernelSpec) {
+    (
+        KernelSpec {
+            name: "baseline_MXU_sgemm",
+            engine: Engine::NativeFp32Mxu,
+            passes: 1.0,
+            issue_eff: 0.97,
+            decouple: false,
+            clock_scale: 1.0,
+            stream_factor: 1.0,
+        },
+        KernelSpec {
+            name: "baseline_MXU_cgemm",
+            // 4 real GEMMs per complex GEMM at full FP32 rate = 1 pass of
+            // the 8-flop complex work. The native MXU has NO complex
+            // support (§II-B), so the four real-part GEMMs need extra
+            // passes to de-interleave inputs and combine partial results —
+            // modelled like a software decoupling stage.
+            engine: Engine::NativeFp32Mxu,
+            passes: 1.0,
+            issue_eff: 0.97,
+            decouple: true,
+            clock_scale: 1.0,
+            stream_factor: 1.3,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_40gb()
+    }
+
+    #[test]
+    fn problem_flops() {
+        let p = Problem::square(1024);
+        assert_eq!(p.flops(), 2.0 * 1024f64.powi(3));
+        let c = Problem::square_complex(1024);
+        assert_eq!(c.flops(), 8.0 * 1024f64.powi(3));
+        assert_eq!(c.element_bytes(), 8.0);
+    }
+
+    #[test]
+    fn m3xu_saturates_near_4x_over_simt() {
+        let g = gpu();
+        let ks = sgemm_kernels();
+        let p = Problem::square(8192);
+        let simt = ks[0].run(p, &g);
+        let m3xu = ks[3].run(p, &g);
+        let speedup = simt.time_s / m3xu.time_s;
+        assert!((3.5..4.0).contains(&speedup), "8K speedup = {speedup}");
+    }
+
+    #[test]
+    fn software_emulation_beats_simt_but_trails_m3xu() {
+        let g = gpu();
+        let ks = sgemm_kernels();
+        let p = Problem::square(8192);
+        let simt = ks[0].run(p, &g).time_s;
+        let tensorop = ks[1].run(p, &g).time_s;
+        let m3xu = ks[3].run(p, &g).time_s;
+        let sw_speedup = simt / tensorop;
+        assert!((1.8..2.9).contains(&sw_speedup), "tensorop speedup = {sw_speedup}");
+        assert!(m3xu < tensorop);
+    }
+
+    #[test]
+    fn nonpipelined_is_slower_by_clock_ratio_when_compute_bound() {
+        let g = gpu();
+        let ks = sgemm_kernels();
+        let p = Problem::square(16384);
+        let piped = ks[3].run(p, &g);
+        let nonpiped = ks[4].run(p, &g);
+        let ratio = nonpiped.time_s / piped.time_s;
+        assert!(ratio > 1.05 && ratio < 1.25, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn speedup_grows_with_problem_size() {
+        let g = gpu();
+        let ks = sgemm_kernels();
+        let mut last = 0.0;
+        for size in [1024usize, 2048, 4096, 8192] {
+            let p = Problem::square(size);
+            let s = ks[0].run(p, &g).time_s / ks[3].run(p, &g).time_s;
+            assert!(s >= last * 0.93, "speedup dropped at {size}: {s} < {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn cgemm_m3xu_saturates_near_4x() {
+        let g = gpu();
+        let ks = cgemm_kernels();
+        let p = Problem::square_complex(8192);
+        let simt = ks[0].run(p, &g).time_s;
+        let m3xu = ks[2].run(p, &g).time_s;
+        let s = simt / m3xu;
+        assert!((3.3..4.0).contains(&s), "cgemm speedup = {s}");
+        let tensorop = ks[1].run(p, &g).time_s;
+        let st = simt / tensorop;
+        assert!((1.5..2.3).contains(&st), "tensorop cgemm speedup = {st}");
+    }
+
+    #[test]
+    fn decoupling_costs_show_up() {
+        let g = gpu();
+        let ks = sgemm_kernels();
+        let p = Problem::square(4096);
+        let r = ks[1].run(p, &g);
+        assert!(r.decouple_s > 0.0);
+        assert!(r.decouple_s < r.time_s * 0.3);
+        let m = ks[3].run(p, &g);
+        assert_eq!(m.decouple_s, 0.0);
+    }
+
+    #[test]
+    fn instruction_counts_follow_emulation_rules() {
+        let g = gpu();
+        let p = Problem::square(2048);
+        let fp16_equiv = (2048f64).powi(3) / (16.0 * 8.0 * 8.0);
+        let m3xu = sgemm_kernels()[3].run(p, &g);
+        assert!((m3xu.instructions / fp16_equiv - 2.0).abs() < 1e-9); // rule (b): 2x
+        let pc = Problem::square_complex(2048);
+        let m3xuc = cgemm_kernels()[2].run(pc, &g);
+        // 4 real MACs per complex MAC, x4 instruction multiplier.
+        assert!((m3xuc.instructions / (fp16_equiv * 4.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn native_mxu_is_memory_bound_for_fp32() {
+        let g = gpu();
+        let (sgemm, _) = native_mxu_kernels();
+        let r = sgemm.run(Problem::square(8192), &g);
+        // The whole point of §II-B: full-rate FP32 needs bandwidth the
+        // memory system doesn't have.
+        assert!(r.memory_s > r.compute_s, "native FP32 MXU should be memory-bound");
+    }
+}

@@ -1,0 +1,31 @@
+//! # m3xu-gpu — full-GPU performance and energy model
+//!
+//! The paper evaluates M3XU with a performance-emulation framework on a
+//! real A100 (§V-B). This crate replaces that testbed with an analytical
+//! full-GPU model that carries exactly the quantities the emulation rules
+//! manipulate: MMA instruction counts and per-instruction latency
+//! (rules a/b), memory traffic under hierarchical blocking (rule c),
+//! engine peak rates (Table I), clock pinning, wave quantisation, software
+//! decoupling overheads, and MXU-array power from the synth crate.
+//!
+//! * [`config`] — the A100-class [`GpuConfig`](config::GpuConfig) and
+//!   Table I;
+//! * [`kernel`] — the kernel execution models of Tables II and IV;
+//! * [`energy`] — the Fig. 5 energy model;
+//! * [`figures`] — Fig. 4 / Fig. 5 series generation;
+//! * [`pipeline`] — an event-driven SM pipeline simulator validating the
+//!   §V-B1 rules (and Corollaries 2–3) at cycle level;
+//! * [`cache`] — a set-associative L2 model validating the rule-(c)
+//!   traffic assumptions against line-granular GEMM traces.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod energy;
+pub mod figures;
+pub mod kernel;
+pub mod pipeline;
+
+pub use config::GpuConfig;
+pub use kernel::{Engine, KernelReport, KernelSpec, Problem};

@@ -1,0 +1,249 @@
+//! A cycle-approximate SM pipeline simulator.
+//!
+//! The analytical kernel models in [`crate::kernel`] assume the §V-B1
+//! accounting rules hold at the pipeline level — that a warp-scheduled SM
+//! issuing 2-step M3XU MMAs really does sustain half the instruction rate
+//! of 1-step FP16 MMAs once enough warps hide the latencies. This module
+//! *checks* that assumption with an event-driven model of one SM:
+//!
+//! * per-warp in-order instruction streams (MMA / shared-memory load /
+//!   ALU), with a scoreboard delaying dependent issue until the previous
+//!   instruction's latency elapses;
+//! * per-pipe structural hazards: the tensor pipe accepts a new MMA every
+//!   `steps` cycles (the multi-step sequencing of the data-assignment
+//!   stage), the LSU pipe every `bytes / width` cycles, the ALU every
+//!   cycle;
+//! * a greedy round-robin scheduler issuing at most one instruction per
+//!   cycle (Ampere-class sub-partition).
+
+use crate::config::GpuConfig;
+use m3xu_mxu::modes::MxuMode;
+use serde::Serialize;
+
+/// One warp-level instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarpInstr {
+    /// An MMA in the given mode (occupies the tensor pipe `steps` cycles).
+    Mma(MxuMode),
+    /// A shared-memory load of `bytes` (LSU pipe; 128 B/cycle).
+    SmemLoad {
+        /// Bytes fetched into the register file.
+        bytes: u32,
+    },
+    /// A generic ALU/address instruction.
+    Alu,
+}
+
+impl WarpInstr {
+    /// Cycles the owning pipe is blocked for after this issues
+    /// (initiation interval).
+    fn initiation_interval(self) -> u64 {
+        match self {
+            // A warp-wide FP16 MMA occupies the tensor pipe ~4 cycles on
+            // Ampere-class hardware; M3XU's multi-step sequencing scales
+            // that by the mode's step count (rule a).
+            WarpInstr::Mma(mode) => 4 * mode.steps() as u64,
+            WarpInstr::SmemLoad { bytes } => (bytes as u64).div_ceil(128).max(1),
+            WarpInstr::Alu => 1,
+        }
+    }
+
+    /// Cycles until the result is available to the same warp's next
+    /// dependent instruction.
+    fn latency(self) -> u64 {
+        match self {
+            WarpInstr::Mma(mode) => 4 * mode.steps() as u64 + 4, // + pipe depth
+            WarpInstr::SmemLoad { .. } => 25,
+            WarpInstr::Alu => 4,
+        }
+    }
+
+    fn pipe(self) -> usize {
+        match self {
+            WarpInstr::Mma(_) => 0,
+            WarpInstr::SmemLoad { .. } => 1,
+            WarpInstr::Alu => 2,
+        }
+    }
+}
+
+/// Simulation result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PipelineReport {
+    /// Total cycles until every warp retires.
+    pub cycles: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Cycles the tensor pipe was busy.
+    pub tensor_busy: u64,
+    /// Cycles no warp could issue (stalls).
+    pub idle_cycles: u64,
+}
+
+impl PipelineReport {
+    /// Tensor-pipe utilisation.
+    pub fn tensor_utilisation(&self) -> f64 {
+        self.tensor_busy as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Simulate `warps` identical in-order instruction streams on one SM
+/// sub-partition.
+pub fn simulate(streams: &[Vec<WarpInstr>]) -> PipelineReport {
+    let n = streams.len();
+    assert!(n > 0, "need at least one warp");
+    let mut pc = vec![0usize; n]; // next instruction index per warp
+    let mut warp_ready = vec![0u64; n]; // scoreboard: cycle the warp may issue next
+    let mut pipe_free = [0u64; 3];
+    let mut cycle = 0u64;
+    let mut issued = 0u64;
+    let mut tensor_busy = 0u64;
+    let mut idle = 0u64;
+    let mut rr = 0usize; // round-robin pointer
+
+    while pc.iter().zip(streams).any(|(&p, s)| p < s.len()) {
+        // Find a ready warp, round-robin from rr.
+        let mut launched = false;
+        for k in 0..n {
+            let w = (rr + k) % n;
+            if pc[w] >= streams[w].len() {
+                continue;
+            }
+            let instr = streams[w][pc[w]];
+            let pipe = instr.pipe();
+            if warp_ready[w] <= cycle && pipe_free[pipe] <= cycle {
+                // Issue.
+                let ii = instr.initiation_interval();
+                pipe_free[pipe] = cycle + ii;
+                warp_ready[w] = cycle + instr.latency();
+                if pipe == 0 {
+                    tensor_busy += ii;
+                }
+                pc[w] += 1;
+                issued += 1;
+                rr = (w + 1) % n;
+                launched = true;
+                break;
+            }
+        }
+        if !launched {
+            idle += 1;
+        }
+        cycle += 1;
+    }
+    // Drain: the last instruction's latency.
+    let drain = warp_ready.iter().max().copied().unwrap_or(0).saturating_sub(cycle);
+    PipelineReport { cycles: cycle + drain, instructions: issued, tensor_busy, idle_cycles: idle }
+}
+
+/// Build the per-warp instruction stream of a `tiles`-iteration GEMM
+/// mainloop in `mode`: per iteration, two smem fragment loads and an
+/// address ALU op cover eight FP16-equivalent k-chunks, each needing one
+/// FP16 MMA or `k_divisor` M3XU MMAs (rule b).
+pub fn gemm_mainloop(mode: MxuMode, tiles: usize) -> Vec<WarpInstr> {
+    let mut v = Vec::new();
+    let chunks_per_tile = 8;
+    let frag_bytes = 8 * 4 * 2 * 2 * chunks_per_tile as u32;
+    for _ in 0..tiles {
+        v.push(WarpInstr::SmemLoad { bytes: frag_bytes });
+        v.push(WarpInstr::Alu);
+        for _ in 0..chunks_per_tile * mode.k_divisor() {
+            v.push(WarpInstr::Mma(mode));
+        }
+    }
+    v
+}
+
+/// The pipeline-level throughput ratio between two modes for the same
+/// logical GEMM work, with `warps` warps hiding latency.
+pub fn throughput_ratio(a: MxuMode, b: MxuMode, warps: usize, tiles: usize) -> f64 {
+    let sa = vec![gemm_mainloop(a, tiles); warps];
+    let sb = vec![gemm_mainloop(b, tiles); warps];
+    let ra = simulate(&sa);
+    let rb = simulate(&sb);
+    rb.cycles as f64 / ra.cycles as f64
+}
+
+/// Cross-check helper: the analytical model's rate ratio for the same
+/// two modes (Corollaries 2–3).
+pub fn analytical_ratio(a: MxuMode, b: MxuMode) -> f64 {
+    a.relative_throughput() / b.relative_throughput()
+}
+
+/// Convenience: validate the analytical assumption for `mode` against the
+/// pipeline at a given warp count; returns `(pipeline, analytical)`.
+pub fn validate_mode(mode: MxuMode, warps: usize, gpu: &GpuConfig) -> (f64, f64) {
+    let _ = gpu;
+    (
+        throughput_ratio(MxuMode::Fp16, mode, warps, 256),
+        analytical_ratio(MxuMode::Fp16, mode),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_warp_single_mma() {
+        let r = simulate(&[vec![WarpInstr::Mma(MxuMode::Fp16)]]);
+        assert_eq!(r.instructions, 1);
+        assert!(r.cycles >= 8); // 4-cycle II + pipe-depth drain
+        assert_eq!(r.tensor_busy, 4);
+    }
+
+    #[test]
+    fn m3xu_mma_occupies_pipe_twice_as_long() {
+        // Rule (a) at the pipe level.
+        let fp16 = simulate(&vec![vec![WarpInstr::Mma(MxuMode::Fp16); 64]; 8]);
+        let fp32 = simulate(&vec![vec![WarpInstr::Mma(MxuMode::M3xuFp32); 64]; 8]);
+        let ratio = fp32.cycles as f64 / fp16.cycles as f64;
+        assert!((1.9..2.1).contains(&ratio), "pipe-occupancy ratio = {ratio}");
+    }
+
+    #[test]
+    fn warps_hide_latency() {
+        // One warp stalls on MMA latency; eight warps keep the pipe hot.
+        let one = simulate(&[vec![WarpInstr::Mma(MxuMode::Fp16); 64]]);
+        let eight = simulate(&vec![vec![WarpInstr::Mma(MxuMode::Fp16); 64]; 8]);
+        assert!(one.tensor_utilisation() < 0.7);
+        assert!(eight.tensor_utilisation() > 0.9, "util = {}", eight.tensor_utilisation());
+    }
+
+    #[test]
+    fn pipeline_confirms_corollary_2() {
+        // FP32 GEMM mainloops sustain 1/4 the FP16 throughput at the same
+        // logical work (2x instructions x 2x cycles each).
+        let (pipeline, analytical) = validate_mode(MxuMode::M3xuFp32, 8, &GpuConfig::a100_40gb());
+        assert!((analytical - 4.0).abs() < 1e-12);
+        assert!(
+            (pipeline / analytical - 1.0).abs() < 0.12,
+            "pipeline {pipeline} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn pipeline_confirms_corollary_3() {
+        let (pipeline, analytical) =
+            validate_mode(MxuMode::M3xuFp32c, 8, &GpuConfig::a100_40gb());
+        assert!((analytical - 16.0).abs() < 1e-12);
+        assert!(
+            (pipeline / analytical - 1.0).abs() < 0.12,
+            "pipeline {pipeline} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn smem_and_alu_overlap_with_tensor_pipe() {
+        // A balanced mainloop keeps tensor utilisation high despite loads.
+        let streams = vec![gemm_mainloop(MxuMode::Fp16, 128); 8];
+        let r = simulate(&streams);
+        assert!(r.tensor_utilisation() > 0.55, "util = {}", r.tensor_utilisation());
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = vec![gemm_mainloop(MxuMode::M3xuFp32, 32); 4];
+        assert_eq!(simulate(&s), simulate(&s));
+    }
+}

@@ -1,0 +1,15 @@
+//! DNN training — the paper's second case study (§VI-C2, Fig. 7).
+//!
+//! Two layers of fidelity:
+//!
+//! * [`models`] — per-layer FLOP inventories of the three Nebula-style
+//!   CNNs (AlexNet, VGG, ResNet) and the Fig. 7 one-iteration latency
+//!   model: mixed-precision forward on tensor cores; backward on SIMT
+//!   FP32 in the baseline (no FP32 tensor instructions exist) vs on
+//!   M3XU's exact FP32 mode;
+//! * [`train`] — an actually-trainable MLP whose forward and backward
+//!   GEMMs run on the functional M3XU, demonstrating end-to-end FP32
+//!   training with zero software changes (the paper's deployment story).
+
+pub mod models;
+pub mod train;

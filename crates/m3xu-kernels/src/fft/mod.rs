@@ -1,0 +1,295 @@
+//! FFT substrate — the paper's first case study (§VI-C1, Fig. 6).
+//!
+//! Three implementations:
+//!
+//! * [`dft`] — the O(N²) reference DFT (ground truth for tests);
+//! * [`radix2`] — a classic iterative radix-2 Cooley–Tukey FFT (the shape
+//!   of a SIMT / cuFFT implementation);
+//! * [`gemm_fft`] — the tcFFT formulation: four-step Cooley–Tukey whose
+//!   inner small DFTs are **complex GEMMs** against the DFT matrix,
+//!   executed on the M3XU's FP32C mode. This is what M3XU accelerates
+//!   "directly … without approximations".
+//!
+//! [`perf`] holds the Fig. 6 performance model (cuFFT baseline, the
+//! TF32-extended tcFFT, and M3XU).
+
+pub mod fft2d;
+pub mod perf;
+
+use crate::gemm::cgemm_c32;
+use m3xu_fp::complex::Complex;
+use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::mma::MmaStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Complex single-precision sample.
+pub type C32 = Complex<f32>;
+
+/// The O(N²) reference DFT (forward, unnormalised):
+/// `X[k] = sum_j x[j] e^{-2πi jk / N}`, evaluated in f64 and rounded.
+pub fn dft(x: &[C32]) -> Vec<C32> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for (j, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / n as f64;
+                let (s, c) = ang.sin_cos();
+                re += v.re as f64 * c - v.im as f64 * s;
+                im += v.re as f64 * s + v.im as f64 * c;
+            }
+            Complex::new(re as f32, im as f32)
+        })
+        .collect()
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT (forward, unnormalised). `x.len()`
+/// must be a power of two. This is the "CUDA-core" shaped implementation.
+pub fn radix2(x: &[C32]) -> Vec<C32> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    let mut a: Vec<C32> = x.to_vec();
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for t in 0..len / 2 {
+                let w64 = Complex::<f64>::cis(ang * t as f64);
+                let w = Complex::new(w64.re as f32, w64.im as f32);
+                let u = a[start + t];
+                let v = a[start + t + len / 2] * w;
+                a[start + t] = u + v;
+                a[start + t + len / 2] = u - v;
+            }
+        }
+        len <<= 1;
+    }
+    a
+}
+
+/// Inverse FFT via conjugation: `ifft(x) = conj(fft(conj(x))) / N`.
+pub fn inverse_radix2(x: &[C32]) -> Vec<C32> {
+    let n = x.len() as f32;
+    let conj: Vec<C32> = x.iter().map(|z| z.conj()).collect();
+    radix2(&conj).iter().map(|z| z.conj().scale(1.0 / n)).collect()
+}
+
+/// The `n x n` DFT matrix `F[k][j] = e^{-2πi jk / n}` (twiddles computed
+/// in f64, rounded to FP32C once).
+pub fn dft_matrix(n: usize) -> Matrix<C32> {
+    Matrix::from_fn(n, n, |k, j| {
+        let ang = -2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / n as f64;
+        let w = Complex::<f64>::cis(ang);
+        Complex::new(w.re as f32, w.im as f32)
+    })
+}
+
+/// Cached DFT matrices (shared across FFT calls / threads).
+static DFT_CACHE: Mutex<Option<HashMap<usize, Matrix<C32>>>> = Mutex::new(None);
+
+fn cached_dft_matrix(n: usize) -> Matrix<C32> {
+    let mut guard = DFT_CACHE.lock();
+    let cache = guard.get_or_insert_with(HashMap::new);
+    cache.entry(n).or_insert_with(|| dft_matrix(n)).clone()
+}
+
+/// The tcFFT-style radix used for the GEMM stages (a 16-point DFT maps
+/// onto the MXU fragment shapes).
+pub const GEMM_RADIX: usize = 16;
+
+/// GEMM-formulated FFT (forward, unnormalised) on the M3XU FP32C mode.
+///
+/// Four-step Cooley–Tukey: with `N = N1 * N2`,
+/// 1. the `N1`-point column DFTs are **one complex GEMM**
+///    `F_{N1} (N1 x N1) x M (N1 x N2)` where `M[j1][j2] = x[j1*N2 + j2]`;
+/// 2. twiddle `T[k1][j2] *= w_N^{k1 j2}`;
+/// 3. each row is an `N2`-point FFT (recursion);
+/// 4. output interleaves as `X[k1 + N1*k2]`.
+///
+/// Returns the spectrum and the accumulated M3XU MMA statistics.
+pub fn gemm_fft(x: &[C32]) -> (Vec<C32>, MmaStats) {
+    let mut stats = MmaStats::default();
+    let out = gemm_fft_inner(x, &mut stats);
+    (out, stats)
+}
+
+fn gemm_fft_inner(x: &[C32], stats: &mut MmaStats) -> Vec<C32> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "gemm_fft needs a power-of-two length");
+    if n <= GEMM_RADIX {
+        // Base case: one complex GEMM against the DFT matrix.
+        let f = cached_dft_matrix(n);
+        let v = Matrix::from_fn(n, 1, |j, _| x[j]);
+        let c = Matrix::zeros(n, 1);
+        let r = cgemm_c32(&f, &v, &c);
+        stats.merge(&r.stats);
+        return (0..n).map(|k| r.d.get(k, 0)).collect();
+    }
+    let n1 = GEMM_RADIX.min(n);
+    let n2 = n / n1;
+
+    // Step 1: column DFTs as a single N1 x N1 by N1 x N2 complex GEMM.
+    let m = Matrix::from_fn(n1, n2, |j1, j2| x[j1 * n2 + j2]);
+    let f = cached_dft_matrix(n1);
+    let c = Matrix::zeros(n1, n2);
+    let t = cgemm_c32(&f, &m, &c);
+    stats.merge(&t.stats);
+
+    // Step 2: twiddle factors w_N^{k1 * j2}.
+    let mut rows: Vec<Vec<C32>> = Vec::with_capacity(n1);
+    for k1 in 0..n1 {
+        let mut row: Vec<C32> = Vec::with_capacity(n2);
+        for j2 in 0..n2 {
+            let ang = -2.0 * std::f64::consts::PI * (k1 as f64) * (j2 as f64) / n as f64;
+            let w64 = Complex::<f64>::cis(ang);
+            let w = Complex::new(w64.re as f32, w64.im as f32);
+            row.push(t.d.get(k1, j2) * w);
+        }
+        rows.push(row);
+    }
+
+    // Step 3: row FFTs (recursion), step 4: interleaved write-back.
+    let mut out = vec![C32::ZERO; n];
+    for (k1, row) in rows.iter().enumerate() {
+        let sub = gemm_fft_inner(row, stats);
+        for (k2, &v) in sub.iter().enumerate() {
+            out[k1 + n1 * k2] = v;
+        }
+    }
+    out
+}
+
+/// Maximum relative L2 error between two spectra (for accuracy tests).
+pub fn spectrum_rel_error(got: &[C32], reference: &[C32]) -> f64 {
+    assert_eq!(got.len(), reference.len());
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (g, r) in got.iter().zip(reference) {
+        let dr = g.re as f64 - r.re as f64;
+        let di = g.im as f64 - r.im as f64;
+        num += dr * dr + di * di;
+        den += (r.re as f64).powi(2) + (r.im as f64).powi(2);
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize, seed: u64) -> Vec<C32> {
+        let m = Matrix::random_c32(n, 1, seed);
+        (0..n).map(|i| m.get(i, 0)).collect()
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![C32::ZERO; 8];
+        x[0] = Complex::new(1.0, 0.0);
+        for v in dft(&x) {
+            assert!((v.re - 1.0).abs() < 1e-6 && v.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dft_of_pure_tone_is_a_spike() {
+        let n = 16;
+        let x: Vec<C32> = (0..n)
+            .map(|j| {
+                let w = Complex::<f64>::cis(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64);
+                Complex::new(w.re as f32, w.im as f32)
+            })
+            .collect();
+        let s = dft(&x);
+        assert!((s[3].re - n as f32).abs() < 1e-3);
+        for (k, v) in s.iter().enumerate() {
+            if k != 3 {
+                assert!(v.abs() < 1e-3, "leak at bin {k}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix2_matches_dft() {
+        for n in [2usize, 8, 64, 256] {
+            let x = signal(n, n as u64);
+            let err = spectrum_rel_error(&radix2(&x), &dft(&x));
+            assert!(err < 1e-5, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn radix2_inverse_roundtrip() {
+        let x = signal(128, 7);
+        let back = inverse_radix2(&radix2(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_fft_matches_dft_at_base_case() {
+        let x = signal(16, 9);
+        let (got, stats) = gemm_fft(&x);
+        let err = spectrum_rel_error(&got, &dft(&x));
+        assert!(err < 1e-6, "err={err}");
+        assert!(stats.instructions > 0, "must have used the MXU");
+    }
+
+    #[test]
+    fn gemm_fft_matches_dft_multi_level() {
+        for n in [64usize, 256, 1024] {
+            let x = signal(n, n as u64 + 1);
+            let (got, _) = gemm_fft(&x);
+            let err = spectrum_rel_error(&got, &dft(&x));
+            assert!(err < 1e-5, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn gemm_fft_accuracy_comparable_to_radix2() {
+        // M3XU computes FP32C exactly per MMA, so the GEMM formulation
+        // should be at least as accurate as the scalar radix-2 chain.
+        let n = 4096;
+        let x = signal(n, 33);
+        let gold = dft(&x);
+        let e_gemm = spectrum_rel_error(&gemm_fft(&x).0, &gold);
+        let e_radix = spectrum_rel_error(&radix2(&x), &gold);
+        assert!(e_gemm < e_radix * 4.0, "gemm {e_gemm} vs radix2 {e_radix}");
+        assert!(e_gemm < 1e-5);
+    }
+
+    #[test]
+    fn parsevals_theorem_holds() {
+        let n = 256;
+        let x = signal(n, 5);
+        let (s, _) = gemm_fft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr() as f64).sum();
+        let freq_energy: f64 = s.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-5);
+    }
+
+    #[test]
+    fn dft_matrix_is_symmetric_unitary_scaled() {
+        let f = dft_matrix(8);
+        // F is symmetric: F[k][j] == F[j][k].
+        for k in 0..8 {
+            for j in 0..8 {
+                let a = f.get(k, j);
+                let b = f.get(j, k);
+                assert!((a.re - b.re).abs() < 1e-7 && (a.im - b.im).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Fig. 6: end-to-end FFT performance — M3XU vs cuFFT vs TF32-tcFFT.
+//!
+//! All three engines execute a staged Stockham-style FFT over HBM-resident
+//! data; what differs is who does the butterfly math and how many
+//! global-memory passes the stage fusion needs:
+//!
+//! * **cuFFT** (SIMT): fuses up to 4096 points (12 bits) per shared-memory
+//!   pass; the strided global transposes between passes degrade its
+//!   achieved bandwidth as N grows (a well-documented cuFFT behaviour).
+//! * **M3XU FFT**: radix-16 stages are complex GEMMs on the M3XU's FP32C
+//!   mode (Corollary 3 throughput); three radix-16 stages fuse per
+//!   shared-memory pass, and the GEMM formulation streams contiguously
+//!   (high bandwidth efficiency).
+//! * **tcFFT extended to TF32** (§VI-C1's fair-comparison baseline): the
+//!   same GEMM structure, but each complex GEMM costs 3 TF32 passes and
+//!   streams the split term matrices — it loses the memory-efficiency
+//!   advantage, which is why the paper finds it "does not improve
+//!   performance over cuFFT".
+
+use m3xu_gpu::GpuConfig;
+use serde::Serialize;
+
+/// The Fig. 6 size sweep: 2^8 … 2^24 points.
+pub fn fig6_sizes() -> Vec<usize> {
+    (8..=24).step_by(2).map(|b| 1usize << b).collect()
+}
+
+/// One FFT engine's modelled execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FftEngine {
+    /// cuFFT on CUDA cores (the Fig. 6 baseline).
+    CuFft,
+    /// tcFFT extended to TF32 tensor cores.
+    TcFftTf32,
+    /// The M3XU FP32C GEMM formulation.
+    M3xu,
+}
+
+/// Total points per workload: each Fig. 6 size runs as a batch of
+/// transforms totalling 2^26 points (throughput evaluation, as in tcFFT),
+/// so kernel-launch costs amortise identically across engines.
+pub const BATCH_POINTS: f64 = (1u64 << 26) as f64;
+
+/// Bytes of one complex-to-complex pass over the whole batch.
+fn pass_bytes() -> f64 {
+    2.0 * 8.0 * BATCH_POINTS
+}
+
+/// Modelled wall-clock seconds for a batch of length-`n` C2C FFTs
+/// totalling [`BATCH_POINTS`] points.
+pub fn fft_time(engine: FftEngine, n: usize, gpu: &GpuConfig) -> f64 {
+    let log2n = (n as f64).log2();
+    let hbm = gpu.hbm_gbs * 1e9;
+    match engine {
+        FftEngine::CuFft => {
+            // 4096-point shared-memory fusion; strided inter-pass
+            // transposes cost bandwidth efficiency as N grows.
+            let passes = (log2n / 12.0).ceil();
+            // Strided inter-pass transposes and twiddle re-reads degrade
+            // cuFFT's achieved bandwidth as transform length grows.
+            let eff = (0.62 - 0.012 * (log2n - 8.0)).max(0.40);
+            let mem = passes * pass_bytes() / (hbm * eff);
+            let flops = 5.0 * BATCH_POINTS * log2n;
+            let compute = flops / (gpu.at_experiment_clock(gpu.fp32_simt_tflops) * 1e12 * 0.6);
+            mem.max(compute) + passes * gpu.launch_overhead_s
+        }
+        FftEngine::M3xu => {
+            // Radix-16 GEMM stages; 3 stages (4096 points) fuse per pass.
+            let stages = (log2n / 4.0).ceil();
+            let passes = (stages / 3.0).ceil();
+            // 8 real flops per complex MAC x 16 MACs per point per stage.
+            let flops = 8.0 * 16.0 * BATCH_POINTS * stages;
+            let rate = gpu.at_experiment_clock(gpu.m3xu_fp32c_real_tflops()) * 1e12 * 0.94;
+            let compute = flops / rate;
+            // The GEMM formulation streams contiguous fragments.
+            let mem = passes * pass_bytes() / (hbm * 0.85);
+            mem.max(compute) + passes * gpu.launch_overhead_s
+        }
+        FftEngine::TcFftTf32 => {
+            // Same GEMM structure, 3 TF32 passes per complex GEMM (12 real
+            // GEMMs), plus split-term streaming (1.8x the bytes).
+            let stages = (log2n / 4.0).ceil();
+            let passes = (stages / 3.0).ceil();
+            let flops = 3.0 * 8.0 * 16.0 * BATCH_POINTS * stages;
+            let rate = gpu.at_experiment_clock(gpu.tf32_tc_tflops) * 1e12 * 0.90;
+            let compute = flops / rate;
+            let mem = passes * pass_bytes() * 1.8 / (hbm * 0.85);
+            // Decoupling pass over the data.
+            let decouple = pass_bytes() / hbm;
+            mem.max(compute) + decouple + (passes + 1.0) * gpu.launch_overhead_s
+        }
+    }
+}
+
+/// One Fig. 6 point: speedups of each engine over cuFFT.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Point {
+    /// FFT length.
+    pub n: usize,
+    /// tcFFT-TF32 speedup over cuFFT.
+    pub tcfft_tf32: f64,
+    /// M3XU speedup over cuFFT.
+    pub m3xu: f64,
+}
+
+/// The full Fig. 6 sweep.
+pub fn figure6(gpu: &GpuConfig) -> Vec<Fig6Point> {
+    fig6_sizes()
+        .into_iter()
+        .map(|n| {
+            let base = fft_time(FftEngine::CuFft, n, gpu);
+            Fig6Point {
+                n,
+                tcfft_tf32: base / fft_time(FftEngine::TcFftTf32, n, gpu),
+                m3xu: base / fft_time(FftEngine::M3xu, n, gpu),
+            }
+        })
+        .collect()
+}
+
+/// Render Fig. 6 as aligned text.
+pub fn render_figure6(points: &[Fig6Point]) -> String {
+    let mut out = format!("{:>10} {:>12} {:>12}\n", "N", "tcFFT-TF32", "M3XU");
+    for p in points {
+        out.push_str(&format!("{:>10} {:>12.2} {:>12.2}\n", p.n, p.tcfft_tf32, p.m3xu));
+    }
+    let mean: f64 = points.iter().map(|p| p.m3xu).sum::<f64>() / points.len() as f64;
+    let max = points.iter().map(|p| p.m3xu).fold(f64::MIN, f64::max);
+    out.push_str(&format!("M3XU mean {mean:.2}x, max {max:.2}x over cuFFT\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_40gb()
+    }
+
+    /// Fig. 6 headline: M3XU up to ~1.99x and ~1.52x average over cuFFT.
+    #[test]
+    fn m3xu_fft_headline() {
+        let f = figure6(&gpu());
+        let mean: f64 = f.iter().map(|p| p.m3xu).sum::<f64>() / f.len() as f64;
+        let max = f.iter().map(|p| p.m3xu).fold(f64::MIN, f64::max);
+        assert!((1.3..1.8).contains(&mean), "mean = {mean}");
+        assert!((1.7..2.1).contains(&max), "max = {max}");
+    }
+
+    /// Fig. 6: tcFFT-TF32 does not improve over cuFFT.
+    #[test]
+    fn tcfft_tf32_no_improvement() {
+        let f = figure6(&gpu());
+        for p in &f {
+            assert!(p.tcfft_tf32 < 1.15, "tcFFT-TF32 at n={}: {}", p.n, p.tcfft_tf32);
+        }
+    }
+
+    /// Speedup grows with size (memory-pass advantage dominates at scale).
+    #[test]
+    fn m3xu_speedup_grows_with_n() {
+        let f = figure6(&gpu());
+        assert!(f.last().unwrap().m3xu > f.first().unwrap().m3xu);
+    }
+
+    #[test]
+    fn longer_transforms_cost_more_per_point() {
+        // Fixed total points: longer transforms need more passes/stages.
+        let g = gpu();
+        let t1 = fft_time(FftEngine::CuFft, 1 << 12, &g);
+        let t2 = fft_time(FftEngine::CuFft, 1 << 24, &g);
+        assert!(t2 > t1 * 1.5, "t(2^24)={t2} vs t(2^12)={t1}");
+    }
+
+    #[test]
+    fn render_mentions_all_sizes() {
+        let g = gpu();
+        let txt = render_figure6(&figure6(&g));
+        assert!(txt.contains("16777216")); // 2^24
+        assert!(txt.contains("256"));
+    }
+}

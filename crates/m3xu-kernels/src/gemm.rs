@@ -1,0 +1,335 @@
+//! Tiled GEMM driver over the functional M3XU.
+//!
+//! A CUTLASS-style hierarchical GEMM: the output splits into threadblock
+//! tiles, each tile's `K` loop issues fragment-shaped MMA instructions to
+//! an [`Mxu`], and the epilogue writes back. Output tiles are disjoint, so
+//! the tile grid shards across CPU threads with `crossbeam::scope` — no
+//! locks on the hot path, matching the data-parallel execution the real
+//! kernels have.
+//!
+//! Every precision mode routes through the same driver, differing only in
+//! the MMA issued per fragment — exactly the paper's point that "the
+//! programming model … remain[s] the same as the existing Tensor Cores".
+
+use crossbeam::thread;
+use m3xu_fp::complex::Complex;
+use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::mma::{MmaShape, MmaStats};
+use m3xu_mxu::modes::MxuMode;
+use m3xu_mxu::unit::{Mxu, MxuConfig};
+
+/// Which GEMM engine/precision the driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmPrecision {
+    /// M3XU true FP32 (bit-exact, 2-step MMAs).
+    M3xuFp32,
+    /// TF32 Tensor-Core mode (precision-lossy baseline).
+    Tf32,
+    /// FP16 inputs (values quantised at the buffers).
+    Fp16,
+    /// BF16 inputs.
+    Bf16,
+}
+
+/// Per-thread partial result: owned output row-stripes plus counters.
+type StripeResult<T> = (Vec<(usize, Matrix<T>)>, MmaStats);
+
+/// Result of a tiled GEMM: the output matrix plus MMA statistics.
+pub struct GemmResult<T> {
+    /// `D = A·B + C`.
+    pub d: Matrix<T>,
+    /// Aggregated MMA statistics across all tiles and threads.
+    pub stats: MmaStats,
+}
+
+/// Number of worker threads the drivers use (bounded to keep test runs
+/// snappy on small machines).
+fn workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode).
+///
+/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`. Any sizes are accepted;
+/// edges are zero-padded into fragments exactly like predicated loads.
+pub fn gemm_f32(
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: &Matrix<f32>,
+) -> GemmResult<f32> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+
+    let mode = match precision {
+        GemmPrecision::M3xuFp32 => MxuMode::M3xuFp32,
+        GemmPrecision::Tf32 => MxuMode::Tf32,
+        GemmPrecision::Fp16 => MxuMode::Fp16,
+        GemmPrecision::Bf16 => MxuMode::Bf16,
+    };
+    let frag = MmaShape::BASELINE_FP16.for_mode(mode);
+
+    let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
+    let mut d = Matrix::<f32>::zeros(m, n);
+    let mut total = MmaStats::default();
+
+    // Shard output row-stripes across threads; each thread owns a disjoint
+    // set of output rows, so the writes below never alias.
+    let nw = workers().min(row_tiles.len().max(1));
+    let chunks: Vec<&[usize]> =
+        row_tiles.chunks(row_tiles.len().div_ceil(nw.max(1)).max(1)).collect();
+
+    let results: Vec<StripeResult<f32>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                s.spawn(move |_| {
+                    let mut mxu = Mxu::new(MxuConfig::default());
+                    let mut out = Vec::new();
+                    for &i0 in chunk.iter() {
+                        let mut stripe = Matrix::<f32>::zeros(frag.m, n);
+                        for j0 in (0..n).step_by(frag.n) {
+                            // Accumulate over K in fragment steps.
+                            let mut acc = c.tile(i0, j0, frag.m, frag.n);
+                            for k0 in (0..k).step_by(frag.k) {
+                                let at = a.tile(i0, k0, frag.m, frag.k);
+                                let bt = b.tile(k0, j0, frag.k, frag.n);
+                                acc = match precision {
+                                    GemmPrecision::M3xuFp32 => mxu.mma_fp32(&at, &bt, &acc),
+                                    GemmPrecision::Tf32 => mxu.mma_tf32(&at, &bt, &acc),
+                                    GemmPrecision::Fp16 => mxu.mma_fp16(&at, &bt, &acc),
+                                    GemmPrecision::Bf16 => mxu.mma_bf16(&at, &bt, &acc),
+                                };
+                            }
+                            stripe.store_tile(0, j0, &acc);
+                        }
+                        out.push((i0, stripe));
+                    }
+                    let stats = mxu.counters.for_mode(mode);
+                    (out, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    for (stripes, stats) in results {
+        total.merge(&stats);
+        for (i0, stripe) in stripes {
+            d.store_tile(i0, 0, &stripe);
+        }
+    }
+    GemmResult { d, stats: total }
+}
+
+/// Tiled FP32C GEMM on the M3XU's four-step complex mode.
+pub fn cgemm_c32(
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &Matrix<Complex<f32>>,
+) -> GemmResult<Complex<f32>> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+    let frag = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32c);
+
+    let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
+    let mut d = Matrix::<Complex<f32>>::zeros(m, n);
+    let mut total = MmaStats::default();
+    let nw = workers().min(row_tiles.len().max(1));
+    let chunks: Vec<&[usize]> =
+        row_tiles.chunks(row_tiles.len().div_ceil(nw.max(1)).max(1)).collect();
+
+    let results: Vec<StripeResult<Complex<f32>>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                s.spawn(move |_| {
+                    let mut mxu = Mxu::new(MxuConfig::default());
+                    let mut out = Vec::new();
+                    for &i0 in chunk.iter() {
+                        let mut stripe = Matrix::<Complex<f32>>::zeros(frag.m, n);
+                        for j0 in (0..n).step_by(frag.n) {
+                            let mut acc = c.tile(i0, j0, frag.m, frag.n);
+                            for k0 in (0..k).step_by(frag.k) {
+                                let at = a.tile(i0, k0, frag.m, frag.k);
+                                let bt = b.tile(k0, j0, frag.k, frag.n);
+                                acc = mxu.mma_fp32c(&at, &bt, &acc);
+                            }
+                            stripe.store_tile(0, j0, &acc);
+                        }
+                        out.push((i0, stripe));
+                    }
+                    (out, mxu.counters.for_mode(MxuMode::M3xuFp32c))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    for (stripes, stats) in results {
+        total.merge(&stats);
+        for (i0, stripe) in stripes {
+            d.store_tile(i0, 0, &stripe);
+        }
+    }
+    GemmResult { d, stats: total }
+}
+
+/// Convenience: `A·B` with a zero C.
+pub fn matmul_f32(precision: GemmPrecision, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    let c = Matrix::zeros(a.rows(), b.cols());
+    gemm_f32(precision, a, b, &c).d
+}
+
+/// Convenience: complex `A·B` with a zero C.
+pub fn cmatmul_c32(a: &Matrix<Complex<f32>>, b: &Matrix<Complex<f32>>) -> Matrix<Complex<f32>> {
+    let c = Matrix::zeros(a.rows(), b.cols());
+    cgemm_c32(a, b, &c).d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3xu_fp::ulp::ErrorStats;
+
+    /// Per-fragment exact-accumulation reference with the same K-chunking
+    /// order as the driver (round once per fragment).
+    fn fragment_reference(
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+        frag_k: usize,
+    ) -> Matrix<f32> {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            let mut acc = c.get(i, j);
+            for k0 in (0..a.cols()).step_by(frag_k) {
+                let mut kul = m3xu_fp::Kulisch::new();
+                kul.add_f64(acc as f64);
+                for kk in k0..(k0 + frag_k).min(a.cols()) {
+                    kul.add_product_f32(a.get(i, kk), b.get(kk, j));
+                }
+                acc = kul.to_f32();
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn m3xu_gemm_bit_exact_vs_fragment_reference() {
+        let a = Matrix::<f32>::random(37, 19, 1); // awkward sizes: padding paths
+        let b = Matrix::<f32>::random(19, 23, 2);
+        let c = Matrix::<f32>::random(37, 23, 3);
+        let r = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        let expect = fragment_reference(&a, &b, &c, 2);
+        assert_eq!(r.d, expect);
+    }
+
+    #[test]
+    fn m3xu_gemm_matches_simt_within_rounding() {
+        let a = Matrix::<f32>::random(64, 64, 4);
+        let b = Matrix::<f32>::random(64, 64, 5);
+        let c = Matrix::<f32>::zeros(64, 64);
+        let m3xu = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c).d;
+        let gold = Matrix::reference_gemm_f64(&a, &b, &c);
+        // One rounding per 2-wide fragment: the absolute error stays within
+        // a few units of the dot product's own rounding scale. (Raw ULP
+        // distance is meaningless near cancellation-induced zeros.)
+        let scale = 64.0f32.sqrt() * f32::EPSILON; // ~||row|| * eps
+        for (x, g) in m3xu.as_slice().iter().zip(gold.as_slice()) {
+            assert!((x - g).abs() <= 8.0 * scale, "{x} vs {g}");
+        }
+        let stats = ErrorStats::compare_f32(m3xu.as_slice(), gold.as_slice());
+        assert!(stats.mean_ulp < 16.0, "mean ulp = {}", stats.mean_ulp);
+    }
+
+    #[test]
+    fn tf32_gemm_is_visibly_less_accurate() {
+        let a = Matrix::<f32>::random(48, 48, 6);
+        let b = Matrix::<f32>::random(48, 48, 7);
+        let c = Matrix::<f32>::zeros(48, 48);
+        let gold = Matrix::reference_gemm_f64(&a, &b, &c);
+        let m3xu = ErrorStats::compare_f32(
+            gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c).d.as_slice(),
+            gold.as_slice(),
+        );
+        let tf32 = ErrorStats::compare_f32(
+            gemm_f32(GemmPrecision::Tf32, &a, &b, &c).d.as_slice(),
+            gold.as_slice(),
+        );
+        assert!(
+            tf32.mean_ulp > 50.0 * (m3xu.mean_ulp + 1.0),
+            "tf32 mean ulp {} vs m3xu {}",
+            tf32.mean_ulp,
+            m3xu.mean_ulp
+        );
+    }
+
+    #[test]
+    fn instruction_count_follows_rule_b() {
+        // §V-B1(b): FP32 GEMM of the same shape issues 2x the MMA count of
+        // ... in our model: (m/8)(n/8)(k/2) fragments, each a 2-step MMA.
+        let a = Matrix::<f32>::random(16, 8, 8);
+        let b = Matrix::<f32>::random(8, 16, 9);
+        let c = Matrix::<f32>::zeros(16, 16);
+        let r = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_eq!(r.stats.instructions, (16 / 8) * (16 / 8) * (8 / 2));
+        assert_eq!(r.stats.steps, r.stats.instructions * 2);
+    }
+
+    #[test]
+    fn cgemm_matches_f64_reference_closely() {
+        let a = Matrix::random_c32(24, 16, 10);
+        let b = Matrix::random_c32(16, 24, 11);
+        let c = Matrix::random_c32(24, 24, 12);
+        let r = cgemm_c32(&a, &b, &c);
+        let gold = Matrix::reference_cgemm_f64(&a, &b, &c);
+        for i in 0..24 {
+            for j in 0..24 {
+                let d = r.d.get(i, j);
+                let g = gold.get(i, j);
+                assert!((d.re - g.re).abs() <= 4.0 * f32::EPSILON * g.re.abs().max(1.0));
+                assert!((d.im - g.im).abs() <= 4.0 * f32::EPSILON * g.im.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn cgemm_identity_roundtrip() {
+        let a = Matrix::random_c32(16, 16, 13);
+        let i = Matrix::identity_c32(16);
+        let d = cmatmul_c32(&a, &i);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn gemm_identity_roundtrip() {
+        let a = Matrix::<f32>::random(32, 32, 14);
+        let i = Matrix::<f32>::identity(32);
+        assert_eq!(matmul_f32(GemmPrecision::M3xuFp32, &a, &i), a);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // Determinism across thread counts: tiles are independent, so the
+        // result cannot depend on scheduling.
+        let a = Matrix::<f32>::random(96, 40, 15);
+        let b = Matrix::<f32>::random(40, 72, 16);
+        let c = Matrix::<f32>::random(96, 72, 17);
+        let r1 = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c).d;
+        let r2 = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c).d;
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_k_returns_c() {
+        let a = Matrix::<f32>::zeros(8, 0);
+        let b = Matrix::<f32>::zeros(0, 8);
+        let c = Matrix::<f32>::random(8, 8, 18);
+        let r = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_eq!(r.d, c);
+    }
+}

@@ -1,0 +1,248 @@
+//! GEMM-based K-nearest-neighbour search — the paper's fourth case study
+//! (§VI-C4, Fig. 9).
+//!
+//! kNN-CUDA's formulation: squared Euclidean distances decompose as
+//! `‖q − r‖² = ‖q‖² + ‖r‖² − 2 q·r`, so the dominant cost is the
+//! `queries x refs` inner-product **SGEMM** (`cublas_sgemm` in the
+//! baseline, the M3XU FP32 mode here), followed by a top-K selection.
+//! The paper's point: FP16 tensor cores would corrupt the distances for
+//! small-magnitude data, while M3XU accelerates the GEMM with full FP32
+//! fidelity.
+
+use crate::gemm::{matmul_f32, GemmPrecision};
+use m3xu_gpu::GpuConfig;
+use m3xu_mxu::matrix::Matrix;
+use serde::Serialize;
+
+/// The result of a KNN query set: for each query, the indices and squared
+/// distances of its `k` nearest reference points (ascending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnResult {
+    /// `queries x k` neighbour indices.
+    pub indices: Vec<Vec<usize>>,
+    /// `queries x k` squared distances.
+    pub distances: Vec<Vec<f32>>,
+}
+
+/// GEMM-based KNN on the chosen engine.
+///
+/// `refs` is `n_refs x dim`, `queries` is `n_queries x dim`.
+pub fn knn_gemm(
+    precision: GemmPrecision,
+    refs: &Matrix<f32>,
+    queries: &Matrix<f32>,
+    k: usize,
+) -> KnnResult {
+    assert_eq!(refs.cols(), queries.cols(), "dimension mismatch");
+    assert!(k <= refs.rows(), "k larger than reference set");
+    let dim = refs.cols();
+    let _ = dim;
+    // Inner products: Q (nq x d) x R^T (d x nr) — the heavy GEMM.
+    let qr = matmul_f32(precision, queries, &refs.transpose());
+    // Squared norms.
+    let rn: Vec<f32> = (0..refs.rows())
+        .map(|i| refs.row(i).iter().map(|&v| v * v).sum())
+        .collect();
+    let qn: Vec<f32> = (0..queries.rows())
+        .map(|i| queries.row(i).iter().map(|&v| v * v).sum())
+        .collect();
+
+    let mut indices = Vec::with_capacity(queries.rows());
+    let mut distances = Vec::with_capacity(queries.rows());
+    #[allow(clippy::needless_range_loop)] // qi indexes qn and the GEMM rows
+    for qi in 0..queries.rows() {
+        // d²(q, r) = ‖q‖² + ‖r‖² − 2 q·r (clamped at 0 against rounding).
+        let mut ds: Vec<(f32, usize)> = (0..refs.rows())
+            .map(|ri| ((qn[qi] + rn[ri] - 2.0 * qr.get(qi, ri)).max(0.0), ri))
+            .collect();
+        // Partial top-K selection.
+        ds.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut top: Vec<(f32, usize)> = ds[..k].to_vec();
+        top.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        indices.push(top.iter().map(|&(_, i)| i).collect());
+        distances.push(top.iter().map(|&(d, _)| d).collect());
+    }
+    KnnResult { indices, distances }
+}
+
+/// Brute-force reference KNN (per-pair scalar distances in f64).
+pub fn knn_reference(refs: &Matrix<f32>, queries: &Matrix<f32>, k: usize) -> KnnResult {
+    let mut indices = Vec::with_capacity(queries.rows());
+    let mut distances = Vec::with_capacity(queries.rows());
+    for qi in 0..queries.rows() {
+        let mut ds: Vec<(f32, usize)> = (0..refs.rows())
+            .map(|ri| {
+                let d: f64 = refs
+                    .row(ri)
+                    .iter()
+                    .zip(queries.row(qi))
+                    .map(|(&r, &q)| (r as f64 - q as f64).powi(2))
+                    .sum();
+                (d as f32, ri)
+            })
+            .collect();
+        ds.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        indices.push(ds[..k].iter().map(|&(_, i)| i).collect());
+        distances.push(ds[..k].iter().map(|&(d, _)| d).collect());
+    }
+    KnnResult { indices, distances }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 performance model
+// ---------------------------------------------------------------------------
+
+/// Per-element top-K selection cost on the GPU (bitonic partial sort),
+/// seconds per candidate distance.
+const SELECT_S_PER_ELEM: f64 = 0.35e-9;
+
+/// Modelled KNN wall-clock for `n` refs = `n` queries at dimension `d`.
+fn knn_time(n: usize, d: usize, gemm_tflops: f64, gpu: &GpuConfig) -> f64 {
+    let gemm_flops = 2.0 * (n as f64) * (n as f64) * d as f64;
+    let gemm_s = gemm_flops / (gemm_tflops * 1e12);
+    let norms_s = 2.0 * (n as f64) * d as f64 / (gpu.at_experiment_clock(gpu.fp32_simt_tflops) * 1e12);
+    let select_s = (n as f64) * (n as f64) * SELECT_S_PER_ELEM;
+    gemm_s + norms_s + select_s + 2.0 * gpu.launch_overhead_s
+}
+
+/// One Fig. 9 heatmap cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Cell {
+    /// Reference/query point count.
+    pub n: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// M3XU speedup over the `cublas_sgemm` SIMT baseline.
+    pub speedup: f64,
+}
+
+/// The Fig. 9 sweep: n in 2048…65536, dim in 512…4096, K = 16.
+pub fn figure9(gpu: &GpuConfig) -> Vec<Fig9Cell> {
+    let simt = gpu.at_experiment_clock(gpu.fp32_simt_tflops) * 0.96;
+    let m3xu = gpu.at_experiment_clock(gpu.m3xu_fp32_tflops()) * 0.94;
+    let mut out = Vec::new();
+    for &n in &[2048usize, 8192, 16384, 65536] {
+        for &dim in &[512usize, 1024, 2048, 4096] {
+            let t_base = knn_time(n, dim, simt, gpu);
+            let t_m3xu = knn_time(n, dim, m3xu, gpu);
+            out.push(Fig9Cell { n, dim, speedup: t_base / t_m3xu });
+        }
+    }
+    out
+}
+
+/// Render Fig. 9 as a text heatmap.
+pub fn render_figure9(cells: &[Fig9Cell]) -> String {
+    let ns: Vec<usize> = {
+        let mut v: Vec<usize> = cells.iter().map(|c| c.n).collect();
+        v.dedup();
+        v
+    };
+    let dims: Vec<usize> = {
+        let mut v: Vec<usize> = cells.iter().map(|c| c.dim).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut out = format!("{:>8}", "n \\ dim");
+    for d in &dims {
+        out.push_str(&format!("{d:>8}"));
+    }
+    out.push('\n');
+    for n in ns {
+        out.push_str(&format!("{n:>8}"));
+        for d in &dims {
+            let c = cells.iter().find(|c| c.n == n && c.dim == *d).unwrap();
+            out.push_str(&format!("{:>8.2}", c.speedup));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m3xu_knn_matches_reference_neighbours() {
+        let refs = Matrix::<f32>::random(64, 8, 1);
+        let queries = Matrix::<f32>::random(10, 8, 2);
+        let got = knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 5);
+        let gold = knn_reference(&refs, &queries, 5);
+        assert_eq!(got.indices, gold.indices);
+    }
+
+    #[test]
+    fn distances_are_sorted_and_nonnegative() {
+        let refs = Matrix::<f32>::random(40, 6, 3);
+        let queries = Matrix::<f32>::random(7, 6, 4);
+        let r = knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 8);
+        for ds in &r.distances {
+            assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+            assert!(ds.iter().all(|&d| d >= 0.0));
+        }
+    }
+
+    #[test]
+    fn query_in_reference_set_finds_itself() {
+        let refs = Matrix::<f32>::random(32, 5, 5);
+        let q = Matrix::from_fn(1, 5, |_, j| refs.get(17, j));
+        let r = knn_gemm(GemmPrecision::M3xuFp32, &refs, &q, 1);
+        assert_eq!(r.indices[0][0], 17);
+        assert!(r.distances[0][0] < 1e-9);
+    }
+
+    #[test]
+    fn fp16_corrupts_small_magnitude_data_where_m3xu_does_not() {
+        // §VI-C4: "the reduced precision will produce meaningless
+        // computation results for input data with extremely small values."
+        // Deep in FP16's subnormal range (min subnormal ~6e-8): quantised
+        // inputs keep only a couple of mantissa bits.
+        let scale = 2.0e-7f32;
+        let mut refs = Matrix::<f32>::random(48, 16, 6);
+        for v in refs.as_mut_slice() {
+            *v *= scale;
+        }
+        let mut queries = Matrix::<f32>::random(8, 16, 7);
+        for v in queries.as_mut_slice() {
+            *v *= scale;
+        }
+        let gold = knn_reference(&refs, &queries, 4);
+        let m3xu = knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 4);
+        assert_eq!(m3xu.indices, gold.indices, "M3XU must stay correct");
+        let fp16 = knn_gemm(GemmPrecision::Fp16, &refs, &queries, 4);
+        // FP16 underflows the inner products (values ~1e-12): neighbours
+        // are garbage for at least some queries.
+        let wrong = fp16
+            .indices
+            .iter()
+            .zip(&gold.indices)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(wrong > 0, "expected FP16 to corrupt at least one query");
+    }
+
+    #[test]
+    fn figure9_headline() {
+        let g = GpuConfig::a100_40gb();
+        let cells = figure9(&g);
+        let max = cells.iter().map(|c| c.speedup).fold(f64::MIN, f64::max);
+        assert!((1.5..2.2).contains(&max), "max speedup = {max}");
+        // Speedup grows with dimension at fixed n (GEMM share grows).
+        for &n in &[2048usize, 65536] {
+            let row: Vec<f64> = cells.iter().filter(|c| c.n == n).map(|c| c.speedup).collect();
+            assert!(row.windows(2).all(|w| w[1] >= w[0] * 0.999), "row not rising: {row:?}");
+        }
+        // All speedups above 1 (GEMM always helps).
+        assert!(cells.iter().all(|c| c.speedup > 1.0));
+    }
+
+    #[test]
+    fn render_shape() {
+        let g = GpuConfig::a100_40gb();
+        let txt = render_figure9(&figure9(&g));
+        assert!(txt.contains("65536"));
+        assert!(txt.contains("4096"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # m3xu-kernels — application substrates of the M3XU reproduction
+//!
+//! Everything the paper's evaluation runs *on top of* the MXU:
+//!
+//! * [`gemm`] — CUTLASS-style tiled FP32 GEMM / FP32C CGEMM drivers over
+//!   the functional M3XU, parallelised across output tiles;
+//! * [`conv2d`] — im2col convolution (the Fig. 7 CNNs' compute core);
+//! * [`fft`] — reference DFT, radix-2 FFT, the tcFFT-style GEMM
+//!   formulation on FP32C, and the Fig. 6 performance model;
+//! * [`dnn`] — CNN layer inventories + the Fig. 7 training-latency model,
+//!   and a real MLP trained end-to-end on M3XU GEMMs;
+//! * [`mrf`] — extended-phase-graph MRF dictionary generation with
+//!   batched complex-GEMM RF mixing, and the Fig. 8 model;
+//! * [`knn`] — GEMM-formulated K-nearest neighbours and the Fig. 9
+//!   heatmap model;
+//! * [`poly`] — exact integer polynomial multiplication via the M3XU FFT
+//!   (the introduction's security/NTT-style workload);
+//! * [`quantum`] — quantum-circuit state-vector simulation on FP32C
+//!   GEMMs (the introduction's quantum workload);
+//! * [`solver`] — conjugate-gradient solves whose convergence separates
+//!   true FP32 from TF32 (the introduction's scientific workloads);
+//! * [`conv_grad`] — convolution backward passes (dgrad/wgrad), the GEMMs
+//!   behind §VI-C2's 3.6x backward speedup.
+
+#![warn(missing_docs)]
+
+pub mod conv2d;
+pub mod conv_grad;
+pub mod dnn;
+pub mod fft;
+pub mod gemm;
+pub mod knn;
+pub mod mrf;
+pub mod poly;
+pub mod quantum;
+pub mod solver;
+
+pub use gemm::{cgemm_c32, cmatmul_c32, gemm_f32, matmul_f32, GemmPrecision, GemmResult};

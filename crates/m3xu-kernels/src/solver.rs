@@ -1,0 +1,191 @@
+//! Iterative linear solvers on the M3XU — the paper's scientific-computing
+//! motivation ("scientific applications … are sensitive to numerical
+//! errors and most existing implementations must rely on IEEE 754
+//! standard single-precision floating-point numbers to function
+//! correctly").
+//!
+//! Conjugate gradients stress exactly what separates M3XU from the lossy
+//! alternatives: every iteration's matrix-vector product feeds residual
+//! recurrences whose orthogonality degrades with arithmetic error. On
+//! ill-conditioned systems the TF32 path stalls above the achievable
+//! residual while the M3XU path matches true-FP32 convergence.
+
+use crate::gemm::{gemm_f32, GemmPrecision};
+use m3xu_mxu::matrix::Matrix;
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The solution estimate.
+    pub x: Vec<f32>,
+    /// Relative residual ‖b − Ax‖/‖b‖ per iteration (index 0 = initial).
+    pub residual_history: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// True iff the tolerance was reached.
+    pub converged: bool,
+}
+
+fn norm(v: &[f32]) -> f64 {
+    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Matrix-vector product `A·v` on the chosen GEMM engine.
+fn matvec(precision: GemmPrecision, a: &Matrix<f32>, v: &[f32]) -> Vec<f32> {
+    let vm = Matrix::from_vec(v.len(), 1, v.to_vec());
+    let c = Matrix::zeros(a.rows(), 1);
+    let r = gemm_f32(precision, a, &vm, &c);
+    (0..a.rows()).map(|i| r.d.get(i, 0)).collect()
+}
+
+/// Conjugate gradients for symmetric positive-definite `A x = b`, with the
+/// matrix-vector products on `precision` (scalar recurrences in FP32, as a
+/// GPU implementation would keep them on CUDA cores).
+pub fn conjugate_gradient(
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &[f32],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let n = b.len();
+    assert_eq!(a.rows(), n);
+    assert_eq!(a.cols(), n);
+    let mut x = vec![0.0f32; n];
+    let mut r: Vec<f32> = b.to_vec();
+    let mut p = r.clone();
+    let b_norm = norm(b).max(1e-300);
+    let mut history = vec![norm(&r) / b_norm];
+    let mut rs_old = dot(&r, &r);
+
+    for it in 0..max_iter {
+        if history[it] < tol {
+            return CgResult { x, residual_history: history, iterations: it, converged: true };
+        }
+        let ap = matvec(precision, a, &p);
+        let p_ap = dot(&p, &ap);
+        if p_ap <= 0.0 || !p_ap.is_finite() {
+            // Lost positive-definiteness to arithmetic error.
+            return CgResult { x, residual_history: history, iterations: it, converged: false };
+        }
+        let alpha = (rs_old / p_ap) as f32;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        history.push(rs_new.sqrt() / b_norm);
+        let beta = (rs_new / rs_old) as f32;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    let converged = *history.last().unwrap() < tol;
+    CgResult { x, residual_history: history, iterations: max_iter, converged }
+}
+
+/// A symmetric positive-definite test matrix with condition number ~`cond`:
+/// `A = Q D Qᵀ` approximated by a diagonally-shifted random Gram matrix.
+pub fn spd_matrix(n: usize, cond: f64, seed: u64) -> Matrix<f32> {
+    // Gram matrix G = M Mᵀ / n is SPD; shifting its diagonal sets the
+    // smallest eigenvalue and thus the condition number.
+    let m = Matrix::<f32>::random(n, n, seed);
+    let g = Matrix::reference_gemm_f64(&m, &m.transpose(), &Matrix::zeros(n, n));
+    // Estimate the largest diagonal scale.
+    let max_diag = (0..n).map(|i| g.get(i, i)).fold(0.0f32, f32::max) as f64;
+    let shift = (max_diag / cond) as f32;
+    Matrix::from_fn(n, n, |i, j| {
+        let v = g.get(i, j) / n as f32;
+        if i == j {
+            v + shift
+        } else {
+            v
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity_immediately() {
+        let a = Matrix::<f32>::identity(8);
+        let b = vec![1.0f32; 8];
+        let r = conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-6, 20);
+        assert!(r.converged);
+        assert!(r.iterations <= 2);
+        for &x in &r.x {
+            assert!((x - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn converges_on_well_conditioned_spd() {
+        let n = 24;
+        let a = spd_matrix(n, 10.0, 3);
+        let b: Vec<f32> = (0..n).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.5).collect();
+        let r = conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-6, 200);
+        assert!(r.converged, "residual history tail: {:?}", &r.residual_history[r.residual_history.len().saturating_sub(3)..]);
+        // Verify the solution against a direct residual check in f64.
+        let ax = matvec(GemmPrecision::M3xuFp32, &a, &r.x);
+        let res: f64 = ax.iter().zip(&b).map(|(&y, &t)| ((y - t) as f64).powi(2)).sum::<f64>().sqrt();
+        assert!(res / norm(&b) < 1e-5);
+    }
+
+    #[test]
+    fn residuals_decrease_monotonically_enough() {
+        let n = 16;
+        let a = spd_matrix(n, 50.0, 4);
+        let b = vec![1.0f32; n];
+        let r = conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-8, 100);
+        let first = r.residual_history[0];
+        let last = *r.residual_history.last().unwrap();
+        assert!(last < first * 1e-4, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn m3xu_converges_deeper_than_tf32_on_ill_conditioned_system() {
+        // The §I claim made concrete: CG's *recursive* residual always
+        // shrinks, but with TF32 matvecs the computed solution drifts away
+        // from the true one — the TRUE residual ||b - Ax|| (evaluated with
+        // exact arithmetic) stalls at a floor set by the 10-bit mantissa,
+        // while M3XU tracks genuine FP32 convergence.
+        let n = 32;
+        let a = spd_matrix(n, 1.0e4, 5);
+        let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let iters = 300;
+        let true_residual = |x: &[f32]| -> f64 {
+            let xm = Matrix::from_vec(n, 1, x.to_vec());
+            let ax = Matrix::reference_gemm_f64(&a, &xm, &Matrix::zeros(n, 1));
+            (0..n)
+                .map(|i| ((ax.get(i, 0) - b[i]) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+                / norm(&b)
+        };
+        let m3xu = conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-10, iters);
+        let tf32 = conjugate_gradient(GemmPrecision::Tf32, &a, &b, 1e-10, iters);
+        let (rm, rt) = (true_residual(&m3xu.x), true_residual(&tf32.x));
+        assert!(
+            rm < rt / 10.0,
+            "m3xu true residual {rm:.3e} should be far below tf32 {rt:.3e}"
+        );
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_positive_diag() {
+        let a = spd_matrix(12, 100.0, 6);
+        for i in 0..12 {
+            assert!(a.get(i, i) > 0.0);
+            for j in 0..12 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+}

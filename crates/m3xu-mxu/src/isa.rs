@@ -1,0 +1,320 @@
+//! The M3XU instruction-set extension.
+//!
+//! §V-B: "M3XU's extension of the tensor instruction set does not change
+//! how the software uses the MXU" — the new MMAs look exactly like
+//! existing PTX `mma.sync` instructions with new type suffixes. This
+//! module defines that surface: mnemonic encode/decode (a PTX-style
+//! assembler/disassembler), per-instruction fragment execution, and an
+//! instruction-stream tracer that reproduces the §V-B1 accounting rules.
+
+use crate::matrix::Matrix;
+use crate::mma::{self, MmaShape, MmaStats};
+use crate::modes::MxuMode;
+use m3xu_fp::complex::Complex;
+use std::fmt;
+use std::str::FromStr;
+
+/// One MMA instruction: a mode and a fragment shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmaInstruction {
+    /// The operating mode (determines operand types and step count).
+    pub mode: MxuMode,
+    /// Fragment shape `m x n x k`.
+    pub shape: MmaShape,
+}
+
+impl MmaInstruction {
+    /// The natural instruction for `mode` on a unit whose FP16 shape is
+    /// `fp16_shape`.
+    pub fn for_mode(mode: MxuMode, fp16_shape: MmaShape) -> Self {
+        MmaInstruction { mode, shape: fp16_shape.for_mode(mode) }
+    }
+
+    /// Unit-occupancy cycles (pipelined issue): the mode's step count —
+    /// §V-B1(a)'s "each M3XU FP32 MMA instruction takes 2x the cycles of
+    /// an FP16 Tensor Core MMA".
+    pub fn issue_cycles(&self) -> u64 {
+        self.mode.steps() as u64
+    }
+
+    /// Operand bytes one instruction consumes (A and B fragments).
+    pub fn operand_bytes(&self) -> usize {
+        let per_elem = self.mode.element_bytes();
+        (self.shape.m * self.shape.k + self.shape.k * self.shape.n) * per_elem
+    }
+
+    /// The PTX-style type suffix of the instruction.
+    fn type_suffix(&self) -> &'static str {
+        match self.mode {
+            MxuMode::Fp16 => "f32.f16.f16.f32",
+            MxuMode::Bf16 => "f32.bf16.bf16.f32",
+            MxuMode::Tf32 => "f32.tf32.tf32.f32",
+            MxuMode::M3xuFp32 => "f32.f32.f32.f32",
+            MxuMode::M3xuFp32c => "c32.c32.c32.c32",
+            MxuMode::M3xuFp64 => "f64.f64.f64.f64",
+            MxuMode::M3xuFp64c => "c64.c64.c64.c64",
+        }
+    }
+}
+
+impl fmt::Display for MmaInstruction {
+    /// PTX-style mnemonic, e.g. `mma.sync.aligned.m8n8k2.f32.f32.f32.f32`
+    /// for the M3XU FP32 MMA.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mma.sync.aligned.m{}n{}k{}.{}",
+            self.shape.m,
+            self.shape.n,
+            self.shape.k,
+            self.type_suffix()
+        )
+    }
+}
+
+/// Mnemonic parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Not an `mma.sync.aligned` mnemonic.
+    NotAnMma,
+    /// Shape field malformed.
+    BadShape(String),
+    /// Unknown type suffix.
+    UnknownTypes(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NotAnMma => write!(f, "not an mma.sync.aligned mnemonic"),
+            ParseError::BadShape(s) => write!(f, "bad shape field: {s}"),
+            ParseError::UnknownTypes(s) => write!(f, "unknown type suffix: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl FromStr for MmaInstruction {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s.strip_prefix("mma.sync.aligned.").ok_or(ParseError::NotAnMma)?;
+        let (shape_s, types) = rest.split_once('.').ok_or(ParseError::NotAnMma)?;
+        // Shape: m<M>n<N>k<K>.
+        let parse_shape = || -> Option<MmaShape> {
+            let rest = shape_s.strip_prefix('m')?;
+            let (m, rest) = rest.split_once('n')?;
+            let (n, k) = rest.split_once('k')?;
+            Some(MmaShape::new(m.parse().ok()?, n.parse().ok()?, k.parse().ok()?))
+        };
+        let shape = parse_shape().ok_or_else(|| ParseError::BadShape(shape_s.to_string()))?;
+        let mode = match types {
+            "f32.f16.f16.f32" => MxuMode::Fp16,
+            "f32.bf16.bf16.f32" => MxuMode::Bf16,
+            "f32.tf32.tf32.f32" => MxuMode::Tf32,
+            "f32.f32.f32.f32" => MxuMode::M3xuFp32,
+            "c32.c32.c32.c32" => MxuMode::M3xuFp32c,
+            "f64.f64.f64.f64" => MxuMode::M3xuFp64,
+            "c64.c64.c64.c64" => MxuMode::M3xuFp64c,
+            other => return Err(ParseError::UnknownTypes(other.to_string())),
+        };
+        Ok(MmaInstruction { mode, shape })
+    }
+}
+
+/// Operand fragments for one instruction execution.
+pub enum Fragments<'a> {
+    /// Real FP32-register fragments (FP16/BF16/TF32/M3XU-FP32 modes).
+    Real {
+        /// `m x k` A fragment.
+        a: &'a Matrix<f32>,
+        /// `k x n` B fragment.
+        b: &'a Matrix<f32>,
+        /// `m x n` C fragment.
+        c: &'a Matrix<f32>,
+    },
+    /// FP32C fragments.
+    Complex {
+        /// `m x k` A fragment.
+        a: &'a Matrix<Complex<f32>>,
+        /// `k x n` B fragment.
+        b: &'a Matrix<Complex<f32>>,
+        /// `m x n` C fragment.
+        c: &'a Matrix<Complex<f32>>,
+    },
+}
+
+/// Result of one instruction execution.
+pub enum FragmentResult {
+    /// Real output fragment.
+    Real(Matrix<f32>),
+    /// Complex output fragment.
+    Complex(Matrix<Complex<f32>>),
+}
+
+/// Instruction execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Operand kind doesn't match the instruction's mode.
+    OperandKind,
+    /// Fragment dimensions don't match the instruction shape.
+    Shape,
+    /// FP64 modes need `f64` fragments (not exposed through this enum).
+    UnsupportedHere,
+}
+
+/// Execute one instruction on fragments, with stats accounting.
+pub fn execute(
+    inst: MmaInstruction,
+    frags: Fragments<'_>,
+    stats: &mut MmaStats,
+) -> Result<FragmentResult, ExecError> {
+    match (inst.mode, frags) {
+        (MxuMode::M3xuFp32, Fragments::Real { a, b, c }) => {
+            check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
+            Ok(FragmentResult::Real(mma::mma_fp32(a, b, c, stats)))
+        }
+        (MxuMode::Fp16, Fragments::Real { a, b, c }) => {
+            check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
+            Ok(FragmentResult::Real(mma::mma_narrow(m3xu_fp::format::FP16, a, b, c, stats)))
+        }
+        (MxuMode::Bf16, Fragments::Real { a, b, c }) => {
+            check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
+            Ok(FragmentResult::Real(mma::mma_narrow(m3xu_fp::format::BF16, a, b, c, stats)))
+        }
+        (MxuMode::Tf32, Fragments::Real { a, b, c }) => {
+            check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
+            Ok(FragmentResult::Real(mma::mma_tf32(a, b, c, stats)))
+        }
+        (MxuMode::M3xuFp32c, Fragments::Complex { a, b, c }) => {
+            check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
+            Ok(FragmentResult::Complex(mma::mma_fp32c(a, b, c, stats)))
+        }
+        (MxuMode::M3xuFp64 | MxuMode::M3xuFp64c, _) => Err(ExecError::UnsupportedHere),
+        _ => Err(ExecError::OperandKind),
+    }
+}
+
+fn check_shape(s: MmaShape, m: usize, k: usize, n: usize) -> Result<(), ExecError> {
+    if (s.m, s.k, s.n) == (m, k, n) {
+        Ok(())
+    } else {
+        Err(ExecError::Shape)
+    }
+}
+
+/// A §V-B1-style trace over an instruction stream: the accounting the
+/// paper's emulation framework instruments into CUTLASS.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Instructions, in issue order (mode + shape only).
+    pub instructions: Vec<MmaInstruction>,
+}
+
+impl Trace {
+    /// Record one instruction.
+    pub fn push(&mut self, inst: MmaInstruction) {
+        self.instructions.push(inst);
+    }
+
+    /// Total unit-occupancy cycles (rule a).
+    pub fn issue_cycles(&self) -> u64 {
+        self.instructions.iter().map(|i| i.issue_cycles()).sum()
+    }
+
+    /// Dynamic instruction count (rule b).
+    pub fn count(&self) -> u64 {
+        self.instructions.len() as u64
+    }
+
+    /// Total operand traffic in bytes (rule c).
+    pub fn operand_bytes(&self) -> u64 {
+        self.instructions.iter().map(|i| i.operand_bytes() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_round_trip() {
+        let shapes = MmaShape::BASELINE_FP16;
+        for mode in MxuMode::ALL {
+            let inst = MmaInstruction::for_mode(mode, shapes);
+            let text = inst.to_string();
+            let back: MmaInstruction = text.parse().unwrap();
+            assert_eq!(back, inst, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn known_mnemonics() {
+        let i = MmaInstruction::for_mode(MxuMode::M3xuFp32, MmaShape::BASELINE_FP16);
+        assert_eq!(i.to_string(), "mma.sync.aligned.m8n8k2.f32.f32.f32.f32");
+        let i = MmaInstruction::for_mode(MxuMode::Fp16, MmaShape::BASELINE_FP16);
+        assert_eq!(i.to_string(), "mma.sync.aligned.m8n8k4.f32.f16.f16.f32");
+        let i = MmaInstruction::for_mode(MxuMode::M3xuFp32c, MmaShape::BASELINE_FP16);
+        assert_eq!(i.to_string(), "mma.sync.aligned.m8n8k1.c32.c32.c32.c32");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("add.f32 r0, r1".parse::<MmaInstruction>(), Err(ParseError::NotAnMma));
+        assert!(matches!(
+            "mma.sync.aligned.m8nXk4.f32.f16.f16.f32".parse::<MmaInstruction>(),
+            Err(ParseError::BadShape(_))
+        ));
+        assert!(matches!(
+            "mma.sync.aligned.m8n8k4.f32.int4.int4.f32".parse::<MmaInstruction>(),
+            Err(ParseError::UnknownTypes(_))
+        ));
+    }
+
+    #[test]
+    fn execute_dispatches_and_checks_shapes() {
+        let inst = MmaInstruction::for_mode(MxuMode::M3xuFp32, MmaShape::BASELINE_FP16);
+        let a = Matrix::<f32>::random(8, 2, 1);
+        let b = Matrix::<f32>::random(2, 8, 2);
+        let c = Matrix::<f32>::zeros(8, 8);
+        let mut stats = MmaStats::default();
+        let r = execute(inst, Fragments::Real { a: &a, b: &b, c: &c }, &mut stats).unwrap();
+        match r {
+            FragmentResult::Real(d) => assert_eq!(d.rows(), 8),
+            _ => panic!("wrong result kind"),
+        }
+        assert_eq!(stats.steps, 2);
+        // Wrong shape rejected.
+        let bad = Matrix::<f32>::random(8, 4, 3);
+        let err = execute(inst, Fragments::Real { a: &bad, b: &b, c: &c }, &mut stats);
+        assert!(matches!(err, Err(ExecError::Shape) | Err(ExecError::OperandKind)));
+        // Wrong operand kind rejected.
+        let ca = Matrix::random_c32(8, 1, 4);
+        let cb = Matrix::random_c32(1, 8, 5);
+        let cc = Matrix::<Complex<f32>>::zeros(8, 8);
+        let err = execute(inst, Fragments::Complex { a: &ca, b: &cb, c: &cc }, &mut stats);
+        assert!(matches!(err, Err(ExecError::OperandKind)));
+    }
+
+    #[test]
+    fn trace_reproduces_rule_abc_ratios() {
+        // The §V-B1 rules: an FP32 GEMM of a given shape issues 2x the
+        // instructions of the FP16 GEMM of the same shape, each taking 2x
+        // cycles, moving 2x the bytes in total.
+        let fp16 = MmaInstruction::for_mode(MxuMode::Fp16, MmaShape::BASELINE_FP16);
+        let fp32 = MmaInstruction::for_mode(MxuMode::M3xuFp32, MmaShape::BASELINE_FP16);
+        // Same logical problem: 8x8x8.
+        let mut t16 = Trace::default();
+        for _ in 0..2 {
+            t16.push(fp16); // two k=4 fragments
+        }
+        let mut t32 = Trace::default();
+        for _ in 0..4 {
+            t32.push(fp32); // four k=2 fragments
+        }
+        assert_eq!(t32.count(), 2 * t16.count()); // rule (b)
+        assert_eq!(t32.issue_cycles(), 4 * t16.issue_cycles()); // (a) x (b)
+        assert_eq!(t32.operand_bytes(), 2 * t16.operand_bytes()); // rule (c)
+    }
+}

@@ -1,0 +1,65 @@
+//! # m3xu-mxu — the M3XU multi-mode matrix processing unit
+//!
+//! A faithful functional + cycle model of the paper's contribution: a
+//! Tensor-Core-style MXU whose 12-bit-mantissa dot-product units execute
+//!
+//! * native FP16 / BF16 / TF32 MMAs in one step (the baseline behaviour),
+//! * **true IEEE-754 FP32** MMAs in two steps (§IV-A), and
+//! * **FP32 complex** MMAs in four steps (§IV-B),
+//! * plus the §IV-C FP64 / FP64C extensions,
+//!
+//! with bit-exact results (no TF32-style truncation) and explicit modelling
+//! of the data-assignment stage, the weighted-shift accumulation, and the
+//! pipelined vs non-pipelined variants of Table III.
+//!
+//! ## Structure
+//!
+//! * [`matrix`] — dense row-major matrices and reference GEMMs;
+//! * [`buffer`] — input-buffer entries and operand decode (Fig. 3a wiring);
+//! * [`assign`] — the data-assignment stage's per-step lane schedules;
+//! * [`dpu`] — the dot-product unit's integer multiply/shift/accumulate
+//!   datapath with IEEE special handling;
+//! * [`mma`] — MMA instruction execution and statistics;
+//! * [`modes`] — operating modes and their timing (Corollaries 1–3);
+//! * [`unit`] — the [`Mxu`](unit::Mxu) device with counters, and the
+//!   expensive [`NativeFp32Mxu`](unit::NativeFp32Mxu) reference design.
+//!
+//! ## Example
+//!
+//! ```
+//! use m3xu_mxu::matrix::Matrix;
+//! use m3xu_mxu::unit::{Mxu, MxuConfig};
+//!
+//! let mut mxu = Mxu::new(MxuConfig::default());
+//! // An FP32 fragment: 8x2 times 2x8 (the K dimension halves vs FP16).
+//! let a = Matrix::<f32>::random(8, 2, 1);
+//! let b = Matrix::<f32>::random(2, 8, 2);
+//! let c = Matrix::<f32>::zeros(8, 8);
+//! let d = mxu.mma_fp32(&a, &b, &c);
+//! // Bit-exact: identical to an exact dot product rounded once.
+//! assert_eq!(d.get(0, 0), {
+//!     let mut acc = m3xu_fp::Kulisch::new();
+//!     acc.add_product_f32(a.get(0, 0), b.get(0, 0));
+//!     acc.add_product_f32(a.get(0, 1), b.get(1, 0));
+//!     acc.to_f32()
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod buffer;
+pub mod dpu;
+pub mod generic;
+pub mod isa;
+pub mod matrix;
+pub mod mma;
+pub mod modes;
+pub mod outer;
+pub mod systolic;
+pub mod unit;
+
+pub use matrix::Matrix;
+pub use mma::{MmaShape, MmaStats};
+pub use modes::{MxuMode, PipelineVariant};
+pub use unit::{Mxu, MxuConfig, NativeFp32Mxu};

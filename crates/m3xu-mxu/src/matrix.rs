@@ -1,0 +1,320 @@
+//! Dense row-major matrices — the data container every layer shares.
+//!
+//! Deliberately minimal: contiguous row-major storage, cheap tile views,
+//! and generators for test/bench workloads. Higher-level tiling policy
+//! lives in `m3xu-kernels`.
+
+use m3xu_fp::complex::Complex;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T> Matrix<T> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Wrap an existing row-major buffer. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length != rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// A `rows x cols` matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+
+    /// Element access (debug-checked).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The whole buffer, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The whole buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copy the `rows x cols` tile whose top-left corner is `(r0, c0)`,
+    /// zero-padding where the tile hangs off the matrix edge (exactly what
+    /// a GEMM epilogue's predicated loads do).
+    pub fn tile(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix<T> {
+        Matrix::from_fn(rows, cols, |i, j| {
+            if r0 + i < self.rows && c0 + j < self.cols {
+                self.get(r0 + i, c0 + j)
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    /// Write `tile` back at `(r0, c0)`, clipping at the matrix edge.
+    pub fn store_tile(&mut self, r0: usize, c0: usize, tile: &Matrix<T>) {
+        for i in 0..tile.rows {
+            if r0 + i >= self.rows {
+                break;
+            }
+            for j in 0..tile.cols {
+                if c0 + j >= self.cols {
+                    break;
+                }
+                self.set(r0 + i, c0 + j, tile.get(i, j));
+            }
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+}
+
+impl Matrix<f32> {
+    /// Deterministic pseudo-random matrix in `[-1, 1)` (xorshift; no rand
+    /// dependency so every crate level reproduces identical workloads).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map the top 24 bits onto [-1, 1).
+            ((state >> 40) as f32 / 8_388_608.0) - 1.0
+        })
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Reference FP32 GEMM `D = A·B + C` with sequential FMA accumulation
+    /// over `k` — the bit-exact model of a CUDA-core (SIMT) inner loop.
+    pub fn reference_gemm(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(a.cols, b.rows);
+        assert_eq!(c.rows, a.rows);
+        assert_eq!(c.cols, b.cols);
+        Matrix::from_fn(a.rows, b.cols, |i, j| {
+            let mut acc = c.get(i, j);
+            for k in 0..a.cols {
+                acc = a.get(i, k).mul_add(b.get(k, j), acc);
+            }
+            acc
+        })
+    }
+
+    /// Reference GEMM computed in `f64` and rounded once per element — the
+    /// "more accurate than FP32 hardware" yardstick for error measurements.
+    pub fn reference_gemm_f64(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(a.cols, b.rows);
+        Matrix::from_fn(a.rows, b.cols, |i, j| {
+            let mut acc = c.get(i, j) as f64;
+            for k in 0..a.cols {
+                acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+            }
+            acc as f32
+        })
+    }
+}
+
+impl Matrix<Complex<f32>> {
+    /// Deterministic pseudo-random complex matrix with components in `[-1, 1)`.
+    pub fn random_c32(rows: usize, cols: usize, seed: u64) -> Self {
+        let re = Matrix::<f32>::random(rows, cols, seed);
+        let im = Matrix::<f32>::random(rows, cols, seed ^ 0xDEAD_BEEF_CAFE_F00D);
+        Matrix::from_fn(rows, cols, |i, j| Complex::new(re.get(i, j), im.get(i, j)))
+    }
+
+    /// The complex identity matrix.
+    pub fn identity_c32(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Complex::new(1.0, 0.0)
+            } else {
+                Complex::<f32>::ZERO
+            }
+        })
+    }
+
+    /// Reference FP32C GEMM with sequential FMA accumulation per component
+    /// (the CUDA-core complex inner loop: 4 real FMAs per k).
+    pub fn reference_cgemm(
+        a: &Matrix<Complex<f32>>,
+        b: &Matrix<Complex<f32>>,
+        c: &Matrix<Complex<f32>>,
+    ) -> Matrix<Complex<f32>> {
+        assert_eq!(a.cols, b.rows);
+        Matrix::from_fn(a.rows, b.cols, |i, j| {
+            let mut re = c.get(i, j).re;
+            let mut im = c.get(i, j).im;
+            for k in 0..a.cols {
+                let x = a.get(i, k);
+                let y = b.get(k, j);
+                re = x.re.mul_add(y.re, re);
+                re = (-x.im).mul_add(y.im, re);
+                im = x.re.mul_add(y.im, im);
+                im = x.im.mul_add(y.re, im);
+            }
+            Complex::new(re, im)
+        })
+    }
+
+    /// Reference complex GEMM in `f64`, rounded once per component.
+    pub fn reference_cgemm_f64(
+        a: &Matrix<Complex<f32>>,
+        b: &Matrix<Complex<f32>>,
+        c: &Matrix<Complex<f32>>,
+    ) -> Matrix<Complex<f32>> {
+        assert_eq!(a.cols, b.rows);
+        Matrix::from_fn(a.rows, b.cols, |i, j| {
+            let mut re = c.get(i, j).re as f64;
+            let mut im = c.get(i, j).im as f64;
+            for k in 0..a.cols {
+                let x = a.get(i, k);
+                let y = b.get(k, j);
+                re += x.re as f64 * y.re as f64 - x.im as f64 * y.im as f64;
+                im += x.re as f64 * y.im as f64 + x.im as f64 * y.re as f64;
+            }
+            Complex::new(re as f32, im as f32)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::<f32>::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn tile_extraction_with_padding() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f32);
+        let t = m.tile(2, 2, 2, 2);
+        assert_eq!(t.as_slice(), &[8.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn store_tile_clips() {
+        let mut m = Matrix::<f32>::zeros(2, 2);
+        let t = Matrix::from_fn(2, 2, |_, _| 7.0);
+        m.store_tile(1, 1, &t);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::<f32>::random(4, 7, 42);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Matrix::<f32>::random(8, 8, 1);
+        let b = Matrix::<f32>::random(8, 8, 1);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let c = Matrix::<f32>::random(8, 8, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn identity_gemm() {
+        let a = Matrix::<f32>::random(5, 5, 3);
+        let i = Matrix::<f32>::identity(5);
+        let z = Matrix::<f32>::zeros(5, 5);
+        let d = Matrix::reference_gemm(&a, &i, &z);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn cgemm_identity() {
+        let a = Matrix::random_c32(4, 4, 9);
+        let i = Matrix::identity_c32(4);
+        let z = Matrix::<Complex<f32>>::zeros(4, 4);
+        let d = Matrix::reference_cgemm(&a, &i, &z);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn cgemm_i_times_i() {
+        // [i] * [i] = [-1]
+        let i1 = Matrix::from_vec(1, 1, vec![Complex::<f32>::I]);
+        let z = Matrix::<Complex<f32>>::zeros(1, 1);
+        let d = Matrix::reference_cgemm(&i1, &i1, &z);
+        assert_eq!(d.get(0, 0), Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn f64_reference_at_least_as_accurate() {
+        let a = Matrix::<f32>::random(16, 16, 5);
+        let b = Matrix::<f32>::random(16, 16, 6);
+        let c = Matrix::<f32>::zeros(16, 16);
+        let fast = Matrix::reference_gemm(&a, &b, &c);
+        let gold = Matrix::reference_gemm_f64(&a, &b, &c);
+        // They agree to within a few ulps for k=16.
+        for (x, y) in fast.as_slice().iter().zip(gold.as_slice()) {
+            assert!((x - y).abs() <= 4.0 * f32::EPSILON * y.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! An outer-product-engine realisation of the M3XU extension — the third
+//! MXU organisation of §II-A (cf. Apple AMX-style outer-product units).
+//!
+//! An outer-product engine computes `C += a_col ⊗ b_row` as one rank-1
+//! update per cycle. Under M3XU's multi-step schedules, each *beat* of the
+//! separable streams (see [`crate::systolic`]) is exactly one rank-1
+//! update of split-half entries: beat `t` performs
+//! `acc[i][j] += ±a_stream[i][t] * b_stream[j][t]` for all `(i, j)` at
+//! once. The dataflow is the un-skewed systolic execution, so results are
+//! bit-identical across all three organisations; only the timing model
+//! differs (one full rank-1 update per cycle, no pipeline skew).
+
+use crate::matrix::Matrix;
+use crate::systolic::{SystolicArray, SystolicReport, SystolicStreams};
+use m3xu_fp::complex::Complex;
+
+/// An `m x n` outer-product engine.
+pub struct OuterProductUnit {
+    array: SystolicArray,
+}
+
+/// Timing report of an outer-product MMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OuterReport {
+    /// Rank-1 update cycles (= stream beats; no skew).
+    pub cycles: usize,
+    /// Total multiplier operations.
+    pub pe_ops: u64,
+}
+
+impl OuterProductUnit {
+    /// An engine with an `rows x cols` accumulator tile.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        OuterProductUnit { array: SystolicArray::new(rows, cols) }
+    }
+
+    /// Execute one real-mode MMA from separable streams.
+    pub fn run(&mut self, s: &SystolicStreams, c: Option<&Matrix<f32>>) -> OuterReport {
+        let r: SystolicReport = self.array.run(s, c);
+        OuterReport { cycles: r.beats, pe_ops: r.pe_ops }
+    }
+
+    /// Execute one complex-mode MMA.
+    pub fn run_complex(
+        &mut self,
+        s: &SystolicStreams,
+        c: Option<&Matrix<Complex<f32>>>,
+    ) -> OuterReport {
+        let r = self.array.run_complex(s, c);
+        OuterReport { cycles: r.beats, pe_ops: r.pe_ops }
+    }
+
+    /// Drain results as FP32.
+    pub fn read_f32(&self) -> Matrix<f32> {
+        self.array.read_f32()
+    }
+
+    /// Drain results as FP32C.
+    pub fn read_c32(&self) -> Matrix<Complex<f32>> {
+        self.array.read_c32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mma::{self, MmaStats};
+    use crate::systolic::{streams_fp32, streams_fp32c};
+
+    #[test]
+    fn outer_product_fp32_bit_equals_dpu() {
+        let a = Matrix::<f32>::random(8, 2, 21);
+        let b = Matrix::<f32>::random(2, 8, 22);
+        let c = Matrix::<f32>::random(8, 8, 23);
+        let mut stats = MmaStats::default();
+        let expect = mma::mma_fp32(&a, &b, &c, &mut stats);
+        let mut opu = OuterProductUnit::new(8, 8);
+        let r = opu.run(&streams_fp32(&a, &b), Some(&c));
+        assert_eq!(opu.read_f32(), expect);
+        // One rank-1 update per beat: 2 steps x 2 lanes x k=2.
+        assert_eq!(r.cycles, 8);
+        assert_eq!(r.pe_ops, 8 * 64);
+    }
+
+    #[test]
+    fn outer_product_fp32c_bit_equals_dpu() {
+        let a = Matrix::random_c32(4, 1, 24);
+        let b = Matrix::random_c32(1, 4, 25);
+        let c = Matrix::random_c32(4, 4, 26);
+        let mut stats = MmaStats::default();
+        let expect = mma::mma_fp32c(&a, &b, &c, &mut stats);
+        let mut opu = OuterProductUnit::new(4, 4);
+        let r = opu.run_complex(&streams_fp32c(&a, &b), Some(&c));
+        assert_eq!(opu.read_c32(), expect);
+        assert_eq!(r.cycles, 16); // 4 steps x 4 lanes x k=1
+    }
+
+    #[test]
+    fn all_three_organisations_agree() {
+        // DPU, systolic array, outer-product engine: identical bits.
+        let a = Matrix::<f32>::random(6, 4, 27);
+        let b = Matrix::<f32>::random(4, 6, 28);
+        let mut stats = MmaStats::default();
+        let dpu = mma::mma_fp32(&a, &b, &Matrix::zeros(6, 6), &mut stats);
+        let s = streams_fp32(&a, &b);
+        let mut sys = SystolicArray::new(6, 6);
+        sys.run(&s, None);
+        let mut opu = OuterProductUnit::new(6, 6);
+        opu.run(&s, None);
+        assert_eq!(sys.read_f32(), dpu);
+        assert_eq!(opu.read_f32(), dpu);
+    }
+}

@@ -1,0 +1,356 @@
+//! A systolic-array realisation of the M3XU extension.
+//!
+//! §II-A: "the extension that M3XU proposes can apply to any MXU
+//! architecture, regardless of whether the underlying implementation is
+//! dot-product-unit-based, outer-product-unit-based, or a systolic
+//! array." This module demonstrates that claim executably: an
+//! output-stationary systolic array whose processing elements run the
+//! *same* data-assignment schedules as the dot-product units — the lane
+//! dimension of a [`crate::assign`] plan simply maps onto *time* (operand
+//! beats flowing through the array) instead of parallel multipliers.
+//!
+//! The key structural fact making this work: in every M3XU schedule the
+//! `a`-side beat stream depends only on the output row, the `b`-side
+//! stream only on the output column, and the negate/target controls only
+//! on the beat index — exactly the separability a systolic dataflow
+//! requires. Tests verify bit-identical results against the DPU-based MMA
+//! and the expected pipeline cycle counts.
+
+use crate::assign;
+use crate::buffer::BufferEntry;
+use crate::dpu::{DotProductUnit, LaneOp, Target};
+use crate::matrix::Matrix;
+use m3xu_fp::complex::Complex;
+
+/// Per-beat control signals (shared by every PE in the array, like the
+/// step FSM broadcast of the real design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeatControl {
+    /// Sign-flip (the FP32C imaginary-imaginary subtraction).
+    pub negate: bool,
+    /// Destination accumulator.
+    pub target: Target,
+}
+
+/// Separable operand streams for one MMA on the systolic array.
+#[derive(Debug, Clone)]
+pub struct SystolicStreams {
+    /// Per-output-row `a` beat streams (`m` streams of `T` entries).
+    pub a: Vec<Vec<BufferEntry>>,
+    /// Per-output-column `b` beat streams (`n` streams of `T` entries).
+    pub b: Vec<Vec<BufferEntry>>,
+    /// Per-beat control (`T` entries).
+    pub control: Vec<BeatControl>,
+}
+
+impl SystolicStreams {
+    /// Number of beats `T`.
+    pub fn beats(&self) -> usize {
+        self.control.len()
+    }
+}
+
+/// Flatten a data-assignment plan into separable streams.
+///
+/// `plan_a` must be a plan built against the target row (its `a` entries
+/// are used); `plan_b` against the target column. Both plans must share
+/// shape and control signals (they do by construction for every mode).
+fn separate(
+    plans_a: Vec<assign::StepPlan>,
+    plans_b: Vec<assign::StepPlan>,
+) -> SystolicStreams {
+    let flatten_a = |p: &assign::StepPlan| -> Vec<BufferEntry> {
+        p.iter().flat_map(|step| step.iter().map(|l| l.a)).collect()
+    };
+    let flatten_b = |p: &assign::StepPlan| -> Vec<BufferEntry> {
+        p.iter().flat_map(|step| step.iter().map(|l| l.b)).collect()
+    };
+    let control: Vec<BeatControl> = plans_b[0]
+        .iter()
+        .flat_map(|step| step.iter().map(|l| BeatControl { negate: l.negate, target: l.target }))
+        .collect();
+    SystolicStreams {
+        a: plans_a.iter().map(flatten_a).collect(),
+        b: plans_b.iter().map(flatten_b).collect(),
+        control,
+    }
+}
+
+/// Build systolic streams for an FP32 MMA: `a` is `m x k`, `b` is `k x n`.
+pub fn streams_fp32(a: &Matrix<f32>, b: &Matrix<f32>) -> SystolicStreams {
+    let k = a.cols();
+    assert_eq!(b.rows(), k);
+    let zeros = vec![0.0f32; k];
+    let plans_a: Vec<_> = (0..a.rows()).map(|i| assign::plan_fp32(a.row(i), &zeros)).collect();
+    let bt = b.transpose();
+    let plans_b: Vec<_> = (0..b.cols()).map(|j| assign::plan_fp32(&zeros, bt.row(j))).collect();
+    separate(plans_a, plans_b)
+}
+
+/// Build systolic streams for an FP32C MMA.
+pub fn streams_fp32c(a: &Matrix<Complex<f32>>, b: &Matrix<Complex<f32>>) -> SystolicStreams {
+    let k = a.cols();
+    assert_eq!(b.rows(), k);
+    let zeros = vec![Complex::<f32>::ZERO; k];
+    let plans_a: Vec<_> = (0..a.rows()).map(|i| assign::plan_fp32c(a.row(i), &zeros)).collect();
+    let bt = b.transpose();
+    let plans_b: Vec<_> = (0..b.cols()).map(|j| assign::plan_fp32c(&zeros, bt.row(j))).collect();
+    separate(plans_a, plans_b)
+}
+
+/// Build systolic streams for a native narrow-format MMA.
+pub fn streams_native(
+    fmt: m3xu_fp::FloatFormat,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+) -> SystolicStreams {
+    let k = a.cols();
+    assert_eq!(b.rows(), k);
+    let zeros = vec![0.0f64; k];
+    let q = |x: f32| m3xu_fp::softfloat::round_to_format(x as f64, fmt);
+    let plans_a: Vec<_> = (0..a.rows())
+        .map(|i| {
+            let row: Vec<f64> = a.row(i).iter().map(|&x| q(x)).collect();
+            assign::plan_native(&row, &zeros, fmt)
+        })
+        .collect();
+    let bt = b.transpose();
+    let plans_b: Vec<_> = (0..b.cols())
+        .map(|j| {
+            let col: Vec<f64> = bt.row(j).iter().map(|&x| q(x)).collect();
+            assign::plan_native(&zeros, &col, fmt)
+        })
+        .collect();
+    separate(plans_a, plans_b)
+}
+
+/// Execution report of one systolic MMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicReport {
+    /// Operand beats streamed through the array.
+    pub beats: usize,
+    /// Pipeline cycles: `beats + m + n - 2` (skewed injection/drain).
+    pub cycles: usize,
+    /// Multiplier operations executed (`beats * m * n` minus skew bubbles
+    /// — this model counts active PE-beats).
+    pub pe_ops: u64,
+}
+
+/// An output-stationary systolic array of `m x n` processing elements.
+///
+/// Each PE carries the same widened accumulators as a dot-product-unit
+/// lane; the per-beat controls broadcast across the array. The model
+/// executes the dataflow un-skewed (skew changes timing, not values) and
+/// reports the skewed cycle count.
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+    pes: Vec<DotProductUnit>,
+}
+
+impl SystolicArray {
+    /// An array of `rows x cols` PEs.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SystolicArray {
+            rows,
+            cols,
+            pes: (0..rows * cols).map(|_| DotProductUnit::new()).collect(),
+        }
+    }
+
+    /// Execute one MMA from separable streams, seeded with `c_re`
+    /// (and `c_im` for complex modes). Returns the report; read results
+    /// with [`read_f32`](Self::read_f32) / [`read_c32`](Self::read_c32).
+    pub fn run(&mut self, s: &SystolicStreams, c_re: Option<&Matrix<f32>>) -> SystolicReport {
+        assert_eq!(s.a.len(), self.rows, "a-stream count != array rows");
+        assert_eq!(s.b.len(), self.cols, "b-stream count != array cols");
+        let t = s.beats();
+        for stream in &s.a {
+            assert_eq!(stream.len(), t, "ragged a stream");
+        }
+        for stream in &s.b {
+            assert_eq!(stream.len(), t, "ragged b stream");
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let pe = &mut self.pes[i * self.cols + j];
+                pe.clear();
+                if let Some(c) = c_re {
+                    pe.seed_real(c.get(i, j) as f64);
+                }
+                for beat in 0..t {
+                    let ctl = s.control[beat];
+                    pe.execute_step(&[LaneOp {
+                        a: s.a[i][beat],
+                        b: s.b[j][beat],
+                        negate: ctl.negate,
+                        target: ctl.target,
+                    }]);
+                }
+            }
+        }
+        SystolicReport {
+            beats: t,
+            cycles: t + self.rows + self.cols - 2,
+            pe_ops: (t * self.rows * self.cols) as u64,
+        }
+    }
+
+    /// Seed complex C and run (complex modes).
+    pub fn run_complex(
+        &mut self,
+        s: &SystolicStreams,
+        c: Option<&Matrix<Complex<f32>>>,
+    ) -> SystolicReport {
+        if let Some(c) = c {
+            assert_eq!((c.rows(), c.cols()), (self.rows, self.cols));
+        }
+        let t = s.beats();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let pe = &mut self.pes[i * self.cols + j];
+                pe.clear();
+                if let Some(c) = c {
+                    pe.seed_real(c.get(i, j).re as f64);
+                    pe.seed_imag(c.get(i, j).im as f64);
+                }
+                for beat in 0..t {
+                    let ctl = s.control[beat];
+                    pe.execute_step(&[LaneOp {
+                        a: s.a[i][beat],
+                        b: s.b[j][beat],
+                        negate: ctl.negate,
+                        target: ctl.target,
+                    }]);
+                }
+            }
+        }
+        SystolicReport {
+            beats: t,
+            cycles: t + self.rows + self.cols - 2,
+            pe_ops: (t * self.rows * self.cols) as u64,
+        }
+    }
+
+    /// Drain the array as an FP32 matrix.
+    pub fn read_f32(&self) -> Matrix<f32> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.pes[i * self.cols + j].read_real_f32())
+    }
+
+    /// Drain the array as an FP32C matrix.
+    pub fn read_c32(&self) -> Matrix<Complex<f32>> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            let pe = &self.pes[i * self.cols + j];
+            Complex::new(pe.read_real_f32(), pe.read_imag_f32())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mma::{self, MmaStats};
+
+    #[test]
+    fn fp32_streams_are_separable_and_sized() {
+        let a = Matrix::<f32>::random(4, 3, 1);
+        let b = Matrix::<f32>::random(3, 5, 2);
+        let s = streams_fp32(&a, &b);
+        assert_eq!(s.a.len(), 4);
+        assert_eq!(s.b.len(), 5);
+        // 2 steps x 2 lanes per element x k=3 elements = 12 beats.
+        assert_eq!(s.beats(), 12);
+        // FP32 mode: no negation, all real.
+        assert!(s.control.iter().all(|c| !c.negate && c.target == Target::Real));
+    }
+
+    #[test]
+    fn systolic_fp32_bit_equals_dpu_mma() {
+        let a = Matrix::<f32>::random(8, 2, 3);
+        let b = Matrix::<f32>::random(2, 8, 4);
+        let c = Matrix::<f32>::random(8, 8, 5);
+        let mut stats = MmaStats::default();
+        let dpu_result = mma::mma_fp32(&a, &b, &c, &mut stats);
+
+        let mut array = SystolicArray::new(8, 8);
+        let s = streams_fp32(&a, &b);
+        let report = array.run(&s, Some(&c));
+        assert_eq!(array.read_f32(), dpu_result);
+        assert_eq!(report.beats, 8); // 2 steps x 2 lanes x k=2
+        assert_eq!(report.cycles, 8 + 8 + 8 - 2);
+    }
+
+    #[test]
+    fn systolic_fp32c_bit_equals_dpu_mma() {
+        let a = Matrix::random_c32(4, 2, 6);
+        let b = Matrix::random_c32(2, 4, 7);
+        let c = Matrix::random_c32(4, 4, 8);
+        let mut stats = MmaStats::default();
+        let dpu_result = mma::mma_fp32c(&a, &b, &c, &mut stats);
+
+        let mut array = SystolicArray::new(4, 4);
+        let s = streams_fp32c(&a, &b);
+        let report = array.run_complex(&s, Some(&c));
+        assert_eq!(array.read_c32(), dpu_result);
+        // 4 steps x 4 lanes per element x k=2 elements = 32 beats.
+        assert_eq!(report.beats, 32);
+    }
+
+    #[test]
+    fn fp32c_control_signals_match_figure_3c() {
+        let a = Matrix::random_c32(1, 1, 9);
+        let b = Matrix::random_c32(1, 1, 10);
+        let s = streams_fp32c(&a, &b);
+        // 16 beats: steps 1-2 (real, with 2 negated imag-imag beats each),
+        // steps 3-4 (imag, no negation).
+        assert_eq!(s.beats(), 16);
+        let real_beats = s.control.iter().filter(|c| c.target == Target::Real).count();
+        assert_eq!(real_beats, 8);
+        let negated = s.control.iter().filter(|c| c.negate).count();
+        assert_eq!(negated, 4);
+        assert!(s.control[8..].iter().all(|c| c.target == Target::Imag && !c.negate));
+    }
+
+    #[test]
+    fn systolic_native_fp16_matches_dpu() {
+        let a = Matrix::<f32>::random(4, 4, 11);
+        let b = Matrix::<f32>::random(4, 4, 12);
+        let c = Matrix::<f32>::zeros(4, 4);
+        let mut stats = MmaStats::default();
+        let dpu_result = mma::mma_narrow(m3xu_fp::format::FP16, &a, &b, &c, &mut stats);
+        let mut array = SystolicArray::new(4, 4);
+        let s = streams_native(m3xu_fp::format::FP16, &a, &b);
+        let report = array.run(&s, Some(&c));
+        assert_eq!(array.read_f32(), dpu_result);
+        assert_eq!(report.beats, 4); // 1 step x 1 lane x k=4
+    }
+
+    #[test]
+    fn beat_count_reflects_corollaries() {
+        // Corollary 2 at the systolic level: FP32 takes 4x the beats of
+        // FP16 for the same k (2 steps x 2 lanes per element).
+        let a = Matrix::<f32>::random(2, 4, 13);
+        let b = Matrix::<f32>::random(4, 2, 14);
+        let fp16 = streams_native(m3xu_fp::format::FP16, &a, &b);
+        let fp32 = streams_fp32(&a, &b);
+        assert_eq!(fp32.beats(), 4 * fp16.beats());
+        // Corollary 3: FP32C takes 16x (on complex data of the same k).
+        let ac = Matrix::random_c32(2, 4, 15);
+        let bc = Matrix::random_c32(4, 2, 16);
+        let fp32c = streams_fp32c(&ac, &bc);
+        assert_eq!(fp32c.beats(), 16 * fp16.beats());
+    }
+
+    #[test]
+    fn nan_propagates_through_the_array() {
+        let mut a = Matrix::<f32>::random(2, 2, 17);
+        a.set(0, 0, f32::NAN);
+        let b = Matrix::<f32>::random(2, 2, 18);
+        let mut array = SystolicArray::new(2, 2);
+        let s = streams_fp32(&a, &b);
+        array.run(&s, None);
+        let d = array.read_f32();
+        assert!(d.get(0, 0).is_nan() && d.get(0, 1).is_nan());
+        assert!(!d.get(1, 0).is_nan() && !d.get(1, 1).is_nan());
+    }
+}

@@ -1,0 +1,22 @@
+//! # m3xu-synth — hardware cost model for the Table III designs
+//!
+//! The paper synthesises its RTL with Synopsys DC against FreePDK45; this
+//! crate replaces that flow with a structural cost model (45 nm-class gate
+//! library, quadratic multipliers, logarithmic tree delays, activity-based
+//! power) that elaborates the same five designs and reports the same
+//! relative area / cycle-time / power table.
+//!
+//! * [`gates`] — technology constants and depth laws;
+//! * [`components`] — multiplier/adder/shifter/mux/register cost builders;
+//! * [`designs`] — the five Table III designs plus ablation variants;
+//! * [`report`] — Table III generation and paper-value comparison.
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod designs;
+pub mod gates;
+pub mod report;
+
+pub use designs::{baseline_fp16, m3xu, m3xu_no_fp32c, m3xu_pipelined, native_fp32, Design};
+pub use report::{table3, Table3Row};

@@ -1,0 +1,164 @@
+//! Table III generation: relative overheads of the M3XU implementations.
+
+use crate::designs::{table3_designs, Design};
+use serde::Serialize;
+
+/// One row of Table III (one design), with model-predicted and
+/// paper-reported relative values.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Design name.
+    pub name: &'static str,
+    /// Model area relative to the baseline FP16 MXU.
+    pub area: f64,
+    /// Model cycle time relative to baseline.
+    pub cycle_time: f64,
+    /// Model power relative to baseline.
+    pub power: f64,
+    /// Paper-reported relative area.
+    pub paper_area: f64,
+    /// Paper-reported relative cycle time.
+    pub paper_cycle_time: f64,
+    /// Paper-reported relative power.
+    pub paper_power: f64,
+}
+
+/// The paper's Table III values, in design order (baseline, native FP32,
+/// M3XU w/o FP32C, M3XU, M3XU pipelined).
+pub const PAPER_TABLE3: [(f64, f64, f64); 5] = [
+    (1.0, 1.0, 1.0),
+    (3.55, 1.00, 7.97),
+    (1.37, 1.21, 0.66),
+    (1.41, 1.21, 0.69),
+    (1.47, 1.00, 1.07),
+];
+
+/// Generate Table III from the cost model.
+pub fn table3() -> Vec<Table3Row> {
+    let designs = table3_designs();
+    let base = &designs[0];
+    let (ba, bc, bp) = (base.area_ge(), base.cycle_time_ps(), base.power_weight());
+    designs
+        .iter()
+        .zip(PAPER_TABLE3)
+        .map(|(d, (pa, pc, pp))| Table3Row {
+            name: d.name,
+            area: d.area_ge() / ba,
+            cycle_time: d.cycle_time_ps() / bc,
+            power: d.power_weight() / bp,
+            paper_area: pa,
+            paper_cycle_time: pc,
+            paper_power: pp,
+        })
+        .collect()
+}
+
+/// Render Table III as aligned text (the `table3` harness binary's output).
+pub fn render_table3() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:32} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "design", "area", "(paper)", "cycle", "(paper)", "power", "(paper)"
+    ));
+    for r in table3() {
+        out.push_str(&format!(
+            "{:32} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
+            r.name, r.area, r.paper_area, r.cycle_time, r.paper_cycle_time, r.power, r.paper_power
+        ));
+    }
+    out
+}
+
+/// The key ablation claims of §VI-A.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationReport {
+    /// Fraction of the M3XU-w/o-FP32C area overhead attributable to the
+    /// 1-bit mantissa extension (paper: 56%).
+    pub mantissa_bit_share: f64,
+    /// Area overhead of M3XU-FP32 over a hypothetical 12-bit-mantissa
+    /// baseline (paper: 16%).
+    pub overhead_on_12bit_baseline: f64,
+    /// Additional area for FP32C over FP32-only, relative to baseline
+    /// (paper: 4%).
+    pub fp32c_increment: f64,
+}
+
+/// Compute the §VI-A ablation numbers from the cost model.
+pub fn ablations() -> AblationReport {
+    let base = crate::designs::baseline_fp16();
+    let base12 = crate::designs::baseline_12bit();
+    let no_c = crate::designs::m3xu_no_fp32c();
+    let full = crate::designs::m3xu();
+
+    let overhead = no_c.area_ge() - base.area_ge();
+    // The 1-bit extension's cost: how much of the overhead disappears if the
+    // baseline already had 12-bit multipliers (multiplier delta + the wider
+    // product buses it implies).
+    let mantissa_cost = base12.area_ge() - base.area_ge();
+    // Overhead components unrelated to the multiplier width shrink when
+    // starting from the 12-bit baseline.
+    let residual = no_c.area_ge() - base12.area_ge();
+
+    AblationReport {
+        mantissa_bit_share: mantissa_cost / overhead,
+        overhead_on_12bit_baseline: residual / base12.area_ge(),
+        fp32c_increment: (full.area_ge() - no_c.area_ge()) / base.area_ge(),
+    }
+}
+
+/// Convenience: the relative power of design `d` against the baseline.
+pub fn relative_power(d: &Design) -> f64 {
+    d.power_weight() / crate::designs::baseline_fp16().power_weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The central Table III assertion: model ratios within tolerance of
+    /// the paper's synthesis results.
+    #[test]
+    fn table3_matches_paper_within_tolerance() {
+        for r in table3() {
+            let area_err = (r.area - r.paper_area).abs() / r.paper_area;
+            let cycle_err = (r.cycle_time - r.paper_cycle_time).abs() / r.paper_cycle_time;
+            let power_err = (r.power - r.paper_power).abs() / r.paper_power;
+            assert!(area_err < 0.20, "{}: area {} vs paper {}", r.name, r.area, r.paper_area);
+            assert!(
+                cycle_err < 0.08,
+                "{}: cycle {} vs paper {}",
+                r.name,
+                r.cycle_time,
+                r.paper_cycle_time
+            );
+            assert!(power_err < 0.30, "{}: power {} vs paper {}", r.name, r.power, r.paper_power);
+        }
+    }
+
+    #[test]
+    fn m3xu_far_cheaper_than_native_fp32() {
+        let rows = table3();
+        // The headline: pipelined M3XU (FP32 + FP32C) vs 3.55x native FP32.
+        assert!(rows[4].area < rows[1].area / 2.0);
+        assert!(rows[4].power < rows[1].power / 2.0);
+    }
+
+    #[test]
+    fn ablation_claims_hold() {
+        let a = ablations();
+        // Paper: 56% of the 37% overhead is the 1-bit mantissa extension.
+        assert!((0.35..0.75).contains(&a.mantissa_bit_share), "share = {}", a.mantissa_bit_share);
+        // Paper: 16% overhead on a 12-bit baseline.
+        assert!((0.08..0.30).contains(&a.overhead_on_12bit_baseline),
+            "12-bit overhead = {}", a.overhead_on_12bit_baseline);
+        // Paper: FP32C adds 4%.
+        assert!((0.01..0.10).contains(&a.fp32c_increment), "fp32c = {}", a.fp32c_increment);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_aligned() {
+        let t = render_table3();
+        assert_eq!(t.lines().count(), 6);
+        assert!(t.contains("M3XU pipelined"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Scientific computing on the M3XU: solve an ill-conditioned SPD system
+//! with conjugate gradients and watch TF32's accuracy floor vs true FP32
+//! (the paper's §I motivation for standard-precision MXUs).
+//!
+//! Run with `cargo run --release --example cg_solver`.
+
+use m3xu::kernels::solver::{conjugate_gradient, spd_matrix};
+use m3xu::{GemmPrecision, Matrix};
+
+fn main() {
+    let n = 48;
+    let cond = 1.0e4;
+    let a = spd_matrix(n, cond, 42);
+    let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.41).cos()).collect();
+    println!("Solving a {n}x{n} SPD system with condition number ~{cond:.0e}\n");
+
+    let true_residual = |x: &[f32]| -> f64 {
+        let xm = Matrix::from_vec(n, 1, x.to_vec());
+        let ax = Matrix::reference_gemm_f64(&a, &xm, &Matrix::zeros(n, 1));
+        let num: f64 = (0..n).map(|i| ((ax.get(i, 0) - b[i]) as f64).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = b.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+        num / den
+    };
+
+    for (name, precision) in [
+        ("M3XU true FP32", GemmPrecision::M3xuFp32),
+        ("TF32 tensor core", GemmPrecision::Tf32),
+    ] {
+        let r = conjugate_gradient(precision, &a, &b, 1e-10, 400);
+        println!(
+            "{name:18} iterations {:>4}   recursive residual {:.3e}   TRUE residual {:.3e}",
+            r.iterations,
+            r.residual_history.last().unwrap(),
+            true_residual(&r.x)
+        );
+    }
+    println!(
+        "\nThe recursive residual always looks converged; the TRUE residual\n\
+         exposes the TF32 solution drifting by its 10-bit mantissa. M3XU\n\
+         delivers FP32 fidelity at ~4x CUDA-core GEMM throughput."
+    );
+}

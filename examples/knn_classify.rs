@@ -1,0 +1,91 @@
+//! Statistical learning on the M3XU: nearest-neighbour classification of
+//! synthetic clusters (the paper's §VI-C4 KNN case study), with FP32
+//! fidelity that FP16 tensor cores cannot provide.
+//!
+//! Run with `cargo run --release --example knn_classify`.
+
+use m3xu::{GemmPrecision, M3xu, Matrix};
+
+fn main() {
+    let dev = M3xu::new();
+    let dim = 16;
+    let per_class = 40;
+    let classes = 3;
+
+    // Three Gaussian-ish clusters with *tiny* magnitudes — the regime
+    // where FP16 distances collapse (§VI-C4).
+    let scale = 2.0e-7f32;
+    let centers = Matrix::<f32>::random(classes, dim, 42);
+    let mut refs = Matrix::<f32>::zeros(classes * per_class, dim);
+    let mut labels = Vec::new();
+    for cl in 0..classes {
+        let jitter = Matrix::<f32>::random(per_class, dim, 100 + cl as u64);
+        for i in 0..per_class {
+            for j in 0..dim {
+                refs.set(cl * per_class + i, j, scale * (centers.get(cl, j) + 0.2 * jitter.get(i, j)));
+            }
+            labels.push(cl);
+        }
+    }
+
+    // Queries: one noisy point near each centre.
+    let qjit = Matrix::<f32>::random(classes, dim, 999);
+    let queries = Matrix::from_fn(classes, dim, |q, j| {
+        scale * (centers.get(q, j) + 0.1 * qjit.get(q, j))
+    });
+
+    let classify = |precision: GemmPrecision| -> Vec<usize> {
+        let r = m3xu::kernels::knn::knn_gemm(precision, &refs, &queries, 15);
+        r.indices
+            .iter()
+            .map(|neigh| {
+                // Majority vote.
+                let mut votes = vec![0usize; classes];
+                for &i in neigh {
+                    votes[labels[i]] += 1;
+                }
+                votes.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0
+            })
+            .collect()
+    };
+
+    let m3xu_pred = classify(GemmPrecision::M3xuFp32);
+    let fp16_pred = classify(GemmPrecision::Fp16);
+    let _ = &dev;
+
+    println!("query  true  M3XU-FP32  FP16-tensor-core");
+    let mut m3xu_ok = 0;
+    let mut fp16_ok = 0;
+    for q in 0..classes {
+        println!("  {q}      {q}       {}          {}", m3xu_pred[q], fp16_pred[q]);
+        m3xu_ok += (m3xu_pred[q] == q) as usize;
+        fp16_ok += (fp16_pred[q] == q) as usize;
+    }
+    println!("\nM3XU accuracy: {m3xu_ok}/{classes};  FP16 accuracy: {fp16_ok}/{classes}");
+
+    // Even when the majority vote survives, the FP16 neighbour *sets* are
+    // corrupted — compare against the exact reference.
+    let gold = m3xu::kernels::knn::knn_reference(&refs, &queries, 15);
+    let overlap = |r: &m3xu::kernels::knn::KnnResult| -> usize {
+        r.indices
+            .iter()
+            .zip(&gold.indices)
+            .map(|(a, b)| a.iter().filter(|i| b.contains(i)).count())
+            .sum()
+    };
+    let m3xu_r = m3xu::kernels::knn::knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 15);
+    let fp16_r = m3xu::kernels::knn::knn_gemm(GemmPrecision::Fp16, &refs, &queries, 15);
+    println!(
+        "neighbour-set agreement with exact reference: M3XU {}/{}, FP16 {}/{}",
+        overlap(&m3xu_r),
+        classes * 15,
+        overlap(&fp16_r),
+        classes * 15
+    );
+    println!(
+        "(data magnitude {scale:.0e} sits in FP16's subnormal range: the FP16\n\
+         inner products lose nearly all mantissa bits, while M3XU keeps\n\
+         full FP32 fidelity at ~4x CUDA-core GEMM throughput.)"
+    );
+    assert_eq!(m3xu_ok, classes, "M3XU must classify all queries correctly");
+}

@@ -1,0 +1,52 @@
+//! MRF fingerprinting end to end on the M3XU (the §VI-C3 case study):
+//! generate an EPG dictionary (batched complex-GEMM RF mixing), then match
+//! a noisy "measured" fingerprint against it.
+//!
+//! Run with `cargo run --release --example mrf_dictionary`.
+
+use m3xu::kernels::mrf::{atom_grid, example_sequence, generate_dictionary, Atom};
+
+fn main() {
+    // A small T1/T2 grid and a 48-pulse FISP-style sequence.
+    let atoms = atom_grid(8, 8);
+    let sequence = example_sequence(48);
+    println!("Generating dictionary: {} atoms x {} pulses ...", atoms.len(), sequence.len());
+    let dict = generate_dictionary(&atoms, &sequence, 10);
+
+    // Pick a ground-truth tissue and synthesise its noisy fingerprint.
+    let truth = Atom { t1_ms: 1300.0, t2_ms: 95.0 };
+    let truth_course = generate_dictionary(&[truth], &sequence, 10);
+    let mut state = 0xDEAD_BEEFu64;
+    let mut noise = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / 8_388_608.0 - 1.0) * 0.01
+    };
+    let measured: Vec<f32> = truth_course.iter().map(|t| t[0].abs() + noise()).collect();
+
+    // Dictionary matching: maximise normalised dot product of |signal|
+    // time-courses (SnapMRF's pattern-matching phase).
+    let course = |a: usize| -> Vec<f32> { dict.iter().map(|t| t[a].abs()).collect() };
+    let dot = |x: &[f32], y: &[f32]| -> f32 {
+        let num: f32 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+        let nx: f32 = x.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let ny: f32 = y.iter().map(|a| a * a).sum::<f32>().sqrt();
+        num / (nx * ny).max(1e-20)
+    };
+    let (best, score) = (0..atoms.len())
+        .map(|a| (a, dot(&course(a), &measured)))
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .unwrap();
+
+    let m = atoms[best];
+    println!("\nGround truth : T1 = {:6.0} ms, T2 = {:5.0} ms", truth.t1_ms, truth.t2_ms);
+    println!("Best match   : T1 = {:6.0} ms, T2 = {:5.0} ms  (score {:.5})", m.t1_ms, m.t2_ms, score);
+    assert!((m.t1_ms - truth.t1_ms).abs() < 600.0, "T1 estimate too far off");
+    assert!((m.t2_ms - truth.t2_ms).abs() < 60.0, "T2 estimate too far off");
+    println!(
+        "\nAll {} RF-mixing steps ran as batched FP32C GEMMs on the M3XU\n\
+         (the ~22% of SnapMRF's dictionary phase that M3XU accelerates — Fig. 8).",
+        sequence.len()
+    );
+}

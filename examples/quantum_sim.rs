@@ -1,0 +1,100 @@
+//! Quantum-circuit state-vector simulation on the M3XU — one of the
+//! complex-GEMM workloads the paper's introduction motivates ("simulating
+//! quantum computing needs complex matrix multiplications to represent
+//! qubits and their operations").
+//!
+//! A 4-qubit register evolves through a small circuit; every gate
+//! application is a complex matrix-vector (or batched matrix-matrix)
+//! product on the M3XU's FP32C mode.
+//!
+//! Run with `cargo run --release --example quantum_sim`.
+
+use m3xu::{Complex, M3xu, Matrix, C32};
+
+/// Kronecker product of two complex matrices.
+fn kron(a: &Matrix<C32>, b: &Matrix<C32>) -> Matrix<C32> {
+    Matrix::from_fn(a.rows() * b.rows(), a.cols() * b.cols(), |i, j| {
+        a.get(i / b.rows(), j / b.cols()) * b.get(i % b.rows(), j % b.cols())
+    })
+}
+
+fn identity(n: usize) -> Matrix<C32> {
+    Matrix::identity_c32(n)
+}
+
+/// Single-qubit gate on qubit `q` of an `n`-qubit register.
+fn on_qubit(gate: &Matrix<C32>, q: usize, n: usize) -> Matrix<C32> {
+    let mut m = identity(1 << q);
+    m = kron(&m, gate);
+    kron(&m, &identity(1 << (n - q - 1)))
+}
+
+/// CNOT with control `c` and target `t` (adjacent-free general form).
+fn cnot(c: usize, t: usize, n: usize) -> Matrix<C32> {
+    let dim = 1 << n;
+    Matrix::from_fn(dim, dim, |row, col| {
+        let cbit = (col >> (n - 1 - c)) & 1;
+        let expect = if cbit == 1 { col ^ (1 << (n - 1 - t)) } else { col };
+        if row == expect {
+            Complex::new(1.0, 0.0)
+        } else {
+            C32::ZERO
+        }
+    })
+}
+
+fn main() {
+    let dev = M3xu::new();
+    let n = 4;
+    let dim = 1usize << n;
+
+    let s = std::f32::consts::FRAC_1_SQRT_2;
+    let h = Matrix::from_vec(
+        2,
+        2,
+        vec![Complex::new(s, 0.0), Complex::new(s, 0.0), Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+    );
+    let tgate = Matrix::from_vec(
+        2,
+        2,
+        vec![
+            Complex::new(1.0, 0.0),
+            C32::ZERO,
+            C32::ZERO,
+            C32::cis(std::f32::consts::FRAC_PI_4),
+        ],
+    );
+
+    // |0000> state.
+    let mut state = Matrix::<C32>::zeros(dim, 1);
+    state.set(0, 0, Complex::new(1.0, 0.0));
+
+    // GHZ-style circuit: H on qubit 0, CNOT chain, then a T gate.
+    let gates: Vec<(String, Matrix<C32>)> = vec![
+        ("H(q0)".into(), on_qubit(&h, 0, n)),
+        ("CNOT(0->1)".into(), cnot(0, 1, n)),
+        ("CNOT(1->2)".into(), cnot(1, 2, n)),
+        ("CNOT(2->3)".into(), cnot(2, 3, n)),
+        ("T(q3)".into(), on_qubit(&tgate, 3, n)),
+    ];
+    for (name, g) in &gates {
+        state = dev.cgemm(g, &state);
+        let norm: f32 = (0..dim).map(|i| state.get(i, 0).norm_sqr()).sum();
+        println!("{name:12} applied; ||psi||^2 = {norm:.6}");
+        assert!((norm - 1.0).abs() < 1e-5, "unitarity violated");
+    }
+
+    println!("\nFinal state amplitudes (nonzero):");
+    for i in 0..dim {
+        let a = state.get(i, 0);
+        if a.abs() > 1e-6 {
+            println!("  |{:04b}>  {:+.4}{:+.4}i   p = {:.4}", i, a.re, a.im, a.norm_sqr());
+        }
+    }
+    // GHZ state: equal superposition of |0000> and |1111> (with a T phase).
+    let p0 = state.get(0, 0).norm_sqr();
+    let p15 = state.get(dim - 1, 0).norm_sqr();
+    assert!((p0 - 0.5).abs() < 1e-5 && (p15 - 0.5).abs() < 1e-5);
+    println!("\nGHZ entanglement verified: P(|0000>) = {p0:.4}, P(|1111>) = {p15:.4}");
+    println!("Every gate was an FP32C GEMM on the M3XU — no approximation, full unitarity.");
+}

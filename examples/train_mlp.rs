@@ -1,0 +1,35 @@
+//! Train a small neural network whose every matrix product — forward and
+//! backward — runs on the functional M3XU (the §VI-C2 story: the backward
+//! pass finally gets true-FP32 tensor instructions).
+//!
+//! Run with `cargo run --release --example train_mlp`.
+
+use m3xu::kernels::dnn::train::{train_synthetic, Mlp};
+use m3xu::{GemmPrecision, Matrix};
+
+fn main() {
+    println!("Training a 16-32-4 MLP on synthetic regression (M3XU FP32 GEMMs)...\n");
+    let losses = train_synthetic(GemmPrecision::M3xuFp32, 120, 7);
+    for (i, chunk) in losses.chunks(20).enumerate() {
+        let mean: f32 = chunk.iter().sum::<f32>() / chunk.len() as f32;
+        println!("  steps {:>3}-{:>3}: mean loss {:.5}", i * 20, i * 20 + chunk.len() - 1, mean);
+    }
+    let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
+    let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
+    println!("\nloss {head:.4} -> {tail:.4} ({:.1}% of initial)", 100.0 * tail / head);
+    assert!(tail < head, "training must reduce loss");
+
+    // The same loop with FP16-quantised GEMMs — mixed precision without
+    // loss-scaling machinery — trains visibly worse on this task.
+    let fp16 = train_synthetic(GemmPrecision::Fp16, 120, 7);
+    let tail16: f32 = fp16[fp16.len() - 10..].iter().sum::<f32>() / 10.0;
+    println!("FP16-GEMM final loss for comparison: {tail16:.4}");
+
+    // And a single forward pass through the trained-network API:
+    let mlp = Mlp::new(16, 32, 4, GemmPrecision::M3xuFp32, 7);
+    let x = Matrix::<f32>::random(16, 2, 11);
+    let out = mlp.forward(&x);
+    println!("\nforward(16x2 batch) -> {}x{} outputs; all finite: {}",
+        out.y.rows(), out.y.cols(),
+        out.y.as_slice().iter().all(|v| v.is_finite()));
+}

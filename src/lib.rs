@@ -1,0 +1,24 @@
+//! # m3xu — reproduction of "M3XU: Achieving High-Precision and Complex
+//! Matrix Multiplication with Low-Precision MXUs" (SC 2024)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`]/[`M3xu`] — the high-level device API (`gemm`, `cgemm`,
+//!   `fft`, `knn`);
+//! * [`fp`] — the bit-exact floating-point substrate;
+//! * [`mxu`] — the functional + cycle model of the multi-mode MXU;
+//! * [`gpu`] — the A100-class performance and energy model;
+//! * [`synth`] — the Table III hardware cost model;
+//! * [`kernels`] — GEMM/CGEMM drivers, conv2d, FFT, DNN, MRF, KNN.
+//!
+//! See `examples/` for runnable applications and `crates/m3xu-bench` for
+//! the harnesses that regenerate every table and figure of the paper.
+
+pub use m3xu_core as core;
+pub use m3xu_fp as fp;
+pub use m3xu_gpu as gpu;
+pub use m3xu_kernels as kernels;
+pub use m3xu_mxu as mxu;
+pub use m3xu_synth as synth;
+
+pub use m3xu_core::{Complex, GemmPrecision, M3xu, Matrix, C32};
