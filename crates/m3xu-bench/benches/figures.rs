@@ -1,81 +1,49 @@
-//! Criterion benches, one per table/figure: each measures regenerating
-//! the paper artefact from the models (the work `cargo run -p m3xu-bench
-//! --bin <name>` does, minus I/O).
+//! Microbenchmarks, one per table/figure: each measures regenerating the
+//! paper artefact from the models (the work `cargo run -p m3xu-bench
+//! --bin <name>` does, minus I/O). Plain `harness = false` binary: no
+//! external bench framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use m3xu_bench::timing::bench;
 use std::hint::black_box;
+use std::time::Duration;
+
+const BUDGET: Duration = Duration::from_millis(600);
 
 fn gpu() -> m3xu_gpu::GpuConfig {
     m3xu_gpu::GpuConfig::a100_40gb()
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let g = gpu();
-    c.bench_function("table1_a100_throughput", |b| {
-        b.iter(|| black_box(m3xu_gpu::config::table1(&g)))
+    bench("table1_a100_throughput", BUDGET, || {
+        black_box(m3xu_gpu::config::table1(&g));
+    });
+    bench("table3_synthesis_model", BUDGET, || {
+        black_box(m3xu_synth::report::table3());
+    });
+    bench("table3_ablations", BUDGET, || {
+        black_box(m3xu_synth::report::ablations());
+    });
+    bench("fig4a_sgemm_speedups", BUDGET, || {
+        black_box(m3xu_gpu::figures::figure4a(&g));
+    });
+    bench("fig4b_cgemm_speedups", BUDGET, || {
+        black_box(m3xu_gpu::figures::figure4b(&g));
+    });
+    bench("fig5_energy_and_peak_fraction", BUDGET, || {
+        black_box(m3xu_gpu::figures::figure5_sgemm(&g));
+        black_box(m3xu_gpu::figures::figure5_cgemm(&g));
+    });
+    bench("fig6_fft_speedups", BUDGET, || {
+        black_box(m3xu_kernels::fft::perf::figure6(&g));
+    });
+    bench("fig7_training_latency", BUDGET, || {
+        black_box(m3xu_kernels::dnn::models::figure7(64, &g));
+    });
+    bench("fig8_mrf_speedups", BUDGET, || {
+        black_box(m3xu_kernels::mrf::figure8(&g));
+    });
+    bench("fig9_knn_heatmap", BUDGET, || {
+        black_box(m3xu_kernels::knn::figure9(&g));
     });
 }
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_synthesis_model", |b| {
-        b.iter(|| black_box(m3xu_synth::report::table3()))
-    });
-    c.bench_function("table3_ablations", |b| {
-        b.iter(|| black_box(m3xu_synth::report::ablations()))
-    });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    let g = gpu();
-    c.bench_function("fig4a_sgemm_speedups", |b| {
-        b.iter(|| black_box(m3xu_gpu::figures::figure4a(&g)))
-    });
-    c.bench_function("fig4b_cgemm_speedups", |b| {
-        b.iter(|| black_box(m3xu_gpu::figures::figure4b(&g)))
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let g = gpu();
-    c.bench_function("fig5_energy_and_peak_fraction", |b| {
-        b.iter(|| {
-            black_box(m3xu_gpu::figures::figure5_sgemm(&g));
-            black_box(m3xu_gpu::figures::figure5_cgemm(&g));
-        })
-    });
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let g = gpu();
-    c.bench_function("fig6_fft_speedups", |b| {
-        b.iter(|| black_box(m3xu_kernels::fft::perf::figure6(&g)))
-    });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let g = gpu();
-    c.bench_function("fig7_training_latency", |b| {
-        b.iter(|| black_box(m3xu_kernels::dnn::models::figure7(64, &g)))
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let g = gpu();
-    c.bench_function("fig8_mrf_speedups", |b| {
-        b.iter(|| black_box(m3xu_kernels::mrf::figure8(&g)))
-    });
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    let g = gpu();
-    c.bench_function("fig9_knn_heatmap", |b| {
-        b.iter(|| black_box(m3xu_kernels::knn::figure9(&g)))
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_table1, bench_table3, bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_fig9
-}
-criterion_main!(figures);

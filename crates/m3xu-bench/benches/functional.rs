@@ -1,106 +1,101 @@
-//! Criterion benches of the *functional* library: MMA instruction
+//! Microbenchmarks of the *functional* library: MMA instruction
 //! execution, tiled GEMM/CGEMM throughput, the GEMM-formulated FFT, and
 //! GEMM-based KNN — the hot paths a downstream user of the simulator
-//! exercises.
+//! exercises. Plain `harness = false` binary: no external bench
+//! framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use m3xu_bench::timing::bench;
 use m3xu_kernels::fft;
 use m3xu_kernels::gemm::{cmatmul_c32, matmul_f32, GemmPrecision};
 use m3xu_kernels::knn::knn_gemm;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::{self, MmaStats};
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_mma(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mma");
+const BUDGET: Duration = Duration::from_millis(800);
+
+fn bench_mma() {
     let a = Matrix::<f32>::random(8, 2, 1);
     let b = Matrix::<f32>::random(2, 8, 2);
     let cc = Matrix::<f32>::zeros(8, 8);
-    g.bench_function("m3xu_fp32_8x8x2", |bch| {
-        bch.iter(|| {
-            let mut s = MmaStats::default();
-            black_box(mma::mma_fp32(&a, &b, &cc, &mut s))
-        })
+    bench("mma/m3xu_fp32_8x8x2", BUDGET, || {
+        let mut s = MmaStats::default();
+        black_box(mma::mma_fp32(&a, &b, &cc, &mut s));
     });
     let a4 = Matrix::<f32>::random(8, 4, 3);
     let b4 = Matrix::<f32>::random(4, 8, 4);
-    g.bench_function("fp16_8x8x4", |bch| {
-        bch.iter(|| {
-            let mut s = MmaStats::default();
-            black_box(mma::mma_narrow(m3xu_fp::format::FP16, &a4, &b4, &cc, &mut s))
-        })
+    bench("mma/fp16_8x8x4", BUDGET, || {
+        let mut s = MmaStats::default();
+        black_box(mma::mma_narrow(
+            m3xu_fp::format::FP16,
+            &a4,
+            &b4,
+            &cc,
+            &mut s,
+        ));
     });
-    g.bench_function("tf32_8x8x4", |bch| {
-        bch.iter(|| {
-            let mut s = MmaStats::default();
-            black_box(mma::mma_tf32(&a4, &b4, &cc, &mut s))
-        })
+    bench("mma/tf32_8x8x4", BUDGET, || {
+        let mut s = MmaStats::default();
+        black_box(mma::mma_tf32(&a4, &b4, &cc, &mut s));
     });
     let ac = Matrix::random_c32(8, 1, 5);
     let bc = Matrix::random_c32(1, 8, 6);
     let ccc = Matrix::<m3xu_fp::C32>::zeros(8, 8);
-    g.bench_function("m3xu_fp32c_8x8x1", |bch| {
-        bch.iter(|| {
-            let mut s = MmaStats::default();
-            black_box(mma::mma_fp32c(&ac, &bc, &ccc, &mut s))
-        })
+    bench("mma/m3xu_fp32c_8x8x1", BUDGET, || {
+        let mut s = MmaStats::default();
+        black_box(mma::mma_fp32c(&ac, &bc, &ccc, &mut s));
     });
-    g.finish();
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tiled_gemm");
+fn bench_gemm() {
     for n in [32usize, 64, 128] {
         let a = Matrix::<f32>::random(n, n, 7);
         let b = Matrix::<f32>::random(n, n, 8);
-        g.bench_with_input(BenchmarkId::new("m3xu_fp32", n), &n, |bch, _| {
-            bch.iter(|| black_box(matmul_f32(GemmPrecision::M3xuFp32, &a, &b)))
+        bench(&format!("tiled_gemm/m3xu_fp32/{n}"), BUDGET, || {
+            black_box(matmul_f32(GemmPrecision::M3xuFp32, &a, &b));
         });
-        g.bench_with_input(BenchmarkId::new("tf32", n), &n, |bch, _| {
-            bch.iter(|| black_box(matmul_f32(GemmPrecision::Tf32, &a, &b)))
+        bench(&format!("tiled_gemm/tf32/{n}"), BUDGET, || {
+            black_box(matmul_f32(GemmPrecision::Tf32, &a, &b));
         });
     }
-    g.finish();
 }
 
-fn bench_cgemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tiled_cgemm");
+fn bench_cgemm() {
     for n in [16usize, 32, 64] {
         let a = Matrix::random_c32(n, n, 9);
         let b = Matrix::random_c32(n, n, 10);
-        g.bench_with_input(BenchmarkId::new("m3xu_fp32c", n), &n, |bch, _| {
-            bch.iter(|| black_box(cmatmul_c32(&a, &b)))
+        bench(&format!("tiled_cgemm/m3xu_fp32c/{n}"), BUDGET, || {
+            black_box(cmatmul_c32(&a, &b));
         });
     }
-    g.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft() {
     for n in [256usize, 1024] {
         let m = Matrix::random_c32(n, 1, 11);
         let x: Vec<m3xu_fp::C32> = (0..n).map(|i| m.get(i, 0)).collect();
-        g.bench_with_input(BenchmarkId::new("gemm_fft", n), &n, |bch, _| {
-            bch.iter(|| black_box(fft::gemm_fft(&x)))
+        bench(&format!("fft/gemm_fft/{n}"), BUDGET, || {
+            black_box(fft::gemm_fft(&x));
         });
-        g.bench_with_input(BenchmarkId::new("radix2", n), &n, |bch, _| {
-            bch.iter(|| black_box(fft::radix2(&x)))
+        bench(&format!("fft/radix2/{n}"), BUDGET, || {
+            black_box(fft::radix2(&x));
         });
     }
-    g.finish();
 }
 
-fn bench_knn(c: &mut Criterion) {
+fn bench_knn() {
     let refs = Matrix::<f32>::random(128, 16, 12);
     let queries = Matrix::<f32>::random(16, 16, 13);
-    c.bench_function("knn_gemm_128x16_k16", |bch| {
-        bch.iter(|| black_box(knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 16)))
+    bench("knn_gemm_128x16_k16", BUDGET, || {
+        black_box(knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 16));
     });
 }
 
-criterion_group! {
-    name = functional;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_mma, bench_gemm, bench_cgemm, bench_fft, bench_knn
+fn main() {
+    bench_mma();
+    bench_gemm();
+    bench_cgemm();
+    bench_fft();
+    bench_knn();
 }
-criterion_main!(functional);

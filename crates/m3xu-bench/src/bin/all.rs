@@ -4,11 +4,13 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["table1", "tables24", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"];
+    let bins = [
+        "table1", "tables24", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    ];
     for bin in bins {
         println!("\n================ {bin} ================\n");
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .status();
+        let status =
+            Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin)).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),

@@ -1,0 +1,188 @@
+//! `bench_gemm` — throughput of the packed fragment pipeline against the
+//! seed per-fragment driver, on the same inputs, with bit-identical
+//! outputs asserted inline. Emits `results/BENCH_gemm.json`.
+//!
+//! Default sizes: 256^3 and 512^3 M3XU-FP32 GEMM, and 512 / 4096 / 65536
+//! point GEMM-formulated FFTs. Set `M3XU_BENCH_LARGE=1` to add the
+//! 1024^3 GEMM.
+
+use m3xu_bench::{dump_json, timing::fmt_duration};
+use m3xu_json::impl_to_json;
+use m3xu_kernels::fft;
+use m3xu_kernels::gemm::{self, baseline, GemmPrecision};
+use m3xu_mxu::matrix::Matrix;
+use std::time::{Duration, Instant};
+
+/// One GEMM size: wall-clock of both drivers plus derived throughput.
+struct GemmRow {
+    /// Problem size `n` of the `n^3` GEMM.
+    n: u64,
+    /// Seed (per-fragment) driver wall-clock, seconds.
+    seed_s: f64,
+    /// Packed-pipeline wall-clock, seconds.
+    packed_s: f64,
+    /// `seed_s / packed_s`.
+    speedup: f64,
+    /// MMA fragments the GEMM issued.
+    fragments: u64,
+    /// Packed-pipeline fragment throughput.
+    packed_fragments_per_s: f64,
+    /// Effective `2 n^3` GFLOP/s of the packed pipeline.
+    packed_gflops: f64,
+}
+impl_to_json!(GemmRow {
+    n,
+    seed_s,
+    packed_s,
+    speedup,
+    fragments,
+    packed_fragments_per_s,
+    packed_gflops
+});
+
+/// One FFT size: wall-clock of the identical decomposition over both
+/// CGEMM drivers.
+struct FftRow {
+    /// Transform length in points.
+    points: u64,
+    /// Seed-driver wall-clock, seconds.
+    seed_s: f64,
+    /// Packed-pipeline wall-clock, seconds.
+    packed_s: f64,
+    /// `seed_s / packed_s`.
+    speedup: f64,
+}
+impl_to_json!(FftRow {
+    points,
+    seed_s,
+    packed_s,
+    speedup
+});
+
+/// The full report written to `results/BENCH_gemm.json`.
+struct Report {
+    /// Worker threads both drivers were allowed to use.
+    threads: u64,
+    /// M3XU-FP32 GEMM rows.
+    gemm_fp32: Vec<GemmRow>,
+    /// FP32C GEMM-FFT rows.
+    fft_fp32c: Vec<FftRow>,
+}
+impl_to_json!(Report {
+    threads,
+    gemm_fp32,
+    fft_fp32c
+});
+
+/// Best-of-`reps` wall time of `f`.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best.as_secs_f64()
+}
+
+fn bench_gemm(n: usize, reps: usize) -> GemmRow {
+    let a = Matrix::<f32>::random(n, n, 0xA + n as u64);
+    let b = Matrix::<f32>::random(n, n, 0xB + n as u64);
+    let c = Matrix::<f32>::zeros(n, n);
+    let seed_r = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    let packed_r = gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    assert_eq!(
+        seed_r.d, packed_r.d,
+        "packed GEMM diverged from the seed driver at n={n}"
+    );
+    assert_eq!(seed_r.stats, packed_r.stats, "stats diverged at n={n}");
+    let seed_s = best_of(reps, || {
+        std::hint::black_box(baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c));
+    });
+    let packed_s = best_of(reps, || {
+        std::hint::black_box(gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c));
+    });
+    let flops = 2.0 * (n as f64).powi(3);
+    GemmRow {
+        n: n as u64,
+        seed_s,
+        packed_s,
+        speedup: seed_s / packed_s,
+        fragments: packed_r.stats.instructions,
+        packed_fragments_per_s: packed_r.stats.instructions as f64 / packed_s,
+        packed_gflops: flops / packed_s / 1e9,
+    }
+}
+
+fn bench_fft(points: usize, reps: usize) -> FftRow {
+    let m = Matrix::random_c32(points, 1, 0xF0 + points as u64);
+    let x: Vec<m3xu_fp::C32> = (0..points).map(|i| m.get(i, 0)).collect();
+    let (seed_out, _) = fft::gemm_fft_with(&x, baseline::cgemm_c32);
+    let (packed_out, _) = fft::gemm_fft(&x);
+    for (s, p) in seed_out.iter().zip(&packed_out) {
+        assert_eq!(
+            (s.re.to_bits(), s.im.to_bits()),
+            (p.re.to_bits(), p.im.to_bits()),
+            "packed FFT diverged from the seed driver at {points} points"
+        );
+    }
+    let seed_s = best_of(reps, || {
+        std::hint::black_box(fft::gemm_fft_with(&x, |f, v, c| {
+            baseline::cgemm_c32(f, v, c)
+        }));
+    });
+    let packed_s = best_of(reps, || {
+        std::hint::black_box(fft::gemm_fft(&x));
+    });
+    FftRow {
+        points: points as u64,
+        seed_s,
+        packed_s,
+        speedup: seed_s / packed_s,
+    }
+}
+
+fn main() {
+    let large = std::env::var("M3XU_BENCH_LARGE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    println!(
+        "packed vs seed GEMM/CGEMM drivers ({} worker threads)\n",
+        gemm::workers()
+    );
+
+    let mut gemm_rows = vec![bench_gemm(256, 2), bench_gemm(512, 1)];
+    if large {
+        gemm_rows.push(bench_gemm(1024, 1));
+    }
+    for r in &gemm_rows {
+        println!(
+            "gemm {0}^3: seed {1:>10}  packed {2:>10}  speedup {3:.2}x  ({4:.1} Mfrag/s, {5:.2} eff GFLOP/s)",
+            r.n,
+            fmt_duration(Duration::from_secs_f64(r.seed_s)),
+            fmt_duration(Duration::from_secs_f64(r.packed_s)),
+            r.speedup,
+            r.packed_fragments_per_s / 1e6,
+            r.packed_gflops,
+        );
+    }
+
+    let fft_rows = vec![bench_fft(512, 5), bench_fft(4096, 3), bench_fft(65536, 1)];
+    for r in &fft_rows {
+        println!(
+            "fft {0:>6} pts: seed {1:>10}  packed {2:>10}  speedup {3:.2}x",
+            r.points,
+            fmt_duration(Duration::from_secs_f64(r.seed_s)),
+            fmt_duration(Duration::from_secs_f64(r.packed_s)),
+            r.speedup,
+        );
+    }
+
+    let report = Report {
+        threads: gemm::workers() as u64,
+        gemm_fp32: gemm_rows,
+        fft_fp32c: fft_rows,
+    };
+    dump_json("BENCH_gemm", &report).expect("write results/BENCH_gemm.json");
+    println!("\nwrote results/BENCH_gemm.json");
+}

@@ -8,12 +8,24 @@ fn main() {
     let gpu = GpuConfig::a100_40gb();
     let fa = figure4a(&gpu);
     let fb = figure4b(&gpu);
-    print!("{}", render_figure4(&fa, "Fig. 4(a): SGEMM speedup over cutlass_simt_sgemm"));
+    print!(
+        "{}",
+        render_figure4(&fa, "Fig. 4(a): SGEMM speedup over cutlass_simt_sgemm")
+    );
     println!();
-    print!("{}", render_figure4(&fb, "Fig. 4(b): CGEMM speedup over cutlass_simt_cgemm"));
+    print!(
+        "{}",
+        render_figure4(&fb, "Fig. 4(b): CGEMM speedup over cutlass_simt_cgemm")
+    );
 
-    let m3xu_a = fa.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
-    let m3xu_b = fb.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap();
+    let m3xu_a = fa
+        .iter()
+        .find(|s| s.kernel == "M3XU_sgemm_pipelined")
+        .unwrap();
+    let m3xu_b = fb
+        .iter()
+        .find(|s| s.kernel == "M3XU_cgemm_pipelined")
+        .unwrap();
     let np_a = fa.iter().find(|s| s.kernel == "M3XU_sgemm").unwrap();
     let sw_max = fa
         .iter()
@@ -29,7 +41,10 @@ fn main() {
         PaperComparison::new("CGEMM M3XU max speedup", m3xu_b.max(), 3.82),
         PaperComparison::new(
             "CGEMM tensorop max",
-            fb.iter().find(|s| s.kernel == "cutlass_tensorop_cgemm").unwrap().max(),
+            fb.iter()
+                .find(|s| s.kernel == "cutlass_tensorop_cgemm")
+                .unwrap()
+                .max(),
             2.1,
         ),
     ];

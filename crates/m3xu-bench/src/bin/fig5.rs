@@ -11,14 +11,30 @@ fn main() {
     let cg = figure5_cgemm(&gpu);
 
     println!("Fig. 5 (a)+(c): SGEMM at 8K^3");
-    println!("{:28} {:>18} {:>16}", "kernel", "energy vs FP32-MXU", "% of target peak");
+    println!(
+        "{:28} {:>18} {:>16}",
+        "kernel", "energy vs FP32-MXU", "% of target peak"
+    );
     for r in &sg {
-        println!("{:28} {:>18.2} {:>15.1}%", r.kernel, r.energy_vs_fp32_mxu, r.fraction_of_target * 100.0);
+        println!(
+            "{:28} {:>18.2} {:>15.1}%",
+            r.kernel,
+            r.energy_vs_fp32_mxu,
+            r.fraction_of_target * 100.0
+        );
     }
     println!("\nFig. 5 (b)+(d): CGEMM at 8K^3");
-    println!("{:28} {:>18} {:>16}", "kernel", "energy vs FP32-MXU", "% of target peak");
+    println!(
+        "{:28} {:>18} {:>16}",
+        "kernel", "energy vs FP32-MXU", "% of target peak"
+    );
     for r in &cg {
-        println!("{:28} {:>18.2} {:>15.1}%", r.kernel, r.energy_vs_fp32_mxu, r.fraction_of_target * 100.0);
+        println!(
+            "{:28} {:>18.2} {:>15.1}%",
+            r.kernel,
+            r.energy_vs_fp32_mxu,
+            r.fraction_of_target * 100.0
+        );
     }
 
     let find = |rows: &[m3xu_gpu::figures::Figure5Row], name: &str| {

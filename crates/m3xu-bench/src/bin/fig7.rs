@@ -7,11 +7,12 @@ use m3xu_kernels::dnn::models::{figure7, render_figure7};
 fn main() {
     let gpu = GpuConfig::a100_40gb();
     let rows = figure7(64, &gpu);
-    println!("Fig. 7: one-iteration training latency (batch 64), mixed-precision baseline vs M3XU\n");
+    println!(
+        "Fig. 7: one-iteration training latency (batch 64), mixed-precision baseline vs M3XU\n"
+    );
     print!("{}", render_figure7(&rows));
 
-    let mean_e2e: f64 =
-        rows.iter().map(|r| r.end_to_end_speedup).sum::<f64>() / rows.len() as f64;
+    let mean_e2e: f64 = rows.iter().map(|r| r.end_to_end_speedup).sum::<f64>() / rows.len() as f64;
     let mean_bwd: f64 = rows.iter().map(|r| r.bwd_speedup).sum::<f64>() / rows.len() as f64;
     let cmp = vec![
         PaperComparison::new("backward-pass speedup", mean_bwd, 3.6),

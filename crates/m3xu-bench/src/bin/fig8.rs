@@ -10,7 +10,11 @@ fn main() {
     println!("Fig. 8: MRF dictionary-generation speedup over cublas_cgemm SnapMRF\n");
     print!("{}", render_figure8(&f));
     let max = f.iter().map(|p| p.speedup).fold(f64::MIN, f64::max);
-    let rows = vec![PaperComparison::new("max dictionary-generation speedup", max, 1.26)];
+    let rows = vec![PaperComparison::new(
+        "max dictionary-generation speedup",
+        max,
+        1.26,
+    )];
     println!("\n{}", render_comparisons(&rows));
     let _ = m3xu_bench::dump_json("fig8", &f);
 }

@@ -10,7 +10,11 @@ fn main() {
     println!("Fig. 9: KNN speedup over cublas_sgemm (K = 16)\n");
     print!("{}", render_figure9(&f));
     let max = f.iter().map(|c| c.speedup).fold(f64::MIN, f64::max);
-    let rows = vec![PaperComparison::new("max KNN speedup (largest inputs)", max, 1.8)];
+    let rows = vec![PaperComparison::new(
+        "max KNN speedup (largest inputs)",
+        max,
+        1.8,
+    )];
     println!("\n{}", render_comparisons(&rows));
     let _ = m3xu_bench::dump_json("fig9", &f);
 }

@@ -7,7 +7,10 @@ fn main() {
     println!("Table I: A100 HMMA peak throughput\n");
     print!("{}", render_table1(&gpu));
     println!("\nM3XU extension peaks (derived, §III-C):");
-    println!("  M3XU FP32 : {:>6.1} TFLOPS (1/4 of FP16 TC)", gpu.m3xu_fp32_tflops());
+    println!(
+        "  M3XU FP32 : {:>6.1} TFLOPS (1/4 of FP16 TC)",
+        gpu.m3xu_fp32_tflops()
+    );
     println!(
         "  M3XU FP32C: {:>6.1} real-TFLOPS equivalent (1/16 of FP16 MAC rate)",
         gpu.m3xu_fp32c_real_tflops()

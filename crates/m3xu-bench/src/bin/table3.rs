@@ -18,7 +18,10 @@ fn main() {
         "  FP32 overhead on a 12-bit baseline    : {:>5.1}% | 16%",
         a.overhead_on_12bit_baseline * 100.0
     );
-    println!("  FP32C increment over FP32-only       : {:>5.1}% |  4%", a.fp32c_increment * 100.0);
+    println!(
+        "  FP32C increment over FP32-only       : {:>5.1}% |  4%",
+        a.fp32c_increment * 100.0
+    );
 
     println!("\nMantissa-width sweep (multiplier+backend area vs 11-bit baseline):");
     for (bits, ratio) in m3xu_synth::designs::mantissa_width_sweep() {

@@ -4,7 +4,10 @@ use m3xu_gpu::kernel::{cgemm_kernels, native_mxu_kernels, sgemm_kernels};
 
 fn main() {
     println!("Table II: M3XU GEMM kernels provided by the emulation framework\n");
-    println!("{:28} {:>10} {:>8} {:>10} {:>12}", "name", "engine", "passes", "decouple", "clock");
+    println!(
+        "{:28} {:>10} {:>8} {:>10} {:>12}",
+        "name", "engine", "passes", "decouple", "clock"
+    );
     for k in sgemm_kernels().iter().chain(cgemm_kernels().iter()) {
         if !k.name.starts_with("M3XU") {
             continue;
@@ -20,7 +23,10 @@ fn main() {
     }
 
     println!("\nTable IV: baseline and prior GEMM kernels\n");
-    println!("{:28} {:>10} {:>8} {:>10}", "name", "engine", "passes", "decouple");
+    println!(
+        "{:28} {:>10} {:>8} {:>10}",
+        "name", "engine", "passes", "decouple"
+    );
     let (ns, nc) = native_mxu_kernels();
     for k in sgemm_kernels()
         .iter()

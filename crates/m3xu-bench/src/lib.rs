@@ -17,28 +17,33 @@
 //! | `fig9`    | Fig. 9: KNN speedup heatmap |
 //! | `all`     | everything above, plus JSON dumps under `results/` |
 //!
-//! The Criterion benches (`cargo bench -p m3xu-bench`) measure the
+//! The microbenchmarks (`cargo bench -p m3xu-bench`) measure the
 //! *functional* library itself: MMA latency, tiled GEMM/CGEMM throughput,
 //! the GEMM-FFT, KNN, and the cost/performance model evaluation speed.
+//! `cargo run --release -p m3xu-bench --bin bench_gemm` compares the
+//! packed GEMM/CGEMM drivers against the original per-fragment path and
+//! writes `results/BENCH_gemm.json`.
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod timing;
+
+use m3xu_json::ToJson;
 use std::fs;
 use std::path::Path;
 
 /// Write a serialisable artefact as pretty JSON under `results/`.
-pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+pub fn dump_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<()> {
     let dir = Path::new("results");
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))?;
+    fs::write(&path, value.to_json().to_string_pretty())?;
     Ok(())
 }
 
 /// A `(measured, paper)` pair with a relative-difference column, for the
 /// EXPERIMENTS.md records.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PaperComparison {
     /// What is being compared.
     pub metric: String,
@@ -48,10 +53,20 @@ pub struct PaperComparison {
     pub paper: f64,
 }
 
+m3xu_json::impl_to_json!(PaperComparison {
+    metric,
+    measured,
+    paper
+});
+
 impl PaperComparison {
     /// Build a comparison row.
     pub fn new(metric: impl Into<String>, measured: f64, paper: f64) -> Self {
-        PaperComparison { metric: metric.into(), measured, paper }
+        PaperComparison {
+            metric: metric.into(),
+            measured,
+            paper,
+        }
     }
 
     /// Relative difference `(measured - paper) / paper`.
@@ -62,7 +77,10 @@ impl PaperComparison {
 
 /// Render comparison rows as aligned text.
 pub fn render_comparisons(rows: &[PaperComparison]) -> String {
-    let mut out = format!("{:48} {:>10} {:>10} {:>8}\n", "metric", "measured", "paper", "diff");
+    let mut out = format!(
+        "{:48} {:>10} {:>10} {:>8}\n",
+        "metric", "measured", "paper", "diff"
+    );
     for r in rows {
         out.push_str(&format!(
             "{:48} {:>10.3} {:>10.3} {:>7.1}%\n",

@@ -1,0 +1,99 @@
+//! Minimal wall-clock measurement harness.
+//!
+//! Replaces the former Criterion dependency with a dependency-free
+//! equivalent: warm up, run the closure repeatedly inside a time budget,
+//! and report the median per-iteration time (robust to scheduler noise
+//! on shared machines).
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Number of timed iterations.
+    pub iters: usize,
+    /// Median per-iteration wall time.
+    pub median: Duration,
+    /// Fastest observed iteration.
+    pub best: Duration,
+    /// Arithmetic mean per-iteration wall time.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// Median time in seconds.
+    pub fn median_s(&self) -> f64 {
+        self.median.as_secs_f64()
+    }
+}
+
+/// Time `f` repeatedly within `budget` (always at least 3 iterations,
+/// capped at 10 000) and summarise.
+pub fn measure<F: FnMut()>(mut f: F, budget: Duration) -> Measurement {
+    f(); // warm-up, not timed
+    let mut samples: Vec<Duration> = Vec::new();
+    let start = Instant::now();
+    while samples.len() < 3 || (start.elapsed() < budget && samples.len() < 10_000) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let iters = samples.len();
+    let total: Duration = samples.iter().sum();
+    Measurement {
+        iters,
+        median: samples[iters / 2],
+        best: samples[0],
+        mean: total / iters as u32,
+    }
+}
+
+/// Measure and print one line in a `cargo bench`-like format.
+pub fn bench<F: FnMut()>(name: &str, budget: Duration, f: F) -> Measurement {
+    let m = measure(f, budget);
+    println!(
+        "{name:44} median {:>12} best {:>12} ({} iters)",
+        fmt_duration(m.median),
+        fmt_duration(m.best),
+        m.iters
+    );
+    m
+}
+
+/// Human-readable duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let mut n = 0u64;
+        let m = measure(|| n += 1, Duration::from_millis(1));
+        assert!(m.iters >= 3);
+        // warm-up + timed iterations all ran
+        assert_eq!(n, m.iters as u64 + 1);
+        assert!(m.best <= m.median);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

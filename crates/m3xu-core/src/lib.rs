@@ -59,7 +59,10 @@ impl M3xu {
     /// A device with the pipelined data-assignment stage (the
     /// recommended Table III variant) on an A100-class GPU.
     pub fn new() -> Self {
-        M3xu { pipeline: PipelineVariant::Pipelined, gpu: GpuConfig::a100_40gb() }
+        M3xu {
+            pipeline: PipelineVariant::Pipelined,
+            gpu: GpuConfig::a100_40gb(),
+        }
     }
 
     /// Use the non-pipelined variant (lower power, 21% longer cycles).
@@ -99,7 +102,12 @@ impl M3xu {
     /// FP32 GEMM with a modelled execution-time estimate attached.
     pub fn gemm_timed(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Timed<Matrix<f32>> {
         let value = self.gemm(a, b);
-        let p = m3xu_gpu::Problem { m: a.rows(), n: b.cols(), k: a.cols(), complex: false };
+        let p = m3xu_gpu::Problem {
+            m: a.rows(),
+            n: b.cols(),
+            k: a.cols(),
+            complex: false,
+        };
         let t = self.sgemm_kernel().run(p, &self.gpu);
         let simt = m3xu_gpu::kernel::sgemm_kernels()[0].run(p, &self.gpu);
         Timed {
@@ -122,7 +130,12 @@ impl M3xu {
     /// FP32C GEMM with a modelled execution-time estimate attached.
     pub fn cgemm_timed(&self, a: &Matrix<C32>, b: &Matrix<C32>) -> Timed<Matrix<C32>> {
         let value = self.cgemm(a, b);
-        let p = m3xu_gpu::Problem { m: a.rows(), n: b.cols(), k: a.cols(), complex: true };
+        let p = m3xu_gpu::Problem {
+            m: a.rows(),
+            n: b.cols(),
+            k: a.cols(),
+            complex: true,
+        };
         let t = self.cgemm_kernel().run(p, &self.gpu);
         let simt = m3xu_gpu::kernel::cgemm_kernels()[0].run(p, &self.gpu);
         Timed {
@@ -142,16 +155,14 @@ impl M3xu {
     pub fn ifft(&self, spectrum: &[C32]) -> Vec<C32> {
         let n = spectrum.len() as f32;
         let conj: Vec<C32> = spectrum.iter().map(|z| z.conj()).collect();
-        self.fft(&conj).iter().map(|z| z.conj().scale(1.0 / n)).collect()
+        self.fft(&conj)
+            .iter()
+            .map(|z| z.conj().scale(1.0 / n))
+            .collect()
     }
 
     /// GEMM-based K-nearest-neighbour search at full FP32 fidelity.
-    pub fn knn(
-        &self,
-        refs: &Matrix<f32>,
-        queries: &Matrix<f32>,
-        k: usize,
-    ) -> knn::KnnResult {
+    pub fn knn(&self, refs: &Matrix<f32>, queries: &Matrix<f32>, k: usize) -> knn::KnnResult {
         knn::knn_gemm(GemmPrecision::M3xuFp32, refs, queries, k)
     }
 }
@@ -188,7 +199,12 @@ mod tests {
         assert!(t.estimated_speedup > 0.1);
         assert_eq!(t.value.rows(), 64);
         // At realistic sizes the estimate shows the ~4x advantage.
-        let p = m3xu_gpu::Problem { m: 4096, n: 4096, k: 4096, complex: false };
+        let p = m3xu_gpu::Problem {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+            complex: false,
+        };
         let m3xu_t = dev.sgemm_kernel().run(p, &dev.gpu).time_s;
         let simt_t = m3xu_gpu::kernel::sgemm_kernels()[0].run(p, &dev.gpu).time_s;
         assert!(simt_t / m3xu_t > 3.0);
@@ -200,7 +216,12 @@ mod tests {
         let b = Matrix::<f32>::random(512, 512, 6);
         // Compare estimates only (functional result identical by
         // construction; skip recomputing it twice).
-        let p = m3xu_gpu::Problem { m: 512, n: 512, k: 512, complex: false };
+        let p = m3xu_gpu::Problem {
+            m: 512,
+            n: 512,
+            k: 512,
+            complex: false,
+        };
         let piped = M3xu::new();
         let nonpiped = M3xu::new().non_pipelined();
         let tp = piped.sgemm_kernel().run(p, &piped.gpu).time_s;

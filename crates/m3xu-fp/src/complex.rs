@@ -48,7 +48,10 @@ macro_rules! impl_complex_float {
             /// Complex conjugate.
             #[inline]
             pub fn conj(self) -> Self {
-                Complex { re: self.re, im: -self.im }
+                Complex {
+                    re: self.re,
+                    im: -self.im,
+                }
             }
 
             /// Squared magnitude `re² + im²`.
@@ -81,13 +84,19 @@ macro_rules! impl_complex_float {
             #[inline]
             pub fn recip(self) -> Self {
                 let d = self.norm_sqr();
-                Complex { re: self.re / d, im: -self.im / d }
+                Complex {
+                    re: self.re / d,
+                    im: -self.im / d,
+                }
             }
 
             /// Scale by a real factor.
             #[inline]
             pub fn scale(self, k: $t) -> Self {
-                Complex { re: self.re * k, im: self.im * k }
+                Complex {
+                    re: self.re * k,
+                    im: self.im * k,
+                }
             }
 
             /// True if either component is NaN.
@@ -107,7 +116,10 @@ macro_rules! impl_complex_float {
             type Output = Self;
             #[inline]
             fn add(self, rhs: Self) -> Self {
-                Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+                Complex {
+                    re: self.re + rhs.re,
+                    im: self.im + rhs.im,
+                }
             }
         }
 
@@ -115,7 +127,10 @@ macro_rules! impl_complex_float {
             type Output = Self;
             #[inline]
             fn sub(self, rhs: Self) -> Self {
-                Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+                Complex {
+                    re: self.re - rhs.re,
+                    im: self.im - rhs.im,
+                }
             }
         }
 
@@ -145,7 +160,10 @@ macro_rules! impl_complex_float {
             type Output = Self;
             #[inline]
             fn neg(self) -> Self {
-                Complex { re: -self.re, im: -self.im }
+                Complex {
+                    re: -self.re,
+                    im: -self.im,
+                }
             }
         }
 
@@ -191,7 +209,10 @@ impl_complex_float!(f64);
 impl From<Complex<f32>> for Complex<f64> {
     #[inline]
     fn from(c: Complex<f32>) -> Self {
-        Complex { re: c.re as f64, im: c.im as f64 }
+        Complex {
+            re: c.re as f64,
+            im: c.im as f64,
+        }
     }
 }
 
@@ -199,7 +220,10 @@ impl Complex<f64> {
     /// Round both components to FP32, producing an FP32C value.
     #[inline]
     pub fn to_c32(self) -> Complex<f32> {
-        Complex { re: self.re as f32, im: self.im as f32 }
+        Complex {
+            re: self.re as f32,
+            im: self.im as f32,
+        }
     }
 }
 
@@ -226,7 +250,10 @@ pub fn as_interleaved(data: &[Complex<f32>]) -> &[f32] {
 /// [`as_interleaved`]). Panics if the length is odd.
 #[inline]
 pub fn from_interleaved(data: &[f32]) -> &[Complex<f32>] {
-    assert!(data.len().is_multiple_of(2), "interleaved complex slice must have even length");
+    assert!(
+        data.len().is_multiple_of(2),
+        "interleaved complex slice must have even length"
+    );
     // SAFETY: same layout argument as `as_interleaved`; alignment of
     // Complex<f32> equals that of f32.
     unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<Complex<f32>>(), data.len() / 2) }

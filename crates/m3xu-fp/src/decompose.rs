@@ -142,8 +142,11 @@ impl EmulationScheme {
         assert_eq!(a.len(), b.len());
         match self {
             EmulationScheme::Tf32X3 | EmulationScheme::Tf32X4 => {
-                let splits: Vec<(Terms<2>, Terms<2>)> =
-                    a.iter().zip(b).map(|(&x, &y)| (split_tf32(x), split_tf32(y))).collect();
+                let splits: Vec<(Terms<2>, Terms<2>)> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| (split_tf32(x), split_tf32(y)))
+                    .collect();
                 let pass = |fa: fn(&Terms<2>) -> f32, fb: fn(&Terms<2>) -> f32| -> f32 {
                     let mut acc = 0.0f32;
                     for (ta, tb) in &splits {
@@ -162,8 +165,11 @@ impl EmulationScheme {
                 total + bb
             }
             EmulationScheme::Bf16X3 => {
-                let splits: Vec<(Terms<3>, Terms<3>)> =
-                    a.iter().zip(b).map(|(&x, &y)| (split_bf16x3(x), split_bf16x3(y))).collect();
+                let splits: Vec<(Terms<3>, Terms<3>)> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| (split_bf16x3(x), split_bf16x3(y)))
+                    .collect();
                 let pass = |ia: usize, ib: usize| -> f32 {
                     let mut acc = 0.0f32;
                     for (ta, tb) in &splits {
@@ -217,7 +223,7 @@ mod tests {
         // never does.
         let mut tf_inexact = 0u32;
         let mut bf_inexact = 0u32;
-        let mut x = 0.70710678f32;
+        let mut x = std::f32::consts::FRAC_1_SQRT_2;
         for _ in 0..100 {
             x = (x * 1.618_034).fract() + 0.25;
             let y = (x * 2.399).fract() + 0.5;
@@ -226,14 +232,22 @@ mod tests {
             let m3xu = crate::split::SplitProducts::of_fp32(x, y).total() as f32;
             assert_eq!(m3xu, exact, "M3XU product must be bit-exact for ({x},{y})");
 
-            let e_tf = ulp_distance_f32(EmulationScheme::Tf32X3.emulate_product(x, y) as f32, exact);
-            let e_bf = ulp_distance_f32(EmulationScheme::Bf16X3.emulate_product(x, y) as f32, exact);
+            let e_tf =
+                ulp_distance_f32(EmulationScheme::Tf32X3.emulate_product(x, y) as f32, exact);
+            let e_bf =
+                ulp_distance_f32(EmulationScheme::Bf16X3.emulate_product(x, y) as f32, exact);
             tf_inexact += (e_tf > 0) as u32;
             bf_inexact += (e_bf > 0) as u32;
             // Errors stay within "several bits" (3xBF16 drops the a1*b1 and
             // *-b2 cross terms, ~2^-16 relative, i.e. up to ~8 low bits).
-            assert!(e_tf <= 16, "tf32x3 error too large: {e_tf} ulps for ({x},{y})");
-            assert!(e_bf <= 1024, "bf16x3 error too large: {e_bf} ulps for ({x},{y})");
+            assert!(
+                e_tf <= 16,
+                "tf32x3 error too large: {e_tf} ulps for ({x},{y})"
+            );
+            assert!(
+                e_bf <= 1024,
+                "bf16x3 error too large: {e_bf} ulps for ({x},{y})"
+            );
         }
         assert!(tf_inexact > 0, "tf32x3 emulation never erred — suspicious");
         assert!(bf_inexact > 0, "bf16x3 emulation never erred — suspicious");
@@ -253,7 +267,10 @@ mod tests {
             sum3 += (EmulationScheme::Tf32X3.emulate_product(x, y) - exact).abs();
             sum4 += (EmulationScheme::Tf32X4.emulate_product(x, y) - exact).abs();
         }
-        assert!(sum4 < sum3, "tf32x4 aggregate error {sum4} not below tf32x3 {sum3}");
+        assert!(
+            sum4 < sum3,
+            "tf32x4 aggregate error {sum4} not below tf32x3 {sum3}"
+        );
     }
 
     #[test]
@@ -267,7 +284,11 @@ mod tests {
             }
             acc
         };
-        for scheme in [EmulationScheme::Tf32X3, EmulationScheme::Tf32X4, EmulationScheme::Bf16X3] {
+        for scheme in [
+            EmulationScheme::Tf32X3,
+            EmulationScheme::Tf32X4,
+            EmulationScheme::Bf16X3,
+        ] {
             let got = scheme.emulate_dot(&a, &b);
             let err = (got - reference).abs() / reference.abs().max(1e-20);
             assert!(err < 1e-4, "{scheme:?} dot error {err}");

@@ -64,7 +64,9 @@ impl Default for Kulisch {
 impl Kulisch {
     /// A zeroed accumulator.
     pub fn new() -> Self {
-        Kulisch { limbs: Box::new([0u64; LIMBS]) }
+        Kulisch {
+            limbs: Box::new([0u64; LIMBS]),
+        }
     }
 
     /// Reset to zero without reallocating.
@@ -133,7 +135,10 @@ impl Kulisch {
     /// Add a finite `f64` exactly. Panics on NaN/infinity (the structural
     /// simulator handles specials before reaching the accumulator).
     pub fn add_f64(&mut self, x: f64) {
-        assert!(x.is_finite(), "Kulisch accumulates finite values only, got {x}");
+        assert!(
+            x.is_finite(),
+            "Kulisch accumulates finite values only, got {x}"
+        );
         if x == 0.0 {
             return;
         }
@@ -346,7 +351,7 @@ mod tests {
 
     #[test]
     fn single_value_roundtrip() {
-        for &x in &[1.0f64, -2.5, 1e308, -1e-308, 5e-324, 3.141592653589793] {
+        for &x in &[1.0f64, -2.5, 1e308, -1e-308, 5e-324, std::f64::consts::PI] {
             let mut acc = Kulisch::new();
             acc.add_f64(x);
             assert_eq!(acc.to_f64(), x, "roundtrip failed for {x:e}");
@@ -390,8 +395,12 @@ mod tests {
 
     #[test]
     fn f32_product_accumulation_matches_exact_f64_sum() {
-        let a: Vec<f32> = (0..100).map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.125).collect();
-        let b: Vec<f32> = (0..100).map(|i| ((i * 53 % 29) as f32 - 14.0) * 0.25).collect();
+        let a: Vec<f32> = (0..100)
+            .map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.125)
+            .collect();
+        let b: Vec<f32> = (0..100)
+            .map(|i| ((i * 53 % 29) as f32 - 14.0) * 0.25)
+            .collect();
         let mut acc = Kulisch::new();
         let mut exact = 0.0f64; // small dyadic rationals: the f64 sum is exact
         for i in 0..100 {

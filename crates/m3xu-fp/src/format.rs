@@ -30,20 +30,48 @@ pub struct FloatFormat {
 }
 
 /// IEEE 754 binary16 (half precision): (1, 5, 10).
-pub const FP16: FloatFormat = FloatFormat { name: "fp16", exp_bits: 5, mantissa_bits: 10 };
+pub const FP16: FloatFormat = FloatFormat {
+    name: "fp16",
+    exp_bits: 5,
+    mantissa_bits: 10,
+};
 /// bfloat16: (1, 8, 7).
-pub const BF16: FloatFormat = FloatFormat { name: "bf16", exp_bits: 8, mantissa_bits: 7 };
+pub const BF16: FloatFormat = FloatFormat {
+    name: "bf16",
+    exp_bits: 8,
+    mantissa_bits: 7,
+};
 /// NVIDIA TF32: (1, 8, 10) — FP32 range, FP16 precision.
-pub const TF32: FloatFormat = FloatFormat { name: "tf32", exp_bits: 8, mantissa_bits: 10 };
+pub const TF32: FloatFormat = FloatFormat {
+    name: "tf32",
+    exp_bits: 8,
+    mantissa_bits: 10,
+};
 /// IEEE 754 binary32 (single precision): (1, 8, 23).
-pub const FP32: FloatFormat = FloatFormat { name: "fp32", exp_bits: 8, mantissa_bits: 23 };
+pub const FP32: FloatFormat = FloatFormat {
+    name: "fp32",
+    exp_bits: 8,
+    mantissa_bits: 23,
+};
 /// IEEE 754 binary64 (double precision): (1, 11, 52).
-pub const FP64: FloatFormat = FloatFormat { name: "fp64", exp_bits: 11, mantissa_bits: 52 };
+pub const FP64: FloatFormat = FloatFormat {
+    name: "fp64",
+    exp_bits: 11,
+    mantissa_bits: 52,
+};
 /// FP8 E4M3 (OCP 8-bit format): (1, 4, 3) — the "8-bit multipliers"
 /// end of the §IV-C design space.
-pub const FP8_E4M3: FloatFormat = FloatFormat { name: "fp8-e4m3", exp_bits: 4, mantissa_bits: 3 };
+pub const FP8_E4M3: FloatFormat = FloatFormat {
+    name: "fp8-e4m3",
+    exp_bits: 4,
+    mantissa_bits: 3,
+};
 /// FP8 E5M2: (1, 5, 2).
-pub const FP8_E5M2: FloatFormat = FloatFormat { name: "fp8-e5m2", exp_bits: 5, mantissa_bits: 2 };
+pub const FP8_E5M2: FloatFormat = FloatFormat {
+    name: "fp8-e5m2",
+    exp_bits: 5,
+    mantissa_bits: 2,
+};
 
 /// The internal buffer-entry format of the M3XU data-assignment stage:
 /// 1-bit sign, 8-bit exponent, 12-bit mantissa *without* an implicit leading
@@ -52,7 +80,11 @@ pub const FP8_E5M2: FloatFormat = FloatFormat { name: "fp8-e5m2", exp_bits: 5, m
 ///
 /// Expressed here as a `FloatFormat` only for width bookkeeping; its
 /// semantics differ (no hidden bit) and live in the MXU crate.
-pub const M3XU_BUFFER: FloatFormat = FloatFormat { name: "m3xu-buf", exp_bits: 8, mantissa_bits: 12 };
+pub const M3XU_BUFFER: FloatFormat = FloatFormat {
+    name: "m3xu-buf",
+    exp_bits: 8,
+    mantissa_bits: 12,
+};
 
 impl FloatFormat {
     /// Significand precision in bits, including the implicit leading bit.
@@ -164,7 +196,11 @@ pub fn exact_pow2(k: i32) -> f64 {
 
 impl std::fmt::Display for FloatFormat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} (1,{},{})", self.name, self.exp_bits, self.mantissa_bits)
+        write!(
+            f,
+            "{} (1,{},{})",
+            self.name, self.exp_bits, self.mantissa_bits
+        )
     }
 }
 

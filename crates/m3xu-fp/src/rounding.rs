@@ -158,10 +158,22 @@ mod tests {
     #[test]
     fn directed_overflow() {
         let big = 1e39;
-        assert_eq!(round_with(big, FP32, Rounding::TowardPositive), f64::INFINITY);
-        assert_eq!(round_with(big, FP32, Rounding::TowardZero), FP32.max_finite());
-        assert_eq!(round_with(-big, FP32, Rounding::TowardNegative), f64::NEG_INFINITY);
-        assert_eq!(round_with(-big, FP32, Rounding::TowardPositive), -FP32.max_finite());
+        assert_eq!(
+            round_with(big, FP32, Rounding::TowardPositive),
+            f64::INFINITY
+        );
+        assert_eq!(
+            round_with(big, FP32, Rounding::TowardZero),
+            FP32.max_finite()
+        );
+        assert_eq!(
+            round_with(-big, FP32, Rounding::TowardNegative),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            round_with(-big, FP32, Rounding::TowardPositive),
+            -FP32.max_finite()
+        );
     }
 
     #[test]

@@ -198,7 +198,10 @@ impl SoftFloat {
             fmt.f64_evaluation_is_exact() || fmt == crate::format::FP64,
             "format {fmt} cannot be emulated bit-exactly via f64"
         );
-        SoftFloat { value: round_to_format(x, fmt), fmt }
+        SoftFloat {
+            value: round_to_format(x, fmt),
+            fmt,
+        }
     }
 
     /// The represented value (exact).
@@ -220,7 +223,10 @@ impl SoftFloat {
 
     /// Construct from a raw bit pattern.
     pub fn from_bits(bits: u64, fmt: FloatFormat) -> Self {
-        SoftFloat { value: decode(bits, fmt), fmt }
+        SoftFloat {
+            value: decode(bits, fmt),
+            fmt,
+        }
     }
 
     /// Correctly-rounded product (both operands must share a format).
@@ -276,8 +282,7 @@ mod tests {
             let expect = x as f32;
             let got = round_to_format(x, FP32);
             assert_eq!(
-                got,
-                expect as f64,
+                got, expect as f64,
                 "x={x:e}: got {got:e}, hardware {expect:e}"
             );
         }
@@ -317,7 +322,16 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_fp32() {
         let mut bits_seen = std::collections::HashSet::new();
-        for &x in &[0.0f32, -0.0, 1.0, -2.5, f32::MIN_POSITIVE, 1.0e-44, f32::MAX, 0.1] {
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -2.5,
+            f32::MIN_POSITIVE,
+            1.0e-44,
+            f32::MAX,
+            0.1,
+        ] {
             let enc = encode(x as f64, FP32);
             assert_eq!(enc as u32, x.to_bits(), "encode mismatch for {x}");
             assert_eq!(decode(enc, FP32), x as f64);
@@ -339,7 +353,10 @@ mod tests {
             }
             let re = encode(v, FP16);
             // -0.0 and 0.0 both decode to 0.0 with sign tracked.
-            assert_eq!(re, bits, "bits {bits:#06x} decoded to {v} re-encoded {re:#06x}");
+            assert_eq!(
+                re, bits,
+                "bits {bits:#06x} decoded to {v} re-encoded {re:#06x}"
+            );
         }
     }
 

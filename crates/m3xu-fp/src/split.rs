@@ -131,7 +131,7 @@ mod tests {
             -1.2345678e-3,
             6.5536e4,
             f32::MIN_POSITIVE,
-            1.0e-44,            // subnormal
+            1.0e-44, // subnormal
             -f32::MAX,
             1.0 + f32::EPSILON, // all-ones low bits region
         ] {
@@ -178,7 +178,11 @@ mod tests {
         for (a, b) in cases {
             let p = SplitProducts::of_fp32(a, b);
             let exact = a as f64 * b as f64;
-            assert_eq!(p.total(), exact, "products don't sum to exact a*b for ({a},{b})");
+            assert_eq!(
+                p.total(),
+                exact,
+                "products don't sum to exact a*b for ({a},{b})"
+            );
             assert_eq!(p.step1() + p.step2(), exact);
         }
     }

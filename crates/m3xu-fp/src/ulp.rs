@@ -84,7 +84,10 @@ impl ErrorStats {
     /// Compare `got` against `reference` element-wise.
     pub fn compare_f32(got: &[f32], reference: &[f32]) -> Self {
         assert_eq!(got.len(), reference.len());
-        let mut s = ErrorStats { count: got.len(), ..Default::default() };
+        let mut s = ErrorStats {
+            count: got.len(),
+            ..Default::default()
+        };
         if got.is_empty() {
             return s;
         }

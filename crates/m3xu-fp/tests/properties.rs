@@ -1,8 +1,13 @@
-//! Property-based tests for the floating-point substrate.
+//! Property-style tests for the floating-point substrate.
 //!
 //! These pin down the invariants every higher layer depends on:
 //! round-to-format agrees with hardware casts, splits are error-free,
 //! the Kulisch accumulator is exact, and ULP distance is a metric.
+//!
+//! Inputs are drawn deterministically from a seeded xorshift generator
+//! over raw bit patterns, so the whole finite range — subnormals, huge
+//! exponent spreads, signed zeros — is exercised reproducibly on every
+//! run with no external test-framework dependency.
 
 use m3xu_fp::decompose::{split_bf16x3, split_tf32, EmulationScheme};
 use m3xu_fp::fixed::Kulisch;
@@ -10,189 +15,303 @@ use m3xu_fp::format::{BF16, FP16, FP32, TF32};
 use m3xu_fp::softfloat::{decode, encode, round_to_format};
 use m3xu_fp::split::{split_fp32, SplitProducts};
 use m3xu_fp::ulp::{ulp_distance_f32, ulp_distance_f64};
-use proptest::prelude::*;
 
-/// Finite f32 values across the full range, including subnormals.
-fn any_finite_f32() -> impl Strategy<Value = f32> {
-    any::<u32>().prop_filter_map("finite", |bits| {
-        let x = f32::from_bits(bits);
-        x.is_finite().then_some(x)
-    })
+const CASES: usize = 2000;
+
+/// Deterministic xorshift64 bit-pattern generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Finite f32 values across the full range, including subnormals.
+    fn finite_f32(&mut self) -> f32 {
+        loop {
+            let x = f32::from_bits(self.next_u32());
+            if x.is_finite() {
+                return x;
+            }
+        }
+    }
+
+    /// Finite f64 values across the full range, including subnormals.
+    fn finite_f64(&mut self) -> f64 {
+        loop {
+            let x = f64::from_bits(self.next_u64());
+            if x.is_finite() {
+                return x;
+            }
+        }
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
 }
 
-/// Finite f64 values that fit in f32 range (common case for GEMM data).
-fn any_finite_f64() -> impl Strategy<Value = f64> {
-    any::<u64>().prop_filter_map("finite", |bits| {
-        let x = f64::from_bits(bits);
-        x.is_finite().then_some(x)
-    })
-}
-
-proptest! {
-    /// round_to_format(x, FP32) is identical to the hardware `as f32` cast.
-    #[test]
-    fn round_fp32_matches_hardware(x in any_finite_f64()) {
+/// round_to_format(x, FP32) is identical to the hardware `as f32` cast.
+#[test]
+fn round_fp32_matches_hardware() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let x = rng.finite_f64();
         let sw = round_to_format(x, FP32);
         let hw = x as f32;
         if hw.is_infinite() {
-            prop_assert!(sw.is_infinite() && sw.is_sign_positive() == hw.is_sign_positive());
+            assert!(sw.is_infinite() && sw.is_sign_positive() == hw.is_sign_positive());
         } else {
-            prop_assert_eq!(sw, hw as f64);
+            assert_eq!(sw, hw as f64, "mismatch for {x:e}");
         }
     }
+}
 
-    /// Rounding is idempotent for every format.
-    #[test]
-    fn rounding_is_idempotent(x in any_finite_f64()) {
+/// Rounding is idempotent for every format.
+#[test]
+fn rounding_is_idempotent() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let x = rng.finite_f64();
         for fmt in [FP16, BF16, TF32, FP32] {
             let once = round_to_format(x, fmt);
             let twice = round_to_format(once, fmt);
-            prop_assert!(once.to_bits() == twice.to_bits(),
-                "{} not idempotent for {:e}: {:e} vs {:e}", fmt, x, once, twice);
+            assert!(
+                once.to_bits() == twice.to_bits(),
+                "{fmt} not idempotent for {x:e}: {once:e} vs {twice:e}"
+            );
         }
     }
+}
 
-    /// Rounding is monotone: x <= y implies round(x) <= round(y).
-    #[test]
-    fn rounding_is_monotone(a in any_finite_f64(), b in any_finite_f64()) {
+/// Rounding is monotone: x <= y implies round(x) <= round(y).
+#[test]
+fn rounding_is_monotone() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let (a, b) = (rng.finite_f64(), rng.finite_f64());
         let (x, y) = if a <= b { (a, b) } else { (b, a) };
         for fmt in [FP16, BF16, TF32, FP32] {
-            prop_assert!(round_to_format(x, fmt) <= round_to_format(y, fmt));
+            assert!(
+                round_to_format(x, fmt) <= round_to_format(y, fmt),
+                "{fmt} not monotone on {x:e} <= {y:e}"
+            );
         }
     }
+}
 
-    /// encode/decode round-trips for arbitrary FP32 bit patterns.
-    #[test]
-    fn encode_decode_fp32_roundtrip(bits in any::<u32>()) {
+/// encode/decode round-trips for arbitrary FP32 bit patterns.
+#[test]
+fn encode_decode_fp32_roundtrip() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let bits = rng.next_u32();
         let v = decode(bits as u64, FP32);
         if v.is_nan() {
-            prop_assert!(f32::from_bits(bits).is_nan());
+            assert!(f32::from_bits(bits).is_nan());
         } else {
-            prop_assert_eq!(v, f32::from_bits(bits) as f64);
-            prop_assert_eq!(encode(v, FP32) as u32, bits);
+            assert_eq!(v, f32::from_bits(bits) as f64);
+            assert_eq!(encode(v, FP32) as u32, bits);
         }
     }
+}
 
-    /// The FP32 split is error-free and the high part has a 12-bit significand.
-    #[test]
-    fn split_fp32_error_free(x in any_finite_f32()) {
+/// The FP32 split is error-free and the high part has a 12-bit significand.
+#[test]
+fn split_fp32_error_free() {
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let x = rng.finite_f32();
         let (hi, lo) = split_fp32(x);
-        prop_assert_eq!(hi + lo, x);
-        prop_assert_eq!(hi.to_bits() & 0xfff, 0);
+        assert_eq!(hi + lo, x, "split not exact for {x:e}");
+        assert_eq!(
+            hi.to_bits() & 0xfff,
+            0,
+            "high part keeps low bits for {x:e}"
+        );
     }
+}
 
-    /// The four split products reconstruct the exact f64 product — the
-    /// foundation of M3XU's bit-exactness claim.
-    #[test]
-    fn split_products_exact(a in any_finite_f32(), b in any_finite_f32()) {
+/// The four split products reconstruct the exact f64 product — the
+/// foundation of M3XU's bit-exactness claim.
+#[test]
+fn split_products_exact() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let (a, b) = (rng.finite_f32(), rng.finite_f32());
         let p = SplitProducts::of_fp32(a, b);
-        prop_assert_eq!(p.total(), a as f64 * b as f64);
-        prop_assert_eq!(p.step1() + p.step2(), a as f64 * b as f64);
+        assert_eq!(
+            p.total(),
+            a as f64 * b as f64,
+            "total wrong for {a:e} * {b:e}"
+        );
+        assert_eq!(p.step1() + p.step2(), a as f64 * b as f64);
     }
+}
 
-    /// TF32 split: both terms representable; residual bounded by 2^-21 |x|.
-    #[test]
-    fn tf32_split_bounds(x in any_finite_f32()) {
+/// TF32 split: both terms representable; residual bounded by 2^-21 |x|.
+#[test]
+fn tf32_split_bounds() {
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let x = rng.finite_f32();
         let t = split_tf32(x);
         for &v in &t.t {
-            prop_assert!(v.is_nan() || round_to_format(v as f64, TF32) as f32 == v);
+            assert!(v.is_nan() || round_to_format(v as f64, TF32) as f32 == v);
         }
         // Away from the underflow boundary (the small term itself must stay
         // representable: |small| ~ |x| * 2^-11 must exceed TF32's least
         // subnormal 2^-136), the residual is bounded by ~2^-21 |x|.
         if x.is_normal() && x.abs() > 2.0f32.powi(-100) {
-            prop_assert!(t.residual(x).abs() <= (x as f64).abs() * 2.0f64.powi(-21));
+            assert!(t.residual(x).abs() <= (x as f64).abs() * 2.0f64.powi(-21));
         }
     }
+}
 
-    /// BF16x3 split terms are representable and improve with each term.
-    #[test]
-    fn bf16x3_split_bounds(x in any_finite_f32()) {
+/// BF16x3 split terms are representable and improve with each term.
+#[test]
+fn bf16x3_split_bounds() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let x = rng.finite_f32();
         let t = split_bf16x3(x);
         for &v in &t.t {
-            prop_assert!(v.is_nan() || round_to_format(v as f64, BF16) as f32 == v);
+            assert!(v.is_nan() || round_to_format(v as f64, BF16) as f32 == v);
         }
         if x.is_normal() && x.abs() > 1e-30 {
             let r1 = (x as f64 - t.t[0] as f64).abs();
             let r3 = t.residual(x).abs();
-            prop_assert!(r3 <= r1 + f64::EPSILON * x.abs() as f64);
+            assert!(r3 <= r1 + f64::EPSILON * x.abs() as f64);
         }
     }
+}
 
-    /// M3XU's per-product path is bit-exact against FP32 for ALL finite
-    /// inputs where the product doesn't overflow, while software emulation
-    /// is allowed error.
-    #[test]
-    fn m3xu_product_always_exact(a in any_finite_f32(), b in any_finite_f32()) {
+/// M3XU's per-product path is bit-exact against FP32 for ALL finite
+/// inputs where the product doesn't overflow, while software emulation
+/// is allowed error.
+#[test]
+fn m3xu_product_always_exact() {
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
+        let (a, b) = (rng.finite_f32(), rng.finite_f32());
         let exact64 = a as f64 * b as f64;
         let exact = exact64 as f32;
-        prop_assume!(exact.is_finite());
+        if !exact.is_finite() {
+            continue;
+        }
         let m3xu = SplitProducts::of_fp32(a, b).total() as f32;
-        prop_assert_eq!(m3xu.to_bits(), exact.to_bits());
+        assert_eq!(
+            m3xu.to_bits(),
+            exact.to_bits(),
+            "m3xu product wrong for {a:e} * {b:e}"
+        );
         // Software schemes stay within a few dozen ulps on data away from
         // the over/underflow boundaries (near them, their split terms
         // themselves under/overflow — another M3XU advantage).
-        let moderate = |x: f32| x.is_normal() && x.abs() > 2.0f32.powi(-50) && x.abs() < 2.0f32.powi(50);
+        let moderate =
+            |x: f32| x.is_normal() && x.abs() > 2.0f32.powi(-50) && x.abs() < 2.0f32.powi(50);
         if moderate(a) && moderate(b) && exact.is_normal() {
             let tf = EmulationScheme::Tf32X3.emulate_product(a, b) as f32;
-            prop_assert!(ulp_distance_f32(tf, exact) <= 32);
+            assert!(ulp_distance_f32(tf, exact) <= 32);
         }
     }
+}
 
-    /// Kulisch accumulation of f64 values reproduces an exact reference
-    /// built from i128 integer arithmetic on scaled dyadics.
-    #[test]
-    fn kulisch_sums_small_dyadics_exactly(vals in prop::collection::vec(-1000i32..1000, 1..50)) {
+/// Kulisch accumulation of f64 values reproduces an exact reference
+/// built from integer arithmetic on scaled dyadics.
+#[test]
+fn kulisch_sums_small_dyadics_exactly() {
+    let mut rng = Rng::new(10);
+    for _ in 0..200 {
+        let len = rng.range(1, 50) as usize;
         let mut acc = Kulisch::new();
         let mut exact_num = 0i64; // value = exact_num / 256
-        for &v in &vals {
-            let x = v as f64 / 256.0;
-            acc.add_f64(x);
-            exact_num += v as i64;
+        for _ in 0..len {
+            let v = rng.range(-1000, 1000);
+            acc.add_f64(v as f64 / 256.0);
+            exact_num += v;
         }
-        prop_assert_eq!(acc.to_f64(), exact_num as f64 / 256.0);
+        assert_eq!(acc.to_f64(), exact_num as f64 / 256.0);
     }
+}
 
-    /// Kulisch add/sub of the same values always returns to zero.
-    #[test]
-    fn kulisch_cancellation(xs in prop::collection::vec(any_finite_f64(), 1..30)) {
+/// Kulisch add/sub of the same values always returns to zero.
+#[test]
+fn kulisch_cancellation() {
+    let mut rng = Rng::new(11);
+    for _ in 0..200 {
+        let len = rng.range(1, 30) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| rng.finite_f64()).collect();
         let mut acc = Kulisch::new();
-        for &x in &xs { acc.add_f64(x); }
-        for &x in &xs { acc.sub_f64(x); }
-        prop_assert!(acc.is_zero());
+        for &x in &xs {
+            acc.add_f64(x);
+        }
+        for &x in &xs {
+            acc.sub_f64(x);
+        }
+        assert!(acc.is_zero());
     }
+}
 
-    /// Kulisch to_f32 of a single product equals the correctly rounded product.
-    #[test]
-    fn kulisch_single_product_rounds_correctly(a in any_finite_f32(), b in any_finite_f32()) {
+/// Kulisch to_f32 of a single product equals the correctly rounded product.
+#[test]
+fn kulisch_single_product_rounds_correctly() {
+    let mut rng = Rng::new(12);
+    for _ in 0..CASES {
+        let (a, b) = (rng.finite_f32(), rng.finite_f32());
+        let expect = ((a as f64) * (b as f64)) as f32;
+        if !expect.is_finite() {
+            continue;
+        }
         let mut acc = Kulisch::new();
         acc.add_product_f32(a, b);
-        let expect = ((a as f64) * (b as f64)) as f32;
-        prop_assume!(expect.is_finite());
-        prop_assert_eq!(acc.to_f32().to_bits(), expect.to_bits());
+        assert_eq!(
+            acc.to_f32().to_bits(),
+            expect.to_bits(),
+            "rounding wrong for {a:e} * {b:e}"
+        );
     }
+}
 
-    /// ULP distance is symmetric and satisfies the triangle inequality.
-    #[test]
-    fn ulp_is_a_metric(a in any_finite_f32(), b in any_finite_f32(), c in any_finite_f32()) {
-        prop_assert_eq!(ulp_distance_f32(a, b), ulp_distance_f32(b, a));
-        prop_assert_eq!(ulp_distance_f32(a, a), 0);
+/// ULP distance is symmetric and satisfies the triangle inequality.
+#[test]
+fn ulp_is_a_metric() {
+    let mut rng = Rng::new(13);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.finite_f32(), rng.finite_f32(), rng.finite_f32());
+        assert_eq!(ulp_distance_f32(a, b), ulp_distance_f32(b, a));
+        assert_eq!(ulp_distance_f32(a, a), 0);
         let ab = ulp_distance_f32(a, b) as u128;
         let bc = ulp_distance_f32(b, c) as u128;
         let ac = ulp_distance_f32(a, c) as u128;
-        prop_assert!(ac <= ab + bc);
+        assert!(ac <= ab + bc);
     }
+}
 
-    /// Adjacent f64 values are exactly 1 ulp apart.
-    #[test]
-    fn ulp_f64_adjacency(x in any_finite_f64()) {
+/// Adjacent f64 values are exactly 1 ulp apart.
+#[test]
+fn ulp_f64_adjacency() {
+    let mut rng = Rng::new(14);
+    for _ in 0..CASES {
+        let x = rng.finite_f64();
         let y = f64::from_bits(x.to_bits().wrapping_add(1));
-        if y.is_finite() && !(x == 0.0 && y != 0.0 && y.is_sign_negative()) {
-            // Skip the +0 -> smallest-negative wraparound artifact of raw
-            // bit increment on sign-magnitude floats.
-            if x.is_sign_negative() == y.is_sign_negative() {
-                prop_assert_eq!(ulp_distance_f64(x, y), 1);
-            }
+        // Skip the +0 -> smallest-negative wraparound artifact of raw
+        // bit increment on sign-magnitude floats.
+        if y.is_finite() && x.is_sign_negative() == y.is_sign_negative() {
+            assert_eq!(ulp_distance_f64(x, y), 1);
         }
     }
 }

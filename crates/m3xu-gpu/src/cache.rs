@@ -9,8 +9,6 @@
 //! through an LRU set-associative cache and compares the resulting DRAM
 //! traffic against the closed-form model.
 
-use serde::Serialize;
-
 /// A set-associative cache with LRU replacement.
 pub struct Cache {
     sets: usize,
@@ -23,13 +21,15 @@ pub struct Cache {
 }
 
 /// Hit/miss statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Line accesses.
     pub accesses: u64,
     /// Line misses (DRAM fills).
     pub misses: u64,
 }
+
+m3xu_json::impl_to_json!(CacheStats { accesses, misses });
 
 impl CacheStats {
     /// Miss ratio.

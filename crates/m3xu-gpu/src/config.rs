@@ -5,10 +5,9 @@
 //! pinning (1170 MHz base, 960 MHz for the non-pipelined M3XU kernels).
 
 use m3xu_fp::format::{FloatFormat, BF16, FP16, FP32, TF32};
-use serde::Serialize;
 
 /// Static configuration of the modelled GPU.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GpuConfig {
     /// Streaming multiprocessors.
     pub sms: u32,
@@ -31,6 +30,19 @@ pub struct GpuConfig {
     /// Kernel launch + epilogue fixed overhead in seconds.
     pub launch_overhead_s: f64,
 }
+
+m3xu_json::impl_to_json!(GpuConfig {
+    sms,
+    tensor_cores_per_sm,
+    boost_clock_ghz,
+    experiment_clock_ghz,
+    fp32_simt_tflops,
+    fp16_tc_tflops,
+    bf16_tc_tflops,
+    tf32_tc_tflops,
+    hbm_gbs,
+    launch_overhead_s,
+});
 
 impl Default for GpuConfig {
     fn default() -> Self {
@@ -118,7 +130,7 @@ impl GpuConfig {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Data type name.
     pub data_type: &'static str,
@@ -128,13 +140,31 @@ pub struct Table1Row {
     pub peak_tflops: f64,
 }
 
+m3xu_json::impl_to_json!(Table1Row {
+    data_type,
+    bit_format,
+    peak_tflops
+});
+
 /// Generate Table I (A100 HMMA peak throughput).
 pub fn table1(gpu: &GpuConfig) -> Vec<Table1Row> {
     let fmt = |f: FloatFormat| (1, f.exp_bits, f.mantissa_bits);
     vec![
-        Table1Row { data_type: "FP32", bit_format: fmt(FP32), peak_tflops: gpu.fp32_simt_tflops },
-        Table1Row { data_type: "FP16", bit_format: fmt(FP16), peak_tflops: 78.0 },
-        Table1Row { data_type: "BF16", bit_format: fmt(BF16), peak_tflops: 39.0 },
+        Table1Row {
+            data_type: "FP32",
+            bit_format: fmt(FP32),
+            peak_tflops: gpu.fp32_simt_tflops,
+        },
+        Table1Row {
+            data_type: "FP16",
+            bit_format: fmt(FP16),
+            peak_tflops: 78.0,
+        },
+        Table1Row {
+            data_type: "BF16",
+            bit_format: fmt(BF16),
+            peak_tflops: 39.0,
+        },
         Table1Row {
             data_type: "TF32 Tensor Core",
             bit_format: fmt(TF32),
@@ -156,7 +186,10 @@ pub fn table1(gpu: &GpuConfig) -> Vec<Table1Row> {
 /// Render Table I as aligned text.
 pub fn render_table1(gpu: &GpuConfig) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:20} {:>12} {:>16}\n", "Data Type", "Bit Format", "Peak Throughput"));
+    out.push_str(&format!(
+        "{:20} {:>12} {:>16}\n",
+        "Data Type", "Bit Format", "Peak Throughput"
+    ));
     for r in table1(gpu) {
         out.push_str(&format!(
             "{:20} {:>12} {:>13.1} TFLOPS\n",

@@ -78,8 +78,14 @@ mod tests {
         let e_nonpiped = run_with_energy(&ks[4], p, &g).1;
         let r_piped = e_piped / e_native;
         let r_nonpiped = e_nonpiped / e_native;
-        assert!((0.30..0.50).contains(&r_piped), "pipelined ratio = {r_piped}");
-        assert!((0.22..0.40).contains(&r_nonpiped), "non-pipelined ratio = {r_nonpiped}");
+        assert!(
+            (0.30..0.50).contains(&r_piped),
+            "pipelined ratio = {r_piped}"
+        );
+        assert!(
+            (0.22..0.40).contains(&r_nonpiped),
+            "non-pipelined ratio = {r_nonpiped}"
+        );
         assert!(r_nonpiped < r_piped);
     }
 
@@ -90,13 +96,18 @@ mod tests {
         let g = gpu();
         let p = Problem::square(8192);
         let ks = sgemm_kernels();
-        let e_sw = run_with_energy(&ks[1], p, &g).1.min(run_with_energy(&ks[2], p, &g).1);
+        let e_sw = run_with_energy(&ks[1], p, &g)
+            .1
+            .min(run_with_energy(&ks[2], p, &g).1);
         let e_piped = run_with_energy(&ks[3], p, &g).1;
         let e_nonpiped = run_with_energy(&ks[4], p, &g).1;
         let r = e_piped / e_sw;
         assert!((0.55..0.90).contains(&r), "pipelined vs software = {r}");
         let rn = e_nonpiped / e_sw;
-        assert!((0.40..0.75).contains(&rn), "non-pipelined vs software = {rn}");
+        assert!(
+            (0.40..0.75).contains(&rn),
+            "non-pipelined vs software = {rn}"
+        );
     }
 
     /// Fig. 5(b): CGEMM energy ratios (paper: 43% of FP32-MXU pipelined,
@@ -110,7 +121,10 @@ mod tests {
         let ks = cgemm_kernels();
         let r_piped = run_with_energy(&ks[2], p, &g).1 / e_native;
         let r_nonpiped = run_with_energy(&ks[3], p, &g).1 / e_native;
-        assert!((0.32..0.62).contains(&r_piped), "cgemm pipelined = {r_piped}");
+        assert!(
+            (0.32..0.62).contains(&r_piped),
+            "cgemm pipelined = {r_piped}"
+        );
         assert!(r_nonpiped < r_piped);
     }
 
@@ -137,14 +151,26 @@ mod calib {
         let (native, nativec) = native_mxu_kernels();
         for k in sgemm_kernels().iter().chain(std::iter::once(&native)) {
             let (r, e) = run_with_energy(k, p, &g);
-            println!("{:28} time {:8.2}ms busy {:8.2}ms traffic {:6.1}GB energy {:.5}",
-                k.name, r.time_s*1e3, r.engine_busy_s*1e3, r.traffic_bytes/1e9, e);
+            println!(
+                "{:28} time {:8.2}ms busy {:8.2}ms traffic {:6.1}GB energy {:.5}",
+                k.name,
+                r.time_s * 1e3,
+                r.engine_busy_s * 1e3,
+                r.traffic_bytes / 1e9,
+                e
+            );
         }
         let pc = Problem::square_complex(8192);
         for k in cgemm_kernels().iter().chain(std::iter::once(&nativec)) {
             let (r, e) = run_with_energy(k, pc, &g);
-            println!("{:28} time {:8.2}ms busy {:8.2}ms traffic {:6.1}GB energy {:.5}",
-                k.name, r.time_s*1e3, r.engine_busy_s*1e3, r.traffic_bytes/1e9, e);
+            println!(
+                "{:28} time {:8.2}ms busy {:8.2}ms traffic {:6.1}GB energy {:.5}",
+                k.name,
+                r.time_s * 1e3,
+                r.engine_busy_s * 1e3,
+                r.traffic_bytes / 1e9,
+                e
+            );
         }
     }
 }

@@ -3,19 +3,20 @@
 use crate::config::GpuConfig;
 use crate::energy::run_with_energy;
 use crate::kernel::{cgemm_kernels, native_mxu_kernels, sgemm_kernels, KernelSpec, Problem};
-use serde::Serialize;
 
 /// The Fig. 4 problem-size sweep: 1K^3 to 16K^3.
 pub const FIG4_SIZES: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
 
 /// One kernel's speedup series over the SIMT baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupSeries {
     /// Kernel name.
     pub kernel: &'static str,
     /// `(problem edge, speedup over SIMT)` pairs.
     pub points: Vec<(usize, f64)>,
 }
+
+m3xu_json::impl_to_json!(SpeedupSeries { kernel, points });
 
 impl SpeedupSeries {
     /// Arithmetic-mean speedup across the sweep.
@@ -64,7 +65,7 @@ pub fn figure4b(gpu: &GpuConfig) -> Vec<SpeedupSeries> {
 
 /// One kernel's Fig. 5 row: relative energy and fraction of the
 /// theoretical performance target reached.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure5Row {
     /// Kernel name.
     pub kernel: &'static str,
@@ -74,6 +75,12 @@ pub struct Figure5Row {
     /// FP32 target = 25% of FP16 TC peak; FP32C target = 6.25%.
     pub fraction_of_target: f64,
 }
+
+m3xu_json::impl_to_json!(Figure5Row {
+    kernel,
+    energy_vs_fp32_mxu,
+    fraction_of_target
+});
 
 /// Fig. 5 (a)+(c): SGEMM energy and peak-fraction at the saturated size.
 pub fn figure5_sgemm(gpu: &GpuConfig) -> Vec<Figure5Row> {
@@ -143,7 +150,10 @@ mod tests {
     #[test]
     fn figure4a_headline_numbers() {
         let f = figure4a(&gpu());
-        let m3xu = f.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
+        let m3xu = f
+            .iter()
+            .find(|s| s.kernel == "M3XU_sgemm_pipelined")
+            .unwrap();
         assert!((3.2..4.0).contains(&m3xu.mean()), "mean = {}", m3xu.mean());
         assert!((3.6..4.0).contains(&m3xu.max()), "max = {}", m3xu.max());
         // Saturation: the 8K and 16K points within a few % of each other.
@@ -161,10 +171,16 @@ mod tests {
     #[test]
     fn figure4b_headline_numbers() {
         let f = figure4b(&gpu());
-        let m3xu = f.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap();
+        let m3xu = f
+            .iter()
+            .find(|s| s.kernel == "M3XU_cgemm_pipelined")
+            .unwrap();
         assert!((3.1..4.0).contains(&m3xu.mean()), "mean = {}", m3xu.mean());
         assert!((3.4..4.0).contains(&m3xu.max()), "max = {}", m3xu.max());
-        let sw = f.iter().find(|s| s.kernel == "cutlass_tensorop_cgemm").unwrap();
+        let sw = f
+            .iter()
+            .find(|s| s.kernel == "cutlass_tensorop_cgemm")
+            .unwrap();
         assert!(sw.max() < 2.4, "tensorop cgemm max = {}", sw.max());
     }
 
@@ -175,7 +191,10 @@ mod tests {
         let fa = figure4a(&gpu());
         let np = fa.iter().find(|s| s.kernel == "M3XU_sgemm").unwrap();
         assert!(np.max() > 3.0, "non-pipelined max = {}", np.max());
-        let piped = fa.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
+        let piped = fa
+            .iter()
+            .find(|s| s.kernel == "M3XU_sgemm_pipelined")
+            .unwrap();
         assert!(np.max() < piped.max());
     }
 
@@ -185,24 +204,47 @@ mod tests {
     fn figure5_peak_fractions() {
         let g = gpu();
         let rows = figure5_sgemm(&g);
-        let m3xu = rows.iter().find(|r| r.kernel == "M3XU_sgemm_pipelined").unwrap();
-        assert!(m3xu.fraction_of_target > 0.90, "m3xu fraction = {}", m3xu.fraction_of_target);
-        let sw = rows.iter().find(|r| r.kernel == "cutlass_tensorop_sgemm").unwrap();
+        let m3xu = rows
+            .iter()
+            .find(|r| r.kernel == "M3XU_sgemm_pipelined")
+            .unwrap();
+        assert!(
+            m3xu.fraction_of_target > 0.90,
+            "m3xu fraction = {}",
+            m3xu.fraction_of_target
+        );
+        let sw = rows
+            .iter()
+            .find(|r| r.kernel == "cutlass_tensorop_sgemm")
+            .unwrap();
         assert!(
             (0.40..0.70).contains(&sw.fraction_of_target),
             "software fraction = {}",
             sw.fraction_of_target
         );
         let rows = figure5_cgemm(&g);
-        let m3xu = rows.iter().find(|r| r.kernel == "M3XU_cgemm_pipelined").unwrap();
-        assert!(m3xu.fraction_of_target > 0.85, "cgemm fraction = {}", m3xu.fraction_of_target);
+        let m3xu = rows
+            .iter()
+            .find(|r| r.kernel == "M3XU_cgemm_pipelined")
+            .unwrap();
+        assert!(
+            m3xu.fraction_of_target > 0.85,
+            "cgemm fraction = {}",
+            m3xu.fraction_of_target
+        );
     }
 
     #[test]
     fn print_fig4_for_calibration() {
         let g = gpu();
-        println!("{}", render_figure4(&figure4a(&g), "Fig 4a: SGEMM speedup over SIMT"));
-        println!("{}", render_figure4(&figure4b(&g), "Fig 4b: CGEMM speedup over SIMT"));
+        println!(
+            "{}",
+            render_figure4(&figure4a(&g), "Fig 4a: SGEMM speedup over SIMT")
+        );
+        println!(
+            "{}",
+            render_figure4(&figure4b(&g), "Fig 4b: CGEMM speedup over SIMT")
+        );
     }
 
     #[test]

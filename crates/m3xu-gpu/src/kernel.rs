@@ -18,10 +18,9 @@
 //! partial-sum traffic for full SM occupancy on small grids.
 
 use crate::config::GpuConfig;
-use serde::Serialize;
 
 /// A GEMM problem instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Problem {
     /// Output rows.
     pub m: usize,
@@ -33,15 +32,27 @@ pub struct Problem {
     pub complex: bool,
 }
 
+m3xu_json::impl_to_json!(Problem { m, n, k, complex });
+
 impl Problem {
     /// A square real-valued problem (the Fig. 4a sweep).
     pub fn square(n: usize) -> Self {
-        Problem { m: n, n, k: n, complex: false }
+        Problem {
+            m: n,
+            n,
+            k: n,
+            complex: false,
+        }
     }
 
     /// A square complex-valued problem (the Fig. 4b sweep).
     pub fn square_complex(n: usize) -> Self {
-        Problem { m: n, n, k: n, complex: true }
+        Problem {
+            m: n,
+            n,
+            k: n,
+            complex: true,
+        }
     }
 
     /// Real-flop count: `2mnk` for real GEMM, `8mnk` for complex
@@ -62,7 +73,7 @@ impl Problem {
 }
 
 /// Which execution engine a kernel's inner loop occupies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// CUDA (SIMT) FP32 cores.
     Simt,
@@ -78,6 +89,12 @@ pub enum Engine {
     M3xuFp32c,
     /// The brute-force native FP32 MXU (Table III column 2).
     NativeFp32Mxu,
+}
+
+impl m3xu_json::ToJson for Engine {
+    fn to_json(&self) -> m3xu_json::Json {
+        m3xu_json::Json::Str(format!("{self:?}"))
+    }
 }
 
 impl Engine {
@@ -97,7 +114,7 @@ impl Engine {
 }
 
 /// A kernel's execution recipe.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KernelSpec {
     /// Kernel name (Tables II / IV).
     pub name: &'static str,
@@ -124,8 +141,18 @@ pub struct KernelSpec {
     pub clock_scale: f64,
 }
 
+m3xu_json::impl_to_json!(KernelSpec {
+    name,
+    engine,
+    passes,
+    issue_eff,
+    decouple,
+    stream_factor,
+    clock_scale,
+});
+
 /// The time/energy/traffic report of one kernel execution.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KernelReport {
     /// Kernel name.
     pub name: &'static str,
@@ -151,6 +178,20 @@ pub struct KernelReport {
     pub engine_busy_s: f64,
 }
 
+m3xu_json::impl_to_json!(KernelReport {
+    name,
+    time_s,
+    compute_s,
+    memory_s,
+    decouple_s,
+    traffic_bytes,
+    flops,
+    achieved_tflops,
+    instructions,
+    tile,
+    engine_busy_s,
+});
+
 /// Threadblock tile options the model chooses between (square tiles plus a
 /// stream-K variant of the largest).
 const TILES: [usize; 3] = [64, 128, 256];
@@ -165,7 +206,8 @@ impl KernelSpec {
     pub fn run(&self, p: Problem, gpu: &GpuConfig) -> KernelReport {
         let flops = p.flops();
         let work_flops = flops * self.passes;
-        let rate = gpu.at_experiment_clock(self.engine.peak_tflops(gpu)) * 1e12
+        let rate = gpu.at_experiment_clock(self.engine.peak_tflops(gpu))
+            * 1e12
             * self.issue_eff
             * self.clock_scale;
 
@@ -175,8 +217,7 @@ impl KernelSpec {
         let mut best: Option<(f64, usize, f64, f64)> = None; // (time, tile, t_mem, t_math)
         for &tile in &TILES {
             for stream_k in [false, true] {
-                let blocks =
-                    p.m.div_ceil(tile) as f64 * p.n.div_ceil(tile) as f64;
+                let blocks = p.m.div_ceil(tile) as f64 * p.n.div_ceil(tile) as f64;
                 // Wave quantisation: the last wave may be underfull.
                 // Stream-K splits the reduction to fill all SMs at the cost
                 // of extra partial-sum traffic.
@@ -214,8 +255,11 @@ impl KernelSpec {
             0.0
         };
 
-        let prologue_s =
-            if matches!(self.engine, Engine::Simt) { 0.0 } else { TENSOR_PROLOGUE_S };
+        let prologue_s = if matches!(self.engine, Engine::Simt) {
+            0.0
+        } else {
+            TENSOR_PROLOGUE_S
+        };
         let time = t_core + decouple_s + prologue_s + gpu.launch_overhead_s;
         let traffic = self.traffic_bytes(p, tile, false)
             + if self.decouple {
@@ -437,7 +481,10 @@ mod tests {
         let tensorop = ks[1].run(p, &g).time_s;
         let m3xu = ks[3].run(p, &g).time_s;
         let sw_speedup = simt / tensorop;
-        assert!((1.8..2.9).contains(&sw_speedup), "tensorop speedup = {sw_speedup}");
+        assert!(
+            (1.8..2.9).contains(&sw_speedup),
+            "tensorop speedup = {sw_speedup}"
+        );
         assert!(m3xu < tensorop);
     }
 
@@ -511,6 +558,9 @@ mod tests {
         let r = sgemm.run(Problem::square(8192), &g);
         // The whole point of §II-B: full-rate FP32 needs bandwidth the
         // memory system doesn't have.
-        assert!(r.memory_s > r.compute_s, "native FP32 MXU should be memory-bound");
+        assert!(
+            r.memory_s > r.compute_s,
+            "native FP32 MXU should be memory-bound"
+        );
     }
 }

@@ -18,7 +18,6 @@
 
 use crate::config::GpuConfig;
 use m3xu_mxu::modes::MxuMode;
-use serde::Serialize;
 
 /// One warp-level instruction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,7 +67,7 @@ impl WarpInstr {
 }
 
 /// Simulation result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineReport {
     /// Total cycles until every warp retires.
     pub cycles: u64,
@@ -79,6 +78,13 @@ pub struct PipelineReport {
     /// Cycles no warp could issue (stalls).
     pub idle_cycles: u64,
 }
+
+m3xu_json::impl_to_json!(PipelineReport {
+    cycles,
+    instructions,
+    tensor_busy,
+    idle_cycles
+});
 
 impl PipelineReport {
     /// Tensor-pipe utilisation.
@@ -132,8 +138,18 @@ pub fn simulate(streams: &[Vec<WarpInstr>]) -> PipelineReport {
         cycle += 1;
     }
     // Drain: the last instruction's latency.
-    let drain = warp_ready.iter().max().copied().unwrap_or(0).saturating_sub(cycle);
-    PipelineReport { cycles: cycle + drain, instructions: issued, tensor_busy, idle_cycles: idle }
+    let drain = warp_ready
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0)
+        .saturating_sub(cycle);
+    PipelineReport {
+        cycles: cycle + drain,
+        instructions: issued,
+        tensor_busy,
+        idle_cycles: idle,
+    }
 }
 
 /// Build the per-warp instruction stream of a `tiles`-iteration GEMM
@@ -198,7 +214,10 @@ mod tests {
         let fp16 = simulate(&vec![vec![WarpInstr::Mma(MxuMode::Fp16); 64]; 8]);
         let fp32 = simulate(&vec![vec![WarpInstr::Mma(MxuMode::M3xuFp32); 64]; 8]);
         let ratio = fp32.cycles as f64 / fp16.cycles as f64;
-        assert!((1.9..2.1).contains(&ratio), "pipe-occupancy ratio = {ratio}");
+        assert!(
+            (1.9..2.1).contains(&ratio),
+            "pipe-occupancy ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -207,7 +226,11 @@ mod tests {
         let one = simulate(&[vec![WarpInstr::Mma(MxuMode::Fp16); 64]]);
         let eight = simulate(&vec![vec![WarpInstr::Mma(MxuMode::Fp16); 64]; 8]);
         assert!(one.tensor_utilisation() < 0.7);
-        assert!(eight.tensor_utilisation() > 0.9, "util = {}", eight.tensor_utilisation());
+        assert!(
+            eight.tensor_utilisation() > 0.9,
+            "util = {}",
+            eight.tensor_utilisation()
+        );
     }
 
     #[test]
@@ -224,8 +247,7 @@ mod tests {
 
     #[test]
     fn pipeline_confirms_corollary_3() {
-        let (pipeline, analytical) =
-            validate_mode(MxuMode::M3xuFp32c, 8, &GpuConfig::a100_40gb());
+        let (pipeline, analytical) = validate_mode(MxuMode::M3xuFp32c, 8, &GpuConfig::a100_40gb());
         assert!((analytical - 16.0).abs() < 1e-12);
         assert!(
             (pipeline / analytical - 1.0).abs() < 0.12,
@@ -238,7 +260,11 @@ mod tests {
         // A balanced mainloop keeps tensor utilisation high despite loads.
         let streams = vec![gemm_mainloop(MxuMode::Fp16, 128); 8];
         let r = simulate(&streams);
-        assert!(r.tensor_utilisation() > 0.55, "util = {}", r.tensor_utilisation());
+        assert!(
+            r.tensor_utilisation() > 0.55,
+            "util = {}",
+            r.tensor_utilisation()
+        );
     }
 
     #[test]

@@ -1,95 +1,205 @@
-//! Property-based tests on the performance/energy model: sanity laws any
-//! credible roofline must satisfy for arbitrary problem shapes.
+//! Property-style tests on the performance/energy model: sanity laws any
+//! credible roofline must satisfy for arbitrary problem shapes, sampled
+//! deterministically from a seeded generator.
 
 use m3xu_gpu::energy::run_with_energy;
 use m3xu_gpu::kernel::{cgemm_kernels, sgemm_kernels, Problem};
 use m3xu_gpu::GpuConfig;
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 fn gpu() -> GpuConfig {
     GpuConfig::a100_40gb()
 }
 
-fn dim() -> impl Strategy<Value = usize> {
-    (6u32..13).prop_map(|b| 1usize << b) // 64 .. 4096
+/// Deterministic xorshift64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Power-of-two problem dimension in 64..4096.
+    fn dim(&mut self) -> usize {
+        1usize << (6 + self.next_u64() % 7)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Time and energy are positive and finite for every kernel and shape.
-    #[test]
-    fn reports_are_finite(m in dim(), n in dim(), k in dim()) {
-        let g = gpu();
-        let p = Problem { m, n, k, complex: false };
+/// Time and energy are positive and finite for every kernel and shape.
+#[test]
+fn reports_are_finite() {
+    let g = gpu();
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let p = Problem {
+            m: rng.dim(),
+            n: rng.dim(),
+            k: rng.dim(),
+            complex: false,
+        };
         for spec in sgemm_kernels() {
             let (r, e) = run_with_energy(&spec, p, &g);
-            prop_assert!(r.time_s.is_finite() && r.time_s > 0.0, "{}", spec.name);
-            prop_assert!(e.is_finite() && e > 0.0);
-            prop_assert!(r.achieved_tflops.is_finite());
-            prop_assert!(r.traffic_bytes > 0.0);
+            assert!(r.time_s.is_finite() && r.time_s > 0.0, "{}", spec.name);
+            assert!(e.is_finite() && e > 0.0);
+            assert!(r.achieved_tflops.is_finite());
+            assert!(r.traffic_bytes > 0.0);
         }
     }
+}
 
-    /// More flops never takes less time (monotonicity in k).
-    #[test]
-    fn time_monotone_in_k(m in dim(), n in dim(), k in dim()) {
-        let g = gpu();
+/// More flops never takes less time (monotonicity in k).
+#[test]
+fn time_monotone_in_k() {
+    let g = gpu();
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let (m, n, k) = (rng.dim(), rng.dim(), rng.dim());
         for spec in sgemm_kernels() {
-            let t1 = spec.run(Problem { m, n, k, complex: false }, &g).time_s;
-            let t2 = spec.run(Problem { m, n, k: k * 2, complex: false }, &g).time_s;
-            prop_assert!(t2 >= t1 * 0.999, "{}: k={k}: {t1} vs {t2}", spec.name);
+            let t1 = spec
+                .run(
+                    Problem {
+                        m,
+                        n,
+                        k,
+                        complex: false,
+                    },
+                    &g,
+                )
+                .time_s;
+            let t2 = spec
+                .run(
+                    Problem {
+                        m,
+                        n,
+                        k: k * 2,
+                        complex: false,
+                    },
+                    &g,
+                )
+                .time_s;
+            assert!(t2 >= t1 * 0.999, "{}: k={k}: {t1} vs {t2}", spec.name);
         }
     }
+}
 
-    /// Achieved TFLOPS never exceeds the engine's theoretical peak at the
-    /// pinned clock.
-    #[test]
-    fn never_beats_the_roofline(m in dim(), n in dim(), k in dim()) {
-        let g = gpu();
+/// Achieved TFLOPS never exceeds the engine's theoretical peak at the
+/// pinned clock.
+#[test]
+fn never_beats_the_roofline() {
+    let g = gpu();
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let (m, n, k) = (rng.dim(), rng.dim(), rng.dim());
         for spec in sgemm_kernels() {
-            let r = spec.run(Problem { m, n, k, complex: false }, &g);
+            let r = spec.run(
+                Problem {
+                    m,
+                    n,
+                    k,
+                    complex: false,
+                },
+                &g,
+            );
             let peak = g.at_experiment_clock(spec.engine.peak_tflops(&g)) / spec.passes;
-            prop_assert!(
+            assert!(
                 r.achieved_tflops <= peak * 1.001,
-                "{}: {} > peak {}", spec.name, r.achieved_tflops, peak
+                "{}: {} > peak {}",
+                spec.name,
+                r.achieved_tflops,
+                peak
             );
         }
     }
+}
 
-    /// M3XU pipelined is never slower than non-pipelined (same work, same
-    /// engine, faster clock).
-    #[test]
-    fn pipelined_never_loses(m in dim(), n in dim(), k in dim()) {
-        let g = gpu();
-        let ks = sgemm_kernels();
-        let p = Problem { m, n, k, complex: false };
-        let piped = ks.iter().find(|s| s.name == "M3XU_sgemm_pipelined").unwrap().run(p, &g);
-        let nonpiped = ks.iter().find(|s| s.name == "M3XU_sgemm").unwrap().run(p, &g);
-        prop_assert!(piped.time_s <= nonpiped.time_s * 1.001);
+/// M3XU pipelined is never slower than non-pipelined (same work, same
+/// engine, faster clock).
+#[test]
+fn pipelined_never_loses() {
+    let g = gpu();
+    let mut rng = Rng::new(4);
+    let ks = sgemm_kernels();
+    for _ in 0..CASES {
+        let p = Problem {
+            m: rng.dim(),
+            n: rng.dim(),
+            k: rng.dim(),
+            complex: false,
+        };
+        let piped = ks
+            .iter()
+            .find(|s| s.name == "M3XU_sgemm_pipelined")
+            .unwrap()
+            .run(p, &g);
+        let nonpiped = ks
+            .iter()
+            .find(|s| s.name == "M3XU_sgemm")
+            .unwrap()
+            .run(p, &g);
+        assert!(piped.time_s <= nonpiped.time_s * 1.001);
     }
+}
 
-    /// Complex problems cost more than real problems of the same shape on
-    /// every engine that supports both.
-    #[test]
-    fn complex_costs_more(n in dim()) {
-        let g = gpu();
+/// Complex problems cost more than real problems of the same shape on
+/// every engine that supports both.
+#[test]
+fn complex_costs_more() {
+    let g = gpu();
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let n = rng.dim();
         let real = sgemm_kernels()[0].run(Problem::square(n), &g).time_s;
-        let complex = cgemm_kernels()[0].run(Problem::square_complex(n), &g).time_s;
-        prop_assert!(complex >= real, "n={n}: {complex} vs {real}");
+        let complex = cgemm_kernels()[0]
+            .run(Problem::square_complex(n), &g)
+            .time_s;
+        assert!(complex >= real, "n={n}: {complex} vs {real}");
         if n >= 1024 {
             // Away from the launch-overhead floor, 4x the MACs cost ~4x.
-            prop_assert!(complex > real * 2.0, "n={n}: {complex} vs {real}");
+            assert!(complex > real * 2.0, "n={n}: {complex} vs {real}");
         }
     }
+}
 
-    /// Instruction counts scale linearly with each dimension (rule b).
-    #[test]
-    fn instructions_scale_linearly(n in dim()) {
-        let g = gpu();
+/// Instruction counts scale linearly with each dimension (rule b).
+#[test]
+fn instructions_scale_linearly() {
+    let g = gpu();
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let n = rng.dim();
         let spec = &sgemm_kernels()[3]; // M3XU pipelined
-        let base = spec.run(Problem { m: n, n, k: n, complex: false }, &g).instructions;
-        let double_k = spec.run(Problem { m: n, n, k: 2 * n, complex: false }, &g).instructions;
-        prop_assert!((double_k / base - 2.0).abs() < 1e-9);
+        let base = spec
+            .run(
+                Problem {
+                    m: n,
+                    n,
+                    k: n,
+                    complex: false,
+                },
+                &g,
+            )
+            .instructions;
+        let double_k = spec
+            .run(
+                Problem {
+                    m: n,
+                    n,
+                    k: 2 * n,
+                    complex: false,
+                },
+                &g,
+            )
+            .instructions;
+        assert!((double_k / base - 2.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,340 @@
+//! # m3xu-json — a minimal, dependency-free JSON emitter
+//!
+//! The benchmark harnesses and report generators dump their artefacts as
+//! JSON. This workspace builds in hermetic environments with no registry
+//! access, so instead of `serde`/`serde_json` we carry this ~200-line
+//! emitter: a [`Json`] tree, a [`ToJson`] trait, an [`impl_to_json!`]
+//! macro for structs, and a pretty printer whose output matches the usual
+//! two-space-indent `to_string_pretty` style.
+//!
+//! Only *emission* is supported — nothing in the workspace parses JSON.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Object keys keep insertion order (we emit them in
+/// struct-field order, like `serde` derive would).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate so `u64::MAX` survives).
+    UInt(u64),
+    /// A float. Non-finite values emit as `null` (JSON has no NaN/Inf).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serialise with two-space indentation and a trailing newline-free
+    /// body (callers add their own newline when writing files).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // f64 Display is the shortest round-trip form; `1.0`
+                    // prints as "1", which is still a valid JSON number.
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree — the workspace's `Serialize`.
+pub trait ToJson {
+    /// Build the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+int_to_json!(i8, i16, i32, i64, isize);
+
+macro_rules! uint_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+uint_to_json!(u8, u16, u32, u64, usize);
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Derive-style [`ToJson`] for a struct: emits an object with one entry
+/// per listed field, in order.
+///
+/// ```
+/// use m3xu_json::{impl_to_json, Json, ToJson};
+/// struct Point { x: f64, y: f64 }
+/// impl_to_json!(Point { x, y });
+/// let j = Point { x: 1.0, y: 2.0 }.to_json();
+/// assert_eq!(j, Json::Obj(vec![
+///     ("x".into(), Json::Float(1.0)),
+///     ("y".into(), Json::Float(2.0)),
+/// ]));
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string_pretty(), "null");
+        assert_eq!(true.to_json().to_string_pretty(), "true");
+        assert_eq!(42u64.to_json().to_string_pretty(), "42");
+        assert_eq!((-7i32).to_json().to_string_pretty(), "-7");
+        assert_eq!(2.5f64.to_json().to_string_pretty(), "2.5");
+        assert_eq!(f64::NAN.to_json().to_string_pretty(), "null");
+        assert_eq!(
+            u64::MAX.to_json().to_string_pretty(),
+            "18446744073709551615"
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        assert_eq!(s.to_json().to_string_pretty(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("fft".into())),
+            (
+                "sizes".into(),
+                Json::Arr(vec![Json::Int(512), Json::Int(4096)]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let expect =
+            "{\n  \"name\": \"fft\",\n  \"sizes\": [\n    512,\n    4096\n  ],\n  \"empty\": []\n}";
+        assert_eq!(j.to_string_pretty(), expect);
+    }
+
+    #[test]
+    fn containers_and_tuples() {
+        let v: Vec<(usize, f64)> = vec![(256, 1.5), (512, 3.0)];
+        assert_eq!(
+            v.to_json(),
+            Json::Arr(vec![
+                Json::Arr(vec![Json::UInt(256), Json::Float(1.5)]),
+                Json::Arr(vec![Json::UInt(512), Json::Float(3.0)]),
+            ])
+        );
+        let t = (1u32, 8u32, 23u32);
+        assert_eq!(
+            t.to_json(),
+            Json::Arr(vec![Json::UInt(1), Json::UInt(8), Json::UInt(23)])
+        );
+        assert_eq!(None::<f64>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn struct_macro() {
+        struct Row {
+            kernel: &'static str,
+            speedup: f64,
+            sizes: Vec<usize>,
+        }
+        impl_to_json!(Row {
+            kernel,
+            speedup,
+            sizes
+        });
+        let r = Row {
+            kernel: "sgemm",
+            speedup: 3.6,
+            sizes: vec![256, 512],
+        };
+        let txt = r.to_json().to_string_pretty();
+        assert!(txt.contains("\"kernel\": \"sgemm\""));
+        assert!(txt.contains("\"speedup\": 3.6"));
+    }
+}

@@ -25,11 +25,21 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// Zero-filled tensor.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        Tensor3 { c, h, w, data: vec![0.0; c * h * w] }
+        Tensor3 {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     /// Build from a generator.
-    pub fn from_fn(c: usize, h: usize, w: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
         let mut data = Vec::with_capacity(c * h * w);
         for ci in 0..c {
             for hi in 0..h {
@@ -121,7 +131,11 @@ pub fn conv2d(
     spec: ConvSpec,
 ) -> (Tensor3, MmaStats) {
     let out_ch = filters.rows();
-    assert_eq!(filters.cols(), x.c * spec.kernel * spec.kernel, "filter shape mismatch");
+    assert_eq!(
+        filters.cols(),
+        x.c * spec.kernel * spec.kernel,
+        "filter shape mismatch"
+    );
     assert_eq!(bias.len(), out_ch);
     let oh = spec.out_extent(x.h);
     let ow = spec.out_extent(x.w);
@@ -143,7 +157,12 @@ pub fn conv2d(
 }
 
 /// Direct (naive) convolution reference, accumulated in f64.
-pub fn conv2d_reference(x: &Tensor3, filters: &Matrix<f32>, bias: &[f32], spec: ConvSpec) -> Tensor3 {
+pub fn conv2d_reference(
+    x: &Tensor3,
+    filters: &Matrix<f32>,
+    bias: &[f32],
+    spec: ConvSpec,
+) -> Tensor3 {
     let out_ch = filters.rows();
     let oh = spec.out_extent(x.h);
     let ow = spec.out_extent(x.w);
@@ -183,11 +202,23 @@ mod tests {
 
     #[test]
     fn out_extent_formula() {
-        let s = ConvSpec { kernel: 3, stride: 1, padding: 1 };
+        let s = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(s.out_extent(32), 32); // same-padding
-        let s = ConvSpec { kernel: 3, stride: 2, padding: 1 };
+        let s = ConvSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(s.out_extent(32), 16);
-        let s = ConvSpec { kernel: 7, stride: 2, padding: 3 };
+        let s = ConvSpec {
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+        };
         assert_eq!(s.out_extent(224), 112); // ResNet stem
     }
 
@@ -196,7 +227,11 @@ mod tests {
         // A 1x1 kernel with weight 1 on the only channel.
         let x = Tensor3::random(1, 5, 5, 1);
         let f = Matrix::from_vec(1, 1, vec![1.0]);
-        let spec = ConvSpec { kernel: 1, stride: 1, padding: 0 };
+        let spec = ConvSpec {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let (y, _) = conv2d(GemmPrecision::M3xuFp32, &x, &f, &[0.0], spec);
         assert_eq!(y.as_slice(), x.as_slice());
     }
@@ -204,7 +239,11 @@ mod tests {
     #[test]
     fn matches_direct_reference() {
         let x = Tensor3::random(3, 9, 9, 2);
-        let spec = ConvSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let f = Matrix::<f32>::random(4, 3 * 9, 3);
         let bias = [0.1, -0.2, 0.3, 0.0];
         let (y, stats) = conv2d(GemmPrecision::M3xuFp32, &x, &f, &bias, spec);
@@ -218,7 +257,11 @@ mod tests {
     #[test]
     fn stride_two_downsamples() {
         let x = Tensor3::random(2, 8, 8, 4);
-        let spec = ConvSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let f = Matrix::<f32>::random(2, 2 * 9, 5);
         let (y, _) = conv2d(GemmPrecision::M3xuFp32, &x, &f, &[0.0, 0.0], spec);
         assert_eq!((y.c, y.h, y.w), (2, 4, 4));
@@ -227,7 +270,11 @@ mod tests {
     #[test]
     fn im2col_shape_and_padding() {
         let x = Tensor3::from_fn(1, 3, 3, |_, h, w| (h * 3 + w) as f32);
-        let spec = ConvSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let m = im2col(&x, spec);
         assert_eq!((m.rows(), m.cols()), (9, 9));
         // Top-left output's top-left tap is padding (zero).
@@ -240,7 +287,11 @@ mod tests {
     fn bias_is_applied() {
         let x = Tensor3::zeros(1, 4, 4);
         let f = Matrix::from_vec(2, 1, vec![1.0, 1.0]);
-        let spec = ConvSpec { kernel: 1, stride: 1, padding: 0 };
+        let spec = ConvSpec {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let (y, _) = conv2d(GemmPrecision::M3xuFp32, &x, &f, &[0.5, -0.5], spec);
         assert!(y.as_slice()[..16].iter().all(|&v| v == 0.5));
         assert!(y.as_slice()[16..].iter().all(|&v| v == -0.5));

@@ -103,11 +103,19 @@ mod tests {
     /// loss gradient w.r.t. the output is the mask itself).
     fn loss(x: &Tensor3, f: &Matrix<f32>, bias: &[f32], spec: ConvSpec, mask: &Tensor3) -> f64 {
         let (y, _) = conv2d(GemmPrecision::M3xuFp32, x, f, bias, spec);
-        y.as_slice().iter().zip(mask.as_slice()).map(|(&a, &m)| a as f64 * m as f64).sum()
+        y.as_slice()
+            .iter()
+            .zip(mask.as_slice())
+            .map(|(&a, &m)| a as f64 * m as f64)
+            .sum()
     }
 
     fn setup() -> (Tensor3, Matrix<f32>, Vec<f32>, ConvSpec, Tensor3) {
-        let spec = ConvSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let x = Tensor3::random(2, 5, 5, 11);
         let f = Matrix::<f32>::random(3, 2 * 9, 12);
         let bias = vec![0.1, -0.2, 0.05];
@@ -164,13 +172,20 @@ mod tests {
     fn bgrad_sums_channels() {
         let dy = Tensor3::from_fn(2, 2, 2, |c, h, w| (c * 100 + h * 10 + w) as f32);
         let db = conv2d_bgrad(&dy);
-        assert_eq!(db, vec![0.0 + 1.0 + 10.0 + 11.0, 100.0 + 101.0 + 110.0 + 111.0]);
+        assert_eq!(
+            db,
+            vec![0.0 + 1.0 + 10.0 + 11.0, 100.0 + 101.0 + 110.0 + 111.0]
+        );
     }
 
     #[test]
     fn dgrad_with_stride_two() {
         // Shapes must be consistent for strided convs too.
-        let spec = ConvSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let x = Tensor3::random(1, 8, 8, 14);
         let f = Matrix::<f32>::random(2, 9, 15);
         let (y, _) = conv2d(GemmPrecision::M3xuFp32, &x, &f, &[0.0, 0.0], spec);
@@ -182,7 +197,11 @@ mod tests {
 
     #[test]
     fn gradients_are_zero_for_zero_dy() {
-        let spec = ConvSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let x = Tensor3::random(2, 4, 4, 16);
         let f = Matrix::<f32>::random(2, 18, 17);
         let dy = Tensor3::zeros(2, 4, 4);

@@ -9,16 +9,16 @@
 
 use crate::conv2d::ConvSpec;
 use m3xu_gpu::GpuConfig;
-use serde::Serialize;
 
 /// One layer's worth of GEMM work.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Layer {
     /// Layer name.
     pub name: &'static str,
     /// Forward multiply-accumulate count per example.
     pub fwd_macs: f64,
 }
+m3xu_json::impl_to_json!(Layer { name, fwd_macs });
 
 impl Layer {
     /// Convolution layer MACs: `out_ch * out_h * out_w * in_ch * k * k`.
@@ -38,13 +38,16 @@ impl Layer {
 
     /// Fully connected layer MACs.
     pub fn fc(name: &'static str, inputs: usize, outputs: usize) -> Layer {
-        Layer { name, fwd_macs: (inputs * outputs) as f64 }
+        Layer {
+            name,
+            fwd_macs: (inputs * outputs) as f64,
+        }
     }
 }
 
 /// A CNN model: its layers plus the paper-reported backward-pass share of
 /// one-iteration runtime under the mixed-precision baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CnnModel {
     /// Model name.
     pub name: &'static str,
@@ -54,6 +57,11 @@ pub struct CnnModel {
     /// 39.1%, AlexNet 46.5%).
     pub paper_backward_share: f64,
 }
+m3xu_json::impl_to_json!(CnnModel {
+    name,
+    layers,
+    paper_backward_share
+});
 
 impl CnnModel {
     /// Total forward MACs per example.
@@ -75,7 +83,11 @@ impl CnnModel {
 
 /// AlexNet (5 conv + 3 fc; ~0.7 GMAC forward).
 pub fn alexnet() -> CnnModel {
-    let s = |k, st, p| ConvSpec { kernel: k, stride: st, padding: p };
+    let s = |k, st, p| ConvSpec {
+        kernel: k,
+        stride: st,
+        padding: p,
+    };
     CnnModel {
         name: "AlexNet",
         layers: vec![
@@ -94,7 +106,11 @@ pub fn alexnet() -> CnnModel {
 
 /// VGG-16 (13 conv + 3 fc; ~15.5 GMAC forward).
 pub fn vgg16() -> CnnModel {
-    let s = ConvSpec { kernel: 3, stride: 1, padding: 1 };
+    let s = ConvSpec {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     CnnModel {
         name: "VGG",
         layers: vec![
@@ -127,7 +143,11 @@ pub fn resnet50() -> CnnModel {
         3,
         64,
         224,
-        ConvSpec { kernel: 7, stride: 2, padding: 3 },
+        ConvSpec {
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+        },
     )];
     // (stage, blocks, in_ch, mid_ch, out_ch, spatial)
     let stages: [(&'static str, usize, usize, usize, usize, usize); 4] = [
@@ -138,18 +158,24 @@ pub fn resnet50() -> CnnModel {
     ];
     for (name, blocks, in_ch, mid, out, sp) in stages {
         // Each bottleneck: 1x1 (in->mid), 3x3 (mid->mid), 1x1 (mid->out).
-        let macs_block = (in_ch * mid * sp * sp
-            + mid * mid * 9 * sp * sp
-            + mid * out * sp * sp) as f64;
-        layers.push(Layer { name, fwd_macs: macs_block * blocks as f64 });
+        let macs_block =
+            (in_ch * mid * sp * sp + mid * mid * 9 * sp * sp + mid * out * sp * sp) as f64;
+        layers.push(Layer {
+            name,
+            fwd_macs: macs_block * blocks as f64,
+        });
     }
     layers.push(Layer::fc("fc", 2048, 1000));
-    CnnModel { name: "ResNet", layers, paper_backward_share: 0.391 }
+    CnnModel {
+        name: "ResNet",
+        layers,
+        paper_backward_share: 0.391,
+    }
 }
 
 /// One Fig. 7 bar pair: per-iteration latency breakdown under the
 /// mixed-precision baseline and under M3XU.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingLatency {
     /// Model name.
     pub model: &'static str,
@@ -166,6 +192,15 @@ pub struct TrainingLatency {
     /// End-to-end one-iteration speedup.
     pub end_to_end_speedup: f64,
 }
+m3xu_json::impl_to_json!(TrainingLatency {
+    model,
+    fwd_s,
+    bwd_baseline_s,
+    bwd_m3xu_s,
+    other_s,
+    bwd_speedup,
+    end_to_end_speedup,
+});
 
 /// Model one training iteration at batch size `batch`.
 ///
@@ -296,7 +331,12 @@ mod tests {
         // end-to-end gain; AlexNet (largest backward share) gains most.
         let g = gpu();
         let rows = figure7(64, &g);
-        let by = |name: &str| rows.iter().find(|r| r.model == name).unwrap().end_to_end_speedup;
+        let by = |name: &str| {
+            rows.iter()
+                .find(|r| r.model == name)
+                .unwrap()
+                .end_to_end_speedup
+        };
         let (vgg, resnet, alex) = (by("VGG"), by("ResNet"), by("AlexNet"));
         assert!(alex > vgg && alex > resnet, "AlexNet should gain most");
         for s in [vgg, resnet, alex] {

@@ -39,7 +39,13 @@ pub struct ForwardState {
 
 impl Mlp {
     /// Random initialisation (scaled uniform).
-    pub fn new(inputs: usize, hidden: usize, outputs: usize, precision: GemmPrecision, seed: u64) -> Self {
+    pub fn new(
+        inputs: usize,
+        hidden: usize,
+        outputs: usize,
+        precision: GemmPrecision,
+        seed: u64,
+    ) -> Self {
         let scale1 = (2.0 / inputs as f32).sqrt();
         let scale2 = (2.0 / hidden as f32).sqrt();
         let mut w1 = Matrix::<f32>::random(hidden, inputs, seed);
@@ -50,7 +56,13 @@ impl Mlp {
         for v in w2.as_mut_slice() {
             *v *= scale2;
         }
-        Mlp { w1, b1: vec![0.0; hidden], w2, b2: vec![0.0; outputs], precision }
+        Mlp {
+            w1,
+            b1: vec![0.0; hidden],
+            w2,
+            b2: vec![0.0; outputs],
+            precision,
+        }
     }
 
     /// Forward pass on a batch (`inputs x batch`).
@@ -61,7 +73,12 @@ impl Mlp {
         let a1 = Matrix::from_fn(z1.rows(), z1.cols(), |i, j| z1.get(i, j).max(0.0));
         let c2 = Matrix::from_fn(self.w2.rows(), batch, |i, _| self.b2[i]);
         let y = gemm_f32(self.precision, &self.w2, &a1, &c2).d;
-        ForwardState { x: x.clone(), z1, a1, y }
+        ForwardState {
+            x: x.clone(),
+            z1,
+            a1,
+            y,
+        }
     }
 
     /// Mean-squared-error loss against targets (`outputs x batch`).
@@ -130,11 +147,7 @@ impl Mlp {
 
 /// Train on a synthetic regression task (`t = P·x` for a hidden random
 /// projection) and return the loss trajectory.
-pub fn train_synthetic(
-    precision: GemmPrecision,
-    steps: usize,
-    seed: u64,
-) -> Vec<f32> {
+pub fn train_synthetic(precision: GemmPrecision, steps: usize, seed: u64) -> Vec<f32> {
     let (inputs, hidden, outputs, batch) = (16, 32, 4, 16);
     let projection = Matrix::<f32>::random(outputs, inputs, seed ^ 0x5151);
     let mut mlp = Mlp::new(inputs, hidden, outputs, precision, seed);

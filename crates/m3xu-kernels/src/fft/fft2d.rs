@@ -51,7 +51,8 @@ pub fn dft2d_reference(image: &Matrix<C32>) -> Matrix<C32> {
         let mut im = 0.0f64;
         for i in 0..r {
             for j in 0..c {
-                let ang = -2.0 * std::f64::consts::PI
+                let ang = -2.0
+                    * std::f64::consts::PI
                     * (ki as f64 * i as f64 / r as f64 + kj as f64 * j as f64 / c as f64);
                 let (s, co) = ang.sin_cos();
                 let v = image.get(i, j);

@@ -20,8 +20,8 @@ use crate::gemm::cgemm_c32;
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Complex single-precision sample.
 pub type C32 = Complex<f32>;
@@ -49,7 +49,10 @@ pub fn dft(x: &[C32]) -> Vec<C32> {
 /// must be a power of two. This is the "CUDA-core" shaped implementation.
 pub fn radix2(x: &[C32]) -> Vec<C32> {
     let n = x.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     let mut a: Vec<C32> = x.to_vec();
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -82,7 +85,10 @@ pub fn radix2(x: &[C32]) -> Vec<C32> {
 pub fn inverse_radix2(x: &[C32]) -> Vec<C32> {
     let n = x.len() as f32;
     let conj: Vec<C32> = x.iter().map(|z| z.conj()).collect();
-    radix2(&conj).iter().map(|z| z.conj().scale(1.0 / n)).collect()
+    radix2(&conj)
+        .iter()
+        .map(|z| z.conj().scale(1.0 / n))
+        .collect()
 }
 
 /// The `n x n` DFT matrix `F[k][j] = e^{-2πi jk / n}` (twiddles computed
@@ -99,7 +105,7 @@ pub fn dft_matrix(n: usize) -> Matrix<C32> {
 static DFT_CACHE: Mutex<Option<HashMap<usize, Matrix<C32>>>> = Mutex::new(None);
 
 fn cached_dft_matrix(n: usize) -> Matrix<C32> {
-    let mut guard = DFT_CACHE.lock();
+    let mut guard = DFT_CACHE.lock().unwrap();
     let cache = guard.get_or_insert_with(HashMap::new);
     cache.entry(n).or_insert_with(|| dft_matrix(n)).clone()
 }
@@ -119,12 +125,26 @@ pub const GEMM_RADIX: usize = 16;
 ///
 /// Returns the spectrum and the accumulated M3XU MMA statistics.
 pub fn gemm_fft(x: &[C32]) -> (Vec<C32>, MmaStats) {
+    gemm_fft_with(x, cgemm_c32)
+}
+
+/// [`gemm_fft`] with a caller-supplied CGEMM driver. The benchmark
+/// harness uses this to run the identical FFT decomposition over the
+/// original per-fragment driver (`gemm::baseline::cgemm_c32`) and the
+/// packed driver side by side.
+pub fn gemm_fft_with<F>(x: &[C32], cgemm: F) -> (Vec<C32>, MmaStats)
+where
+    F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
+{
     let mut stats = MmaStats::default();
-    let out = gemm_fft_inner(x, &mut stats);
+    let out = gemm_fft_inner(x, &cgemm, &mut stats);
     (out, stats)
 }
 
-fn gemm_fft_inner(x: &[C32], stats: &mut MmaStats) -> Vec<C32> {
+fn gemm_fft_inner<F>(x: &[C32], cgemm: &F, stats: &mut MmaStats) -> Vec<C32>
+where
+    F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
+{
     let n = x.len();
     assert!(n.is_power_of_two(), "gemm_fft needs a power-of-two length");
     if n <= GEMM_RADIX {
@@ -132,7 +152,7 @@ fn gemm_fft_inner(x: &[C32], stats: &mut MmaStats) -> Vec<C32> {
         let f = cached_dft_matrix(n);
         let v = Matrix::from_fn(n, 1, |j, _| x[j]);
         let c = Matrix::zeros(n, 1);
-        let r = cgemm_c32(&f, &v, &c);
+        let r = cgemm(&f, &v, &c);
         stats.merge(&r.stats);
         return (0..n).map(|k| r.d.get(k, 0)).collect();
     }
@@ -143,7 +163,7 @@ fn gemm_fft_inner(x: &[C32], stats: &mut MmaStats) -> Vec<C32> {
     let m = Matrix::from_fn(n1, n2, |j1, j2| x[j1 * n2 + j2]);
     let f = cached_dft_matrix(n1);
     let c = Matrix::zeros(n1, n2);
-    let t = cgemm_c32(&f, &m, &c);
+    let t = cgemm(&f, &m, &c);
     stats.merge(&t.stats);
 
     // Step 2: twiddle factors w_N^{k1 * j2}.
@@ -162,7 +182,7 @@ fn gemm_fft_inner(x: &[C32], stats: &mut MmaStats) -> Vec<C32> {
     // Step 3: row FFTs (recursion), step 4: interleaved write-back.
     let mut out = vec![C32::ZERO; n];
     for (k1, row) in rows.iter().enumerate() {
-        let sub = gemm_fft_inner(row, stats);
+        let sub = gemm_fft_inner(row, cgemm, stats);
         for (k2, &v) in sub.iter().enumerate() {
             out[k1 + n1 * k2] = v;
         }

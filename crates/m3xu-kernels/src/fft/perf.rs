@@ -18,7 +18,6 @@
 //!   performance over cuFFT".
 
 use m3xu_gpu::GpuConfig;
-use serde::Serialize;
 
 /// The Fig. 6 size sweep: 2^8 … 2^24 points.
 pub fn fig6_sizes() -> Vec<usize> {
@@ -26,7 +25,7 @@ pub fn fig6_sizes() -> Vec<usize> {
 }
 
 /// One FFT engine's modelled execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FftEngine {
     /// cuFFT on CUDA cores (the Fig. 6 baseline).
     CuFft,
@@ -34,6 +33,11 @@ pub enum FftEngine {
     TcFftTf32,
     /// The M3XU FP32C GEMM formulation.
     M3xu,
+}
+impl m3xu_json::ToJson for FftEngine {
+    fn to_json(&self) -> m3xu_json::Json {
+        m3xu_json::Json::Str(format!("{self:?}"))
+    }
 }
 
 /// Total points per workload: each Fig. 6 size runs as a batch of
@@ -93,7 +97,7 @@ pub fn fft_time(engine: FftEngine, n: usize, gpu: &GpuConfig) -> f64 {
 }
 
 /// One Fig. 6 point: speedups of each engine over cuFFT.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Point {
     /// FFT length.
     pub n: usize,
@@ -102,6 +106,11 @@ pub struct Fig6Point {
     /// M3XU speedup over cuFFT.
     pub m3xu: f64,
 }
+m3xu_json::impl_to_json!(Fig6Point {
+    n,
+    tcfft_tf32,
+    m3xu
+});
 
 /// The full Fig. 6 sweep.
 pub fn figure6(gpu: &GpuConfig) -> Vec<Fig6Point> {
@@ -122,7 +131,10 @@ pub fn figure6(gpu: &GpuConfig) -> Vec<Fig6Point> {
 pub fn render_figure6(points: &[Fig6Point]) -> String {
     let mut out = format!("{:>10} {:>12} {:>12}\n", "N", "tcFFT-TF32", "M3XU");
     for p in points {
-        out.push_str(&format!("{:>10} {:>12.2} {:>12.2}\n", p.n, p.tcfft_tf32, p.m3xu));
+        out.push_str(&format!(
+            "{:>10} {:>12.2} {:>12.2}\n",
+            p.n, p.tcfft_tf32, p.m3xu
+        ));
     }
     let mean: f64 = points.iter().map(|p| p.m3xu).sum::<f64>() / points.len() as f64;
     let max = points.iter().map(|p| p.m3xu).fold(f64::MIN, f64::max);
@@ -153,7 +165,12 @@ mod tests {
     fn tcfft_tf32_no_improvement() {
         let f = figure6(&gpu());
         for p in &f {
-            assert!(p.tcfft_tf32 < 1.15, "tcFFT-TF32 at n={}: {}", p.n, p.tcfft_tf32);
+            assert!(
+                p.tcfft_tf32 < 1.15,
+                "tcFFT-TF32 at n={}: {}",
+                p.n,
+                p.tcfft_tf32
+            );
         }
     }
 

@@ -1,22 +1,31 @@
 //! Tiled GEMM driver over the functional M3XU.
 //!
-//! A CUTLASS-style hierarchical GEMM: the output splits into threadblock
-//! tiles, each tile's `K` loop issues fragment-shaped MMA instructions to
-//! an [`Mxu`], and the epilogue writes back. Output tiles are disjoint, so
-//! the tile grid shards across CPU threads with `crossbeam::scope` — no
-//! locks on the hot path, matching the data-parallel execution the real
-//! kernels have.
+//! A CUTLASS-style hierarchical GEMM: the output splits into fragment
+//! tiles, each tile's `K` loop issues fragment-shaped MMA executions, and
+//! the epilogue writes back. Real and complex precisions share one generic
+//! driver — exactly the paper's point that "the programming model …
+//! remain[s] the same as the existing Tensor Cores".
 //!
-//! Every precision mode routes through the same driver, differing only in
-//! the MMA issued per fragment — exactly the paper's point that "the
-//! programming model … remain[s] the same as the existing Tensor Cores".
+//! ## The packed fragment pipeline
+//!
+//! The driver decodes both operands into [`PackedOperand`] buffer-entry
+//! planes **once per GEMM**, then executes every fragment in place out of
+//! those planes ([`m3xu_mxu::packed`]): no tile copies, no per-fragment
+//! `StepPlan` allocation, no re-decoding of `A` per column tile. Work
+//! distributes over the 2-D output-tile grid through the persistent
+//! [`WorkerPool`] (built once per process — the FFT issues thousands of
+//! small CGEMMs, where per-call thread spawn used to dominate). Results
+//! are bit-identical to the original per-tile path, kept alive in
+//! [`baseline`] as the differential-test and benchmark reference.
 
-use crossbeam::thread;
+use crate::pool::{self, WorkerPool};
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::dpu::DotProductUnit;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::{MmaShape, MmaStats};
 use m3xu_mxu::modes::MxuMode;
-use m3xu_mxu::unit::{Mxu, MxuConfig};
+use m3xu_mxu::packed::{fragment_stats, PackedOperand};
+use std::cell::RefCell;
 
 /// Which GEMM engine/precision the driver runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +40,16 @@ pub enum GemmPrecision {
     Bf16,
 }
 
-/// Per-thread partial result: owned output row-stripes plus counters.
-type StripeResult<T> = (Vec<(usize, Matrix<T>)>, MmaStats);
+impl GemmPrecision {
+    fn mode(self) -> MxuMode {
+        match self {
+            GemmPrecision::M3xuFp32 => MxuMode::M3xuFp32,
+            GemmPrecision::Tf32 => MxuMode::Tf32,
+            GemmPrecision::Fp16 => MxuMode::Fp16,
+            GemmPrecision::Bf16 => MxuMode::Bf16,
+        }
+    }
+}
 
 /// Result of a tiled GEMM: the output matrix plus MMA statistics.
 pub struct GemmResult<T> {
@@ -42,10 +59,181 @@ pub struct GemmResult<T> {
     pub stats: MmaStats,
 }
 
-/// Number of worker threads the drivers use (bounded to keep test runs
-/// snappy on small machines).
-fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+/// Number of worker threads the drivers use: `M3XU_THREADS` when set,
+/// otherwise the machine's available parallelism.
+pub fn workers() -> usize {
+    pool::configured_threads()
+}
+
+/// An element type the generic packed driver can multiply.
+pub trait PackedElem: Copy + Default + Send + Sync + 'static {
+    /// Decode the `A` operand (by rows) for `mode`.
+    fn pack_a(a: &Matrix<Self>, mode: MxuMode) -> PackedOperand;
+    /// Decode the `B` operand (by columns) for `mode`.
+    fn pack_b(b: &Matrix<Self>, mode: MxuMode) -> PackedOperand;
+    /// Execute one fragment in place on `acc` (row-major `rows x cols`).
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [Self],
+    );
+}
+
+impl PackedElem for f32 {
+    fn pack_a(a: &Matrix<f32>, mode: MxuMode) -> PackedOperand {
+        PackedOperand::pack_rows_f32(a, mode)
+    }
+    fn pack_b(b: &Matrix<f32>, mode: MxuMode) -> PackedOperand {
+        PackedOperand::pack_cols_f32(b, mode)
+    }
+    fn execute(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f32],
+    ) {
+        dpu.mma_f32_into(a, b, r0, rows, c0, cols, k0, klen, acc);
+    }
+}
+
+impl PackedElem for Complex<f32> {
+    fn pack_a(a: &Matrix<Complex<f32>>, _mode: MxuMode) -> PackedOperand {
+        PackedOperand::pack_rows_c32(a)
+    }
+    fn pack_b(b: &Matrix<Complex<f32>>, _mode: MxuMode) -> PackedOperand {
+        PackedOperand::pack_cols_c32(b)
+    }
+    fn execute(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        dpu.mma_c32_into(a, b, r0, rows, c0, cols, k0, klen, acc);
+    }
+}
+
+/// A raw output pointer the tile tasks write through. Tiles are disjoint
+/// regions of the output, so concurrent writes never alias.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+thread_local! {
+    /// One dot-product unit per thread, reused across every fragment of
+    /// every GEMM — its wide Kulisch registers never hit the allocator on
+    /// the hot path.
+    static DPU: RefCell<DotProductUnit> = RefCell::new(DotProductUnit::new());
+}
+
+/// The generic packed GEMM driver: `D = A·B + C` in `mode` on `pool`.
+fn gemm_packed<E: PackedElem>(
+    pool: &WorkerPool,
+    mode: MxuMode,
+    a: &Matrix<E>,
+    b: &Matrix<E>,
+    c: &Matrix<E>,
+) -> GemmResult<E> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+
+    let frag = MmaShape::BASELINE_FP16.for_mode(mode);
+    let k_chunks = k.div_ceil(frag.k);
+    let mut d = c.clone();
+    if k_chunks == 0 || m == 0 || n == 0 {
+        return GemmResult {
+            d,
+            stats: MmaStats::default(),
+        };
+    }
+
+    // Decode each operand exactly once for the whole GEMM.
+    let pa = E::pack_a(a, mode);
+    let pb = E::pack_b(b, mode);
+
+    let tiles_m = m.div_ceil(frag.m);
+    let tiles_n = n.div_ceil(frag.n);
+    let dptr = SendPtr(d.as_mut_slice().as_mut_ptr());
+    pool.run(tiles_m * tiles_n, |tid| {
+        let (i0, j0) = ((tid / tiles_n) * frag.m, (tid % tiles_n) * frag.n);
+        let rows = frag.m.min(m - i0);
+        let cols = frag.n.min(n - j0);
+        let mut acc = [E::default(); 64]; // frag.m * frag.n
+        let acc = &mut acc[..rows * cols];
+        c.view(i0, j0, rows, cols).copy_into(acc);
+        DPU.with(|dpu| {
+            let mut dpu = dpu.borrow_mut();
+            for k0 in (0..k).step_by(frag.k) {
+                E::execute(&mut dpu, &pa, &pb, i0, rows, j0, cols, k0, frag.k, acc);
+            }
+        });
+        // Epilogue: disjoint predicated stores straight into D.
+        for (i, row) in acc.chunks_exact(cols).enumerate() {
+            // SAFETY: this tile owns rows i0..i0+rows, cols j0..j0+cols of
+            // the output; no other task touches them, and the pointer
+            // outlives the pool run.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    row.as_ptr(),
+                    dptr.get().add((i0 + i) * n + j0),
+                    cols,
+                );
+            }
+        }
+    });
+
+    // Statistics are a pure function of the fragment grid — identical to
+    // what per-fragment counters would sum to, without any atomics.
+    let per = fragment_stats(mode, frag);
+    let frags = (tiles_m * tiles_n * k_chunks) as u64;
+    let stats = MmaStats {
+        instructions: per.instructions * frags,
+        steps: per.steps * frags,
+        lane_products: per.lane_products * frags,
+    };
+    GemmResult { d, stats }
+}
+
+/// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode), using
+/// an explicit worker pool — the entry point for determinism tests and
+/// embedders that manage their own pools.
+pub fn gemm_f32_on(
+    pool: &WorkerPool,
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: &Matrix<f32>,
+) -> GemmResult<f32> {
+    gemm_packed(pool, precision.mode(), a, b, c)
 }
 
 /// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode).
@@ -58,70 +246,18 @@ pub fn gemm_f32(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> GemmResult<f32> {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    assert_eq!(b.rows(), k, "inner dimensions must agree");
-    assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+    gemm_f32_on(pool::global(), precision, a, b, c)
+}
 
-    let mode = match precision {
-        GemmPrecision::M3xuFp32 => MxuMode::M3xuFp32,
-        GemmPrecision::Tf32 => MxuMode::Tf32,
-        GemmPrecision::Fp16 => MxuMode::Fp16,
-        GemmPrecision::Bf16 => MxuMode::Bf16,
-    };
-    let frag = MmaShape::BASELINE_FP16.for_mode(mode);
-
-    let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
-    let mut d = Matrix::<f32>::zeros(m, n);
-    let mut total = MmaStats::default();
-
-    // Shard output row-stripes across threads; each thread owns a disjoint
-    // set of output rows, so the writes below never alias.
-    let nw = workers().min(row_tiles.len().max(1));
-    let chunks: Vec<&[usize]> =
-        row_tiles.chunks(row_tiles.len().div_ceil(nw.max(1)).max(1)).collect();
-
-    let results: Vec<StripeResult<f32>> = thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                s.spawn(move |_| {
-                    let mut mxu = Mxu::new(MxuConfig::default());
-                    let mut out = Vec::new();
-                    for &i0 in chunk.iter() {
-                        let mut stripe = Matrix::<f32>::zeros(frag.m, n);
-                        for j0 in (0..n).step_by(frag.n) {
-                            // Accumulate over K in fragment steps.
-                            let mut acc = c.tile(i0, j0, frag.m, frag.n);
-                            for k0 in (0..k).step_by(frag.k) {
-                                let at = a.tile(i0, k0, frag.m, frag.k);
-                                let bt = b.tile(k0, j0, frag.k, frag.n);
-                                acc = match precision {
-                                    GemmPrecision::M3xuFp32 => mxu.mma_fp32(&at, &bt, &acc),
-                                    GemmPrecision::Tf32 => mxu.mma_tf32(&at, &bt, &acc),
-                                    GemmPrecision::Fp16 => mxu.mma_fp16(&at, &bt, &acc),
-                                    GemmPrecision::Bf16 => mxu.mma_bf16(&at, &bt, &acc),
-                                };
-                            }
-                            stripe.store_tile(0, j0, &acc);
-                        }
-                        out.push((i0, stripe));
-                    }
-                    let stats = mxu.counters.for_mode(mode);
-                    (out, stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
-
-    for (stripes, stats) in results {
-        total.merge(&stats);
-        for (i0, stripe) in stripes {
-            d.store_tile(i0, 0, &stripe);
-        }
-    }
-    GemmResult { d, stats: total }
+/// Tiled FP32C GEMM on the M3XU's four-step complex mode, using an
+/// explicit worker pool.
+pub fn cgemm_c32_on(
+    pool: &WorkerPool,
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &Matrix<Complex<f32>>,
+) -> GemmResult<Complex<f32>> {
+    gemm_packed(pool, MxuMode::M3xuFp32c, a, b, c)
 }
 
 /// Tiled FP32C GEMM on the M3XU's four-step complex mode.
@@ -130,53 +266,7 @@ pub fn cgemm_c32(
     b: &Matrix<Complex<f32>>,
     c: &Matrix<Complex<f32>>,
 ) -> GemmResult<Complex<f32>> {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    assert_eq!(b.rows(), k, "inner dimensions must agree");
-    assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
-    let frag = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32c);
-
-    let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
-    let mut d = Matrix::<Complex<f32>>::zeros(m, n);
-    let mut total = MmaStats::default();
-    let nw = workers().min(row_tiles.len().max(1));
-    let chunks: Vec<&[usize]> =
-        row_tiles.chunks(row_tiles.len().div_ceil(nw.max(1)).max(1)).collect();
-
-    let results: Vec<StripeResult<Complex<f32>>> = thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                s.spawn(move |_| {
-                    let mut mxu = Mxu::new(MxuConfig::default());
-                    let mut out = Vec::new();
-                    for &i0 in chunk.iter() {
-                        let mut stripe = Matrix::<Complex<f32>>::zeros(frag.m, n);
-                        for j0 in (0..n).step_by(frag.n) {
-                            let mut acc = c.tile(i0, j0, frag.m, frag.n);
-                            for k0 in (0..k).step_by(frag.k) {
-                                let at = a.tile(i0, k0, frag.m, frag.k);
-                                let bt = b.tile(k0, j0, frag.k, frag.n);
-                                acc = mxu.mma_fp32c(&at, &bt, &acc);
-                            }
-                            stripe.store_tile(0, j0, &acc);
-                        }
-                        out.push((i0, stripe));
-                    }
-                    (out, mxu.counters.for_mode(MxuMode::M3xuFp32c))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
-
-    for (stripes, stats) in results {
-        total.merge(&stats);
-        for (i0, stripe) in stripes {
-            d.store_tile(i0, 0, &stripe);
-        }
-    }
-    GemmResult { d, stats: total }
+    cgemm_c32_on(pool::global(), a, b, c)
 }
 
 /// Convenience: `A·B` with a zero C.
@@ -189,6 +279,148 @@ pub fn matmul_f32(precision: GemmPrecision, a: &Matrix<f32>, b: &Matrix<f32>) ->
 pub fn cmatmul_c32(a: &Matrix<Complex<f32>>, b: &Matrix<Complex<f32>>) -> Matrix<Complex<f32>> {
     let c = Matrix::zeros(a.rows(), b.cols());
     cgemm_c32(a, b, &c).d
+}
+
+/// The original per-tile drivers: copy each fragment tile, re-decode it
+/// through the [`Mxu`](m3xu_mxu::unit::Mxu) entry points, spawn a scoped
+/// thread team per call. Kept as the differential-test oracle and the
+/// benchmark baseline; the packed drivers above are bit-identical to it.
+pub mod baseline {
+    use super::{GemmPrecision, GemmResult};
+    use m3xu_fp::complex::Complex;
+    use m3xu_mxu::matrix::Matrix;
+    use m3xu_mxu::mma::{MmaShape, MmaStats};
+    use m3xu_mxu::modes::MxuMode;
+    use m3xu_mxu::unit::{Mxu, MxuConfig};
+
+    /// Per-thread partial result: owned output row-stripes plus counters.
+    type StripeResult<T> = (Vec<(usize, Matrix<T>)>, MmaStats);
+
+    fn workers() -> usize {
+        super::workers().min(8)
+    }
+
+    /// The seed tiled FP32 GEMM: row-stripe sharding over scoped threads.
+    pub fn gemm_f32(
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> GemmResult<f32> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(b.rows(), k, "inner dimensions must agree");
+        assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+
+        let mode = precision.mode();
+        let frag = MmaShape::BASELINE_FP16.for_mode(mode);
+        let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
+        let mut d = Matrix::<f32>::zeros(m, n);
+        let mut total = MmaStats::default();
+
+        // Shard output row-stripes across threads; each thread owns a
+        // disjoint set of output rows, so the writes below never alias.
+        let nw = workers().min(row_tiles.len().max(1));
+        let chunks: Vec<&[usize]> = row_tiles
+            .chunks(row_tiles.len().div_ceil(nw.max(1)).max(1))
+            .collect();
+
+        let results: Vec<StripeResult<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut mxu = Mxu::new(MxuConfig::default());
+                        let mut out = Vec::new();
+                        for &i0 in chunk.iter() {
+                            let mut stripe = Matrix::<f32>::zeros(frag.m, n);
+                            for j0 in (0..n).step_by(frag.n) {
+                                // Accumulate over K in fragment steps.
+                                let mut acc = c.tile(i0, j0, frag.m, frag.n);
+                                for k0 in (0..k).step_by(frag.k) {
+                                    let at = a.tile(i0, k0, frag.m, frag.k);
+                                    let bt = b.tile(k0, j0, frag.k, frag.n);
+                                    acc = match precision {
+                                        GemmPrecision::M3xuFp32 => mxu.mma_fp32(&at, &bt, &acc),
+                                        GemmPrecision::Tf32 => mxu.mma_tf32(&at, &bt, &acc),
+                                        GemmPrecision::Fp16 => mxu.mma_fp16(&at, &bt, &acc),
+                                        GemmPrecision::Bf16 => mxu.mma_bf16(&at, &bt, &acc),
+                                    };
+                                }
+                                stripe.store_tile(0, j0, &acc);
+                            }
+                            out.push((i0, stripe));
+                        }
+                        let stats = mxu.counters.for_mode(mode);
+                        (out, stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (stripes, stats) in results {
+            total.merge(&stats);
+            for (i0, stripe) in stripes {
+                d.store_tile(i0, 0, &stripe);
+            }
+        }
+        GemmResult { d, stats: total }
+    }
+
+    /// The seed tiled FP32C CGEMM.
+    pub fn cgemm_c32(
+        a: &Matrix<Complex<f32>>,
+        b: &Matrix<Complex<f32>>,
+        c: &Matrix<Complex<f32>>,
+    ) -> GemmResult<Complex<f32>> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(b.rows(), k, "inner dimensions must agree");
+        assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+        let frag = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32c);
+
+        let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
+        let mut d = Matrix::<Complex<f32>>::zeros(m, n);
+        let mut total = MmaStats::default();
+        let nw = workers().min(row_tiles.len().max(1));
+        let chunks: Vec<&[usize]> = row_tiles
+            .chunks(row_tiles.len().div_ceil(nw.max(1)).max(1))
+            .collect();
+
+        let results: Vec<StripeResult<Complex<f32>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut mxu = Mxu::new(MxuConfig::default());
+                        let mut out = Vec::new();
+                        for &i0 in chunk.iter() {
+                            let mut stripe = Matrix::<Complex<f32>>::zeros(frag.m, n);
+                            for j0 in (0..n).step_by(frag.n) {
+                                let mut acc = c.tile(i0, j0, frag.m, frag.n);
+                                for k0 in (0..k).step_by(frag.k) {
+                                    let at = a.tile(i0, k0, frag.m, frag.k);
+                                    let bt = b.tile(k0, j0, frag.k, frag.n);
+                                    acc = mxu.mma_fp32c(&at, &bt, &acc);
+                                }
+                                stripe.store_tile(0, j0, &acc);
+                            }
+                            out.push((i0, stripe));
+                        }
+                        (out, mxu.counters.for_mode(MxuMode::M3xuFp32c))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (stripes, stats) in results {
+            total.merge(&stats);
+            for (i0, stripe) in stripes {
+                d.store_tile(i0, 0, &stripe);
+            }
+        }
+        GemmResult { d, stats: total }
+    }
 }
 
 #[cfg(test)]
@@ -331,5 +563,133 @@ mod tests {
         let c = Matrix::<f32>::random(8, 8, 18);
         let r = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
         assert_eq!(r.d, c);
+    }
+
+    // ---- packed-vs-baseline differential coverage ----------------------
+
+    /// Byte-level equality, distinguishing NaN payloads and signed zeros.
+    fn assert_bits_f32(got: &Matrix<f32>, want: &Matrix<f32>, ctx: &str) {
+        for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}: {x} vs {y}");
+        }
+    }
+
+    fn assert_bits_c32(got: &Matrix<Complex<f32>>, want: &Matrix<Complex<f32>>, ctx: &str) {
+        for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "{ctx}: element {i} (re)");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "{ctx}: element {i} (im)");
+        }
+    }
+
+    #[test]
+    fn packed_matches_baseline_all_modes_awkward_shapes() {
+        let shapes = [
+            (1, 1, 1),
+            (8, 8, 8),
+            (37, 19, 23),
+            (5, 64, 3),
+            (64, 1, 64),
+            (9, 7, 17),
+        ];
+        for &(m, k, n) in &shapes {
+            for (si, precision) in [
+                GemmPrecision::M3xuFp32,
+                GemmPrecision::Tf32,
+                GemmPrecision::Fp16,
+                GemmPrecision::Bf16,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let seed = (100 * m + 10 * k + n + si) as u64;
+                let a = Matrix::<f32>::random(m, k, seed);
+                let b = Matrix::<f32>::random(k, n, seed + 1);
+                let c = Matrix::<f32>::random(m, n, seed + 2);
+                let packed = gemm_f32(precision, &a, &b, &c);
+                let base = baseline::gemm_f32(precision, &a, &b, &c);
+                assert_bits_f32(&packed.d, &base.d, &format!("{precision:?} {m}x{k}x{n}"));
+                assert_eq!(packed.stats, base.stats, "{precision:?} {m}x{k}x{n} stats");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cgemm_matches_baseline_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (8, 4, 8), (13, 9, 21), (24, 16, 24)] {
+            let seed = (1000 + m * 31 + k * 7 + n) as u64;
+            let a = Matrix::random_c32(m, k, seed);
+            let b = Matrix::random_c32(k, n, seed + 1);
+            let c = Matrix::random_c32(m, n, seed + 2);
+            let packed = cgemm_c32(&a, &b, &c);
+            let base = baseline::cgemm_c32(&a, &b, &c);
+            assert_bits_c32(&packed.d, &base.d, &format!("cgemm {m}x{k}x{n}"));
+            assert_eq!(packed.stats, base.stats, "cgemm {m}x{k}x{n} stats");
+        }
+    }
+
+    #[test]
+    fn packed_matches_baseline_on_specials_and_subnormals() {
+        let vals = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.0e-44, // subnormal
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            -1.5,
+            3.0e-39, // subnormal-adjacent
+        ];
+        let a = Matrix::from_fn(11, 6, |i, j| vals[(i * 7 + j) % vals.len()]);
+        let b = Matrix::from_fn(6, 13, |i, j| vals[(i + j * 3) % vals.len()]);
+        let c = Matrix::from_fn(11, 13, |i, j| vals[(i + j) % vals.len()]);
+        for precision in [GemmPrecision::M3xuFp32, GemmPrecision::Tf32] {
+            let packed = gemm_f32(precision, &a, &b, &c);
+            let base = baseline::gemm_f32(precision, &a, &b, &c);
+            assert_bits_f32(&packed.d, &base.d, &format!("{precision:?} specials"));
+        }
+        let ca = Matrix::from_fn(9, 5, |i, j| {
+            Complex::new(vals[(i + j) % vals.len()], vals[(i * 3 + j) % vals.len()])
+        });
+        let cb = Matrix::from_fn(5, 9, |i, j| {
+            Complex::new(
+                vals[(i * 5 + j) % vals.len()],
+                vals[(i + 2 * j) % vals.len()],
+            )
+        });
+        let cc = Matrix::<Complex<f32>>::zeros(9, 9);
+        let packed = cgemm_c32(&ca, &cb, &cc);
+        let base = baseline::cgemm_c32(&ca, &cb, &cc);
+        assert_bits_c32(&packed.d, &base.d, "cgemm specials");
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let a = Matrix::<f32>::random(41, 27, 90);
+        let b = Matrix::<f32>::random(27, 33, 91);
+        let c = Matrix::<f32>::random(41, 33, 92);
+        let ca = Matrix::random_c32(17, 9, 93);
+        let cb = Matrix::random_c32(9, 19, 94);
+        let cc = Matrix::random_c32(17, 19, 95);
+        let mut real: Vec<Matrix<f32>> = Vec::new();
+        let mut cplx: Vec<Matrix<Complex<f32>>> = Vec::new();
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            real.push(gemm_f32_on(&pool, GemmPrecision::M3xuFp32, &a, &b, &c).d);
+            cplx.push(cgemm_c32_on(&pool, &ca, &cb, &cc).d);
+        }
+        for r in &real[1..] {
+            assert_bits_f32(r, &real[0], "pool-size determinism (real)");
+        }
+        for r in &cplx[1..] {
+            assert_bits_c32(r, &cplx[0], "pool-size determinism (complex)");
+        }
+    }
+
+    #[test]
+    fn workers_respects_env_contract() {
+        // `workers()` delegates to the pool sizing; it must be positive.
+        assert!(workers() >= 1);
     }
 }

@@ -12,7 +12,6 @@
 use crate::gemm::{matmul_f32, GemmPrecision};
 use m3xu_gpu::GpuConfig;
 use m3xu_mxu::matrix::Matrix;
-use serde::Serialize;
 
 /// The result of a KNN query set: for each query, the indices and squared
 /// distances of its `k` nearest reference points (ascending).
@@ -100,13 +99,14 @@ const SELECT_S_PER_ELEM: f64 = 0.35e-9;
 fn knn_time(n: usize, d: usize, gemm_tflops: f64, gpu: &GpuConfig) -> f64 {
     let gemm_flops = 2.0 * (n as f64) * (n as f64) * d as f64;
     let gemm_s = gemm_flops / (gemm_tflops * 1e12);
-    let norms_s = 2.0 * (n as f64) * d as f64 / (gpu.at_experiment_clock(gpu.fp32_simt_tflops) * 1e12);
+    let norms_s =
+        2.0 * (n as f64) * d as f64 / (gpu.at_experiment_clock(gpu.fp32_simt_tflops) * 1e12);
     let select_s = (n as f64) * (n as f64) * SELECT_S_PER_ELEM;
     gemm_s + norms_s + select_s + 2.0 * gpu.launch_overhead_s
 }
 
 /// One Fig. 9 heatmap cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Cell {
     /// Reference/query point count.
     pub n: usize,
@@ -115,6 +115,8 @@ pub struct Fig9Cell {
     /// M3XU speedup over the `cublas_sgemm` SIMT baseline.
     pub speedup: f64,
 }
+
+m3xu_json::impl_to_json!(Fig9Cell { n, dim, speedup });
 
 /// The Fig. 9 sweep: n in 2048…65536, dim in 512…4096, K = 16.
 pub fn figure9(gpu: &GpuConfig) -> Vec<Fig9Cell> {
@@ -125,7 +127,11 @@ pub fn figure9(gpu: &GpuConfig) -> Vec<Fig9Cell> {
         for &dim in &[512usize, 1024, 2048, 4096] {
             let t_base = knn_time(n, dim, simt, gpu);
             let t_m3xu = knn_time(n, dim, m3xu, gpu);
-            out.push(Fig9Cell { n, dim, speedup: t_base / t_m3xu });
+            out.push(Fig9Cell {
+                n,
+                dim,
+                speedup: t_base / t_m3xu,
+            });
         }
     }
     out
@@ -231,8 +237,15 @@ mod tests {
         assert!((1.5..2.2).contains(&max), "max speedup = {max}");
         // Speedup grows with dimension at fixed n (GEMM share grows).
         for &n in &[2048usize, 65536] {
-            let row: Vec<f64> = cells.iter().filter(|c| c.n == n).map(|c| c.speedup).collect();
-            assert!(row.windows(2).all(|w| w[1] >= w[0] * 0.999), "row not rising: {row:?}");
+            let row: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.n == n)
+                .map(|c| c.speedup)
+                .collect();
+            assert!(
+                row.windows(2).all(|w| w[1] >= w[0] * 0.999),
+                "row not rising: {row:?}"
+            );
         }
         // All speedups above 1 (GEMM always helps).
         assert!(cells.iter().all(|c| c.speedup > 1.0));

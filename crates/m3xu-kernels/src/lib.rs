@@ -32,7 +32,12 @@ pub mod gemm;
 pub mod knn;
 pub mod mrf;
 pub mod poly;
+pub mod pool;
 pub mod quantum;
 pub mod solver;
 
-pub use gemm::{cgemm_c32, cmatmul_c32, gemm_f32, matmul_f32, GemmPrecision, GemmResult};
+pub use gemm::{
+    cgemm_c32, cgemm_c32_on, cmatmul_c32, gemm_f32, gemm_f32_on, matmul_f32, GemmPrecision,
+    GemmResult,
+};
+pub use pool::WorkerPool;

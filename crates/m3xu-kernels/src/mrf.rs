@@ -18,21 +18,21 @@ use crate::gemm::cmatmul_c32;
 use m3xu_fp::complex::Complex;
 use m3xu_gpu::GpuConfig;
 use m3xu_mxu::matrix::Matrix;
-use serde::Serialize;
 
 type C32 = Complex<f32>;
 
 /// One dictionary atom's tissue parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Atom {
     /// Longitudinal relaxation time, ms.
     pub t1_ms: f32,
     /// Transverse relaxation time, ms.
     pub t2_ms: f32,
 }
+m3xu_json::impl_to_json!(Atom { t1_ms, t2_ms });
 
 /// An MRF pulse-sequence step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pulse {
     /// Flip angle in radians.
     pub flip: f32,
@@ -41,6 +41,7 @@ pub struct Pulse {
     /// Repetition time until the next pulse, ms.
     pub tr_ms: f32,
 }
+m3xu_json::impl_to_json!(Pulse { flip, phase, tr_ms });
 
 /// The complex 3x3 RF rotation (Weigel's EPG convention) acting on
 /// `(F+, F-, Z)` for flip `a` and phase `p`.
@@ -89,7 +90,11 @@ impl EpgBatch {
         for a in 0..n {
             state.set(2, a, Complex::new(1.0, 0.0)); // Z_0 = 1
         }
-        EpgBatch { orders, atoms, state }
+        EpgBatch {
+            orders,
+            atoms,
+            state,
+        }
     }
 
     /// Apply one RF pulse to every state of every atom — **one complex
@@ -141,7 +146,9 @@ impl EpgBatch {
 
     /// The observable signal of each atom: `F+_0`.
     pub fn signal(&self) -> Vec<C32> {
-        (0..self.atoms.len()).map(|a| self.state.get(0, a)).collect()
+        (0..self.atoms.len())
+            .map(|a| self.state.get(0, a))
+            .collect()
     }
 }
 
@@ -181,7 +188,10 @@ pub fn atom_grid(n_t1: usize, n_t2: usize) -> Vec<Atom> {
             let t1 = 100.0 + 3900.0 * i as f32 / n_t1.max(1) as f32;
             let t2 = 10.0 + 290.0 * j as f32 / n_t2.max(1) as f32;
             if t2 < t1 {
-                out.push(Atom { t1_ms: t1, t2_ms: t2 });
+                out.push(Atom {
+                    t1_ms: t1,
+                    t2_ms: t2,
+                });
             }
         }
     }
@@ -193,7 +203,7 @@ pub fn atom_grid(n_t1: usize, n_t2: usize) -> Vec<Atom> {
 // ---------------------------------------------------------------------------
 
 /// One Fig. 8 point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Point {
     /// Dictionary atoms.
     pub atoms: usize,
@@ -204,6 +214,11 @@ pub struct Fig8Point {
     /// `cublas_cgemm`-based SnapMRF baseline.
     pub speedup: f64,
 }
+m3xu_json::impl_to_json!(Fig8Point {
+    atoms,
+    cgemm_share,
+    speedup
+});
 
 /// The Fig. 8 sweep over dictionary sizes.
 ///
@@ -216,7 +231,10 @@ pub fn figure8(gpu: &GpuConfig) -> Vec<Fig8Point> {
     let cgemm_speedup = {
         // The saturated Fig. 4b M3XU CGEMM gain.
         let f = m3xu_gpu::figures::figure4b(gpu);
-        f.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap().max()
+        f.iter()
+            .find(|s| s.kernel == "M3XU_cgemm_pipelined")
+            .unwrap()
+            .max()
     };
     [1_000usize, 4_000, 16_000, 64_000, 256_000]
         .iter()
@@ -228,7 +246,11 @@ pub fn figure8(gpu: &GpuConfig) -> Vec<Fig8Point> {
             let dict_speedup = 1.0 / (1.0 - share + share / cgemm_speedup);
             // Dictionary generation is 98.2% of total.
             let total_speedup = 1.0 / (0.018 + 0.982 / dict_speedup);
-            Fig8Point { atoms, cgemm_share: share, speedup: total_speedup }
+            Fig8Point {
+                atoms,
+                cgemm_share: share,
+                speedup: total_speedup,
+            }
         })
         .collect()
 }
@@ -254,7 +276,10 @@ mod tests {
     #[test]
     fn rf_matrix_is_energy_preserving_on_transverse_rotation() {
         // A 90-degree pulse converts Z into transverse magnetisation.
-        let atoms = vec![Atom { t1_ms: 1000.0, t2_ms: 100.0 }];
+        let atoms = vec![Atom {
+            t1_ms: 1000.0,
+            t2_ms: 100.0,
+        }];
         let mut epg = EpgBatch::new(atoms, 4);
         epg.apply_rf(std::f32::consts::FRAC_PI_2, 0.0);
         let s = epg.signal()[0];
@@ -265,14 +290,20 @@ mod tests {
 
     #[test]
     fn no_pulse_no_signal() {
-        let atoms = vec![Atom { t1_ms: 800.0, t2_ms: 80.0 }];
+        let atoms = vec![Atom {
+            t1_ms: 800.0,
+            t2_ms: 80.0,
+        }];
         let epg = EpgBatch::new(atoms, 4);
         assert_eq!(epg.signal()[0], Complex::new(0.0, 0.0));
     }
 
     #[test]
     fn relaxation_decays_transverse_and_regrows_longitudinal() {
-        let atoms = vec![Atom { t1_ms: 1000.0, t2_ms: 100.0 }];
+        let atoms = vec![Atom {
+            t1_ms: 1000.0,
+            t2_ms: 100.0,
+        }];
         let mut epg = EpgBatch::new(atoms, 4);
         epg.apply_rf(std::f32::consts::FRAC_PI_2, 0.0);
         let before = epg.signal()[0].abs();
@@ -287,8 +318,16 @@ mod tests {
     #[test]
     fn t2_ordering_is_preserved_in_signals() {
         // Shorter T2 must decay faster over a multi-pulse sequence.
-        let atoms =
-            vec![Atom { t1_ms: 1000.0, t2_ms: 40.0 }, Atom { t1_ms: 1000.0, t2_ms: 200.0 }];
+        let atoms = vec![
+            Atom {
+                t1_ms: 1000.0,
+                t2_ms: 40.0,
+            },
+            Atom {
+                t1_ms: 1000.0,
+                t2_ms: 200.0,
+            },
+        ];
         let seq = example_sequence(30);
         let dict = generate_dictionary(&atoms, &seq, 8);
         let late = &dict[25];

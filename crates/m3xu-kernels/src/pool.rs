@@ -1,0 +1,292 @@
+//! A persistent worker pool for the GEMM drivers.
+//!
+//! The seed drivers spawned a fresh scoped thread team on *every* GEMM
+//! call. That is fine for one big multiplication, but the FFT and MRF
+//! kernels issue thousands of small CGEMMs, where thread spawn/join
+//! dominates the actual fragment work. [`WorkerPool`] is built once (see
+//! [`global`]) and reused: workers park on a condvar between calls, and
+//! each [`WorkerPool::run`] distributes a task range over them with one
+//! atomic counter — no allocation, no spawning.
+//!
+//! Sizing: `M3XU_THREADS` overrides the worker count; the default is
+//! [`std::thread::available_parallelism`]. A pool of size 1 executes
+//! inline on the caller.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// The number of threads GEMM drivers should use: the `M3XU_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn configured_threads() -> usize {
+    std::env::var("M3XU_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The process-wide pool the GEMM drivers submit to, built on first use
+/// with [`configured_threads`] threads.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkerPool::new(configured_threads()))
+}
+
+/// A type-erased pointer to the job closure of the current epoch. Only
+/// dereferenced between job post and the submitter's `active == 0` wait,
+/// while the closure is guaranteed alive on the submitter's stack.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and the pool's epoch protocol bounds its lifetime to the `run` call.
+unsafe impl Send for JobPtr {}
+
+#[derive(Default)]
+struct PoolState {
+    job: Option<JobPtr>,
+    tasks: usize,
+    epoch: u64,
+    /// Workers that have not yet finished the current epoch. Set to the
+    /// full worker count *at post time* so the submitter can never observe
+    /// completion before a slow worker has even woken up.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    job_cv: Condvar,
+    /// The submitter waits here for `active == 0`.
+    done_cv: Condvar,
+    /// Next unclaimed task index of the current epoch.
+    next: AtomicUsize,
+}
+
+/// A fixed team of worker threads executing `Fn(task_index)` jobs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Build a pool that executes jobs on `threads` threads total: the
+    /// calling thread participates, so `threads - 1` workers are spawned
+    /// (none for `threads <= 1`, which runs jobs inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState::default()),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total threads (workers + the participating caller).
+    pub fn size(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `f(0), f(1), ..., f(tasks - 1)` across the pool, returning
+    /// once all tasks have finished. Tasks are claimed dynamically from an
+    /// atomic counter, so uneven task costs balance automatically. Panics
+    /// in `f` propagate to the caller after the epoch drains.
+    pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
+        if tasks == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for t in 0..tasks {
+                f(t);
+            }
+            return;
+        }
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the pointer is only dereferenced by workers between the
+        // job post below and the `active == 0` wait, during which `f` is
+        // alive on this stack frame.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+                as *const _
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.job.is_none(), "WorkerPool::run is not reentrant");
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.job = Some(ptr);
+            st.tasks = tasks;
+            st.epoch += 1;
+            st.active = self.handles.len();
+            self.shared.job_cv.notify_all();
+        }
+        // The caller is a full team member: drain the counter too.
+        let mut caller_panic = None;
+        loop {
+            let t = self.shared.next.fetch_add(1, Ordering::Relaxed);
+            if t >= tasks {
+                break;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(t))) {
+                caller_panic = Some(p);
+                // Keep draining: the workers share the counter, and the
+                // job pointer must stay posted until they all finish.
+            }
+        }
+        let worker_panicked = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.active > 0 {
+                st = self.shared.done_cv.wait(st).unwrap();
+            }
+            st.job = None;
+            std::mem::take(&mut st.panicked)
+        };
+        if let Some(p) = caller_panic {
+            resume_unwind(p);
+        }
+        if worker_panicked {
+            panic!("a worker-pool task panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.job_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, tasks) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break (job, st.tasks);
+                    }
+                }
+                st = shared.job_cv.wait(st).unwrap();
+            }
+        };
+        let mut panicked = false;
+        loop {
+            let t = shared.next.fetch_add(1, Ordering::Relaxed);
+            if t >= tasks {
+                break;
+            }
+            // SAFETY: `job` stays valid until the submitter sees
+            // `active == 0`, which cannot happen before this loop exits.
+            let f = unsafe { &*job.0 };
+            if catch_unwind(AssertUnwindSafe(|| f(t))).is_err() {
+                panicked = true;
+            }
+        }
+        let mut st = shared.state.lock().unwrap();
+        st.panicked |= panicked;
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for threads in [1, 2, 4, 9] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.size(), threads);
+            let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+            pool.run(hits.len(), |t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "task {t} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_epochs() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(10, |t| {
+                sum.fetch_add(t as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 100 * 45);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.run(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |t| {
+                if t == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool must survive a panicking epoch.
+        let sum = AtomicU64::new(0);
+        pool.run(4, |t| {
+            sum.fetch_add(t as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -43,10 +43,20 @@ impl Gate {
             Gate::Z => vec![c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(-1.0, 0.0)],
             Gate::S => vec![c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(0.0, 1.0)],
             Gate::T => {
-                vec![c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), C32::cis(std::f32::consts::FRAC_PI_4)]
+                vec![
+                    c(1.0, 0.0),
+                    c(0.0, 0.0),
+                    c(0.0, 0.0),
+                    C32::cis(std::f32::consts::FRAC_PI_4),
+                ]
             }
             Gate::Rz(theta) => {
-                vec![C32::cis(-theta / 2.0), c(0.0, 0.0), c(0.0, 0.0), C32::cis(theta / 2.0)]
+                vec![
+                    C32::cis(-theta / 2.0),
+                    c(0.0, 0.0),
+                    c(0.0, 0.0),
+                    C32::cis(theta / 2.0),
+                ]
             }
         };
         Matrix::from_vec(2, 2, m)
@@ -75,7 +85,11 @@ impl QuantumRegister {
         assert!((1..=10).contains(&n), "state vector is 2^n: keep n small");
         let mut state = Matrix::<C32>::zeros(1 << n, 1);
         state.set(0, 0, Complex::new(1.0, 0.0));
-        QuantumRegister { n, state, mma_instructions: 0 }
+        QuantumRegister {
+            n,
+            state,
+            mma_instructions: 0,
+        }
     }
 
     /// Number of qubits.
@@ -85,7 +99,9 @@ impl QuantumRegister {
 
     /// Current amplitudes.
     pub fn amplitudes(&self) -> Vec<C32> {
-        (0..1usize << self.n).map(|i| self.state.get(i, 0)).collect()
+        (0..1usize << self.n)
+            .map(|i| self.state.get(i, 0))
+            .collect()
     }
 
     /// Measurement probability of each basis state.
@@ -119,7 +135,11 @@ impl QuantumRegister {
         let dim = 1usize << self.n;
         let u = Matrix::from_fn(dim, dim, |row, col| {
             let cbit = (col >> (self.n - 1 - c)) & 1;
-            let expect = if cbit == 1 { col ^ (1 << (self.n - 1 - t)) } else { col };
+            let expect = if cbit == 1 {
+                col ^ (1 << (self.n - 1 - t))
+            } else {
+                col
+            };
             if row == expect {
                 Complex::new(1.0, 0.0)
             } else {
@@ -148,7 +168,15 @@ mod tests {
 
     #[test]
     fn gates_are_unitary() {
-        for g in [Gate::H, Gate::X, Gate::Y, Gate::Z, Gate::S, Gate::T, Gate::Rz(0.7)] {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::T,
+            Gate::Rz(0.7),
+        ] {
             let u = g.matrix();
             // U U† = I.
             let udag = Matrix::from_fn(2, 2, |i, j| u.get(j, i).conj());
@@ -225,7 +253,12 @@ mod tests {
 
     #[test]
     fn cnot_truth_table() {
-        for (input, expect) in [(0b00usize, 0b00usize), (0b01, 0b01), (0b10, 0b11), (0b11, 0b10)] {
+        for (input, expect) in [
+            (0b00usize, 0b00usize),
+            (0b01, 0b01),
+            (0b10, 0b11),
+            (0b11, 0b10),
+        ] {
             let mut reg = QuantumRegister::new(2);
             if input & 0b10 != 0 {
                 reg.apply(Gate::X, 0);

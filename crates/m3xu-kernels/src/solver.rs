@@ -27,7 +27,10 @@ pub struct CgResult {
 }
 
 fn norm(v: &[f32]) -> f64 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f64 {
@@ -64,13 +67,23 @@ pub fn conjugate_gradient(
 
     for it in 0..max_iter {
         if history[it] < tol {
-            return CgResult { x, residual_history: history, iterations: it, converged: true };
+            return CgResult {
+                x,
+                residual_history: history,
+                iterations: it,
+                converged: true,
+            };
         }
         let ap = matvec(precision, a, &p);
         let p_ap = dot(&p, &ap);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // Lost positive-definiteness to arithmetic error.
-            return CgResult { x, residual_history: history, iterations: it, converged: false };
+            return CgResult {
+                x,
+                residual_history: history,
+                iterations: it,
+                converged: false,
+            };
         }
         let alpha = (rs_old / p_ap) as f32;
         for i in 0..n {
@@ -86,7 +99,12 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
     }
     let converged = *history.last().unwrap() < tol;
-    CgResult { x, residual_history: history, iterations: max_iter, converged }
+    CgResult {
+        x,
+        residual_history: history,
+        iterations: max_iter,
+        converged,
+    }
 }
 
 /// A symmetric positive-definite test matrix with condition number ~`cond`:
@@ -131,10 +149,19 @@ mod tests {
         let a = spd_matrix(n, 10.0, 3);
         let b: Vec<f32> = (0..n).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.5).collect();
         let r = conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-6, 200);
-        assert!(r.converged, "residual history tail: {:?}", &r.residual_history[r.residual_history.len().saturating_sub(3)..]);
+        assert!(
+            r.converged,
+            "residual history tail: {:?}",
+            &r.residual_history[r.residual_history.len().saturating_sub(3)..]
+        );
         // Verify the solution against a direct residual check in f64.
         let ax = matvec(GemmPrecision::M3xuFp32, &a, &r.x);
-        let res: f64 = ax.iter().zip(&b).map(|(&y, &t)| ((y - t) as f64).powi(2)).sum::<f64>().sqrt();
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(&y, &t)| ((y - t) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(res / norm(&b) < 1e-5);
     }
 

@@ -28,7 +28,12 @@ pub type StepPlan = Vec<Vec<LaneOp>>;
 
 #[inline]
 fn lane(a: BufferEntry, b: BufferEntry, negate: bool, target: Target) -> LaneOp {
-    LaneOp { a, b, negate, target }
+    LaneOp {
+        a,
+        b,
+        negate,
+        target,
+    }
 }
 
 /// Native low-precision mode: a single step with one lane per element.
@@ -39,7 +44,14 @@ pub fn plan_native(a: &[f64], b: &[f64], fmt: FloatFormat) -> StepPlan {
     let step = a
         .iter()
         .zip(b)
-        .map(|(&x, &y)| lane(decode_narrow(x, fmt), decode_narrow(y, fmt), false, Target::Real))
+        .map(|(&x, &y)| {
+            lane(
+                decode_narrow(x, fmt),
+                decode_narrow(y, fmt),
+                false,
+                Target::Real,
+            )
+        })
         .collect();
     vec![step]
 }

@@ -55,8 +55,13 @@ pub struct BufferEntry {
 
 impl BufferEntry {
     /// An all-zero entry (value +0).
-    pub const ZERO: BufferEntry =
-        BufferEntry { sign: false, mant: 0, pow: 0, special: None, operand_zero: true };
+    pub const ZERO: BufferEntry = BufferEntry {
+        sign: false,
+        mant: 0,
+        pow: 0,
+        special: None,
+        operand_zero: true,
+    };
 
     /// The represented value, exact (`mant` has <= 12 bits, so the `f64`
     /// product below is exact).
@@ -117,19 +122,45 @@ pub fn decode_fp32(x: f32) -> (BufferEntry, BufferEntry) {
     let frac = bits & 0x7f_ffff;
 
     if biased == 0xff {
-        let s = if frac != 0 { Special::Nan } else { Special::Inf(sign) };
-        let e = BufferEntry { sign, mant: 0, pow: 0, special: Some(s), operand_zero: false };
+        let s = if frac != 0 {
+            Special::Nan
+        } else {
+            Special::Inf(sign)
+        };
+        let e = BufferEntry {
+            sign,
+            mant: 0,
+            pow: 0,
+            special: Some(s),
+            operand_zero: false,
+        };
         return (e, e);
     }
 
     // 24-bit significand M (hidden bit for normals; subnormals use e=-126).
-    let (m24, e) = if biased == 0 { (frac, -126) } else { (frac | 0x80_0000, biased - 127) };
+    let (m24, e) = if biased == 0 {
+        (frac, -126)
+    } else {
+        (frac | 0x80_0000, biased - 127)
+    };
     let zero = m24 == 0;
     // value = ±M * 2^(e - 23); split M = mH*2^12 + mL.
     let m_hi = m24 >> 12; // hidden 1 + top 11 explicit bits
     let m_lo = m24 & 0xfff; // bottom 12 explicit bits
-    let hi = BufferEntry { sign, mant: m_hi, pow: e - 11, special: None, operand_zero: zero };
-    let lo = BufferEntry { sign, mant: m_lo, pow: e - 23, special: None, operand_zero: zero };
+    let hi = BufferEntry {
+        sign,
+        mant: m_hi,
+        pow: e - 11,
+        special: None,
+        operand_zero: zero,
+    };
+    let lo = BufferEntry {
+        sign,
+        mant: m_lo,
+        pow: e - 23,
+        special: None,
+        operand_zero: zero,
+    };
     (hi, lo)
 }
 
@@ -141,9 +172,18 @@ pub fn decode_fp32(x: f32) -> (BufferEntry, BufferEntry) {
 /// `x` must be exactly representable in `fmt` (callers obtain it from
 /// `SoftFloat`). Panics (debug) otherwise.
 pub fn decode_narrow(x: f64, fmt: FloatFormat) -> BufferEntry {
-    debug_assert!(fmt.precision() <= MANT_BITS, "{fmt} exceeds the 12-bit buffer field");
+    debug_assert!(
+        fmt.precision() <= MANT_BITS,
+        "{fmt} exceeds the 12-bit buffer field"
+    );
     if x.is_nan() {
-        return BufferEntry { sign: false, mant: 0, pow: 0, special: Some(Special::Nan), operand_zero: false };
+        return BufferEntry {
+            sign: false,
+            mant: 0,
+            pow: 0,
+            special: Some(Special::Nan),
+            operand_zero: false,
+        };
     }
     if x.is_infinite() {
         let neg = x.is_sign_negative();
@@ -164,7 +204,13 @@ pub fn decode_narrow(x: f64, fmt: FloatFormat) -> BufferEntry {
     } else {
         (frac | (1 << fmt.mantissa_bits), biased - fmt.bias())
     };
-    BufferEntry { sign, mant: m, pow: e - fmt.mantissa_bits as i32, special: None, operand_zero: m == 0 }
+    BufferEntry {
+        sign,
+        mant: m,
+        pow: e - fmt.mantissa_bits as i32,
+        special: None,
+        operand_zero: m == 0,
+    }
 }
 
 /// Mantissa-field width of the FP64 extension mode (§IV-C): each FP64
@@ -176,7 +222,13 @@ pub const FP64_HALF_BITS: u32 = 27;
 /// §IV-C extension mode. `high.value() + low.value() == x` exactly.
 pub fn decode_fp64(x: f64) -> (BufferEntry, BufferEntry) {
     if x.is_nan() {
-        let e = BufferEntry { sign: false, mant: 0, pow: 0, special: Some(Special::Nan), operand_zero: false };
+        let e = BufferEntry {
+            sign: false,
+            mant: 0,
+            pow: 0,
+            special: Some(Special::Nan),
+            operand_zero: false,
+        };
         return (e, e);
     }
     if x.is_infinite() {
@@ -194,13 +246,29 @@ pub fn decode_fp64(x: f64) -> (BufferEntry, BufferEntry) {
     let sign = bits >> 63 == 1;
     let biased = ((bits >> 52) & 0x7ff) as i32;
     let frac = bits & ((1u64 << 52) - 1);
-    let (m53, e) = if biased == 0 { (frac, -1022) } else { (frac | (1u64 << 52), biased - 1023) };
+    let (m53, e) = if biased == 0 {
+        (frac, -1022)
+    } else {
+        (frac | (1u64 << 52), biased - 1023)
+    };
     // value = ±M * 2^(e - 52); split M = mH*2^26 + mL.
     let zero = m53 == 0;
     let m_hi = (m53 >> 26) as u32; // 27 bits incl. hidden
     let m_lo = (m53 & ((1 << 26) - 1)) as u32; // 26 bits
-    let hi = BufferEntry { sign, mant: m_hi, pow: e - 26, special: None, operand_zero: zero };
-    let lo = BufferEntry { sign, mant: m_lo, pow: e - 52, special: None, operand_zero: zero };
+    let hi = BufferEntry {
+        sign,
+        mant: m_hi,
+        pow: e - 26,
+        special: None,
+        operand_zero: zero,
+    };
+    let lo = BufferEntry {
+        sign,
+        mant: m_lo,
+        pow: e - 52,
+        special: None,
+        operand_zero: zero,
+    };
     (hi, lo)
 }
 
@@ -235,7 +303,11 @@ mod tests {
             -0.0,
         ] {
             let (hi, lo) = decode_fp32(x);
-            assert_eq!(hi.value() + lo.value(), x as f64, "decode not exact for {x:e}");
+            assert_eq!(
+                hi.value() + lo.value(),
+                x as f64,
+                "decode not exact for {x:e}"
+            );
         }
     }
 
@@ -335,7 +407,11 @@ mod tests {
             // The halves have <= 27 significant bits each; summing their
             // exact values in f64 is exact because they are disjoint bit
             // ranges of the original significand.
-            assert_eq!(hi.value() + lo.value(), x, "fp64 decode not exact for {x:e}");
+            assert_eq!(
+                hi.value() + lo.value(),
+                x,
+                "fp64 decode not exact for {x:e}"
+            );
             assert!(hi.mant < 1 << FP64_HALF_BITS);
             assert!(lo.mant < 1 << (FP64_HALF_BITS - 1));
         }

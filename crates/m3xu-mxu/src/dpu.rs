@@ -126,11 +126,24 @@ impl Accumulator {
         match self.state {
             AccState::Nan => (
                 f32::NAN,
-                MxuExceptions { invalid: self.invalid, ..Default::default() },
+                MxuExceptions {
+                    invalid: self.invalid,
+                    ..Default::default()
+                },
             ),
             AccState::Inf(neg) => {
-                let v = if neg { f32::NEG_INFINITY } else { f32::INFINITY };
-                (v, MxuExceptions { invalid: self.invalid, ..Default::default() })
+                let v = if neg {
+                    f32::NEG_INFINITY
+                } else {
+                    f32::INFINITY
+                };
+                (
+                    v,
+                    MxuExceptions {
+                        invalid: self.invalid,
+                        ..Default::default()
+                    },
+                )
             }
             AccState::Finite => {
                 let (v, f) = self.acc.round_to_flagged(m3xu_fp::format::FP32);
@@ -194,6 +207,22 @@ impl DotProductUnit {
     pub fn clear(&mut self) {
         self.real.clear();
         self.imag.clear();
+    }
+
+    /// Zero only the real accumulator — the packed real-mode pipeline never
+    /// touches the imaginary register, so clearing it too would waste a
+    /// wide-register wipe per output element.
+    pub fn clear_real(&mut self) {
+        self.real.clear();
+    }
+
+    /// Execute a single lane — the entry point the packed fragment
+    /// pipeline uses to stream lanes without materialising per-step
+    /// `Vec<LaneOp>` schedules.
+    #[inline]
+    pub fn execute_lane_op(&mut self, op: &LaneOp) {
+        self.lane_ops += 1;
+        self.execute_lane(op);
     }
 
     /// Seed the real accumulator with the GEMM `C` input.
@@ -308,7 +337,12 @@ mod tests {
     use m3xu_fp::format::FP16;
 
     fn lane(a: BufferEntry, b: BufferEntry) -> LaneOp {
-        LaneOp { a, b, negate: false, target: Target::Real }
+        LaneOp {
+            a,
+            b,
+            negate: false,
+            target: Target::Real,
+        }
     }
 
     #[test]
@@ -355,7 +389,12 @@ mod tests {
         let a = decode_narrow(2.0, FP16);
         let b = decode_narrow(3.0, FP16);
         let mut dpu = DotProductUnit::new();
-        dpu.execute_step(&[LaneOp { a, b, negate: true, target: Target::Real }]);
+        dpu.execute_step(&[LaneOp {
+            a,
+            b,
+            negate: true,
+            target: Target::Real,
+        }]);
         assert_eq!(dpu.read_real_f32(), -6.0);
     }
 
@@ -365,8 +404,18 @@ mod tests {
         let b = decode_narrow(3.0, FP16);
         let mut dpu = DotProductUnit::new();
         dpu.execute_step(&[
-            LaneOp { a, b, negate: false, target: Target::Real },
-            LaneOp { a, b, negate: true, target: Target::Imag },
+            LaneOp {
+                a,
+                b,
+                negate: false,
+                target: Target::Real,
+            },
+            LaneOp {
+                a,
+                b,
+                negate: true,
+                target: Target::Imag,
+            },
         ]);
         assert_eq!(dpu.read_real_f32(), 6.0);
         assert_eq!(dpu.read_imag_f32(), -6.0);

@@ -29,13 +29,27 @@ pub fn decode_fp32_parts(x: f32, width: u32) -> Vec<BufferEntry> {
     let biased = ((bits >> 23) & 0xff) as i32;
     let frac = bits & 0x7f_ffff;
     if biased == 0xff {
-        let s = if frac != 0 { Special::Nan } else { Special::Inf(sign) };
+        let s = if frac != 0 {
+            Special::Nan
+        } else {
+            Special::Inf(sign)
+        };
         return vec![
-            BufferEntry { sign, mant: 0, pow: 0, special: Some(s), operand_zero: false };
+            BufferEntry {
+                sign,
+                mant: 0,
+                pow: 0,
+                special: Some(s),
+                operand_zero: false
+            };
             parts
         ];
     }
-    let (m24, e) = if biased == 0 { (frac, -126) } else { (frac | 0x80_0000, biased - 127) };
+    let (m24, e) = if biased == 0 {
+        (frac, -126)
+    } else {
+        (frac | 0x80_0000, biased - 127)
+    };
     let zero = m24 == 0;
     // Pad the 24-bit significand at the bottom so it divides evenly.
     let total = parts as u32 * width;
@@ -46,7 +60,13 @@ pub fn decode_fp32_parts(x: f32, width: u32) -> Vec<BufferEntry> {
             let mant = ((padded >> shift) & ((1u64 << width) - 1)) as u32;
             // Part i's LSB has weight 2^(e - 23 - (total - 24) + shift).
             let pow = e - 23 - (total as i32 - 24) + shift as i32;
-            BufferEntry { sign, mant, pow, special: None, operand_zero: zero }
+            BufferEntry {
+                sign,
+                mant,
+                pow,
+                special: None,
+                operand_zero: zero,
+            }
         })
         .collect()
 }
@@ -56,10 +76,8 @@ pub fn decode_fp32_parts(x: f32, width: u32) -> Vec<BufferEntry> {
 pub fn plan_fp32_generic(a: &[f32], b: &[f32], width: u32) -> Vec<Vec<LaneOp>> {
     assert_eq!(a.len(), b.len());
     let parts = 24usize.div_ceil(width as usize);
-    let a_parts: Vec<Vec<BufferEntry>> =
-        a.iter().map(|&x| decode_fp32_parts(x, width)).collect();
-    let b_parts: Vec<Vec<BufferEntry>> =
-        b.iter().map(|&x| decode_fp32_parts(x, width)).collect();
+    let a_parts: Vec<Vec<BufferEntry>> = a.iter().map(|&x| decode_fp32_parts(x, width)).collect();
+    let b_parts: Vec<Vec<BufferEntry>> = b.iter().map(|&x| decode_fp32_parts(x, width)).collect();
     (0..parts)
         .map(|s| {
             let mut step = Vec::with_capacity(parts * a.len());
@@ -144,7 +162,11 @@ impl WindowedAccumulator {
     /// A zeroed accumulator with the given window width.
     pub fn new(width: u32) -> Self {
         assert!((8..=120).contains(&width));
-        WindowedAccumulator { width, mant: 0, exp: i32::MIN / 2 }
+        WindowedAccumulator {
+            width,
+            mant: 0,
+            exp: i32::MIN / 2,
+        }
     }
 
     fn renormalise(&mut self) {
@@ -313,13 +335,19 @@ mod tests {
     #[test]
     fn wide_window_is_exact_narrow_window_leaks() {
         let exact_width = accumulator_width_error(56, 8, 30);
-        assert_eq!(exact_width, 0, "56-bit window must be ulp-exact on k=8 dots");
+        assert_eq!(
+            exact_width, 0,
+            "56-bit window must be ulp-exact on k=8 dots"
+        );
         let narrow = accumulator_width_error(24, 8, 30);
         assert!(narrow > 0, "a 24-bit window should show error");
         // Monotone-ish: spot-check that wider is never dramatically worse.
         let e32 = accumulator_width_error(32, 8, 30);
         let e48 = accumulator_width_error(48, 8, 30);
-        assert!(e48 <= e32.max(1), "48-bit ({e48}) should beat 32-bit ({e32})");
+        assert!(
+            e48 <= e32.max(1),
+            "48-bit ({e48}) should beat 32-bit ({e32})"
+        );
     }
 
     #[test]

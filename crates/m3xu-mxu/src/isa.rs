@@ -27,7 +27,10 @@ impl MmaInstruction {
     /// The natural instruction for `mode` on a unit whose FP16 shape is
     /// `fp16_shape`.
     pub fn for_mode(mode: MxuMode, fp16_shape: MmaShape) -> Self {
-        MmaInstruction { mode, shape: fp16_shape.for_mode(mode) }
+        MmaInstruction {
+            mode,
+            shape: fp16_shape.for_mode(mode),
+        }
     }
 
     /// Unit-occupancy cycles (pipelined issue): the mode's step count —
@@ -99,14 +102,20 @@ impl FromStr for MmaInstruction {
     type Err = ParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let rest = s.strip_prefix("mma.sync.aligned.").ok_or(ParseError::NotAnMma)?;
+        let rest = s
+            .strip_prefix("mma.sync.aligned.")
+            .ok_or(ParseError::NotAnMma)?;
         let (shape_s, types) = rest.split_once('.').ok_or(ParseError::NotAnMma)?;
         // Shape: m<M>n<N>k<K>.
         let parse_shape = || -> Option<MmaShape> {
             let rest = shape_s.strip_prefix('m')?;
             let (m, rest) = rest.split_once('n')?;
             let (n, k) = rest.split_once('k')?;
-            Some(MmaShape::new(m.parse().ok()?, n.parse().ok()?, k.parse().ok()?))
+            Some(MmaShape::new(
+                m.parse().ok()?,
+                n.parse().ok()?,
+                k.parse().ok()?,
+            ))
         };
         let shape = parse_shape().ok_or_else(|| ParseError::BadShape(shape_s.to_string()))?;
         let mode = match types {
@@ -177,11 +186,23 @@ pub fn execute(
         }
         (MxuMode::Fp16, Fragments::Real { a, b, c }) => {
             check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
-            Ok(FragmentResult::Real(mma::mma_narrow(m3xu_fp::format::FP16, a, b, c, stats)))
+            Ok(FragmentResult::Real(mma::mma_narrow(
+                m3xu_fp::format::FP16,
+                a,
+                b,
+                c,
+                stats,
+            )))
         }
         (MxuMode::Bf16, Fragments::Real { a, b, c }) => {
             check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
-            Ok(FragmentResult::Real(mma::mma_narrow(m3xu_fp::format::BF16, a, b, c, stats)))
+            Ok(FragmentResult::Real(mma::mma_narrow(
+                m3xu_fp::format::BF16,
+                a,
+                b,
+                c,
+                stats,
+            )))
         }
         (MxuMode::Tf32, Fragments::Real { a, b, c }) => {
             check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
@@ -230,7 +251,10 @@ impl Trace {
 
     /// Total operand traffic in bytes (rule c).
     pub fn operand_bytes(&self) -> u64 {
-        self.instructions.iter().map(|i| i.operand_bytes() as u64).sum()
+        self.instructions
+            .iter()
+            .map(|i| i.operand_bytes() as u64)
+            .sum()
     }
 }
 
@@ -261,7 +285,10 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("add.f32 r0, r1".parse::<MmaInstruction>(), Err(ParseError::NotAnMma));
+        assert_eq!(
+            "add.f32 r0, r1".parse::<MmaInstruction>(),
+            Err(ParseError::NotAnMma)
+        );
         assert!(matches!(
             "mma.sync.aligned.m8nXk4.f32.f16.f16.f32".parse::<MmaInstruction>(),
             Err(ParseError::BadShape(_))
@@ -279,7 +306,16 @@ mod tests {
         let b = Matrix::<f32>::random(2, 8, 2);
         let c = Matrix::<f32>::zeros(8, 8);
         let mut stats = MmaStats::default();
-        let r = execute(inst, Fragments::Real { a: &a, b: &b, c: &c }, &mut stats).unwrap();
+        let r = execute(
+            inst,
+            Fragments::Real {
+                a: &a,
+                b: &b,
+                c: &c,
+            },
+            &mut stats,
+        )
+        .unwrap();
         match r {
             FragmentResult::Real(d) => assert_eq!(d.rows(), 8),
             _ => panic!("wrong result kind"),
@@ -287,13 +323,32 @@ mod tests {
         assert_eq!(stats.steps, 2);
         // Wrong shape rejected.
         let bad = Matrix::<f32>::random(8, 4, 3);
-        let err = execute(inst, Fragments::Real { a: &bad, b: &b, c: &c }, &mut stats);
-        assert!(matches!(err, Err(ExecError::Shape) | Err(ExecError::OperandKind)));
+        let err = execute(
+            inst,
+            Fragments::Real {
+                a: &bad,
+                b: &b,
+                c: &c,
+            },
+            &mut stats,
+        );
+        assert!(matches!(
+            err,
+            Err(ExecError::Shape) | Err(ExecError::OperandKind)
+        ));
         // Wrong operand kind rejected.
         let ca = Matrix::random_c32(8, 1, 4);
         let cb = Matrix::random_c32(1, 8, 5);
         let cc = Matrix::<Complex<f32>>::zeros(8, 8);
-        let err = execute(inst, Fragments::Complex { a: &ca, b: &cb, c: &cc }, &mut stats);
+        let err = execute(
+            inst,
+            Fragments::Complex {
+                a: &ca,
+                b: &cb,
+                c: &cc,
+            },
+            &mut stats,
+        );
         assert!(matches!(err, Err(ExecError::OperandKind)));
     }
 

@@ -56,10 +56,12 @@ pub mod matrix;
 pub mod mma;
 pub mod modes;
 pub mod outer;
+pub mod packed;
 pub mod systolic;
 pub mod unit;
 
-pub use matrix::Matrix;
+pub use matrix::{Matrix, TileView};
 pub use mma::{MmaShape, MmaStats};
 pub use modes::{MxuMode, PipelineVariant};
+pub use packed::PackedOperand;
 pub use unit::{Mxu, MxuConfig, NativeFp32Mxu};

@@ -48,7 +48,11 @@ impl<T> Matrix<T> {
 impl<T: Copy + Default> Matrix<T> {
     /// A `rows x cols` matrix filled with `T::default()`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 
     /// Element access (debug-checked).
@@ -114,6 +118,83 @@ impl<T: Copy + Default> Matrix<T> {
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix<T> {
         Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// A borrowed view of the `rows x cols` tile at `(r0, c0)` — the
+    /// zero-copy counterpart of [`Matrix::tile`]. Reads past the matrix
+    /// edge yield `T::default()`, exactly like predicated loads.
+    pub fn view(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> TileView<'_, T> {
+        TileView {
+            src: self,
+            r0,
+            c0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Write the row-major `rows x cols` slice `src` back at `(r0, c0)`,
+    /// clipping at the matrix edge (the epilogue's predicated stores).
+    pub fn store_tile_slice(&mut self, r0: usize, c0: usize, rows: usize, cols: usize, src: &[T]) {
+        assert!(src.len() >= rows * cols, "source slice too short");
+        let keep_r = rows.min(self.rows.saturating_sub(r0));
+        let keep_c = cols.min(self.cols.saturating_sub(c0));
+        for i in 0..keep_r {
+            let dst = (r0 + i) * self.cols + c0;
+            self.data[dst..dst + keep_c].copy_from_slice(&src[i * cols..i * cols + keep_c]);
+        }
+    }
+}
+
+/// A borrowed, zero-padding tile view into a [`Matrix`] — no copy is made
+/// until the caller drains it into scratch with [`TileView::copy_into`].
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a, T> {
+    src: &'a Matrix<T>,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Copy + Default> TileView<'_, T> {
+    /// Tile rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access with zero-padding past the matrix edge.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        if self.r0 + i < self.src.rows && self.c0 + j < self.src.cols {
+            self.src.get(self.r0 + i, self.c0 + j)
+        } else {
+            T::default()
+        }
+    }
+
+    /// Copy the tile row-major into caller-owned scratch (no allocation).
+    /// `out` must hold at least `rows * cols` elements; padded positions
+    /// are written with `T::default()`.
+    pub fn copy_into(&self, out: &mut [T]) {
+        assert!(out.len() >= self.rows * self.cols, "scratch too short");
+        let keep_r = self.rows.min(self.src.rows.saturating_sub(self.r0));
+        let keep_c = self.cols.min(self.src.cols.saturating_sub(self.c0));
+        for i in 0..keep_r {
+            let s = (self.r0 + i) * self.src.cols + self.c0;
+            out[i * self.cols..i * self.cols + keep_c]
+                .copy_from_slice(&self.src.data[s..s + keep_c]);
+            out[i * self.cols + keep_c..(i + 1) * self.cols].fill(T::default());
+        }
+        out[keep_r * self.cols..self.rows * self.cols].fill(T::default());
     }
 }
 

@@ -44,7 +44,11 @@ impl MmaShape {
     /// The shape this mode supports on hardware whose native FP16 shape is
     /// `self`: `K` shrinks by the mode's divisor (minimum 1).
     pub fn for_mode(self, mode: MxuMode) -> MmaShape {
-        MmaShape { m: self.m, n: self.n, k: (self.k / mode.k_divisor()).max(1) }
+        MmaShape {
+            m: self.m,
+            n: self.n,
+            k: (self.k / mode.k_divisor()).max(1),
+        }
     }
 
     /// Multiply-accumulate operations in one MMA of this shape.
@@ -128,10 +132,16 @@ pub fn mma_narrow(
     let out = Matrix::from_fn(m, n, |i, j| {
         dpu.clear();
         dpu.seed_real(c.get(i, j) as f64);
-        let av: Vec<f64> =
-            a.row(i).iter().map(|&x| m3xu_fp::softfloat::round_to_format(x as f64, fmt)).collect();
-        let bv: Vec<f64> =
-            bt.row(j).iter().map(|&x| m3xu_fp::softfloat::round_to_format(x as f64, fmt)).collect();
+        let av: Vec<f64> = a
+            .row(i)
+            .iter()
+            .map(|&x| m3xu_fp::softfloat::round_to_format(x as f64, fmt))
+            .collect();
+        let bv: Vec<f64> = bt
+            .row(j)
+            .iter()
+            .map(|&x| m3xu_fp::softfloat::round_to_format(x as f64, fmt))
+            .collect();
         let plan = assign::plan_native(&av, &bv, fmt);
         for step in &plan {
             dpu.execute_step(step);
@@ -267,8 +277,8 @@ pub fn mma_fp64c(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use m3xu_fp::softfloat::round_to_format;
     use m3xu_fp::format::FP16;
+    use m3xu_fp::softfloat::round_to_format;
 
     fn exact_ref(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> Matrix<f32> {
         Matrix::from_fn(a.rows(), b.cols(), |i, j| {
@@ -381,9 +391,24 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = MmaStats { instructions: 1, steps: 2, lane_products: 3 };
-        let b = MmaStats { instructions: 10, steps: 20, lane_products: 30 };
+        let mut a = MmaStats {
+            instructions: 1,
+            steps: 2,
+            lane_products: 3,
+        };
+        let b = MmaStats {
+            instructions: 10,
+            steps: 20,
+            lane_products: 30,
+        };
         a.merge(&b);
-        assert_eq!(a, MmaStats { instructions: 11, steps: 22, lane_products: 33 });
+        assert_eq!(
+            a,
+            MmaStats {
+                instructions: 11,
+                steps: 22,
+                lane_products: 33
+            }
+        );
     }
 }

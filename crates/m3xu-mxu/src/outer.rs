@@ -31,13 +31,18 @@ pub struct OuterReport {
 impl OuterProductUnit {
     /// An engine with an `rows x cols` accumulator tile.
     pub fn new(rows: usize, cols: usize) -> Self {
-        OuterProductUnit { array: SystolicArray::new(rows, cols) }
+        OuterProductUnit {
+            array: SystolicArray::new(rows, cols),
+        }
     }
 
     /// Execute one real-mode MMA from separable streams.
     pub fn run(&mut self, s: &SystolicStreams, c: Option<&Matrix<f32>>) -> OuterReport {
         let r: SystolicReport = self.array.run(s, c);
-        OuterReport { cycles: r.beats, pe_ops: r.pe_ops }
+        OuterReport {
+            cycles: r.beats,
+            pe_ops: r.pe_ops,
+        }
     }
 
     /// Execute one complex-mode MMA.
@@ -47,7 +52,10 @@ impl OuterProductUnit {
         c: Option<&Matrix<Complex<f32>>>,
     ) -> OuterReport {
         let r = self.array.run_complex(s, c);
-        OuterReport { cycles: r.beats, pe_ops: r.pe_ops }
+        OuterReport {
+            cycles: r.beats,
+            pe_ops: r.pe_ops,
+        }
     }
 
     /// Drain results as FP32.

@@ -1,0 +1,882 @@
+//! Packed-operand fragment pipeline — decode once, execute in place.
+//!
+//! The per-fragment MMA entry points in [`crate::mma`] re-decode their
+//! operand tiles on every call: a tiled GEMM decodes each element of `A`
+//! once per *column tile* of `B` (and vice versa), and every fragment heap-
+//! allocates its `StepPlan`. This module removes both costs:
+//!
+//! * [`PackedOperand`] decodes a whole GEMM operand into [`BufferEntry`]
+//!   planes **once per GEMM** — per mode, including the FP32 hi/lo split
+//!   and the FP32C `[re_hi, re_lo, im_hi, im_lo]` planes;
+//! * [`DotProductUnit::mma_f32_into`] / [`DotProductUnit::mma_c32_into`]
+//!   execute one fragment straight out of the packed planes into a
+//!   caller-owned accumulator slice — no allocation on the hot path.
+//!
+//! ## Bit-exactness
+//!
+//! The packed executors fuse a fragment's 2 (FP32) or 4 (FP32C) plan steps
+//! into a single lane stream per output element. This is bit-identical to
+//! the step-ordered execution of [`crate::assign`]'s plans because
+//!
+//! 1. finite lanes accumulate *exactly* in the Kulisch register — integer
+//!    addition is commutative and associative, so lane order is irrelevant;
+//! 2. the special-value state machine's final *value* is a pure function of
+//!    the lane multiset (any NaN input or Inf·0 poisons; otherwise opposing
+//!    infinities poison; otherwise a single infinity sign wins); and
+//! 3. the rounding boundary is preserved: each output element is drained to
+//!    its output format exactly once per fragment, and the rounded value
+//!    re-seeds the next fragment of the `K`-loop — the same once-per-MMA
+//!    rounding contract as [`crate::mma`].
+
+use crate::buffer::{decode_fp32, decode_narrow, decode_tf32_truncating, BufferEntry};
+use crate::dpu::{DotProductUnit, LaneOp, Target};
+use crate::matrix::Matrix;
+use crate::mma::{MmaShape, MmaStats};
+use crate::modes::MxuMode;
+use crate::unit::Mxu;
+use m3xu_fp::complex::Complex;
+use m3xu_fp::format::{BF16, FP16};
+use m3xu_fp::softfloat::round_to_format;
+
+/// Buffer entries the data-assignment stage provisions per operand element
+/// in `mode` — 1 for the narrow formats, 2 for the hi/lo split of the FP32
+/// and FP64 modes, 4 for the complex modes' component-half planes.
+pub const fn entries_per_element(mode: MxuMode) -> usize {
+    match mode {
+        MxuMode::Fp16 | MxuMode::Bf16 | MxuMode::Tf32 => 1,
+        MxuMode::M3xuFp32 | MxuMode::M3xuFp64 => 2,
+        MxuMode::M3xuFp32c | MxuMode::M3xuFp64c => 4,
+    }
+}
+
+/// The statistics one full fragment of `shape` contributes in `mode` —
+/// identical to what the per-fragment [`crate::mma`] executors count on
+/// zero-padded tiles (padded lanes are provisioned by the hardware whether
+/// or not their products are useful, so they are charged either way).
+pub fn fragment_stats(mode: MxuMode, shape: MmaShape) -> MmaStats {
+    let steps = mode.steps() as u64;
+    MmaStats {
+        instructions: 1,
+        steps,
+        lane_products: shape.macs() * steps * entries_per_element(mode) as u64,
+    }
+}
+
+/// One GEMM operand decoded into buffer-entry planes, ready for any number
+/// of fragment executions.
+///
+/// Layout: `vecs` dot-product operand vectors (the rows of `A`, or the
+/// columns of `B`), each `len` elements long, each element expanded to
+/// [`entries_per_element`] consecutive entries. For `A` pack by rows; for
+/// `B` pack by columns — fragment execution then reads two contiguous
+/// slices.
+#[derive(Debug, Clone)]
+pub struct PackedOperand {
+    mode: MxuMode,
+    epe: usize,
+    len: usize,
+    vecs: usize,
+    entries: Vec<BufferEntry>,
+}
+
+#[inline]
+fn push_f32(entries: &mut Vec<BufferEntry>, x: f32, mode: MxuMode) {
+    match mode {
+        MxuMode::M3xuFp32 => {
+            let (hi, lo) = decode_fp32(x);
+            entries.push(hi);
+            entries.push(lo);
+        }
+        MxuMode::Tf32 => entries.push(decode_tf32_truncating(x)),
+        MxuMode::Fp16 => entries.push(decode_narrow(round_to_format(x as f64, FP16), FP16)),
+        MxuMode::Bf16 => entries.push(decode_narrow(round_to_format(x as f64, BF16), BF16)),
+        _ => panic!("mode {mode} is not a real-valued f32 packing mode"),
+    }
+}
+
+#[inline]
+fn push_c32(entries: &mut Vec<BufferEntry>, x: Complex<f32>) {
+    let (rh, rl) = decode_fp32(x.re);
+    let (ih, il) = decode_fp32(x.im);
+    entries.push(rh);
+    entries.push(rl);
+    entries.push(ih);
+    entries.push(il);
+}
+
+impl PackedOperand {
+    /// Pack a real operand by rows (the `A` side of `A·B`).
+    pub fn pack_rows_f32(m: &Matrix<f32>, mode: MxuMode) -> Self {
+        let epe = entries_per_element(mode);
+        let mut entries = Vec::with_capacity(m.rows() * m.cols() * epe);
+        for i in 0..m.rows() {
+            for &x in m.row(i) {
+                push_f32(&mut entries, x, mode);
+            }
+        }
+        PackedOperand {
+            mode,
+            epe,
+            len: m.cols(),
+            vecs: m.rows(),
+            entries,
+        }
+    }
+
+    /// Pack a real operand by columns (the `B` side of `A·B`).
+    pub fn pack_cols_f32(m: &Matrix<f32>, mode: MxuMode) -> Self {
+        let epe = entries_per_element(mode);
+        let mut entries = Vec::with_capacity(m.rows() * m.cols() * epe);
+        for j in 0..m.cols() {
+            for i in 0..m.rows() {
+                push_f32(&mut entries, m.get(i, j), mode);
+            }
+        }
+        PackedOperand {
+            mode,
+            epe,
+            len: m.rows(),
+            vecs: m.cols(),
+            entries,
+        }
+    }
+
+    /// Pack a complex operand by rows (FP32C mode).
+    pub fn pack_rows_c32(m: &Matrix<Complex<f32>>) -> Self {
+        let mut entries = Vec::with_capacity(m.rows() * m.cols() * 4);
+        for i in 0..m.rows() {
+            for &x in m.row(i) {
+                push_c32(&mut entries, x);
+            }
+        }
+        PackedOperand {
+            mode: MxuMode::M3xuFp32c,
+            epe: 4,
+            len: m.cols(),
+            vecs: m.rows(),
+            entries,
+        }
+    }
+
+    /// Pack a complex operand by columns (FP32C mode).
+    pub fn pack_cols_c32(m: &Matrix<Complex<f32>>) -> Self {
+        let mut entries = Vec::with_capacity(m.rows() * m.cols() * 4);
+        for j in 0..m.cols() {
+            for i in 0..m.rows() {
+                push_c32(&mut entries, m.get(i, j));
+            }
+        }
+        PackedOperand {
+            mode: MxuMode::M3xuFp32c,
+            epe: 4,
+            len: m.rows(),
+            vecs: m.cols(),
+            entries,
+        }
+    }
+
+    /// The mode this operand was decoded for.
+    #[inline]
+    pub fn mode(&self) -> MxuMode {
+        self.mode
+    }
+
+    /// Entries per element.
+    #[inline]
+    pub fn epe(&self) -> usize {
+        self.epe
+    }
+
+    /// Elements per operand vector (the reduction length `K`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the reduction dimension is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of operand vectors packed.
+    #[inline]
+    pub fn vecs(&self) -> usize {
+        self.vecs
+    }
+
+    /// The entry plane of vector `v`: `len * epe` consecutive entries.
+    #[inline]
+    pub fn vec(&self, v: usize) -> &[BufferEntry] {
+        &self.entries[v * self.len * self.epe..(v + 1) * self.len * self.epe]
+    }
+}
+
+#[inline]
+fn lane(a: BufferEntry, b: BufferEntry, negate: bool, target: Target) -> LaneOp {
+    LaneOp {
+        a,
+        b,
+        negate,
+        target,
+    }
+}
+
+/// One finite dot-product contribution `±mant · 2^pow` with `mant < 2^24`
+/// (a 12x12-bit lane product, or the seeded `C` element's significand).
+type Contrib = (u64, i32, bool);
+
+/// Capacity of the fast-path contribution window: covers every fragment
+/// shape the drivers issue (at most 9 contributions per output element).
+/// Larger `klen` requests simply take the general Kulisch path.
+const FAST_CONTRIB_CAP: usize = 12;
+
+/// Maximum exponent spread the 128-bit fast window accepts. The exact sum
+/// of at most `FAST_CONTRIB_CAP` terms below `2^24` then stays below
+/// `2^(24 + 96 + 4) < 2^127`, so the `i128` accumulation cannot overflow.
+const FAST_POW_RANGE: i32 = 96;
+
+/// Round the exact value `sum * 2^pmin` to FP32 — round-to-nearest,
+/// ties-to-even, gradual underflow, overflow to infinity. This is
+/// [`m3xu_fp::fixed::Kulisch::round_to`] specialised to a 128-bit window
+/// (same kept-bit / round-bit / sticky-bit selection, same tie and
+/// boundary handling), verified bit-identical by `fast_rounding_matches_
+/// kulisch` below and by the end-to-end differential GEMM tests.
+fn fast_round_f32(sum: i128, pmin: i32) -> f32 {
+    if sum == 0 {
+        return 0.0;
+    }
+    let negative = sum < 0;
+    let m = sum.unsigned_abs();
+    let apply = |v: f32| if negative { -v } else { v };
+    let h = 127 - m.leading_zeros() as i32; // position of the leading bit
+    let e = h + pmin; // exponent of the leading bit
+                      // FP32: 24 bits of precision, minimum normal exponent -126.
+    let keep = if e < -126 { 24 - (-126 - e) } else { 24 };
+    if keep <= 0 {
+        // At or below half of the least subnormal 2^-149.
+        if e < -150 {
+            return apply(0.0);
+        }
+        // e == -150: exactly half rounds to even (zero), anything above
+        // half rounds away.
+        return if m != 1u128 << h {
+            apply(f32::from_bits(1))
+        } else {
+            apply(0.0)
+        };
+    }
+    let lowbit = h - keep + 1; // position of the kept LSB
+    let mut frac = if lowbit >= 0 {
+        (m >> lowbit) as u64
+    } else {
+        (m as u64) << (-lowbit) as u32
+    };
+    let round = lowbit > 0 && (m >> (lowbit - 1)) & 1 == 1;
+    let sticky = lowbit > 1 && m & ((1u128 << (lowbit - 1)) - 1) != 0;
+    let mut weight = e - keep + 1;
+    if round && (sticky || frac & 1 == 1) {
+        frac += 1;
+        if frac == 1u64 << keep {
+            frac >>= 1;
+            weight += 1;
+        }
+    }
+    // `frac * 2^weight` is exactly representable (frac < 2^24,
+    // weight >= -149), so the f64 product and the final cast are exact.
+    let mag = frac as f64 * 2f64.powi(weight);
+    if mag > f32::MAX as f64 {
+        apply(f32::INFINITY)
+    } else {
+        apply(mag as f32)
+    }
+}
+
+/// Fast-path exact reduction of one output element: collects the lane
+/// products of a fragment as integer contributions and rounds their exact
+/// sum once. Aborts to the general Kulisch path (`None`) on any special
+/// operand, capacity overflow, or an exponent spread beyond the 128-bit
+/// window — the fallback is bit-identical, only slower.
+struct FastDot {
+    contrib: [Contrib; FAST_CONTRIB_CAP],
+    n: usize,
+}
+
+impl FastDot {
+    #[inline]
+    fn new(seed: f32) -> Option<FastDot> {
+        if !seed.is_finite() {
+            return None;
+        }
+        let mut dot = FastDot {
+            contrib: [(0, 0, false); FAST_CONTRIB_CAP],
+            n: 0,
+        };
+        let bits = seed.to_bits();
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let mant = (bits & 0x7f_ffff) as u64;
+        if exp != 0 {
+            dot.contrib[0] = (mant | 0x80_0000, exp - 127 - 23, bits >> 31 == 1);
+            dot.n = 1;
+        } else if mant != 0 {
+            dot.contrib[0] = (mant, -149, bits >> 31 == 1);
+            dot.n = 1;
+        }
+        Some(dot)
+    }
+
+    /// Add one lane's product; `None` aborts to the Kulisch fallback.
+    #[inline]
+    fn push_pair(&mut self, x: &BufferEntry, y: &BufferEntry, negate: bool) -> Option<()> {
+        if x.special.is_some() || y.special.is_some() {
+            return None;
+        }
+        let p = x.mant as u64 * y.mant as u64;
+        if p == 0 {
+            return Some(()); // same skip as the DPU's zero-product lanes
+        }
+        if self.n == FAST_CONTRIB_CAP {
+            return None;
+        }
+        self.contrib[self.n] = (p, x.pow + y.pow, x.sign ^ y.sign ^ negate);
+        self.n += 1;
+        Some(())
+    }
+
+    #[inline]
+    fn reduce(&self) -> Option<f32> {
+        let c = &self.contrib[..self.n];
+        if c.is_empty() {
+            return Some(0.0);
+        }
+        let mut pmin = i32::MAX;
+        let mut pmax = i32::MIN;
+        for &(_, p, _) in c {
+            pmin = pmin.min(p);
+            pmax = pmax.max(p);
+        }
+        if pmax - pmin > FAST_POW_RANGE {
+            return None;
+        }
+        let mut sum = 0i128;
+        for &(m, p, neg) in c {
+            let t = (m as i128) << (p - pmin) as u32;
+            sum += if neg { -t } else { t };
+        }
+        Some(fast_round_f32(sum, pmin))
+    }
+}
+
+/// Attempt one real-mode output element on the fast path.
+#[inline]
+fn try_fast_real(
+    seed: f32,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+    epe: usize,
+) -> Option<f32> {
+    let mut dot = FastDot::new(seed)?;
+    if epe == 1 {
+        for k in k0..kend {
+            dot.push_pair(&av[k], &bv[k], false)?;
+        }
+    } else {
+        for k in k0..kend {
+            let (ah, al) = (&av[2 * k], &av[2 * k + 1]);
+            let (bh, bl) = (&bv[2 * k], &bv[2 * k + 1]);
+            dot.push_pair(ah, bh, false)?;
+            dot.push_pair(al, bl, false)?;
+            dot.push_pair(ah, bl, false)?;
+            dot.push_pair(al, bh, false)?;
+        }
+    }
+    dot.reduce()
+}
+
+/// Attempt one FP32C output element (both components) on the fast path.
+#[inline]
+fn try_fast_c32(
+    seed: Complex<f32>,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+) -> Option<Complex<f32>> {
+    let mut re = FastDot::new(seed.re)?;
+    let mut im = FastDot::new(seed.im)?;
+    for k in k0..kend {
+        let (xrh, xrl, xih, xil) = (&av[4 * k], &av[4 * k + 1], &av[4 * k + 2], &av[4 * k + 3]);
+        let (yrh, yrl, yih, yil) = (&bv[4 * k], &bv[4 * k + 1], &bv[4 * k + 2], &bv[4 * k + 3]);
+        re.push_pair(xrh, yrh, false)?;
+        re.push_pair(xrl, yrl, false)?;
+        re.push_pair(xih, yih, true)?;
+        re.push_pair(xil, yil, true)?;
+        re.push_pair(xrh, yrl, false)?;
+        re.push_pair(xrl, yrh, false)?;
+        re.push_pair(xih, yil, true)?;
+        re.push_pair(xil, yih, true)?;
+        im.push_pair(xrh, yih, false)?;
+        im.push_pair(xrl, yil, false)?;
+        im.push_pair(xih, yrh, false)?;
+        im.push_pair(xil, yrl, false)?;
+        im.push_pair(xrh, yil, false)?;
+        im.push_pair(xrl, yih, false)?;
+        im.push_pair(xih, yrl, false)?;
+        im.push_pair(xil, yrh, false)?;
+    }
+    Some(Complex::new(re.reduce()?, im.reduce()?))
+}
+
+impl DotProductUnit {
+    /// Execute one real-mode fragment out of packed planes, in place.
+    ///
+    /// Computes `acc[i*cols + j] = round(Σ_k a[r0+i][k]·b[c0+j][k] +
+    /// acc[i*cols + j])` for the `rows x cols` output block at `(r0, c0)`,
+    /// reducing over packed elements `k0 .. min(k0 + klen, K)`. `acc` is
+    /// both the `C` input and the `D` output (row-major, `rows * cols`);
+    /// nothing is allocated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f32_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f32],
+    ) {
+        assert_eq!(a.mode, b.mode, "operand modes disagree");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        let kend = (k0 + klen).min(a.len);
+        let epe = a.epe;
+        let lanes_per_element = ((kend.saturating_sub(k0)) * epe * epe) as u64;
+        for i in 0..rows {
+            let av = a.vec(r0 + i);
+            for j in 0..cols {
+                let bv = b.vec(c0 + j);
+                let d = &mut acc[i * cols + j];
+                // Fast path: exact integer reduction in a 128-bit window,
+                // bit-identical to the Kulisch drain below (see
+                // `fast_round_f32`). Specials, wide exponent spreads, and
+                // oversized reductions fall through to the general path.
+                if let Some(v) = try_fast_real(*d, av, bv, k0, kend, epe) {
+                    self.lane_ops += lanes_per_element;
+                    *d = v;
+                    continue;
+                }
+                self.clear_real();
+                self.seed_real(*d as f64);
+                match epe {
+                    1 => {
+                        for k in k0..kend {
+                            self.execute_lane_op(&lane(av[k], bv[k], false, Target::Real));
+                        }
+                    }
+                    2 => {
+                        // The fused 2-step FP32 stream: HH, LL (step 1)
+                        // then HL, LH (step 2) for each element.
+                        for k in k0..kend {
+                            let (ah, al) = (av[2 * k], av[2 * k + 1]);
+                            let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
+                            self.execute_lane_op(&lane(ah, bh, false, Target::Real));
+                            self.execute_lane_op(&lane(al, bl, false, Target::Real));
+                            self.execute_lane_op(&lane(ah, bl, false, Target::Real));
+                            self.execute_lane_op(&lane(al, bh, false, Target::Real));
+                        }
+                    }
+                    _ => unreachable!("real-mode packing uses 1 or 2 entries per element"),
+                }
+                *d = self.read_real_f32();
+            }
+        }
+    }
+
+    /// Execute one FP32C fragment out of packed planes, in place — the
+    /// four-step complex schedule fused per element, both components
+    /// rounded once at drain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_c32_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        assert_eq!(a.mode, MxuMode::M3xuFp32c, "a is not FP32C-packed");
+        assert_eq!(b.mode, MxuMode::M3xuFp32c, "b is not FP32C-packed");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        let kend = (k0 + klen).min(a.len);
+        let lanes_per_element = (kend.saturating_sub(k0) * 16) as u64;
+        for i in 0..rows {
+            let av = a.vec(r0 + i);
+            for j in 0..cols {
+                let bv = b.vec(c0 + j);
+                let d = &mut acc[i * cols + j];
+                // Fast path (see `mma_f32_into`): both components reduced
+                // exactly in 128-bit windows, or the whole element falls
+                // back to the Kulisch pipeline.
+                if let Some(v) = try_fast_c32(*d, av, bv, k0, kend) {
+                    self.lane_ops += lanes_per_element;
+                    *d = v;
+                    continue;
+                }
+                self.clear();
+                self.seed_real(d.re as f64);
+                self.seed_imag(d.im as f64);
+                for k in k0..kend {
+                    let (xrh, xrl, xih, xil) =
+                        (av[4 * k], av[4 * k + 1], av[4 * k + 2], av[4 * k + 3]);
+                    let (yrh, yrl, yih, yil) =
+                        (bv[4 * k], bv[4 * k + 1], bv[4 * k + 2], bv[4 * k + 3]);
+                    // Steps 1-2 (real): a_R·b_R - a_I·b_I, matching then
+                    // crossed halves; the subtraction is the flipped sign
+                    // bit on the imaginary-imaginary lanes.
+                    self.execute_lane_op(&lane(xrh, yrh, false, Target::Real));
+                    self.execute_lane_op(&lane(xrl, yrl, false, Target::Real));
+                    self.execute_lane_op(&lane(xih, yih, true, Target::Real));
+                    self.execute_lane_op(&lane(xil, yil, true, Target::Real));
+                    self.execute_lane_op(&lane(xrh, yrl, false, Target::Real));
+                    self.execute_lane_op(&lane(xrl, yrh, false, Target::Real));
+                    self.execute_lane_op(&lane(xih, yil, true, Target::Real));
+                    self.execute_lane_op(&lane(xil, yih, true, Target::Real));
+                    // Steps 3-4 (imag): a_R·b_I + a_I·b_R.
+                    self.execute_lane_op(&lane(xrh, yih, false, Target::Imag));
+                    self.execute_lane_op(&lane(xrl, yil, false, Target::Imag));
+                    self.execute_lane_op(&lane(xih, yrh, false, Target::Imag));
+                    self.execute_lane_op(&lane(xil, yrl, false, Target::Imag));
+                    self.execute_lane_op(&lane(xrh, yil, false, Target::Imag));
+                    self.execute_lane_op(&lane(xrl, yih, false, Target::Imag));
+                    self.execute_lane_op(&lane(xih, yrl, false, Target::Imag));
+                    self.execute_lane_op(&lane(xil, yrh, false, Target::Imag));
+                }
+                *d = Complex::new(self.read_real_f32(), self.read_imag_f32());
+            }
+        }
+    }
+}
+
+impl Mxu {
+    /// One packed real-mode fragment MMA on this unit's fragment shape,
+    /// recording the same per-fragment counters as the tile-based entry
+    /// points. `dpu` is caller-owned scratch (reusing it across fragments
+    /// keeps the wide accumulation registers off the allocator). Returns
+    /// the `(rows, cols)` of the output block actually written.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f32_into(
+        &mut self,
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        c0: usize,
+        k0: usize,
+        acc: &mut [f32],
+    ) -> (usize, usize) {
+        let mode = a.mode();
+        let shape = self.shape(mode);
+        let rows = shape.m.min(a.vecs().saturating_sub(r0));
+        let cols = shape.n.min(b.vecs().saturating_sub(c0));
+        dpu.mma_f32_into(a, b, r0, rows, c0, cols, k0, shape.k, acc);
+        self.counters.record(mode, &fragment_stats(mode, shape));
+        (rows, cols)
+    }
+
+    /// One packed FP32C fragment MMA, mirroring [`Mxu::mma_f32_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_c32_into(
+        &mut self,
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        c0: usize,
+        k0: usize,
+        acc: &mut [Complex<f32>],
+    ) -> (usize, usize) {
+        let mode = MxuMode::M3xuFp32c;
+        let shape = self.shape(mode);
+        let rows = shape.m.min(a.vecs().saturating_sub(r0));
+        let cols = shape.n.min(b.vecs().saturating_sub(c0));
+        dpu.mma_c32_into(a, b, r0, rows, c0, cols, k0, shape.k, acc);
+        self.counters.record(mode, &fragment_stats(mode, shape));
+        (rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mma;
+    use crate::unit::MxuConfig;
+
+    #[test]
+    fn pack_layout_and_values() {
+        let m = Matrix::from_fn(2, 3, |i, j| (1 + i * 3 + j) as f32 * 1.5);
+        let rows = PackedOperand::pack_rows_f32(&m, MxuMode::M3xuFp32);
+        assert_eq!((rows.vecs(), rows.len(), rows.epe()), (2, 3, 2));
+        // Each element's hi+lo halves reconstruct it exactly.
+        for i in 0..2 {
+            let v = rows.vec(i);
+            for j in 0..3 {
+                assert_eq!(v[2 * j].value() + v[2 * j + 1].value(), m.get(i, j) as f64);
+            }
+        }
+        let cols = PackedOperand::pack_cols_f32(&m, MxuMode::M3xuFp32);
+        assert_eq!((cols.vecs(), cols.len()), (3, 2));
+        assert_eq!(
+            cols.vec(1)[0].value() + cols.vec(1)[1].value(),
+            m.get(0, 1) as f64
+        );
+    }
+
+    #[test]
+    fn packed_fp32_fragment_matches_tile_mma_bitwise() {
+        let a = Matrix::<f32>::random(8, 2, 41);
+        let b = Matrix::<f32>::random(2, 8, 42);
+        let c = Matrix::<f32>::random(8, 8, 43);
+        let mut stats = MmaStats::default();
+        let want = mma::mma_fp32(&a, &b, &c, &mut stats);
+
+        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+        let mut acc: Vec<f32> = c.as_slice().to_vec();
+        let mut dpu = DotProductUnit::new();
+        dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(acc[i * 8 + j].to_bits(), want.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_narrow_and_tf32_match_tile_mma() {
+        for mode in [MxuMode::Fp16, MxuMode::Bf16, MxuMode::Tf32] {
+            let a = Matrix::<f32>::random(8, 4, 7);
+            let b = Matrix::<f32>::random(4, 8, 8);
+            let c = Matrix::<f32>::random(8, 8, 9);
+            let mut stats = MmaStats::default();
+            let want = match mode {
+                MxuMode::Fp16 => {
+                    // The tile path quantises at the buffers; feed raw f32.
+                    mma::mma_narrow(m3xu_fp::format::FP16, &a, &b, &c, &mut stats)
+                }
+                MxuMode::Bf16 => mma::mma_narrow(m3xu_fp::format::BF16, &a, &b, &c, &mut stats),
+                _ => mma::mma_tf32(&a, &b, &c, &mut stats),
+            };
+            let pa = PackedOperand::pack_rows_f32(&a, mode);
+            let pb = PackedOperand::pack_cols_f32(&b, mode);
+            let mut acc: Vec<f32> = c.as_slice().to_vec();
+            let mut dpu = DotProductUnit::new();
+            dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 4, &mut acc);
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_eq!(
+                        acc[i * 8 + j].to_bits(),
+                        want.get(i, j).to_bits(),
+                        "mismatch at ({i},{j}) in {mode}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_c32_fragment_matches_tile_mma_bitwise() {
+        let a = Matrix::random_c32(8, 1, 51);
+        let b = Matrix::random_c32(1, 8, 52);
+        let c = Matrix::random_c32(8, 8, 53);
+        let mut stats = MmaStats::default();
+        let want = mma::mma_fp32c(&a, &b, &c, &mut stats);
+
+        let pa = PackedOperand::pack_rows_c32(&a);
+        let pb = PackedOperand::pack_cols_c32(&b);
+        let mut acc: Vec<Complex<f32>> = c.as_slice().to_vec();
+        let mut dpu = DotProductUnit::new();
+        dpu.mma_c32_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut acc);
+        for i in 0..8 {
+            for j in 0..8 {
+                let (got, w) = (acc[i * 8 + j], want.get(i, j));
+                assert_eq!(got.re.to_bits(), w.re.to_bits());
+                assert_eq!(got.im.to_bits(), w.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_specials_match_tile_mma() {
+        // NaN, infinities of both signs, subnormals, and Inf x 0 lanes.
+        let vals = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.0e-44,
+            f32::MAX,
+            1.5,
+        ];
+        let a = Matrix::from_fn(8, 2, |i, j| vals[(i + j) % vals.len()]);
+        let b = Matrix::from_fn(2, 8, |i, j| vals[(3 * i + j) % vals.len()]);
+        let c = Matrix::<f32>::zeros(8, 8);
+        let mut stats = MmaStats::default();
+        let want = mma::mma_fp32(&a, &b, &c, &mut stats);
+        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+        let mut acc = vec![0.0f32; 64];
+        let mut dpu = DotProductUnit::new();
+        dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    acc[i * 8 + j].to_bits(),
+                    want.get(i, j).to_bits(),
+                    "special-value mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_stats_match_tile_counters() {
+        // FP32: one 8x8x2 fragment on the tile path.
+        let a = Matrix::<f32>::random(8, 2, 1);
+        let b = Matrix::<f32>::random(2, 8, 2);
+        let c = Matrix::<f32>::zeros(8, 8);
+        let mut tile = MmaStats::default();
+        let _ = mma::mma_fp32(&a, &b, &c, &mut tile);
+        let shape = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32);
+        assert_eq!(fragment_stats(MxuMode::M3xuFp32, shape), tile);
+
+        // FP32C: one 8x8x1 fragment.
+        let a = Matrix::random_c32(8, 1, 3);
+        let b = Matrix::random_c32(1, 8, 4);
+        let c = Matrix::random_c32(8, 8, 5);
+        let mut tile = MmaStats::default();
+        let _ = mma::mma_fp32c(&a, &b, &c, &mut tile);
+        let shape = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32c);
+        assert_eq!(fragment_stats(MxuMode::M3xuFp32c, shape), tile);
+
+        // Narrow + TF32.
+        for (mode, k) in [(MxuMode::Fp16, 4), (MxuMode::Bf16, 4), (MxuMode::Tf32, 2)] {
+            let a = Matrix::<f32>::random(8, k, 6);
+            let b = Matrix::<f32>::random(k, 8, 7);
+            let c = Matrix::<f32>::zeros(8, 8);
+            let mut tile = MmaStats::default();
+            let _ = match mode {
+                MxuMode::Fp16 => mma::mma_narrow(m3xu_fp::format::FP16, &a, &b, &c, &mut tile),
+                MxuMode::Bf16 => mma::mma_narrow(m3xu_fp::format::BF16, &a, &b, &c, &mut tile),
+                _ => mma::mma_tf32(&a, &b, &c, &mut tile),
+            };
+            let shape = MmaShape::BASELINE_FP16.for_mode(mode);
+            assert_eq!(
+                fragment_stats(mode, shape),
+                tile,
+                "stats mismatch in {mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_rounding_matches_kulisch() {
+        // The fast 128-bit reduction must round exactly like the Kulisch
+        // register for every contribution multiset it accepts: random
+        // mantissas/signs with exponent windows swept across the FP32
+        // overflow, normal, subnormal, and total-underflow ranges.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..4000 {
+            let n = 1 + (next() % 9) as usize;
+            let base = -260 + (case % 420); // sweep pmin over all regimes
+            let mut dot = FastDot {
+                contrib: [(0, 0, false); FAST_CONTRIB_CAP],
+                n: 0,
+            };
+            let mut kul = m3xu_fp::Kulisch::new();
+            for _ in 0..n {
+                let mant = next() % (1 << 24);
+                let pow = base + (next() % (FAST_POW_RANGE as u64 + 1)) as i32;
+                let neg = next() & 1 == 1;
+                if mant == 0 {
+                    continue;
+                }
+                dot.contrib[dot.n] = (mant, pow, neg);
+                dot.n += 1;
+                kul.add_scaled(mant, pow, neg);
+            }
+            let fast = dot.reduce().expect("window fits by construction");
+            assert_eq!(
+                fast.to_bits(),
+                kul.to_f32().to_bits(),
+                "case {case}: fast {fast:e} vs kulisch {:e}",
+                kul.to_f32()
+            );
+        }
+        // Deterministic boundary cases: exact ties at the subnormal floor
+        // and the largest-normal overflow boundary.
+        for &(mant, pow, neg) in &[
+            (1u64, -150, false),     // half the least subnormal: tie to zero
+            (3, -151, false),        // just above half: least subnormal
+            (1, -149, true),         // negative least subnormal
+            (0xff_ffff, 104, false), // just under f32::MAX
+            (0xff_ffff, 105, false), // overflow to infinity
+            (1 << 23, -173, false),  // deep underflow to zero
+        ] {
+            let mut dot = FastDot {
+                contrib: [(0, 0, false); FAST_CONTRIB_CAP],
+                n: 1,
+            };
+            dot.contrib[0] = (mant, pow, neg);
+            let mut kul = m3xu_fp::Kulisch::new();
+            kul.add_scaled(mant, pow, neg);
+            assert_eq!(dot.reduce().unwrap().to_bits(), kul.to_f32().to_bits());
+        }
+    }
+
+    #[test]
+    fn mxu_packed_entry_points_record_counters_and_clip() {
+        let mut mxu = Mxu::new(MxuConfig::default());
+        let a = Matrix::<f32>::random(5, 3, 11); // awkward: clips rows and k
+        let b = Matrix::<f32>::random(3, 6, 12); // clips cols
+        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+        let mut dpu = DotProductUnit::new();
+        let mut acc = [0.0f32; 64];
+        let (r, c) = mxu.mma_f32_into(&mut dpu, &pa, &pb, 0, 0, 2, &mut acc);
+        assert_eq!((r, c), (5, 6));
+        let s = mxu.counters.for_mode(MxuMode::M3xuFp32);
+        assert_eq!(s.instructions, 1);
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.lane_products, 512);
+
+        // The k0=2 chunk covers only packed element 2 (klen 2 clipped at 3):
+        // the result equals the exact one-product dot against acc = 0.
+        let mut acc2 = [0.0f32; 64];
+        let mut dpu2 = DotProductUnit::new();
+        dpu2.mma_f32_into(&pa, &pb, 0, 5, 0, 6, 2, 2, &mut acc2);
+        for i in 0..5 {
+            for j in 0..6 {
+                let mut k = m3xu_fp::Kulisch::new();
+                k.add_product_f32(a.get(i, 2), b.get(2, j));
+                assert_eq!(acc2[i * 6 + j].to_bits(), k.to_f32().to_bits());
+            }
+        }
+    }
+}

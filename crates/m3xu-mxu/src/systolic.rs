@@ -55,10 +55,7 @@ impl SystolicStreams {
 /// `plan_a` must be a plan built against the target row (its `a` entries
 /// are used); `plan_b` against the target column. Both plans must share
 /// shape and control signals (they do by construction for every mode).
-fn separate(
-    plans_a: Vec<assign::StepPlan>,
-    plans_b: Vec<assign::StepPlan>,
-) -> SystolicStreams {
+fn separate(plans_a: Vec<assign::StepPlan>, plans_b: Vec<assign::StepPlan>) -> SystolicStreams {
     let flatten_a = |p: &assign::StepPlan| -> Vec<BufferEntry> {
         p.iter().flat_map(|step| step.iter().map(|l| l.a)).collect()
     };
@@ -67,7 +64,12 @@ fn separate(
     };
     let control: Vec<BeatControl> = plans_b[0]
         .iter()
-        .flat_map(|step| step.iter().map(|l| BeatControl { negate: l.negate, target: l.target }))
+        .flat_map(|step| {
+            step.iter().map(|l| BeatControl {
+                negate: l.negate,
+                target: l.target,
+            })
+        })
         .collect();
     SystolicStreams {
         a: plans_a.iter().map(flatten_a).collect(),
@@ -81,9 +83,13 @@ pub fn streams_fp32(a: &Matrix<f32>, b: &Matrix<f32>) -> SystolicStreams {
     let k = a.cols();
     assert_eq!(b.rows(), k);
     let zeros = vec![0.0f32; k];
-    let plans_a: Vec<_> = (0..a.rows()).map(|i| assign::plan_fp32(a.row(i), &zeros)).collect();
+    let plans_a: Vec<_> = (0..a.rows())
+        .map(|i| assign::plan_fp32(a.row(i), &zeros))
+        .collect();
     let bt = b.transpose();
-    let plans_b: Vec<_> = (0..b.cols()).map(|j| assign::plan_fp32(&zeros, bt.row(j))).collect();
+    let plans_b: Vec<_> = (0..b.cols())
+        .map(|j| assign::plan_fp32(&zeros, bt.row(j)))
+        .collect();
     separate(plans_a, plans_b)
 }
 
@@ -92,9 +98,13 @@ pub fn streams_fp32c(a: &Matrix<Complex<f32>>, b: &Matrix<Complex<f32>>) -> Syst
     let k = a.cols();
     assert_eq!(b.rows(), k);
     let zeros = vec![Complex::<f32>::ZERO; k];
-    let plans_a: Vec<_> = (0..a.rows()).map(|i| assign::plan_fp32c(a.row(i), &zeros)).collect();
+    let plans_a: Vec<_> = (0..a.rows())
+        .map(|i| assign::plan_fp32c(a.row(i), &zeros))
+        .collect();
     let bt = b.transpose();
-    let plans_b: Vec<_> = (0..b.cols()).map(|j| assign::plan_fp32c(&zeros, bt.row(j))).collect();
+    let plans_b: Vec<_> = (0..b.cols())
+        .map(|j| assign::plan_fp32c(&zeros, bt.row(j)))
+        .collect();
     separate(plans_a, plans_b)
 }
 
@@ -234,7 +244,9 @@ impl SystolicArray {
 
     /// Drain the array as an FP32 matrix.
     pub fn read_f32(&self) -> Matrix<f32> {
-        Matrix::from_fn(self.rows, self.cols, |i, j| self.pes[i * self.cols + j].read_real_f32())
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            self.pes[i * self.cols + j].read_real_f32()
+        })
     }
 
     /// Drain the array as an FP32C matrix.
@@ -261,7 +273,10 @@ mod tests {
         // 2 steps x 2 lanes per element x k=3 elements = 12 beats.
         assert_eq!(s.beats(), 12);
         // FP32 mode: no negation, all real.
-        assert!(s.control.iter().all(|c| !c.negate && c.target == Target::Real));
+        assert!(s
+            .control
+            .iter()
+            .all(|c| !c.negate && c.target == Target::Real));
     }
 
     #[test]
@@ -304,11 +319,17 @@ mod tests {
         // 16 beats: steps 1-2 (real, with 2 negated imag-imag beats each),
         // steps 3-4 (imag, no negation).
         assert_eq!(s.beats(), 16);
-        let real_beats = s.control.iter().filter(|c| c.target == Target::Real).count();
+        let real_beats = s
+            .control
+            .iter()
+            .filter(|c| c.target == Target::Real)
+            .count();
         assert_eq!(real_beats, 8);
         let negated = s.control.iter().filter(|c| c.negate).count();
         assert_eq!(negated, 4);
-        assert!(s.control[8..].iter().all(|c| c.target == Target::Imag && !c.negate));
+        assert!(s.control[8..]
+            .iter()
+            .all(|c| c.target == Target::Imag && !c.negate));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct MxuConfig {
 
 impl Default for MxuConfig {
     fn default() -> Self {
-        MxuConfig { fp16_shape: MmaShape::BASELINE_FP16, pipeline: PipelineVariant::Pipelined }
+        MxuConfig {
+            fp16_shape: MmaShape::BASELINE_FP16,
+            pipeline: PipelineVariant::Pipelined,
+        }
     }
 }
 
@@ -49,7 +52,7 @@ impl MxuCounters {
             .unwrap_or_default()
     }
 
-    fn record(&mut self, mode: MxuMode, stats: &MmaStats) {
+    pub(crate) fn record(&mut self, mode: MxuMode, stats: &MmaStats) {
         if let Some((_, s)) = self.per_mode.iter_mut().find(|(m, _)| *m == mode) {
             s.merge(stats);
         } else {
@@ -78,7 +81,10 @@ pub struct Mxu {
 impl Mxu {
     /// A unit with the given configuration.
     pub fn new(config: MxuConfig) -> Self {
-        Mxu { config, counters: MxuCounters::default() }
+        Mxu {
+            config,
+            counters: MxuCounters::default(),
+        }
     }
 
     /// The fragment shape this unit executes in `mode`.
@@ -206,7 +212,11 @@ impl NativeFp32Mxu {
             let mut acc = m3xu_fp::Kulisch::new();
             acc.add_f64(c.get(i, j) as f64);
             for (x, y) in a.row(i).iter().zip(bt.row(j)) {
-                if x.is_nan() || y.is_nan() || (x.is_infinite() && *y == 0.0) || (y.is_infinite() && *x == 0.0) {
+                if x.is_nan()
+                    || y.is_nan()
+                    || (x.is_infinite() && *y == 0.0)
+                    || (y.is_infinite() && *x == 0.0)
+                {
                     return f32::NAN;
                 }
                 if x.is_infinite() || y.is_infinite() {
@@ -281,7 +291,10 @@ mod tests {
     #[test]
     fn elapsed_time_reflects_pipeline_variant() {
         let mk = |p| {
-            let mut u = Mxu::new(MxuConfig { pipeline: p, ..Default::default() });
+            let mut u = Mxu::new(MxuConfig {
+                pipeline: p,
+                ..Default::default()
+            });
             let a = Matrix::<f32>::random(8, 2, 1);
             let b = Matrix::<f32>::random(2, 8, 2);
             let c = Matrix::<f32>::zeros(8, 8);

@@ -70,7 +70,12 @@ pub fn shifter(name: &str, w: u32, stages: u32, activity: f64) -> Block {
 
 /// A bank of `bits` flip-flops (registers, buffers).
 pub fn registers(name: &str, bits: u32, activity: f64) -> Block {
-    Block { name: name.to_string(), area_ge: bits as f64 * DFF_GE, delay_fo4: 0.0, activity }
+    Block {
+        name: name.to_string(),
+        area_ge: bits as f64 * DFF_GE,
+        delay_fo4: 0.0,
+        activity,
+    }
 }
 
 /// A `w`-bit wide bank of `ways`:1 multiplexers.
@@ -86,7 +91,12 @@ pub fn mux(name: &str, w: u32, ways: u32, activity: f64) -> Block {
 
 /// A `w`-bit XOR bank (sign-flip logic).
 pub fn xor_bank(name: &str, w: u32, activity: f64) -> Block {
-    Block { name: name.to_string(), area_ge: w as f64 * XOR_GE, delay_fo4: 0.4, activity }
+    Block {
+        name: name.to_string(),
+        area_ge: w as f64 * XOR_GE,
+        delay_fo4: 0.4,
+        activity,
+    }
 }
 
 /// Normalisation + rounding logic for a `w`-bit significand (LZA + shift +
@@ -103,7 +113,12 @@ pub fn normalizer(name: &str, w: u32, activity: f64) -> Block {
 
 /// Fixed control overhead (FSM, decoders), in GE.
 pub fn control(name: &str, ge: f64, activity: f64) -> Block {
-    Block { name: name.to_string(), area_ge: ge, delay_fo4: 1.0, activity }
+    Block {
+        name: name.to_string(),
+        area_ge: ge,
+        delay_fo4: 1.0,
+        activity,
+    }
 }
 
 #[cfg(test)]

@@ -129,22 +129,51 @@ pub fn baseline_fp16() -> Design {
 pub fn native_fp32() -> Design {
     let mut blocks = Vec::new();
     for i in 0..LANES {
-        blocks.push(multiplier(&format!("mul24x24 #{i}"), 24, 24, ACT_MUL_NATIVE));
+        blocks.push(multiplier(
+            &format!("mul24x24 #{i}"),
+            24,
+            24,
+            ACT_MUL_NATIVE,
+        ));
     }
     blocks.push(adder("exp-add x4", 8 * LANES, ACT_FP32_NATIVE));
     blocks.extend(accumulate_backend(60, 48, ACT_FP32_NATIVE));
     // Doubled operand delivery: 32 B/cycle needs double-width register
     // staging, double-buffering, and collector/bus drivers whose cost grows
     // superlinearly with port pressure.
-    blocks.push(registers("operand regs (2x width)", 2 * LANES * 32, ACT_FP32_NATIVE));
-    blocks.push(registers("operand double-buffer", 2 * LANES * 32, ACT_FP32_NATIVE));
-    blocks.push(control("operand collector + routing (2x bw)", 2200.0 * 2.8, ACT_FP32_NATIVE));
-    blocks.push(control("result bus + writeback (2x width)", 1200.0, ACT_FP32_NATIVE));
-    blocks.push(registers("acc staging regs (2x width)", 2 * 64, ACT_FP32_NATIVE));
+    blocks.push(registers(
+        "operand regs (2x width)",
+        2 * LANES * 32,
+        ACT_FP32_NATIVE,
+    ));
+    blocks.push(registers(
+        "operand double-buffer",
+        2 * LANES * 32,
+        ACT_FP32_NATIVE,
+    ));
+    blocks.push(control(
+        "operand collector + routing (2x bw)",
+        2200.0 * 2.8,
+        ACT_FP32_NATIVE,
+    ));
+    blocks.push(control(
+        "result bus + writeback (2x width)",
+        1200.0,
+        ACT_FP32_NATIVE,
+    ));
+    blocks.push(registers(
+        "acc staging regs (2x width)",
+        2 * 64,
+        ACT_FP32_NATIVE,
+    ));
     blocks.push(mux("fp16 downward-support muxing", 24 * LANES, 2, 0.6));
     // Extra pipeline registers to hold the baseline cycle time over the
     // deeper multiplier + wider accumulate (two balance stages).
-    blocks.push(registers("re-pipelining stage regs", 2 * (24 + 24 + 48) * LANES, ACT_FP32_NATIVE));
+    blocks.push(registers(
+        "re-pipelining stage regs",
+        2 * (24 + 24 + 48) * LANES,
+        ACT_FP32_NATIVE,
+    ));
     blocks.push(control("sequencer", 500.0, 0.40));
     Design {
         name: "FP32 MXU (native, w/o FP32C)",
@@ -185,7 +214,11 @@ pub fn m3xu_no_fp32c() -> Design {
     blocks.extend(accumulate_backend(52, 24, ACT_ACC * 36.0 / 52.0));
     blocks.push(shifter("weight-shift (24/12/0)", 48, 2, ACT_GATED));
     blocks.push(registers("operand regs", 2 * LANES * 16, 0.45));
-    blocks.push(registers("acc staging regs (48-bit)", 2 * 48, ACT_ACC * 32.0 / 48.0));
+    blocks.push(registers(
+        "acc staging regs (48-bit)",
+        2 * 48,
+        ACT_ACC * 32.0 / 48.0,
+    ));
     blocks.push(control("operand collector + result routing", 2200.0, 0.45));
     blocks.extend(assignment_stage_fp32());
     blocks.push(control("sequencer (multi-step)", 450.0, 0.30));
@@ -209,12 +242,19 @@ pub fn m3xu_no_fp32c() -> Design {
 pub fn m3xu() -> Design {
     let mut d = m3xu_no_fp32c();
     // Upgrade the half-select mux to 4-way (half flip x re/im swap).
-    if let Some(b) = d.blocks.iter_mut().find(|b| b.name == "assign half-select mux") {
+    if let Some(b) = d
+        .blocks
+        .iter_mut()
+        .find(|b| b.name == "assign half-select mux")
+    {
         *b = mux("assign half/reim-select mux", 21 * LANES, 4, ACT_GATED);
     }
-    d.blocks.push(control("4-step select pattern store", 80.0, ACT_GATED));
-    d.blocks.push(xor_bank("imag sign-flip", 2 * LANES, ACT_GATED));
-    d.blocks.push(control("FSM extension (4-step)", 120.0, ACT_GATED));
+    d.blocks
+        .push(control("4-step select pattern store", 80.0, ACT_GATED));
+    d.blocks
+        .push(xor_bank("imag sign-flip", 2 * LANES, ACT_GATED));
+    d.blocks
+        .push(control("FSM extension (4-step)", 120.0, ACT_GATED));
     d.name = "M3XU";
     d
 }
@@ -228,7 +268,11 @@ pub fn m3xu_pipelined() -> Design {
     // even in FP16 mode (operands pass through the stage).
     // Only the muxed b-side entries need staging; the a-side feeds the
     // multipliers directly from stable operand registers.
-    d.blocks.push(registers("assign/compute stage regs", LANES * 21 + 16, 0.55));
+    d.blocks.push(registers(
+        "assign/compute stage regs",
+        LANES * 21 + 16,
+        0.55,
+    ));
     d.blocks.push(control("stage valid/stall", 120.0, 0.40));
     // The assignment delay moves off the compute path.
     d.critical_path_fo4 -= 9.0;
@@ -239,7 +283,13 @@ pub fn m3xu_pipelined() -> Design {
 
 /// All five Table III designs, in the paper's column order.
 pub fn table3_designs() -> Vec<Design> {
-    vec![baseline_fp16(), native_fp32(), m3xu_no_fp32c(), m3xu(), m3xu_pipelined()]
+    vec![
+        baseline_fp16(),
+        native_fp32(),
+        m3xu_no_fp32c(),
+        m3xu(),
+        m3xu_pipelined(),
+    ]
 }
 
 /// Ablation: a hypothetical baseline whose multipliers already have 12-bit
@@ -289,7 +339,9 @@ pub fn mantissa_width_sweep() -> Vec<(u32, f64)> {
         area
     };
     let base = arith_area(11);
-    (11..=16).map(|bits| (bits, arith_area(bits) / base)).collect()
+    (11..=16)
+        .map(|bits| (bits, arith_area(bits) / base))
+        .collect()
 }
 
 #[cfg(test)]

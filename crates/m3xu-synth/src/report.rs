@@ -1,11 +1,10 @@
 //! Table III generation: relative overheads of the M3XU implementations.
 
 use crate::designs::{table3_designs, Design};
-use serde::Serialize;
 
 /// One row of Table III (one design), with model-predicted and
 /// paper-reported relative values.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Design name.
     pub name: &'static str,
@@ -22,6 +21,15 @@ pub struct Table3Row {
     /// Paper-reported relative power.
     pub paper_power: f64,
 }
+m3xu_json::impl_to_json!(Table3Row {
+    name,
+    area,
+    cycle_time,
+    power,
+    paper_area,
+    paper_cycle_time,
+    paper_power,
+});
 
 /// The paper's Table III values, in design order (baseline, native FP32,
 /// M3XU w/o FP32C, M3XU, M3XU pipelined).
@@ -70,7 +78,7 @@ pub fn render_table3() -> String {
 }
 
 /// The key ablation claims of §VI-A.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationReport {
     /// Fraction of the M3XU-w/o-FP32C area overhead attributable to the
     /// 1-bit mantissa extension (paper: 56%).
@@ -82,6 +90,11 @@ pub struct AblationReport {
     /// (paper: 4%).
     pub fp32c_increment: f64,
 }
+m3xu_json::impl_to_json!(AblationReport {
+    mantissa_bit_share,
+    overhead_on_12bit_baseline,
+    fp32c_increment,
+});
 
 /// Compute the §VI-A ablation numbers from the cost model.
 pub fn ablations() -> AblationReport {
@@ -123,7 +136,13 @@ mod tests {
             let area_err = (r.area - r.paper_area).abs() / r.paper_area;
             let cycle_err = (r.cycle_time - r.paper_cycle_time).abs() / r.paper_cycle_time;
             let power_err = (r.power - r.paper_power).abs() / r.paper_power;
-            assert!(area_err < 0.20, "{}: area {} vs paper {}", r.name, r.area, r.paper_area);
+            assert!(
+                area_err < 0.20,
+                "{}: area {} vs paper {}",
+                r.name,
+                r.area,
+                r.paper_area
+            );
             assert!(
                 cycle_err < 0.08,
                 "{}: cycle {} vs paper {}",
@@ -131,7 +150,13 @@ mod tests {
                 r.cycle_time,
                 r.paper_cycle_time
             );
-            assert!(power_err < 0.30, "{}: power {} vs paper {}", r.name, r.power, r.paper_power);
+            assert!(
+                power_err < 0.30,
+                "{}: power {} vs paper {}",
+                r.name,
+                r.power,
+                r.paper_power
+            );
         }
     }
 
@@ -147,12 +172,23 @@ mod tests {
     fn ablation_claims_hold() {
         let a = ablations();
         // Paper: 56% of the 37% overhead is the 1-bit mantissa extension.
-        assert!((0.35..0.75).contains(&a.mantissa_bit_share), "share = {}", a.mantissa_bit_share);
+        assert!(
+            (0.35..0.75).contains(&a.mantissa_bit_share),
+            "share = {}",
+            a.mantissa_bit_share
+        );
         // Paper: 16% overhead on a 12-bit baseline.
-        assert!((0.08..0.30).contains(&a.overhead_on_12bit_baseline),
-            "12-bit overhead = {}", a.overhead_on_12bit_baseline);
+        assert!(
+            (0.08..0.30).contains(&a.overhead_on_12bit_baseline),
+            "12-bit overhead = {}",
+            a.overhead_on_12bit_baseline
+        );
         // Paper: FP32C adds 4%.
-        assert!((0.01..0.10).contains(&a.fp32c_increment), "fp32c = {}", a.fp32c_increment);
+        assert!(
+            (0.01..0.10).contains(&a.fp32c_increment),
+            "fp32c = {}",
+            a.fp32c_increment
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn main() {
     let true_residual = |x: &[f32]| -> f64 {
         let xm = Matrix::from_vec(n, 1, x.to_vec());
         let ax = Matrix::reference_gemm_f64(&a, &xm, &Matrix::zeros(n, 1));
-        let num: f64 = (0..n).map(|i| ((ax.get(i, 0) - b[i]) as f64).powi(2)).sum::<f64>().sqrt();
+        let num: f64 = (0..n)
+            .map(|i| ((ax.get(i, 0) - b[i]) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = b.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
         num / den
     };

@@ -33,8 +33,7 @@ fn main() {
     let spectrum = dev.fft(&signal);
 
     // Find the dominant bins (positive frequencies only).
-    let mut mags: Vec<(usize, f32)> =
-        (1..n / 2).map(|k| (k, spectrum[k].abs())).collect();
+    let mut mags: Vec<(usize, f32)> = (1..n / 2).map(|k| (k, spectrum[k].abs())).collect();
     mags.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("Top spectral peaks ({} samples at {} Hz):", n, sample_rate);
     for &(bin, mag) in mags.iter().take(4) {
@@ -43,8 +42,14 @@ fn main() {
     }
     let f0 = mags[0].0 as f64 * sample_rate / n as f64;
     let f1 = mags[1].0 as f64 * sample_rate / n as f64;
-    assert!((f0 - 440.0).abs() < sample_rate / n as f64, "expected 440 Hz peak, got {f0}");
-    assert!((f1 - 1000.0).abs() < sample_rate / n as f64, "expected 1000 Hz peak, got {f1}");
+    assert!(
+        (f0 - 440.0).abs() < sample_rate / n as f64,
+        "expected 440 Hz peak, got {f0}"
+    );
+    assert!(
+        (f1 - 1000.0).abs() < sample_rate / n as f64,
+        "expected 1000 Hz peak, got {f1}"
+    );
     println!("\nBoth tones recovered. (FP32C exactness: no approximation in the complex GEMMs.)");
 
     // Round-trip: ifft(fft(x)) == x to FP32 precision.

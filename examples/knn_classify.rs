@@ -22,7 +22,11 @@ fn main() {
         let jitter = Matrix::<f32>::random(per_class, dim, 100 + cl as u64);
         for i in 0..per_class {
             for j in 0..dim {
-                refs.set(cl * per_class + i, j, scale * (centers.get(cl, j) + 0.2 * jitter.get(i, j)));
+                refs.set(
+                    cl * per_class + i,
+                    j,
+                    scale * (centers.get(cl, j) + 0.2 * jitter.get(i, j)),
+                );
             }
             labels.push(cl);
         }
@@ -57,7 +61,10 @@ fn main() {
     let mut m3xu_ok = 0;
     let mut fp16_ok = 0;
     for q in 0..classes {
-        println!("  {q}      {q}       {}          {}", m3xu_pred[q], fp16_pred[q]);
+        println!(
+            "  {q}      {q}       {}          {}",
+            m3xu_pred[q], fp16_pred[q]
+        );
         m3xu_ok += (m3xu_pred[q] == q) as usize;
         fp16_ok += (fp16_pred[q] == q) as usize;
     }

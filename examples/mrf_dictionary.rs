@@ -10,11 +10,18 @@ fn main() {
     // A small T1/T2 grid and a 48-pulse FISP-style sequence.
     let atoms = atom_grid(8, 8);
     let sequence = example_sequence(48);
-    println!("Generating dictionary: {} atoms x {} pulses ...", atoms.len(), sequence.len());
+    println!(
+        "Generating dictionary: {} atoms x {} pulses ...",
+        atoms.len(),
+        sequence.len()
+    );
     let dict = generate_dictionary(&atoms, &sequence, 10);
 
     // Pick a ground-truth tissue and synthesise its noisy fingerprint.
-    let truth = Atom { t1_ms: 1300.0, t2_ms: 95.0 };
+    let truth = Atom {
+        t1_ms: 1300.0,
+        t2_ms: 95.0,
+    };
     let truth_course = generate_dictionary(&[truth], &sequence, 10);
     let mut state = 0xDEAD_BEEFu64;
     let mut noise = || {
@@ -40,10 +47,22 @@ fn main() {
         .unwrap();
 
     let m = atoms[best];
-    println!("\nGround truth : T1 = {:6.0} ms, T2 = {:5.0} ms", truth.t1_ms, truth.t2_ms);
-    println!("Best match   : T1 = {:6.0} ms, T2 = {:5.0} ms  (score {:.5})", m.t1_ms, m.t2_ms, score);
-    assert!((m.t1_ms - truth.t1_ms).abs() < 600.0, "T1 estimate too far off");
-    assert!((m.t2_ms - truth.t2_ms).abs() < 60.0, "T2 estimate too far off");
+    println!(
+        "\nGround truth : T1 = {:6.0} ms, T2 = {:5.0} ms",
+        truth.t1_ms, truth.t2_ms
+    );
+    println!(
+        "Best match   : T1 = {:6.0} ms, T2 = {:5.0} ms  (score {:.5})",
+        m.t1_ms, m.t2_ms, score
+    );
+    assert!(
+        (m.t1_ms - truth.t1_ms).abs() < 600.0,
+        "T1 estimate too far off"
+    );
+    assert!(
+        (m.t2_ms - truth.t2_ms).abs() < 60.0,
+        "T2 estimate too far off"
+    );
     println!(
         "\nAll {} RF-mixing steps ran as batched FP32C GEMMs on the M3XU\n\
          (the ~22% of SnapMRF's dictionary phase that M3XU accelerates — Fig. 8).",

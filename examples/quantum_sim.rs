@@ -34,7 +34,11 @@ fn cnot(c: usize, t: usize, n: usize) -> Matrix<C32> {
     let dim = 1 << n;
     Matrix::from_fn(dim, dim, |row, col| {
         let cbit = (col >> (n - 1 - c)) & 1;
-        let expect = if cbit == 1 { col ^ (1 << (n - 1 - t)) } else { col };
+        let expect = if cbit == 1 {
+            col ^ (1 << (n - 1 - t))
+        } else {
+            col
+        };
         if row == expect {
             Complex::new(1.0, 0.0)
         } else {
@@ -52,7 +56,12 @@ fn main() {
     let h = Matrix::from_vec(
         2,
         2,
-        vec![Complex::new(s, 0.0), Complex::new(s, 0.0), Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+        vec![
+            Complex::new(s, 0.0),
+            Complex::new(s, 0.0),
+            Complex::new(s, 0.0),
+            Complex::new(-s, 0.0),
+        ],
     );
     let tgate = Matrix::from_vec(
         2,
@@ -88,7 +97,13 @@ fn main() {
     for i in 0..dim {
         let a = state.get(i, 0);
         if a.abs() > 1e-6 {
-            println!("  |{:04b}>  {:+.4}{:+.4}i   p = {:.4}", i, a.re, a.im, a.norm_sqr());
+            println!(
+                "  |{:04b}>  {:+.4}{:+.4}i   p = {:.4}",
+                i,
+                a.re,
+                a.im,
+                a.norm_sqr()
+            );
         }
     }
     // GHZ state: equal superposition of |0000> and |1111> (with a T phase).

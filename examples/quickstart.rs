@@ -11,7 +11,15 @@ fn main() {
     let a = Matrix::<f32>::random(128, 96, 1);
     let b = Matrix::<f32>::random(96, 64, 2);
     let d = dev.gemm(&a, &b);
-    println!("FP32 GEMM: {}x{} * {}x{} -> {}x{}", a.rows(), a.cols(), b.rows(), b.cols(), d.rows(), d.cols());
+    println!(
+        "FP32 GEMM: {}x{} * {}x{} -> {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols(),
+        d.rows(),
+        d.cols()
+    );
 
     // The result is bit-exact FP32 — compare against an exact-accumulation
     // reference on a few elements.
@@ -38,7 +46,10 @@ fn main() {
     let ca = Matrix::random_c32(32, 32, 3);
     let cb = Matrix::random_c32(32, 32, 4);
     let cd = dev.cgemm(&ca, &cb);
-    println!("\nFP32C CGEMM: 32x32 complex product, e.g. D[0][0] = {}", cd.get(0, 0));
+    println!(
+        "\nFP32C CGEMM: 32x32 complex product, e.g. D[0][0] = {}",
+        cd.get(0, 0)
+    );
 
     // A rotation by i: multiplying by the imaginary unit swaps components.
     let i_mat = {
@@ -47,12 +58,23 @@ fn main() {
         m.set(1, 1, C32::I);
         m
     };
-    let v = Matrix::from_vec(2, 1, vec![Complex::new(1.0f32, 0.0), Complex::new(0.0, 1.0)]);
+    let v = Matrix::from_vec(
+        2,
+        1,
+        vec![Complex::new(1.0f32, 0.0), Complex::new(0.0, 1.0)],
+    );
     let rotated = dev.cgemm(&i_mat, &v);
-    println!("  i * (1, i) = ({}, {})", rotated.get(0, 0), rotated.get(1, 0));
+    println!(
+        "  i * (1, i) = ({}, {})",
+        rotated.get(0, 0),
+        rotated.get(1, 0)
+    );
 
     // --- Performance estimate ------------------------------------------
-    let timed = dev.gemm_timed(&Matrix::<f32>::random(256, 256, 5), &Matrix::<f32>::random(256, 256, 6));
+    let timed = dev.gemm_timed(
+        &Matrix::<f32>::random(256, 256, 5),
+        &Matrix::<f32>::random(256, 256, 6),
+    );
     println!(
         "\nModelled A100 execution: {:.1} us, {:.2}x over CUDA cores at this size",
         timed.estimated_time_s * 1e6,

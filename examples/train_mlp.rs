@@ -12,11 +12,19 @@ fn main() {
     let losses = train_synthetic(GemmPrecision::M3xuFp32, 120, 7);
     for (i, chunk) in losses.chunks(20).enumerate() {
         let mean: f32 = chunk.iter().sum::<f32>() / chunk.len() as f32;
-        println!("  steps {:>3}-{:>3}: mean loss {:.5}", i * 20, i * 20 + chunk.len() - 1, mean);
+        println!(
+            "  steps {:>3}-{:>3}: mean loss {:.5}",
+            i * 20,
+            i * 20 + chunk.len() - 1,
+            mean
+        );
     }
     let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
     let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
-    println!("\nloss {head:.4} -> {tail:.4} ({:.1}% of initial)", 100.0 * tail / head);
+    println!(
+        "\nloss {head:.4} -> {tail:.4} ({:.1}% of initial)",
+        100.0 * tail / head
+    );
     assert!(tail < head, "training must reduce loss");
 
     // The same loop with FP16-quantised GEMMs — mixed precision without
@@ -29,7 +37,10 @@ fn main() {
     let mlp = Mlp::new(16, 32, 4, GemmPrecision::M3xuFp32, 7);
     let x = Matrix::<f32>::random(16, 2, 11);
     let out = mlp.forward(&x);
-    println!("\nforward(16x2 batch) -> {}x{} outputs; all finite: {}",
-        out.y.rows(), out.y.cols(),
-        out.y.as_slice().iter().all(|v| v.is_finite()));
+    println!(
+        "\nforward(16x2 batch) -> {}x{} outputs; all finite: {}",
+        out.y.rows(),
+        out.y.cols(),
+        out.y.as_slice().iter().all(|v| v.is_finite())
+    );
 }

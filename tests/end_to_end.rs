@@ -65,7 +65,10 @@ fn blocked_and_whole_gemm_agree() {
     let p1 = gemm::matmul_f32(GemmPrecision::M3xuFp32, &a1, &b1);
     let split = gemm::gemm_f32(GemmPrecision::M3xuFp32, &a2, &b2, &p1).d;
     for (x, y) in whole.as_slice().iter().zip(split.as_slice()) {
-        assert!((x - y).abs() <= 16.0 * f32::EPSILON * y.abs().max(4.0), "{x} vs {y}");
+        assert!(
+            (x - y).abs() <= 16.0 * f32::EPSILON * y.abs().max(4.0),
+            "{x} vs {y}"
+        );
     }
 }
 
@@ -134,10 +137,16 @@ fn precision_ladder_holds() {
 fn performance_headlines_within_paper_bands() {
     let gpu = m3xu::gpu::GpuConfig::a100_40gb();
     let fa = m3xu::gpu::figures::figure4a(&gpu);
-    let m3xu_s = fa.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
+    let m3xu_s = fa
+        .iter()
+        .find(|s| s.kernel == "M3XU_sgemm_pipelined")
+        .unwrap();
     assert!((3.3..3.95).contains(&m3xu_s.mean()));
     let fb = m3xu::gpu::figures::figure4b(&gpu);
-    let m3xu_c = fb.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap();
+    let m3xu_c = fb
+        .iter()
+        .find(|s| s.kernel == "M3XU_cgemm_pipelined")
+        .unwrap();
     assert!((3.3..3.95).contains(&m3xu_c.mean()));
 
     let t3 = m3xu::synth::report::table3();
@@ -159,8 +168,14 @@ fn applications_work_through_facade() {
     // MRF: a two-atom dictionary has distinct fingerprints.
     use m3xu::kernels::mrf;
     let atoms = vec![
-        mrf::Atom { t1_ms: 500.0, t2_ms: 50.0 },
-        mrf::Atom { t1_ms: 2000.0, t2_ms: 200.0 },
+        mrf::Atom {
+            t1_ms: 500.0,
+            t2_ms: 50.0,
+        },
+        mrf::Atom {
+            t1_ms: 2000.0,
+            t2_ms: 200.0,
+        },
     ];
     let dict = mrf::generate_dictionary(&atoms, &mrf::example_sequence(16), 6);
     let d: f32 = dict.iter().map(|t| (t[0].abs() - t[1].abs()).abs()).sum();

@@ -1,7 +1,7 @@
 //! One test per headline claim of the paper, section by section — the
 //! regression suite that keeps the reproduction honest.
 
-use m3xu::{Matrix, M3xu};
+use m3xu::{M3xu, Matrix};
 
 /// §I / Abstract: "3.64x speedup for 32-bit matrix multiplications …
 /// compared with conventional vector processing units."
@@ -9,8 +9,15 @@ use m3xu::{Matrix, M3xu};
 fn claim_abstract_sgemm_speedup() {
     let gpu = m3xu::gpu::GpuConfig::a100_40gb();
     let f = m3xu::gpu::figures::figure4a(&gpu);
-    let s = f.iter().find(|s| s.kernel == "M3XU_sgemm_pipelined").unwrap();
-    assert!((s.mean() - 3.64).abs() < 0.25, "mean sgemm speedup {}", s.mean());
+    let s = f
+        .iter()
+        .find(|s| s.kernel == "M3XU_sgemm_pipelined")
+        .unwrap();
+    assert!(
+        (s.mean() - 3.64).abs() < 0.25,
+        "mean sgemm speedup {}",
+        s.mean()
+    );
 }
 
 /// §I / Abstract: "3.51x speedup for complex number operations on average."
@@ -18,8 +25,15 @@ fn claim_abstract_sgemm_speedup() {
 fn claim_abstract_cgemm_speedup() {
     let gpu = m3xu::gpu::GpuConfig::a100_40gb();
     let f = m3xu::gpu::figures::figure4b(&gpu);
-    let s = f.iter().find(|s| s.kernel == "M3XU_cgemm_pipelined").unwrap();
-    assert!((s.mean() - 3.51).abs() < 0.3, "mean cgemm speedup {}", s.mean());
+    let s = f
+        .iter()
+        .find(|s| s.kernel == "M3XU_cgemm_pipelined")
+        .unwrap();
+    assert!(
+        (s.mean() - 3.51).abs() < 0.3,
+        "mean cgemm speedup {}",
+        s.mean()
+    );
 }
 
 /// §I: "The synthesized M3XU hardware incurs 47% area-overhead,
@@ -54,8 +68,8 @@ fn claim_corollary_2() {
     assert_eq!(MxuMode::M3xuFp32.k_divisor(), 2);
     assert_eq!(MxuMode::M3xuFp32.relative_throughput(), 0.25);
     // And the bit-level decomposition behind it:
-    let p = m3xu::fp::split::SplitProducts::of_fp32(1.2345678, -0.87654321);
-    assert_eq!(p.total(), 1.2345678f32 as f64 * (-0.87654321f32) as f64);
+    let p = m3xu::fp::split::SplitProducts::of_fp32(1.2345678, -0.876_543_2);
+    assert_eq!(p.total(), 1.2345678f32 as f64 * (-0.876_543_2_f32) as f64);
 }
 
 /// §III Corollary 3: 2p-bit CGEMM every 16 cycles => 1/16 peak.
@@ -116,11 +130,22 @@ fn claim_6a_ablations() {
 fn claim_6b_peak_fractions() {
     let gpu = m3xu::gpu::GpuConfig::a100_40gb();
     for (rows, m3xu_name) in [
-        (m3xu::gpu::figures::figure5_sgemm(&gpu), "M3XU_sgemm_pipelined"),
-        (m3xu::gpu::figures::figure5_cgemm(&gpu), "M3XU_cgemm_pipelined"),
+        (
+            m3xu::gpu::figures::figure5_sgemm(&gpu),
+            "M3XU_sgemm_pipelined",
+        ),
+        (
+            m3xu::gpu::figures::figure5_cgemm(&gpu),
+            "M3XU_cgemm_pipelined",
+        ),
     ] {
         let m = rows.iter().find(|r| r.kernel == m3xu_name).unwrap();
-        assert!(m.fraction_of_target > 0.90, "{}: {}", m3xu_name, m.fraction_of_target);
+        assert!(
+            m.fraction_of_target > 0.90,
+            "{}: {}",
+            m3xu_name,
+            m.fraction_of_target
+        );
         for r in &rows {
             if !r.kernel.starts_with("M3XU") && !r.kernel.contains("simt") {
                 assert!(
@@ -150,7 +175,12 @@ fn claim_6c1_fft() {
 fn claim_6c2_training() {
     let gpu = m3xu::gpu::GpuConfig::a100_40gb();
     for r in m3xu::kernels::dnn::models::figure7(64, &gpu) {
-        assert!((3.0..4.0).contains(&r.bwd_speedup), "{}: {}", r.model, r.bwd_speedup);
+        assert!(
+            (3.0..4.0).contains(&r.bwd_speedup),
+            "{}: {}",
+            r.model,
+            r.bwd_speedup
+        );
     }
 }
 
