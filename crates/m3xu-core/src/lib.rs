@@ -21,6 +21,7 @@
 pub use m3xu_fp::complex::{Complex, C32, C64};
 pub use m3xu_gpu::config::GpuConfig;
 pub use m3xu_kernels::gemm::GemmPrecision;
+pub use m3xu_mxu::error::M3xuError;
 pub use m3xu_mxu::matrix::Matrix;
 pub use m3xu_mxu::mma::MmaStats;
 pub use m3xu_mxu::modes::{MxuMode, PipelineVariant};
@@ -90,13 +91,31 @@ impl M3xu {
     }
 
     /// True-FP32 matrix multiply `A·B` (bit-exact IEEE-754 FP32).
+    /// Panics on a shape mismatch; see [`M3xu::try_gemm`].
     pub fn gemm(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
         gemm::matmul_f32(GemmPrecision::M3xuFp32, a, b)
     }
 
-    /// True-FP32 GEMM `D = A·B + C`.
+    /// Fallible [`M3xu::gemm`]: reports a shape mismatch as
+    /// [`M3xuError::ShapeMismatch`] instead of panicking.
+    pub fn try_gemm(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Result<Matrix<f32>, M3xuError> {
+        gemm::try_matmul_f32(GemmPrecision::M3xuFp32, a, b)
+    }
+
+    /// True-FP32 GEMM `D = A·B + C`. Panics on a shape mismatch; see
+    /// [`M3xu::try_gemm_bias`].
     pub fn gemm_bias(&self, a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> Matrix<f32> {
         gemm::gemm_f32(GemmPrecision::M3xuFp32, a, b, c).d
+    }
+
+    /// Fallible [`M3xu::gemm_bias`].
+    pub fn try_gemm_bias(
+        &self,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<Matrix<f32>, M3xuError> {
+        Ok(gemm::try_gemm_f32(GemmPrecision::M3xuFp32, a, b, c)?.d)
     }
 
     /// FP32 GEMM with a modelled execution-time estimate attached.
@@ -117,14 +136,31 @@ impl M3xu {
         }
     }
 
-    /// FP32C complex matrix multiply `A·B`.
+    /// FP32C complex matrix multiply `A·B`. Panics on a shape mismatch;
+    /// see [`M3xu::try_cgemm`].
     pub fn cgemm(&self, a: &Matrix<C32>, b: &Matrix<C32>) -> Matrix<C32> {
         gemm::cmatmul_c32(a, b)
     }
 
-    /// FP32C GEMM `D = A·B + C`.
+    /// Fallible [`M3xu::cgemm`].
+    pub fn try_cgemm(&self, a: &Matrix<C32>, b: &Matrix<C32>) -> Result<Matrix<C32>, M3xuError> {
+        gemm::try_cmatmul_c32(a, b)
+    }
+
+    /// FP32C GEMM `D = A·B + C`. Panics on a shape mismatch; see
+    /// [`M3xu::try_cgemm_bias`].
     pub fn cgemm_bias(&self, a: &Matrix<C32>, b: &Matrix<C32>, c: &Matrix<C32>) -> Matrix<C32> {
         gemm::cgemm_c32(a, b, c).d
+    }
+
+    /// Fallible [`M3xu::cgemm_bias`].
+    pub fn try_cgemm_bias(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<Matrix<C32>, M3xuError> {
+        Ok(gemm::try_cgemm_c32(a, b, c)?.d)
     }
 
     /// FP32C GEMM with a modelled execution-time estimate attached.
@@ -146,24 +182,51 @@ impl M3xu {
     }
 
     /// Forward FFT of a power-of-two-length complex signal, computed with
-    /// the GEMM formulation on the M3XU's FP32C mode.
+    /// the GEMM formulation on the M3XU's FP32C mode. Panics on an
+    /// invalid length; see [`M3xu::try_fft`].
     pub fn fft(&self, signal: &[C32]) -> Vec<C32> {
         fft::gemm_fft(signal).0
     }
 
-    /// Inverse FFT (scaled by `1/N`).
+    /// Fallible [`M3xu::fft`]: rejects a non-power-of-two length with
+    /// [`M3xuError::NonPowerOfTwoLength`] instead of panicking.
+    pub fn try_fft(&self, signal: &[C32]) -> Result<Vec<C32>, M3xuError> {
+        Ok(fft::try_gemm_fft(signal)?.0)
+    }
+
+    /// Inverse FFT (scaled by `1/N`). Panics on an invalid length; see
+    /// [`M3xu::try_ifft`].
     pub fn ifft(&self, spectrum: &[C32]) -> Vec<C32> {
+        self.try_ifft(spectrum).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`M3xu::ifft`].
+    pub fn try_ifft(&self, spectrum: &[C32]) -> Result<Vec<C32>, M3xuError> {
         let n = spectrum.len() as f32;
         let conj: Vec<C32> = spectrum.iter().map(|z| z.conj()).collect();
-        self.fft(&conj)
+        Ok(self
+            .try_fft(&conj)?
             .iter()
             .map(|z| z.conj().scale(1.0 / n))
-            .collect()
+            .collect())
     }
 
     /// GEMM-based K-nearest-neighbour search at full FP32 fidelity.
+    /// Panics on invalid arguments; see [`M3xu::try_knn`].
     pub fn knn(&self, refs: &Matrix<f32>, queries: &Matrix<f32>, k: usize) -> knn::KnnResult {
         knn::knn_gemm(GemmPrecision::M3xuFp32, refs, queries, k)
+    }
+
+    /// Fallible [`M3xu::knn`]: reports a feature-dimension mismatch as
+    /// [`M3xuError::ShapeMismatch`] and an oversized `k` as
+    /// [`M3xuError::InvalidK`].
+    pub fn try_knn(
+        &self,
+        refs: &Matrix<f32>,
+        queries: &Matrix<f32>,
+        k: usize,
+    ) -> Result<knn::KnnResult, M3xuError> {
+        knn::try_knn_gemm(GemmPrecision::M3xuFp32, refs, queries, k)
     }
 }
 
@@ -250,6 +313,35 @@ mod tests {
         for (qi, idx) in r.indices.iter().enumerate() {
             assert_eq!(idx[0], qi);
         }
+    }
+
+    #[test]
+    fn try_api_reports_errors_and_matches_panicking_api() {
+        let dev = M3xu::new();
+        // Error paths surface as typed errors, not panics.
+        let a = Matrix::<f32>::random(4, 3, 10);
+        let b = Matrix::<f32>::random(5, 4, 11);
+        assert!(matches!(
+            dev.try_gemm(&a, &b).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            dev.try_fft(&[C32::ZERO; 12]).unwrap_err(),
+            M3xuError::NonPowerOfTwoLength { len: 12, .. }
+        ));
+        let refs = Matrix::<f32>::random(8, 4, 12);
+        assert!(matches!(
+            dev.try_knn(&refs, &refs, 9).unwrap_err(),
+            M3xuError::InvalidK { k: 9, max: 8 }
+        ));
+        // Happy path is bit-identical to the panicking API.
+        let a = Matrix::<f32>::random(16, 12, 13);
+        let b = Matrix::<f32>::random(12, 16, 14);
+        assert_eq!(dev.try_gemm(&a, &b).unwrap(), dev.gemm(&a, &b));
+        let m = Matrix::random_c32(32, 1, 15);
+        let x: Vec<C32> = (0..32).map(|i| m.get(i, 0)).collect();
+        assert_eq!(dev.try_fft(&x).unwrap(), dev.fft(&x));
+        assert_eq!(dev.try_ifft(&x).unwrap(), dev.ifft(&x));
     }
 
     #[test]

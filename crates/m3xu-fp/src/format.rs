@@ -278,8 +278,13 @@ mod tests {
         assert_eq!(exact_pow2(-1022), f64::MIN_POSITIVE);
         assert_eq!(exact_pow2(0), 1.0);
         assert_eq!(exact_pow2(100), 2.0f64.powi(100));
-        // The naive powi underflows where exact_pow2 does not.
-        assert_eq!(2.0f64.powi(-1074), 0.0);
+        // The naive powi underflows where exact_pow2 does not. black_box
+        // keeps the optimizer from const-folding the expression at full
+        // precision (which would yield 5e-324 instead of the runtime 0.0).
+        assert_eq!(
+            std::hint::black_box(2.0f64).powi(std::hint::black_box(-1074)),
+            0.0
+        );
         assert_eq!(FP64.min_positive_subnormal(), 5e-324);
     }
 

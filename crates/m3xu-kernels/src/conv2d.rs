@@ -6,7 +6,8 @@
 //! matrix, the input unfolds into an `(in_ch*kh*kw) x (out_h*out_w)`
 //! column matrix, and the M3XU GEMM driver does the rest.
 
-use crate::gemm::{gemm_f32, GemmPrecision};
+use crate::gemm::{try_gemm_f32, GemmPrecision};
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
 
@@ -91,6 +92,33 @@ impl ConvSpec {
     pub fn out_extent(&self, n: usize) -> usize {
         (n + 2 * self.padding - self.kernel) / self.stride + 1
     }
+
+    /// Checks that the spec is well formed for a `h x w` input: stride and
+    /// kernel must be positive and the padded input must cover the kernel
+    /// (otherwise `out_extent` underflows).
+    pub fn validate(&self, h: usize, w: usize) -> Result<(), M3xuError> {
+        if self.kernel == 0 {
+            return Err(M3xuError::InvalidArgument {
+                context: "conv2d: kernel extent must be at least 1",
+            });
+        }
+        if self.stride == 0 {
+            return Err(M3xuError::InvalidArgument {
+                context: "conv2d: stride must be at least 1",
+            });
+        }
+        for (context, n) in [("conv2d(height)", h), ("conv2d(width)", w)] {
+            if n + 2 * self.padding < self.kernel {
+                return Err(M3xuError::OutOfRange {
+                    context,
+                    value: n + 2 * self.padding,
+                    min: self.kernel,
+                    max: usize::MAX,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Unfold the input into the im2col matrix:
@@ -122,7 +150,8 @@ pub fn im2col(x: &Tensor3, spec: ConvSpec) -> Matrix<f32> {
 ///
 /// `filters` is `[out_ch][in_ch][k][k]` flattened row-major into a matrix
 /// of shape `out_ch x (in_ch * k * k)`; `bias` has one entry per output
-/// channel. Returns the output tensor and the MMA statistics.
+/// channel. Returns the output tensor and the MMA statistics. Panics on
+/// invalid arguments; see [`try_conv2d`] for the fallible form.
 pub fn conv2d(
     precision: GemmPrecision,
     x: &Tensor3,
@@ -130,19 +159,41 @@ pub fn conv2d(
     bias: &[f32],
     spec: ConvSpec,
 ) -> (Tensor3, MmaStats) {
+    try_conv2d(precision, x, filters, bias, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`conv2d`]: validates the spec ([`ConvSpec::validate`]), the
+/// filter-bank shape and the bias length before any work is done.
+pub fn try_conv2d(
+    precision: GemmPrecision,
+    x: &Tensor3,
+    filters: &Matrix<f32>,
+    bias: &[f32],
+    spec: ConvSpec,
+) -> Result<(Tensor3, MmaStats), M3xuError> {
+    spec.validate(x.h, x.w)?;
     let out_ch = filters.rows();
-    assert_eq!(
-        filters.cols(),
-        x.c * spec.kernel * spec.kernel,
-        "filter shape mismatch"
-    );
-    assert_eq!(bias.len(), out_ch);
+    let patch = x.c * spec.kernel * spec.kernel;
+    if filters.cols() != patch {
+        return Err(M3xuError::ShapeMismatch {
+            context: "conv2d(filters): expected out_ch x (in_ch * k * k)",
+            expected: (out_ch, patch),
+            got: (filters.rows(), filters.cols()),
+        });
+    }
+    if bias.len() != out_ch {
+        return Err(M3xuError::ShapeMismatch {
+            context: "conv2d(bias): one entry per output channel",
+            expected: (out_ch, 1),
+            got: (bias.len(), 1),
+        });
+    }
     let oh = spec.out_extent(x.h);
     let ow = spec.out_extent(x.w);
 
     let cols = im2col(x, spec);
     let c = Matrix::from_fn(out_ch, oh * ow, |o, _| bias[o]);
-    let r = gemm_f32(precision, filters, &cols, &c);
+    let r = try_gemm_f32(precision, filters, &cols, &c)?;
 
     let mut out = Tensor3::zeros(out_ch, oh, ow);
     #[allow(clippy::needless_range_loop)] // (o, y, xx) index three structures
@@ -153,7 +204,7 @@ pub fn conv2d(
             }
         }
     }
-    (out, r.stats)
+    Ok((out, r.stats))
 }
 
 /// Direct (naive) convolution reference, accumulated in f64.
@@ -281,6 +332,45 @@ mod tests {
         assert_eq!(m.get(0, 0), 0.0);
         // Centre output's centre tap is the centre pixel (value 4).
         assert_eq!(m.get(4, 4), 4.0);
+    }
+
+    #[test]
+    fn try_conv2d_rejects_bad_specs_and_shapes() {
+        let x = Tensor3::random(2, 8, 8, 12);
+        let f = Matrix::<f32>::random(2, 2 * 9, 13);
+        let ok = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        for (spec, why) in [
+            (ConvSpec { kernel: 0, ..ok }, "zero kernel"),
+            (ConvSpec { stride: 0, ..ok }, "zero stride"),
+            (
+                ConvSpec {
+                    kernel: 11,
+                    stride: 1,
+                    padding: 1,
+                },
+                "kernel larger than padded input",
+            ),
+        ] {
+            assert!(
+                try_conv2d(GemmPrecision::M3xuFp32, &x, &f, &[0.0, 0.0], spec).is_err(),
+                "{why} must be rejected"
+            );
+        }
+        // Filter bank with the wrong patch width.
+        let bad_f = Matrix::<f32>::random(2, 7, 14);
+        assert!(matches!(
+            try_conv2d(GemmPrecision::M3xuFp32, &x, &bad_f, &[0.0, 0.0], ok).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        // Bias length != out_ch.
+        assert!(matches!(
+            try_conv2d(GemmPrecision::M3xuFp32, &x, &f, &[0.0], ok).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
     }
 
     #[test]

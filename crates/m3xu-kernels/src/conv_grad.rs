@@ -11,26 +11,46 @@
 //! forward convolution.
 
 use crate::conv2d::{im2col, ConvSpec, Tensor3};
-use crate::gemm::{gemm_f32, GemmPrecision};
+use crate::gemm::{try_gemm_f32, GemmPrecision};
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
 
 /// Filter gradient `dW` (shape `out_ch x in_ch*k*k`) for loss gradient
-/// `dy` (shape `out_ch x oh x ow`).
+/// `dy` (shape `out_ch x oh x ow`). Panics on invalid arguments; see
+/// [`try_conv2d_wgrad`] for the fallible form.
 pub fn conv2d_wgrad(
     precision: GemmPrecision,
     x: &Tensor3,
     dy: &Tensor3,
     spec: ConvSpec,
 ) -> (Matrix<f32>, MmaStats) {
+    try_conv2d_wgrad(precision, x, dy, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`conv2d_wgrad`]: validates the spec and the `dy` spatial
+/// shape against the forward pass's output extents.
+pub fn try_conv2d_wgrad(
+    precision: GemmPrecision,
+    x: &Tensor3,
+    dy: &Tensor3,
+    spec: ConvSpec,
+) -> Result<(Matrix<f32>, MmaStats), M3xuError> {
+    spec.validate(x.h, x.w)?;
     let oh = spec.out_extent(x.h);
     let ow = spec.out_extent(x.w);
-    assert_eq!((dy.h, dy.w), (oh, ow), "dy spatial shape mismatch");
+    if (dy.h, dy.w) != (oh, ow) {
+        return Err(M3xuError::ShapeMismatch {
+            context: "conv2d_wgrad(dy): spatial shape must match forward output",
+            expected: (oh, ow),
+            got: (dy.h, dy.w),
+        });
+    }
     let cols = im2col(x, spec); // (in_ch*k*k) x (oh*ow)
     let dy_m = Matrix::from_fn(dy.c, oh * ow, |o, p| dy.get(o, p / ow, p % ow));
     let c = Matrix::zeros(dy.c, cols.rows());
-    let r = gemm_f32(precision, &dy_m, &cols.transpose(), &c);
-    (r.d, r.stats)
+    let r = try_gemm_f32(precision, &dy_m, &cols.transpose(), &c)?;
+    Ok((r.d, r.stats))
 }
 
 /// Bias gradient: per-output-channel sum of `dy`.
@@ -48,7 +68,8 @@ pub fn conv2d_bgrad(dy: &Tensor3) -> Vec<f32> {
         .collect()
 }
 
-/// Input gradient `dX` for loss gradient `dy`.
+/// Input gradient `dX` for loss gradient `dy`. Panics on invalid
+/// arguments; see [`try_conv2d_dgrad`] for the fallible form.
 pub fn conv2d_dgrad(
     precision: GemmPrecision,
     filters: &Matrix<f32>,
@@ -56,17 +77,42 @@ pub fn conv2d_dgrad(
     in_shape: (usize, usize, usize),
     spec: ConvSpec,
 ) -> (Tensor3, MmaStats) {
+    try_conv2d_dgrad(precision, filters, dy, in_shape, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`conv2d_dgrad`]: validates the spec, the `dy` shape and the
+/// filter-bank shape against the stated input shape.
+pub fn try_conv2d_dgrad(
+    precision: GemmPrecision,
+    filters: &Matrix<f32>,
+    dy: &Tensor3,
+    in_shape: (usize, usize, usize),
+    spec: ConvSpec,
+) -> Result<(Tensor3, MmaStats), M3xuError> {
     let (in_ch, ih, iw) = in_shape;
+    spec.validate(ih, iw)?;
     let oh = spec.out_extent(ih);
     let ow = spec.out_extent(iw);
-    assert_eq!((dy.h, dy.w), (oh, ow));
-    assert_eq!(filters.rows(), dy.c);
-    assert_eq!(filters.cols(), in_ch * spec.kernel * spec.kernel);
+    if (dy.h, dy.w) != (oh, ow) {
+        return Err(M3xuError::ShapeMismatch {
+            context: "conv2d_dgrad(dy): spatial shape must match forward output",
+            expected: (oh, ow),
+            got: (dy.h, dy.w),
+        });
+    }
+    let patch = in_ch * spec.kernel * spec.kernel;
+    if filters.rows() != dy.c || filters.cols() != patch {
+        return Err(M3xuError::ShapeMismatch {
+            context: "conv2d_dgrad(filters): expected out_ch x (in_ch * k * k)",
+            expected: (dy.c, patch),
+            got: (filters.rows(), filters.cols()),
+        });
+    }
 
     // dCols = Wᵀ (in_ch*k*k x out_ch) · dY (out_ch x oh*ow).
     let dy_m = Matrix::from_fn(dy.c, oh * ow, |o, p| dy.get(o, p / ow, p % ow));
     let c = Matrix::zeros(filters.cols(), oh * ow);
-    let r = gemm_f32(precision, &filters.transpose(), &dy_m, &c);
+    let r = try_gemm_f32(precision, &filters.transpose(), &dy_m, &c)?;
 
     // col2im: scatter-add each column entry back to its input position —
     // the exact adjoint of the im2col gather.
@@ -91,7 +137,7 @@ pub fn conv2d_dgrad(
             dx.set(ci, y, xx, dx.get(ci, y, xx) + r.d.get(row, p));
         }
     }
-    (dx, r.stats)
+    Ok((dx, r.stats))
 }
 
 #[cfg(test)]
@@ -193,6 +239,32 @@ mod tests {
         let (dx, _) = conv2d_dgrad(GemmPrecision::M3xuFp32, &f, &dy, (1, 8, 8), spec);
         assert_eq!((dx.c, dx.h, dx.w), (1, 8, 8));
         assert!(dx.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn try_grads_reject_mismatched_dy() {
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor3::random(2, 5, 5, 20);
+        let f = Matrix::<f32>::random(3, 18, 21);
+        let bad_dy = Tensor3::zeros(3, 4, 4); // forward output is 5x5
+        assert!(matches!(
+            try_conv2d_wgrad(GemmPrecision::M3xuFp32, &x, &bad_dy, spec).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            try_conv2d_dgrad(GemmPrecision::M3xuFp32, &f, &bad_dy, (2, 5, 5), spec).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        // Filter bank inconsistent with the stated input channel count.
+        let dy = Tensor3::zeros(3, 5, 5);
+        assert!(matches!(
+            try_conv2d_dgrad(GemmPrecision::M3xuFp32, &f, &dy, (4, 5, 5), spec).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
     }
 
     #[test]

@@ -2,20 +2,35 @@
 //! GEMM-formulated 1-D transforms (the image/signal-processing workloads
 //! the paper's introduction motivates).
 
-use super::{gemm_fft, C32};
+use super::{try_gemm_fft, C32};
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
 
 /// Forward 2-D FFT (unnormalised) of a `rows x cols` complex image.
-/// Both dimensions must be powers of two.
+/// Both dimensions must be powers of two. Panics on invalid dimensions;
+/// see [`try_fft2d`] for the fallible form.
 pub fn fft2d(image: &Matrix<C32>) -> (Matrix<C32>, MmaStats) {
+    try_fft2d(image).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fft2d`]: rejects a non-power-of-two row or column count
+/// with [`M3xuError::NonPowerOfTwoLength`] instead of panicking.
+pub fn try_fft2d(image: &Matrix<C32>) -> Result<(Matrix<C32>, MmaStats), M3xuError> {
     let (r, c) = (image.rows(), image.cols());
+    // Validate both extents up front so a bad column count is reported
+    // before any row work is spent.
+    for (context, len) in [("fft2d(rows)", r), ("fft2d(cols)", c)] {
+        if !len.is_power_of_two() {
+            return Err(M3xuError::NonPowerOfTwoLength { context, len });
+        }
+    }
     let mut stats = MmaStats::default();
     // Row transforms.
     let mut tmp = Matrix::<C32>::zeros(r, c);
     for i in 0..r {
-        let (row, s) = gemm_fft(image.row(i));
+        let (row, s) = try_gemm_fft(image.row(i))?;
         stats.merge(&s);
         for (j, v) in row.into_iter().enumerate() {
             tmp.set(i, j, v);
@@ -25,22 +40,30 @@ pub fn fft2d(image: &Matrix<C32>) -> (Matrix<C32>, MmaStats) {
     let mut out = Matrix::<C32>::zeros(r, c);
     let tt = tmp.transpose();
     for j in 0..c {
-        let (col, s) = gemm_fft(tt.row(j));
+        let (col, s) = try_gemm_fft(tt.row(j))?;
         stats.merge(&s);
         for (i, v) in col.into_iter().enumerate() {
             out.set(i, j, v);
         }
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
-/// Inverse 2-D FFT (scaled by `1/(rows*cols)`).
+/// Inverse 2-D FFT (scaled by `1/(rows*cols)`). Panics on invalid
+/// dimensions; see [`try_ifft2d`].
 pub fn ifft2d(spectrum: &Matrix<C32>) -> Matrix<C32> {
+    try_ifft2d(spectrum).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`ifft2d`].
+pub fn try_ifft2d(spectrum: &Matrix<C32>) -> Result<Matrix<C32>, M3xuError> {
     let (r, c) = (spectrum.rows(), spectrum.cols());
     let conj = Matrix::from_fn(r, c, |i, j| spectrum.get(i, j).conj());
-    let (f, _) = fft2d(&conj);
+    let (f, _) = try_fft2d(&conj)?;
     let scale = 1.0 / (r * c) as f32;
-    Matrix::from_fn(r, c, |i, j| f.get(i, j).conj().scale(scale))
+    Ok(Matrix::from_fn(r, c, |i, j| {
+        f.get(i, j).conj().scale(scale)
+    }))
 }
 
 /// Reference 2-D DFT in f64 (for tests; O(N⁴) — keep it small).
@@ -131,6 +154,24 @@ mod tests {
                 assert!(f.get(i, j).im.abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn try_fft2d_rejects_non_power_of_two_extents() {
+        let bad_rows = image(6, 8, 4);
+        assert!(matches!(
+            try_fft2d(&bad_rows).map(|_| ()).unwrap_err(),
+            M3xuError::NonPowerOfTwoLength { len: 6, .. }
+        ));
+        let bad_cols = image(8, 12, 5);
+        assert!(matches!(
+            try_fft2d(&bad_cols).map(|_| ()).unwrap_err(),
+            M3xuError::NonPowerOfTwoLength { len: 12, .. }
+        ));
+        assert!(matches!(
+            try_ifft2d(&bad_cols).map(|_| ()).unwrap_err(),
+            M3xuError::NonPowerOfTwoLength { len: 12, .. }
+        ));
     }
 
     #[test]

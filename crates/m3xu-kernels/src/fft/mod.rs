@@ -18,6 +18,7 @@ pub mod perf;
 
 use crate::gemm::cgemm_c32;
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
 use std::collections::HashMap;
@@ -45,14 +46,37 @@ pub fn dft(x: &[C32]) -> Vec<C32> {
         .collect()
 }
 
+/// Fallible [`radix2`]: rejects non-power-of-two lengths with
+/// [`M3xuError::NonPowerOfTwoLength`] instead of panicking.
+pub fn try_radix2(x: &[C32]) -> Result<Vec<C32>, M3xuError> {
+    if x.is_empty() {
+        // The 0-point transform is the (empty) identity.
+        return Ok(Vec::new());
+    }
+    if !x.len().is_power_of_two() {
+        return Err(M3xuError::NonPowerOfTwoLength {
+            context: "radix2",
+            len: x.len(),
+        });
+    }
+    Ok(radix2_unchecked(x))
+}
+
 /// Iterative radix-2 Cooley–Tukey FFT (forward, unnormalised). `x.len()`
 /// must be a power of two. This is the "CUDA-core" shaped implementation.
+/// Panics on an invalid length; see [`try_radix2`] for the fallible form.
 pub fn radix2(x: &[C32]) -> Vec<C32> {
+    try_radix2(x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn radix2_unchecked(x: &[C32]) -> Vec<C32> {
     let n = x.len();
-    assert!(
-        n.is_power_of_two(),
-        "radix-2 FFT needs a power-of-two length"
-    );
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        // A 0- or 1-point transform is the identity (and the bit-reversal
+        // shift below would overflow for n == 1).
+        return x.to_vec();
+    }
     let mut a: Vec<C32> = x.to_vec();
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -81,14 +105,20 @@ pub fn radix2(x: &[C32]) -> Vec<C32> {
     a
 }
 
-/// Inverse FFT via conjugation: `ifft(x) = conj(fft(conj(x))) / N`.
-pub fn inverse_radix2(x: &[C32]) -> Vec<C32> {
+/// Fallible [`inverse_radix2`].
+pub fn try_inverse_radix2(x: &[C32]) -> Result<Vec<C32>, M3xuError> {
     let n = x.len() as f32;
     let conj: Vec<C32> = x.iter().map(|z| z.conj()).collect();
-    radix2(&conj)
+    Ok(try_radix2(&conj)?
         .iter()
         .map(|z| z.conj().scale(1.0 / n))
-        .collect()
+        .collect())
+}
+
+/// Inverse FFT via conjugation: `ifft(x) = conj(fft(conj(x))) / N`.
+/// Panics on an invalid length; see [`try_inverse_radix2`].
+pub fn inverse_radix2(x: &[C32]) -> Vec<C32> {
+    try_inverse_radix2(x).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The `n x n` DFT matrix `F[k][j] = e^{-2πi jk / n}` (twiddles computed
@@ -105,7 +135,12 @@ pub fn dft_matrix(n: usize) -> Matrix<C32> {
 static DFT_CACHE: Mutex<Option<HashMap<usize, Matrix<C32>>>> = Mutex::new(None);
 
 fn cached_dft_matrix(n: usize) -> Matrix<C32> {
-    let mut guard = DFT_CACHE.lock().unwrap();
+    // Recover from lock poisoning: a panicking FFT call (e.g. through an
+    // injected CGEMM driver) must not condemn every later caller in the
+    // process to a `PoisonError` unwrap. The cache is a pure memo of
+    // `dft_matrix(n)` — at worst a poisoned entry was never inserted, so
+    // the data behind the lock is always valid.
+    let mut guard = DFT_CACHE.lock().unwrap_or_else(|e| e.into_inner());
     let cache = guard.get_or_insert_with(HashMap::new);
     cache.entry(n).or_insert_with(|| dft_matrix(n)).clone()
 }
@@ -124,21 +159,48 @@ pub const GEMM_RADIX: usize = 16;
 /// 4. output interleaves as `X[k1 + N1*k2]`.
 ///
 /// Returns the spectrum and the accumulated M3XU MMA statistics.
+/// Panics on an invalid length; see [`try_gemm_fft`] for the fallible
+/// form.
 pub fn gemm_fft(x: &[C32]) -> (Vec<C32>, MmaStats) {
-    gemm_fft_with(x, cgemm_c32)
+    try_gemm_fft(x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`gemm_fft`]: rejects non-power-of-two lengths with
+/// [`M3xuError::NonPowerOfTwoLength`] instead of panicking.
+pub fn try_gemm_fft(x: &[C32]) -> Result<(Vec<C32>, MmaStats), M3xuError> {
+    try_gemm_fft_with(x, cgemm_c32)
 }
 
 /// [`gemm_fft`] with a caller-supplied CGEMM driver. The benchmark
 /// harness uses this to run the identical FFT decomposition over the
 /// original per-fragment driver (`gemm::baseline::cgemm_c32`) and the
-/// packed driver side by side.
+/// packed driver side by side. Panics on an invalid length; see
+/// [`try_gemm_fft_with`].
 pub fn gemm_fft_with<F>(x: &[C32], cgemm: F) -> (Vec<C32>, MmaStats)
 where
     F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
 {
+    try_gemm_fft_with(x, cgemm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`gemm_fft_with`].
+pub fn try_gemm_fft_with<F>(x: &[C32], cgemm: F) -> Result<(Vec<C32>, MmaStats), M3xuError>
+where
+    F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
+{
+    if x.is_empty() {
+        // The 0-point transform is the (empty) identity.
+        return Ok((Vec::new(), MmaStats::default()));
+    }
+    if !x.len().is_power_of_two() {
+        return Err(M3xuError::NonPowerOfTwoLength {
+            context: "gemm_fft",
+            len: x.len(),
+        });
+    }
     let mut stats = MmaStats::default();
     let out = gemm_fft_inner(x, &cgemm, &mut stats);
-    (out, stats)
+    Ok((out, stats))
 }
 
 fn gemm_fft_inner<F>(x: &[C32], cgemm: &F, stats: &mut MmaStats) -> Vec<C32>
@@ -146,7 +208,9 @@ where
     F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
 {
     let n = x.len();
-    assert!(n.is_power_of_two(), "gemm_fft needs a power-of-two length");
+    // Validated at the `try_gemm_fft_with` boundary; the recursion only
+    // ever splits a power of two into `GEMM_RADIX * (n / GEMM_RADIX)`.
+    debug_assert!(n.is_power_of_two());
     if n <= GEMM_RADIX {
         // Base case: one complex GEMM against the DFT matrix.
         let f = cached_dft_matrix(n);
@@ -298,6 +362,36 @@ mod tests {
         let time_energy: f64 = x.iter().map(|z| z.norm_sqr() as f64).sum();
         let freq_energy: f64 = s.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / n as f64;
         assert!((time_energy - freq_energy).abs() / time_energy < 1e-5);
+    }
+
+    #[test]
+    fn try_fft_entry_points_reject_non_power_of_two() {
+        let x = signal(12, 3);
+        for err in [
+            try_radix2(&x).unwrap_err(),
+            try_inverse_radix2(&x).unwrap_err(),
+            try_gemm_fft(&x).map(|_| ()).unwrap_err(),
+        ] {
+            assert!(matches!(
+                err,
+                M3xuError::NonPowerOfTwoLength { len: 12, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn dft_cache_recovers_from_lock_poisoning() {
+        // Poison the cache mutex by panicking while holding its guard …
+        let poisoner = std::thread::spawn(|| {
+            let _guard = DFT_CACHE.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("poison the DFT cache on purpose");
+        });
+        assert!(poisoner.join().is_err());
+        // … and the very next FFT must still succeed with a correct result.
+        let x = signal(64, 21);
+        let (got, _) = try_gemm_fft(&x).expect("gemm_fft after cache poisoning");
+        let err = spectrum_rel_error(&got, &dft(&x));
+        assert!(err < 1e-5, "err={err}");
     }
 
     #[test]

@@ -21,11 +21,38 @@
 use crate::pool::{self, WorkerPool};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::dpu::DotProductUnit;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::{MmaShape, MmaStats};
 use m3xu_mxu::modes::MxuMode;
 use m3xu_mxu::packed::{fragment_stats, PackedOperand};
 use std::cell::RefCell;
+
+/// Fixed per-tile accumulator scratch the packed driver provisions (one
+/// full fragment, `frag.m * frag.n` elements). Validated against each
+/// mode's fragment shape at entry so a future shape cannot silently
+/// truncate a tile or panic mid-epoch inside a pooled task.
+const ACC_SCRATCH: usize = 64;
+
+/// Validate the `D = A·B + C` operand shapes shared by every driver.
+fn validate_gemm_shapes<E>(a: &Matrix<E>, b: &Matrix<E>, c: &Matrix<E>) -> Result<(), M3xuError> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if b.rows() != k {
+        return Err(M3xuError::ShapeMismatch {
+            context: "gemm(B): inner dimensions must agree",
+            expected: (k, n),
+            got: (b.rows(), n),
+        });
+    }
+    if (c.rows(), c.cols()) != (m, n) {
+        return Err(M3xuError::ShapeMismatch {
+            context: "gemm(C): C must be m x n",
+            expected: (m, n),
+            got: (c.rows(), c.cols()),
+        });
+    }
+    Ok(())
+}
 
 /// Which GEMM engine/precision the driver runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +79,7 @@ impl GemmPrecision {
 }
 
 /// Result of a tiled GEMM: the output matrix plus MMA statistics.
+#[derive(Debug, Clone)]
 pub struct GemmResult<T> {
     /// `D = A·B + C`.
     pub d: Matrix<T>,
@@ -155,25 +183,33 @@ thread_local! {
 }
 
 /// The generic packed GEMM driver: `D = A·B + C` in `mode` on `pool`.
-fn gemm_packed<E: PackedElem>(
+fn try_gemm_packed<E: PackedElem>(
     pool: &WorkerPool,
     mode: MxuMode,
     a: &Matrix<E>,
     b: &Matrix<E>,
     c: &Matrix<E>,
-) -> GemmResult<E> {
+) -> Result<GemmResult<E>, M3xuError> {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    assert_eq!(b.rows(), k, "inner dimensions must agree");
-    assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+    validate_gemm_shapes(a, b, c)?;
 
     let frag = MmaShape::BASELINE_FP16.for_mode(mode);
+    if frag.m * frag.n > ACC_SCRATCH {
+        // The per-tile accumulator is a fixed stack array; a fragment
+        // shape that outgrows it must be rejected up front, not trusted
+        // to a slice-bounds panic inside a pooled task.
+        return Err(M3xuError::FragmentOverflow {
+            needed: frag.m * frag.n,
+            capacity: ACC_SCRATCH,
+        });
+    }
     let k_chunks = k.div_ceil(frag.k);
     let mut d = c.clone();
     if k_chunks == 0 || m == 0 || n == 0 {
-        return GemmResult {
+        return Ok(GemmResult {
             d,
             stats: MmaStats::default(),
-        };
+        });
     }
 
     // Decode each operand exactly once for the whole GEMM.
@@ -187,7 +223,7 @@ fn gemm_packed<E: PackedElem>(
         let (i0, j0) = ((tid / tiles_n) * frag.m, (tid % tiles_n) * frag.n);
         let rows = frag.m.min(m - i0);
         let cols = frag.n.min(n - j0);
-        let mut acc = [E::default(); 64]; // frag.m * frag.n
+        let mut acc = [E::default(); ACC_SCRATCH]; // >= frag.m * frag.n, checked at entry
         let acc = &mut acc[..rows * cols];
         c.view(i0, j0, rows, cols).copy_into(acc);
         DPU.with(|dpu| {
@@ -220,12 +256,26 @@ fn gemm_packed<E: PackedElem>(
         steps: per.steps * frags,
         lane_products: per.lane_products * frags,
     };
-    GemmResult { d, stats }
+    Ok(GemmResult { d, stats })
+}
+
+/// Fallible tiled FP32 GEMM `D = A·B + C` on an explicit worker pool —
+/// the entry point for determinism tests and embedders that manage their
+/// own pools. Returns [`M3xuError::ShapeMismatch`] on inconsistent
+/// operands instead of panicking.
+pub fn try_gemm_f32_on(
+    pool: &WorkerPool,
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: &Matrix<f32>,
+) -> Result<GemmResult<f32>, M3xuError> {
+    try_gemm_packed(pool, precision.mode(), a, b, c)
 }
 
 /// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode), using
-/// an explicit worker pool — the entry point for determinism tests and
-/// embedders that manage their own pools.
+/// an explicit worker pool. Panics on shape mismatch; see
+/// [`try_gemm_f32_on`] for the fallible form.
 pub fn gemm_f32_on(
     pool: &WorkerPool,
     precision: GemmPrecision,
@@ -233,52 +283,106 @@ pub fn gemm_f32_on(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> GemmResult<f32> {
-    gemm_packed(pool, precision.mode(), a, b, c)
+    try_gemm_f32_on(pool, precision, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible tiled FP32 GEMM `D = A·B + C` on the process-wide pool.
+///
+/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`. Any sizes are accepted;
+/// edges are zero-padded into fragments exactly like predicated loads.
+pub fn try_gemm_f32(
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: &Matrix<f32>,
+) -> Result<GemmResult<f32>, M3xuError> {
+    try_gemm_f32_on(pool::global(), precision, a, b, c)
 }
 
 /// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode).
 ///
-/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`. Any sizes are accepted;
-/// edges are zero-padded into fragments exactly like predicated loads.
+/// Panics on shape mismatch; see [`try_gemm_f32`] for the fallible form.
 pub fn gemm_f32(
     precision: GemmPrecision,
     a: &Matrix<f32>,
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> GemmResult<f32> {
-    gemm_f32_on(pool::global(), precision, a, b, c)
+    try_gemm_f32(precision, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible tiled FP32C GEMM on the M3XU's four-step complex mode, using
+/// an explicit worker pool.
+pub fn try_cgemm_c32_on(
+    pool: &WorkerPool,
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &Matrix<Complex<f32>>,
+) -> Result<GemmResult<Complex<f32>>, M3xuError> {
+    try_gemm_packed(pool, MxuMode::M3xuFp32c, a, b, c)
 }
 
 /// Tiled FP32C GEMM on the M3XU's four-step complex mode, using an
-/// explicit worker pool.
+/// explicit worker pool. Panics on shape mismatch; see
+/// [`try_cgemm_c32_on`] for the fallible form.
 pub fn cgemm_c32_on(
     pool: &WorkerPool,
     a: &Matrix<Complex<f32>>,
     b: &Matrix<Complex<f32>>,
     c: &Matrix<Complex<f32>>,
 ) -> GemmResult<Complex<f32>> {
-    gemm_packed(pool, MxuMode::M3xuFp32c, a, b, c)
+    try_cgemm_c32_on(pool, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible tiled FP32C GEMM on the process-wide pool.
+pub fn try_cgemm_c32(
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &Matrix<Complex<f32>>,
+) -> Result<GemmResult<Complex<f32>>, M3xuError> {
+    try_cgemm_c32_on(pool::global(), a, b, c)
 }
 
 /// Tiled FP32C GEMM on the M3XU's four-step complex mode.
+///
+/// Panics on shape mismatch; see [`try_cgemm_c32`] for the fallible form.
 pub fn cgemm_c32(
     a: &Matrix<Complex<f32>>,
     b: &Matrix<Complex<f32>>,
     c: &Matrix<Complex<f32>>,
 ) -> GemmResult<Complex<f32>> {
-    cgemm_c32_on(pool::global(), a, b, c)
+    try_cgemm_c32(a, b, c).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Convenience: `A·B` with a zero C.
+/// Fallible convenience: `A·B` with a zero C.
+pub fn try_matmul_f32(
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+) -> Result<Matrix<f32>, M3xuError> {
+    let c = Matrix::zeros(a.rows(), b.cols());
+    Ok(try_gemm_f32(precision, a, b, &c)?.d)
+}
+
+/// Convenience: `A·B` with a zero C. Panics on shape mismatch; see
+/// [`try_matmul_f32`] for the fallible form.
 pub fn matmul_f32(precision: GemmPrecision, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
-    let c = Matrix::zeros(a.rows(), b.cols());
-    gemm_f32(precision, a, b, &c).d
+    try_matmul_f32(precision, a, b).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Convenience: complex `A·B` with a zero C.
-pub fn cmatmul_c32(a: &Matrix<Complex<f32>>, b: &Matrix<Complex<f32>>) -> Matrix<Complex<f32>> {
+/// Fallible convenience: complex `A·B` with a zero C.
+pub fn try_cmatmul_c32(
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+) -> Result<Matrix<Complex<f32>>, M3xuError> {
     let c = Matrix::zeros(a.rows(), b.cols());
-    cgemm_c32(a, b, &c).d
+    Ok(try_cgemm_c32(a, b, &c)?.d)
+}
+
+/// Convenience: complex `A·B` with a zero C. Panics on shape mismatch;
+/// see [`try_cmatmul_c32`] for the fallible form.
+pub fn cmatmul_c32(a: &Matrix<Complex<f32>>, b: &Matrix<Complex<f32>>) -> Matrix<Complex<f32>> {
+    try_cmatmul_c32(a, b).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The original per-tile drivers: copy each fragment tile, re-decode it
@@ -308,8 +412,7 @@ pub mod baseline {
         c: &Matrix<f32>,
     ) -> GemmResult<f32> {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        assert_eq!(b.rows(), k, "inner dimensions must agree");
-        assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+        super::validate_gemm_shapes(a, b, c).unwrap_or_else(|e| panic!("{e}"));
 
         let mode = precision.mode();
         let frag = MmaShape::BASELINE_FP16.for_mode(mode);
@@ -374,8 +477,7 @@ pub mod baseline {
         c: &Matrix<Complex<f32>>,
     ) -> GemmResult<Complex<f32>> {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        assert_eq!(b.rows(), k, "inner dimensions must agree");
-        assert_eq!((c.rows(), c.cols()), (m, n), "C must be m x n");
+        super::validate_gemm_shapes(a, b, c).unwrap_or_else(|e| panic!("{e}"));
         let frag = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32c);
 
         let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();

@@ -9,8 +9,9 @@
 //! small-magnitude data, while M3XU accelerates the GEMM with full FP32
 //! fidelity.
 
-use crate::gemm::{matmul_f32, GemmPrecision};
+use crate::gemm::{try_matmul_f32, GemmPrecision};
 use m3xu_gpu::GpuConfig;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 
 /// The result of a KNN query set: for each query, the indices and squared
@@ -25,19 +26,50 @@ pub struct KnnResult {
 
 /// GEMM-based KNN on the chosen engine.
 ///
-/// `refs` is `n_refs x dim`, `queries` is `n_queries x dim`.
+/// `refs` is `n_refs x dim`, `queries` is `n_queries x dim`. Panics on
+/// invalid arguments; see [`try_knn_gemm`] for the fallible form.
 pub fn knn_gemm(
     precision: GemmPrecision,
     refs: &Matrix<f32>,
     queries: &Matrix<f32>,
     k: usize,
 ) -> KnnResult {
-    assert_eq!(refs.cols(), queries.cols(), "dimension mismatch");
-    assert!(k <= refs.rows(), "k larger than reference set");
-    let dim = refs.cols();
-    let _ = dim;
+    try_knn_gemm(precision, refs, queries, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`knn_gemm`]: reports a query/reference feature-dimension
+/// mismatch as [`M3xuError::ShapeMismatch`] and `k > n_refs` as
+/// [`M3xuError::InvalidK`]. `k == 0` is valid and yields empty
+/// neighbour lists.
+pub fn try_knn_gemm(
+    precision: GemmPrecision,
+    refs: &Matrix<f32>,
+    queries: &Matrix<f32>,
+    k: usize,
+) -> Result<KnnResult, M3xuError> {
+    if refs.cols() != queries.cols() {
+        return Err(M3xuError::ShapeMismatch {
+            context: "knn(queries): feature dimension must match refs",
+            expected: (queries.rows(), refs.cols()),
+            got: (queries.rows(), queries.cols()),
+        });
+    }
+    if k > refs.rows() {
+        return Err(M3xuError::InvalidK {
+            k,
+            max: refs.rows(),
+        });
+    }
+    if k == 0 {
+        // Selecting zero neighbours is trivially empty (and would
+        // underflow the `select_nth_unstable_by(k - 1, ..)` call below).
+        return Ok(KnnResult {
+            indices: vec![Vec::new(); queries.rows()],
+            distances: vec![Vec::new(); queries.rows()],
+        });
+    }
     // Inner products: Q (nq x d) x R^T (d x nr) — the heavy GEMM.
-    let qr = matmul_f32(precision, queries, &refs.transpose());
+    let qr = try_matmul_f32(precision, queries, &refs.transpose())?;
     // Squared norms.
     let rn: Vec<f32> = (0..refs.rows())
         .map(|i| refs.row(i).iter().map(|&v| v * v).sum())
@@ -61,7 +93,7 @@ pub fn knn_gemm(
         indices.push(top.iter().map(|&(_, i)| i).collect());
         distances.push(top.iter().map(|&(d, _)| d).collect());
     }
-    KnnResult { indices, distances }
+    Ok(KnnResult { indices, distances })
 }
 
 /// Brute-force reference KNN (per-pair scalar distances in f64).
@@ -158,8 +190,12 @@ pub fn render_figure9(cells: &[Fig9Cell]) -> String {
     for n in ns {
         out.push_str(&format!("{n:>8}"));
         for d in &dims {
-            let c = cells.iter().find(|c| c.n == n && c.dim == *d).unwrap();
-            out.push_str(&format!("{:>8.2}", c.speedup));
+            // A sparse sweep may not cover every (n, dim) cell — render a
+            // placeholder instead of panicking on a missing combination.
+            match cells.iter().find(|c| c.n == n && c.dim == *d) {
+                Some(c) => out.push_str(&format!("{:>8.2}", c.speedup)),
+                None => out.push_str(&format!("{:>8}", "---")),
+            }
         }
         out.push('\n');
     }
@@ -257,5 +293,48 @@ mod tests {
         let txt = render_figure9(&figure9(&g));
         assert!(txt.contains("65536"));
         assert!(txt.contains("4096"));
+    }
+
+    #[test]
+    fn render_tolerates_missing_cells() {
+        let cells = vec![
+            Fig9Cell {
+                n: 2048,
+                dim: 512,
+                speedup: 1.5,
+            },
+            Fig9Cell {
+                n: 8192,
+                dim: 1024,
+                speedup: 1.7,
+            },
+        ];
+        let txt = render_figure9(&cells);
+        assert!(txt.contains("---"), "missing cells render a placeholder");
+        assert!(txt.contains("1.50"));
+    }
+
+    #[test]
+    fn try_knn_rejects_bad_arguments() {
+        let refs = Matrix::<f32>::random(16, 4, 8);
+        let queries = Matrix::<f32>::random(3, 5, 9);
+        assert!(matches!(
+            try_knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 2).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        let queries = Matrix::<f32>::random(3, 4, 9);
+        assert!(matches!(
+            try_knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 17).unwrap_err(),
+            M3xuError::InvalidK { k: 17, max: 16 }
+        ));
+    }
+
+    #[test]
+    fn k_zero_yields_empty_neighbour_lists() {
+        let refs = Matrix::<f32>::random(16, 4, 10);
+        let queries = Matrix::<f32>::random(3, 4, 11);
+        let r = try_knn_gemm(GemmPrecision::M3xuFp32, &refs, &queries, 0).unwrap();
+        assert_eq!(r.indices, vec![Vec::<usize>::new(); 3]);
+        assert_eq!(r.distances, vec![Vec::<f32>::new(); 3]);
     }
 }

@@ -37,7 +37,9 @@ pub mod quantum;
 pub mod solver;
 
 pub use gemm::{
-    cgemm_c32, cgemm_c32_on, cmatmul_c32, gemm_f32, gemm_f32_on, matmul_f32, GemmPrecision,
-    GemmResult,
+    cgemm_c32, cgemm_c32_on, cmatmul_c32, gemm_f32, gemm_f32_on, matmul_f32, try_cgemm_c32,
+    try_cgemm_c32_on, try_cmatmul_c32, try_gemm_f32, try_gemm_f32_on, try_matmul_f32,
+    GemmPrecision, GemmResult,
 };
+pub use m3xu_mxu::error::M3xuError;
 pub use pool::WorkerPool;

@@ -8,20 +8,43 @@
 //! coefficient is an integer recoverable by rounding as long as the FFT's
 //! accumulated error stays below 0.5. Tests pin down that recovery bound.
 
-use crate::fft::{gemm_fft, C32};
+use crate::fft::{try_gemm_fft, C32};
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::mma::MmaStats;
 
 /// Multiply two integer-coefficient polynomials exactly via the M3XU FFT.
 ///
 /// `a` and `b` are coefficient vectors (lowest degree first). Returns the
 /// product's coefficients. Exact for products whose coefficients stay
-/// below ~2^20 and lengths up to a few thousand (see tests); the i64
-/// reference path guards against silent precision loss by checking the
-/// rounding margin.
+/// below ~2^20 and lengths up to a few thousand (see tests). Panics if
+/// the rounding margin is blown; see [`try_poly_mul_int`] for the
+/// fallible form.
 pub fn poly_mul_int(a: &[i64], b: &[i64]) -> (Vec<i64>, MmaStats) {
+    try_poly_mul_int(a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`poly_mul_int`]: reports silent precision loss — a recovered
+/// coefficient whose rounding margin is too thin to trust — as
+/// [`M3xuError::PrecisionLoss`] instead of relying on a debug-only
+/// assertion.
+pub fn try_poly_mul_int(a: &[i64], b: &[i64]) -> Result<(Vec<i64>, MmaStats), M3xuError> {
     if a.is_empty() || b.is_empty() {
-        return (Vec::new(), MmaStats::default());
+        return Ok((Vec::new(), MmaStats::default()));
+    }
+    // A coefficient that does not round-trip through f32 is corrupted
+    // before the transform even runs — and the damage is invisible to the
+    // output margin check (the error is an exact multiple of the f32
+    // quantum). Reject it at the door.
+    for p in [a, b] {
+        for (i, &c) in p.iter().enumerate() {
+            if (c as f32) as i64 != c {
+                return Err(M3xuError::PrecisionLoss {
+                    context: "poly_mul_int: coefficient not representable in f32",
+                    index: i,
+                });
+            }
+        }
     }
     let out_len = a.len() + b.len() - 1;
     let n = out_len.next_power_of_two().max(2);
@@ -33,27 +56,30 @@ pub fn poly_mul_int(a: &[i64], b: &[i64]) -> (Vec<i64>, MmaStats) {
         v
     };
     let mut stats = MmaStats::default();
-    let (fa, s1) = gemm_fft(&embed(a));
-    let (fb, s2) = gemm_fft(&embed(b));
+    let (fa, s1) = try_gemm_fft(&embed(a))?;
+    let (fb, s2) = try_gemm_fft(&embed(b))?;
     stats.merge(&s1);
     stats.merge(&s2);
     // Pointwise product, then inverse transform via conjugation.
     let prod: Vec<C32> = fa.iter().zip(&fb).map(|(x, y)| (*x * *y).conj()).collect();
-    let (fc, s3) = gemm_fft(&prod);
+    let (fc, s3) = try_gemm_fft(&prod)?;
     stats.merge(&s3);
     let scale = 1.0 / n as f64;
-    let coeffs: Vec<i64> = (0..out_len)
-        .map(|i| {
-            let v = fc[i].conj().re as f64 * scale;
-            let r = v.round();
-            debug_assert!(
-                (v - r).abs() < 0.45,
-                "rounding margin too small at coeff {i}: {v} (increase precision)"
-            );
-            r as i64
-        })
-        .collect();
-    (coeffs, stats)
+    let mut coeffs = Vec::with_capacity(out_len);
+    for (i, z) in fc.iter().enumerate().take(out_len) {
+        let v = z.conj().re as f64 * scale;
+        let r = v.round();
+        if (v - r).abs() >= 0.45 {
+            // The accumulated FFT error ate the integer rounding margin:
+            // the recovered coefficient can no longer be trusted.
+            return Err(M3xuError::PrecisionLoss {
+                context: "poly_mul_int: rounding margin exhausted",
+                index: i,
+            });
+        }
+        coeffs.push(r as i64);
+    }
+    Ok((coeffs, stats))
 }
 
 /// Schoolbook reference multiplication (exact, O(n²)).
@@ -71,17 +97,35 @@ pub fn poly_mul_reference(a: &[i64], b: &[i64]) -> Vec<i64> {
 }
 
 /// Cyclic (negacyclic-free) convolution of two real sequences via FFT —
-/// the building block of polynomial rings `Z[x]/(x^n - 1)`.
+/// the building block of polynomial rings `Z[x]/(x^n - 1)`. Panics on
+/// invalid lengths; see [`try_cyclic_convolution`].
 pub fn cyclic_convolution(a: &[f32], b: &[f32]) -> Vec<f32> {
-    assert_eq!(a.len(), b.len());
+    try_cyclic_convolution(a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`cyclic_convolution`]: the sequences must have the same
+/// power-of-two length.
+pub fn try_cyclic_convolution(a: &[f32], b: &[f32]) -> Result<Vec<f32>, M3xuError> {
+    if a.len() != b.len() {
+        return Err(M3xuError::ShapeMismatch {
+            context: "cyclic_convolution: sequences must have equal length",
+            expected: (a.len(), 1),
+            got: (b.len(), 1),
+        });
+    }
     let n = a.len();
-    assert!(n.is_power_of_two());
+    if !n.is_power_of_two() {
+        return Err(M3xuError::NonPowerOfTwoLength {
+            context: "cyclic_convolution",
+            len: n,
+        });
+    }
     let embed = |p: &[f32]| -> Vec<C32> { p.iter().map(|&x| Complex::new(x, 0.0)).collect() };
-    let (fa, _) = gemm_fft(&embed(a));
-    let (fb, _) = gemm_fft(&embed(b));
+    let (fa, _) = try_gemm_fft(&embed(a))?;
+    let (fb, _) = try_gemm_fft(&embed(b))?;
     let prod: Vec<C32> = fa.iter().zip(&fb).map(|(x, y)| (*x * *y).conj()).collect();
-    let (fc, _) = gemm_fft(&prod);
-    fc.iter().map(|z| z.conj().re / n as f32).collect()
+    let (fc, _) = try_gemm_fft(&prod)?;
+    Ok(fc.iter().map(|z| z.conj().re / n as f32).collect())
 }
 
 #[cfg(test)]
@@ -133,6 +177,37 @@ mod tests {
         // (x - 1)(x + 1) = x^2 - 1
         let (p, _) = poly_mul_int(&[-1, 1], &[1, 1]);
         assert_eq!(p, vec![-1, 0, 1]);
+    }
+
+    #[test]
+    fn precision_loss_is_reported_not_silent() {
+        // 2^25 + 1 needs 26 mantissa bits: embedding it in f32 silently
+        // drops the +1, so the product would come back wrong with a clean
+        // rounding margin. The fallible path must refuse it up front.
+        let bad = [(1i64 << 25) + 1];
+        assert!(matches!(
+            try_poly_mul_int(&bad, &[1]).unwrap_err(),
+            M3xuError::PrecisionLoss { index: 0, .. }
+        ));
+        assert!(matches!(
+            try_poly_mul_int(&[1, 2], &bad).unwrap_err(),
+            M3xuError::PrecisionLoss { index: 0, .. }
+        ));
+        // Exactly representable coefficients of the same magnitude pass.
+        let ok = [1i64 << 25];
+        assert_eq!(try_poly_mul_int(&ok, &[2]).unwrap().0, vec![1i64 << 26]);
+    }
+
+    #[test]
+    fn try_cyclic_convolution_rejects_bad_lengths() {
+        assert!(matches!(
+            try_cyclic_convolution(&[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0]).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            try_cyclic_convolution(&[1.0; 6], &[2.0; 6]).unwrap_err(),
+            M3xuError::NonPowerOfTwoLength { len: 6, .. }
+        ));
     }
 
     #[test]

@@ -8,28 +8,62 @@
 //! each [`WorkerPool::run`] distributes a task range over them with one
 //! atomic counter — no allocation, no spawning.
 //!
-//! Sizing: `M3XU_THREADS` overrides the worker count; the default is
+//! Sizing: `M3XU_THREADS` overrides the worker count (`0` means inline
+//! execution on the caller, i.e. a pool of size 1; unparseable values are
+//! ignored with a one-time warning); the default is
 //! [`std::thread::available_parallelism`]. A pool of size 1 executes
 //! inline on the caller.
+//!
+//! Reentrancy: a task that submits to a pool from inside a pool task (the
+//! nested-GEMM pattern) executes the nested run inline on its own thread
+//! — see [`WorkerPool::run`].
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock};
 use std::thread::JoinHandle;
 
-/// The number of threads GEMM drivers should use: the `M3XU_THREADS`
-/// environment variable when set to a positive integer, otherwise the
-/// machine's available parallelism.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads GEMM drivers should use, from the `M3XU_THREADS`
+/// environment variable:
+///
+/// * a positive integer — that many threads;
+/// * `0` — inline execution on the caller (a pool of size 1), matching
+///   DESIGN.md's "degrades to inline execution" contract;
+/// * unset — the machine's available parallelism;
+/// * anything else — the available-parallelism default, after a one-time
+///   `stderr` warning (a silently ignored override is how a mis-deployed
+///   service ends up oversubscribed).
 pub fn configured_threads() -> usize {
-    std::env::var("M3XU_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    static WARN: Once = Once::new();
+    match std::env::var("M3XU_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(0) => 1,
+            Ok(n) => n,
+            Err(_) => {
+                WARN.call_once(|| {
+                    eprintln!(
+                        "m3xu: ignoring unparseable M3XU_THREADS={s:?}; \
+                         using available parallelism"
+                    );
+                });
+                default_parallelism()
+            }
+        },
+        Err(std::env::VarError::NotPresent) => default_parallelism(),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            WARN.call_once(|| {
+                eprintln!("m3xu: ignoring non-unicode M3XU_THREADS; using available parallelism");
+            });
+            default_parallelism()
+        }
+    }
 }
 
 /// The process-wide pool the GEMM drivers submit to, built on first use
@@ -64,12 +98,54 @@ struct PoolState {
 
 struct Shared {
     state: Mutex<PoolState>,
+    /// Serialises submitters: held for a `run`'s whole epoch, so a second
+    /// thread submitting concurrently waits instead of corrupting
+    /// [`PoolState`]. Same-thread reentrancy never reaches this lock —
+    /// nested runs are detected first and executed inline.
+    submit: Mutex<()>,
     /// Workers wait here for a new epoch (or shutdown).
     job_cv: Condvar,
     /// The submitter waits here for `active == 0`.
     done_cv: Condvar,
     /// Next unclaimed task index of the current epoch.
     next: AtomicUsize,
+}
+
+thread_local! {
+    /// True while this thread is executing a pool task (of any pool).
+    /// [`WorkerPool::run`] checks it to divert nested submissions to
+    /// inline execution: a nested GEMM issued from inside a pooled task
+    /// would otherwise re-post on a pool whose epoch it is itself part
+    /// of, corrupting the state machine or deadlocking.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker for "this thread is inside a pool task": restores the
+/// previous value even if the task panics.
+struct InTaskGuard(bool);
+
+impl InTaskGuard {
+    fn enter() -> InTaskGuard {
+        let prev = IN_POOL_TASK.get();
+        IN_POOL_TASK.set(true);
+        InTaskGuard(prev)
+    }
+}
+
+impl Drop for InTaskGuard {
+    fn drop(&mut self) {
+        IN_POOL_TASK.set(self.0);
+    }
+}
+
+/// Recover a mutex guard even if another thread panicked while holding
+/// the lock. Pool state is panic-consistent: tasks run under
+/// `catch_unwind`, and the epoch protocol's updates are all single-field
+/// writes, so the data behind a poisoned lock is still valid.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
 }
 
 /// A fixed team of worker threads executing `Fn(task_index)` jobs.
@@ -87,6 +163,7 @@ impl WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState::default()),
+            submit: Mutex::new(()),
             job_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
@@ -113,16 +190,34 @@ impl WorkerPool {
     /// once all tasks have finished. Tasks are claimed dynamically from an
     /// atomic counter, so uneven task costs balance automatically. Panics
     /// in `f` propagate to the caller after the epoch drains.
+    ///
+    /// `run` is reentrancy-safe: a task that itself submits to a pool
+    /// (this one or any other) executes the nested job inline on its own
+    /// thread. Reposting from inside an epoch the thread is part of would
+    /// corrupt the epoch state machine or deadlock; inline execution is
+    /// bit-identical because tasks are independent by contract. Distinct
+    /// threads submitting concurrently serialise on an internal lock.
     pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
         if tasks == 0 {
             return;
         }
-        if self.handles.is_empty() {
+        if IN_POOL_TASK.get() {
+            // Nested submission from inside a pool task: run inline. The
+            // flag is already set, so deeper nesting stays inline too.
             for t in 0..tasks {
                 f(t);
             }
             return;
         }
+        if self.handles.is_empty() {
+            let _in_task = InTaskGuard::enter();
+            for t in 0..tasks {
+                f(t);
+            }
+            return;
+        }
+        // One submitting thread at a time; held until the epoch drains.
+        let _submit = recover(self.shared.submit.lock());
         let erased: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: the pointer is only dereferenced by workers between the
         // job post below and the `active == 0` wait, during which `f` is
@@ -132,8 +227,7 @@ impl WorkerPool {
                 as *const _
         });
         {
-            let mut st = self.shared.state.lock().unwrap();
-            debug_assert!(st.job.is_none(), "WorkerPool::run is not reentrant");
+            let mut st = recover(self.shared.state.lock());
             self.shared.next.store(0, Ordering::Relaxed);
             st.job = Some(ptr);
             st.tasks = tasks;
@@ -143,21 +237,24 @@ impl WorkerPool {
         }
         // The caller is a full team member: drain the counter too.
         let mut caller_panic = None;
-        loop {
-            let t = self.shared.next.fetch_add(1, Ordering::Relaxed);
-            if t >= tasks {
-                break;
-            }
-            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(t))) {
-                caller_panic = Some(p);
-                // Keep draining: the workers share the counter, and the
-                // job pointer must stay posted until they all finish.
+        {
+            let _in_task = InTaskGuard::enter();
+            loop {
+                let t = self.shared.next.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(t))) {
+                    caller_panic = Some(p);
+                    // Keep draining: the workers share the counter, and the
+                    // job pointer must stay posted until they all finish.
+                }
             }
         }
         let worker_panicked = {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = recover(self.shared.state.lock());
             while st.active > 0 {
-                st = self.shared.done_cv.wait(st).unwrap();
+                st = recover(self.shared.done_cv.wait(st));
             }
             st.job = None;
             std::mem::take(&mut st.panicked)
@@ -174,7 +271,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = recover(self.shared.state.lock());
             st.shutdown = true;
             self.shared.job_cv.notify_all();
         }
@@ -188,7 +285,7 @@ fn worker_loop(shared: &Shared) {
     let mut seen_epoch = 0u64;
     loop {
         let (job, tasks) = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = recover(shared.state.lock());
             loop {
                 if st.shutdown {
                     return;
@@ -199,23 +296,26 @@ fn worker_loop(shared: &Shared) {
                         break (job, st.tasks);
                     }
                 }
-                st = shared.job_cv.wait(st).unwrap();
+                st = recover(shared.job_cv.wait(st));
             }
         };
         let mut panicked = false;
-        loop {
-            let t = shared.next.fetch_add(1, Ordering::Relaxed);
-            if t >= tasks {
-                break;
-            }
-            // SAFETY: `job` stays valid until the submitter sees
-            // `active == 0`, which cannot happen before this loop exits.
-            let f = unsafe { &*job.0 };
-            if catch_unwind(AssertUnwindSafe(|| f(t))).is_err() {
-                panicked = true;
+        {
+            let _in_task = InTaskGuard::enter();
+            loop {
+                let t = shared.next.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                // SAFETY: `job` stays valid until the submitter sees
+                // `active == 0`, which cannot happen before this loop exits.
+                let f = unsafe { &*job.0 };
+                if catch_unwind(AssertUnwindSafe(|| f(t))).is_err() {
+                    panicked = true;
+                }
             }
         }
-        let mut st = shared.state.lock().unwrap();
+        let mut st = recover(shared.state.lock());
         st.panicked |= panicked;
         st.active -= 1;
         if st.active == 0 {
@@ -288,5 +388,83 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_run_on_same_pool_executes_inline() {
+        // Before the thread-local guard this deadlocked or corrupted
+        // PoolState in release builds (the old guard was a debug_assert).
+        let pool = WorkerPool::new(4);
+        let outer = AtomicU64::new(0);
+        let inner = AtomicU64::new(0);
+        pool.run(8, |_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            pool.run(16, |t| {
+                inner.fetch_add(t as u64 + 1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8);
+        assert_eq!(inner.load(Ordering::Relaxed), 8 * (16 * 17 / 2));
+        // The pool must still be healthy for subsequent epochs.
+        let sum = AtomicU64::new(0);
+        pool.run(4, |t| {
+            sum.fetch_add(t as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn deeply_nested_and_cross_pool_runs_complete() {
+        let a = WorkerPool::new(3);
+        let b = WorkerPool::new(2);
+        let count = AtomicU64::new(0);
+        a.run(4, |_| {
+            b.run(4, |_| {
+                a.run(2, |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 4 * 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialise_safely() {
+        let pool = WorkerPool::new(4);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        pool.run(10, |t| {
+                            sum.fetch_add(t as u64, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4 * 25 * 45);
+    }
+
+    #[test]
+    fn nested_run_survives_panicking_sibling_epoch() {
+        // A panic inside a nested inline run propagates like any task
+        // panic, and the pool stays usable afterwards.
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |t| {
+                pool.run(2, |u| {
+                    if t == 2 && u == 1 {
+                        panic!("nested boom");
+                    }
+                });
+            });
+        }));
+        assert!(caught.is_err());
+        let sum = AtomicU64::new(0);
+        pool.run(3, |t| {
+            sum.fetch_add(t as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 3);
     }
 }

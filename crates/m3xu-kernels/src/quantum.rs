@@ -8,6 +8,7 @@
 //! arithmetic error, so the tests double as numerics validation.
 
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 
 type C32 = Complex<f32>;
@@ -64,6 +65,7 @@ impl Gate {
 }
 
 /// An `n`-qubit register simulated by full state-vector evolution.
+#[derive(Debug)]
 pub struct QuantumRegister {
     n: usize,
     /// `2^n x 1` amplitude vector.
@@ -79,17 +81,35 @@ fn kron(a: &Matrix<C32>, b: &Matrix<C32>) -> Matrix<C32> {
     })
 }
 
+/// The largest register the full state-vector simulation accepts
+/// (`2^n` amplitudes; every gate is a dense `2^n x 2^n` unitary).
+pub const MAX_QUBITS: usize = 10;
+
 impl QuantumRegister {
-    /// `|0...0>` on `n` qubits.
+    /// `|0...0>` on `n` qubits. Panics on an out-of-range `n`; see
+    /// [`QuantumRegister::try_new`] for the fallible form.
     pub fn new(n: usize) -> Self {
-        assert!((1..=10).contains(&n), "state vector is 2^n: keep n small");
+        Self::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`QuantumRegister::new`]: `n` must lie in
+    /// `1..=`[`MAX_QUBITS`] (the state vector is `2^n` amplitudes).
+    pub fn try_new(n: usize) -> Result<Self, M3xuError> {
+        if !(1..=MAX_QUBITS).contains(&n) {
+            return Err(M3xuError::OutOfRange {
+                context: "QuantumRegister::new(qubits)",
+                value: n,
+                min: 1,
+                max: MAX_QUBITS,
+            });
+        }
         let mut state = Matrix::<C32>::zeros(1 << n, 1);
         state.set(0, 0, Complex::new(1.0, 0.0));
-        QuantumRegister {
+        Ok(QuantumRegister {
             n,
             state,
             mma_instructions: 0,
-        }
+        })
     }
 
     /// Number of qubits.
@@ -121,17 +141,55 @@ impl QuantumRegister {
     }
 
     /// Apply a single-qubit gate to qubit `q` (0 = most significant).
+    /// Panics on an out-of-range qubit; see [`QuantumRegister::try_apply`].
     pub fn apply(&mut self, gate: Gate, q: usize) {
-        assert!(q < self.n);
+        self.try_apply(gate, q).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`QuantumRegister::apply`].
+    pub fn try_apply(&mut self, gate: Gate, q: usize) -> Result<(), M3xuError> {
+        if q >= self.n {
+            return Err(M3xuError::OutOfRange {
+                context: "QuantumRegister::apply(qubit)",
+                value: q,
+                min: 0,
+                max: self.n - 1,
+            });
+        }
         let mut u = Matrix::identity_c32(1 << q);
         u = kron(&u, &gate.matrix());
         let u = kron(&u, &Matrix::identity_c32(1 << (self.n - q - 1)));
         self.apply_unitary(&u);
+        Ok(())
     }
 
-    /// Apply CNOT with control `c` and target `t`.
+    /// Apply CNOT with control `c` and target `t`. Panics on invalid
+    /// qubit indices; see [`QuantumRegister::try_cnot`].
     pub fn cnot(&mut self, c: usize, t: usize) {
-        assert!(c < self.n && t < self.n && c != t);
+        self.try_cnot(c, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`QuantumRegister::cnot`]: both qubits must be in range
+    /// and distinct.
+    pub fn try_cnot(&mut self, c: usize, t: usize) -> Result<(), M3xuError> {
+        for (context, q) in [
+            ("QuantumRegister::cnot(control)", c),
+            ("QuantumRegister::cnot(target)", t),
+        ] {
+            if q >= self.n {
+                return Err(M3xuError::OutOfRange {
+                    context,
+                    value: q,
+                    min: 0,
+                    max: self.n - 1,
+                });
+            }
+        }
+        if c == t {
+            return Err(M3xuError::InvalidArgument {
+                context: "QuantumRegister::cnot: control and target must differ",
+            });
+        }
         let dim = 1usize << self.n;
         let u = Matrix::from_fn(dim, dim, |row, col| {
             let cbit = (col >> (self.n - 1 - c)) & 1;
@@ -147,6 +205,7 @@ impl QuantumRegister {
             }
         });
         self.apply_unitary(&u);
+        Ok(())
     }
 
     /// Expectation of Z on qubit `q`: `P(0) - P(1)`.
@@ -249,6 +308,33 @@ mod tests {
         reg.apply(Gate::H, 0);
         let p = reg.probabilities();
         assert!((p[0] - 1.0).abs() > 0.1, "phase should shift interference");
+    }
+
+    #[test]
+    fn try_register_rejects_bad_sizes_and_qubits() {
+        assert!(matches!(
+            QuantumRegister::try_new(0).unwrap_err(),
+            M3xuError::OutOfRange { value: 0, .. }
+        ));
+        assert!(matches!(
+            QuantumRegister::try_new(MAX_QUBITS + 1).unwrap_err(),
+            M3xuError::OutOfRange { .. }
+        ));
+        let mut reg = QuantumRegister::try_new(2).unwrap();
+        assert!(matches!(
+            reg.try_apply(Gate::H, 2).unwrap_err(),
+            M3xuError::OutOfRange { value: 2, .. }
+        ));
+        assert!(matches!(
+            reg.try_cnot(0, 3).unwrap_err(),
+            M3xuError::OutOfRange { value: 3, .. }
+        ));
+        assert!(matches!(
+            reg.try_cnot(1, 1).unwrap_err(),
+            M3xuError::InvalidArgument { .. }
+        ));
+        // A failed gate application leaves the register untouched.
+        assert!((reg.probabilities()[0] - 1.0).abs() < 1e-6);
     }
 
     #[test]

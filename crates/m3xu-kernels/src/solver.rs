@@ -11,6 +11,7 @@
 //! residual while the M3XU path matches true-FP32 convergence.
 
 use crate::gemm::{gemm_f32, GemmPrecision};
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 
 /// Result of a CG solve.
@@ -47,7 +48,8 @@ fn matvec(precision: GemmPrecision, a: &Matrix<f32>, v: &[f32]) -> Vec<f32> {
 
 /// Conjugate gradients for symmetric positive-definite `A x = b`, with the
 /// matrix-vector products on `precision` (scalar recurrences in FP32, as a
-/// GPU implementation would keep them on CUDA cores).
+/// GPU implementation would keep them on CUDA cores). Panics on invalid
+/// arguments; see [`try_conjugate_gradient`] for the fallible form.
 pub fn conjugate_gradient(
     precision: GemmPrecision,
     a: &Matrix<f32>,
@@ -55,9 +57,26 @@ pub fn conjugate_gradient(
     tol: f64,
     max_iter: usize,
 ) -> CgResult {
+    try_conjugate_gradient(precision, a, b, tol, max_iter).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`conjugate_gradient`]: rejects a non-square `A` or a
+/// right-hand side whose length differs from `A`'s order.
+pub fn try_conjugate_gradient(
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &[f32],
+    tol: f64,
+    max_iter: usize,
+) -> Result<CgResult, M3xuError> {
     let n = b.len();
-    assert_eq!(a.rows(), n);
-    assert_eq!(a.cols(), n);
+    if a.rows() != n || a.cols() != n {
+        return Err(M3xuError::ShapeMismatch {
+            context: "conjugate_gradient(A): A must be square of b's order",
+            expected: (n, n),
+            got: (a.rows(), a.cols()),
+        });
+    }
     let mut x = vec![0.0f32; n];
     let mut r: Vec<f32> = b.to_vec();
     let mut p = r.clone();
@@ -67,23 +86,23 @@ pub fn conjugate_gradient(
 
     for it in 0..max_iter {
         if history[it] < tol {
-            return CgResult {
+            return Ok(CgResult {
                 x,
                 residual_history: history,
                 iterations: it,
                 converged: true,
-            };
+            });
         }
         let ap = matvec(precision, a, &p);
         let p_ap = dot(&p, &ap);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // Lost positive-definiteness to arithmetic error.
-            return CgResult {
+            return Ok(CgResult {
                 x,
                 residual_history: history,
                 iterations: it,
                 converged: false,
-            };
+            });
         }
         let alpha = (rs_old / p_ap) as f32;
         for i in 0..n {
@@ -99,12 +118,12 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
     }
     let converged = *history.last().unwrap() < tol;
-    CgResult {
+    Ok(CgResult {
         x,
         residual_history: history,
         iterations: max_iter,
         converged,
-    }
+    })
 }
 
 /// A symmetric positive-definite test matrix with condition number ~`cond`:
@@ -203,6 +222,22 @@ mod tests {
             rm < rt / 10.0,
             "m3xu true residual {rm:.3e} should be far below tf32 {rt:.3e}"
         );
+    }
+
+    #[test]
+    fn try_cg_rejects_non_square_or_mismatched_systems() {
+        let a = Matrix::<f32>::random(8, 6, 7);
+        let b = vec![1.0f32; 8];
+        assert!(matches!(
+            try_conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-6, 10).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
+        let a = Matrix::<f32>::identity(8);
+        let b = vec![1.0f32; 5];
+        assert!(matches!(
+            try_conjugate_gradient(GemmPrecision::M3xuFp32, &a, &b, 1e-6, 10).unwrap_err(),
+            M3xuError::ShapeMismatch { .. }
+        ));
     }
 
     #[test]

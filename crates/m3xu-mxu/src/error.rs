@@ -1,0 +1,175 @@
+//! Typed errors for every fallible M3XU entry point.
+//!
+//! The paper's pitch is that M3XU restores the IEEE observability and
+//! exception semantics that lossy MXU modes discard (§II-C2); the same
+//! philosophy applies at the library boundary. A malformed request from a
+//! pooled worker must surface as a value the caller can route, log, or
+//! retry — never as a process abort. Every public kernel entry point has
+//! a `try_*` form returning `Result<_, M3xuError>`, and the historical
+//! panicking forms are thin wrappers over them.
+
+use crate::modes::MxuMode;
+use std::fmt;
+
+/// The error type of every fallible (`try_*`) M3XU entry point.
+///
+/// Variants carry a `context` naming the entry point (or the operand)
+/// that rejected the request, so a pooled service can log the failing
+/// call site without a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum M3xuError {
+    /// Two operands (or an operand and the output) have inconsistent
+    /// dimensions — e.g. GEMM inner dimensions that disagree, or a `C`
+    /// matrix that is not `m x n`.
+    ShapeMismatch {
+        /// Entry point / operand that rejected the shapes.
+        context: &'static str,
+        /// The `(rows, cols)` the operation required.
+        expected: (usize, usize),
+        /// The `(rows, cols)` it was given.
+        got: (usize, usize),
+    },
+    /// A transform length that must be a power of two is not (the
+    /// radix-2 and GEMM-formulated FFTs).
+    NonPowerOfTwoLength {
+        /// Entry point that rejected the length.
+        context: &'static str,
+        /// The offending length.
+        len: usize,
+    },
+    /// KNN's `k` is outside `1..=refs.rows()`.
+    InvalidK {
+        /// The requested neighbour count.
+        k: usize,
+        /// The largest admissible `k` (the reference-set size).
+        max: usize,
+    },
+    /// A packed operand was built for one MXU mode but used in another,
+    /// or a matrix was packed for a mode its element type cannot feed.
+    ModeMismatch {
+        /// Entry point / operand that rejected the mode.
+        context: &'static str,
+        /// The mode actually presented.
+        got: MxuMode,
+    },
+    /// A worker-pool run was issued from inside a task of the same (or
+    /// another) pool in a configuration that cannot be served. The pools
+    /// themselves recover by executing nested runs inline, so this is
+    /// reserved for embedders that opt into strict rejection.
+    PoolReentrancy {
+        /// Entry point that detected the nested submission.
+        context: &'static str,
+    },
+    /// A fragment shape needs more accumulator scratch than the driver
+    /// provisions per tile (`frag.m * frag.n` exceeds the fixed budget).
+    FragmentOverflow {
+        /// Scratch elements the fragment shape requires.
+        needed: usize,
+        /// Scratch elements the driver provisions.
+        capacity: usize,
+    },
+    /// A scalar argument (index, count, size) is outside its valid range.
+    OutOfRange {
+        /// Entry point / argument that rejected the value.
+        context: &'static str,
+        /// The offending value.
+        value: usize,
+        /// Smallest admissible value.
+        min: usize,
+        /// Largest admissible value.
+        max: usize,
+    },
+    /// A computation whose contract promises exact results (integer
+    /// polynomial products recovered by rounding) lost too much margin to
+    /// guarantee them.
+    PrecisionLoss {
+        /// Entry point that detected the loss.
+        context: &'static str,
+        /// Index of the first element whose rounding margin collapsed.
+        index: usize,
+    },
+    /// A request that is structurally invalid in a way no other variant
+    /// captures (e.g. a CNOT whose control and target coincide).
+    InvalidArgument {
+        /// Description of the rejected argument.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for M3xuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            M3xuError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{context}: shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            M3xuError::NonPowerOfTwoLength { context, len } => {
+                write!(f, "{context}: length {len} is not a power of two")
+            }
+            M3xuError::InvalidK { k, max } => {
+                write!(f, "knn: k = {k} outside the valid range 1..={max}")
+            }
+            M3xuError::ModeMismatch { context, got } => {
+                write!(f, "{context}: mode {got} is not valid here")
+            }
+            M3xuError::PoolReentrancy { context } => {
+                write!(f, "{context}: nested worker-pool submission rejected")
+            }
+            M3xuError::FragmentOverflow { needed, capacity } => write!(
+                f,
+                "fragment accumulator scratch overflow: need {needed} elements, have {capacity}"
+            ),
+            M3xuError::OutOfRange {
+                context,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "{context}: value {value} outside the valid range {min}..={max}"
+            ),
+            M3xuError::PrecisionLoss { context, index } => write!(
+                f,
+                "{context}: rounding margin collapsed at element {index}; result not exact"
+            ),
+            M3xuError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for M3xuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_context() {
+        let e = M3xuError::ShapeMismatch {
+            context: "gemm_f32(B)",
+            expected: (4, 8),
+            got: (5, 8),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm_f32(B)") && s.contains("4x8") && s.contains("5x8"));
+        let e = M3xuError::NonPowerOfTwoLength {
+            context: "gemm_fft",
+            len: 12,
+        };
+        assert!(e.to_string().contains("12"));
+        let e = M3xuError::InvalidK { k: 9, max: 4 };
+        assert!(e.to_string().contains("1..=4"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&M3xuError::PoolReentrancy { context: "run" });
+    }
+}

@@ -50,6 +50,7 @@
 pub mod assign;
 pub mod buffer;
 pub mod dpu;
+pub mod error;
 pub mod generic;
 pub mod isa;
 pub mod matrix;
@@ -60,6 +61,7 @@ pub mod packed;
 pub mod systolic;
 pub mod unit;
 
+pub use error::M3xuError;
 pub use matrix::{Matrix, TileView};
 pub use mma::{MmaShape, MmaStats};
 pub use modes::{MxuMode, PipelineVariant};

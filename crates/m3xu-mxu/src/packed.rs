@@ -30,6 +30,7 @@
 
 use crate::buffer::{decode_fp32, decode_narrow, decode_tf32_truncating, BufferEntry};
 use crate::dpu::{DotProductUnit, LaneOp, Target};
+use crate::error::M3xuError;
 use crate::matrix::Matrix;
 use crate::mma::{MmaShape, MmaStats};
 use crate::modes::MxuMode;
@@ -79,6 +80,14 @@ pub struct PackedOperand {
     entries: Vec<BufferEntry>,
 }
 
+/// True for the modes a real `f32` operand can be packed for.
+const fn is_real_f32_mode(mode: MxuMode) -> bool {
+    matches!(
+        mode,
+        MxuMode::M3xuFp32 | MxuMode::Tf32 | MxuMode::Fp16 | MxuMode::Bf16
+    )
+}
+
 #[inline]
 fn push_f32(entries: &mut Vec<BufferEntry>, x: f32, mode: MxuMode) {
     match mode {
@@ -90,7 +99,8 @@ fn push_f32(entries: &mut Vec<BufferEntry>, x: f32, mode: MxuMode) {
         MxuMode::Tf32 => entries.push(decode_tf32_truncating(x)),
         MxuMode::Fp16 => entries.push(decode_narrow(round_to_format(x as f64, FP16), FP16)),
         MxuMode::Bf16 => entries.push(decode_narrow(round_to_format(x as f64, BF16), BF16)),
-        _ => panic!("mode {mode} is not a real-valued f32 packing mode"),
+        // Checked by the `try_pack_*` entry gates before any decode work.
+        _ => unreachable!("mode gate admitted a non-real packing mode"),
     }
 }
 
@@ -105,8 +115,16 @@ fn push_c32(entries: &mut Vec<BufferEntry>, x: Complex<f32>) {
 }
 
 impl PackedOperand {
-    /// Pack a real operand by rows (the `A` side of `A·B`).
-    pub fn pack_rows_f32(m: &Matrix<f32>, mode: MxuMode) -> Self {
+    /// Fallible [`PackedOperand::pack_rows_f32`]: rejects the complex and
+    /// FP64 modes (whose operands are not plain `f32` planes) with
+    /// [`M3xuError::ModeMismatch`] instead of aborting.
+    pub fn try_pack_rows_f32(m: &Matrix<f32>, mode: MxuMode) -> Result<Self, M3xuError> {
+        if !is_real_f32_mode(mode) {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_rows_f32",
+                got: mode,
+            });
+        }
         let epe = entries_per_element(mode);
         let mut entries = Vec::with_capacity(m.rows() * m.cols() * epe);
         for i in 0..m.rows() {
@@ -114,17 +132,31 @@ impl PackedOperand {
                 push_f32(&mut entries, x, mode);
             }
         }
-        PackedOperand {
+        Ok(PackedOperand {
             mode,
             epe,
             len: m.cols(),
             vecs: m.rows(),
             entries,
-        }
+        })
     }
 
-    /// Pack a real operand by columns (the `B` side of `A·B`).
-    pub fn pack_cols_f32(m: &Matrix<f32>, mode: MxuMode) -> Self {
+    /// Pack a real operand by rows (the `A` side of `A·B`).
+    ///
+    /// Panics on a non-real packing mode; see
+    /// [`PackedOperand::try_pack_rows_f32`] for the fallible form.
+    pub fn pack_rows_f32(m: &Matrix<f32>, mode: MxuMode) -> Self {
+        Self::try_pack_rows_f32(m, mode).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PackedOperand::pack_cols_f32`].
+    pub fn try_pack_cols_f32(m: &Matrix<f32>, mode: MxuMode) -> Result<Self, M3xuError> {
+        if !is_real_f32_mode(mode) {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_cols_f32",
+                got: mode,
+            });
+        }
         let epe = entries_per_element(mode);
         let mut entries = Vec::with_capacity(m.rows() * m.cols() * epe);
         for j in 0..m.cols() {
@@ -132,13 +164,21 @@ impl PackedOperand {
                 push_f32(&mut entries, m.get(i, j), mode);
             }
         }
-        PackedOperand {
+        Ok(PackedOperand {
             mode,
             epe,
             len: m.rows(),
             vecs: m.cols(),
             entries,
-        }
+        })
+    }
+
+    /// Pack a real operand by columns (the `B` side of `A·B`).
+    ///
+    /// Panics on a non-real packing mode; see
+    /// [`PackedOperand::try_pack_cols_f32`] for the fallible form.
+    pub fn pack_cols_f32(m: &Matrix<f32>, mode: MxuMode) -> Self {
+        Self::try_pack_cols_f32(m, mode).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Pack a complex operand by rows (FP32C mode).
@@ -620,6 +660,17 @@ mod tests {
     use super::*;
     use crate::mma;
     use crate::unit::MxuConfig;
+
+    #[test]
+    fn packing_rejects_non_real_modes_without_panicking() {
+        let m = Matrix::<f32>::random(4, 4, 1);
+        for mode in [MxuMode::M3xuFp32c, MxuMode::M3xuFp64, MxuMode::M3xuFp64c] {
+            let row_err = PackedOperand::try_pack_rows_f32(&m, mode).unwrap_err();
+            assert!(matches!(row_err, M3xuError::ModeMismatch { got, .. } if got == mode));
+            let col_err = PackedOperand::try_pack_cols_f32(&m, mode).unwrap_err();
+            assert!(matches!(col_err, M3xuError::ModeMismatch { got, .. } if got == mode));
+        }
+    }
 
     #[test]
     fn pack_layout_and_values() {

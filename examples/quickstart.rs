@@ -70,6 +70,19 @@ fn main() {
         rotated.get(1, 0)
     );
 
+    // --- Fallible API ---------------------------------------------------
+    // Every entry point has a `try_` form returning Result<_, M3xuError>
+    // instead of panicking on bad input.
+    let tall = Matrix::<f32>::random(8, 3, 7);
+    match dev.try_gemm(&tall, &tall) {
+        Ok(_) => unreachable!("8x3 * 8x3 has mismatched inner dimensions"),
+        Err(e) => println!("\ntry_gemm rejected the shape: {e}"),
+    }
+    match dev.try_fft(&[C32::ZERO; 12]) {
+        Ok(_) => unreachable!("12 is not a power of two"),
+        Err(e) => println!("try_fft rejected the length: {e}"),
+    }
+
     // --- Performance estimate ------------------------------------------
     let timed = dev.gemm_timed(
         &Matrix::<f32>::random(256, 256, 5),

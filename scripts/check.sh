@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo test --release -q"
+cargo test --release -q
+
 echo "== OK"

@@ -21,4 +21,4 @@ pub use m3xu_kernels as kernels;
 pub use m3xu_mxu as mxu;
 pub use m3xu_synth as synth;
 
-pub use m3xu_core::{Complex, GemmPrecision, M3xu, Matrix, C32};
+pub use m3xu_core::{Complex, GemmPrecision, M3xu, M3xuError, Matrix, C32};
