@@ -10,7 +10,9 @@ use m3xu_bench::{dump_json, timing::fmt_duration};
 use m3xu_json::impl_to_json;
 use m3xu_kernels::fft;
 use m3xu_kernels::gemm::{self, baseline, GemmPrecision};
+use m3xu_kernels::M3xuContext;
 use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::modes::MxuMode;
 use std::time::{Duration, Instant};
 
 /// One GEMM size: wall-clock of both drivers plus derived throughput.
@@ -25,6 +27,14 @@ struct GemmRow {
     speedup: f64,
     /// MMA fragments the GEMM issued.
     fragments: u64,
+    /// MMA instructions recorded by the context's `ExecStats` sink
+    /// (equals `fragments`: one instruction per fragment).
+    mma_instructions: u64,
+    /// MXU-occupying steps (2x `mma_instructions` in M3XU FP32 mode —
+    /// §V-B1 rule (a)).
+    mma_steps: u64,
+    /// A/B operand bytes at the mode's storage width — rule (c).
+    operand_bytes: u64,
     /// Packed-pipeline fragment throughput.
     packed_fragments_per_s: f64,
     /// Effective `2 n^3` GFLOP/s of the packed pipeline.
@@ -36,6 +46,9 @@ impl_to_json!(GemmRow {
     packed_s,
     speedup,
     fragments,
+    mma_instructions,
+    mma_steps,
+    operand_bytes,
     packed_fragments_per_s,
     packed_gflops
 });
@@ -90,7 +103,11 @@ fn bench_gemm(n: usize, reps: usize) -> GemmRow {
     let b = Matrix::<f32>::random(n, n, 0xB + n as u64);
     let c = Matrix::<f32>::zeros(n, n);
     let seed_r = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
-    let packed_r = gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    // Run the correctness pass through a private context so its ExecStats
+    // (instructions, steps, operand bytes) land in the JSON row.
+    let ctx = M3xuContext::new();
+    let packed_r = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    let exec = ctx.stats();
     assert_eq!(
         seed_r.d, packed_r.d,
         "packed GEMM diverged from the seed driver at n={n}"
@@ -109,6 +126,9 @@ fn bench_gemm(n: usize, reps: usize) -> GemmRow {
         packed_s,
         speedup: seed_s / packed_s,
         fragments: packed_r.stats.instructions,
+        mma_instructions: exec.mode(MxuMode::M3xuFp32).instructions,
+        mma_steps: exec.mode(MxuMode::M3xuFp32).steps,
+        operand_bytes: exec.operand_bytes,
         packed_fragments_per_s: packed_r.stats.instructions as f64 / packed_s,
         packed_gflops: flops / packed_s / 1e9,
     }

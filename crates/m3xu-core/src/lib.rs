@@ -20,6 +20,7 @@
 
 pub use m3xu_fp::complex::{Complex, C32, C64};
 pub use m3xu_gpu::config::GpuConfig;
+pub use m3xu_kernels::context::{default_context, ExecStats, GemmExecutor, M3xuContext};
 pub use m3xu_kernels::gemm::GemmPrecision;
 pub use m3xu_mxu::error::M3xuError;
 pub use m3xu_mxu::matrix::Matrix;
@@ -227,6 +228,18 @@ impl M3xu {
         k: usize,
     ) -> Result<knn::KnnResult, M3xuError> {
         knn::try_knn_gemm(GemmPrecision::M3xuFp32, refs, queries, k)
+    }
+
+    /// Cumulative [`ExecStats`] of the process-wide default context the
+    /// device's kernels execute on: MMA instructions and steps per mode,
+    /// fragments, tiles, operand bytes, and per-phase wall time.
+    pub fn exec_stats(&self) -> ExecStats {
+        default_context().stats()
+    }
+
+    /// Zero the default context's execution counters.
+    pub fn reset_exec_stats(&self) {
+        default_context().reset_stats();
     }
 }
 

@@ -3,7 +3,7 @@
 //! This crate provides everything the M3XU hardware model and its baselines
 //! need to reason about floating-point values *bit-exactly*:
 //!
-//! * [`format`] — parametric IEEE-754 format descriptors (FP16, BF16, TF32,
+//! * [`format`](mod@format) — parametric IEEE-754 format descriptors (FP16, BF16, TF32,
 //!   FP32, FP64) matching the paper's `(sign, exponent, mantissa)` notation;
 //! * [`softfloat`] — correctly-rounded emulation of all narrow formats,
 //!   with encode/decode to raw bit patterns;

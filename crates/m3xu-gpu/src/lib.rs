@@ -8,7 +8,7 @@
 //! engine peak rates (Table I), clock pinning, wave quantisation, software
 //! decoupling overheads, and MXU-array power from the synth crate.
 //!
-//! * [`config`] — the A100-class [`GpuConfig`](config::GpuConfig) and
+//! * [`config`] — the A100-class [`GpuConfig`] and
 //!   Table I;
 //! * [`kernel`] — the kernel execution models of Tables II and IV;
 //! * [`energy`] — the Fig. 5 energy model;
@@ -16,7 +16,10 @@
 //! * [`pipeline`] — an event-driven SM pipeline simulator validating the
 //!   §V-B1 rules (and Corollaries 2–3) at cycle level;
 //! * [`cache`] — a set-associative L2 model validating the rule-(c)
-//!   traffic assumptions against line-granular GEMM traces.
+//!   traffic assumptions against line-granular GEMM traces;
+//! * [`validate`] — exact §V-B1 instruction/step/traffic counts per
+//!   [`Problem`], the contract functional runs are cross-validated
+//!   against.
 
 #![warn(missing_docs)]
 
@@ -26,6 +29,8 @@ pub mod energy;
 pub mod figures;
 pub mod kernel;
 pub mod pipeline;
+pub mod validate;
 
 pub use config::GpuConfig;
 pub use kernel::{Engine, KernelReport, KernelSpec, Problem};
+pub use validate::{exact_counts, validate_counts, CountMismatch, ExactCounts};

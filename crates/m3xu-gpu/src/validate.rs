@@ -1,0 +1,259 @@
+//! Cross-validation between the analytical kernel model and functional
+//! execution.
+//!
+//! The paper's §V-B1 claims are instruction-count arithmetic: an M3XU
+//! FP32 GEMM issues exactly **2x**, and an FP32C GEMM exactly **4x**, the
+//! MMA instructions of the FP16 kernel of the same shape, and moves 2x /
+//! 4x the operand bytes (rule (c)). This module turns those rules into an
+//! *executable contract*: [`exact_counts`] derives, purely from a
+//! [`Problem`] and an [`Engine`], the exact MMA-instruction, step, and
+//! operand-byte counts a functional run must report, and
+//! [`validate_counts`] checks an observed triple against them.
+//!
+//! Two conventions coexist in this workspace and must not be conflated:
+//!
+//! * the **functional** M3XU issues `8x8x4` FP16-baseline fragments
+//!   (`MmaShape::BASELINE_FP16` in `m3xu-mxu`), with the fragment depth
+//!   divided by the mode's k-divisor — this module counts in that
+//!   convention, so its counts match `m3xu_kernels`' `ExecStats` exactly;
+//! * the analytical [`KernelSpec::run`](crate::kernel::KernelSpec::run)
+//!   report estimates *idealised* `16x8x8` HMMA-sized fragments — exactly
+//!   4x fewer instructions on aligned shapes (a ratio the tests pin).
+//!
+//! Both conventions agree on every §V-B1 *ratio*, which is what the paper
+//! actually claims.
+
+use crate::kernel::{Engine, Problem};
+
+/// The exact per-GEMM counts the functional M3XU must produce for one
+/// problem on one engine, in the functional `8x8x4`-baseline convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactCounts {
+    /// MMA instructions (one per fragment of the mode's shape).
+    pub instructions: u64,
+    /// MXU-occupying steps: `instructions` x the mode's step count
+    /// (2 for M3XU FP32, 4 for FP32C — §V-B1 rule (a)).
+    pub steps: u64,
+    /// A/B operand bytes at the mode's storage width — rule (c).
+    pub operand_bytes: u64,
+}
+
+m3xu_json::impl_to_json!(ExactCounts {
+    instructions,
+    steps,
+    operand_bytes
+});
+
+/// Per-engine fragment parameters in the functional convention:
+/// `(fragment k-depth, steps per MMA, bytes per stored element)`.
+/// `None` for engines with no functional MMA path (SIMT cores, the
+/// hypothetical native FP32 MXU).
+fn engine_params(engine: Engine) -> Option<(usize, u64, u64)> {
+    match engine {
+        Engine::TensorFp16 | Engine::TensorBf16 => Some((4, 1, 2)),
+        Engine::TensorTf32 => Some((2, 1, 4)),
+        Engine::M3xuFp32 => Some((2, 2, 4)),
+        Engine::M3xuFp32c => Some((1, 4, 8)),
+        Engine::Simt | Engine::NativeFp32Mxu => None,
+    }
+}
+
+/// Exact functional counts for `p` on `engine`, or `None` when the
+/// combination has no functional kernel: SIMT and native-MXU engines, a
+/// complex problem on a real-valued engine, or a real problem on the
+/// complex-only FP32C engine.
+///
+/// The counts are independent arithmetic over the §V-B1 rules — they
+/// deliberately share no code with the functional driver, so a
+/// cross-validation test between the two is meaningful:
+///
+/// * `instructions = ceil(m/8) * ceil(n/8) * ceil(k/frag_k)` where
+///   `frag_k` is the FP16 baseline depth 4 divided by the mode's
+///   k-divisor (rule (b): 2x for FP32, 4x for FP32C);
+/// * `steps = instructions * steps_per_mma` (rule (a));
+/// * `operand_bytes = (m*k + k*n) * element_bytes` (rule (c)).
+///
+/// A degenerate problem (`m`, `n`, or `k` zero) executes no fragments and
+/// moves no operand bytes.
+pub fn exact_counts(p: Problem, engine: Engine) -> Option<ExactCounts> {
+    if p.complex != matches!(engine, Engine::M3xuFp32c) {
+        return None;
+    }
+    let (frag_k, steps_per_mma, elem_bytes) = engine_params(engine)?;
+    if p.m == 0 || p.n == 0 || p.k == 0 {
+        return Some(ExactCounts {
+            instructions: 0,
+            steps: 0,
+            operand_bytes: 0,
+        });
+    }
+    let instructions = (p.m.div_ceil(8) * p.n.div_ceil(8) * p.k.div_ceil(frag_k)) as u64;
+    Some(ExactCounts {
+        instructions,
+        steps: instructions * steps_per_mma,
+        operand_bytes: ((p.m * p.k + p.k * p.n) as u64) * elem_bytes,
+    })
+}
+
+/// One field of a failed [`validate_counts`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountMismatch {
+    /// Which counter disagreed (`"instructions"`, `"steps"`, or
+    /// `"operand_bytes"`).
+    pub field: &'static str,
+    /// The analytical model's exact value.
+    pub expected: u64,
+    /// The observed functional value.
+    pub observed: u64,
+}
+
+impl std::fmt::Display for CountMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "functional {} = {} disagrees with the analytical model's {}",
+            self.field, self.observed, self.expected
+        )
+    }
+}
+
+/// Check an observed functional count triple against the analytical model
+/// for the same problem. Returns the first disagreeing counter, or the
+/// exact counts on success. `None` when the combination has no functional
+/// kernel (see [`exact_counts`]).
+pub fn validate_counts(
+    p: Problem,
+    engine: Engine,
+    observed: ExactCounts,
+) -> Option<Result<ExactCounts, CountMismatch>> {
+    let want = exact_counts(p, engine)?;
+    for (field, expected, got) in [
+        ("instructions", want.instructions, observed.instructions),
+        ("steps", want.steps, observed.steps),
+        ("operand_bytes", want.operand_bytes, observed.operand_bytes),
+    ] {
+        if expected != got {
+            return Some(Err(CountMismatch {
+                field,
+                expected,
+                observed: got,
+            }));
+        }
+    }
+    Some(Ok(want))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::kernel::KernelSpec;
+
+    #[test]
+    fn rule_b_ratios_on_aligned_shapes() {
+        let real = Problem {
+            m: 64,
+            n: 64,
+            k: 64,
+            complex: false,
+        };
+        let cplx = Problem {
+            complex: true,
+            ..real
+        };
+        let fp16 = exact_counts(real, Engine::TensorFp16).unwrap();
+        let fp32 = exact_counts(real, Engine::M3xuFp32).unwrap();
+        let fp32c = exact_counts(cplx, Engine::M3xuFp32c).unwrap();
+        // 8x8 tiles over 64x64, k chunks of 4 / 2 / 1.
+        assert_eq!(fp16.instructions, 8 * 8 * 16);
+        assert_eq!(fp32.instructions, 2 * fp16.instructions);
+        assert_eq!(fp32c.instructions, 4 * fp16.instructions);
+        // Rule (a): steps scale by the per-MMA step count on top.
+        assert_eq!(fp16.steps, fp16.instructions);
+        assert_eq!(fp32.steps, 2 * fp32.instructions);
+        assert_eq!(fp32c.steps, 4 * fp32c.instructions);
+        // Rule (c): 2x / 4x the FP16 operand bytes.
+        assert_eq!(fp32.operand_bytes, 2 * fp16.operand_bytes);
+        assert_eq!(fp32c.operand_bytes, 4 * fp16.operand_bytes);
+    }
+
+    #[test]
+    fn awkward_shapes_use_ceiling_division() {
+        let p = Problem {
+            m: 9,
+            n: 7,
+            k: 17,
+            complex: false,
+        };
+        let c = exact_counts(p, Engine::M3xuFp32).unwrap();
+        // ceil(9/8)=2 tiles x ceil(7/8)=1 x ceil(17/2)=9 chunks.
+        assert_eq!(c.instructions, 2 * 9);
+        assert_eq!(c.steps, 2 * c.instructions);
+        assert_eq!(c.operand_bytes, ((9 * 17 + 17 * 7) * 4) as u64);
+    }
+
+    #[test]
+    fn degenerate_and_unsupported_combinations() {
+        let empty = Problem {
+            m: 8,
+            n: 0,
+            k: 4,
+            complex: false,
+        };
+        assert_eq!(
+            exact_counts(empty, Engine::M3xuFp32).unwrap(),
+            ExactCounts {
+                instructions: 0,
+                steps: 0,
+                operand_bytes: 0
+            }
+        );
+        let p = Problem::square(64);
+        assert!(exact_counts(p, Engine::Simt).is_none());
+        assert!(exact_counts(p, Engine::NativeFp32Mxu).is_none());
+        // Complexity mismatch in either direction.
+        assert!(exact_counts(p, Engine::M3xuFp32c).is_none());
+        assert!(exact_counts(Problem::square_complex(64), Engine::M3xuFp32).is_none());
+    }
+
+    #[test]
+    fn validate_counts_flags_the_first_disagreement() {
+        let p = Problem::square(16);
+        let good = exact_counts(p, Engine::M3xuFp32).unwrap();
+        assert_eq!(
+            validate_counts(p, Engine::M3xuFp32, good).unwrap(),
+            Ok(good)
+        );
+        let bad = ExactCounts {
+            steps: good.steps + 1,
+            ..good
+        };
+        let err = validate_counts(p, Engine::M3xuFp32, bad)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.field, "steps");
+        assert_eq!(err.observed, err.expected + 1);
+        assert!(err.to_string().contains("steps"));
+    }
+
+    #[test]
+    fn functional_convention_is_4x_the_idealised_report() {
+        // The analytical KernelReport counts idealised 16x8x8 HMMA
+        // fragments; the functional M3XU issues 8x8x4 fragments — exactly
+        // 4x as many MMAs on aligned shapes, same §V-B1 ratios.
+        let gpu = GpuConfig::a100_40gb();
+        let p = Problem::square(256);
+        let spec = KernelSpec {
+            name: "m3xu_fp32_test",
+            engine: Engine::M3xuFp32,
+            passes: 1.0,
+            issue_eff: 1.0,
+            decouple: false,
+            stream_factor: 1.0,
+            clock_scale: 1.0,
+        };
+        let report = spec.run(p, &gpu);
+        let exact = exact_counts(p, Engine::M3xuFp32).unwrap();
+        assert_eq!(exact.instructions as f64, report.instructions * 4.0);
+    }
+}

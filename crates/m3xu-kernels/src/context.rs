@@ -1,0 +1,678 @@
+//! The execution context: one object that owns the worker-pool policy,
+//! the reusable packed-operand scratch arena, and an always-on counter
+//! sink for every kernel in this crate.
+//!
+//! The paper's evaluation (§V-B1) is instruction-count arithmetic — M3XU
+//! FP32 issues exactly 2x, and FP32C exactly 4x, the MMAs of the FP16
+//! kernel of the same shape. [`M3xuContext`] makes those counts an
+//! observable artifact of *functional* execution: every GEMM routed
+//! through a context records its MMA instructions and steps per mode,
+//! fragment and tile counts, operand traffic bytes, and per-phase wall
+//! time into [`ExecStats`], which `m3xu_gpu`'s `validate` module can then
+//! check against the analytical kernel model for the same problem.
+//!
+//! Every kernel module lowers to the two GEMM flavours of the
+//! [`GemmExecutor`] trait, so a context (or any custom executor) can be
+//! threaded through the FFT recursion, the convolution lowerings, the CG
+//! solver, and the rest via the `*_on` entry points. The module-level
+//! free functions remain as thin wrappers over the process-wide
+//! [`default_context`], which resolves `M3XU_THREADS` exactly once.
+
+use crate::gemm::{self, GemmPrecision, GemmResult};
+use crate::pool::{self, WorkerPool};
+use crate::{conv2d, conv_grad, fft, knn, poly, solver};
+use m3xu_fp::complex::Complex;
+use m3xu_mxu::buffer::BufferEntry;
+use m3xu_mxu::error::M3xuError;
+use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::mma::MmaStats;
+use m3xu_mxu::modes::MxuMode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+type C32 = Complex<f32>;
+
+/// Index of `mode` into per-mode counter arrays — the declaration order
+/// of [`MxuMode::ALL`].
+fn mode_index(mode: MxuMode) -> usize {
+    match mode {
+        MxuMode::Fp16 => 0,
+        MxuMode::Bf16 => 1,
+        MxuMode::Tf32 => 2,
+        MxuMode::M3xuFp32 => 3,
+        MxuMode::M3xuFp32c => 4,
+        MxuMode::M3xuFp64 => 5,
+        MxuMode::M3xuFp64c => 6,
+    }
+}
+
+/// One GEMM's worth of accounting, recorded in a single sink visit.
+pub(crate) struct GemmSample {
+    /// Mode the GEMM executed in.
+    pub mode: MxuMode,
+    /// Whole-GEMM MMA statistics (instructions, steps, lane products).
+    pub stats: MmaStats,
+    /// Output tiles sharded across the pool.
+    pub tiles: u64,
+    /// Fragments issued (one MMA instruction each).
+    pub fragments: u64,
+    /// A/B operand bytes at the mode's storage width.
+    pub operand_bytes: u64,
+    /// Wall time decoding operands into packed planes, ns.
+    pub pack_ns: u64,
+    /// Wall time executing fragments across the pool, ns.
+    pub exec_ns: u64,
+}
+
+#[derive(Default)]
+struct ModeCounters {
+    instructions: AtomicU64,
+    steps: AtomicU64,
+    lane_products: AtomicU64,
+}
+
+/// The live counter sink: relaxed atomic adds, visited once per GEMM (not
+/// per fragment), so instrumentation stays near-zero-cost on the hot path.
+#[derive(Default)]
+pub(crate) struct ExecCounters {
+    gemm_calls: AtomicU64,
+    tiles: AtomicU64,
+    fragments: AtomicU64,
+    operand_bytes: AtomicU64,
+    pack_ns: AtomicU64,
+    exec_ns: AtomicU64,
+    per_mode: [ModeCounters; 7],
+}
+
+impl ExecCounters {
+    pub(crate) fn record(&self, s: &GemmSample) {
+        self.gemm_calls.fetch_add(1, Ordering::Relaxed);
+        self.tiles.fetch_add(s.tiles, Ordering::Relaxed);
+        self.fragments.fetch_add(s.fragments, Ordering::Relaxed);
+        self.operand_bytes
+            .fetch_add(s.operand_bytes, Ordering::Relaxed);
+        self.pack_ns.fetch_add(s.pack_ns, Ordering::Relaxed);
+        self.exec_ns.fetch_add(s.exec_ns, Ordering::Relaxed);
+        let m = &self.per_mode[mode_index(s.mode)];
+        m.instructions
+            .fetch_add(s.stats.instructions, Ordering::Relaxed);
+        m.steps.fetch_add(s.stats.steps, Ordering::Relaxed);
+        m.lane_products
+            .fetch_add(s.stats.lane_products, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ExecStats {
+        let mut per_mode = [MmaStats::default(); 7];
+        for (i, m) in self.per_mode.iter().enumerate() {
+            per_mode[i] = MmaStats {
+                instructions: m.instructions.load(Ordering::Relaxed),
+                steps: m.steps.load(Ordering::Relaxed),
+                lane_products: m.lane_products.load(Ordering::Relaxed),
+            };
+        }
+        ExecStats {
+            gemm_calls: self.gemm_calls.load(Ordering::Relaxed),
+            tiles: self.tiles.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            operand_bytes: self.operand_bytes.load(Ordering::Relaxed),
+            pack_ns: self.pack_ns.load(Ordering::Relaxed),
+            exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            per_mode,
+        }
+    }
+
+    fn reset(&self) {
+        self.gemm_calls.store(0, Ordering::Relaxed);
+        self.tiles.store(0, Ordering::Relaxed);
+        self.fragments.store(0, Ordering::Relaxed);
+        self.operand_bytes.store(0, Ordering::Relaxed);
+        self.pack_ns.store(0, Ordering::Relaxed);
+        self.exec_ns.store(0, Ordering::Relaxed);
+        for m in &self.per_mode {
+            m.instructions.store(0, Ordering::Relaxed);
+            m.steps.store(0, Ordering::Relaxed);
+            m.lane_products.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time snapshot of a context's execution counters.
+///
+/// All counters are cumulative since the context's construction (or its
+/// last [`M3xuContext::reset_stats`]); subtract two snapshots with
+/// [`ExecStats::delta_since`] to meter one region of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Top-level GEMM driver invocations recorded.
+    pub gemm_calls: u64,
+    /// Output tiles sharded across the worker pool.
+    pub tiles: u64,
+    /// MMA fragments issued (one MMA instruction each).
+    pub fragments: u64,
+    /// Bytes of A/B operand traffic at each mode's storage width — the
+    /// quantity behind the paper's rule (c) 2x / 4x traffic ratios.
+    pub operand_bytes: u64,
+    /// Wall time spent decoding operands into packed planes, ns.
+    pub pack_ns: u64,
+    /// Wall time spent executing fragments across the pool, ns.
+    pub exec_ns: u64,
+    per_mode: [MmaStats; 7],
+}
+
+impl ExecStats {
+    /// MMA statistics recorded for one mode.
+    pub fn mode(&self, mode: MxuMode) -> MmaStats {
+        self.per_mode[mode_index(mode)]
+    }
+
+    /// MMA statistics summed over every mode.
+    pub fn total(&self) -> MmaStats {
+        let mut t = MmaStats::default();
+        for m in &self.per_mode {
+            t.merge(m);
+        }
+        t
+    }
+
+    /// Element-wise saturating difference `self - earlier`: the activity
+    /// between two snapshots of the same (monotone) counter set.
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        let mut per_mode = [MmaStats::default(); 7];
+        for (i, d) in per_mode.iter_mut().enumerate() {
+            *d = self.per_mode[i].delta_since(&earlier.per_mode[i]);
+        }
+        ExecStats {
+            gemm_calls: self.gemm_calls.saturating_sub(earlier.gemm_calls),
+            tiles: self.tiles.saturating_sub(earlier.tiles),
+            fragments: self.fragments.saturating_sub(earlier.fragments),
+            operand_bytes: self.operand_bytes.saturating_sub(earlier.operand_bytes),
+            pack_ns: self.pack_ns.saturating_sub(earlier.pack_ns),
+            exec_ns: self.exec_ns.saturating_sub(earlier.exec_ns),
+            per_mode,
+        }
+    }
+}
+
+/// Reusable packed-operand storage: capacity survives across GEMMs so
+/// repeated runs through one context stop visiting the allocator for
+/// their entry planes.
+#[derive(Default)]
+struct OperandArena {
+    a: Vec<BufferEntry>,
+    b: Vec<BufferEntry>,
+}
+
+enum ContextPool {
+    /// Share the lazily-built process-wide pool.
+    Global,
+    /// A pool owned by (and sized for) this context alone.
+    Owned(WorkerPool),
+}
+
+/// A single execution object for the functional kernels: worker pool,
+/// thread-count policy, packed-operand scratch arena, and the always-on
+/// [`ExecStats`] counter sink.
+///
+/// `M3XU_THREADS` is resolved exactly once — at pool construction — so
+/// the parallelism of a context cannot change mid-run. The process-wide
+/// [`default_context`] backs every module-level free function; build a
+/// private context (e.g. [`M3xuContext::with_threads`]) to meter one
+/// workload in isolation.
+///
+/// ```
+/// use m3xu_kernels::context::M3xuContext;
+/// use m3xu_kernels::gemm::GemmPrecision;
+/// use m3xu_mxu::matrix::Matrix;
+/// use m3xu_mxu::modes::MxuMode;
+///
+/// let ctx = M3xuContext::with_threads(2);
+/// let a = Matrix::<f32>::random(64, 64, 1);
+/// let b = Matrix::<f32>::random(64, 64, 2);
+/// let c = Matrix::<f32>::zeros(64, 64);
+/// ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+/// let stats = ctx.stats();
+/// // 8x8 tiles, k/2 chunks: (64/8) * (64/8) * (64/2) fragments.
+/// assert_eq!(stats.mode(MxuMode::M3xuFp32).instructions, 8 * 8 * 32);
+/// assert_eq!(stats.fragments, 8 * 8 * 32);
+/// ```
+pub struct M3xuContext {
+    pool: ContextPool,
+    threads: usize,
+    counters: ExecCounters,
+    arena: Mutex<OperandArena>,
+}
+
+impl M3xuContext {
+    /// A context sharing the process-wide worker pool (whose size is
+    /// `M3XU_THREADS` when set, resolved once at first use).
+    pub fn new() -> Self {
+        M3xuContext {
+            threads: pool::global().size(),
+            pool: ContextPool::Global,
+            counters: ExecCounters::default(),
+            arena: Mutex::new(OperandArena::default()),
+        }
+    }
+
+    /// A context with its own worker pool of `threads` threads (minimum
+    /// 1), independent of `M3XU_THREADS` and the process-wide pool.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        M3xuContext {
+            pool: ContextPool::Owned(WorkerPool::new(threads)),
+            threads,
+            counters: ExecCounters::default(),
+            arena: Mutex::new(OperandArena::default()),
+        }
+    }
+
+    /// Worker threads this context executes on — fixed at construction.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The pool GEMMs sharded through this context run on.
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        match &self.pool {
+            ContextPool::Global => pool::global(),
+            ContextPool::Owned(p) => p,
+        }
+    }
+
+    pub(crate) fn counters(&self) -> &ExecCounters {
+        &self.counters
+    }
+
+    /// Borrow the packed-operand scratch buffers. A contended arena (two
+    /// GEMMs in flight on one context) falls back to fresh allocations
+    /// rather than serialising the callers.
+    pub(crate) fn take_scratch(&self) -> (Vec<BufferEntry>, Vec<BufferEntry>) {
+        match self.arena.try_lock() {
+            Ok(mut g) => (std::mem::take(&mut g.a), std::mem::take(&mut g.b)),
+            Err(_) => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Return scratch to the arena, keeping the larger capacity.
+    pub(crate) fn put_scratch(&self, a: Vec<BufferEntry>, b: Vec<BufferEntry>) {
+        if let Ok(mut g) = self.arena.try_lock() {
+            if a.capacity() > g.a.capacity() {
+                g.a = a;
+            }
+            if b.capacity() > g.b.capacity() {
+                g.b = b;
+            }
+        }
+    }
+
+    /// Snapshot the cumulative execution counters.
+    pub fn stats(&self) -> ExecStats {
+        self.counters.snapshot()
+    }
+
+    /// Zero the execution counters.
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    // ---- GEMM family ---------------------------------------------------
+
+    /// Fallible tiled real GEMM `D = A·B + C` in `precision`, counted
+    /// into this context's [`ExecStats`].
+    pub fn try_gemm_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        gemm::try_gemm_f32_ctx(self, precision, a, b, c)
+    }
+
+    /// [`M3xuContext::try_gemm_f32`], panicking on invalid shapes.
+    pub fn gemm_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> GemmResult<f32> {
+        self.try_gemm_f32(precision, a, b, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible tiled FP32C GEMM `D = A·B + C`, counted into this
+    /// context's [`ExecStats`].
+    pub fn try_cgemm_c32(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        gemm::try_cgemm_c32_ctx(self, a, b, c)
+    }
+
+    /// [`M3xuContext::try_cgemm_c32`], panicking on invalid shapes.
+    pub fn cgemm_c32(&self, a: &Matrix<C32>, b: &Matrix<C32>, c: &Matrix<C32>) -> GemmResult<C32> {
+        self.try_cgemm_c32(a, b, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `A·B` with a zero `C`.
+    pub fn try_matmul_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+    ) -> Result<Matrix<f32>, M3xuError> {
+        let c = Matrix::zeros(a.rows(), b.cols());
+        Ok(self.try_gemm_f32(precision, a, b, &c)?.d)
+    }
+
+    /// Fallible complex `A·B` with a zero `C`.
+    pub fn try_cmatmul_c32(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+    ) -> Result<Matrix<C32>, M3xuError> {
+        let c = Matrix::zeros(a.rows(), b.cols());
+        Ok(self.try_cgemm_c32(a, b, &c)?.d)
+    }
+
+    // ---- Kernel conveniences -------------------------------------------
+
+    /// GEMM-formulated FFT on this context (see [`fft::try_gemm_fft`]).
+    pub fn try_gemm_fft(&self, x: &[C32]) -> Result<(Vec<C32>, MmaStats), M3xuError> {
+        fft::try_gemm_fft_on(self, x)
+    }
+
+    /// 2-D FFT on this context (see [`fft::fft2d::try_fft2d`]).
+    pub fn try_fft2d(&self, image: &Matrix<C32>) -> Result<(Matrix<C32>, MmaStats), M3xuError> {
+        fft::fft2d::try_fft2d_on(self, image)
+    }
+
+    /// im2col convolution on this context (see [`conv2d::try_conv2d`]).
+    pub fn try_conv2d(
+        &self,
+        precision: GemmPrecision,
+        x: &conv2d::Tensor3,
+        filters: &Matrix<f32>,
+        bias: &[f32],
+        spec: conv2d::ConvSpec,
+    ) -> Result<(conv2d::Tensor3, MmaStats), M3xuError> {
+        conv2d::try_conv2d_on(self, precision, x, filters, bias, spec)
+    }
+
+    /// Convolution weight gradient (see [`conv_grad::try_conv2d_wgrad`]).
+    pub fn try_conv2d_wgrad(
+        &self,
+        precision: GemmPrecision,
+        x: &conv2d::Tensor3,
+        dy: &conv2d::Tensor3,
+        spec: conv2d::ConvSpec,
+    ) -> Result<(Matrix<f32>, MmaStats), M3xuError> {
+        conv_grad::try_conv2d_wgrad_on(self, precision, x, dy, spec)
+    }
+
+    /// Convolution data gradient (see [`conv_grad::try_conv2d_dgrad`]).
+    pub fn try_conv2d_dgrad(
+        &self,
+        precision: GemmPrecision,
+        filters: &Matrix<f32>,
+        dy: &conv2d::Tensor3,
+        in_shape: (usize, usize, usize),
+        spec: conv2d::ConvSpec,
+    ) -> Result<(conv2d::Tensor3, MmaStats), M3xuError> {
+        conv_grad::try_conv2d_dgrad_on(self, precision, filters, dy, in_shape, spec)
+    }
+
+    /// GEMM-formulated k-NN search (see [`knn::try_knn_gemm`]).
+    pub fn try_knn_gemm(
+        &self,
+        precision: GemmPrecision,
+        refs: &Matrix<f32>,
+        queries: &Matrix<f32>,
+        k: usize,
+    ) -> Result<knn::KnnResult, M3xuError> {
+        knn::try_knn_gemm_on(self, precision, refs, queries, k)
+    }
+
+    /// FFT-based integer polynomial product (see [`poly::try_poly_mul_int`]).
+    pub fn try_poly_mul_int(
+        &self,
+        a: &[i64],
+        b: &[i64],
+    ) -> Result<(Vec<i64>, MmaStats), M3xuError> {
+        poly::try_poly_mul_int_on(self, a, b)
+    }
+
+    /// FFT-based cyclic convolution (see [`poly::try_cyclic_convolution`]).
+    pub fn try_cyclic_convolution(&self, a: &[f32], b: &[f32]) -> Result<Vec<f32>, M3xuError> {
+        poly::try_cyclic_convolution_on(self, a, b)
+    }
+
+    /// Conjugate-gradient solve (see [`solver::try_conjugate_gradient`]).
+    pub fn try_conjugate_gradient(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &[f32],
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<solver::CgResult, M3xuError> {
+        solver::try_conjugate_gradient_on(self, precision, a, b, tol, max_iter)
+    }
+}
+
+impl Default for M3xuContext {
+    fn default() -> Self {
+        M3xuContext::new()
+    }
+}
+
+/// The process-wide default context, built lazily on first use — the
+/// execution object behind every module-level free function. Resolving it
+/// once means `M3XU_THREADS` is parsed a single time per process.
+pub fn default_context() -> &'static M3xuContext {
+    static CTX: OnceLock<M3xuContext> = OnceLock::new();
+    CTX.get_or_init(M3xuContext::new)
+}
+
+/// A driver for the two GEMM flavours every kernel in this crate lowers
+/// to. [`M3xuContext`] is the canonical implementation; the trait exists
+/// so higher-level kernels (FFT, conv, CG, …) can be threaded over any
+/// execution strategy — a metered context, the baseline driver via
+/// [`ClosureExecutor`], or a test double.
+pub trait GemmExecutor {
+    /// Fallible tiled real GEMM `D = A·B + C` in `precision`.
+    fn try_gemm_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError>;
+
+    /// Fallible tiled FP32C GEMM `D = A·B + C`.
+    fn try_cgemm_c32(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError>;
+
+    /// Fallible `A·B` with a zero `C`.
+    fn try_matmul_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+    ) -> Result<Matrix<f32>, M3xuError> {
+        let c = Matrix::zeros(a.rows(), b.cols());
+        Ok(self.try_gemm_f32(precision, a, b, &c)?.d)
+    }
+
+    /// Fallible complex `A·B` with a zero `C`.
+    fn try_cmatmul_c32(&self, a: &Matrix<C32>, b: &Matrix<C32>) -> Result<Matrix<C32>, M3xuError> {
+        let c = Matrix::zeros(a.rows(), b.cols());
+        Ok(self.try_cgemm_c32(a, b, &c)?.d)
+    }
+}
+
+impl GemmExecutor for M3xuContext {
+    fn try_gemm_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        M3xuContext::try_gemm_f32(self, precision, a, b, c)
+    }
+
+    fn try_cgemm_c32(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        M3xuContext::try_cgemm_c32(self, a, b, c)
+    }
+}
+
+/// Adapts a bare CGEMM closure to [`GemmExecutor`] — the compatibility
+/// shim behind [`fft::gemm_fft_with`], which benchmarks use to run the
+/// identical FFT decomposition over alternative complex-GEMM drivers
+/// (e.g. [`gemm::baseline::cgemm_c32`]). Real-GEMM requests delegate to
+/// the [`default_context`]; only the complex path is customised.
+pub struct ClosureExecutor<F> {
+    cgemm: F,
+}
+
+impl<F> ClosureExecutor<F>
+where
+    F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> GemmResult<C32>,
+{
+    /// Wrap a CGEMM closure.
+    pub fn new(cgemm: F) -> Self {
+        ClosureExecutor { cgemm }
+    }
+}
+
+impl<F> GemmExecutor for ClosureExecutor<F>
+where
+    F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> GemmResult<C32>,
+{
+    fn try_gemm_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        default_context().try_gemm_f32(precision, a, b, c)
+    }
+
+    fn try_cgemm_c32(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        Ok((self.cgemm)(a, b, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_record_per_mode_and_reset() {
+        let ctx = M3xuContext::with_threads(2);
+        let a = Matrix::<f32>::random(16, 8, 1);
+        let b = Matrix::<f32>::random(8, 16, 2);
+        let c = Matrix::<f32>::zeros(16, 16);
+        let r = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        let s = ctx.stats();
+        assert_eq!(s.gemm_calls, 1);
+        assert_eq!(s.mode(MxuMode::M3xuFp32), r.stats);
+        assert_eq!(s.total(), r.stats);
+        assert_eq!(s.mode(MxuMode::Fp16), MmaStats::default());
+        // 16x16 output in 8x8 tiles, k=8 in 2-wide chunks.
+        assert_eq!(s.tiles, 4);
+        assert_eq!(s.fragments, 4 * 4);
+        // Rule (c) traffic: (m*k + k*n) elements at 4 bytes in FP32.
+        assert_eq!(s.operand_bytes, ((16 * 8 + 8 * 16) * 4) as u64);
+        ctx.reset_stats();
+        assert_eq!(ctx.stats(), ExecStats::default());
+    }
+
+    #[test]
+    fn delta_since_meters_an_interval() {
+        let ctx = M3xuContext::with_threads(1);
+        let a = Matrix::random_c32(8, 4, 3);
+        let b = Matrix::random_c32(4, 8, 4);
+        let c = Matrix::random_c32(8, 8, 5);
+        ctx.cgemm_c32(&a, &b, &c);
+        let mid = ctx.stats();
+        ctx.cgemm_c32(&a, &b, &c);
+        let end = ctx.stats();
+        let delta = end.delta_since(&mid);
+        assert_eq!(delta.gemm_calls, 1);
+        assert_eq!(delta.mode(MxuMode::M3xuFp32c), mid.mode(MxuMode::M3xuFp32c));
+    }
+
+    #[test]
+    fn context_gemm_bit_identical_to_free_function() {
+        let ctx = M3xuContext::with_threads(3);
+        let a = Matrix::<f32>::random(37, 19, 7);
+        let b = Matrix::<f32>::random(19, 23, 8);
+        let c = Matrix::<f32>::random(37, 23, 9);
+        let via_ctx = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        let via_free = gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_eq!(via_ctx.d, via_free.d);
+        assert_eq!(via_ctx.stats, via_free.stats);
+    }
+
+    #[test]
+    fn arena_reuse_stays_bit_identical() {
+        // Repeated GEMMs of different shapes through one context reuse the
+        // packed-operand arena; results must not depend on that.
+        let ctx = M3xuContext::with_threads(2);
+        for &(m, k, n) in &[(16, 16, 16), (9, 7, 17), (33, 5, 12), (16, 16, 16)] {
+            let a = Matrix::<f32>::random(m, k, (m + k) as u64);
+            let b = Matrix::<f32>::random(k, n, (k + n) as u64);
+            let c = Matrix::<f32>::random(m, n, (m + n) as u64);
+            let got = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+            let want = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+            for (x, y) in got.d.as_slice().iter().zip(want.d.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn closure_executor_customises_only_the_complex_path() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let exec = ClosureExecutor::new(|a: &Matrix<C32>, b: &Matrix<C32>, c: &Matrix<C32>| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            gemm::baseline::cgemm_c32(a, b, c)
+        });
+        let a = Matrix::random_c32(4, 4, 11);
+        let b = Matrix::random_c32(4, 4, 12);
+        let c = Matrix::random_c32(4, 4, 13);
+        let r = exec.try_cgemm_c32(&a, &b, &c).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(r.d, gemm::baseline::cgemm_c32(&a, &b, &c).d);
+    }
+
+    #[test]
+    fn default_context_threads_fixed_once() {
+        let t1 = default_context().threads();
+        let t2 = default_context().threads();
+        assert!(t1 >= 1);
+        assert_eq!(t1, t2);
+    }
+}

@@ -6,7 +6,8 @@
 //! matrix, the input unfolds into an `(in_ch*kh*kw) x (out_h*out_w)`
 //! column matrix, and the M3XU GEMM driver does the rest.
 
-use crate::gemm::{try_gemm_f32, GemmPrecision};
+use crate::context::{default_context, GemmExecutor};
+use crate::gemm::GemmPrecision;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
@@ -164,7 +165,21 @@ pub fn conv2d(
 
 /// Fallible [`conv2d`]: validates the spec ([`ConvSpec::validate`]), the
 /// filter-bank shape and the bias length before any work is done.
+/// Executes on the process-wide default context.
 pub fn try_conv2d(
+    precision: GemmPrecision,
+    x: &Tensor3,
+    filters: &Matrix<f32>,
+    bias: &[f32],
+    spec: ConvSpec,
+) -> Result<(Tensor3, MmaStats), M3xuError> {
+    try_conv2d_on(default_context(), precision, x, filters, bias, spec)
+}
+
+/// [`try_conv2d`] on an explicit [`GemmExecutor`]: the lowered im2col
+/// GEMM runs through `exec`.
+pub fn try_conv2d_on<X: GemmExecutor>(
+    exec: &X,
     precision: GemmPrecision,
     x: &Tensor3,
     filters: &Matrix<f32>,
@@ -193,7 +208,7 @@ pub fn try_conv2d(
 
     let cols = im2col(x, spec);
     let c = Matrix::from_fn(out_ch, oh * ow, |o, _| bias[o]);
-    let r = try_gemm_f32(precision, filters, &cols, &c)?;
+    let r = exec.try_gemm_f32(precision, filters, &cols, &c)?;
 
     let mut out = Tensor3::zeros(out_ch, oh, ow);
     #[allow(clippy::needless_range_loop)] // (o, y, xx) index three structures

@@ -10,8 +10,9 @@
 //! Correctness is pinned by finite-difference gradient checks against the
 //! forward convolution.
 
+use crate::context::{default_context, GemmExecutor};
 use crate::conv2d::{im2col, ConvSpec, Tensor3};
-use crate::gemm::{try_gemm_f32, GemmPrecision};
+use crate::gemm::GemmPrecision;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
@@ -29,8 +30,20 @@ pub fn conv2d_wgrad(
 }
 
 /// Fallible [`conv2d_wgrad`]: validates the spec and the `dy` spatial
-/// shape against the forward pass's output extents.
+/// shape against the forward pass's output extents. Executes on the
+/// process-wide default context.
 pub fn try_conv2d_wgrad(
+    precision: GemmPrecision,
+    x: &Tensor3,
+    dy: &Tensor3,
+    spec: ConvSpec,
+) -> Result<(Matrix<f32>, MmaStats), M3xuError> {
+    try_conv2d_wgrad_on(default_context(), precision, x, dy, spec)
+}
+
+/// [`try_conv2d_wgrad`] on an explicit [`GemmExecutor`].
+pub fn try_conv2d_wgrad_on<X: GemmExecutor>(
+    exec: &X,
     precision: GemmPrecision,
     x: &Tensor3,
     dy: &Tensor3,
@@ -49,7 +62,7 @@ pub fn try_conv2d_wgrad(
     let cols = im2col(x, spec); // (in_ch*k*k) x (oh*ow)
     let dy_m = Matrix::from_fn(dy.c, oh * ow, |o, p| dy.get(o, p / ow, p % ow));
     let c = Matrix::zeros(dy.c, cols.rows());
-    let r = try_gemm_f32(precision, &dy_m, &cols.transpose(), &c)?;
+    let r = exec.try_gemm_f32(precision, &dy_m, &cols.transpose(), &c)?;
     Ok((r.d, r.stats))
 }
 
@@ -81,8 +94,21 @@ pub fn conv2d_dgrad(
 }
 
 /// Fallible [`conv2d_dgrad`]: validates the spec, the `dy` shape and the
-/// filter-bank shape against the stated input shape.
+/// filter-bank shape against the stated input shape. Executes on the
+/// process-wide default context.
 pub fn try_conv2d_dgrad(
+    precision: GemmPrecision,
+    filters: &Matrix<f32>,
+    dy: &Tensor3,
+    in_shape: (usize, usize, usize),
+    spec: ConvSpec,
+) -> Result<(Tensor3, MmaStats), M3xuError> {
+    try_conv2d_dgrad_on(default_context(), precision, filters, dy, in_shape, spec)
+}
+
+/// [`try_conv2d_dgrad`] on an explicit [`GemmExecutor`].
+pub fn try_conv2d_dgrad_on<X: GemmExecutor>(
+    exec: &X,
     precision: GemmPrecision,
     filters: &Matrix<f32>,
     dy: &Tensor3,
@@ -112,7 +138,7 @@ pub fn try_conv2d_dgrad(
     // dCols = Wᵀ (in_ch*k*k x out_ch) · dY (out_ch x oh*ow).
     let dy_m = Matrix::from_fn(dy.c, oh * ow, |o, p| dy.get(o, p / ow, p % ow));
     let c = Matrix::zeros(filters.cols(), oh * ow);
-    let r = try_gemm_f32(precision, &filters.transpose(), &dy_m, &c)?;
+    let r = exec.try_gemm_f32(precision, &filters.transpose(), &dy_m, &c)?;
 
     // col2im: scatter-add each column entry back to its input position —
     // the exact adjoint of the im2col gather.

@@ -2,7 +2,7 @@
 //!
 //! The baseline is PyTorch-style mixed-precision training: the forward
 //! pass runs on FP16/TF32 tensor cores, but "the existing implementation
-//! only applies SIMT-based kernels to mixed precision training [backward]
+//! only applies SIMT-based kernels to mixed precision training \[backward\]
 //! due to the absence of FP32 Tensor Core instructions" (§VI-C2). M3XU
 //! supplies exactly those instructions, accelerating the backward GEMMs
 //! ~3.6x while leaving everything else untouched.

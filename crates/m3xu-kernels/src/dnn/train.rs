@@ -5,9 +5,10 @@
 //! numerics match FP32 expectations (no TF32-style divergence). The
 //! network is a two-layer MLP with ReLU and mean-squared-error loss,
 //! trained by plain SGD; forward and backward matrix products all route
-//! through [`gemm_f32`].
+//! through [`gemm_f32`](crate::gemm::gemm_f32).
 
-use crate::gemm::{gemm_f32, matmul_f32, GemmPrecision};
+use crate::context::{default_context, GemmExecutor};
+use crate::gemm::GemmPrecision;
 use m3xu_mxu::matrix::Matrix;
 
 /// A two-layer perceptron `y = W2 · relu(W1 · x + b1) + b2`.
@@ -65,14 +66,25 @@ impl Mlp {
         }
     }
 
-    /// Forward pass on a batch (`inputs x batch`).
+    /// Forward pass on a batch (`inputs x batch`), on the process-wide
+    /// default context.
     pub fn forward(&self, x: &Matrix<f32>) -> ForwardState {
+        self.forward_on(default_context(), x)
+    }
+
+    /// [`Mlp::forward`] on an explicit [`GemmExecutor`].
+    pub fn forward_on<X: GemmExecutor>(&self, exec: &X, x: &Matrix<f32>) -> ForwardState {
+        let gemm = |a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>| {
+            exec.try_gemm_f32(self.precision, a, b, c)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .d
+        };
         let batch = x.cols();
         let c1 = Matrix::from_fn(self.w1.rows(), batch, |i, _| self.b1[i]);
-        let z1 = gemm_f32(self.precision, &self.w1, x, &c1).d;
+        let z1 = gemm(&self.w1, x, &c1);
         let a1 = Matrix::from_fn(z1.rows(), z1.cols(), |i, j| z1.get(i, j).max(0.0));
         let c2 = Matrix::from_fn(self.w2.rows(), batch, |i, _| self.b2[i]);
-        let y = gemm_f32(self.precision, &self.w2, &a1, &c2).d;
+        let y = gemm(&self.w2, &a1, &c2);
         ForwardState {
             x: x.clone(),
             z1,
@@ -98,7 +110,22 @@ impl Mlp {
     /// `dW1 = dz1·xᵀ` and the next `dx` if chained) run on the same GEMM
     /// engine as the forward — the paper's point about the backward pass.
     pub fn train_step(&mut self, x: &Matrix<f32>, t: &Matrix<f32>, lr: f32) -> f32 {
-        let fs = self.forward(x);
+        self.train_step_on(default_context(), x, t, lr)
+    }
+
+    /// [`Mlp::train_step`] on an explicit [`GemmExecutor`].
+    pub fn train_step_on<X: GemmExecutor>(
+        &mut self,
+        exec: &X,
+        x: &Matrix<f32>,
+        t: &Matrix<f32>,
+        lr: f32,
+    ) -> f32 {
+        let matmul = |a: &Matrix<f32>, b: &Matrix<f32>| {
+            exec.try_matmul_f32(self.precision, a, b)
+                .unwrap_or_else(|e| panic!("{e}"))
+        };
+        let fs = self.forward_on(exec, x);
         let loss = self.mse(&fs.y, t);
         let batch = x.cols() as f32;
         let scale = 2.0 / (fs.y.rows() as f32 * batch);
@@ -107,9 +134,9 @@ impl Mlp {
             scale * (fs.y.get(i, j) - t.get(i, j))
         });
         // dW2 = dy · a1^T ; db2 = row-sum(dy)
-        let dw2 = matmul_f32(self.precision, &dy, &fs.a1.transpose());
+        let dw2 = matmul(&dy, &fs.a1.transpose());
         // da1 = W2^T · dy, masked by ReLU'(z1)
-        let da1 = matmul_f32(self.precision, &self.w2.transpose(), &dy);
+        let da1 = matmul(&self.w2.transpose(), &dy);
         let dz1 = Matrix::from_fn(da1.rows(), da1.cols(), |i, j| {
             if fs.z1.get(i, j) > 0.0 {
                 da1.get(i, j)
@@ -118,7 +145,7 @@ impl Mlp {
             }
         });
         // dW1 = dz1 · x^T
-        let dw1 = matmul_f32(self.precision, &dz1, &fs.x.transpose());
+        let dw1 = matmul(&dz1, &fs.x.transpose());
 
         // SGD update.
         for i in 0..self.w2.rows() {

@@ -2,7 +2,8 @@
 //! GEMM-formulated 1-D transforms (the image/signal-processing workloads
 //! the paper's introduction motivates).
 
-use super::{try_gemm_fft, C32};
+use super::{try_gemm_fft_on, C32};
+use crate::context::{default_context, GemmExecutor};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
@@ -17,7 +18,17 @@ pub fn fft2d(image: &Matrix<C32>) -> (Matrix<C32>, MmaStats) {
 
 /// Fallible [`fft2d`]: rejects a non-power-of-two row or column count
 /// with [`M3xuError::NonPowerOfTwoLength`] instead of panicking.
+/// Executes on the process-wide default context.
 pub fn try_fft2d(image: &Matrix<C32>) -> Result<(Matrix<C32>, MmaStats), M3xuError> {
+    try_fft2d_on(default_context(), image)
+}
+
+/// [`try_fft2d`] on an explicit [`GemmExecutor`]: every 1-D transform's
+/// CGEMMs run through `exec`.
+pub fn try_fft2d_on<X: GemmExecutor>(
+    exec: &X,
+    image: &Matrix<C32>,
+) -> Result<(Matrix<C32>, MmaStats), M3xuError> {
     let (r, c) = (image.rows(), image.cols());
     // Validate both extents up front so a bad column count is reported
     // before any row work is spent.
@@ -30,7 +41,7 @@ pub fn try_fft2d(image: &Matrix<C32>) -> Result<(Matrix<C32>, MmaStats), M3xuErr
     // Row transforms.
     let mut tmp = Matrix::<C32>::zeros(r, c);
     for i in 0..r {
-        let (row, s) = try_gemm_fft(image.row(i))?;
+        let (row, s) = try_gemm_fft_on(exec, image.row(i))?;
         stats.merge(&s);
         for (j, v) in row.into_iter().enumerate() {
             tmp.set(i, j, v);
@@ -40,7 +51,7 @@ pub fn try_fft2d(image: &Matrix<C32>) -> Result<(Matrix<C32>, MmaStats), M3xuErr
     let mut out = Matrix::<C32>::zeros(r, c);
     let tt = tmp.transpose();
     for j in 0..c {
-        let (col, s) = try_gemm_fft(tt.row(j))?;
+        let (col, s) = try_gemm_fft_on(exec, tt.row(j))?;
         stats.merge(&s);
         for (i, v) in col.into_iter().enumerate() {
             out.set(i, j, v);
@@ -55,11 +66,19 @@ pub fn ifft2d(spectrum: &Matrix<C32>) -> Matrix<C32> {
     try_ifft2d(spectrum).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible [`ifft2d`].
+/// Fallible [`ifft2d`]. Executes on the process-wide default context.
 pub fn try_ifft2d(spectrum: &Matrix<C32>) -> Result<Matrix<C32>, M3xuError> {
+    try_ifft2d_on(default_context(), spectrum)
+}
+
+/// [`try_ifft2d`] on an explicit [`GemmExecutor`].
+pub fn try_ifft2d_on<X: GemmExecutor>(
+    exec: &X,
+    spectrum: &Matrix<C32>,
+) -> Result<Matrix<C32>, M3xuError> {
     let (r, c) = (spectrum.rows(), spectrum.cols());
     let conj = Matrix::from_fn(r, c, |i, j| spectrum.get(i, j).conj());
-    let (f, _) = try_fft2d(&conj)?;
+    let (f, _) = try_fft2d_on(exec, &conj)?;
     let scale = 1.0 / (r * c) as f32;
     Ok(Matrix::from_fn(r, c, |i, j| {
         f.get(i, j).conj().scale(scale)

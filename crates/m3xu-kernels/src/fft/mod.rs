@@ -16,7 +16,7 @@
 pub mod fft2d;
 pub mod perf;
 
-use crate::gemm::cgemm_c32;
+use crate::context::{default_context, ClosureExecutor, GemmExecutor};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
@@ -166,9 +166,32 @@ pub fn gemm_fft(x: &[C32]) -> (Vec<C32>, MmaStats) {
 }
 
 /// Fallible [`gemm_fft`]: rejects non-power-of-two lengths with
-/// [`M3xuError::NonPowerOfTwoLength`] instead of panicking.
+/// [`M3xuError::NonPowerOfTwoLength`] instead of panicking. Executes on
+/// the process-wide default context.
 pub fn try_gemm_fft(x: &[C32]) -> Result<(Vec<C32>, MmaStats), M3xuError> {
-    try_gemm_fft_with(x, cgemm_c32)
+    try_gemm_fft_on(default_context(), x)
+}
+
+/// [`gemm_fft`] on an explicit [`GemmExecutor`] — thread a metered
+/// [`M3xuContext`](crate::context::M3xuContext) (or any custom driver)
+/// through the whole Cooley–Tukey recursion.
+pub fn try_gemm_fft_on<X: GemmExecutor>(
+    exec: &X,
+    x: &[C32],
+) -> Result<(Vec<C32>, MmaStats), M3xuError> {
+    if x.is_empty() {
+        // The 0-point transform is the (empty) identity.
+        return Ok((Vec::new(), MmaStats::default()));
+    }
+    if !x.len().is_power_of_two() {
+        return Err(M3xuError::NonPowerOfTwoLength {
+            context: "gemm_fft",
+            len: x.len(),
+        });
+    }
+    let mut stats = MmaStats::default();
+    let out = gemm_fft_inner(x, exec, &mut stats)?;
+    Ok((out, stats))
 }
 
 /// [`gemm_fft`] with a caller-supplied CGEMM driver. The benchmark
@@ -183,32 +206,22 @@ where
     try_gemm_fft_with(x, cgemm).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible [`gemm_fft_with`].
+/// Fallible [`gemm_fft_with`] — a compatibility wrapper that adapts the
+/// bare closure into a [`ClosureExecutor`] and runs [`try_gemm_fft_on`].
 pub fn try_gemm_fft_with<F>(x: &[C32], cgemm: F) -> Result<(Vec<C32>, MmaStats), M3xuError>
 where
     F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
 {
-    if x.is_empty() {
-        // The 0-point transform is the (empty) identity.
-        return Ok((Vec::new(), MmaStats::default()));
-    }
-    if !x.len().is_power_of_two() {
-        return Err(M3xuError::NonPowerOfTwoLength {
-            context: "gemm_fft",
-            len: x.len(),
-        });
-    }
-    let mut stats = MmaStats::default();
-    let out = gemm_fft_inner(x, &cgemm, &mut stats);
-    Ok((out, stats))
+    try_gemm_fft_on(&ClosureExecutor::new(cgemm), x)
 }
 
-fn gemm_fft_inner<F>(x: &[C32], cgemm: &F, stats: &mut MmaStats) -> Vec<C32>
-where
-    F: Fn(&Matrix<C32>, &Matrix<C32>, &Matrix<C32>) -> crate::gemm::GemmResult<C32>,
-{
+fn gemm_fft_inner<X: GemmExecutor>(
+    x: &[C32],
+    exec: &X,
+    stats: &mut MmaStats,
+) -> Result<Vec<C32>, M3xuError> {
     let n = x.len();
-    // Validated at the `try_gemm_fft_with` boundary; the recursion only
+    // Validated at the `try_gemm_fft_on` boundary; the recursion only
     // ever splits a power of two into `GEMM_RADIX * (n / GEMM_RADIX)`.
     debug_assert!(n.is_power_of_two());
     if n <= GEMM_RADIX {
@@ -216,9 +229,9 @@ where
         let f = cached_dft_matrix(n);
         let v = Matrix::from_fn(n, 1, |j, _| x[j]);
         let c = Matrix::zeros(n, 1);
-        let r = cgemm(&f, &v, &c);
+        let r = exec.try_cgemm_c32(&f, &v, &c)?;
         stats.merge(&r.stats);
-        return (0..n).map(|k| r.d.get(k, 0)).collect();
+        return Ok((0..n).map(|k| r.d.get(k, 0)).collect());
     }
     let n1 = GEMM_RADIX.min(n);
     let n2 = n / n1;
@@ -227,7 +240,7 @@ where
     let m = Matrix::from_fn(n1, n2, |j1, j2| x[j1 * n2 + j2]);
     let f = cached_dft_matrix(n1);
     let c = Matrix::zeros(n1, n2);
-    let t = cgemm(&f, &m, &c);
+    let t = exec.try_cgemm_c32(&f, &m, &c)?;
     stats.merge(&t.stats);
 
     // Step 2: twiddle factors w_N^{k1 * j2}.
@@ -246,12 +259,12 @@ where
     // Step 3: row FFTs (recursion), step 4: interleaved write-back.
     let mut out = vec![C32::ZERO; n];
     for (k1, row) in rows.iter().enumerate() {
-        let sub = gemm_fft_inner(row, cgemm, stats);
+        let sub = gemm_fft_inner(row, exec, stats)?;
         for (k2, &v) in sub.iter().enumerate() {
             out[k1 + n1 * k2] = v;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Maximum relative L2 error between two spectra (for accuracy tests).

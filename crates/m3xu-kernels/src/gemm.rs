@@ -4,7 +4,7 @@
 //! tiles, each tile's `K` loop issues fragment-shaped MMA executions, and
 //! the epilogue writes back. Real and complex precisions share one generic
 //! driver — exactly the paper's point that "the programming model …
-//! remain[s] the same as the existing Tensor Cores".
+//! remain\[s\] the same as the existing Tensor Cores".
 //!
 //! ## The packed fragment pipeline
 //!
@@ -18,8 +18,10 @@
 //! are bit-identical to the original per-tile path, kept alive in
 //! [`baseline`] as the differential-test and benchmark reference.
 
-use crate::pool::{self, WorkerPool};
+use crate::context::{self, GemmSample, M3xuContext};
+use crate::pool::WorkerPool;
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::buffer::BufferEntry;
 use m3xu_mxu::dpu::DotProductUnit;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
@@ -27,6 +29,7 @@ use m3xu_mxu::mma::{MmaShape, MmaStats};
 use m3xu_mxu::modes::MxuMode;
 use m3xu_mxu::packed::{fragment_stats, PackedOperand};
 use std::cell::RefCell;
+use std::time::Instant;
 
 /// Fixed per-tile accumulator scratch the packed driver provisions (one
 /// full fragment, `frag.m * frag.n` elements). Validated against each
@@ -88,17 +91,20 @@ pub struct GemmResult<T> {
 }
 
 /// Number of worker threads the drivers use: `M3XU_THREADS` when set,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism — resolved exactly once,
+/// at the default context's construction (see
+/// [`context::default_context`]).
 pub fn workers() -> usize {
-    pool::configured_threads()
+    context::default_context().threads()
 }
 
 /// An element type the generic packed driver can multiply.
 pub trait PackedElem: Copy + Default + Send + Sync + 'static {
-    /// Decode the `A` operand (by rows) for `mode`.
-    fn pack_a(a: &Matrix<Self>, mode: MxuMode) -> PackedOperand;
-    /// Decode the `B` operand (by columns) for `mode`.
-    fn pack_b(b: &Matrix<Self>, mode: MxuMode) -> PackedOperand;
+    /// Decode the `A` operand (by rows) for `mode`, reusing `storage`'s
+    /// capacity (pass an empty `Vec` when no arena is available).
+    fn pack_a(a: &Matrix<Self>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand;
+    /// Decode the `B` operand (by columns) for `mode`, reusing `storage`.
+    fn pack_b(b: &Matrix<Self>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand;
     /// Execute one fragment in place on `acc` (row-major `rows x cols`).
     #[allow(clippy::too_many_arguments)]
     fn execute(
@@ -116,11 +122,11 @@ pub trait PackedElem: Copy + Default + Send + Sync + 'static {
 }
 
 impl PackedElem for f32 {
-    fn pack_a(a: &Matrix<f32>, mode: MxuMode) -> PackedOperand {
-        PackedOperand::pack_rows_f32(a, mode)
+    fn pack_a(a: &Matrix<f32>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand {
+        PackedOperand::try_pack_rows_f32_in(a, mode, storage).unwrap_or_else(|e| panic!("{e}"))
     }
-    fn pack_b(b: &Matrix<f32>, mode: MxuMode) -> PackedOperand {
-        PackedOperand::pack_cols_f32(b, mode)
+    fn pack_b(b: &Matrix<f32>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand {
+        PackedOperand::try_pack_cols_f32_in(b, mode, storage).unwrap_or_else(|e| panic!("{e}"))
     }
     fn execute(
         dpu: &mut DotProductUnit,
@@ -139,11 +145,19 @@ impl PackedElem for f32 {
 }
 
 impl PackedElem for Complex<f32> {
-    fn pack_a(a: &Matrix<Complex<f32>>, _mode: MxuMode) -> PackedOperand {
-        PackedOperand::pack_rows_c32(a)
+    fn pack_a(
+        a: &Matrix<Complex<f32>>,
+        _mode: MxuMode,
+        storage: Vec<BufferEntry>,
+    ) -> PackedOperand {
+        PackedOperand::pack_rows_c32_in(a, storage)
     }
-    fn pack_b(b: &Matrix<Complex<f32>>, _mode: MxuMode) -> PackedOperand {
-        PackedOperand::pack_cols_c32(b)
+    fn pack_b(
+        b: &Matrix<Complex<f32>>,
+        _mode: MxuMode,
+        storage: Vec<BufferEntry>,
+    ) -> PackedOperand {
+        PackedOperand::pack_cols_c32_in(b, storage)
     }
     fn execute(
         dpu: &mut DotProductUnit,
@@ -183,12 +197,17 @@ thread_local! {
 }
 
 /// The generic packed GEMM driver: `D = A·B + C` in `mode` on `pool`.
+///
+/// When a context is attached, the packed operands borrow its scratch
+/// arena and the call's accounting (fragment grid, operand traffic,
+/// per-phase wall time) is recorded into its counter sink.
 fn try_gemm_packed<E: PackedElem>(
     pool: &WorkerPool,
     mode: MxuMode,
     a: &Matrix<E>,
     b: &Matrix<E>,
     c: &Matrix<E>,
+    ctx: Option<&M3xuContext>,
 ) -> Result<GemmResult<E>, M3xuError> {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     validate_gemm_shapes(a, b, c)?;
@@ -203,22 +222,41 @@ fn try_gemm_packed<E: PackedElem>(
             capacity: ACC_SCRATCH,
         });
     }
-    let k_chunks = k.div_ceil(frag.k);
+    let (tiles_m, tiles_n, k_chunks) = frag.grid(m, n, k);
     let mut d = c.clone();
     if k_chunks == 0 || m == 0 || n == 0 {
+        if let Some(cx) = ctx {
+            // A degenerate call still counts as a call; it moves no
+            // operand bytes and issues no fragments.
+            cx.counters().record(&GemmSample {
+                mode,
+                stats: MmaStats::default(),
+                tiles: 0,
+                fragments: 0,
+                operand_bytes: 0,
+                pack_ns: 0,
+                exec_ns: 0,
+            });
+        }
         return Ok(GemmResult {
             d,
             stats: MmaStats::default(),
         });
     }
 
-    // Decode each operand exactly once for the whole GEMM.
-    let pa = E::pack_a(a, mode);
-    let pb = E::pack_b(b, mode);
+    // Decode each operand exactly once for the whole GEMM, reusing the
+    // context's packed-operand arena when one is attached.
+    let (sa, sb) = match ctx {
+        Some(cx) => cx.take_scratch(),
+        None => (Vec::new(), Vec::new()),
+    };
+    let t_pack = Instant::now();
+    let pa = E::pack_a(a, mode, sa);
+    let pb = E::pack_b(b, mode, sb);
+    let pack_ns = t_pack.elapsed().as_nanos() as u64;
 
-    let tiles_m = m.div_ceil(frag.m);
-    let tiles_n = n.div_ceil(frag.n);
     let dptr = SendPtr(d.as_mut_slice().as_mut_ptr());
+    let t_exec = Instant::now();
     pool.run(tiles_m * tiles_n, |tid| {
         let (i0, j0) = ((tid / tiles_n) * frag.m, (tid % tiles_n) * frag.n);
         let rows = frag.m.min(m - i0);
@@ -246,17 +284,51 @@ fn try_gemm_packed<E: PackedElem>(
             }
         }
     });
+    let exec_ns = t_exec.elapsed().as_nanos() as u64;
 
     // Statistics are a pure function of the fragment grid — identical to
     // what per-fragment counters would sum to, without any atomics.
-    let per = fragment_stats(mode, frag);
     let frags = (tiles_m * tiles_n * k_chunks) as u64;
-    let stats = MmaStats {
-        instructions: per.instructions * frags,
-        steps: per.steps * frags,
-        lane_products: per.lane_products * frags,
-    };
+    let stats = fragment_stats(mode, frag).scaled(frags);
+    if let Some(cx) = ctx {
+        cx.counters().record(&GemmSample {
+            mode,
+            stats,
+            tiles: (tiles_m * tiles_n) as u64,
+            fragments: frags,
+            // Rule (c) operand traffic: each operand element moves at the
+            // mode's storage width (2 bytes FP16/BF16, 4 bytes TF32/FP32,
+            // 8 bytes FP32C), not at `size_of::<E>()`.
+            operand_bytes: ((m * k + k * n) * mode.element_bytes()) as u64,
+            pack_ns,
+            exec_ns,
+        });
+        cx.put_scratch(pa.into_storage(), pb.into_storage());
+    }
     Ok(GemmResult { d, stats })
+}
+
+/// Context-attached real GEMM: the body of
+/// [`M3xuContext::try_gemm_f32`](crate::context::M3xuContext::try_gemm_f32).
+pub(crate) fn try_gemm_f32_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: &Matrix<f32>,
+) -> Result<GemmResult<f32>, M3xuError> {
+    try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
+}
+
+/// Context-attached FP32C GEMM: the body of
+/// [`M3xuContext::try_cgemm_c32`](crate::context::M3xuContext::try_cgemm_c32).
+pub(crate) fn try_cgemm_c32_ctx(
+    ctx: &M3xuContext,
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &Matrix<Complex<f32>>,
+) -> Result<GemmResult<Complex<f32>>, M3xuError> {
+    try_gemm_packed(ctx.pool(), MxuMode::M3xuFp32c, a, b, c, Some(ctx))
 }
 
 /// Fallible tiled FP32 GEMM `D = A·B + C` on an explicit worker pool —
@@ -270,7 +342,7 @@ pub fn try_gemm_f32_on(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
-    try_gemm_packed(pool, precision.mode(), a, b, c)
+    try_gemm_packed(pool, precision.mode(), a, b, c, None)
 }
 
 /// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode), using
@@ -286,7 +358,9 @@ pub fn gemm_f32_on(
     try_gemm_f32_on(pool, precision, a, b, c).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible tiled FP32 GEMM `D = A·B + C` on the process-wide pool.
+/// Fallible tiled FP32 GEMM `D = A·B + C` on the process-wide default
+/// context (the call is recorded into its
+/// [`ExecStats`](crate::context::ExecStats) counters).
 ///
 /// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`. Any sizes are accepted;
 /// edges are zero-padded into fragments exactly like predicated loads.
@@ -296,7 +370,7 @@ pub fn try_gemm_f32(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
-    try_gemm_f32_on(pool::global(), precision, a, b, c)
+    context::default_context().try_gemm_f32(precision, a, b, c)
 }
 
 /// Tiled FP32 GEMM `D = A·B + C` on the M3XU (or a baseline mode).
@@ -319,7 +393,7 @@ pub fn try_cgemm_c32_on(
     b: &Matrix<Complex<f32>>,
     c: &Matrix<Complex<f32>>,
 ) -> Result<GemmResult<Complex<f32>>, M3xuError> {
-    try_gemm_packed(pool, MxuMode::M3xuFp32c, a, b, c)
+    try_gemm_packed(pool, MxuMode::M3xuFp32c, a, b, c, None)
 }
 
 /// Tiled FP32C GEMM on the M3XU's four-step complex mode, using an
@@ -334,13 +408,14 @@ pub fn cgemm_c32_on(
     try_cgemm_c32_on(pool, a, b, c).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible tiled FP32C GEMM on the process-wide pool.
+/// Fallible tiled FP32C GEMM on the process-wide default context (the
+/// call is recorded into its counters).
 pub fn try_cgemm_c32(
     a: &Matrix<Complex<f32>>,
     b: &Matrix<Complex<f32>>,
     c: &Matrix<Complex<f32>>,
 ) -> Result<GemmResult<Complex<f32>>, M3xuError> {
-    try_cgemm_c32_on(pool::global(), a, b, c)
+    context::default_context().try_cgemm_c32(a, b, c)
 }
 
 /// Tiled FP32C GEMM on the M3XU's four-step complex mode.
@@ -404,20 +479,27 @@ pub mod baseline {
         super::workers().min(8)
     }
 
-    /// The seed tiled FP32 GEMM: row-stripe sharding over scoped threads.
-    pub fn gemm_f32(
-        precision: GemmPrecision,
-        a: &Matrix<f32>,
-        b: &Matrix<f32>,
-        c: &Matrix<f32>,
-    ) -> GemmResult<f32> {
+    /// The one generic row-stripe driver behind both baseline entry
+    /// points: shard output row-stripes over scoped threads, accumulate
+    /// each tile's `K` loop through the per-fragment `mma` dispatch.
+    /// Real and complex GEMM differ only in that closure.
+    fn stripe_gemm<T, F>(
+        mode: MxuMode,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        c: &Matrix<T>,
+        mma: F,
+    ) -> GemmResult<T>
+    where
+        T: Copy + Default + Send + Sync,
+        F: Fn(&mut Mxu, &Matrix<T>, &Matrix<T>, &Matrix<T>) -> Matrix<T> + Sync,
+    {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         super::validate_gemm_shapes(a, b, c).unwrap_or_else(|e| panic!("{e}"));
 
-        let mode = precision.mode();
         let frag = MmaShape::BASELINE_FP16.for_mode(mode);
         let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
-        let mut d = Matrix::<f32>::zeros(m, n);
+        let mut d = Matrix::<T>::zeros(m, n);
         let mut total = MmaStats::default();
 
         // Shard output row-stripes across threads; each thread owns a
@@ -427,7 +509,8 @@ pub mod baseline {
             .chunks(row_tiles.len().div_ceil(nw.max(1)).max(1))
             .collect();
 
-        let results: Vec<StripeResult<f32>> = std::thread::scope(|s| {
+        let mma = &mma;
+        let results: Vec<StripeResult<T>> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
@@ -435,19 +518,14 @@ pub mod baseline {
                         let mut mxu = Mxu::new(MxuConfig::default());
                         let mut out = Vec::new();
                         for &i0 in chunk.iter() {
-                            let mut stripe = Matrix::<f32>::zeros(frag.m, n);
+                            let mut stripe = Matrix::<T>::zeros(frag.m, n);
                             for j0 in (0..n).step_by(frag.n) {
                                 // Accumulate over K in fragment steps.
                                 let mut acc = c.tile(i0, j0, frag.m, frag.n);
                                 for k0 in (0..k).step_by(frag.k) {
                                     let at = a.tile(i0, k0, frag.m, frag.k);
                                     let bt = b.tile(k0, j0, frag.k, frag.n);
-                                    acc = match precision {
-                                        GemmPrecision::M3xuFp32 => mxu.mma_fp32(&at, &bt, &acc),
-                                        GemmPrecision::Tf32 => mxu.mma_tf32(&at, &bt, &acc),
-                                        GemmPrecision::Fp16 => mxu.mma_fp16(&at, &bt, &acc),
-                                        GemmPrecision::Bf16 => mxu.mma_bf16(&at, &bt, &acc),
-                                    };
+                                    acc = mma(&mut mxu, &at, &bt, &acc);
                                 }
                                 stripe.store_tile(0, j0, &acc);
                             }
@@ -470,58 +548,36 @@ pub mod baseline {
         GemmResult { d, stats: total }
     }
 
+    /// The seed tiled FP32 GEMM: row-stripe sharding over scoped threads.
+    pub fn gemm_f32(
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> GemmResult<f32> {
+        stripe_gemm(
+            precision.mode(),
+            a,
+            b,
+            c,
+            move |mxu, at, bt, acc| match precision {
+                GemmPrecision::M3xuFp32 => mxu.mma_fp32(at, bt, acc),
+                GemmPrecision::Tf32 => mxu.mma_tf32(at, bt, acc),
+                GemmPrecision::Fp16 => mxu.mma_fp16(at, bt, acc),
+                GemmPrecision::Bf16 => mxu.mma_bf16(at, bt, acc),
+            },
+        )
+    }
+
     /// The seed tiled FP32C CGEMM.
     pub fn cgemm_c32(
         a: &Matrix<Complex<f32>>,
         b: &Matrix<Complex<f32>>,
         c: &Matrix<Complex<f32>>,
     ) -> GemmResult<Complex<f32>> {
-        let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        super::validate_gemm_shapes(a, b, c).unwrap_or_else(|e| panic!("{e}"));
-        let frag = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32c);
-
-        let row_tiles: Vec<usize> = (0..m).step_by(frag.m).collect();
-        let mut d = Matrix::<Complex<f32>>::zeros(m, n);
-        let mut total = MmaStats::default();
-        let nw = workers().min(row_tiles.len().max(1));
-        let chunks: Vec<&[usize]> = row_tiles
-            .chunks(row_tiles.len().div_ceil(nw.max(1)).max(1))
-            .collect();
-
-        let results: Vec<StripeResult<Complex<f32>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    s.spawn(move || {
-                        let mut mxu = Mxu::new(MxuConfig::default());
-                        let mut out = Vec::new();
-                        for &i0 in chunk.iter() {
-                            let mut stripe = Matrix::<Complex<f32>>::zeros(frag.m, n);
-                            for j0 in (0..n).step_by(frag.n) {
-                                let mut acc = c.tile(i0, j0, frag.m, frag.n);
-                                for k0 in (0..k).step_by(frag.k) {
-                                    let at = a.tile(i0, k0, frag.m, frag.k);
-                                    let bt = b.tile(k0, j0, frag.k, frag.n);
-                                    acc = mxu.mma_fp32c(&at, &bt, &acc);
-                                }
-                                stripe.store_tile(0, j0, &acc);
-                            }
-                            out.push((i0, stripe));
-                        }
-                        (out, mxu.counters.for_mode(MxuMode::M3xuFp32c))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-
-        for (stripes, stats) in results {
-            total.merge(&stats);
-            for (i0, stripe) in stripes {
-                d.store_tile(i0, 0, &stripe);
-            }
-        }
-        GemmResult { d, stats: total }
+        stripe_gemm(MxuMode::M3xuFp32c, a, b, c, |mxu, at, bt, acc| {
+            mxu.mma_fp32c(at, bt, acc)
+        })
     }
 }
 

@@ -9,7 +9,8 @@
 //! small-magnitude data, while M3XU accelerates the GEMM with full FP32
 //! fidelity.
 
-use crate::gemm::{try_matmul_f32, GemmPrecision};
+use crate::context::{default_context, GemmExecutor};
+use crate::gemm::GemmPrecision;
 use m3xu_gpu::GpuConfig;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
@@ -40,8 +41,20 @@ pub fn knn_gemm(
 /// Fallible [`knn_gemm`]: reports a query/reference feature-dimension
 /// mismatch as [`M3xuError::ShapeMismatch`] and `k > n_refs` as
 /// [`M3xuError::InvalidK`]. `k == 0` is valid and yields empty
-/// neighbour lists.
+/// neighbour lists. Executes on the process-wide default context.
 pub fn try_knn_gemm(
+    precision: GemmPrecision,
+    refs: &Matrix<f32>,
+    queries: &Matrix<f32>,
+    k: usize,
+) -> Result<KnnResult, M3xuError> {
+    try_knn_gemm_on(default_context(), precision, refs, queries, k)
+}
+
+/// [`try_knn_gemm`] on an explicit [`GemmExecutor`]: the heavy
+/// inner-product GEMM runs through `exec`.
+pub fn try_knn_gemm_on<X: GemmExecutor>(
+    exec: &X,
     precision: GemmPrecision,
     refs: &Matrix<f32>,
     queries: &Matrix<f32>,
@@ -69,7 +82,7 @@ pub fn try_knn_gemm(
         });
     }
     // Inner products: Q (nq x d) x R^T (d x nr) — the heavy GEMM.
-    let qr = try_matmul_f32(precision, queries, &refs.transpose())?;
+    let qr = exec.try_matmul_f32(precision, queries, &refs.transpose())?;
     // Squared norms.
     let rn: Vec<f32> = (0..refs.rows())
         .map(|i| refs.row(i).iter().map(|&v| v * v).sum())

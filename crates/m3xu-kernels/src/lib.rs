@@ -21,9 +21,17 @@
 //!   true FP32 from TF32 (the introduction's scientific workloads);
 //! * [`conv_grad`] — convolution backward passes (dgrad/wgrad), the GEMMs
 //!   behind §VI-C2's 3.6x backward speedup.
+//!
+//! All of them execute through [`context::M3xuContext`] — one object
+//! owning the worker pool, the packed-operand scratch arena, and the
+//! always-on [`context::ExecStats`] instruction/traffic counters that
+//! `m3xu_gpu`'s analytical model is cross-validated against. The free
+//! functions above are thin wrappers over the process-wide
+//! [`context::default_context`].
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod conv2d;
 pub mod conv_grad;
 pub mod dnn;
@@ -36,6 +44,7 @@ pub mod pool;
 pub mod quantum;
 pub mod solver;
 
+pub use context::{default_context, ClosureExecutor, ExecStats, GemmExecutor, M3xuContext};
 pub use gemm::{
     cgemm_c32, cgemm_c32_on, cmatmul_c32, gemm_f32, gemm_f32_on, matmul_f32, try_cgemm_c32,
     try_cgemm_c32_on, try_cmatmul_c32, try_gemm_f32, try_gemm_f32_on, try_matmul_f32,

@@ -14,7 +14,7 @@
 //! end-to-end dictionary-generation speedup, where CGEMM is ~22% of the
 //! dictionary phase and the dictionary phase is 98.2% of total runtime.
 
-use crate::gemm::cmatmul_c32;
+use crate::context::{default_context, GemmExecutor};
 use m3xu_fp::complex::Complex;
 use m3xu_gpu::GpuConfig;
 use m3xu_mxu::matrix::Matrix;
@@ -98,10 +98,18 @@ impl EpgBatch {
     }
 
     /// Apply one RF pulse to every state of every atom — **one complex
-    /// GEMM** `R(3x3) x state(3 x orders*atoms)` on the M3XU.
+    /// GEMM** `R(3x3) x state(3 x orders*atoms)` on the M3XU, via the
+    /// process-wide default context.
     pub fn apply_rf(&mut self, flip: f32, phase: f32) {
+        self.apply_rf_on(default_context(), flip, phase);
+    }
+
+    /// [`EpgBatch::apply_rf`] on an explicit [`GemmExecutor`].
+    pub fn apply_rf_on<X: GemmExecutor>(&mut self, exec: &X, flip: f32, phase: f32) {
         let r = rf_matrix(flip, phase);
-        self.state = cmatmul_c32(&r, &self.state);
+        self.state = exec
+            .try_cmatmul_c32(&r, &self.state)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Relaxation over `dt` ms: `F *= E2`, `Z *= E1`, `Z_0 += 1 - E1`.

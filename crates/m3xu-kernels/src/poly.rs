@@ -8,7 +8,8 @@
 //! coefficient is an integer recoverable by rounding as long as the FFT's
 //! accumulated error stays below 0.5. Tests pin down that recovery bound.
 
-use crate::fft::{try_gemm_fft, C32};
+use crate::context::{default_context, GemmExecutor};
+use crate::fft::{try_gemm_fft_on, C32};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::mma::MmaStats;
@@ -27,8 +28,18 @@ pub fn poly_mul_int(a: &[i64], b: &[i64]) -> (Vec<i64>, MmaStats) {
 /// Fallible [`poly_mul_int`]: reports silent precision loss — a recovered
 /// coefficient whose rounding margin is too thin to trust — as
 /// [`M3xuError::PrecisionLoss`] instead of relying on a debug-only
-/// assertion.
+/// assertion. Executes on the process-wide default context.
 pub fn try_poly_mul_int(a: &[i64], b: &[i64]) -> Result<(Vec<i64>, MmaStats), M3xuError> {
+    try_poly_mul_int_on(default_context(), a, b)
+}
+
+/// [`try_poly_mul_int`] on an explicit [`GemmExecutor`]: all three FFTs'
+/// CGEMMs run through `exec`.
+pub fn try_poly_mul_int_on<X: GemmExecutor>(
+    exec: &X,
+    a: &[i64],
+    b: &[i64],
+) -> Result<(Vec<i64>, MmaStats), M3xuError> {
     if a.is_empty() || b.is_empty() {
         return Ok((Vec::new(), MmaStats::default()));
     }
@@ -56,13 +67,13 @@ pub fn try_poly_mul_int(a: &[i64], b: &[i64]) -> Result<(Vec<i64>, MmaStats), M3
         v
     };
     let mut stats = MmaStats::default();
-    let (fa, s1) = try_gemm_fft(&embed(a))?;
-    let (fb, s2) = try_gemm_fft(&embed(b))?;
+    let (fa, s1) = try_gemm_fft_on(exec, &embed(a))?;
+    let (fb, s2) = try_gemm_fft_on(exec, &embed(b))?;
     stats.merge(&s1);
     stats.merge(&s2);
     // Pointwise product, then inverse transform via conjugation.
     let prod: Vec<C32> = fa.iter().zip(&fb).map(|(x, y)| (*x * *y).conj()).collect();
-    let (fc, s3) = try_gemm_fft(&prod)?;
+    let (fc, s3) = try_gemm_fft_on(exec, &prod)?;
     stats.merge(&s3);
     let scale = 1.0 / n as f64;
     let mut coeffs = Vec::with_capacity(out_len);
@@ -104,8 +115,17 @@ pub fn cyclic_convolution(a: &[f32], b: &[f32]) -> Vec<f32> {
 }
 
 /// Fallible [`cyclic_convolution`]: the sequences must have the same
-/// power-of-two length.
+/// power-of-two length. Executes on the process-wide default context.
 pub fn try_cyclic_convolution(a: &[f32], b: &[f32]) -> Result<Vec<f32>, M3xuError> {
+    try_cyclic_convolution_on(default_context(), a, b)
+}
+
+/// [`try_cyclic_convolution`] on an explicit [`GemmExecutor`].
+pub fn try_cyclic_convolution_on<X: GemmExecutor>(
+    exec: &X,
+    a: &[f32],
+    b: &[f32],
+) -> Result<Vec<f32>, M3xuError> {
     if a.len() != b.len() {
         return Err(M3xuError::ShapeMismatch {
             context: "cyclic_convolution: sequences must have equal length",
@@ -121,10 +141,10 @@ pub fn try_cyclic_convolution(a: &[f32], b: &[f32]) -> Result<Vec<f32>, M3xuErro
         });
     }
     let embed = |p: &[f32]| -> Vec<C32> { p.iter().map(|&x| Complex::new(x, 0.0)).collect() };
-    let (fa, _) = try_gemm_fft(&embed(a))?;
-    let (fb, _) = try_gemm_fft(&embed(b))?;
+    let (fa, _) = try_gemm_fft_on(exec, &embed(a))?;
+    let (fb, _) = try_gemm_fft_on(exec, &embed(b))?;
     let prod: Vec<C32> = fa.iter().zip(&fb).map(|(x, y)| (*x * *y).conj()).collect();
-    let (fc, _) = try_gemm_fft(&prod)?;
+    let (fc, _) = try_gemm_fft_on(exec, &prod)?;
     Ok(fc.iter().map(|z| z.conj().re / n as f32).collect())
 }
 

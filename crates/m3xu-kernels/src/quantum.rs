@@ -7,6 +7,7 @@
 //! on the M3XU. Unitarity is exactly the property that exposes complex
 //! arithmetic error, so the tests double as numerics validation.
 
+use crate::context::{default_context, GemmExecutor};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
@@ -134,8 +135,10 @@ impl QuantumRegister {
         self.probabilities().iter().sum()
     }
 
-    fn apply_unitary(&mut self, u: &Matrix<C32>) {
-        let r = crate::gemm::cgemm_c32(u, &self.state, &Matrix::zeros(1 << self.n, 1));
+    fn apply_unitary_on<X: GemmExecutor>(&mut self, exec: &X, u: &Matrix<C32>) {
+        let r = exec
+            .try_cgemm_c32(u, &self.state, &Matrix::zeros(1 << self.n, 1))
+            .unwrap_or_else(|e| panic!("{e}"));
         self.state = r.d;
         self.mma_instructions += r.stats.instructions;
     }
@@ -146,8 +149,19 @@ impl QuantumRegister {
         self.try_apply(gate, q).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible [`QuantumRegister::apply`].
+    /// Fallible [`QuantumRegister::apply`], on the process-wide default
+    /// context.
     pub fn try_apply(&mut self, gate: Gate, q: usize) -> Result<(), M3xuError> {
+        self.try_apply_on(default_context(), gate, q)
+    }
+
+    /// [`QuantumRegister::try_apply`] on an explicit [`GemmExecutor`].
+    pub fn try_apply_on<X: GemmExecutor>(
+        &mut self,
+        exec: &X,
+        gate: Gate,
+        q: usize,
+    ) -> Result<(), M3xuError> {
         if q >= self.n {
             return Err(M3xuError::OutOfRange {
                 context: "QuantumRegister::apply(qubit)",
@@ -159,7 +173,7 @@ impl QuantumRegister {
         let mut u = Matrix::identity_c32(1 << q);
         u = kron(&u, &gate.matrix());
         let u = kron(&u, &Matrix::identity_c32(1 << (self.n - q - 1)));
-        self.apply_unitary(&u);
+        self.apply_unitary_on(exec, &u);
         Ok(())
     }
 
@@ -170,8 +184,18 @@ impl QuantumRegister {
     }
 
     /// Fallible [`QuantumRegister::cnot`]: both qubits must be in range
-    /// and distinct.
+    /// and distinct. Executes on the process-wide default context.
     pub fn try_cnot(&mut self, c: usize, t: usize) -> Result<(), M3xuError> {
+        self.try_cnot_on(default_context(), c, t)
+    }
+
+    /// [`QuantumRegister::try_cnot`] on an explicit [`GemmExecutor`].
+    pub fn try_cnot_on<X: GemmExecutor>(
+        &mut self,
+        exec: &X,
+        c: usize,
+        t: usize,
+    ) -> Result<(), M3xuError> {
         for (context, q) in [
             ("QuantumRegister::cnot(control)", c),
             ("QuantumRegister::cnot(target)", t),
@@ -204,7 +228,7 @@ impl QuantumRegister {
                 C32::ZERO
             }
         });
-        self.apply_unitary(&u);
+        self.apply_unitary_on(exec, &u);
         Ok(())
     }
 

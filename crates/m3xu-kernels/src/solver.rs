@@ -10,7 +10,8 @@
 //! ill-conditioned systems the TF32 path stalls above the achievable
 //! residual while the M3XU path matches true-FP32 convergence.
 
-use crate::gemm::{gemm_f32, GemmPrecision};
+use crate::context::{default_context, GemmExecutor};
+use crate::gemm::GemmPrecision;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::matrix::Matrix;
 
@@ -39,11 +40,16 @@ fn dot(a: &[f32], b: &[f32]) -> f64 {
 }
 
 /// Matrix-vector product `A·v` on the chosen GEMM engine.
-fn matvec(precision: GemmPrecision, a: &Matrix<f32>, v: &[f32]) -> Vec<f32> {
+fn matvec<X: GemmExecutor>(
+    exec: &X,
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    v: &[f32],
+) -> Result<Vec<f32>, M3xuError> {
     let vm = Matrix::from_vec(v.len(), 1, v.to_vec());
     let c = Matrix::zeros(a.rows(), 1);
-    let r = gemm_f32(precision, a, &vm, &c);
-    (0..a.rows()).map(|i| r.d.get(i, 0)).collect()
+    let r = exec.try_gemm_f32(precision, a, &vm, &c)?;
+    Ok((0..a.rows()).map(|i| r.d.get(i, 0)).collect())
 }
 
 /// Conjugate gradients for symmetric positive-definite `A x = b`, with the
@@ -61,8 +67,22 @@ pub fn conjugate_gradient(
 }
 
 /// Fallible [`conjugate_gradient`]: rejects a non-square `A` or a
-/// right-hand side whose length differs from `A`'s order.
+/// right-hand side whose length differs from `A`'s order. Executes on
+/// the process-wide default context.
 pub fn try_conjugate_gradient(
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &[f32],
+    tol: f64,
+    max_iter: usize,
+) -> Result<CgResult, M3xuError> {
+    try_conjugate_gradient_on(default_context(), precision, a, b, tol, max_iter)
+}
+
+/// [`try_conjugate_gradient`] on an explicit [`GemmExecutor`]: every
+/// iteration's matrix-vector GEMM runs through `exec`.
+pub fn try_conjugate_gradient_on<X: GemmExecutor>(
+    exec: &X,
     precision: GemmPrecision,
     a: &Matrix<f32>,
     b: &[f32],
@@ -93,7 +113,7 @@ pub fn try_conjugate_gradient(
                 converged: true,
             });
         }
-        let ap = matvec(precision, a, &p);
+        let ap = matvec(exec, precision, a, &p)?;
         let p_ap = dot(&p, &ap);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // Lost positive-definiteness to arithmetic error.
@@ -174,7 +194,7 @@ mod tests {
             &r.residual_history[r.residual_history.len().saturating_sub(3)..]
         );
         // Verify the solution against a direct residual check in f64.
-        let ax = matvec(GemmPrecision::M3xuFp32, &a, &r.x);
+        let ax = matvec(default_context(), GemmPrecision::M3xuFp32, &a, &r.x).unwrap();
         let res: f64 = ax
             .iter()
             .zip(&b)

@@ -21,8 +21,8 @@
 //!   datapath with IEEE special handling;
 //! * [`mma`] — MMA instruction execution and statistics;
 //! * [`modes`] — operating modes and their timing (Corollaries 1–3);
-//! * [`unit`] — the [`Mxu`](unit::Mxu) device with counters, and the
-//!   expensive [`NativeFp32Mxu`](unit::NativeFp32Mxu) reference design.
+//! * [`unit`](mod@unit) — the [`Mxu`] device with counters, and the
+//!   expensive [`NativeFp32Mxu`] reference design.
 //!
 //! ## Example
 //!

@@ -55,6 +55,13 @@ impl MmaShape {
     pub const fn macs(self) -> u64 {
         (self.m * self.n * self.k) as u64
     }
+
+    /// Fragment grid an `m x n x k` GEMM decomposes into with this
+    /// fragment shape: `(tiles_m, tiles_n, k_chunks)`, each a ceiling
+    /// division (edge fragments are zero-padded, not dropped).
+    pub const fn grid(self, m: usize, n: usize, k: usize) -> (usize, usize, usize) {
+        (m.div_ceil(self.m), n.div_ceil(self.n), k.div_ceil(self.k))
+    }
 }
 
 impl std::fmt::Display for MmaShape {
@@ -80,6 +87,27 @@ impl MmaStats {
         self.instructions += other.instructions;
         self.steps += other.steps;
         self.lane_products += other.lane_products;
+    }
+
+    /// The stats of `n` identical executions (this value per execution) —
+    /// how a tiled driver turns per-fragment accounting into a whole-GEMM
+    /// total without per-fragment atomics.
+    pub const fn scaled(&self, n: u64) -> MmaStats {
+        MmaStats {
+            instructions: self.instructions * n,
+            steps: self.steps * n,
+            lane_products: self.lane_products * n,
+        }
+    }
+
+    /// Saturating element-wise difference `self - earlier` — for turning
+    /// two monotone counter snapshots into a per-interval delta.
+    pub const fn delta_since(&self, earlier: &MmaStats) -> MmaStats {
+        MmaStats {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            steps: self.steps.saturating_sub(earlier.steps),
+            lane_products: self.lane_products.saturating_sub(earlier.lane_products),
+        }
     }
 }
 
@@ -387,6 +415,35 @@ mod tests {
                 assert_eq!(d.get(i, j), a.get(i, 0) * b.get(0, j));
             }
         }
+    }
+
+    #[test]
+    fn grid_is_ceiling_division() {
+        let frag = MmaShape::BASELINE_FP16.for_mode(MxuMode::M3xuFp32); // 8x8x2
+        assert_eq!(frag.grid(16, 16, 8), (2, 2, 4));
+        assert_eq!(frag.grid(9, 7, 17), (2, 1, 9));
+        assert_eq!(frag.grid(1, 1, 1), (1, 1, 1));
+        assert_eq!(frag.grid(8, 0, 4), (1, 0, 2));
+    }
+
+    #[test]
+    fn stats_scaled_and_delta() {
+        let per = MmaStats {
+            instructions: 1,
+            steps: 2,
+            lane_products: 3,
+        };
+        let total = per.scaled(5);
+        assert_eq!(
+            total,
+            MmaStats {
+                instructions: 5,
+                steps: 10,
+                lane_products: 15
+            }
+        );
+        assert_eq!(total.delta_since(&per).instructions, 4);
+        assert_eq!(per.delta_since(&total), MmaStats::default());
     }
 
     #[test]

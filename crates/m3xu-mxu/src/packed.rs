@@ -119,6 +119,18 @@ impl PackedOperand {
     /// FP64 modes (whose operands are not plain `f32` planes) with
     /// [`M3xuError::ModeMismatch`] instead of aborting.
     pub fn try_pack_rows_f32(m: &Matrix<f32>, mode: MxuMode) -> Result<Self, M3xuError> {
+        Self::try_pack_rows_f32_in(m, mode, Vec::new())
+    }
+
+    /// [`PackedOperand::try_pack_rows_f32`] packing into `storage` — the
+    /// buffer is cleared and its capacity reused, so an arena that round-
+    /// trips storage through [`PackedOperand::into_storage`] packs
+    /// repeated GEMMs without touching the allocator.
+    pub fn try_pack_rows_f32_in(
+        m: &Matrix<f32>,
+        mode: MxuMode,
+        mut storage: Vec<BufferEntry>,
+    ) -> Result<Self, M3xuError> {
         if !is_real_f32_mode(mode) {
             return Err(M3xuError::ModeMismatch {
                 context: "PackedOperand::pack_rows_f32",
@@ -126,7 +138,9 @@ impl PackedOperand {
             });
         }
         let epe = entries_per_element(mode);
-        let mut entries = Vec::with_capacity(m.rows() * m.cols() * epe);
+        storage.clear();
+        storage.reserve(m.rows() * m.cols() * epe);
+        let mut entries = storage;
         for i in 0..m.rows() {
             for &x in m.row(i) {
                 push_f32(&mut entries, x, mode);
@@ -151,6 +165,16 @@ impl PackedOperand {
 
     /// Fallible [`PackedOperand::pack_cols_f32`].
     pub fn try_pack_cols_f32(m: &Matrix<f32>, mode: MxuMode) -> Result<Self, M3xuError> {
+        Self::try_pack_cols_f32_in(m, mode, Vec::new())
+    }
+
+    /// [`PackedOperand::try_pack_cols_f32`] packing into `storage` (see
+    /// [`PackedOperand::try_pack_rows_f32_in`]).
+    pub fn try_pack_cols_f32_in(
+        m: &Matrix<f32>,
+        mode: MxuMode,
+        mut storage: Vec<BufferEntry>,
+    ) -> Result<Self, M3xuError> {
         if !is_real_f32_mode(mode) {
             return Err(M3xuError::ModeMismatch {
                 context: "PackedOperand::pack_cols_f32",
@@ -158,7 +182,9 @@ impl PackedOperand {
             });
         }
         let epe = entries_per_element(mode);
-        let mut entries = Vec::with_capacity(m.rows() * m.cols() * epe);
+        storage.clear();
+        storage.reserve(m.rows() * m.cols() * epe);
+        let mut entries = storage;
         for j in 0..m.cols() {
             for i in 0..m.rows() {
                 push_f32(&mut entries, m.get(i, j), mode);
@@ -183,7 +209,15 @@ impl PackedOperand {
 
     /// Pack a complex operand by rows (FP32C mode).
     pub fn pack_rows_c32(m: &Matrix<Complex<f32>>) -> Self {
-        let mut entries = Vec::with_capacity(m.rows() * m.cols() * 4);
+        Self::pack_rows_c32_in(m, Vec::new())
+    }
+
+    /// [`PackedOperand::pack_rows_c32`] packing into `storage` (see
+    /// [`PackedOperand::try_pack_rows_f32_in`]).
+    pub fn pack_rows_c32_in(m: &Matrix<Complex<f32>>, mut storage: Vec<BufferEntry>) -> Self {
+        storage.clear();
+        storage.reserve(m.rows() * m.cols() * 4);
+        let mut entries = storage;
         for i in 0..m.rows() {
             for &x in m.row(i) {
                 push_c32(&mut entries, x);
@@ -200,7 +234,15 @@ impl PackedOperand {
 
     /// Pack a complex operand by columns (FP32C mode).
     pub fn pack_cols_c32(m: &Matrix<Complex<f32>>) -> Self {
-        let mut entries = Vec::with_capacity(m.rows() * m.cols() * 4);
+        Self::pack_cols_c32_in(m, Vec::new())
+    }
+
+    /// [`PackedOperand::pack_cols_c32`] packing into `storage` (see
+    /// [`PackedOperand::try_pack_rows_f32_in`]).
+    pub fn pack_cols_c32_in(m: &Matrix<Complex<f32>>, mut storage: Vec<BufferEntry>) -> Self {
+        storage.clear();
+        storage.reserve(m.rows() * m.cols() * 4);
+        let mut entries = storage;
         for j in 0..m.cols() {
             for i in 0..m.rows() {
                 push_c32(&mut entries, m.get(i, j));
@@ -213,6 +255,12 @@ impl PackedOperand {
             vecs: m.cols(),
             entries,
         }
+    }
+
+    /// Reclaim the entry storage for reuse by a later `*_in` pack call —
+    /// the other half of the arena round-trip.
+    pub fn into_storage(self) -> Vec<BufferEntry> {
+        self.entries
     }
 
     /// The mode this operand was decoded for.

@@ -10,10 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 echo "== cargo test -q"
 cargo test -q
 
 echo "== cargo test --release -q"
 cargo test --release -q
+
+echo "== cross-validation: functional ExecStats vs analytical model (release)"
+cargo test --release -q --test cross_validation
 
 echo "== OK"

@@ -21,4 +21,7 @@ pub use m3xu_kernels as kernels;
 pub use m3xu_mxu as mxu;
 pub use m3xu_synth as synth;
 
-pub use m3xu_core::{Complex, GemmPrecision, M3xu, M3xuError, Matrix, C32};
+pub use m3xu_core::{
+    default_context, Complex, ExecStats, GemmExecutor, GemmPrecision, M3xu, M3xuContext, M3xuError,
+    Matrix, C32,
+};
