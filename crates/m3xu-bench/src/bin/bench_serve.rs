@@ -1,0 +1,381 @@
+//! `bench_serve` — throughput and latency of the `m3xu-serve` scheduler
+//! under offered load, with bit-identity against the direct context path
+//! asserted on every served result. Emits `results/BENCH_serve.json`.
+//!
+//! Three experiments:
+//!
+//! 1. **Headline** — 64 requests of a 256^3 M3XU-FP32 GEMM on an 8-worker
+//!    service, submit-one-wait-one vs submit-all-then-wait (batched).
+//!    Wall-clock is reported alongside a *modelled* per-worker timeline:
+//!    each request's serial cost is measured in a calibration pass, then
+//!    list-scheduled over the configured workers. On a host with fewer
+//!    physical cores than workers the wall numbers collapse to the
+//!    compute bound; the modelled makespan is the machine-independent
+//!    figure (the same convention the performance-model benches use).
+//! 2. **Tiny-request workload** — 512 requests of an 8^3 GEMM, where
+//!    per-epoch scheduling overhead dominates compute; here the batched
+//!    win is a genuine wall-clock measurement even on one core.
+//! 3. **Offered-load sweep** — closed-loop clients with a bounded
+//!    in-flight window over 1/2/8-worker services; per-request p50/p99
+//!    latency and throughput per cell.
+//!
+//! `M3XU_BENCH_SERVE_SMALL=1` shrinks the headline to 16 x 128^3 for a
+//! quick smoke run (the JSON records the sizes actually used).
+
+use m3xu_bench::{dump_json, timing::fmt_duration};
+use m3xu_json::impl_to_json;
+use m3xu_kernels::M3xuContext;
+use m3xu_mxu::matrix::Matrix;
+use m3xu_serve::{GemmPrecision, GemmResult, M3xuServe, ServeConfig, SubmitOpts};
+use std::time::{Duration, Instant};
+
+/// Inputs reused by every request of one workload (identical requests, so
+/// one reference result checks them all).
+struct Workload {
+    n: usize,
+    a: Matrix<f32>,
+    b: Matrix<f32>,
+    c: Matrix<f32>,
+    reference: Matrix<f32>,
+}
+
+impl Workload {
+    fn new(n: usize) -> Workload {
+        let a = Matrix::<f32>::random(n, n, 0x5E + n as u64);
+        let b = Matrix::<f32>::random(n, n, 0x5F + n as u64);
+        let c = Matrix::<f32>::zeros(n, n);
+        let reference = M3xuContext::with_threads(1)
+            .try_gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c)
+            .expect("reference GEMM")
+            .d;
+        Workload {
+            n,
+            a,
+            b,
+            c,
+            reference,
+        }
+    }
+
+    fn check(&self, got: &GemmResult<f32>) -> bool {
+        got.d
+            .as_slice()
+            .iter()
+            .zip(self.reference.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+}
+
+/// One closed-loop run: `requests` identical GEMMs with at most
+/// `in_flight` outstanding. Returns (wall seconds, per-request submit→
+/// resolve latencies, all results bit-identical).
+fn run_closed_loop(
+    serve: &M3xuServe,
+    w: &Workload,
+    requests: usize,
+    in_flight: usize,
+) -> (f64, Vec<Duration>, bool) {
+    let mut window = std::collections::VecDeque::new();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut identical = true;
+    let start = Instant::now();
+    for _ in 0..requests {
+        if window.len() >= in_flight.max(1) {
+            let (t0, ticket): (Instant, m3xu_serve::Ticket<GemmResult<f32>>) =
+                window.pop_front().unwrap();
+            let res = ticket.wait().expect("served GEMM");
+            latencies.push(t0.elapsed());
+            identical &= w.check(&res);
+        }
+        let t0 = Instant::now();
+        let ticket = serve
+            .submit_gemm_f32(
+                "bench",
+                GemmPrecision::M3xuFp32,
+                w.a.clone(),
+                w.b.clone(),
+                w.c.clone(),
+                SubmitOpts::default(),
+            )
+            .expect("submit");
+        window.push_back((t0, ticket));
+    }
+    while let Some((t0, ticket)) = window.pop_front() {
+        let res = ticket.wait().expect("served GEMM");
+        latencies.push(t0.elapsed());
+        identical &= w.check(&res);
+    }
+    (start.elapsed().as_secs_f64(), latencies, identical)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// The headline comparison row.
+struct HeadlineRow {
+    /// Problem size `n` of each `n^3` request.
+    n: u64,
+    /// Requests issued.
+    requests: u64,
+    /// Service worker threads.
+    workers: u64,
+    /// Measured serial cost of one request on one worker, seconds.
+    serial_cost_s: f64,
+    /// Wall seconds, submit-one-wait-one.
+    one_at_a_time_s: f64,
+    /// Wall seconds, submit-all-then-wait (batched epoch path).
+    batched_s: f64,
+    /// `one_at_a_time_s / batched_s` (compute-bound ~1 when the host has
+    /// fewer cores than workers).
+    wall_speedup: f64,
+    /// Modelled makespan with one request in flight: `requests x cost`.
+    modelled_one_at_a_time_s: f64,
+    /// Modelled batched makespan: equal-cost list schedule over the
+    /// workers, `ceil(requests / workers) x cost`.
+    modelled_batched_s: f64,
+    /// `modelled_one_at_a_time_s / modelled_batched_s` — the batching
+    /// speedup an actually-parallel `workers`-way MXU realises.
+    modelled_speedup: f64,
+    /// Every served result was bit-identical to the direct context path.
+    bit_identical: bool,
+}
+impl_to_json!(HeadlineRow {
+    n,
+    requests,
+    workers,
+    serial_cost_s,
+    one_at_a_time_s,
+    batched_s,
+    wall_speedup,
+    modelled_one_at_a_time_s,
+    modelled_batched_s,
+    modelled_speedup,
+    bit_identical
+});
+
+/// The tiny-request (overhead-dominated) comparison row.
+struct TinyRow {
+    /// Problem size `n` of each `n^3` request.
+    n: u64,
+    /// Requests issued.
+    requests: u64,
+    /// Service worker threads.
+    workers: u64,
+    /// Wall seconds, submit-one-wait-one.
+    one_at_a_time_s: f64,
+    /// Wall seconds, batched.
+    batched_s: f64,
+    /// Measured wall speedup (genuine even on one core: the win is
+    /// amortised scheduling overhead, not parallel compute).
+    wall_speedup: f64,
+    /// Every served result was bit-identical to the direct context path.
+    bit_identical: bool,
+}
+impl_to_json!(TinyRow {
+    n,
+    requests,
+    workers,
+    one_at_a_time_s,
+    batched_s,
+    wall_speedup,
+    bit_identical
+});
+
+/// One offered-load sweep cell.
+struct SweepRow {
+    /// Service worker threads.
+    workers: u64,
+    /// Closed-loop in-flight window.
+    in_flight: u64,
+    /// Requests issued.
+    requests: u64,
+    /// Problem size `n` of each `n^3` request.
+    n: u64,
+    /// Wall seconds for the whole run.
+    wall_s: f64,
+    /// Requests per second.
+    throughput_rps: f64,
+    /// Median submit→resolve latency, milliseconds.
+    p50_ms: f64,
+    /// 99th-percentile submit→resolve latency, milliseconds.
+    p99_ms: f64,
+    /// Every served result was bit-identical to the direct context path.
+    bit_identical: bool,
+}
+impl_to_json!(SweepRow {
+    workers,
+    in_flight,
+    requests,
+    n,
+    wall_s,
+    throughput_rps,
+    p50_ms,
+    p99_ms,
+    bit_identical
+});
+
+/// The full report written to `results/BENCH_serve.json`.
+struct Report {
+    /// Physical parallelism of the measuring host (contextualises the
+    /// wall vs modelled headline numbers).
+    host_parallelism: u64,
+    /// Experiment 1.
+    headline: HeadlineRow,
+    /// Experiment 2.
+    tiny: TinyRow,
+    /// Experiment 3.
+    sweep: Vec<SweepRow>,
+}
+impl_to_json!(Report {
+    host_parallelism,
+    headline,
+    tiny,
+    sweep
+});
+
+fn serve_with(workers: usize, queue_capacity: usize, max_batch: usize) -> M3xuServe {
+    M3xuServe::new(ServeConfig {
+        workers,
+        queue_capacity,
+        max_batch,
+        ..ServeConfig::default()
+    })
+}
+
+fn headline(n: usize, requests: usize, workers: usize) -> HeadlineRow {
+    let w = Workload::new(n);
+    // Calibrate the per-request serial cost on a single-worker context.
+    let calib = M3xuContext::with_threads(1);
+    let t = Instant::now();
+    let _ = calib
+        .try_gemm_f32(GemmPrecision::M3xuFp32, &w.a, &w.b, &w.c)
+        .unwrap();
+    let serial_cost_s = t.elapsed().as_secs_f64();
+
+    let serve = serve_with(workers, requests, requests);
+    let (one_s, _, id1) = run_closed_loop(&serve, &w, requests, 1);
+    let (bat_s, _, id2) = run_closed_loop(&serve, &w, requests, requests);
+    let modelled_one = requests as f64 * serial_cost_s;
+    let modelled_bat = requests.div_ceil(workers) as f64 * serial_cost_s;
+    HeadlineRow {
+        n: n as u64,
+        requests: requests as u64,
+        workers: workers as u64,
+        serial_cost_s,
+        one_at_a_time_s: one_s,
+        batched_s: bat_s,
+        wall_speedup: one_s / bat_s,
+        modelled_one_at_a_time_s: modelled_one,
+        modelled_batched_s: modelled_bat,
+        modelled_speedup: modelled_one / modelled_bat,
+        bit_identical: id1 && id2,
+    }
+}
+
+fn tiny(n: usize, requests: usize, workers: usize) -> TinyRow {
+    let w = Workload::new(n);
+    let serve = serve_with(workers, requests, 64);
+    // Warm both paths once so pool/arena setup is off the clock.
+    let (_, _, warm) = run_closed_loop(&serve, &w, workers * 4, workers * 4);
+    assert!(warm, "warm-up diverged");
+    let (one_s, _, id1) = run_closed_loop(&serve, &w, requests, 1);
+    let (bat_s, _, id2) = run_closed_loop(&serve, &w, requests, requests);
+    TinyRow {
+        n: n as u64,
+        requests: requests as u64,
+        workers: workers as u64,
+        one_at_a_time_s: one_s,
+        batched_s: bat_s,
+        wall_speedup: one_s / bat_s,
+        bit_identical: id1 && id2,
+    }
+}
+
+fn sweep_cell(w: &Workload, requests: usize, workers: usize, in_flight: usize) -> SweepRow {
+    let serve = serve_with(workers, requests.max(64), 32);
+    let (wall_s, mut lat, identical) = run_closed_loop(&serve, w, requests, in_flight);
+    lat.sort();
+    SweepRow {
+        workers: workers as u64,
+        in_flight: in_flight as u64,
+        requests: requests as u64,
+        n: w.n as u64,
+        wall_s,
+        throughput_rps: requests as f64 / wall_s,
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        bit_identical: identical,
+    }
+}
+
+fn main() {
+    let small = std::env::var("M3XU_BENCH_SERVE_SMALL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("m3xu-serve scheduler benchmark (host parallelism {host})\n");
+
+    let (hn, hreq) = if small { (128, 16) } else { (256, 64) };
+    let head = headline(hn, hreq, 8);
+    println!(
+        "headline {req} x {n}^3 on {wk} workers: one-at-a-time {one}, batched {bat} \
+         (wall {ws:.2}x; modelled {ms:.2}x on a {wk}-way MXU; bit-identical: {bi})",
+        req = head.requests,
+        n = head.n,
+        wk = head.workers,
+        one = fmt_duration(Duration::from_secs_f64(head.one_at_a_time_s)),
+        bat = fmt_duration(Duration::from_secs_f64(head.batched_s)),
+        ws = head.wall_speedup,
+        ms = head.modelled_speedup,
+        bi = head.bit_identical,
+    );
+
+    let tiny_row = tiny(8, 512, 8);
+    println!(
+        "tiny {req} x {n}^3 on {wk} workers: one-at-a-time {one}, batched {bat} \
+         (wall {ws:.2}x; bit-identical: {bi})",
+        req = tiny_row.requests,
+        n = tiny_row.n,
+        wk = tiny_row.workers,
+        one = fmt_duration(Duration::from_secs_f64(tiny_row.one_at_a_time_s)),
+        bat = fmt_duration(Duration::from_secs_f64(tiny_row.batched_s)),
+        ws = tiny_row.wall_speedup,
+        bi = tiny_row.bit_identical,
+    );
+
+    let sweep_n = if small { 32 } else { 64 };
+    let sweep_req = if small { 16 } else { 64 };
+    let w = Workload::new(sweep_n);
+    let mut sweep = Vec::new();
+    println!("\noffered-load sweep ({sweep_req} x {sweep_n}^3 per cell):");
+    for &workers in &[1usize, 2, 8] {
+        for &in_flight in &[1usize, 4, 16, 64] {
+            let row = sweep_cell(&w, sweep_req, workers, in_flight);
+            println!(
+                "  workers {:>2} in-flight {:>3}: {:>8.1} req/s  p50 {:>8.2} ms  p99 {:>8.2} ms",
+                row.workers, row.in_flight, row.throughput_rps, row.p50_ms, row.p99_ms
+            );
+            sweep.push(row);
+        }
+    }
+
+    assert!(
+        head.bit_identical && tiny_row.bit_identical && sweep.iter().all(|r| r.bit_identical),
+        "served results diverged from the direct context path"
+    );
+    let report = Report {
+        host_parallelism: host as u64,
+        headline: head,
+        tiny: tiny_row,
+        sweep,
+    };
+    dump_json("BENCH_serve", &report).expect("write results/BENCH_serve.json");
+    println!("\nwrote results/BENCH_serve.json");
+}

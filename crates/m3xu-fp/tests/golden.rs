@@ -1,0 +1,245 @@
+//! Golden-value tests: hard-coded bit patterns for the mantissa-split and
+//! rounding edge cases the property suites only hit probabilistically —
+//! subnormals, signed zero, infinities, NaN payloads, round-to-nearest-even
+//! ties at both the FP32 and the 12-bit split-boundary precision, and
+//! deep-underflow accumulation. Every expectation is a literal bit
+//! pattern, so a regression cannot hide behind an approximate comparison.
+
+use m3xu_fp::fixed::Kulisch;
+use m3xu_fp::format::{FP32, M3XU_BUFFER};
+use m3xu_fp::rounding::{round_with, Rounding};
+use m3xu_fp::split::{join_fp32, split_fp32, FP32_LOW_BITS};
+
+/// `2^k` as an exact `f64` (valid down to the subnormal floor at -1074).
+fn pow2(k: i32) -> f64 {
+    if k >= -1022 {
+        2.0f64.powi(k)
+    } else {
+        2.0f64.powi(-1000) * 2.0f64.powi(k + 1000)
+    }
+}
+
+// ---- split_fp32 ---------------------------------------------------------
+
+#[test]
+fn split_subnormals_bit_exactly() {
+    // Minimum positive subnormal: entirely inside the low 12 bits, so the
+    // high half is +0 and the low half is the input, bit for bit.
+    let min_sub = f32::from_bits(0x0000_0001);
+    let (hi, lo) = split_fp32(min_sub);
+    assert_eq!(hi.to_bits(), 0x0000_0000);
+    assert_eq!(lo.to_bits(), 0x0000_0001);
+    assert_eq!(join_fp32(hi, lo).to_bits(), min_sub.to_bits());
+
+    // All twelve low mantissa bits set, nothing above: still (0, x).
+    let low_full = f32::from_bits(0x0000_0FFF);
+    let (hi, lo) = split_fp32(low_full);
+    assert_eq!(hi.to_bits(), 0x0000_0000);
+    assert_eq!(lo.to_bits(), 0x0000_0FFF);
+
+    // First bit above the split boundary: clean (x, 0) split.
+    let boundary = f32::from_bits(0x0000_1000);
+    let (hi, lo) = split_fp32(boundary);
+    assert_eq!(hi.to_bits(), 0x0000_1000);
+    assert_eq!(lo.to_bits(), 0x0000_0000);
+
+    // A subnormal straddling the boundary splits error-free into two
+    // subnormals.
+    let straddle = f32::from_bits(0x0000_1ABC);
+    let (hi, lo) = split_fp32(straddle);
+    assert_eq!(hi.to_bits(), 0x0000_1000);
+    assert_eq!(lo.to_bits(), 0x0000_0ABC);
+    assert_eq!((hi + lo).to_bits(), straddle.to_bits());
+}
+
+#[test]
+fn split_signed_zero_and_infinities() {
+    let (hi, lo) = split_fp32(0.0);
+    assert_eq!(hi.to_bits(), 0x0000_0000);
+    assert_eq!(lo.to_bits(), 0x0000_0000);
+
+    // -0.0 keeps its sign in the high half.
+    let (hi, lo) = split_fp32(-0.0);
+    assert_eq!(hi.to_bits(), 0x8000_0000);
+    assert_eq!(lo.to_bits(), 0x0000_0000);
+
+    let (hi, lo) = split_fp32(f32::INFINITY);
+    assert_eq!(hi.to_bits(), 0x7F80_0000);
+    assert_eq!(lo.to_bits(), 0x0000_0000);
+    let (hi, lo) = split_fp32(f32::NEG_INFINITY);
+    assert_eq!(hi.to_bits(), 0xFF80_0000);
+    assert_eq!(lo.to_bits(), 0x0000_0000);
+}
+
+#[test]
+fn split_preserves_nan_payload_bits() {
+    // A quiet NaN with a distinctive payload must come back bit-identical
+    // in the high half (splitting must not canonicalise it).
+    for bits in [
+        0x7FC1_2345u32,
+        0xFFC0_DEAD,
+        0x7F81_0001, /* signalling */
+    ] {
+        let x = f32::from_bits(bits);
+        let (hi, lo) = split_fp32(x);
+        assert_eq!(hi.to_bits(), bits, "payload lost for {bits:#010x}");
+        assert_eq!(lo.to_bits(), 0x0000_0000);
+    }
+}
+
+#[test]
+fn split_boundary_of_normal_values() {
+    // 1.0 + 2^-12: the added bit is the top of the low half, so
+    // hi == 1.0 exactly and lo == 2^-12 exactly.
+    let x = f32::from_bits(0x3F80_0800);
+    let (hi, lo) = split_fp32(x);
+    assert_eq!(hi.to_bits(), 0x3F80_0000);
+    assert_eq!(lo.to_bits(), 2.0f32.powi(-12).to_bits());
+    assert_eq!((hi + lo).to_bits(), x.to_bits());
+
+    // 1.0 + 2^-11: lowest bit of the *high* half; splits as (x, 0).
+    let x = f32::from_bits(0x3F80_1000);
+    let (hi, lo) = split_fp32(x);
+    assert_eq!(hi.to_bits(), x.to_bits());
+    assert_eq!(lo.to_bits(), 0x0000_0000);
+
+    // Largest finite FP32: error-free split with a large low half.
+    let x = f32::MAX;
+    let (hi, lo) = split_fp32(x);
+    assert_eq!((hi + lo).to_bits(), x.to_bits());
+    assert_eq!(
+        hi.to_bits() & ((1u32 << FP32_LOW_BITS) - 1),
+        0,
+        "high half must have clear low bits"
+    );
+}
+
+// ---- Kulisch round-to-nearest-even ties --------------------------------
+
+#[test]
+fn kulisch_rne_tie_at_fp32_rounds_to_even() {
+    // 1 + 2^-24 sits exactly between 1.0 (mantissa 0, even) and
+    // 1 + 2^-23 (mantissa 1, odd): ties-to-even keeps 1.0.
+    let mut acc = Kulisch::new();
+    acc.add_f64(1.0);
+    acc.add_f64(pow2(-24));
+    assert_eq!(acc.to_f32().to_bits(), 0x3F80_0000);
+
+    // 1 + 3·2^-24 ties between mantissa 1 (odd) and 2 (even): goes up.
+    let mut acc = Kulisch::new();
+    acc.add_f64(1.0);
+    acc.add_f64(3.0 * pow2(-24));
+    assert_eq!(acc.to_f32().to_bits(), 0x3F80_0002);
+
+    // Any sticky bit below the tie breaks it upward.
+    let mut acc = Kulisch::new();
+    acc.add_f64(1.0);
+    acc.add_f64(pow2(-24));
+    acc.add_f64(pow2(-90));
+    assert_eq!(acc.to_f32().to_bits(), 0x3F80_0001);
+
+    // 1 - 2^-25: tie between 1 - 2^-24 (odd) and 1.0 (even): up to 1.0.
+    let mut acc = Kulisch::new();
+    acc.add_f64(1.0);
+    acc.sub_f64(pow2(-25));
+    assert_eq!(acc.to_f32().to_bits(), 0x3F80_0000);
+
+    // ... and with a sticky bit it stays below.
+    let mut acc = Kulisch::new();
+    acc.add_f64(1.0);
+    acc.sub_f64(pow2(-25));
+    acc.sub_f64(pow2(-90));
+    assert_eq!(acc.to_f32().to_bits(), 0x3F7F_FFFF);
+}
+
+#[test]
+fn kulisch_deep_underflow_golden() {
+    // The minimum positive f64 subnormal (2^-1074) is held exactly and
+    // survives the f64 round-trip...
+    let mut acc = Kulisch::new();
+    acc.add_f64(f64::from_bits(1));
+    assert_eq!(acc.to_f64().to_bits(), 1);
+    // ...but is a total underflow in FP32.
+    assert_eq!(acc.to_f32().to_bits(), 0x0000_0000);
+    let (v, flags) = acc.round_to_flagged(FP32);
+    assert_eq!(v, 0.0);
+    assert!(flags.underflow && flags.inexact);
+
+    // 2^-150 is exactly half the least FP32 subnormal: tie to even (zero).
+    let mut acc = Kulisch::new();
+    acc.add_f64(pow2(-150));
+    assert_eq!(acc.to_f32().to_bits(), 0x0000_0000);
+    // A sticky bit rounds it up to the least subnormal instead.
+    acc.add_f64(pow2(-400));
+    assert_eq!(acc.to_f32().to_bits(), 0x0000_0001);
+
+    // The least FP32 subnormal itself is exact.
+    let mut acc = Kulisch::new();
+    acc.add_f64(pow2(-149));
+    assert_eq!(acc.to_f32().to_bits(), 0x0000_0001);
+
+    // Negative tie mirrors to -0.0, preserving the sign bit.
+    let mut acc = Kulisch::new();
+    acc.sub_f64(pow2(-150));
+    assert_eq!(acc.to_f32().to_bits(), 0x8000_0000);
+}
+
+#[test]
+fn kulisch_exact_cancellation_of_split_products() {
+    // A split multiplication re-accumulated term by term must cancel its
+    // own FP64 total exactly — the error-free property at the heart of
+    // Observation 1, checked through the accumulator.
+    let a = f32::from_bits(0x4049_0FDB); // pi
+    let b = f32::from_bits(0x402D_F854); // e
+    let (ah, al) = split_fp32(a);
+    let (bh, bl) = split_fp32(b);
+    let mut acc = Kulisch::new();
+    acc.add_product_f32(ah, bh);
+    acc.add_product_f32(ah, bl);
+    acc.add_product_f32(al, bh);
+    acc.add_product_f32(al, bl);
+    acc.sub_f64(a as f64 * b as f64);
+    assert!(acc.is_zero(), "split products must reproduce a*b exactly");
+}
+
+// ---- ties at the 12-bit split boundary ---------------------------------
+
+#[test]
+fn rne_ties_at_the_split_boundary_precision() {
+    // M3XU_BUFFER bookkeeping width: 12 explicit mantissa bits, so the
+    // representable spacing at 1.0 is 2^-12 and ties sit at odd multiples
+    // of 2^-13.
+    assert_eq!(M3XU_BUFFER.mantissa_bits, FP32_LOW_BITS);
+
+    // 1 + 2^-13: tie between 1.0 (even) and 1 + 2^-12 (odd) — stays 1.0.
+    let v = round_with(1.0 + pow2(-13), M3XU_BUFFER, Rounding::NearestEven);
+    assert_eq!(v.to_bits(), 1.0f64.to_bits());
+
+    // 1 + 3·2^-13: tie between 1 + 2^-12 (odd) and 1 + 2^-11 (even) — up.
+    let v = round_with(1.0 + 3.0 * pow2(-13), M3XU_BUFFER, Rounding::NearestEven);
+    assert_eq!(v.to_bits(), (1.0 + pow2(-11)).to_bits());
+
+    // A sticky bit below the tie point always rounds away from even.
+    let v = round_with(
+        1.0 + pow2(-13) + pow2(-40),
+        M3XU_BUFFER,
+        Rounding::NearestEven,
+    );
+    assert_eq!(v.to_bits(), (1.0 + pow2(-12)).to_bits());
+
+    // Directed modes bracket the tie: toward zero truncates, toward
+    // +inf rounds up — the interval the validation harness checks against.
+    let x = 1.0 + pow2(-13);
+    assert_eq!(
+        round_with(x, M3XU_BUFFER, Rounding::TowardZero).to_bits(),
+        1.0f64.to_bits()
+    );
+    assert_eq!(
+        round_with(x, M3XU_BUFFER, Rounding::TowardPositive).to_bits(),
+        (1.0 + pow2(-12)).to_bits()
+    );
+    assert_eq!(
+        round_with(-x, M3XU_BUFFER, Rounding::TowardNegative).to_bits(),
+        (-(1.0 + pow2(-12))).to_bits()
+    );
+}

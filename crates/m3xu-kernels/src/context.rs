@@ -305,7 +305,31 @@ impl M3xuContext {
         }
     }
 
+    /// Execute `f(0), f(1), ..., f(tasks - 1)` on this context's worker
+    /// pool — the batching seam service layers build on: a scheduler can
+    /// fold many *small* requests into one pool epoch by making each task
+    /// execute a whole request inline. A GEMM issued from inside a task
+    /// (e.g. [`M3xuContext::try_gemm_f32`]) runs inline on that worker by
+    /// the pool's reentrancy contract, bit-identical to a direct call.
+    pub fn run_tasks<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
+        self.pool().run(tasks, f);
+    }
+
     /// Snapshot the cumulative execution counters.
+    ///
+    /// # Relaxed-ordering caveat
+    ///
+    /// All counters — including the [`ExecStats::pack_ns`] /
+    /// [`ExecStats::exec_ns`] wall-time sums — are maintained with
+    /// `Relaxed` atomic adds and loaded field-by-field here. Each counter
+    /// is individually monotone, but a snapshot taken while other threads
+    /// are recording may mix fields from different in-flight GEMMs (e.g.
+    /// observe a call's `pack_ns` before its `exec_ns` lands). Snapshot
+    /// deltas over a quiesced context are exact; under concurrency treat a
+    /// single snapshot as a consistent *lower bound* per field, not a
+    /// cross-field transaction. Note also that the wall-time sums add up
+    /// *per-call* elapsed times: concurrent GEMMs overlap in real time, so
+    /// `pack_ns + exec_ns` can exceed the wall-clock span of the workload.
     pub fn stats(&self) -> ExecStats {
         self.counters.snapshot()
     }

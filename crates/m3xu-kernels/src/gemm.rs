@@ -71,7 +71,10 @@ pub enum GemmPrecision {
 }
 
 impl GemmPrecision {
-    fn mode(self) -> MxuMode {
+    /// The [`MxuMode`] this engine executes in — the key into per-mode
+    /// [`ExecStats`](crate::context::ExecStats) counters and the element
+    /// width behind the rule-(c) operand-traffic formula.
+    pub fn mode(self) -> MxuMode {
         match self {
             GemmPrecision::M3xuFp32 => MxuMode::M3xuFp32,
             GemmPrecision::Tf32 => MxuMode::Tf32,

@@ -1,0 +1,99 @@
+//! Typed service-layer errors, layered on the kernel crate's
+//! [`M3xuError`].
+//!
+//! The service boundary adds failure modes the kernels cannot have: a
+//! bounded queue that is full, a deadline that expired while the request
+//! was still queued, and a service that is shutting down. Execution-time
+//! rejections (shape mismatches, fragment overflows, …) pass through
+//! verbatim inside [`ServeError::Exec`], so a client can route on the
+//! same typed kernel errors it would see calling the context directly.
+
+use m3xu_mxu::error::M3xuError;
+use std::fmt;
+
+/// The error type of every fallible `m3xu-serve` entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded submission queue was full and the request was not
+    /// enqueued. Backpressure, not failure: retry, shed, or switch to the
+    /// blocking `submit_*` forms.
+    QueueFull {
+        /// The queue's configured capacity at rejection time.
+        capacity: usize,
+    },
+    /// The request's deadline passed before execution began; the request
+    /// was dropped without running.
+    Deadline {
+        /// How far past the deadline the scheduler was when it checked,
+        /// in nanoseconds.
+        late_ns: u64,
+    },
+    /// The service is shutting down (or already shut down); the request
+    /// was not (or will not be) executed.
+    ShuttingDown,
+    /// The kernel rejected the request at execution time; the inner
+    /// [`M3xuError`] is exactly what a direct context call would return.
+    Exec(M3xuError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::Deadline { late_ns } => {
+                write!(f, "deadline exceeded {late_ns} ns before execution began")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Exec(e) => write!(f, "execution rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<M3xuError> for ServeError {
+    fn from(e: M3xuError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        assert!(ServeError::QueueFull { capacity: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(ServeError::Deadline { late_ns: 17 }
+            .to_string()
+            .contains("17"));
+        let inner = M3xuError::ShapeMismatch {
+            context: "gemm(B)",
+            expected: (2, 3),
+            got: (4, 3),
+        };
+        let e = ServeError::from(inner.clone());
+        assert!(e.to_string().contains("gemm(B)"));
+        assert_eq!(e, ServeError::Exec(inner));
+    }
+
+    #[test]
+    fn exec_source_is_the_kernel_error() {
+        use std::error::Error;
+        let e = ServeError::Exec(M3xuError::InvalidArgument { context: "x" });
+        assert!(e.source().is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

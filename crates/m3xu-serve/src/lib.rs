@@ -1,0 +1,401 @@
+//! A multi-tenant serving layer over the M3XU execution context.
+//!
+//! The kernels crate answers "how do we compute an FP32/FP32C GEMM on a
+//! low-precision MXU"; this crate answers "how do many clients share one
+//! emulated MXU". [`M3xuServe`] owns an [`M3xuContext`] (worker pool +
+//! counter sink), a bounded submission queue, and a scheduler thread:
+//!
+//! * **admission** — [`M3xuServe::try_submit_gemm_f32`] and friends
+//!   reject with typed [`ServeError::QueueFull`] when the queue is at
+//!   capacity; the `submit_*` forms block for space instead. Requests may
+//!   carry a deadline; the scheduler drops expired ones with
+//!   [`ServeError::Deadline`] without executing them.
+//! * **scheduling** — drained requests classify by output-tile count:
+//!   small ones are *batched* into a single worker-pool epoch (one
+//!   request per task, executing inline on its worker), large ones run
+//!   one at a time so the kernel's tile-wise sharding spreads each across
+//!   the whole pool. Both paths make exactly the calls a direct
+//!   [`M3xuContext`] user would, so served results are **bit-identical**
+//!   to unserved ones — a property the workspace's differential tests
+//!   assert.
+//! * **accounting** — every outcome is recorded into the submitting
+//!   tenant's [`TenantStats`]: request counts by disposition, MMA
+//!   instructions and steps, rule-(c) operand bytes, queue wait and
+//!   execution wall time. Summed over tenants these reproduce the shared
+//!   context's [`ExecStats`] totals.
+//!
+//! ```
+//! use m3xu_serve::{M3xuServe, ServeConfig, SubmitOpts};
+//! use m3xu_kernels::gemm::GemmPrecision;
+//! use m3xu_mxu::matrix::Matrix;
+//!
+//! let serve = M3xuServe::new(ServeConfig { workers: 2, ..ServeConfig::default() });
+//! let a = Matrix::<f32>::random(32, 32, 1);
+//! let b = Matrix::<f32>::random(32, 32, 2);
+//! let c = Matrix::<f32>::zeros(32, 32);
+//! let ticket = serve
+//!     .try_submit_gemm_f32("alice", GemmPrecision::M3xuFp32, a, b, c, SubmitOpts::default())
+//!     .unwrap();
+//! let result = ticket.wait().unwrap();
+//! assert_eq!(result.d.rows(), 32);
+//! assert_eq!(serve.tenant_stats("alice").unwrap().completed, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod queue;
+mod scheduler;
+mod tenant;
+
+pub use error::ServeError;
+pub use tenant::TenantStats;
+
+// The types that cross the service boundary, re-exported so clients can
+// depend on `m3xu-serve` alone.
+pub use m3xu_fp::C32;
+pub use m3xu_kernels::context::{ExecStats, M3xuContext};
+pub use m3xu_kernels::gemm::{GemmPrecision, GemmResult};
+pub use m3xu_mxu::mma::MmaStats;
+
+use crate::queue::{Request, SubmitQueue, Work};
+use crate::scheduler::SchedulerCore;
+use crate::tenant::TenantRegistry;
+use m3xu_mxu::matrix::Matrix;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Construction-time policy for [`M3xuServe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads for this service's private pool; `0` shares the
+    /// process-wide pool (whose size `M3XU_THREADS` fixes at first use).
+    pub workers: usize,
+    /// Bounded queue capacity; `try_submit_*` rejects past it.
+    pub queue_capacity: usize,
+    /// Most requests the scheduler drains per batch.
+    pub max_batch: usize,
+    /// Output-tile threshold between the batched path (`<=`, whole
+    /// request as one pool task) and the sharded path (`>`, kernel
+    /// spreads its tiles across the pool). The default, 4096 tiles,
+    /// batches anything up to a 512x512 output.
+    pub shard_tiles: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 64,
+            max_batch: 32,
+            shard_tiles: 4096,
+        }
+    }
+}
+
+/// Per-request submission options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOpts {
+    /// Drop the request (with [`ServeError::Deadline`]) if it is still
+    /// queued this long after submission.
+    pub deadline: Option<Duration>,
+}
+
+/// A handle to one in-flight request's eventual result.
+pub struct Ticket<T> {
+    rx: Receiver<Result<T, ServeError>>,
+}
+
+impl<T> Ticket<T> {
+    /// Block until the request resolves — with its result, a typed
+    /// rejection, or [`ServeError::ShuttingDown`] if the service died
+    /// without answering.
+    pub fn wait(self) -> Result<T, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<T, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The serving front end: submission API, scheduler thread, execution
+/// context, and per-tenant accounting. Share it across client threads by
+/// reference (or `Arc`); dropping it shuts the scheduler down, rejecting
+/// anything still queued.
+pub struct M3xuServe {
+    ctx: Arc<M3xuContext>,
+    queue: Arc<SubmitQueue>,
+    registry: TenantRegistry,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl M3xuServe {
+    /// Build a service with `config` and start its scheduler thread.
+    pub fn new(config: ServeConfig) -> Self {
+        let ctx = Arc::new(if config.workers == 0 {
+            M3xuContext::new()
+        } else {
+            M3xuContext::with_threads(config.workers)
+        });
+        let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
+        let core = SchedulerCore {
+            ctx: Arc::clone(&ctx),
+            queue: Arc::clone(&queue),
+            max_batch: config.max_batch.max(1),
+            shard_tiles: config.shard_tiles.max(1),
+        };
+        let scheduler = std::thread::Builder::new()
+            .name("m3xu-serve-scheduler".into())
+            .spawn(move || core.run_loop())
+            .expect("spawn m3xu-serve scheduler thread");
+        M3xuServe {
+            ctx,
+            queue,
+            registry: TenantRegistry::default(),
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// [`M3xuServe::new`] with a private `workers`-thread pool and default
+    /// queue/batch policy.
+    pub fn with_workers(workers: usize) -> Self {
+        M3xuServe::new(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+    }
+
+    // ---- submission ----------------------------------------------------
+
+    fn push(
+        &self,
+        tenant: &str,
+        opts: SubmitOpts,
+        work: Work,
+        blocking: bool,
+    ) -> Result<(), ServeError> {
+        let account = self.registry.account(tenant);
+        account.record_submitted();
+        let now = Instant::now();
+        let req = Request {
+            tenant: account,
+            enqueued: now,
+            deadline: opts.deadline.map(|d| now + d),
+            work,
+        };
+        let pushed = if blocking {
+            self.queue.push_wait(req)
+        } else {
+            self.queue.try_push(req)
+        };
+        match pushed {
+            Ok(()) => Ok(()),
+            Err((req, e)) => {
+                req.tenant.record_rejected();
+                Err(e)
+            }
+        }
+    }
+
+    /// Non-blocking submission of a real GEMM `D = A·B + C` in
+    /// `precision`. Rejects with [`ServeError::QueueFull`] under
+    /// backpressure.
+    pub fn try_submit_gemm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::GemmF32 {
+                precision,
+                a,
+                b,
+                c,
+                reply,
+            },
+            false,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// [`M3xuServe::try_submit_gemm_f32`], but blocks for queue space
+    /// instead of rejecting (fails only on shutdown).
+    pub fn submit_gemm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::GemmF32 {
+                precision,
+                a,
+                b,
+                c,
+                reply,
+            },
+            true,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit-and-wait convenience: one GEMM, start to finish.
+    pub fn blocking_gemm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<f32>, ServeError> {
+        self.submit_gemm_f32(tenant, precision, a, b, c, opts)?
+            .wait()
+    }
+
+    /// Non-blocking submission of a complex FP32C GEMM `D = A·B + C`.
+    pub fn try_submit_cgemm_c32(
+        &self,
+        tenant: &str,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(tenant, opts, Work::CgemmC32 { a, b, c, reply }, false)?;
+        Ok(Ticket { rx })
+    }
+
+    /// [`M3xuServe::try_submit_cgemm_c32`], blocking for queue space.
+    pub fn submit_cgemm_c32(
+        &self,
+        tenant: &str,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(tenant, opts, Work::CgemmC32 { a, b, c, reply }, true)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit-and-wait convenience for one complex GEMM.
+    pub fn blocking_cgemm_c32(
+        &self,
+        tenant: &str,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<C32>, ServeError> {
+        self.submit_cgemm_c32(tenant, a, b, c, opts)?.wait()
+    }
+
+    /// Non-blocking submission of a GEMM-formulated FFT of `x` (length
+    /// must satisfy the kernel's power-of-two contract).
+    pub fn try_submit_fft(
+        &self,
+        tenant: &str,
+        x: Vec<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<(Vec<C32>, MmaStats)>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(tenant, opts, Work::Fft { x, reply }, false)?;
+        Ok(Ticket { rx })
+    }
+
+    /// [`M3xuServe::try_submit_fft`], blocking for queue space.
+    pub fn submit_fft(
+        &self,
+        tenant: &str,
+        x: Vec<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<(Vec<C32>, MmaStats)>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(tenant, opts, Work::Fft { x, reply }, true)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit-and-wait convenience for one FFT.
+    pub fn blocking_fft(
+        &self,
+        tenant: &str,
+        x: Vec<C32>,
+        opts: SubmitOpts,
+    ) -> Result<(Vec<C32>, MmaStats), ServeError> {
+        self.submit_fft(tenant, x, opts)?.wait()
+    }
+
+    // ---- observability -------------------------------------------------
+
+    /// The shared execution context's cumulative [`ExecStats`] (see its
+    /// relaxed-ordering caveat for snapshots under concurrency).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.ctx.stats()
+    }
+
+    /// One tenant's accounting; `None` if it has never submitted.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.registry.snapshot(tenant)
+    }
+
+    /// Every tenant name seen so far, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.registry.names()
+    }
+
+    /// Accounting summed over every tenant.
+    pub fn total_stats(&self) -> TenantStats {
+        self.registry.totals()
+    }
+
+    /// Requests currently queued (not yet drained by the scheduler).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The bounded queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Worker threads the execution context runs on.
+    pub fn workers(&self) -> usize {
+        self.ctx.threads()
+    }
+
+    /// The underlying execution context — for metering (`delta_since`
+    /// regions) or for direct calls that bypass queueing and per-tenant
+    /// accounting (the context's counters still record them).
+    pub fn context(&self) -> &M3xuContext {
+        &self.ctx
+    }
+}
+
+impl Drop for M3xuServe {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The bounded submission queue and the request model.
+//!
+//! Admission control happens here: [`SubmitQueue::try_push`] rejects with
+//! [`ServeError::QueueFull`] when the queue is at capacity (typed
+//! backpressure the client can route on), while [`SubmitQueue::push_wait`]
+//! blocks the submitter until space frees — the two standard load-shedding
+//! postures. The scheduler drains requests in FIFO order, up to the
+//! configured batch size per epoch.
+
+use crate::error::ServeError;
+use crate::tenant::TenantAccount;
+use m3xu_fp::C32;
+use m3xu_kernels::gemm::{GemmPrecision, GemmResult};
+use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::mma::{MmaShape, MmaStats};
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One queued operation, with the reply channel its [`Ticket`](crate::Ticket)
+/// listens on. Reply senders are rendezvous-free (`sync_channel(1)`): the
+/// single reply never blocks the worker.
+pub(crate) enum Work {
+    /// Real GEMM `D = A·B + C` in a [`GemmPrecision`].
+    GemmF32 {
+        /// Requested engine/precision.
+        precision: GemmPrecision,
+        /// `m x k` left operand.
+        a: Matrix<f32>,
+        /// `k x n` right operand.
+        b: Matrix<f32>,
+        /// `m x n` addend.
+        c: Matrix<f32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<f32>, ServeError>>,
+    },
+    /// Complex FP32C GEMM.
+    CgemmC32 {
+        /// `m x k` left operand.
+        a: Matrix<C32>,
+        /// `k x n` right operand.
+        b: Matrix<C32>,
+        /// `m x n` addend.
+        c: Matrix<C32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<C32>, ServeError>>,
+    },
+    /// GEMM-formulated FFT of a power-of-two-length signal.
+    Fft {
+        /// The input signal.
+        x: Vec<C32>,
+        /// Reply channel.
+        reply: SyncSender<Result<(Vec<C32>, MmaStats), ServeError>>,
+    },
+}
+
+impl Work {
+    /// Output tiles the request shards into (the small/large classifier).
+    /// An FFT decomposes into many small internal CGEMMs, so it always
+    /// batches as one unit.
+    pub(crate) fn output_tiles(&self) -> usize {
+        let grid = |rows: usize, cols: usize| {
+            let frag = MmaShape::BASELINE_FP16;
+            rows.div_ceil(frag.m) * cols.div_ceil(frag.n)
+        };
+        match self {
+            Work::GemmF32 { a, b, .. } => grid(a.rows(), b.cols()),
+            Work::CgemmC32 { a, b, .. } => grid(a.rows(), b.cols()),
+            Work::Fft { .. } => 1,
+        }
+    }
+
+    /// Resolve the request's ticket with `err` without executing it.
+    pub(crate) fn reject(&self, err: ServeError) {
+        match self {
+            Work::GemmF32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::CgemmC32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::Fft { reply, .. } => drop(reply.try_send(Err(err))),
+        }
+    }
+}
+
+/// A queued request: the operation plus its tenant handle and timing /
+/// deadline metadata.
+pub(crate) struct Request {
+    /// The tenant account every outcome is recorded into.
+    pub tenant: Arc<TenantAccount>,
+    /// When the request was accepted into the queue.
+    pub enqueued: Instant,
+    /// Drop without executing if still queued past this instant.
+    pub deadline: Option<Instant>,
+    /// The operation itself.
+    pub work: Work,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// A bounded MPSC queue: many submitters, one scheduler.
+pub(crate) struct SubmitQueue {
+    state: Mutex<QueueState>,
+    capacity: usize,
+    /// Scheduler waits here for work (or shutdown).
+    ready: Condvar,
+    /// Blocking submitters wait here for space (or shutdown).
+    space: Condvar,
+}
+
+fn lock(m: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SubmitQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SubmitQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// Non-blocking enqueue. On rejection the request is handed back with
+    /// the typed reason so the caller can account and resolve its ticket.
+    // The large Err is the point: rejection must return ownership of the
+    // request (operands included) so the submitter can resolve its ticket.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_push(&self, req: Request) -> Result<(), (Request, ServeError)> {
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Err((req, ServeError::ShuttingDown));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((
+                req,
+                ServeError::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        st.items.push_back(req);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking enqueue: waits for space instead of rejecting. Fails only
+    /// on shutdown.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn push_wait(&self, req: Request) -> Result<(), (Request, ServeError)> {
+        let mut st = lock(&self.state);
+        while !st.shutdown && st.items.len() >= self.capacity {
+            st = self.space.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.shutdown {
+            return Err((req, ServeError::ShuttingDown));
+        }
+        st.items.push_back(req);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Scheduler side: block until at least one request is queued, then
+    /// drain up to `max` in FIFO order. Returns `None` once shutdown is
+    /// flagged (any still-queued requests are left for [`take_all`]).
+    ///
+    /// [`take_all`]: SubmitQueue::take_all
+    pub(crate) fn drain(&self, max: usize) -> Option<Vec<Request>> {
+        let mut st = lock(&self.state);
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if !st.items.is_empty() {
+                let take = st.items.len().min(max.max(1));
+                let batch: Vec<Request> = st.items.drain(..take).collect();
+                // Space freed: wake every blocked submitter (they re-check
+                // capacity under the lock).
+                self.space.notify_all();
+                return Some(batch);
+            }
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Flag shutdown and wake everyone: the scheduler (to exit) and any
+    /// blocked submitters (to fail with [`ServeError::ShuttingDown`]).
+    pub(crate) fn shutdown(&self) {
+        let mut st = lock(&self.state);
+        st.shutdown = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Remove and return every queued request (the post-shutdown sweep).
+    pub(crate) fn take_all(&self) -> Vec<Request> {
+        let mut st = lock(&self.state);
+        let out: Vec<Request> = st.items.drain(..).collect();
+        self.space.notify_all();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn dummy(
+        n: usize,
+    ) -> (
+        Request,
+        std::sync::mpsc::Receiver<Result<GemmResult<f32>, ServeError>>,
+    ) {
+        let (tx, rx) = sync_channel(1);
+        let req = Request {
+            tenant: Arc::new(TenantAccount::default()),
+            enqueued: Instant::now(),
+            deadline: None,
+            work: Work::GemmF32 {
+                precision: GemmPrecision::M3xuFp32,
+                a: Matrix::zeros(n, n),
+                b: Matrix::zeros(n, n),
+                c: Matrix::zeros(n, n),
+                reply: tx,
+            },
+        };
+        (req, rx)
+    }
+
+    #[test]
+    fn try_push_rejects_when_full_with_capacity() {
+        let q = SubmitQueue::new(2);
+        let (r1, _k1) = dummy(1);
+        let (r2, _k2) = dummy(1);
+        let (r3, _k3) = dummy(1);
+        q.try_push(r1).map_err(|_| ()).unwrap();
+        q.try_push(r2).map_err(|_| ()).unwrap();
+        match q.try_push(r3) {
+            Err((_, ServeError::QueueFull { capacity })) => assert_eq!(capacity, 2),
+            _ => panic!("expected QueueFull"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_is_fifo_and_bounded_by_max() {
+        let q = SubmitQueue::new(8);
+        for n in 1..=5 {
+            let (r, _k) = dummy(n);
+            std::mem::forget(_k);
+            q.try_push(r).map_err(|_| ()).unwrap();
+        }
+        let batch = q.drain(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        let sizes: Vec<usize> = batch.iter().map(|r| r.work.output_tiles()).collect();
+        assert_eq!(sizes, vec![1, 1, 1]); // 1..=3 are all single-tile
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_unblocks_drain_and_rejects_pushes() {
+        let q = Arc::new(SubmitQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.drain(4));
+        q.shutdown();
+        assert!(h.join().unwrap().is_none());
+        let (r, _k) = dummy(1);
+        match q.try_push(r) {
+            Err((_, ServeError::ShuttingDown)) => {}
+            _ => panic!("expected ShuttingDown"),
+        }
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space() {
+        let q = Arc::new(SubmitQueue::new(1));
+        let (r1, _k1) = dummy(1);
+        q.try_push(r1).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let (r2, _k2) = dummy(2);
+            std::mem::forget(_k2);
+            q2.push_wait(r2).map_err(|_| ()).unwrap();
+        });
+        // Let the pusher block, then free space by draining.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let b = q.drain(1).unwrap();
+        assert_eq!(b.len(), 1);
+        h.join().unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn output_tiles_classifies_by_output_grid() {
+        let (tx, _rx) = sync_channel::<Result<GemmResult<f32>, ServeError>>(1);
+        let w = Work::GemmF32 {
+            precision: GemmPrecision::M3xuFp32,
+            a: Matrix::zeros(17, 4),
+            b: Matrix::zeros(4, 9),
+            c: Matrix::zeros(17, 9),
+            reply: tx,
+        };
+        assert_eq!(w.output_tiles(), 3 * 2);
+        let (tx, _rx) = sync_channel::<Result<(Vec<C32>, MmaStats), ServeError>>(1);
+        assert_eq!(
+            Work::Fft {
+                x: vec![],
+                reply: tx
+            }
+            .output_tiles(),
+            1
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The scheduler: one thread that drains the queue and decides *how* each
+//! request reaches the worker pool.
+//!
+//! Requests classify by output-tile count against the configured shard
+//! threshold:
+//!
+//! * **small** — the whole batch becomes a single worker-pool epoch via
+//!   [`M3xuContext::run_tasks`], one request per task. A GEMM issued from
+//!   inside a pool task executes inline on that worker (the pool's
+//!   reentrancy contract), so `w` workers retire `w` small requests
+//!   concurrently with *one* epoch's worth of synchronisation instead of
+//!   one epoch per request;
+//! * **large** — executed one at a time on the scheduler thread, so the
+//!   kernel's own tile-wise sharding spreads a single big problem across
+//!   every worker.
+//!
+//! Both paths end in the same `try_gemm_f32` / `try_cgemm_c32` /
+//! `try_gemm_fft` calls a direct-context caller would make, which is why
+//! served results are bit-identical to unserved ones.
+
+use crate::error::ServeError;
+use crate::queue::{Request, SubmitQueue, Work};
+use m3xu_kernels::context::M3xuContext;
+use m3xu_mxu::modes::MxuMode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything the scheduler thread needs, shared with the service handle.
+pub(crate) struct SchedulerCore {
+    pub ctx: Arc<M3xuContext>,
+    pub queue: Arc<SubmitQueue>,
+    pub max_batch: usize,
+    pub shard_tiles: usize,
+}
+
+impl SchedulerCore {
+    /// The scheduler thread body: drain → schedule, until shutdown, then
+    /// sweep whatever is still queued with [`ServeError::ShuttingDown`].
+    pub(crate) fn run_loop(&self) {
+        while let Some(batch) = self.queue.drain(self.max_batch) {
+            self.schedule(batch);
+        }
+        for req in self.queue.take_all() {
+            req.tenant.record_rejected();
+            req.work.reject(ServeError::ShuttingDown);
+        }
+    }
+
+    /// Dispatch one drained batch: shed expired deadlines, fold the small
+    /// requests into one pool epoch, run the large ones sharded.
+    fn schedule(&self, batch: Vec<Request>) {
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        let now = Instant::now();
+        for req in batch {
+            if let Some(deadline) = req.deadline {
+                if now > deadline {
+                    let late_ns = ns(deadline, now);
+                    req.tenant.record_deadline_missed(ns(req.enqueued, now));
+                    req.work.reject(ServeError::Deadline { late_ns });
+                    continue;
+                }
+            }
+            if req.work.output_tiles() <= self.shard_tiles {
+                small.push(req);
+            } else {
+                large.push(req);
+            }
+        }
+        let ctx = &*self.ctx;
+        ctx.run_tasks(small.len(), |i| execute(ctx, &small[i]));
+        for req in &large {
+            execute(ctx, req);
+        }
+    }
+}
+
+/// Saturating elapsed nanoseconds from `from` to `to`.
+fn ns(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_nanos() as u64
+}
+
+/// The driver's rule-(c) operand-traffic formula, mirrored so per-tenant
+/// sums reproduce the shared context's `operand_bytes` exactly: A/B
+/// elements at the mode's storage width, zero for degenerate shapes (which
+/// the driver returns from before recording traffic).
+fn gemm_operand_bytes(m: usize, k: usize, n: usize, mode: MxuMode) -> u64 {
+    if m == 0 || k == 0 || n == 0 {
+        0
+    } else {
+        ((m * k + k * n) * mode.element_bytes()) as u64
+    }
+}
+
+/// Execute one request on `ctx`, record the outcome into its tenant
+/// account, and resolve its ticket. Runs either inside a pool task (small
+/// path) or on the scheduler thread (large path).
+pub(crate) fn execute(ctx: &M3xuContext, req: &Request) {
+    let started = Instant::now();
+    let wait_ns = ns(req.enqueued, started);
+    match &req.work {
+        Work::GemmF32 {
+            precision,
+            a,
+            b,
+            c,
+            reply,
+        } => {
+            let out = ctx.try_gemm_f32(*precision, a, b, c);
+            let exec_ns = ns(started, Instant::now());
+            match out {
+                Ok(res) => {
+                    let bytes = gemm_operand_bytes(a.rows(), a.cols(), b.cols(), precision.mode());
+                    req.tenant.record_completed(
+                        res.stats.instructions,
+                        res.stats.steps,
+                        bytes,
+                        wait_ns,
+                        exec_ns,
+                    );
+                    drop(reply.try_send(Ok(res)));
+                }
+                Err(e) => {
+                    req.tenant.record_exec_error(wait_ns, exec_ns);
+                    drop(reply.try_send(Err(e.into())));
+                }
+            }
+        }
+        Work::CgemmC32 { a, b, c, reply } => {
+            let out = ctx.try_cgemm_c32(a, b, c);
+            let exec_ns = ns(started, Instant::now());
+            match out {
+                Ok(res) => {
+                    let bytes =
+                        gemm_operand_bytes(a.rows(), a.cols(), b.cols(), MxuMode::M3xuFp32c);
+                    req.tenant.record_completed(
+                        res.stats.instructions,
+                        res.stats.steps,
+                        bytes,
+                        wait_ns,
+                        exec_ns,
+                    );
+                    drop(reply.try_send(Ok(res)));
+                }
+                Err(e) => {
+                    req.tenant.record_exec_error(wait_ns, exec_ns);
+                    drop(reply.try_send(Err(e.into())));
+                }
+            }
+        }
+        Work::Fft { x, reply } => {
+            let out = ctx.try_gemm_fft(x);
+            let exec_ns = ns(started, Instant::now());
+            match out {
+                Ok((y, stats)) => {
+                    // FFT operand traffic is internal to its CGEMM
+                    // decomposition; it is visible in the context's
+                    // ExecStats but not attributed per tenant.
+                    req.tenant.record_completed(
+                        stats.instructions,
+                        stats.steps,
+                        0,
+                        wait_ns,
+                        exec_ns,
+                    );
+                    drop(reply.try_send(Ok((y, stats))));
+                }
+                Err(e) => {
+                    req.tenant.record_exec_error(wait_ns, exec_ns);
+                    drop(reply.try_send(Err(e.into())));
+                }
+            }
+        }
+    }
+}

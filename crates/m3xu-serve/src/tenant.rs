@@ -1,0 +1,223 @@
+//! Per-tenant accounting.
+//!
+//! Every request carries a handle to its tenant's account; workers record
+//! into it with the same relaxed-atomic-add discipline as the context's
+//! [`ExecStats`](m3xu_kernels::ExecStats) sink. The per-request values
+//! recorded here are *derived from the same quantities* the context
+//! counts — MMA instructions and steps come from the executed
+//! [`MmaStats`](m3xu_mxu::mma::MmaStats), operand bytes from the driver's
+//! rule-(c) formula — so summing every tenant's counters reproduces the
+//! shared context's totals exactly (a property the workspace's
+//! cross-validation tests assert).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// A point-in-time snapshot of one tenant's accounting (or, via
+/// [`M3xuServe::total_stats`](crate::M3xuServe::total_stats), the sum over
+/// all tenants). All counters are cumulative since the service was built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Submission attempts (accepted *and* rejected). Once the service is
+    /// quiescent, `submitted == completed + rejected + deadline_missed +
+    /// exec_errors` — the conservation law the stress tests assert.
+    pub submitted: u64,
+    /// Requests that executed and replied successfully.
+    pub completed: u64,
+    /// Requests rejected at submission ([`QueueFull`](crate::ServeError::QueueFull)
+    /// or [`ShuttingDown`](crate::ServeError::ShuttingDown)).
+    pub rejected: u64,
+    /// Requests dropped because their deadline passed while queued.
+    pub deadline_missed: u64,
+    /// Requests the kernel rejected at execution time
+    /// ([`Exec`](crate::ServeError::Exec)).
+    pub exec_errors: u64,
+    /// MMA instructions executed on behalf of this tenant.
+    pub mma_instructions: u64,
+    /// MXU-occupying steps executed on behalf of this tenant.
+    pub mma_steps: u64,
+    /// A/B operand bytes moved for this tenant's GEMM/CGEMM requests, at
+    /// each mode's storage width (the driver's rule-(c) formula). FFT
+    /// requests contribute `0` here; their traffic is visible only in the
+    /// shared context's `ExecStats`.
+    pub operand_bytes: u64,
+    /// Total time this tenant's executed requests spent queued, ns.
+    pub queue_wait_ns: u64,
+    /// Total wall time executing this tenant's requests, ns. Batched
+    /// requests execute concurrently, so this can exceed elapsed time.
+    pub exec_ns: u64,
+}
+
+impl TenantStats {
+    /// Element-wise sum of two snapshots.
+    pub fn merged(&self, other: &TenantStats) -> TenantStats {
+        TenantStats {
+            submitted: self.submitted + other.submitted,
+            completed: self.completed + other.completed,
+            rejected: self.rejected + other.rejected,
+            deadline_missed: self.deadline_missed + other.deadline_missed,
+            exec_errors: self.exec_errors + other.exec_errors,
+            mma_instructions: self.mma_instructions + other.mma_instructions,
+            mma_steps: self.mma_steps + other.mma_steps,
+            operand_bytes: self.operand_bytes + other.operand_bytes,
+            queue_wait_ns: self.queue_wait_ns + other.queue_wait_ns,
+            exec_ns: self.exec_ns + other.exec_ns,
+        }
+    }
+}
+
+/// The live per-tenant counter set: relaxed atomic adds only.
+#[derive(Default)]
+pub(crate) struct TenantAccount {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_missed: AtomicU64,
+    exec_errors: AtomicU64,
+    mma_instructions: AtomicU64,
+    mma_steps: AtomicU64,
+    operand_bytes: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    exec_ns: AtomicU64,
+}
+
+impl TenantAccount {
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_missed(&self, wait_ns: u64) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_exec_error(&self, wait_ns: u64, exec_ns: u64) {
+        self.exec_errors.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(
+        &self,
+        instructions: u64,
+        steps: u64,
+        operand_bytes: u64,
+        wait_ns: u64,
+        exec_ns: u64,
+    ) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.mma_instructions
+            .fetch_add(instructions, Ordering::Relaxed);
+        self.mma_steps.fetch_add(steps, Ordering::Relaxed);
+        self.operand_bytes
+            .fetch_add(operand_bytes, Ordering::Relaxed);
+        self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> TenantStats {
+        TenantStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            exec_errors: self.exec_errors.load(Ordering::Relaxed),
+            mma_instructions: self.mma_instructions.load(Ordering::Relaxed),
+            mma_steps: self.mma_steps.load(Ordering::Relaxed),
+            operand_bytes: self.operand_bytes.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            exec_ns: self.exec_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Name → account map. Accounts are created on first reference and live
+/// for the service's lifetime (tenant sets are small and bounded in
+/// practice; an eviction policy can layer on later).
+#[derive(Default)]
+pub(crate) struct TenantRegistry {
+    map: Mutex<HashMap<String, Arc<TenantAccount>>>,
+}
+
+impl TenantRegistry {
+    /// The account for `tenant`, created if absent.
+    pub(crate) fn account(&self, tenant: &str) -> Arc<TenantAccount> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(a) = map.get(tenant) {
+            return Arc::clone(a);
+        }
+        let a = Arc::new(TenantAccount::default());
+        map.insert(tenant.to_string(), Arc::clone(&a));
+        a
+    }
+
+    /// Snapshot one tenant, `None` if it has never submitted.
+    pub(crate) fn snapshot(&self, tenant: &str) -> Option<TenantStats> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(tenant).map(|a| a.snapshot())
+    }
+
+    /// All tenant names, sorted.
+    pub(crate) fn names(&self) -> Vec<String> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut v: Vec<String> = map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Sum of every tenant's snapshot.
+    pub(crate) fn totals(&self) -> TenantStats {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.values()
+            .fold(TenantStats::default(), |acc, a| acc.merged(&a.snapshot()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_reuses_accounts_and_sums_totals() {
+        let reg = TenantRegistry::default();
+        let a = reg.account("alice");
+        let a2 = reg.account("alice");
+        assert!(Arc::ptr_eq(&a, &a2));
+        a.record_submitted();
+        a.record_completed(10, 20, 30, 40, 50);
+        reg.account("bob").record_submitted();
+        reg.account("bob").record_rejected();
+        let alice = reg.snapshot("alice").unwrap();
+        assert_eq!(alice.submitted, 1);
+        assert_eq!(alice.completed, 1);
+        assert_eq!(alice.mma_instructions, 10);
+        assert_eq!(alice.mma_steps, 20);
+        assert_eq!(alice.operand_bytes, 30);
+        assert_eq!(alice.queue_wait_ns, 40);
+        assert_eq!(alice.exec_ns, 50);
+        assert!(reg.snapshot("carol").is_none());
+        let t = reg.totals();
+        assert_eq!(t.submitted, 2);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(reg.names(), vec!["alice".to_string(), "bob".to_string()]);
+    }
+
+    #[test]
+    fn deadline_and_error_paths_count_separately() {
+        let acc = TenantAccount::default();
+        acc.record_deadline_missed(5);
+        acc.record_exec_error(7, 11);
+        let s = acc.snapshot();
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.exec_errors, 1);
+        assert_eq!(s.queue_wait_ns, 12);
+        assert_eq!(s.exec_ns, 11);
+        assert_eq!(s.completed, 0);
+    }
+}

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, and the full test suite.
-# Usage: scripts/check.sh
+#
+# Usage:
+#   scripts/check.sh              # full gate (fmt, clippy, doc, tests)
+#   M3XU_SOAK=1 scripts/check.sh  # + release soak of the differential and
+#                                 #   stress suites with a longer shape sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +25,25 @@ cargo test --release -q
 
 echo "== cross-validation: functional ExecStats vs analytical model (release)"
 cargo test --release -q --test cross_validation
+
+# The differential property suite and the concurrency stress tests must
+# hold regardless of how the process-wide pool is sized, so run them at
+# both ends of the thread-count range (M3XU_THREADS is resolved once per
+# process, hence one cargo invocation per setting).
+for threads in 1 8; do
+    echo "== differential + stress suites under M3XU_THREADS=${threads}"
+    M3XU_THREADS=${threads} cargo test -q \
+        --test differential_props --test cross_validation
+done
+
+# Soak mode: the same suites in release with a much longer random-shape
+# sweep. Slow by design; not part of the default gate.
+if [[ "${M3XU_SOAK:-0}" == "1" ]]; then
+    for threads in 1 8; do
+        echo "== SOAK: release, M3XU_PROP_CASES=200, M3XU_THREADS=${threads}"
+        M3XU_THREADS=${threads} M3XU_PROP_CASES=200 cargo test --release -q \
+            --test differential_props --test cross_validation
+    done
+fi
 
 echo "== OK"

@@ -9,7 +9,9 @@
 //! * [`mxu`] — the functional + cycle model of the multi-mode MXU;
 //! * [`gpu`] — the A100-class performance and energy model;
 //! * [`synth`] — the Table III hardware cost model;
-//! * [`kernels`] — GEMM/CGEMM drivers, conv2d, FFT, DNN, MRF, KNN.
+//! * [`kernels`] — GEMM/CGEMM drivers, conv2d, FFT, DNN, MRF, KNN;
+//! * [`serve`] — the multi-tenant serving layer (bounded queue,
+//!   batching/sharding scheduler, per-tenant accounting).
 //!
 //! See `examples/` for runnable applications and `crates/m3xu-bench` for
 //! the harnesses that regenerate every table and figure of the paper.
@@ -19,9 +21,11 @@ pub use m3xu_fp as fp;
 pub use m3xu_gpu as gpu;
 pub use m3xu_kernels as kernels;
 pub use m3xu_mxu as mxu;
+pub use m3xu_serve as serve;
 pub use m3xu_synth as synth;
 
 pub use m3xu_core::{
     default_context, Complex, ExecStats, GemmExecutor, GemmPrecision, M3xu, M3xuContext, M3xuError,
     Matrix, C32,
 };
+pub use m3xu_serve::{M3xuServe, ServeConfig, ServeError, SubmitOpts, TenantStats, Ticket};

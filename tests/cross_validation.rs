@@ -11,6 +11,7 @@ use m3xu::gpu::{exact_counts, validate_counts, Engine, ExactCounts, Problem};
 use m3xu::kernels::gemm::{self, GemmPrecision};
 use m3xu::kernels::M3xuContext;
 use m3xu::mxu::modes::MxuMode;
+use m3xu::serve::{M3xuServe, ServeConfig, SubmitOpts};
 use m3xu::Matrix;
 
 /// The size grid: aligned squares, non-square, non-multiple-of-tile,
@@ -137,6 +138,169 @@ fn rule_b_and_c_ratios_hold_as_executed() {
         assert_eq!(fp32.operand_bytes, 2 * fp16.operand_bytes, "{m}x{n}x{k}");
         assert_eq!(fp32c.operand_bytes, 4 * fp16.operand_bytes, "{m}x{n}x{k}");
     }
+}
+
+#[test]
+fn concurrent_hammering_sums_to_exact_analytical_counts() {
+    // 8 client threads hammer one shared context and one shared service.
+    // Two contracts under contention: (1) every result stays bit-identical
+    // to the serial baseline oracle; (2) once quiesced, the shared
+    // ExecStats totals equal the *sum* of per-request analytical
+    // `exact_counts` — i.e. the relaxed-atomic sink loses nothing.
+    const CLIENTS: usize = 8;
+    const SHAPES: [(usize, usize, usize); 4] = [(16, 16, 16), (9, 7, 17), (33, 5, 12), (24, 8, 40)];
+
+    let ctx = M3xuContext::with_threads(2);
+    let serve = M3xuServe::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    });
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let ctx = &ctx;
+            let serve = &serve;
+            s.spawn(move || {
+                for (i, &(m, n, k)) in SHAPES.iter().enumerate() {
+                    let seed = (client * 10 + i) as u64;
+                    let a = Matrix::<f32>::random(m, k, seed + 1);
+                    let b = Matrix::<f32>::random(k, n, seed + 2);
+                    let c = Matrix::<f32>::random(m, n, seed + 3);
+                    let want = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+                    let via_ctx = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+                    let via_serve = serve
+                        .blocking_gemm_f32(
+                            &format!("client-{client}"),
+                            GemmPrecision::M3xuFp32,
+                            a.clone(),
+                            b.clone(),
+                            c.clone(),
+                            SubmitOpts::default(),
+                        )
+                        .unwrap();
+                    for (got, tag) in [(&via_ctx, "ctx"), (&via_serve, "serve")] {
+                        for (x, y) in got.d.as_slice().iter().zip(want.d.as_slice()) {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "client {client} {m}x{n}x{k} via {tag}"
+                            );
+                        }
+                    }
+
+                    let ca = Matrix::random_c32(m, k, seed + 4);
+                    let cb = Matrix::random_c32(k, n, seed + 5);
+                    let cc = Matrix::random_c32(m, n, seed + 6);
+                    let cwant = gemm::baseline::cgemm_c32(&ca, &cb, &cc);
+                    let cgot = ctx.cgemm_c32(&ca, &cb, &cc);
+                    for (x, y) in cgot.d.as_slice().iter().zip(cwant.d.as_slice()) {
+                        assert_eq!(x.re.to_bits(), y.re.to_bits());
+                        assert_eq!(x.im.to_bits(), y.im.to_bits());
+                    }
+                }
+            });
+        }
+    });
+
+    // Analytical expectation: each shape ran once per client on each of
+    // the real-GEMM sinks (context, service) and once as FP32C on the
+    // context alone.
+    let zero = ExactCounts {
+        instructions: 0,
+        steps: 0,
+        operand_bytes: 0,
+    };
+    let (mut want_fp32, mut want_fp32c) = (zero, zero);
+    for &(m, n, k) in &SHAPES {
+        let real = exact_counts(
+            Problem {
+                m,
+                n,
+                k,
+                complex: false,
+            },
+            Engine::M3xuFp32,
+        )
+        .unwrap();
+        let cplx = exact_counts(
+            Problem {
+                m,
+                n,
+                k,
+                complex: true,
+            },
+            Engine::M3xuFp32c,
+        )
+        .unwrap();
+        for _ in 0..CLIENTS {
+            want_fp32.instructions += real.instructions;
+            want_fp32.steps += real.steps;
+            want_fp32.operand_bytes += real.operand_bytes;
+            want_fp32c.instructions += cplx.instructions;
+            want_fp32c.steps += cplx.steps;
+            want_fp32c.operand_bytes += cplx.operand_bytes;
+        }
+    }
+
+    let ctx_stats = ctx.stats();
+    assert_eq!(ctx_stats.gemm_calls as usize, CLIENTS * SHAPES.len() * 2);
+    assert_eq!(
+        ctx_stats.mode(MxuMode::M3xuFp32).instructions,
+        want_fp32.instructions
+    );
+    assert_eq!(ctx_stats.mode(MxuMode::M3xuFp32).steps, want_fp32.steps);
+    assert_eq!(
+        ctx_stats.mode(MxuMode::M3xuFp32c).instructions,
+        want_fp32c.instructions
+    );
+    assert_eq!(ctx_stats.mode(MxuMode::M3xuFp32c).steps, want_fp32c.steps);
+    assert_eq!(
+        ctx_stats.operand_bytes,
+        want_fp32.operand_bytes + want_fp32c.operand_bytes
+    );
+
+    // The service saw one FP32 pass: its context's sink and its per-tenant
+    // accounting must both sum to the same analytical totals.
+    let serve_stats = serve.exec_stats();
+    assert_eq!(serve_stats.gemm_calls as usize, CLIENTS * SHAPES.len());
+    assert_eq!(
+        serve_stats.mode(MxuMode::M3xuFp32).instructions,
+        want_fp32.instructions
+    );
+    assert_eq!(serve_stats.operand_bytes, want_fp32.operand_bytes);
+    let tenants = serve.total_stats();
+    assert_eq!(tenants.completed, serve_stats.gemm_calls);
+    assert_eq!(tenants.mma_instructions, want_fp32.instructions);
+    assert_eq!(tenants.mma_steps, want_fp32.steps);
+    assert_eq!(tenants.operand_bytes, want_fp32.operand_bytes);
+    assert_eq!(serve.tenants().len(), CLIENTS);
+}
+
+#[test]
+fn wall_time_counters_are_nonzero_and_monotone() {
+    // Regression guard for the pack/exec wall-time sinks: a substantial
+    // GEMM must record nonzero time in both phases, and the counters only
+    // ever grow (see the relaxed-ordering caveat on `M3xuContext::stats`).
+    let n = if cfg!(debug_assertions) { 128 } else { 512 };
+    let ctx = M3xuContext::with_threads(2);
+    let a = Matrix::<f32>::random(n, n, 1);
+    let b = Matrix::<f32>::random(n, n, 2);
+    let c = Matrix::<f32>::zeros(n, n);
+    ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    let s1 = ctx.stats();
+    assert!(s1.pack_ns > 0, "{n}^3 GEMM recorded zero pack time");
+    assert!(s1.exec_ns > 0, "{n}^3 GEMM recorded zero exec time");
+
+    let a2 = Matrix::<f32>::random(64, 64, 3);
+    let b2 = Matrix::<f32>::random(64, 64, 4);
+    let c2 = Matrix::<f32>::zeros(64, 64);
+    ctx.gemm_f32(GemmPrecision::M3xuFp32, &a2, &b2, &c2);
+    let s2 = ctx.stats();
+    assert!(s2.pack_ns > s1.pack_ns, "pack_ns must be strictly monotone");
+    assert!(s2.exec_ns > s1.exec_ns, "exec_ns must be strictly monotone");
+    let d = s2.delta_since(&s1);
+    assert_eq!(d.gemm_calls, 1);
+    assert!(d.pack_ns > 0 && d.exec_ns > 0);
 }
 
 #[test]
