@@ -18,6 +18,10 @@
 //! 3. **Offered-load sweep** — closed-loop clients with a bounded
 //!    in-flight window over 1/2/8-worker services; per-request p50/p99
 //!    latency and throughput per cell.
+//! 4. **Fault sweep** — the same served workload under armed fault plans
+//!    at increasing injection rates: throughput cost of the ABFT-checked
+//!    driver, faults detected/corrected, driver retries, and bit-identity
+//!    of every completed request. Emits `results/BENCH_fault.json`.
 //!
 //! `M3XU_BENCH_SERVE_SMALL=1` shrinks the headline to 16 x 128^3 for a
 //! quick smoke run (the JSON records the sizes actually used).
@@ -26,7 +30,8 @@ use m3xu_bench::{dump_json, timing::fmt_duration};
 use m3xu_json::impl_to_json;
 use m3xu_kernels::M3xuContext;
 use m3xu_mxu::matrix::Matrix;
-use m3xu_serve::{GemmPrecision, GemmResult, M3xuServe, ServeConfig, SubmitOpts};
+use m3xu_serve::{FaultPlan, GemmPrecision, GemmResult, M3xuServe, ServeConfig, SubmitOpts};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Inputs reused by every request of one workload (identical requests, so
@@ -238,6 +243,123 @@ impl_to_json!(Report {
     sweep
 });
 
+/// One fault-sweep cell: a served GEMM workload under an armed plan.
+struct FaultRow {
+    /// Injection rate the plan was armed with (`0` = unarmed baseline).
+    rate: f64,
+    /// Plan seed.
+    seed: u64,
+    /// Service worker threads.
+    workers: u64,
+    /// Requests issued.
+    requests: u64,
+    /// Problem size `n` of each `n^3` request.
+    n: u64,
+    /// Requests that completed (after driver recovery and serve retries).
+    completed: u64,
+    /// Requests that exhausted every attempt (`FaultDetected` and
+    /// friends surfaced to the client).
+    exec_errors: u64,
+    /// ABFT checksum mismatches detected across the run.
+    faults_detected: u64,
+    /// Detected faults repaired by re-execution.
+    faults_corrected: u64,
+    /// Chunk re-executions plus epoch re-submissions the drivers spent.
+    driver_retries: u64,
+    /// Tenant circuit-breaker trips observed.
+    breaker_trips: u64,
+    /// Wall seconds for the whole run.
+    wall_s: f64,
+    /// Completed requests per second.
+    throughput_rps: f64,
+    /// Every *completed* result was bit-identical to the fault-free
+    /// reference (the recovery contract).
+    bit_identical: bool,
+}
+impl_to_json!(FaultRow {
+    rate,
+    seed,
+    workers,
+    requests,
+    n,
+    completed,
+    exec_errors,
+    faults_detected,
+    faults_corrected,
+    driver_retries,
+    breaker_trips,
+    wall_s,
+    throughput_rps,
+    bit_identical
+});
+
+/// The fault-sweep report written to `results/BENCH_fault.json`.
+struct FaultReport {
+    /// Physical parallelism of the measuring host.
+    host_parallelism: u64,
+    /// One row per injection rate.
+    sweep: Vec<FaultRow>,
+}
+impl_to_json!(FaultReport {
+    host_parallelism,
+    sweep
+});
+
+fn fault_cell(w: &Workload, seed: u64, rate: f64, workers: usize, requests: usize) -> FaultRow {
+    let serve = M3xuServe::new(ServeConfig {
+        workers,
+        queue_capacity: requests.max(64),
+        max_batch: 32,
+        fault_plan: (rate > 0.0).then(|| Arc::new(FaultPlan::new(seed, rate))),
+        ..ServeConfig::default()
+    });
+    let mut identical = true;
+    let start = Instant::now();
+    let tickets: Vec<_> = (0..requests)
+        .map(|_| {
+            serve
+                .submit_gemm_f32(
+                    "fault-bench",
+                    GemmPrecision::M3xuFp32,
+                    w.a.clone(),
+                    w.b.clone(),
+                    w.c.clone(),
+                    SubmitOpts::default(),
+                )
+                .expect("submit")
+        })
+        .collect();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(res) => {
+                completed += 1;
+                identical &= w.check(&res);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = serve.total_stats();
+    FaultRow {
+        rate,
+        seed,
+        workers: workers as u64,
+        requests: requests as u64,
+        n: w.n as u64,
+        completed,
+        exec_errors: errors,
+        faults_detected: stats.faults_detected,
+        faults_corrected: stats.faults_corrected,
+        driver_retries: stats.retries,
+        breaker_trips: stats.breaker_trips,
+        wall_s,
+        throughput_rps: completed as f64 / wall_s,
+        bit_identical: identical,
+    }
+}
+
 fn serve_with(workers: usize, queue_capacity: usize, max_batch: usize) -> M3xuServe {
     M3xuServe::new(ServeConfig {
         workers,
@@ -378,4 +500,41 @@ fn main() {
     };
     dump_json("BENCH_serve", &report).expect("write results/BENCH_serve.json");
     println!("\nwrote results/BENCH_serve.json");
+
+    let (fault_n, fault_req) = if small { (32, 8) } else { (48, 32) };
+    let fw = Workload::new(fault_n);
+    let mut fault_sweep = Vec::new();
+    println!("\nfault sweep ({fault_req} x {fault_n}^3 per cell, 4 workers):");
+    for &rate in &[0.0, 1e-4, 1e-3, 5e-3] {
+        let row = fault_cell(&fw, 17, rate, 4, fault_req);
+        println!(
+            "  rate {:>7}: {:>3}/{:<3} completed  {:>5} detected {:>5} corrected \
+             {:>5} retries  {:>7.1} req/s  bit-identical: {}",
+            row.rate,
+            row.completed,
+            row.requests,
+            row.faults_detected,
+            row.faults_corrected,
+            row.driver_retries,
+            row.throughput_rps,
+            row.bit_identical
+        );
+        fault_sweep.push(row);
+    }
+    assert!(
+        fault_sweep.iter().all(|r| r.bit_identical),
+        "a completed request diverged from the fault-free reference"
+    );
+    assert!(
+        fault_sweep
+            .iter()
+            .any(|r| r.rate > 0.0 && r.faults_detected > 0),
+        "the armed cells never injected anything"
+    );
+    let fault_report = FaultReport {
+        host_parallelism: host as u64,
+        sweep: fault_sweep,
+    };
+    dump_json("BENCH_fault", &fault_report).expect("write results/BENCH_fault.json");
+    println!("wrote results/BENCH_fault.json");
 }

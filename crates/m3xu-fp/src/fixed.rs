@@ -187,6 +187,27 @@ impl Kulisch {
         }
     }
 
+    /// Residue of the exact accumulated value in `F_p`, `p = 2^61 - 1`
+    /// (see [`crate::residue`]). The register holds, in two's complement,
+    /// `V = (U - s · 2^(64·LIMBS)) · 2^EXP_FLOOR` where `U` is the limbs
+    /// read as an unsigned little-endian integer and `s` the sign bit;
+    /// both terms are exact dyadic values, so the residue is their
+    /// homomorphic image — any corruption of the wide register changes it.
+    pub fn residue_m61(&self) -> u64 {
+        use crate::residue::{add_m61, mul_m61, pow2_m61, reduce_u64, sub_m61};
+        let mut r = 0u64;
+        for (i, &w) in self.limbs.iter().enumerate() {
+            r = add_m61(
+                r,
+                mul_m61(reduce_u64(w), pow2_m61(64 * i as i64 + EXP_FLOOR as i64)),
+            );
+        }
+        if self.limbs[LIMBS - 1] >> 63 == 1 {
+            r = sub_m61(r, pow2_m61(64 * LIMBS as i64 + EXP_FLOOR as i64));
+        }
+        r
+    }
+
     /// Round to `fmt` and report the IEEE 754 exception flags the rounding
     /// raised (inexact, overflow, underflow). The MXU model surfaces these
     /// so FP32 applications see the exception behaviour they expect —
@@ -501,6 +522,43 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan() {
         Kulisch::new().add_f64(f64::NAN);
+    }
+
+    #[test]
+    fn residue_matches_f32_homomorphism() {
+        use crate::residue::{add_m61, residue_f32};
+        // The register's residue must equal the residue of the dyadic sum
+        // it holds, for positive, negative, tiny, and cancelled values.
+        for vals in [
+            vec![1.5f32],
+            vec![-1.5],
+            vec![0.0],
+            vec![3.25, -0.125, 1e10],
+            vec![f32::MIN_POSITIVE, f32::from_bits(1)],
+            vec![1e30, -1e30],
+        ] {
+            let mut acc = Kulisch::new();
+            let mut want = 0u64;
+            for &v in &vals {
+                acc.add_f64(v as f64);
+                want = add_m61(want, residue_f32(v).unwrap());
+            }
+            assert_eq!(acc.residue_m61(), want, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn residue_sees_exact_products() {
+        use crate::residue::{add_m61, mul_m61, residue_f32};
+        let mut acc = Kulisch::new();
+        let (a, b) = (1.9999999f32, -0.33333334f32);
+        acc.add_product_f32(a, b);
+        acc.add_product_f32(b, b);
+        let want = add_m61(
+            mul_m61(residue_f32(a).unwrap(), residue_f32(b).unwrap()),
+            mul_m61(residue_f32(b).unwrap(), residue_f32(b).unwrap()),
+        );
+        assert_eq!(acc.residue_m61(), want);
     }
 
     #[test]

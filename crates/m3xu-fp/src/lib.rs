@@ -16,6 +16,8 @@
 //!   the M3XU data-assignment stage assumes;
 //! * [`fixed`] — an exact Kulisch-style wide accumulator used as the gold
 //!   reference for the MXU's widened accumulation registers;
+//! * [`residue`] — Mersenne-prime (`2^61 - 1`) residues of exact dyadic
+//!   values, the compression the ABFT checksum layer runs in;
 //! * [`ulp`] — ULP/relative-error metrics for the numerics validation
 //!   harnesses.
 //!
@@ -38,6 +40,7 @@ pub mod complex;
 pub mod decompose;
 pub mod fixed;
 pub mod format;
+pub mod residue;
 pub mod rounding;
 pub mod softfloat;
 pub mod split;

@@ -1,0 +1,230 @@
+//! Residue arithmetic over the Mersenne prime `p = 2^61 - 1` for ABFT
+//! checksums of exact dyadic values.
+//!
+//! The ABFT layer (Huang–Abraham row/column checksums around the tiled
+//! GEMM drivers) needs a compression of the *exact* Kulisch fixed-point
+//! accumulator state that
+//!
+//! 1. is a **ring homomorphism** from the dyadic rationals `Z[1/2]` the
+//!    MXU datapath computes in (so the checksum identity
+//!    `Σ seeds + Σ_k (Σ_i a_ik)(Σ_j b_kj) = Σ_(i,j) pre-round values`
+//!    holds *exactly*, never within a tolerance), and
+//! 2. **detects every single corrupted value with certainty**: the
+//!    difference of two distinct finite FP32 values is `d · 2^t` with
+//!    `0 < |d| < 2^25`, and since `p` is prime with `2` a unit mod `p`,
+//!    `d · 2^t ≢ 0 (mod p)`.
+//!
+//! A fixed-scale `i128` window would fail requirement 2 — a corruption in
+//! the high bits of a wide accumulator is invisible to `value mod 2^128`
+//! at a fixed low scale, because `2` is a zero divisor mod `2^128`. Over
+//! `F_p` with `p` odd, every power of two is invertible, so the map
+//! `n · 2^t ↦ n · 2^(t mod 60') (mod p)` sees every bit. For the Mersenne
+//! prime `2^61 ≡ 1 (mod p)`, so exponent arithmetic reduces mod 61 and
+//! `2^t` for *negative* `t` needs no inverse computation at all.
+
+/// The Mersenne prime `2^61 - 1`.
+pub const M61: u64 = (1u64 << 61) - 1;
+
+/// Reduce an arbitrary `u64` into `[0, p)`.
+#[inline]
+pub fn reduce_u64(x: u64) -> u64 {
+    let r = (x & M61) + (x >> 61);
+    if r >= M61 {
+        r - M61
+    } else {
+        r
+    }
+}
+
+/// `a + b (mod p)` for reduced inputs.
+#[inline]
+pub fn add_m61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < M61 && b < M61);
+    let s = a + b; // < 2^62: no overflow
+    if s >= M61 {
+        s - M61
+    } else {
+        s
+    }
+}
+
+/// `-a (mod p)` for a reduced input.
+#[inline]
+pub fn neg_m61(a: u64) -> u64 {
+    debug_assert!(a < M61);
+    if a == 0 {
+        0
+    } else {
+        M61 - a
+    }
+}
+
+/// `a - b (mod p)` for reduced inputs.
+#[inline]
+pub fn sub_m61(a: u64, b: u64) -> u64 {
+    add_m61(a, neg_m61(b))
+}
+
+/// `a · b (mod p)` for reduced inputs.
+#[inline]
+pub fn mul_m61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < M61 && b < M61);
+    let t = a as u128 * b as u128; // < 2^122
+    reduce_u64((t & M61 as u128) as u64 + (t >> 61) as u64)
+}
+
+/// `2^e (mod p)` for *any* integer exponent — `2^61 ≡ 1`, so the exponent
+/// reduces mod 61 and negative exponents cost nothing.
+#[inline]
+pub fn pow2_m61(e: i64) -> u64 {
+    1u64 << e.rem_euclid(61) as u32 // < 2^61 - 1 for every residue 0..=60
+}
+
+/// Residue of a signed 128-bit integer scaled by `2^exp`:
+/// `v · 2^exp (mod p)`.
+pub fn residue_i128(v: i128, exp: i64) -> u64 {
+    let mag = v.unsigned_abs();
+    let lo = (mag & M61 as u128) as u64;
+    let mid = reduce_u64((mag >> 61) as u64);
+    let hi = reduce_u64((mag >> 122) as u64);
+    let mut r = add_m61(reduce_u64(lo), mul_m61(mid, pow2_m61(61)));
+    r = add_m61(r, mul_m61(hi, pow2_m61(122)));
+    r = mul_m61(r, pow2_m61(exp));
+    if v < 0 {
+        neg_m61(r)
+    } else {
+        r
+    }
+}
+
+/// Residue of a finite `f32` value (`±m · 2^e` exactly); `None` for
+/// NaN/infinity, which have no dyadic value.
+pub fn residue_f32(x: f32) -> Option<u64> {
+    if !x.is_finite() {
+        return None;
+    }
+    let bits = x.to_bits();
+    let sign = bits >> 31 == 1;
+    let exp = ((bits >> 23) & 0xff) as i64;
+    let frac = (bits & 0x7f_ffff) as u64;
+    let (m, e) = if exp != 0 {
+        (frac | 0x80_0000, exp - 127 - 23)
+    } else {
+        (frac, -149)
+    };
+    let r = mul_m61(reduce_u64(m), pow2_m61(e));
+    Some(if sign { neg_m61(r) } else { r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let xs = [0u64, 1, 2, M61 - 1, 12345, 1u64 << 60, 987654321];
+        for &a in &xs {
+            let a = reduce_u64(a);
+            assert_eq!(add_m61(a, neg_m61(a)), 0);
+            assert_eq!(mul_m61(a, 1), a);
+            for &b in &xs {
+                let b = reduce_u64(b);
+                assert_eq!(add_m61(a, b), add_m61(b, a));
+                assert_eq!(mul_m61(a, b), mul_m61(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_wraps_mod_61() {
+        assert_eq!(pow2_m61(0), 1);
+        assert_eq!(pow2_m61(61), 1);
+        assert_eq!(pow2_m61(-61), 1);
+        assert_eq!(pow2_m61(1), 2);
+        assert_eq!(pow2_m61(-1), pow2_m61(60));
+        // 2^-1 * 2 = 1.
+        assert_eq!(mul_m61(pow2_m61(-1), 2), 1);
+    }
+
+    #[test]
+    fn residue_f32_is_additive_on_exact_sums() {
+        // 1.5 + 0.25 = 1.75 exactly in f32.
+        let r = add_m61(residue_f32(1.5).unwrap(), residue_f32(0.25).unwrap());
+        assert_eq!(r, residue_f32(1.75).unwrap());
+        // x + (-x) = 0.
+        let r = add_m61(residue_f32(3.75).unwrap(), residue_f32(-3.75).unwrap());
+        assert_eq!(r, 0);
+        assert_eq!(residue_f32(0.0).unwrap(), 0);
+        assert_eq!(residue_f32(-0.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn residue_f32_is_multiplicative_on_exact_products() {
+        // 3.0 * 0.5 = 1.5 exactly.
+        let p = mul_m61(residue_f32(3.0).unwrap(), residue_f32(0.5).unwrap());
+        assert_eq!(p, residue_f32(1.5).unwrap());
+        // Subnormal scaling: 2^-140 * 2^10 = 2^-130.
+        let p = mul_m61(
+            residue_f32(f32::from_bits(1) * 2.0f32.powi(9)).unwrap(),
+            residue_f32(1024.0).unwrap(),
+        );
+        assert_eq!(p, residue_f32(f32::from_bits(1) * 2.0f32.powi(19)).unwrap());
+    }
+
+    #[test]
+    fn distinct_f32_values_have_distinct_residue_deltas() {
+        // Single-fault detection: for distinct finite x != y the residues
+        // differ (their difference is d*2^t with 0 < |d| < p).
+        let vals = [
+            0.0f32,
+            1.0,
+            -1.0,
+            1.5,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1),
+            123456.78,
+        ];
+        for &x in &vals {
+            for &y in &vals {
+                if x.to_bits() != y.to_bits() && x != y {
+                    assert_ne!(
+                        residue_f32(x).unwrap(),
+                        residue_f32(y).unwrap(),
+                        "{x} vs {y}"
+                    );
+                }
+            }
+        }
+        // A single bit flip anywhere in a value is always visible.
+        let x = 1.9999999f32;
+        for bit in 0..31 {
+            let y = f32::from_bits(x.to_bits() ^ (1 << bit));
+            if y.is_finite() {
+                assert_ne!(residue_f32(x).unwrap(), residue_f32(y).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn residue_rejects_specials() {
+        assert!(residue_f32(f32::NAN).is_none());
+        assert!(residue_f32(f32::INFINITY).is_none());
+        assert!(residue_f32(f32::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn residue_i128_matches_small_cases() {
+        assert_eq!(residue_i128(1, 0), 1);
+        assert_eq!(residue_i128(-1, 0), M61 - 1);
+        assert_eq!(residue_i128(5, 2), 20);
+        // v * 2^e at a negative scale: 3 * 2^-1 == 3 * inverse(2).
+        assert_eq!(mul_m61(residue_i128(3, -1), 2), 3);
+        // Wide magnitude: 2^100 = pow2(100).
+        assert_eq!(residue_i128(1i128 << 100, 0), pow2_m61(100));
+        assert_eq!(residue_i128((1i128 << 100) + 7, -149), {
+            let r = add_m61(pow2_m61(100), 7);
+            mul_m61(r, pow2_m61(-149))
+        });
+    }
+}

@@ -24,11 +24,12 @@ use crate::{conv2d, conv_grad, fft, knn, poly, solver};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::buffer::BufferEntry;
 use m3xu_mxu::error::M3xuError;
+use m3xu_mxu::fault::{FaultPlan, FaultSummary};
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
 use m3xu_mxu::modes::MxuMode;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 type C32 = Complex<f32>;
 
@@ -81,6 +82,9 @@ pub(crate) struct ExecCounters {
     operand_bytes: AtomicU64,
     pack_ns: AtomicU64,
     exec_ns: AtomicU64,
+    faults_detected: AtomicU64,
+    faults_corrected: AtomicU64,
+    fault_retries: AtomicU64,
     per_mode: [ModeCounters; 7],
 }
 
@@ -101,6 +105,15 @@ impl ExecCounters {
             .fetch_add(s.stats.lane_products, Ordering::Relaxed);
     }
 
+    /// Record one checked-driver invocation's fault telemetry.
+    pub(crate) fn record_faults(&self, s: &FaultSummary) {
+        self.faults_detected
+            .fetch_add(s.detected, Ordering::Relaxed);
+        self.faults_corrected
+            .fetch_add(s.corrected, Ordering::Relaxed);
+        self.fault_retries.fetch_add(s.retries, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> ExecStats {
         let mut per_mode = [MmaStats::default(); 7];
         for (i, m) in self.per_mode.iter().enumerate() {
@@ -117,6 +130,9 @@ impl ExecCounters {
             operand_bytes: self.operand_bytes.load(Ordering::Relaxed),
             pack_ns: self.pack_ns.load(Ordering::Relaxed),
             exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            faults_detected: self.faults_detected.load(Ordering::Relaxed),
+            faults_corrected: self.faults_corrected.load(Ordering::Relaxed),
+            fault_retries: self.fault_retries.load(Ordering::Relaxed),
             per_mode,
         }
     }
@@ -128,6 +144,9 @@ impl ExecCounters {
         self.operand_bytes.store(0, Ordering::Relaxed);
         self.pack_ns.store(0, Ordering::Relaxed);
         self.exec_ns.store(0, Ordering::Relaxed);
+        self.faults_detected.store(0, Ordering::Relaxed);
+        self.faults_corrected.store(0, Ordering::Relaxed);
+        self.fault_retries.store(0, Ordering::Relaxed);
         for m in &self.per_mode {
             m.instructions.store(0, Ordering::Relaxed);
             m.steps.store(0, Ordering::Relaxed);
@@ -156,6 +175,14 @@ pub struct ExecStats {
     pub pack_ns: u64,
     /// Wall time spent executing fragments across the pool, ns.
     pub exec_ns: u64,
+    /// ABFT checksum mismatches (plus lost pool epochs) detected by the
+    /// checked drivers ([`m3xu_mxu::fault::FaultSummary::detected`]).
+    pub faults_detected: u64,
+    /// Detected faults subsequently repaired by re-execution.
+    pub faults_corrected: u64,
+    /// Tile re-executions plus epoch re-submissions the checked drivers
+    /// performed.
+    pub fault_retries: u64,
     per_mode: [MmaStats; 7],
 }
 
@@ -188,6 +215,11 @@ impl ExecStats {
             operand_bytes: self.operand_bytes.saturating_sub(earlier.operand_bytes),
             pack_ns: self.pack_ns.saturating_sub(earlier.pack_ns),
             exec_ns: self.exec_ns.saturating_sub(earlier.exec_ns),
+            faults_detected: self.faults_detected.saturating_sub(earlier.faults_detected),
+            faults_corrected: self
+                .faults_corrected
+                .saturating_sub(earlier.faults_corrected),
+            fault_retries: self.fault_retries.saturating_sub(earlier.fault_retries),
             per_mode,
         }
     }
@@ -240,17 +272,24 @@ pub struct M3xuContext {
     threads: usize,
     counters: ExecCounters,
     arena: Mutex<OperandArena>,
+    /// Armed fault-injection plan. `None` (the production default when
+    /// `M3XU_FAULT_SEED` is unset) keeps the unchecked drivers on the hot
+    /// path — no checksum work, bit-identical to a plan-free build.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl M3xuContext {
     /// A context sharing the process-wide worker pool (whose size is
-    /// `M3XU_THREADS` when set, resolved once at first use).
+    /// `M3XU_THREADS` when set, resolved once at first use). The fault
+    /// plan, if any, resolves from `M3XU_FAULT_SEED` / `M3XU_FAULT_RATE`
+    /// — once, here, mirroring the thread policy.
     pub fn new() -> Self {
         M3xuContext {
             threads: pool::global().size(),
             pool: ContextPool::Global,
             counters: ExecCounters::default(),
             arena: Mutex::new(OperandArena::default()),
+            fault: FaultPlan::from_env().map(Arc::new),
         }
     }
 
@@ -263,7 +302,21 @@ impl M3xuContext {
             threads,
             counters: ExecCounters::default(),
             arena: Mutex::new(OperandArena::default()),
+            fault: FaultPlan::from_env().map(Arc::new),
         }
+    }
+
+    /// Arm this context with an explicit fault-injection plan, overriding
+    /// whatever the environment resolved. FP32 / FP32C GEMMs then run the
+    /// ABFT-checked self-healing driver; every other engine is untouched.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The armed fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
     }
 
     /// Worker threads this context executes on — fixed at construction.
@@ -380,6 +433,32 @@ impl M3xuContext {
     pub fn cgemm_c32(&self, a: &Matrix<C32>, b: &Matrix<C32>, c: &Matrix<C32>) -> GemmResult<C32> {
         self.try_cgemm_c32(a, b, c)
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`M3xuContext::try_gemm_f32`] with fault telemetry: additionally
+    /// returns the [`FaultSummary`] of this one invocation. With no armed
+    /// plan — or an engine the ABFT algebra does not cover (the narrow
+    /// modes quantise operands at the buffers) — the production driver
+    /// runs and the summary is zero.
+    pub fn try_gemm_f32_faulted(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+        gemm::try_gemm_f32_faulted_ctx(self, precision, a, b, c)
+    }
+
+    /// [`M3xuContext::try_cgemm_c32`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    pub fn try_cgemm_c32_faulted(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<(GemmResult<C32>, FaultSummary), M3xuError> {
+        gemm::try_cgemm_c32_faulted_ctx(self, a, b, c)
     }
 
     /// Fallible `A·B` with a zero `C`.

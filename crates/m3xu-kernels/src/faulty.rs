@@ -1,0 +1,183 @@
+//! [`FaultyExecutor`] — a [`GemmExecutor`] that layers fault injection
+//! and ABFT verification over a borrowed [`M3xuContext`].
+//!
+//! The wrapper is the chaos-testing seam the serve layer and the test
+//! suites share: any kernel generic over [`GemmExecutor`] (FFT, conv,
+//! CG, …) runs unmodified over a `FaultyExecutor`, and the wrapper
+//! decides per call whether the checked self-healing driver or the
+//! production driver executes.
+//!
+//! Two contracts matter:
+//!
+//! * **Unarmed is free.** A `FaultyExecutor` built with no plan
+//!   ([`FaultyExecutor::unarmed`]) delegates straight to the context —
+//!   bit-identical results, identical counters, no checksum work. The
+//!   differential test suite pins this.
+//! * **Armed is honest.** With a plan, FP32/FP32C GEMMs run the checked
+//!   driver: every recovered run is bit-identical to the oracle, and an
+//!   unrecoverable one returns
+//!   [`M3xuError::FaultDetected`]
+//!   — never a panic, never silent corruption the checksums can see. The
+//!   narrow engines (FP16/BF16/TF32) quantise operands at the buffers,
+//!   outside the checksum algebra, and keep the production path.
+
+use crate::context::{GemmExecutor, M3xuContext};
+use crate::gemm::{self, GemmPrecision, GemmResult};
+use m3xu_fp::complex::Complex;
+use m3xu_mxu::error::M3xuError;
+use m3xu_mxu::fault::{FaultPlan, FaultSummary};
+use m3xu_mxu::matrix::Matrix;
+use std::sync::Arc;
+
+type C32 = Complex<f32>;
+
+/// A [`GemmExecutor`] wrapping a context with an optional fault plan.
+///
+/// See the [module docs](self) for the unarmed/armed contracts.
+pub struct FaultyExecutor<'c> {
+    ctx: &'c M3xuContext,
+    plan: Option<Arc<FaultPlan>>,
+}
+
+impl<'c> FaultyExecutor<'c> {
+    /// Wrap `ctx` with no plan: pure delegation, bit-identical to calling
+    /// the context directly.
+    pub fn unarmed(ctx: &'c M3xuContext) -> Self {
+        FaultyExecutor { ctx, plan: None }
+    }
+
+    /// Wrap `ctx` with an armed plan: FP32/FP32C GEMMs run the
+    /// ABFT-checked self-healing driver under `plan`'s fault schedule
+    /// (the context's own plan, if any, is ignored for these calls).
+    pub fn armed(ctx: &'c M3xuContext, plan: Arc<FaultPlan>) -> Self {
+        FaultyExecutor {
+            ctx,
+            plan: Some(plan),
+        }
+    }
+
+    /// The wrapped context.
+    pub fn context(&self) -> &'c M3xuContext {
+        self.ctx
+    }
+
+    /// The armed plan, if any.
+    pub fn plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.plan.as_ref()
+    }
+
+    /// Real GEMM with this executor's fault policy, returning the
+    /// invocation's [`FaultSummary`] (zero when unarmed or on a narrow
+    /// engine).
+    pub fn try_gemm_f32_faulted(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+        match &self.plan {
+            Some(plan) if precision == GemmPrecision::M3xuFp32 => gemm::try_gemm_abft(
+                self.ctx.pool(),
+                precision.mode(),
+                a,
+                b,
+                c,
+                Some(self.ctx),
+                plan,
+            ),
+            _ => self
+                .ctx
+                .try_gemm_f32(precision, a, b, c)
+                .map(|r| (r, FaultSummary::default())),
+        }
+    }
+
+    /// Complex GEMM with this executor's fault policy; see
+    /// [`FaultyExecutor::try_gemm_f32_faulted`].
+    pub fn try_cgemm_c32_faulted(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<(GemmResult<C32>, FaultSummary), M3xuError> {
+        match &self.plan {
+            Some(plan) => gemm::try_gemm_abft(
+                self.ctx.pool(),
+                m3xu_mxu::modes::MxuMode::M3xuFp32c,
+                a,
+                b,
+                c,
+                Some(self.ctx),
+                plan,
+            ),
+            None => self
+                .ctx
+                .try_cgemm_c32(a, b, c)
+                .map(|r| (r, FaultSummary::default())),
+        }
+    }
+}
+
+impl GemmExecutor for FaultyExecutor<'_> {
+    fn try_gemm_f32(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        self.try_gemm_f32_faulted(precision, a, b, c)
+            .map(|(r, _)| r)
+    }
+
+    fn try_cgemm_c32(
+        &self,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        self.try_cgemm_c32_faulted(a, b, c).map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::M3xuContext;
+
+    #[test]
+    fn unarmed_executor_is_pure_delegation() {
+        let ctx = M3xuContext::with_threads(2);
+        let exec = FaultyExecutor::unarmed(&ctx);
+        let a = Matrix::<f32>::random(17, 9, 21);
+        let b = Matrix::<f32>::random(9, 13, 22);
+        let c = Matrix::<f32>::random(17, 13, 23);
+        let via_exec = exec
+            .try_gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c)
+            .unwrap();
+        let direct = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        for (x, y) in via_exec.d.as_slice().iter().zip(direct.d.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(via_exec.stats, direct.stats);
+    }
+
+    #[test]
+    fn armed_executor_recovers_and_matches_oracle() {
+        let ctx = M3xuContext::with_threads(2);
+        let plan = Arc::new(FaultPlan::new(42, 0.05));
+        let exec = FaultyExecutor::armed(&ctx, plan);
+        let a = Matrix::<f32>::random(33, 17, 31);
+        let b = Matrix::<f32>::random(17, 29, 32);
+        let c = Matrix::<f32>::random(33, 29, 33);
+        let (r, summary) = exec
+            .try_gemm_f32_faulted(GemmPrecision::M3xuFp32, &a, &b, &c)
+            .unwrap();
+        let oracle = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        for (x, y) in r.d.as_slice().iter().zip(oracle.d.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(summary.detected, summary.corrected);
+    }
+}

@@ -21,14 +21,18 @@
 use crate::context::{self, GemmSample, M3xuContext};
 use crate::pool::WorkerPool;
 use m3xu_fp::complex::Complex;
+use m3xu_mxu::abft::{self, Checksum};
 use m3xu_mxu::buffer::BufferEntry;
 use m3xu_mxu::dpu::DotProductUnit;
 use m3xu_mxu::error::M3xuError;
+use m3xu_mxu::fault::{FaultPlan, FaultSummary, MmaFault, TaskFault};
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::{MmaShape, MmaStats};
 use m3xu_mxu::modes::MxuMode;
 use m3xu_mxu::packed::{fragment_stats, PackedOperand};
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Fixed per-tile accumulator scratch the packed driver provisions (one
@@ -311,8 +315,391 @@ fn try_gemm_packed<E: PackedElem>(
     Ok(GemmResult { d, stats })
 }
 
+/// Executions the checked driver grants one k-chunk before declaring its
+/// tile unrecoverable. Sites include the attempt number, so a fault plan
+/// with rate < 1 usually clears within a retry or two (the residual
+/// failure probability is `rate^4` per chunk); a plan with rate 1.0
+/// exhausts them and exercises the error path.
+const MAX_TILE_ATTEMPTS: u64 = 4;
+
+/// Pool-epoch re-submissions the checked driver performs when an injected
+/// task panic (or an abruptly-killed worker) loses a whole epoch.
+const MAX_EPOCH_ATTEMPTS: u64 = 4;
+
+/// An element type the ABFT-checked driver can verify: [`PackedElem`]
+/// plus the per-k-chunk checksum pair — the *expected* side from the
+/// operands and seeds, the *computed* side from the checked MMA's
+/// accumulator state (see [`m3xu_mxu::abft`]).
+pub(crate) trait AbftElem: PackedElem {
+    /// Expected checksum of one k-chunk, from the tile's operand bands
+    /// and its pre-chunk accumulator (`seeds`, row-major `rows × cols`).
+    #[allow(clippy::too_many_arguments)]
+    fn expected_chunk(
+        a: &Matrix<Self>,
+        b: &Matrix<Self>,
+        seeds: &[Self],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+    ) -> Checksum;
+
+    /// Execute one fragment like [`PackedElem::execute`], additionally
+    /// reporting the computed checksum and (optionally) corrupting one
+    /// product on the way out of the datapath.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_checked(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [Self],
+        fault: Option<&MmaFault>,
+    ) -> Checksum;
+}
+
+impl AbftElem for f32 {
+    fn expected_chunk(
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        seeds: &[f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+    ) -> Checksum {
+        abft::expected_chunk_f32(a, b, seeds, i0, rows, j0, cols, k0, kend)
+    }
+
+    fn execute_checked(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f32],
+        fault: Option<&MmaFault>,
+    ) -> Checksum {
+        dpu.mma_f32_checked_into(a, b, r0, rows, c0, cols, k0, klen, acc, fault)
+    }
+}
+
+impl AbftElem for Complex<f32> {
+    fn expected_chunk(
+        a: &Matrix<Complex<f32>>,
+        b: &Matrix<Complex<f32>>,
+        seeds: &[Complex<f32>],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+    ) -> Checksum {
+        abft::expected_chunk_c32(a, b, seeds, i0, rows, j0, cols, k0, kend)
+    }
+
+    fn execute_checked(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [Complex<f32>],
+        fault: Option<&MmaFault>,
+    ) -> Checksum {
+        dpu.mma_c32_checked_into(a, b, r0, rows, c0, cols, k0, klen, acc, fault)
+    }
+}
+
+/// The ABFT-checked, self-healing GEMM driver: the packed pipeline with a
+/// per-k-chunk checksum verification wrapped around every fragment, plus
+/// the fault-injection hooks of `plan`.
+///
+/// Recovery is hierarchical, mirroring the blast radius of each fault
+/// class:
+///
+/// * a **checksum mismatch** restores the chunk's seeds and re-executes
+///   only the corrupted k-chunk (each attempt is a fresh fault site, so
+///   injected corruption usually clears) — up to [`MAX_TILE_ATTEMPTS`]
+///   executions per chunk;
+/// * a **lost pool epoch** (injected task panic, killed worker) is caught
+///   with `catch_unwind` and the whole tile grid re-submitted — tiles are
+///   idempotent, every rerun rewrites the same disjoint output regions —
+///   up to [`MAX_EPOCH_ATTEMPTS`];
+/// * anything that survives both loops surfaces as
+///   [`M3xuError::FaultDetected`] carrying the telemetry counts. The
+///   driver never panics and never returns silently-corrupt data the
+///   checksums can see.
+///
+/// On success the recorded [`GemmSample`] is the *production* sample — a
+/// pure function of the fragment grid, not inflated by retries — so
+/// instruction-count cross-validation holds unchanged; verification work
+/// and re-executions are reported in the [`FaultSummary`] and the
+/// context's fault counters instead.
+pub(crate) fn try_gemm_abft<E: AbftElem>(
+    pool: &WorkerPool,
+    mode: MxuMode,
+    a: &Matrix<E>,
+    b: &Matrix<E>,
+    c: &Matrix<E>,
+    ctx: Option<&M3xuContext>,
+    plan: &FaultPlan,
+) -> Result<(GemmResult<E>, FaultSummary), M3xuError> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    validate_gemm_shapes(a, b, c)?;
+
+    let frag = MmaShape::BASELINE_FP16.for_mode(mode);
+    if frag.m * frag.n > ACC_SCRATCH {
+        return Err(M3xuError::FragmentOverflow {
+            needed: frag.m * frag.n,
+            capacity: ACC_SCRATCH,
+        });
+    }
+    let (tiles_m, tiles_n, k_chunks) = frag.grid(m, n, k);
+    let mut d = c.clone();
+    if k_chunks == 0 || m == 0 || n == 0 {
+        if let Some(cx) = ctx {
+            cx.counters().record(&GemmSample {
+                mode,
+                stats: MmaStats::default(),
+                tiles: 0,
+                fragments: 0,
+                operand_bytes: 0,
+                pack_ns: 0,
+                exec_ns: 0,
+            });
+        }
+        return Ok((
+            GemmResult {
+                d,
+                stats: MmaStats::default(),
+            },
+            FaultSummary::default(),
+        ));
+    }
+
+    let (sa, sb) = match ctx {
+        Some(cx) => cx.take_scratch(),
+        None => (Vec::new(), Vec::new()),
+    };
+    let t_pack = Instant::now();
+    let pa = E::pack_a(a, mode, sa);
+    let pb = E::pack_b(b, mode, sb);
+    let pack_ns = t_pack.elapsed().as_nanos() as u64;
+
+    // One salt per driver invocation: a serve-layer retry of this whole
+    // call draws an independent fault schedule.
+    let salt = plan.next_call();
+
+    // Cumulative telemetry across every epoch attempt.
+    let detected = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    // Per-epoch outcome: tiles that exhausted their attempts, and the
+    // mismatches those tiles could not repair. Reset before each epoch —
+    // a lost epoch's failures get fresh attempts on the rerun, so only
+    // the final epoch's failures count as uncorrected.
+    let failed_tiles = AtomicU64::new(0);
+    let epoch_uncorrected = AtomicU64::new(0);
+
+    let dptr = SendPtr(d.as_mut_slice().as_mut_ptr());
+    let t_exec = Instant::now();
+    let mut epoch_ok = false;
+    for epoch_attempt in 0..MAX_EPOCH_ATTEMPTS {
+        failed_tiles.store(0, Ordering::Relaxed);
+        epoch_uncorrected.store(0, Ordering::Relaxed);
+        let task = |tid: usize| {
+            match plan.task_fault(salt, epoch_attempt, tid as u64) {
+                Some(TaskFault::Stall { millis }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                Some(TaskFault::Panic) => {
+                    panic!("m3xu fault injection: task panic (tile {tid})");
+                }
+                None => {}
+            }
+            let (i0, j0) = ((tid / tiles_n) * frag.m, (tid % tiles_n) * frag.n);
+            let rows = frag.m.min(m - i0);
+            let cols = frag.n.min(n - j0);
+            let mut acc = [E::default(); ACC_SCRATCH]; // >= frag.m * frag.n, checked at entry
+            let acc = &mut acc[..rows * cols];
+            // Snapshot of the accumulator at each chunk's entry: restoring
+            // it makes a chunk re-execution exactly idempotent, so a
+            // mismatch re-runs only the corrupted chunk, never the tile's
+            // whole K loop.
+            let mut seeds = [E::default(); ACC_SCRATCH];
+            let seeds = &mut seeds[..rows * cols];
+            c.view(i0, j0, rows, cols).copy_into(acc);
+            let mut tile_detected = 0u64;
+            let mut tile_retries = 0u64;
+            let mut tile_uncorrected = 0u64;
+            let mut tile_failed = false;
+            DPU.with(|dpu| {
+                let mut dpu = dpu.borrow_mut();
+                for (ci, k0) in (0..k).step_by(frag.k).enumerate() {
+                    let kend = (k0 + frag.k).min(k);
+                    seeds.copy_from_slice(acc);
+                    // The expected side reads the chunk's seeds once; the
+                    // retries below restore them bit-exactly.
+                    let expected = E::expected_chunk(a, b, seeds, i0, rows, j0, cols, k0, kend);
+                    let mut chunk_fails = 0u64;
+                    let mut chunk_ok = false;
+                    for attempt in 0..MAX_TILE_ATTEMPTS {
+                        if attempt > 0 {
+                            acc.copy_from_slice(seeds);
+                        }
+                        // Specials bypass the multiplier array: an
+                        // unverifiable chunk is not a fault target.
+                        let fault = if expected.ok {
+                            plan.mma_fault(salt, epoch_attempt, tid as u64, ci as u64, attempt)
+                        } else {
+                            None
+                        };
+                        let computed = E::execute_checked(
+                            &mut dpu,
+                            &pa,
+                            &pb,
+                            i0,
+                            rows,
+                            j0,
+                            cols,
+                            k0,
+                            frag.k,
+                            acc,
+                            fault.as_ref(),
+                        );
+                        if expected.matches(&computed) {
+                            chunk_ok = true;
+                            break;
+                        }
+                        chunk_fails += 1;
+                    }
+                    tile_detected += chunk_fails;
+                    if chunk_ok {
+                        // Every detection triggered one repairing rerun.
+                        tile_retries += chunk_fails;
+                    } else {
+                        tile_retries += chunk_fails.saturating_sub(1);
+                        tile_uncorrected += chunk_fails;
+                        tile_failed = true;
+                        break;
+                    }
+                }
+            });
+            detected.fetch_add(tile_detected, Ordering::Relaxed);
+            retries.fetch_add(tile_retries, Ordering::Relaxed);
+            if tile_failed {
+                epoch_uncorrected.fetch_add(tile_uncorrected, Ordering::Relaxed);
+                failed_tiles.fetch_add(1, Ordering::Relaxed);
+            } else {
+                for (i, row) in acc.chunks_exact(cols).enumerate() {
+                    // SAFETY: this tile owns rows i0..i0+rows, cols
+                    // j0..j0+cols of the output; no other task touches
+                    // them, the pointer outlives the pool run, and epoch
+                    // reruns rewrite the same bytes.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            row.as_ptr(),
+                            dptr.get().add((i0 + i) * n + j0),
+                            cols,
+                        );
+                    }
+                }
+            }
+        };
+        // An injected task panic (or a worker killed mid-epoch) surfaces
+        // as a panic out of `run` once the epoch has drained; catch it
+        // and re-submit rather than unwinding through the caller.
+        match catch_unwind(AssertUnwindSafe(|| pool.run(tiles_m * tiles_n, task))) {
+            Ok(()) => {
+                epoch_ok = true;
+                break;
+            }
+            Err(_) => {
+                detected.fetch_add(1, Ordering::Relaxed);
+                if epoch_attempt + 1 < MAX_EPOCH_ATTEMPTS {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    let exec_ns = t_exec.elapsed().as_nanos() as u64;
+
+    let detected = detected.load(Ordering::Relaxed);
+    let retries = retries.load(Ordering::Relaxed);
+    let (failed, uncorrected) = if epoch_ok {
+        (
+            failed_tiles.load(Ordering::Relaxed),
+            epoch_uncorrected.load(Ordering::Relaxed),
+        )
+    } else {
+        // Epochs exhausted: the whole grid is suspect, and the final
+        // lost epoch is the one detection nothing repaired.
+        ((tiles_m * tiles_n) as u64, 1)
+    };
+    let summary = FaultSummary {
+        detected,
+        corrected: detected - uncorrected,
+        retries,
+    };
+
+    if let Some(cx) = ctx {
+        cx.counters().record_faults(&summary);
+    }
+    if failed > 0 {
+        if let Some(cx) = ctx {
+            cx.put_scratch(pa.into_storage(), pb.into_storage());
+        }
+        return Err(M3xuError::FaultDetected {
+            tiles: failed as usize,
+            detected,
+            corrected: summary.corrected,
+            retries,
+        });
+    }
+
+    // The production sample: a pure function of the fragment grid,
+    // bit-identical accounting to the unchecked driver.
+    let frags = (tiles_m * tiles_n * k_chunks) as u64;
+    let stats = fragment_stats(mode, frag).scaled(frags);
+    if let Some(cx) = ctx {
+        cx.counters().record(&GemmSample {
+            mode,
+            stats,
+            tiles: (tiles_m * tiles_n) as u64,
+            fragments: frags,
+            operand_bytes: ((m * k + k * n) * mode.element_bytes()) as u64,
+            pack_ns,
+            exec_ns,
+        });
+        cx.put_scratch(pa.into_storage(), pb.into_storage());
+    }
+    Ok((GemmResult { d, stats }, summary))
+}
+
 /// Context-attached real GEMM: the body of
 /// [`M3xuContext::try_gemm_f32`](crate::context::M3xuContext::try_gemm_f32).
+/// An armed fault plan routes the FP32 engine through the ABFT-checked
+/// self-healing driver; the narrow engines (whose operands quantise at
+/// the buffers, outside the checksum algebra) stay on the production
+/// path.
 pub(crate) fn try_gemm_f32_ctx(
     ctx: &M3xuContext,
     precision: GemmPrecision,
@@ -320,7 +707,7 @@ pub(crate) fn try_gemm_f32_ctx(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
-    try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
+    try_gemm_f32_faulted_ctx(ctx, precision, a, b, c).map(|(r, _)| r)
 }
 
 /// Context-attached FP32C GEMM: the body of
@@ -331,7 +718,38 @@ pub(crate) fn try_cgemm_c32_ctx(
     b: &Matrix<Complex<f32>>,
     c: &Matrix<Complex<f32>>,
 ) -> Result<GemmResult<Complex<f32>>, M3xuError> {
-    try_gemm_packed(ctx.pool(), MxuMode::M3xuFp32c, a, b, c, Some(ctx))
+    try_cgemm_c32_faulted_ctx(ctx, a, b, c).map(|(r, _)| r)
+}
+
+/// [`try_gemm_f32_ctx`] with the invocation's [`FaultSummary`].
+pub(crate) fn try_gemm_f32_faulted_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: &Matrix<f32>,
+) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+    match ctx.fault_plan() {
+        Some(plan) if precision == GemmPrecision::M3xuFp32 => {
+            try_gemm_abft(ctx.pool(), precision.mode(), a, b, c, Some(ctx), plan)
+        }
+        _ => try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
+            .map(|r| (r, FaultSummary::default())),
+    }
+}
+
+/// [`try_cgemm_c32_ctx`] with the invocation's [`FaultSummary`].
+pub(crate) fn try_cgemm_c32_faulted_ctx(
+    ctx: &M3xuContext,
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    c: &Matrix<Complex<f32>>,
+) -> Result<(GemmResult<Complex<f32>>, FaultSummary), M3xuError> {
+    match ctx.fault_plan() {
+        Some(plan) => try_gemm_abft(ctx.pool(), MxuMode::M3xuFp32c, a, b, c, Some(ctx), plan),
+        None => try_gemm_packed(ctx.pool(), MxuMode::M3xuFp32c, a, b, c, Some(ctx))
+            .map(|r| (r, FaultSummary::default())),
+    }
 }
 
 /// Fallible tiled FP32 GEMM `D = A·B + C` on an explicit worker pool —
@@ -852,5 +1270,98 @@ mod tests {
     fn workers_respects_env_contract() {
         // `workers()` delegates to the pool sizing; it must be positive.
         assert!(workers() >= 1);
+    }
+
+    // ---- ABFT-checked driver -------------------------------------------
+
+    #[test]
+    fn abft_zero_rate_verifies_and_stays_bit_identical() {
+        // A rate-0 plan runs the full checksum machinery with no
+        // injection: every chunk verifies and the result is bit-identical
+        // to the oracle, summary all-zero.
+        let pool = WorkerPool::new(2);
+        let plan = FaultPlan::new(1, 0.0);
+        let a = Matrix::<f32>::random(23, 11, 40);
+        let b = Matrix::<f32>::random(11, 19, 41);
+        let c = Matrix::<f32>::random(23, 19, 42);
+        let (r, s) = try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
+        let oracle = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_bits_f32(&r.d, &oracle.d, "abft zero-rate");
+        assert_eq!(r.stats, oracle.stats);
+        assert_eq!(s, FaultSummary::default());
+    }
+
+    #[test]
+    fn abft_recovers_injected_faults_bit_identically() {
+        let pool = WorkerPool::new(2);
+        let a = Matrix::<f32>::random(33, 17, 50);
+        let b = Matrix::<f32>::random(17, 29, 51);
+        let c = Matrix::<f32>::random(33, 29, 52);
+        let oracle = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        let mut saw_faults = false;
+        for seed in 0..8u64 {
+            let plan = FaultPlan::new(seed, 0.05);
+            let (r, s) = try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
+            assert_bits_f32(&r.d, &oracle.d, &format!("abft recovery seed {seed}"));
+            assert_eq!(s.detected, s.corrected, "seed {seed}: {s:?}");
+            saw_faults |= s.detected > 0;
+        }
+        assert!(saw_faults, "rate 0.05 across 8 seeds must inject something");
+    }
+
+    #[test]
+    fn abft_complex_recovery_matches_oracle() {
+        let pool = WorkerPool::new(2);
+        let a = Matrix::random_c32(17, 9, 60);
+        let b = Matrix::random_c32(9, 13, 61);
+        let c = Matrix::random_c32(17, 13, 62);
+        let oracle = baseline::cgemm_c32(&a, &b, &c);
+        let plan = FaultPlan::new(3, 0.05);
+        let (r, s) = try_gemm_abft(&pool, MxuMode::M3xuFp32c, &a, &b, &c, None, &plan).unwrap();
+        assert_bits_c32(&r.d, &oracle.d, "abft complex recovery");
+        assert_eq!(s.detected, s.corrected);
+    }
+
+    #[test]
+    fn abft_rate_one_is_a_typed_error_not_a_panic() {
+        let pool = WorkerPool::new(2);
+        let plan = FaultPlan::new(9, 1.0);
+        let a = Matrix::<f32>::random(16, 8, 70);
+        let b = Matrix::<f32>::random(8, 16, 71);
+        let c = Matrix::<f32>::zeros(16, 16);
+        match try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan) {
+            Err(M3xuError::FaultDetected {
+                tiles,
+                detected,
+                corrected,
+                retries,
+            }) => {
+                assert!(tiles > 0);
+                assert!(detected > corrected);
+                assert!(retries > 0);
+            }
+            other => panic!("expected FaultDetected, got {other:?}"),
+        }
+        // The pool (and its supervisor) must stay usable afterwards.
+        let clean = gemm_f32_on(&pool, GemmPrecision::M3xuFp32, &a, &b, &c);
+        let oracle = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_bits_f32(&clean.d, &oracle.d, "pool reuse after rate-1.0 abft");
+    }
+
+    #[test]
+    fn abft_specials_fall_back_to_unverified_execution() {
+        // Chunks poisoned by NaN/Inf are unverifiable: the checked driver
+        // must execute them un-checked (and un-faulted) and still match
+        // the oracle bit-for-bit.
+        let pool = WorkerPool::new(2);
+        let mut a = Matrix::<f32>::random(19, 7, 80);
+        a.set(0, 0, f32::NAN);
+        a.set(5, 3, f32::INFINITY);
+        let b = Matrix::<f32>::random(7, 11, 81);
+        let c = Matrix::<f32>::random(19, 11, 82);
+        let oracle = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        let plan = FaultPlan::new(4, 0.2);
+        let (r, _) = try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
+        assert_bits_f32(&r.d, &oracle.d, "abft specials");
     }
 }

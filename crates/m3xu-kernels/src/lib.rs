@@ -20,7 +20,9 @@
 //! * [`solver`] — conjugate-gradient solves whose convergence separates
 //!   true FP32 from TF32 (the introduction's scientific workloads);
 //! * [`conv_grad`] — convolution backward passes (dgrad/wgrad), the GEMMs
-//!   behind §VI-C2's 3.6x backward speedup.
+//!   behind §VI-C2's 3.6x backward speedup;
+//! * [`faulty`] — the [`FaultyExecutor`] chaos seam: fault injection plus
+//!   ABFT-checked self-healing execution over any of the above.
 //!
 //! All of them execute through [`context::M3xuContext`] — one object
 //! owning the worker pool, the packed-operand scratch arena, and the
@@ -35,6 +37,7 @@ pub mod context;
 pub mod conv2d;
 pub mod conv_grad;
 pub mod dnn;
+pub mod faulty;
 pub mod fft;
 pub mod gemm;
 pub mod knn;
@@ -45,10 +48,12 @@ pub mod quantum;
 pub mod solver;
 
 pub use context::{default_context, ClosureExecutor, ExecStats, GemmExecutor, M3xuContext};
+pub use faulty::FaultyExecutor;
 pub use gemm::{
     cgemm_c32, cgemm_c32_on, cmatmul_c32, gemm_f32, gemm_f32_on, matmul_f32, try_cgemm_c32,
     try_cgemm_c32_on, try_cmatmul_c32, try_gemm_f32, try_gemm_f32_on, try_matmul_f32,
     GemmPrecision, GemmResult,
 };
 pub use m3xu_mxu::error::M3xuError;
+pub use m3xu_mxu::fault::{FaultPlan, FaultSummary};
 pub use pool::WorkerPool;

@@ -17,12 +17,27 @@
 //! Reentrancy: a task that submits to a pool from inside a pool task (the
 //! nested-GEMM pattern) executes the nested run inline on its own thread
 //! — see [`WorkerPool::run`].
+//!
+//! Supervision: the submitter's completion wait doubles as a supervisor.
+//! If an epoch does not drain within a short interval, the pool scans for
+//! workers whose threads have *exited* (a crash that unwound past the
+//! per-task `catch_unwind`, or an injected death), writes off their
+//! `active` slots so the epoch terminates with the usual task-panic error
+//! instead of wedging forever, and spawns replacement workers that join
+//! from the next epoch on. Task-level self-healing (re-execution) is the
+//! ABFT driver's job, not the pool's: pool tasks are not idempotent in
+//! general, so the pool never re-runs anything on its own.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the submitter waits on the done condvar before scanning for
+/// dead workers. Purely a liveness bound: a healthy epoch is unaffected.
+const SUPERVISE_INTERVAL: Duration = Duration::from_millis(50);
 
 fn default_parallelism() -> usize {
     std::thread::available_parallelism()
@@ -109,6 +124,26 @@ struct Shared {
     done_cv: Condvar,
     /// Next unclaimed task index of the current epoch.
     next: AtomicUsize,
+    /// Fault-injection hook: each pending unit makes one worker thread
+    /// exit abruptly (no unwinding, no `active` decrement) at its next
+    /// task-claim point, simulating a crashed worker the supervisor must
+    /// recover from. See [`WorkerPool::inject_worker_death`].
+    die: AtomicUsize,
+}
+
+/// Claim one pending injected death, if any.
+fn take_death(shared: &Shared) -> bool {
+    let mut cur = shared.die.load(Ordering::Relaxed);
+    while cur > 0 {
+        match shared
+            .die
+            .compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return true,
+            Err(c) => cur = c,
+        }
+    }
+    false
 }
 
 thread_local! {
@@ -151,7 +186,10 @@ fn recover<'a, T>(
 /// A fixed team of worker threads executing `Fn(task_index)` jobs.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    /// Worker join handles. Behind a mutex because the supervisor scan
+    /// (inside `run`'s completion wait) reaps dead workers and spawns
+    /// replacements. Lock order: `state` before `workers`.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
 }
 
@@ -167,16 +205,17 @@ impl WorkerPool {
             job_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
+            die: AtomicUsize::new(0),
         });
-        let handles = (1..threads)
+        let workers = (1..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, 0))
             })
             .collect();
         WorkerPool {
             shared,
-            handles,
+            workers: Mutex::new(workers),
             threads,
         }
     }
@@ -184,6 +223,16 @@ impl WorkerPool {
     /// Total threads (workers + the participating caller).
     pub fn size(&self) -> usize {
         self.threads
+    }
+
+    /// Fault-injection hook: make `n` worker threads exit abruptly at
+    /// their next task-claim point — no unwinding, no bookkeeping, as if
+    /// the OS killed them. The supervisor detects the dead workers,
+    /// terminates the epoch with the usual task-panic error, and spawns
+    /// replacements. A no-op on an inline pool (`size() <= 1`), which has
+    /// no workers to kill.
+    pub fn inject_worker_death(&self, n: usize) {
+        self.shared.die.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Execute `f(0), f(1), ..., f(tasks - 1)` across the pool, returning
@@ -204,16 +253,12 @@ impl WorkerPool {
         if IN_POOL_TASK.get() {
             // Nested submission from inside a pool task: run inline. The
             // flag is already set, so deeper nesting stays inline too.
-            for t in 0..tasks {
-                f(t);
-            }
+            run_inline(tasks, &f);
             return;
         }
-        if self.handles.is_empty() {
+        if self.threads <= 1 {
             let _in_task = InTaskGuard::enter();
-            for t in 0..tasks {
-                f(t);
-            }
+            run_inline(tasks, &f);
             return;
         }
         // One submitting thread at a time; held until the epoch drains.
@@ -232,7 +277,7 @@ impl WorkerPool {
             st.job = Some(ptr);
             st.tasks = tasks;
             st.epoch += 1;
-            st.active = self.handles.len();
+            st.active = self.threads - 1;
             self.shared.job_cv.notify_all();
         }
         // The caller is a full team member: drain the counter too.
@@ -254,7 +299,15 @@ impl WorkerPool {
         let worker_panicked = {
             let mut st = recover(self.shared.state.lock());
             while st.active > 0 {
-                st = recover(self.shared.done_cv.wait(st));
+                let (g, timeout) = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(st, SUPERVISE_INTERVAL)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+                if timeout.timed_out() && st.active > 0 {
+                    self.supervise(&mut st);
+                }
             }
             st.job = None;
             std::mem::take(&mut st.panicked)
@@ -266,6 +319,50 @@ impl WorkerPool {
             panic!("a worker-pool task panicked");
         }
     }
+
+    /// The supervisor scan, run while the completion wait is overdue:
+    /// reap workers whose threads exited without reporting (crashed or
+    /// injected deaths), release their `active` slots so the epoch can
+    /// terminate, flag the epoch as panicked (their claimed tasks may be
+    /// lost), and spawn replacements pinned to the *current* epoch so they
+    /// only pick up work from the next one.
+    fn supervise(&self, st: &mut PoolState) {
+        let mut workers = recover(self.workers.lock());
+        let mut dead = 0;
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let _ = workers.swap_remove(i).join();
+                dead += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if dead > 0 {
+            st.panicked = true;
+            st.active = st.active.saturating_sub(dead);
+            for _ in 0..dead {
+                let shared = Arc::clone(&self.shared);
+                let epoch = st.epoch;
+                workers.push(std::thread::spawn(move || worker_loop(&shared, epoch)));
+            }
+        }
+    }
+}
+
+/// Inline execution with the same panic semantics as a pooled epoch:
+/// every task runs (a panicking task does not abort its siblings), and
+/// the first panic propagates after the batch drains.
+fn run_inline<F: Fn(usize) + Sync>(tasks: usize, f: &F) {
+    let mut first_panic = None;
+    for t in 0..tasks {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(t))) {
+            first_panic.get_or_insert(p);
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
+    }
 }
 
 impl Drop for WorkerPool {
@@ -275,14 +372,14 @@ impl Drop for WorkerPool {
             st.shutdown = true;
             self.shared.job_cv.notify_all();
         }
-        for h in self.handles.drain(..) {
+        for h in recover(self.workers.lock()).drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let mut seen_epoch = 0u64;
+fn worker_loop(shared: &Shared, start_epoch: u64) {
+    let mut seen_epoch = start_epoch;
     loop {
         let (job, tasks) = {
             let mut st = recover(shared.state.lock());
@@ -303,6 +400,12 @@ fn worker_loop(shared: &Shared) {
         {
             let _in_task = InTaskGuard::enter();
             loop {
+                if take_death(shared) {
+                    // Injected abrupt death: exit without decrementing
+                    // `active`, exactly like a crashed thread. The
+                    // submitter's supervisor scan recovers the epoch.
+                    return;
+                }
                 let t = shared.next.fetch_add(1, Ordering::Relaxed);
                 if t >= tasks {
                     break;
@@ -444,6 +547,76 @@ mod tests {
             }
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4 * 25 * 45);
+    }
+
+    #[test]
+    fn inline_panic_runs_all_tasks_before_propagating() {
+        // The inline paths (size-1 pool, nested runs) must have the same
+        // panic semantics as a pooled epoch: drain every task, then
+        // propagate — not abort the batch at the first panic.
+        let pool = WorkerPool::new(1);
+        let ran = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(5, |t| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if t == 1 {
+                    panic!("inline boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 5, "siblings must still run");
+
+        // Same contract on the nested-inline path.
+        let pool = WorkerPool::new(4);
+        let inner_ran = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, |_| {
+                pool.run(4, |u| {
+                    inner_ran.fetch_add(1, Ordering::Relaxed);
+                    if u == 2 {
+                        panic!("nested inline boom");
+                    }
+                });
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(inner_ran.load(Ordering::Relaxed), 2 * 4);
+    }
+
+    #[test]
+    fn supervisor_recovers_from_abrupt_worker_death() {
+        for threads in [2, 4] {
+            let pool = WorkerPool::new(threads);
+            pool.inject_worker_death(1);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(64, |_| {});
+            }));
+            assert!(
+                caught.is_err(),
+                "a lost worker must surface as the epoch's panic error ({threads} threads)"
+            );
+            // The replacement worker serves subsequent epochs: every task
+            // still runs exactly once.
+            let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            pool.run(hits.len(), |t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {t} ({threads} threads)");
+            }
+        }
+    }
+
+    #[test]
+    fn inject_death_is_a_noop_on_inline_pools() {
+        let pool = WorkerPool::new(1);
+        pool.inject_worker_death(3);
+        let sum = AtomicU64::new(0);
+        pool.run(4, |t| {
+            sum.fetch_add(t as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
     }
 
     #[test]

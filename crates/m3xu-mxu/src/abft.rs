@@ -1,0 +1,250 @@
+//! Algorithm-based fault tolerance (ABFT) checksums for the tiled GEMM
+//! drivers, in the style of Huang & Abraham's row/column checksum scheme
+//! — adapted to the M3XU execution model where rounding happens once per
+//! k-chunk.
+//!
+//! ## The identity
+//!
+//! Within one k-chunk of one output tile, the MXU datapath computes, for
+//! every element `(i, j)`, the *exact* dyadic value
+//!
+//! ```text
+//! pre_round(i, j) = seed(i, j) + Σ_k a[i][k] · b[k][j]
+//! ```
+//!
+//! (the hi/lo 12-bit split is error-free and the Kulisch register is
+//! exact), then rounds it once to FP32. Summing over the tile and
+//! swapping the summation order gives the checksum identity
+//!
+//! ```text
+//! Σ_(i,j) pre_round(i, j) = Σ_(i,j) seed(i, j) + Σ_k (Σ_i a[i][k]) · (Σ_j b[k][j])
+//! ```
+//!
+//! which holds *exactly* in the dyadic rationals — and therefore exactly
+//! in their homomorphic image mod `p = 2^61 - 1` ([`m3xu_fp::residue`]).
+//! The right-hand side (the **expected** checksum) costs `O(rows·cols +
+//! klen·(rows + cols))`; the left-hand side (the **computed** checksum)
+//! falls out of the accumulator state the checked MMA already holds. A
+//! corrupted product shifts the computed side by a nonzero dyadic delta,
+//! whose residue is nonzero because `p` is prime — detection of a single
+//! corrupted product is *certain*, not probabilistic.
+//!
+//! The identity must be checked per k-chunk: each chunk rounds its
+//! results and re-seeds the next one, and rounding is not additive.
+//!
+//! ## Special values
+//!
+//! NaN/Inf have no dyadic value. A chunk whose seeds or operand band
+//! contain specials is *unverifiable* ([`Checksum::ok`] is false) and is
+//! skipped by the verifier — ABFT coverage extends exactly as far as the
+//! arithmetic the checksum algebra models, matching the fault injector,
+//! which never targets special-valued lanes (they bypass the multiplier
+//! array).
+
+use crate::matrix::Matrix;
+use m3xu_fp::residue::{add_m61, mul_m61, residue_f32, sub_m61};
+use m3xu_fp::C32;
+
+/// A per-chunk checksum: the residue pair (imaginary part zero for real
+/// GEMMs) plus a verifiability flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum {
+    /// Residue of the real part, mod `2^61 - 1`.
+    pub re: u64,
+    /// Residue of the imaginary part, mod `2^61 - 1`.
+    pub im: u64,
+    /// False when special values make the chunk unverifiable.
+    pub ok: bool,
+}
+
+impl Checksum {
+    /// The additive identity of a verifiable checksum.
+    pub const ZERO: Checksum = Checksum {
+        re: 0,
+        im: 0,
+        ok: true,
+    };
+
+    /// A checksum poisoned by special values.
+    pub const UNVERIFIABLE: Checksum = Checksum {
+        re: 0,
+        im: 0,
+        ok: false,
+    };
+
+    /// Accumulate a real element residue (`None` poisons the checksum).
+    pub fn absorb_re(&mut self, r: Option<u64>) {
+        match r {
+            Some(r) if self.ok => self.re = add_m61(self.re, r),
+            _ => self.ok = false,
+        }
+    }
+
+    /// Accumulate a complex element residue pair.
+    pub fn absorb_pair(&mut self, r: Option<(u64, u64)>) {
+        match r {
+            Some((re, im)) if self.ok => {
+                self.re = add_m61(self.re, re);
+                self.im = add_m61(self.im, im);
+            }
+            _ => self.ok = false,
+        }
+    }
+
+    /// Does a computed checksum agree with this expected one?
+    ///
+    /// An unverifiable *expected* side always matches (no claim is made);
+    /// a verifiable expected side with an unverifiable computed side is a
+    /// mismatch — honest execution of a special-free chunk always yields
+    /// a finite, extractable accumulator state.
+    pub fn matches(&self, computed: &Checksum) -> bool {
+        !self.ok || (computed.ok && self.re == computed.re && self.im == computed.im)
+    }
+}
+
+/// Residue pair of a complex value; `None` if either component is
+/// non-finite.
+pub fn residue_c32(z: C32) -> Option<(u64, u64)> {
+    Some((residue_f32(z.re)?, residue_f32(z.im)?))
+}
+
+/// Complex product in `F_p × F_p`:
+/// `(ar·br − ai·bi, ar·bi + ai·br)`.
+fn cmul_m61(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    (
+        sub_m61(mul_m61(a.0, b.0), mul_m61(a.1, b.1)),
+        add_m61(mul_m61(a.0, b.1), mul_m61(a.1, b.0)),
+    )
+}
+
+/// Expected checksum of one real k-chunk: `Σ seeds + Σ_k S_A[k]·S_B[k]`
+/// over the tile `(i0.., j0..) × (k0..kend)`, where `S_A[k]` sums column
+/// `k` of the tile's A rows and `S_B[k]` sums row `k` of the tile's B
+/// columns. `seeds` is the tile's accumulator *before* the chunk runs,
+/// row-major `rows × cols`.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_chunk_f32(
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    seeds: &[f32],
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    cols: usize,
+    k0: usize,
+    kend: usize,
+) -> Checksum {
+    let mut sum = Checksum::ZERO;
+    for &s in &seeds[..rows * cols] {
+        sum.absorb_re(residue_f32(s));
+        if !sum.ok {
+            return Checksum::UNVERIFIABLE;
+        }
+    }
+    for k in k0..kend {
+        let mut sa = 0u64;
+        for i in 0..rows {
+            match residue_f32(a.get(i0 + i, k)) {
+                Some(r) => sa = add_m61(sa, r),
+                None => return Checksum::UNVERIFIABLE,
+            }
+        }
+        let mut sb = 0u64;
+        for j in 0..cols {
+            match residue_f32(b.get(k, j0 + j)) {
+                Some(r) => sb = add_m61(sb, r),
+                None => return Checksum::UNVERIFIABLE,
+            }
+        }
+        sum.re = add_m61(sum.re, mul_m61(sa, sb));
+    }
+    sum
+}
+
+/// Expected checksum of one complex k-chunk; the per-k outer product uses
+/// the complex field structure of `F_p × F_p`.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_chunk_c32(
+    a: &Matrix<C32>,
+    b: &Matrix<C32>,
+    seeds: &[C32],
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    cols: usize,
+    k0: usize,
+    kend: usize,
+) -> Checksum {
+    let mut sum = Checksum::ZERO;
+    for &s in &seeds[..rows * cols] {
+        sum.absorb_pair(residue_c32(s));
+        if !sum.ok {
+            return Checksum::UNVERIFIABLE;
+        }
+    }
+    for k in k0..kend {
+        let mut sa = (0u64, 0u64);
+        for i in 0..rows {
+            match residue_c32(a.get(i0 + i, k)) {
+                Some(r) => sa = (add_m61(sa.0, r.0), add_m61(sa.1, r.1)),
+                None => return Checksum::UNVERIFIABLE,
+            }
+        }
+        let mut sb = (0u64, 0u64);
+        for j in 0..cols {
+            match residue_c32(b.get(k, j0 + j)) {
+                Some(r) => sb = (add_m61(sb.0, r.0), add_m61(sb.1, r.1)),
+                None => return Checksum::UNVERIFIABLE,
+            }
+        }
+        let prod = cmul_m61(sa, sb);
+        sum.re = add_m61(sum.re, prod.0);
+        sum.im = add_m61(sum.im, prod.1);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unverifiable_expected_matches_anything() {
+        let e = Checksum::UNVERIFIABLE;
+        assert!(e.matches(&Checksum::ZERO));
+        assert!(e.matches(&Checksum::UNVERIFIABLE));
+    }
+
+    #[test]
+    fn verifiable_expected_rejects_unverifiable_computed() {
+        let e = Checksum::ZERO;
+        assert!(!e.matches(&Checksum::UNVERIFIABLE));
+        assert!(e.matches(&Checksum::ZERO));
+        let other = Checksum {
+            re: 1,
+            im: 0,
+            ok: true,
+        };
+        assert!(!e.matches(&other));
+    }
+
+    #[test]
+    fn specials_anywhere_poison_the_expected_side() {
+        let mut a = Matrix::<f32>::random(4, 4, 1);
+        let b = Matrix::<f32>::random(4, 4, 2);
+        let seeds = [0.0f32; 16];
+        assert!(expected_chunk_f32(&a, &b, &seeds, 0, 4, 0, 4, 0, 4).ok);
+        a.set(2, 3, f32::NAN);
+        assert!(!expected_chunk_f32(&a, &b, &seeds, 0, 4, 0, 4, 0, 4).ok);
+        // A NaN outside the chunk's k-range does not poison it.
+        assert!(expected_chunk_f32(&a, &b, &seeds, 0, 4, 0, 4, 0, 3).ok);
+    }
+
+    #[test]
+    fn complex_product_structure() {
+        // (1 + 2i)(3 + 4i) = -5 + 10i.
+        let p = cmul_m61((1, 2), (3, 4));
+        assert_eq!(p.0, m3xu_fp::residue::M61 - 5);
+        assert_eq!(p.1, 10);
+    }
+}

@@ -95,6 +95,23 @@ pub enum M3xuError {
         /// Description of the rejected argument.
         context: &'static str,
     },
+    /// The ABFT checksum layer detected corrupted MMA products (or lost
+    /// worker-pool epochs) that tile- and epoch-level re-execution could
+    /// not repair within the retry budget. The counters mirror the
+    /// [`FaultSummary`](crate::fault::FaultSummary) the call would have
+    /// returned on success, so callers can attribute fault telemetry even
+    /// on the error path.
+    FaultDetected {
+        /// Output tiles still failing verification when the budget ran out.
+        tiles: usize,
+        /// Checksum mismatches (plus lost epochs) observed across all
+        /// attempts.
+        detected: u64,
+        /// Detected faults that a re-execution subsequently repaired.
+        corrected: u64,
+        /// Tile re-executions plus epoch re-submissions performed.
+        retries: u64,
+    },
 }
 
 impl fmt::Display for M3xuError {
@@ -139,6 +156,16 @@ impl fmt::Display for M3xuError {
                 "{context}: rounding margin collapsed at element {index}; result not exact"
             ),
             M3xuError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+            M3xuError::FaultDetected {
+                tiles,
+                detected,
+                corrected,
+                retries,
+            } => write!(
+                f,
+                "fault detected: {tiles} tile(s) unrecoverable after {retries} \
+                 retries ({detected} checksum mismatches, {corrected} corrected)"
+            ),
         }
     }
 }

@@ -21,6 +21,8 @@
 //!   datapath with IEEE special handling;
 //! * [`mma`] — MMA instruction execution and statistics;
 //! * [`modes`] — operating modes and their timing (Corollaries 1–3);
+//! * [`fault`] / [`abft`] — deterministic fault injection and the
+//!   Mersenne-prime checksum algebra the self-healing drivers verify with;
 //! * [`unit`](mod@unit) — the [`Mxu`] device with counters, and the
 //!   expensive [`NativeFp32Mxu`] reference design.
 //!
@@ -47,10 +49,12 @@
 
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod assign;
 pub mod buffer;
 pub mod dpu;
 pub mod error;
+pub mod fault;
 pub mod generic;
 pub mod isa;
 pub mod matrix;
@@ -62,6 +66,7 @@ pub mod systolic;
 pub mod unit;
 
 pub use error::M3xuError;
+pub use fault::{FaultPlan, FaultSummary};
 pub use matrix::{Matrix, TileView};
 pub use mma::{MmaShape, MmaStats};
 pub use modes::{MxuMode, PipelineVariant};

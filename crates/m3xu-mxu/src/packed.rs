@@ -28,9 +28,11 @@
 //!    re-seeds the next fragment of the `K`-loop — the same once-per-MMA
 //!    rounding contract as [`crate::mma`].
 
+use crate::abft::Checksum;
 use crate::buffer::{decode_fp32, decode_narrow, decode_tf32_truncating, BufferEntry};
 use crate::dpu::{DotProductUnit, LaneOp, Target};
 use crate::error::M3xuError;
+use crate::fault::MmaFault;
 use crate::matrix::Matrix;
 use crate::mma::{MmaShape, MmaStats};
 use crate::modes::MxuMode;
@@ -455,16 +457,31 @@ impl FastDot {
     }
 }
 
-/// Attempt one real-mode output element on the fast path.
+impl FastDot {
+    /// `F_p` residue (`p = 2^61 - 1`) of the exact pre-rounding sum: the
+    /// contribution list *is* the dyadic value, so the residue is the
+    /// signed sum of the homomorphic images — no shifting, no window.
+    fn residue_m61(&self) -> u64 {
+        use m3xu_fp::residue::{add_m61, mul_m61, pow2_m61, reduce_u64, sub_m61};
+        let mut r = 0u64;
+        for &(m, p, neg) in &self.contrib[..self.n] {
+            let t = mul_m61(reduce_u64(m), pow2_m61(p as i64));
+            r = if neg { sub_m61(r, t) } else { add_m61(r, t) };
+        }
+        r
+    }
+}
+
+/// Collect one real-mode output element's contributions for the fast path.
 #[inline]
-fn try_fast_real(
+fn build_fast_real(
     seed: f32,
     av: &[BufferEntry],
     bv: &[BufferEntry],
     k0: usize,
     kend: usize,
     epe: usize,
-) -> Option<f32> {
+) -> Option<FastDot> {
     let mut dot = FastDot::new(seed)?;
     if epe == 1 {
         for k in k0..kend {
@@ -480,18 +497,46 @@ fn try_fast_real(
             dot.push_pair(al, bh, false)?;
         }
     }
-    dot.reduce()
+    Some(dot)
 }
 
-/// Attempt one FP32C output element (both components) on the fast path.
+/// Attempt one real-mode output element on the fast path.
 #[inline]
-fn try_fast_c32(
+fn try_fast_real(
+    seed: f32,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+    epe: usize,
+) -> Option<f32> {
+    build_fast_real(seed, av, bv, k0, kend, epe)?.reduce()
+}
+
+/// Fast path plus the `F_p` residue of the exact pre-rounding value, for
+/// the ABFT-checked drivers.
+#[inline]
+fn try_fast_real_checked(
+    seed: f32,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+    epe: usize,
+) -> Option<(f32, u64)> {
+    let dot = build_fast_real(seed, av, bv, k0, kend, epe)?;
+    Some((dot.reduce()?, dot.residue_m61()))
+}
+
+/// Collect one FP32C output element's contributions for the fast path.
+#[inline]
+fn build_fast_c32(
     seed: Complex<f32>,
     av: &[BufferEntry],
     bv: &[BufferEntry],
     k0: usize,
     kend: usize,
-) -> Option<Complex<f32>> {
+) -> Option<(FastDot, FastDot)> {
     let mut re = FastDot::new(seed.re)?;
     let mut im = FastDot::new(seed.im)?;
     for k in k0..kend {
@@ -514,7 +559,34 @@ fn try_fast_c32(
         im.push_pair(xih, yrl, false)?;
         im.push_pair(xil, yrh, false)?;
     }
+    Some((re, im))
+}
+
+/// Attempt one FP32C output element (both components) on the fast path.
+#[inline]
+fn try_fast_c32(
+    seed: Complex<f32>,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+) -> Option<Complex<f32>> {
+    let (re, im) = build_fast_c32(seed, av, bv, k0, kend)?;
     Some(Complex::new(re.reduce()?, im.reduce()?))
+}
+
+/// Fast path plus the residue pair of the exact pre-rounding values.
+#[inline]
+fn try_fast_c32_checked(
+    seed: Complex<f32>,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+) -> Option<(Complex<f32>, u64, u64)> {
+    let (re, im) = build_fast_c32(seed, av, bv, k0, kend)?;
+    let (vr, vi) = (re.reduce()?, im.reduce()?);
+    Some((Complex::new(vr, vi), re.residue_m61(), im.residue_m61()))
 }
 
 impl DotProductUnit {
@@ -652,6 +724,191 @@ impl DotProductUnit {
                 *d = Complex::new(self.read_real_f32(), self.read_imag_f32());
             }
         }
+    }
+
+    /// [`mma_f32_into`](DotProductUnit::mma_f32_into) with ABFT checksum
+    /// extraction and optional fault injection.
+    ///
+    /// Returns the **computed** chunk checksum: the `F_p` residue sum of
+    /// every output element's exact pre-rounding accumulator value (from
+    /// the fast-path contribution list or the Kulisch register — the same
+    /// state the rounded value is drained from). An injected fault
+    /// corrupts that state, shifting the rounded value *and* the reported
+    /// residue together, exactly as a flipped storage bit would; the
+    /// checksum identity then exposes it against the expected side.
+    ///
+    /// Fault-free, this writes bit-identical output to the unchecked
+    /// variant (the arithmetic path is shared, only extraction is added).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f32_checked_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f32],
+        fault: Option<&MmaFault>,
+    ) -> Checksum {
+        use m3xu_fp::residue::{add_m61, residue_f32, sub_m61};
+        assert_eq!(a.mode, b.mode, "operand modes disagree");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        let kend = (k0 + klen).min(a.len);
+        let epe = a.epe;
+        let lanes_per_element = ((kend.saturating_sub(k0)) * epe * epe) as u64;
+        let target = fault.map(|f| (f.lane() % (rows * cols).max(1) as u64) as usize);
+        let mut sum = Checksum::ZERO;
+        for i in 0..rows {
+            let av = a.vec(r0 + i);
+            for j in 0..cols {
+                let bv = b.vec(c0 + j);
+                let d = &mut acc[i * cols + j];
+                let (mut v, mut res) = match try_fast_real_checked(*d, av, bv, k0, kend, epe) {
+                    Some((v, r)) => {
+                        self.lane_ops += lanes_per_element;
+                        (v, Some(r))
+                    }
+                    None => {
+                        self.clear_real();
+                        self.seed_real(*d as f64);
+                        match epe {
+                            1 => {
+                                for k in k0..kend {
+                                    self.execute_lane_op(&lane(av[k], bv[k], false, Target::Real));
+                                }
+                            }
+                            2 => {
+                                for k in k0..kend {
+                                    let (ah, al) = (av[2 * k], av[2 * k + 1]);
+                                    let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
+                                    self.execute_lane_op(&lane(ah, bh, false, Target::Real));
+                                    self.execute_lane_op(&lane(al, bl, false, Target::Real));
+                                    self.execute_lane_op(&lane(ah, bl, false, Target::Real));
+                                    self.execute_lane_op(&lane(al, bh, false, Target::Real));
+                                }
+                            }
+                            _ => unreachable!("real-mode packing uses 1 or 2 entries per element"),
+                        }
+                        (self.read_real_f32(), self.real_residue_m61())
+                    }
+                };
+                if let (Some(f), Some(t)) = (fault, target) {
+                    if i * cols + j == t {
+                        if let Some(cv) = crate::fault::corrupt_f32(v, f) {
+                            res = match (res, residue_f32(v), residue_f32(cv)) {
+                                (Some(r), Some(old), Some(new)) => {
+                                    Some(add_m61(sub_m61(r, old), new))
+                                }
+                                _ => None,
+                            };
+                            v = cv;
+                        }
+                    }
+                }
+                sum.absorb_re(res);
+                *d = v;
+            }
+        }
+        sum
+    }
+
+    /// [`mma_c32_into`](DotProductUnit::mma_c32_into) with ABFT checksum
+    /// extraction and optional fault injection; the fault's lane selector
+    /// addresses `rows * cols * 2` component slots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_c32_checked_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [Complex<f32>],
+        fault: Option<&MmaFault>,
+    ) -> Checksum {
+        use m3xu_fp::residue::{add_m61, residue_f32, sub_m61};
+        assert_eq!(a.mode, MxuMode::M3xuFp32c, "a is not FP32C-packed");
+        assert_eq!(b.mode, MxuMode::M3xuFp32c, "b is not FP32C-packed");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        let kend = (k0 + klen).min(a.len);
+        let lanes_per_element = (kend.saturating_sub(k0) * 16) as u64;
+        let target = fault.map(|f| (f.lane() % (rows * cols * 2).max(1) as u64) as usize);
+        let corrupt = |slot: usize, v: &mut f32, res: &mut Option<u64>| {
+            if let (Some(f), Some(t)) = (fault, target) {
+                if slot == t {
+                    if let Some(cv) = crate::fault::corrupt_f32(*v, f) {
+                        *res = match (*res, residue_f32(*v), residue_f32(cv)) {
+                            (Some(r), Some(old), Some(new)) => Some(add_m61(sub_m61(r, old), new)),
+                            _ => None,
+                        };
+                        *v = cv;
+                    }
+                }
+            }
+        };
+        let mut sum = Checksum::ZERO;
+        for i in 0..rows {
+            let av = a.vec(r0 + i);
+            for j in 0..cols {
+                let bv = b.vec(c0 + j);
+                let d = &mut acc[i * cols + j];
+                let (mut v, mut rr, mut ri) = match try_fast_c32_checked(*d, av, bv, k0, kend) {
+                    Some((v, rr, ri)) => {
+                        self.lane_ops += lanes_per_element;
+                        (v, Some(rr), Some(ri))
+                    }
+                    None => {
+                        self.clear();
+                        self.seed_real(d.re as f64);
+                        self.seed_imag(d.im as f64);
+                        for k in k0..kend {
+                            let (xrh, xrl, xih, xil) =
+                                (av[4 * k], av[4 * k + 1], av[4 * k + 2], av[4 * k + 3]);
+                            let (yrh, yrl, yih, yil) =
+                                (bv[4 * k], bv[4 * k + 1], bv[4 * k + 2], bv[4 * k + 3]);
+                            self.execute_lane_op(&lane(xrh, yrh, false, Target::Real));
+                            self.execute_lane_op(&lane(xrl, yrl, false, Target::Real));
+                            self.execute_lane_op(&lane(xih, yih, true, Target::Real));
+                            self.execute_lane_op(&lane(xil, yil, true, Target::Real));
+                            self.execute_lane_op(&lane(xrh, yrl, false, Target::Real));
+                            self.execute_lane_op(&lane(xrl, yrh, false, Target::Real));
+                            self.execute_lane_op(&lane(xih, yil, true, Target::Real));
+                            self.execute_lane_op(&lane(xil, yih, true, Target::Real));
+                            self.execute_lane_op(&lane(xrh, yih, false, Target::Imag));
+                            self.execute_lane_op(&lane(xrl, yil, false, Target::Imag));
+                            self.execute_lane_op(&lane(xih, yrh, false, Target::Imag));
+                            self.execute_lane_op(&lane(xil, yrl, false, Target::Imag));
+                            self.execute_lane_op(&lane(xrh, yil, false, Target::Imag));
+                            self.execute_lane_op(&lane(xrl, yih, false, Target::Imag));
+                            self.execute_lane_op(&lane(xih, yrl, false, Target::Imag));
+                            self.execute_lane_op(&lane(xil, yrh, false, Target::Imag));
+                        }
+                        (
+                            Complex::new(self.read_real_f32(), self.read_imag_f32()),
+                            self.real_residue_m61(),
+                            self.imag_residue_m61(),
+                        )
+                    }
+                };
+                let slot = (i * cols + j) * 2;
+                corrupt(slot, &mut v.re, &mut rr);
+                corrupt(slot + 1, &mut v.im, &mut ri);
+                sum.absorb_pair(match (rr, ri) {
+                    (Some(re), Some(im)) => Some((re, im)),
+                    _ => None,
+                });
+                *d = v;
+            }
+        }
+        sum
     }
 }
 
@@ -976,6 +1233,102 @@ mod tests {
                 k.add_product_f32(a.get(i, 2), b.get(2, j));
                 assert_eq!(acc2[i * 6 + j].to_bits(), k.to_f32().to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn checked_mma_f32_is_bit_identical_and_checksum_verifies() {
+        use crate::abft::expected_chunk_f32;
+        // Fast-path inputs plus a wide-exponent-spread case that forces
+        // the Kulisch fallback; both must verify.
+        for (sa, scale) in [(21u64, 1.0f32), (22, 1.0e30)] {
+            let mut a = Matrix::<f32>::random(8, 2, sa);
+            if scale != 1.0 {
+                a.set(0, 0, a.get(0, 0) * scale);
+                a.set(0, 1, a.get(0, 1) / scale);
+            }
+            let b = Matrix::<f32>::random(2, 8, sa + 1);
+            let c = Matrix::<f32>::random(8, 8, sa + 2);
+            let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
+            let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+            let mut dpu = DotProductUnit::new();
+            let mut plain: Vec<f32> = c.as_slice().to_vec();
+            dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut plain);
+            let mut checked: Vec<f32> = c.as_slice().to_vec();
+            let expected = expected_chunk_f32(&a, &b, &checked, 0, 8, 0, 8, 0, 2);
+            let computed = dpu.mma_f32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut checked, None);
+            for (x, y) in checked.iter().zip(&plain) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert!(expected.ok, "finite inputs must be verifiable");
+            assert!(expected.matches(&computed), "honest run must verify");
+        }
+    }
+
+    #[test]
+    fn checked_mma_c32_is_bit_identical_and_checksum_verifies() {
+        use crate::abft::expected_chunk_c32;
+        let a = Matrix::random_c32(8, 1, 61);
+        let b = Matrix::random_c32(1, 8, 62);
+        let c = Matrix::random_c32(8, 8, 63);
+        let pa = PackedOperand::pack_rows_c32(&a);
+        let pb = PackedOperand::pack_cols_c32(&b);
+        let mut dpu = DotProductUnit::new();
+        let mut plain: Vec<Complex<f32>> = c.as_slice().to_vec();
+        dpu.mma_c32_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut plain);
+        let mut checked: Vec<Complex<f32>> = c.as_slice().to_vec();
+        let expected = expected_chunk_c32(&a, &b, &checked, 0, 8, 0, 8, 0, 1);
+        let computed = dpu.mma_c32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut checked, None);
+        for (x, y) in checked.iter().zip(&plain) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        assert!(expected.ok && expected.matches(&computed));
+    }
+
+    #[test]
+    fn injected_faults_are_always_detected() {
+        use crate::abft::{expected_chunk_c32, expected_chunk_f32};
+        use crate::fault::MmaFault;
+        let a = Matrix::<f32>::random(8, 2, 71);
+        let b = Matrix::<f32>::random(2, 8, 72);
+        let c = Matrix::<f32>::random(8, 8, 73);
+        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+        let mut dpu = DotProductUnit::new();
+        let faults = [
+            MmaFault::FlipBit { lane: 5, bit: 31 },
+            MmaFault::FlipBit { lane: 63, bit: 0 },
+            MmaFault::FlipBit { lane: 17, bit: 23 },
+            MmaFault::CorruptValue {
+                lane: 40,
+                mask: 0xdead_beef,
+            },
+            MmaFault::CorruptValue {
+                lane: 9,
+                mask: 0x7f80_0000, // would create a special: retargeted
+            },
+        ];
+        for f in &faults {
+            let mut acc: Vec<f32> = c.as_slice().to_vec();
+            let expected = expected_chunk_f32(&a, &b, &acc, 0, 8, 0, 8, 0, 2);
+            let computed = dpu.mma_f32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc, Some(f));
+            assert!(!expected.matches(&computed), "fault {f:?} must be detected");
+        }
+
+        let a = Matrix::random_c32(8, 1, 81);
+        let b = Matrix::random_c32(1, 8, 82);
+        let c = Matrix::random_c32(8, 8, 83);
+        let pa = PackedOperand::pack_rows_c32(&a);
+        let pb = PackedOperand::pack_cols_c32(&b);
+        for f in &faults {
+            let mut acc: Vec<Complex<f32>> = c.as_slice().to_vec();
+            let expected = expected_chunk_c32(&a, &b, &acc, 0, 8, 0, 8, 0, 1);
+            let computed = dpu.mma_c32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut acc, Some(f));
+            assert!(
+                !expected.matches(&computed),
+                "complex fault {f:?} must be detected"
+            );
         }
     }
 }

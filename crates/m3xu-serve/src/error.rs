@@ -32,6 +32,13 @@ pub enum ServeError {
     /// The service is shutting down (or already shut down); the request
     /// was not (or will not be) executed.
     ShuttingDown,
+    /// The tenant's circuit breaker is open after repeated unrecoverable
+    /// fault detections; the request was shed at admission without
+    /// queueing. Back off for at least the indicated cooldown.
+    BreakerOpen {
+        /// Remaining cooldown when the request was shed, in nanoseconds.
+        retry_after_ns: u64,
+    },
     /// The kernel rejected the request at execution time; the inner
     /// [`M3xuError`] is exactly what a direct context call would return.
     Exec(M3xuError),
@@ -47,6 +54,12 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline exceeded {late_ns} ns before execution began")
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BreakerOpen { retry_after_ns } => {
+                write!(
+                    f,
+                    "tenant circuit breaker open (retry after {retry_after_ns} ns)"
+                )
+            }
             ServeError::Exec(e) => write!(f, "execution rejected: {e}"),
         }
     }
@@ -87,6 +100,9 @@ mod tests {
         let e = ServeError::from(inner.clone());
         assert!(e.to_string().contains("gemm(B)"));
         assert_eq!(e, ServeError::Exec(inner));
+        assert!(ServeError::BreakerOpen { retry_after_ns: 99 }
+            .to_string()
+            .contains("99"));
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //!   instructions and steps, rule-(c) operand bytes, queue wait and
 //!   execution wall time. Summed over tenants these reproduce the shared
 //!   context's [`ExecStats`] totals.
+//! * **fault tolerance** — arming [`ServeConfig::fault_plan`] routes
+//!   FP32/FP32C GEMMs through the ABFT-checked self-healing driver.
+//!   Requests that still fail with `FaultDetected` are retried with
+//!   exponential backoff ([`ServeConfig::max_retries`]); tenants with a
+//!   failure streak trip a per-tenant circuit breaker
+//!   ([`ServeError::BreakerOpen`] at admission); a service-wide streak
+//!   switches scheduling into a degraded serial mode until a request
+//!   succeeds. Fault telemetry lands in both [`TenantStats`] and the
+//!   context's [`ExecStats`].
 //!
 //! ```
 //! use m3xu_serve::{M3xuServe, ServeConfig, SubmitOpts};
@@ -56,19 +65,21 @@ pub use tenant::TenantStats;
 pub use m3xu_fp::C32;
 pub use m3xu_kernels::context::{ExecStats, M3xuContext};
 pub use m3xu_kernels::gemm::{GemmPrecision, GemmResult};
+pub use m3xu_kernels::{FaultPlan, FaultSummary};
 pub use m3xu_mxu::mma::MmaStats;
 
 use crate::queue::{Request, SubmitQueue, Work};
-use crate::scheduler::SchedulerCore;
+use crate::scheduler::{ExecPolicy, SchedulerCore};
 use crate::tenant::TenantRegistry;
 use m3xu_mxu::matrix::Matrix;
+use std::sync::atomic::AtomicU32;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Construction-time policy for [`M3xuServe`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads for this service's private pool; `0` shares the
     /// process-wide pool (whose size `M3XU_THREADS` fixes at first use).
@@ -82,6 +93,26 @@ pub struct ServeConfig {
     /// spreads its tiles across the pool). The default, 4096 tiles,
     /// batches anything up to a 512x512 output.
     pub shard_tiles: usize,
+    /// Fault-injection plan armed on the service's context. `None` (the
+    /// default) keeps the production drivers: zero checksum work,
+    /// bit-identical results. Arming a plan routes FP32/FP32C GEMMs
+    /// through the ABFT-checked self-healing driver and activates the
+    /// retry / breaker / degraded-mode machinery below.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Extra executions a request is granted after failing with
+    /// `FaultDetected` (exponential backoff between attempts).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Consecutive fault-failed requests that trip a tenant's circuit
+    /// breaker; `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker sheds that tenant's submissions with
+    /// [`ServeError::BreakerOpen`].
+    pub breaker_cooldown: Duration,
+    /// Service-wide consecutive fault-failed requests that switch
+    /// scheduling to degraded serial execution; `0` disables it.
+    pub degraded_after: u32,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +122,12 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch: 32,
             shard_tiles: 4096,
+            fault_plan: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(100),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(250),
+            degraded_after: 3,
         }
     }
 }
@@ -136,17 +173,29 @@ pub struct M3xuServe {
 impl M3xuServe {
     /// Build a service with `config` and start its scheduler thread.
     pub fn new(config: ServeConfig) -> Self {
-        let ctx = Arc::new(if config.workers == 0 {
+        let mut ctx = if config.workers == 0 {
             M3xuContext::new()
         } else {
             M3xuContext::with_threads(config.workers)
-        });
+        };
+        if let Some(plan) = &config.fault_plan {
+            ctx = ctx.with_fault_plan(Arc::clone(plan));
+        }
+        let ctx = Arc::new(ctx);
         let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
         let core = SchedulerCore {
             ctx: Arc::clone(&ctx),
             queue: Arc::clone(&queue),
             max_batch: config.max_batch.max(1),
             shard_tiles: config.shard_tiles.max(1),
+            policy: ExecPolicy {
+                max_retries: config.max_retries,
+                retry_backoff: config.retry_backoff,
+                breaker_threshold: config.breaker_threshold,
+                breaker_cooldown: config.breaker_cooldown,
+                degraded_after: config.degraded_after,
+            },
+            fault_streak: AtomicU32::new(0),
         };
         let scheduler = std::thread::Builder::new()
             .name("m3xu-serve-scheduler".into())
@@ -181,6 +230,15 @@ impl M3xuServe {
         let account = self.registry.account(tenant);
         account.record_submitted();
         let now = Instant::now();
+        // Load shedding: an open breaker rejects at admission, before the
+        // request can occupy queue space. Counts as a rejection, so the
+        // tenant's conservation law is unaffected.
+        if let Some(wait) = account.breaker_blocked(now) {
+            account.record_rejected();
+            return Err(ServeError::BreakerOpen {
+                retry_after_ns: wait.as_nanos() as u64,
+            });
+        }
         let req = Request {
             tenant: account,
             enqueued: now,
@@ -343,6 +401,15 @@ impl M3xuServe {
         opts: SubmitOpts,
     ) -> Result<(Vec<C32>, MmaStats), ServeError> {
         self.submit_fft(tenant, x, opts)?.wait()
+    }
+
+    /// Stop the service: flags shutdown, wakes every submitter parked in
+    /// a blocking `submit_*` call (they fail with
+    /// [`ServeError::ShuttingDown`]), and lets the scheduler sweep
+    /// still-queued requests with the same error. Idempotent; dropping
+    /// the service calls this implicitly and then joins the scheduler.
+    pub fn shutdown(&self) {
+        self.queue.shutdown();
     }
 
     // ---- observability -------------------------------------------------

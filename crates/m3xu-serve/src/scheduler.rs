@@ -17,13 +17,65 @@
 //! Both paths end in the same `try_gemm_f32` / `try_cgemm_c32` /
 //! `try_gemm_fft` calls a direct-context caller would make, which is why
 //! served results are bit-identical to unserved ones.
+//!
+//! # Fault handling
+//!
+//! When the context carries an armed fault plan, execution can fail with
+//! [`M3xuError::FaultDetected`] — the ABFT driver detected corruption it
+//! could not repair within its per-chunk retry budget. The scheduler owns
+//! the next three lines of defence:
+//!
+//! * **bounded retry** — each request is re-executed up to
+//!   [`ExecPolicy::max_retries`] more times with exponential backoff
+//!   (`retry_backoff * 2^attempt`). The checked driver re-salts every
+//!   invocation, so a retry re-rolls the fault schedule rather than
+//!   replaying it.
+//! * **circuit breaker** — a tenant whose requests keep failing with
+//!   `FaultDetected` (a streak of [`ExecPolicy::breaker_threshold`])
+//!   trips its breaker: subsequent submissions are shed at admission with
+//!   [`ServeError::BreakerOpen`] until the cooldown elapses. Sheds count
+//!   as rejections, so the per-tenant conservation law still holds.
+//! * **degraded mode** — a service-wide streak of
+//!   [`ExecPolicy::degraded_after`] consecutive fault-failed requests
+//!   switches scheduling to serial inline execution on the scheduler
+//!   thread (no epoch batching) until any request succeeds. A fault storm
+//!   thus quiesces the pool instead of churning it.
+//!
+//! Every invocation's [`FaultSummary`] — including those of failed
+//! attempts, recovered from the error's fields — is absorbed into the
+//! tenant account verbatim, so summed tenant fault counters reproduce the
+//! shared context's `ExecStats` fault counters exactly for GEMM/CGEMM
+//! traffic. (FFT-internal faults are visible in the context's counters
+//! only: the FFT's CGEMM decomposition is checked and retried, but its
+//! per-call summaries are not surfaced through the FFT return type.)
 
 use crate::error::ServeError;
 use crate::queue::{Request, SubmitQueue, Work};
 use m3xu_kernels::context::M3xuContext;
+use m3xu_kernels::FaultSummary;
+use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::modes::MxuMode;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Fault-recovery policy the scheduler executes under (a plain-data
+/// projection of the `ServeConfig` fields).
+pub(crate) struct ExecPolicy {
+    /// Additional executions granted per request after a
+    /// `FaultDetected` failure.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Consecutive `FaultDetected` failures that trip a tenant's breaker
+    /// (`0` disables the breaker).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker sheds that tenant's submissions.
+    pub breaker_cooldown: Duration,
+    /// Service-wide consecutive fault failures that switch scheduling to
+    /// serial degraded mode (`0` disables degraded mode).
+    pub degraded_after: u32,
+}
 
 /// Everything the scheduler thread needs, shared with the service handle.
 pub(crate) struct SchedulerCore {
@@ -31,6 +83,10 @@ pub(crate) struct SchedulerCore {
     pub queue: Arc<SubmitQueue>,
     pub max_batch: usize,
     pub shard_tiles: usize,
+    pub policy: ExecPolicy,
+    /// Consecutive requests (service-wide) whose every attempt failed
+    /// with `FaultDetected`; any success resets it.
+    pub fault_streak: AtomicU32,
 }
 
 impl SchedulerCore {
@@ -47,7 +103,9 @@ impl SchedulerCore {
     }
 
     /// Dispatch one drained batch: shed expired deadlines, fold the small
-    /// requests into one pool epoch, run the large ones sharded.
+    /// requests into one pool epoch, run the large ones sharded. In
+    /// degraded mode (fault streak at or past the threshold) everything
+    /// runs serially on this thread instead.
     fn schedule(&self, batch: Vec<Request>) {
         let mut small = Vec::new();
         let mut large = Vec::new();
@@ -67,10 +125,18 @@ impl SchedulerCore {
                 large.push(req);
             }
         }
-        let ctx = &*self.ctx;
-        ctx.run_tasks(small.len(), |i| execute(ctx, &small[i]));
-        for req in &large {
-            execute(ctx, req);
+        let degraded = self.policy.degraded_after > 0
+            && self.fault_streak.load(Ordering::Relaxed) >= self.policy.degraded_after;
+        if degraded {
+            for req in small.iter().chain(large.iter()) {
+                execute(self, req);
+            }
+        } else {
+            self.ctx
+                .run_tasks(small.len(), |i| execute(self, &small[i]));
+            for req in &large {
+                execute(self, req);
+            }
         }
     }
 }
@@ -92,12 +158,70 @@ fn gemm_operand_bytes(m: usize, k: usize, n: usize, mode: MxuMode) -> u64 {
     }
 }
 
-/// Execute one request on `ctx`, record the outcome into its tenant
-/// account, and resolve its ticket. Runs either inside a pool task (small
-/// path) or on the scheduler thread (large path).
-pub(crate) fn execute(ctx: &M3xuContext, req: &Request) {
+/// Run `call` under the core's retry policy: re-execute on
+/// [`M3xuError::FaultDetected`] (with exponential backoff) up to
+/// `max_retries` extra times, absorbing every attempt's fault telemetry —
+/// a failed attempt's summary is reconstructed from the error's fields,
+/// mirroring exactly what the driver recorded into the context counters.
+fn run_with_retries<T>(
+    policy: &ExecPolicy,
+    mut call: impl FnMut() -> Result<(T, FaultSummary), M3xuError>,
+) -> (Result<T, M3xuError>, FaultSummary) {
+    let mut total = FaultSummary::default();
+    let mut attempt = 0u32;
+    loop {
+        match call() {
+            Ok((out, s)) => {
+                total.absorb(s);
+                return (Ok(out), total);
+            }
+            Err(e) => {
+                if let M3xuError::FaultDetected {
+                    detected,
+                    corrected,
+                    retries,
+                    ..
+                } = e
+                {
+                    total.absorb(FaultSummary {
+                        detected,
+                        corrected,
+                        retries,
+                    });
+                    if attempt < policy.max_retries {
+                        let backoff = policy.retry_backoff * 2u32.saturating_pow(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                }
+                return (Err(e), total);
+            }
+        }
+    }
+}
+
+/// Execute one request on the core's context, record the outcome into its
+/// tenant account, and resolve its ticket. Runs either inside a pool task
+/// (small path), on the scheduler thread (large path and degraded mode).
+pub(crate) fn execute(core: &SchedulerCore, req: &Request) {
     let started = Instant::now();
     let wait_ns = ns(req.enqueued, started);
+    // Last-line deadline check: the batch-level shed happens at drain
+    // time, but a deadline can expire between drain and this task's turn
+    // on a worker. An expired request must never reach the kernels.
+    if let Some(deadline) = req.deadline {
+        if started > deadline {
+            req.tenant.record_deadline_missed(wait_ns);
+            req.work.reject(ServeError::Deadline {
+                late_ns: ns(deadline, started),
+            });
+            return;
+        }
+    }
+    let ctx = &*core.ctx;
     match &req.work {
         Work::GemmF32 {
             precision,
@@ -106,8 +230,11 @@ pub(crate) fn execute(ctx: &M3xuContext, req: &Request) {
             c,
             reply,
         } => {
-            let out = ctx.try_gemm_f32(*precision, a, b, c);
+            let (out, faults) = run_with_retries(&core.policy, || {
+                ctx.try_gemm_f32_faulted(*precision, a, b, c)
+            });
             let exec_ns = ns(started, Instant::now());
+            req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
                     let bytes = gemm_operand_bytes(a.rows(), a.cols(), b.cols(), precision.mode());
@@ -118,17 +245,21 @@ pub(crate) fn execute(ctx: &M3xuContext, req: &Request) {
                         wait_ns,
                         exec_ns,
                     );
+                    settle_success(core, req);
                     drop(reply.try_send(Ok(res)));
                 }
                 Err(e) => {
                     req.tenant.record_exec_error(wait_ns, exec_ns);
+                    settle_failure(core, req, &e);
                     drop(reply.try_send(Err(e.into())));
                 }
             }
         }
         Work::CgemmC32 { a, b, c, reply } => {
-            let out = ctx.try_cgemm_c32(a, b, c);
+            let (out, faults) =
+                run_with_retries(&core.policy, || ctx.try_cgemm_c32_faulted(a, b, c));
             let exec_ns = ns(started, Instant::now());
+            req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
                     let bytes =
@@ -140,16 +271,23 @@ pub(crate) fn execute(ctx: &M3xuContext, req: &Request) {
                         wait_ns,
                         exec_ns,
                     );
+                    settle_success(core, req);
                     drop(reply.try_send(Ok(res)));
                 }
                 Err(e) => {
                     req.tenant.record_exec_error(wait_ns, exec_ns);
+                    settle_failure(core, req, &e);
                     drop(reply.try_send(Err(e.into())));
                 }
             }
         }
         Work::Fft { x, reply } => {
-            let out = ctx.try_gemm_fft(x);
+            // The FFT's internal CGEMMs run checked (and are retried here
+            // on FaultDetected), but their summaries stay context-level:
+            // the tenant-facing summary of an FFT is zero by design.
+            let (out, _) = run_with_retries(&core.policy, || {
+                ctx.try_gemm_fft(x).map(|y| (y, FaultSummary::default()))
+            });
             let exec_ns = ns(started, Instant::now());
             match out {
                 Ok((y, stats)) => {
@@ -163,13 +301,36 @@ pub(crate) fn execute(ctx: &M3xuContext, req: &Request) {
                         wait_ns,
                         exec_ns,
                     );
+                    settle_success(core, req);
                     drop(reply.try_send(Ok((y, stats))));
                 }
                 Err(e) => {
                     req.tenant.record_exec_error(wait_ns, exec_ns);
+                    settle_failure(core, req, &e);
                     drop(reply.try_send(Err(e.into())));
                 }
             }
         }
+    }
+}
+
+/// A request retired successfully: reset the tenant's breaker streak and
+/// the service-wide degraded-mode streak.
+fn settle_success(core: &SchedulerCore, req: &Request) {
+    req.tenant.breaker_success();
+    core.fault_streak.store(0, Ordering::Relaxed);
+}
+
+/// A request exhausted its attempts: advance the fault streaks if (and
+/// only if) the terminal error was a fault detection — shape errors and
+/// the like say nothing about hardware health.
+fn settle_failure(core: &SchedulerCore, req: &Request, e: &M3xuError) {
+    if matches!(e, M3xuError::FaultDetected { .. }) {
+        core.fault_streak.fetch_add(1, Ordering::Relaxed);
+        req.tenant.breaker_failure(
+            core.policy.breaker_threshold,
+            core.policy.breaker_cooldown,
+            Instant::now(),
+        );
     }
 }

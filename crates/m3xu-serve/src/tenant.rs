@@ -10,10 +10,12 @@
 //! shared context's totals exactly (a property the workspace's
 //! cross-validation tests assert).
 
+use m3xu_kernels::FaultSummary;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A point-in-time snapshot of one tenant's accounting (or, via
 /// [`M3xuServe::total_stats`](crate::M3xuServe::total_stats), the sum over
@@ -48,6 +50,23 @@ pub struct TenantStats {
     /// Total wall time executing this tenant's requests, ns. Batched
     /// requests execute concurrently, so this can exceed elapsed time.
     pub exec_ns: u64,
+    /// ABFT checksum mismatches (plus lost pool epochs) the checked
+    /// drivers detected while executing this tenant's GEMM/CGEMM
+    /// requests. Mirrors each invocation's
+    /// [`FaultSummary`](m3xu_kernels::FaultSummary) verbatim, so summed
+    /// over tenants these reproduce the shared context's
+    /// [`ExecStats`](m3xu_kernels::ExecStats) fault counters for
+    /// GEMM/CGEMM workloads (FFT-internal faults are context-only).
+    pub faults_detected: u64,
+    /// Detected faults the drivers repaired by re-execution.
+    pub faults_corrected: u64,
+    /// Chunk re-executions plus pool-epoch re-submissions performed for
+    /// this tenant (the drivers' recovery work, not serve-layer request
+    /// retries).
+    pub retries: u64,
+    /// Times this tenant's circuit breaker tripped open after repeated
+    /// unrecoverable fault detections.
+    pub breaker_trips: u64,
 }
 
 impl TenantStats {
@@ -64,6 +83,10 @@ impl TenantStats {
             operand_bytes: self.operand_bytes + other.operand_bytes,
             queue_wait_ns: self.queue_wait_ns + other.queue_wait_ns,
             exec_ns: self.exec_ns + other.exec_ns,
+            faults_detected: self.faults_detected + other.faults_detected,
+            faults_corrected: self.faults_corrected + other.faults_corrected,
+            retries: self.retries + other.retries,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
         }
     }
 }
@@ -81,6 +104,15 @@ pub(crate) struct TenantAccount {
     operand_bytes: AtomicU64,
     queue_wait_ns: AtomicU64,
     exec_ns: AtomicU64,
+    faults_detected: AtomicU64,
+    faults_corrected: AtomicU64,
+    retries: AtomicU64,
+    breaker_trips: AtomicU64,
+    /// Consecutive unrecoverable fault detections; a success resets it.
+    consecutive_faults: AtomicU32,
+    /// While set and in the future, the breaker is open: submissions from
+    /// this tenant are shed at admission.
+    breaker_until: Mutex<Option<Instant>>,
 }
 
 impl TenantAccount {
@@ -121,6 +153,51 @@ impl TenantAccount {
         self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
     }
 
+    /// Absorb one checked-driver invocation's fault telemetry, verbatim —
+    /// the per-call numbers the context's `ExecStats` also accumulated,
+    /// keeping the tenant ↔ context reconciliation exact.
+    pub(crate) fn record_faults(&self, s: &FaultSummary) {
+        self.faults_detected
+            .fetch_add(s.detected, Ordering::Relaxed);
+        self.faults_corrected
+            .fetch_add(s.corrected, Ordering::Relaxed);
+        self.retries.fetch_add(s.retries, Ordering::Relaxed);
+    }
+
+    /// Remaining cooldown if this tenant's breaker is open at `now`.
+    pub(crate) fn breaker_blocked(&self, now: Instant) -> Option<Duration> {
+        let until = self.breaker_until.lock().unwrap_or_else(|e| e.into_inner());
+        match *until {
+            Some(t) if t > now => Some(t - now),
+            _ => None,
+        }
+    }
+
+    /// Record one unrecoverable fault detection. When `threshold`
+    /// consecutive ones accumulate, the breaker trips: it opens for
+    /// `cooldown` and the streak resets. Returns whether this call
+    /// tripped it.
+    pub(crate) fn breaker_failure(&self, threshold: u32, cooldown: Duration, now: Instant) -> bool {
+        if threshold == 0 {
+            return false;
+        }
+        let streak = self.consecutive_faults.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak < threshold {
+            return false;
+        }
+        self.consecutive_faults.store(0, Ordering::Relaxed);
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        let mut until = self.breaker_until.lock().unwrap_or_else(|e| e.into_inner());
+        *until = Some(now + cooldown);
+        true
+    }
+
+    /// A successful execution closes the failure streak (an already-open
+    /// breaker still waits out its cooldown).
+    pub(crate) fn breaker_success(&self) {
+        self.consecutive_faults.store(0, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> TenantStats {
         TenantStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -133,6 +210,10 @@ impl TenantAccount {
             operand_bytes: self.operand_bytes.load(Ordering::Relaxed),
             queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
             exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            faults_detected: self.faults_detected.load(Ordering::Relaxed),
+            faults_corrected: self.faults_corrected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
         }
     }
 }
@@ -206,6 +287,43 @@ mod tests {
         assert_eq!(t.submitted, 2);
         assert_eq!(t.rejected, 1);
         assert_eq!(reg.names(), vec!["alice".to_string(), "bob".to_string()]);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_cools_down() {
+        let acc = TenantAccount::default();
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(250);
+        assert!(acc.breaker_blocked(t0).is_none());
+        assert!(!acc.breaker_failure(3, cooldown, t0));
+        assert!(!acc.breaker_failure(3, cooldown, t0));
+        // A success in between resets the streak.
+        acc.breaker_success();
+        assert!(!acc.breaker_failure(3, cooldown, t0));
+        assert!(!acc.breaker_failure(3, cooldown, t0));
+        assert!(acc.breaker_failure(3, cooldown, t0));
+        assert_eq!(acc.snapshot().breaker_trips, 1);
+        assert!(acc.breaker_blocked(t0 + Duration::from_millis(1)).is_some());
+        assert!(acc.breaker_blocked(t0 + cooldown).is_none());
+    }
+
+    #[test]
+    fn fault_telemetry_accumulates_verbatim() {
+        let acc = TenantAccount::default();
+        acc.record_faults(&FaultSummary {
+            detected: 3,
+            corrected: 2,
+            retries: 4,
+        });
+        acc.record_faults(&FaultSummary {
+            detected: 1,
+            corrected: 1,
+            retries: 1,
+        });
+        let s = acc.snapshot();
+        assert_eq!(s.faults_detected, 4);
+        assert_eq!(s.faults_corrected, 3);
+        assert_eq!(s.retries, 5);
     }
 
     #[test]

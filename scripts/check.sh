@@ -36,6 +36,21 @@ for threads in 1 8; do
         --test differential_props --test cross_validation
 done
 
+# Chaos gate: the fault-injection suite, debug and release. The first
+# run (no env arming) includes the zero-fault differential gate; the seed
+# grid then re-runs the whole suite with every process-wide context armed
+# at a small rate — recoverable by construction, so everything must still
+# be bit-identical.
+for profile in "" "--release"; do
+    echo "== chaos suite ${profile:-debug} (zero-fault gate + armed sweeps)"
+    cargo test -q ${profile} --test chaos_faults --test chaos_env --test serve_edge
+    for seed in 1 7 23; do
+        echo "== chaos suite ${profile:-debug} under M3XU_FAULT_SEED=${seed} M3XU_FAULT_RATE=1e-3"
+        M3XU_FAULT_SEED=${seed} M3XU_FAULT_RATE=1e-3 cargo test -q ${profile} \
+            --test chaos_faults
+    done
+done
+
 # Soak mode: the same suites in release with a much longer random-shape
 # sweep. Slow by design; not part of the default gate.
 if [[ "${M3XU_SOAK:-0}" == "1" ]]; then

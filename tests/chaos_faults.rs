@@ -1,0 +1,492 @@
+//! Chaos suite: fault injection, ABFT detection/recovery, and the serve
+//! layer's retry / breaker machinery, asserted end to end.
+//!
+//! The contract under test has three clauses:
+//!
+//! * **zero-fault gate** — an unarmed [`FaultyExecutor`] (and a context
+//!   with no plan) is pure production: bit-identical results, identical
+//!   `MmaStats`, zero fault counters, across the differential shape grid;
+//! * **recoverable runs are invisible** — under an armed plan, every run
+//!   the checked driver reports as recovered is bit-identical to the
+//!   unfaulted `gemm::baseline` oracle, with `detected == corrected`;
+//! * **unrecoverable runs are typed** — a run the driver cannot repair
+//!   returns [`M3xuError::FaultDetected`]; it never panics, never hangs,
+//!   and never silently returns corrupt data the checksums can see.
+//!
+//! `M3XU_FAULT_SEED` / `M3XU_FAULT_RATE` env arming is exercised by
+//! `tests/chaos_env.rs` (its own process, so the env mutation cannot leak
+//! into concurrently constructed contexts here) and by the seed grid
+//! `scripts/check.sh` runs this whole suite under.
+
+use m3xu::kernels::gemm::{self, GemmPrecision};
+use m3xu::kernels::{FaultPlan, FaultyExecutor, M3xuContext};
+use m3xu::serve::{M3xuServe, ServeConfig, SubmitOpts};
+use m3xu::{M3xuError, Matrix, ServeError, C32};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The differential suite's fixed edge shapes plus one awkward dense one:
+/// degenerate, unit, prime, and non-multiple-of-fragment dimensions.
+const SHAPES: [(usize, usize, usize); 9] = [
+    (0, 8, 8),
+    (8, 0, 8),
+    (8, 8, 0),
+    (1, 1, 1),
+    (7, 11, 13),
+    (23, 29, 31),
+    (9, 15, 33),
+    (41, 2, 5),
+    (33, 17, 29),
+];
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_bits_f32(got: &Matrix<f32>, want: &Matrix<f32>, what: &str) {
+    assert_eq!(
+        (got.rows(), got.cols()),
+        (want.rows(), want.cols()),
+        "{what}"
+    );
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}");
+    }
+}
+
+fn assert_bits_c32(got: &Matrix<C32>, want: &Matrix<C32>, what: &str) {
+    assert_eq!(
+        (got.rows(), got.cols()),
+        (want.rows(), want.cols()),
+        "{what}"
+    );
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: element {i} (re)");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: element {i} (im)");
+    }
+}
+
+// ---- zero-fault gate ----------------------------------------------------
+
+#[test]
+fn unarmed_executor_is_bit_identical_with_zero_fault_counters() {
+    // Under the check.sh env grid every context is armed at construction;
+    // the executor is still pure delegation (and recoverable runs stay
+    // bit-identical), but the context's own counters are no longer zero.
+    let env_armed = std::env::var_os("M3XU_FAULT_SEED").is_some();
+    for &t in &THREAD_COUNTS {
+        let ctx = M3xuContext::with_threads(t);
+        let exec = FaultyExecutor::unarmed(&ctx);
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let a = Matrix::<f32>::random(m, k, case as u64 * 3 + 1);
+            let b = Matrix::<f32>::random(k, n, case as u64 * 3 + 2);
+            let c = Matrix::<f32>::random(m, n, case as u64 * 3 + 3);
+            for precision in [
+                GemmPrecision::Fp16,
+                GemmPrecision::Bf16,
+                GemmPrecision::Tf32,
+                GemmPrecision::M3xuFp32,
+            ] {
+                let want = gemm::baseline::gemm_f32(precision, &a, &b, &c);
+                let tag = format!("unarmed {m}x{k}x{n} {precision:?} t={t}");
+                let (r, summary) = exec.try_gemm_f32_faulted(precision, &a, &b, &c).unwrap();
+                assert_bits_f32(&r.d, &want.d, &tag);
+                assert_eq!(r.stats, want.stats, "{tag}");
+                assert_eq!(summary, Default::default(), "{tag}: summary must be zero");
+            }
+            let ca = Matrix::random_c32(m, k, case as u64 * 5 + 1);
+            let cb = Matrix::random_c32(k, n, case as u64 * 5 + 2);
+            let cc = Matrix::random_c32(m, n, case as u64 * 5 + 3);
+            let want = gemm::baseline::cgemm_c32(&ca, &cb, &cc);
+            let tag = format!("unarmed {m}x{k}x{n} FP32C t={t}");
+            let (r, summary) = exec.try_cgemm_c32_faulted(&ca, &cb, &cc).unwrap();
+            assert_bits_c32(&r.d, &want.d, &tag);
+            assert_eq!(r.stats, want.stats, "{tag}");
+            assert_eq!(summary, Default::default(), "{tag}: summary must be zero");
+        }
+        let stats = ctx.stats();
+        if !env_armed {
+            assert_eq!(stats.faults_detected, 0, "t={t}");
+            assert_eq!(stats.faults_corrected, 0, "t={t}");
+            assert_eq!(stats.fault_retries, 0, "t={t}");
+        } else {
+            // Env-armed contexts repair whatever they detect.
+            assert_eq!(stats.faults_detected, stats.faults_corrected, "t={t}");
+        }
+    }
+}
+
+// ---- recoverable sweeps -------------------------------------------------
+
+/// Run one armed real GEMM; recovered ⇒ bit-identical, unrecoverable ⇒
+/// typed `FaultDetected` with sane fields. Returns faults detected.
+fn armed_gemm_case(
+    ctx: &M3xuContext,
+    seed: u64,
+    rate: f64,
+    (m, k, n): (usize, usize, usize),
+    case: usize,
+) -> u64 {
+    let plan = Arc::new(FaultPlan::new(seed, rate));
+    let exec = FaultyExecutor::armed(ctx, plan);
+    let a = Matrix::<f32>::random(m, k, case as u64 * 3 + 1);
+    let b = Matrix::<f32>::random(k, n, case as u64 * 3 + 2);
+    let c = Matrix::<f32>::random(m, n, case as u64 * 3 + 3);
+    let tag = format!("armed seed={seed} rate={rate} {m}x{k}x{n}");
+    match exec.try_gemm_f32_faulted(GemmPrecision::M3xuFp32, &a, &b, &c) {
+        Ok((r, summary)) => {
+            let want = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+            assert_bits_f32(&r.d, &want.d, &tag);
+            assert_eq!(r.stats, want.stats, "{tag}");
+            assert_eq!(
+                summary.detected, summary.corrected,
+                "{tag}: a recovered run repaired everything it detected"
+            );
+            summary.detected
+        }
+        Err(M3xuError::FaultDetected {
+            tiles,
+            detected,
+            corrected,
+            ..
+        }) => {
+            assert!(tiles > 0, "{tag}: a fault error names the failed tiles");
+            assert!(corrected < detected, "{tag}: something stayed uncorrected");
+            detected
+        }
+        Err(e) => panic!("{tag}: unexpected error {e}"),
+    }
+}
+
+#[test]
+fn armed_real_gemm_sweep_recovers_bit_identically() {
+    let ctx = M3xuContext::with_threads(2);
+    let mut faults_seen = 0u64;
+    for &seed in &[1u64, 7, 23] {
+        for &rate in &[1e-3, 0.05] {
+            for (case, &shape) in SHAPES.iter().enumerate() {
+                faults_seen += armed_gemm_case(&ctx, seed, rate, shape, case);
+            }
+        }
+    }
+    assert!(
+        faults_seen > 0,
+        "the 5% sweep must actually inject something"
+    );
+}
+
+#[test]
+fn armed_sweep_holds_across_thread_counts() {
+    for &t in &THREAD_COUNTS {
+        let ctx = M3xuContext::with_threads(t);
+        let mut faults_seen = 0u64;
+        for (case, &shape) in SHAPES.iter().enumerate() {
+            faults_seen += armed_gemm_case(&ctx, 11 + t as u64, 0.05, shape, case);
+        }
+        assert!(faults_seen > 0, "t={t}: the 5% sweep must inject something");
+    }
+}
+
+#[test]
+fn armed_complex_gemm_sweep_recovers_bit_identically() {
+    let ctx = M3xuContext::with_threads(2);
+    let mut faults_seen = 0u64;
+    for &rate in &[1e-3, 0.05] {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let plan = Arc::new(FaultPlan::new(7, rate));
+            let exec = FaultyExecutor::armed(&ctx, plan);
+            let a = Matrix::random_c32(m, k, case as u64 * 5 + 1);
+            let b = Matrix::random_c32(k, n, case as u64 * 5 + 2);
+            let c = Matrix::random_c32(m, n, case as u64 * 5 + 3);
+            let tag = format!("armed rate={rate} {m}x{k}x{n} FP32C");
+            match exec.try_cgemm_c32_faulted(&a, &b, &c) {
+                Ok((r, summary)) => {
+                    let want = gemm::baseline::cgemm_c32(&a, &b, &c);
+                    assert_bits_c32(&r.d, &want.d, &tag);
+                    assert_eq!(r.stats, want.stats, "{tag}");
+                    assert_eq!(summary.detected, summary.corrected, "{tag}");
+                    faults_seen += summary.detected;
+                }
+                Err(M3xuError::FaultDetected { tiles, .. }) => {
+                    assert!(tiles > 0, "{tag}");
+                }
+                Err(e) => panic!("{tag}: unexpected error {e}"),
+            }
+        }
+    }
+    assert!(faults_seen > 0, "the 5% sweep must inject something");
+}
+
+// ---- unrecoverable ------------------------------------------------------
+
+#[test]
+fn saturated_plan_is_a_typed_error_and_leaves_the_context_usable() {
+    let ctx = M3xuContext::with_threads(2);
+    let plan = Arc::new(FaultPlan::new(3, 1.0));
+    let exec = FaultyExecutor::armed(&ctx, plan);
+    let a = Matrix::<f32>::random(9, 7, 61);
+    let b = Matrix::<f32>::random(7, 5, 62);
+    let c = Matrix::<f32>::random(9, 5, 63);
+    match exec.try_gemm_f32_faulted(GemmPrecision::M3xuFp32, &a, &b, &c) {
+        Err(M3xuError::FaultDetected {
+            tiles,
+            detected,
+            corrected,
+            retries,
+        }) => {
+            assert!(tiles > 0);
+            assert!(detected > 0);
+            assert!(corrected < detected);
+            assert!(retries > 0);
+        }
+        other => panic!("rate-1.0 must fail detectably, got {other:?}"),
+    }
+    // The pool and context survive a saturated run intact.
+    let r = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    let want = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    assert_bits_f32(&r.d, &want.d, "post-saturation production GEMM");
+}
+
+// ---- pool panic regression (satellite) ----------------------------------
+
+#[test]
+fn pool_survives_panicking_tasks_bit_identically() {
+    for &t in &THREAD_COUNTS {
+        let ctx = M3xuContext::with_threads(t);
+        let blown = catch_unwind(AssertUnwindSafe(|| {
+            ctx.run_tasks(8, |i| {
+                if i % 3 == 1 {
+                    panic!("chaos: task {i} dies");
+                }
+            });
+        }));
+        // Whether the epoch's panic propagates or is absorbed, the pool
+        // must come back: the same context computes correct GEMMs after.
+        let _ = blown;
+        let a = Matrix::<f32>::random(23, 29, 71);
+        let b = Matrix::<f32>::random(29, 31, 72);
+        let c = Matrix::<f32>::random(23, 31, 73);
+        let want = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        for round in 0..2 {
+            let r = ctx.gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+            assert_bits_f32(&r.d, &want.d, &format!("t={t} round={round} after panic"));
+        }
+    }
+}
+
+// ---- the serving layer under chaos --------------------------------------
+
+/// Submit a GEMM+CGEMM workload from two tenants to an armed service and
+/// check (a) every completed result is bit-identical to baseline, (b) the
+/// per-tenant conservation law, (c) tenant fault/instruction counters
+/// reconcile exactly with the shared context's `ExecStats`.
+fn serve_chaos_round(shard_tiles: usize) {
+    let serve = M3xuServe::new(ServeConfig {
+        workers: 2,
+        shard_tiles,
+        fault_plan: Some(Arc::new(FaultPlan::new(9, 0.02))),
+        ..ServeConfig::default()
+    });
+    let tenants = ["alice", "bob"];
+    let mut gemm_tickets = Vec::new();
+    let mut cgemm_tickets = Vec::new();
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let tenant = tenants[case % tenants.len()];
+        let a = Matrix::<f32>::random(m, k, case as u64 * 3 + 1);
+        let b = Matrix::<f32>::random(k, n, case as u64 * 3 + 2);
+        let c = Matrix::<f32>::random(m, n, case as u64 * 3 + 3);
+        let want = gemm::baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        let ticket = serve
+            .submit_gemm_f32(
+                tenant,
+                GemmPrecision::M3xuFp32,
+                a,
+                b,
+                c,
+                SubmitOpts::default(),
+            )
+            .unwrap();
+        gemm_tickets.push((case, ticket, want));
+
+        let ca = Matrix::random_c32(m, k, case as u64 * 5 + 1);
+        let cb = Matrix::random_c32(k, n, case as u64 * 5 + 2);
+        let cc = Matrix::random_c32(m, n, case as u64 * 5 + 3);
+        let cwant = gemm::baseline::cgemm_c32(&ca, &cb, &cc);
+        let ticket = serve
+            .submit_cgemm_c32(tenant, ca, cb, cc, SubmitOpts::default())
+            .unwrap();
+        cgemm_tickets.push((case, ticket, cwant));
+    }
+    for (case, ticket, want) in gemm_tickets {
+        let r = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("case {case}: served GEMM failed under 2% chaos: {e}"));
+        assert_bits_f32(&r.d, &want.d, &format!("served GEMM case {case}"));
+    }
+    for (case, ticket, want) in cgemm_tickets {
+        let r = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("case {case}: served CGEMM failed under 2% chaos: {e}"));
+        assert_bits_c32(&r.d, &want.d, &format!("served CGEMM case {case}"));
+    }
+
+    let totals = serve.total_stats();
+    for tenant in serve.tenants() {
+        let s = serve.tenant_stats(&tenant).unwrap();
+        assert_eq!(
+            s.submitted,
+            s.completed + s.rejected + s.deadline_missed + s.exec_errors,
+            "tenant {tenant}: conservation law"
+        );
+    }
+    assert_eq!(totals.submitted, 2 * SHAPES.len() as u64);
+    assert_eq!(totals.completed, totals.submitted);
+
+    // Exact reconciliation against the shared context (GEMM/CGEMM-only
+    // workload, so tenant fault counters mirror ExecStats verbatim).
+    let exec = serve.exec_stats();
+    assert_eq!(totals.faults_detected, exec.faults_detected, "detected");
+    assert_eq!(totals.faults_corrected, exec.faults_corrected, "corrected");
+    assert_eq!(totals.retries, exec.fault_retries, "retries");
+    assert_eq!(
+        totals.faults_detected, totals.faults_corrected,
+        "everything completed, so everything detected was corrected"
+    );
+    let mma = exec.total();
+    assert_eq!(totals.mma_instructions, mma.instructions, "instructions");
+    assert_eq!(totals.mma_steps, mma.steps, "steps");
+    assert_eq!(totals.operand_bytes, exec.operand_bytes, "operand bytes");
+}
+
+#[test]
+fn serve_chaos_batched_path_reconciles() {
+    serve_chaos_round(usize::MAX);
+}
+
+#[test]
+fn serve_chaos_sharded_path_reconciles() {
+    serve_chaos_round(1);
+}
+
+#[test]
+fn serve_breaker_trips_per_tenant_and_counts_as_rejection() {
+    let serve = M3xuServe::new(ServeConfig {
+        workers: 1,
+        fault_plan: Some(Arc::new(FaultPlan::new(5, 1.0))),
+        max_retries: 0,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_secs(30),
+        degraded_after: 0,
+        ..ServeConfig::default()
+    });
+    let submit = |tenant: &str| {
+        serve.blocking_gemm_f32(
+            tenant,
+            GemmPrecision::M3xuFp32,
+            Matrix::<f32>::random(9, 7, 81),
+            Matrix::<f32>::random(7, 5, 82),
+            Matrix::<f32>::random(9, 5, 83),
+            SubmitOpts::default(),
+        )
+    };
+    for attempt in 0..2 {
+        match submit("hot") {
+            Err(ServeError::Exec(M3xuError::FaultDetected { .. })) => {}
+            other => panic!("attempt {attempt}: expected FaultDetected, got {other:?}"),
+        }
+    }
+    // Streak of 2 tripped the breaker: the next submission sheds at
+    // admission, before touching the queue.
+    match submit("hot") {
+        Err(ServeError::BreakerOpen { retry_after_ns }) => assert!(retry_after_ns > 0),
+        other => panic!("expected BreakerOpen, got {other:?}"),
+    }
+    // The breaker is per-tenant: another tenant is still admitted (and
+    // fails at execution, not admission).
+    match submit("cold") {
+        Err(ServeError::Exec(M3xuError::FaultDetected { .. })) => {}
+        other => panic!("expected FaultDetected for cold tenant, got {other:?}"),
+    }
+    let hot = serve.tenant_stats("hot").unwrap();
+    assert_eq!(hot.submitted, 3);
+    assert_eq!(hot.exec_errors, 2);
+    assert_eq!(hot.rejected, 1);
+    assert_eq!(hot.completed, 0);
+    assert_eq!(hot.breaker_trips, 1);
+    assert_eq!(
+        hot.submitted,
+        hot.completed + hot.rejected + hot.deadline_missed + hot.exec_errors
+    );
+    let cold = serve.tenant_stats("cold").unwrap();
+    assert_eq!(cold.breaker_trips, 0);
+    assert_eq!(cold.exec_errors, 1);
+}
+
+#[test]
+fn serve_degraded_mode_still_serves_correctly() {
+    // Saturated tenant drives the service-wide fault streak past the
+    // degraded threshold; a healthy submission afterwards must still be
+    // served bit-identically (on the degraded serial path) and reset the
+    // streak.
+    let serve = M3xuServe::new(ServeConfig {
+        workers: 2,
+        fault_plan: Some(Arc::new(FaultPlan::new(13, 1.0))),
+        max_retries: 0,
+        breaker_threshold: 0,
+        degraded_after: 1,
+        ..ServeConfig::default()
+    });
+    let bad = serve.blocking_gemm_f32(
+        "t",
+        GemmPrecision::M3xuFp32,
+        Matrix::<f32>::random(9, 7, 91),
+        Matrix::<f32>::random(7, 5, 92),
+        Matrix::<f32>::random(9, 5, 93),
+        SubmitOpts::default(),
+    );
+    assert!(
+        matches!(bad, Err(ServeError::Exec(M3xuError::FaultDetected { .. }))),
+        "saturated request must fail detectably, got {bad:?}"
+    );
+    // Narrow engines bypass the checked driver entirely, so this request
+    // succeeds even under the saturated plan — and it arrives while the
+    // fault streak (1 >= degraded_after) has the scheduler in degraded
+    // serial mode.
+    let a = Matrix::<f32>::random(23, 29, 94);
+    let b = Matrix::<f32>::random(29, 31, 95);
+    let c = Matrix::<f32>::random(23, 31, 96);
+    let want = gemm::baseline::gemm_f32(GemmPrecision::Bf16, &a, &b, &c);
+    let r = serve
+        .blocking_gemm_f32("t", GemmPrecision::Bf16, a, b, c, SubmitOpts::default())
+        .expect("degraded-mode request must still be served");
+    assert_bits_f32(&r.d, &want.d, "degraded-mode BF16 GEMM");
+    let s = serve.tenant_stats("t").unwrap();
+    assert_eq!(s.completed, 1);
+    assert_eq!(s.exec_errors, 1);
+}
+
+#[test]
+fn serve_fft_recovers_under_chaos() {
+    // The FFT's internal CGEMMs run the checked driver when the context
+    // is armed; a recoverable plan must leave the spectrum bit-identical
+    // to the unarmed path.
+    let n = 64usize;
+    let x: Vec<C32> = (0..n)
+        .map(|i| C32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+        .collect();
+    let want = M3xuContext::with_threads(2).try_gemm_fft(&x).unwrap().0;
+    let serve = M3xuServe::new(ServeConfig {
+        workers: 2,
+        fault_plan: Some(Arc::new(FaultPlan::new(21, 0.02))),
+        ..ServeConfig::default()
+    });
+    let (y, _) = serve
+        .blocking_fft("fft", x, SubmitOpts::default())
+        .expect("served FFT under 2% chaos");
+    assert_eq!(y.len(), want.len());
+    for (i, (a, b)) in y.iter().zip(&want).enumerate() {
+        assert_eq!(a.re.to_bits(), b.re.to_bits(), "fft bin {i} (re)");
+        assert_eq!(a.im.to_bits(), b.im.to_bits(), "fft bin {i} (im)");
+    }
+    // FFT fault telemetry is context-level by design.
+    assert!(serve.exec_stats().faults_detected >= serve.total_stats().faults_detected);
+}
