@@ -1,6 +1,9 @@
 //! `bench_gemm` — throughput of the packed fragment pipeline against the
 //! seed per-fragment driver, on the same inputs, with bit-identical
-//! outputs asserted inline. Emits `results/BENCH_gemm.json`.
+//! outputs asserted inline. The packed pipeline is timed twice — once at
+//! the host's detected SIMD level and once forced scalar (`M3XU_SIMD=0`
+//! equivalent) — so every row carries its own before/after pair. Emits
+//! `results/BENCH_gemm.json`.
 //!
 //! Default sizes: 256^3 and 512^3 M3XU-FP32 GEMM, and 512 / 4096 / 65536
 //! point GEMM-formulated FFTs. Set `M3XU_BENCH_LARGE=1` to add the
@@ -13,6 +16,7 @@ use m3xu_kernels::gemm::{self, baseline, GemmPrecision};
 use m3xu_kernels::M3xuContext;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::modes::MxuMode;
+use m3xu_mxu::packed::simd::{self, SimdLevel};
 use std::time::{Duration, Instant};
 
 /// One GEMM size: wall-clock of both drivers plus derived throughput.
@@ -21,10 +25,16 @@ struct GemmRow {
     n: u64,
     /// Seed (per-fragment) driver wall-clock, seconds.
     seed_s: f64,
-    /// Packed-pipeline wall-clock, seconds.
+    /// Packed-pipeline wall-clock at the active SIMD level, seconds.
     packed_s: f64,
     /// `seed_s / packed_s`.
     speedup: f64,
+    /// Packed-pipeline wall-clock with SIMD forced off (the scalar
+    /// oracle path), seconds.
+    packed_scalar_s: f64,
+    /// `packed_scalar_s / packed_s` — what the vector pipeline buys over
+    /// the scalar packed path on identical inputs.
+    simd_speedup: f64,
     /// MMA fragments the GEMM issued.
     fragments: u64,
     /// MMA instructions recorded by the context's `ExecStats` sink
@@ -35,9 +45,9 @@ struct GemmRow {
     mma_steps: u64,
     /// A/B operand bytes at the mode's storage width — rule (c).
     operand_bytes: u64,
-    /// Packed-pipeline fragment throughput.
+    /// Packed-pipeline fragment throughput (active SIMD level).
     packed_fragments_per_s: f64,
-    /// Effective `2 n^3` GFLOP/s of the packed pipeline.
+    /// Effective `2 n^3` GFLOP/s of the packed pipeline (active level).
     packed_gflops: f64,
 }
 impl_to_json!(GemmRow {
@@ -45,6 +55,8 @@ impl_to_json!(GemmRow {
     seed_s,
     packed_s,
     speedup,
+    packed_scalar_s,
+    simd_speedup,
     fragments,
     mma_instructions,
     mma_steps,
@@ -60,22 +72,31 @@ struct FftRow {
     points: u64,
     /// Seed-driver wall-clock, seconds.
     seed_s: f64,
-    /// Packed-pipeline wall-clock, seconds.
+    /// Packed-pipeline wall-clock at the active SIMD level, seconds.
     packed_s: f64,
     /// `seed_s / packed_s`.
     speedup: f64,
+    /// Packed-pipeline wall-clock with SIMD forced off, seconds.
+    packed_scalar_s: f64,
+    /// `packed_scalar_s / packed_s`.
+    simd_speedup: f64,
 }
 impl_to_json!(FftRow {
     points,
     seed_s,
     packed_s,
-    speedup
+    speedup,
+    packed_scalar_s,
+    simd_speedup
 });
 
 /// The full report written to `results/BENCH_gemm.json`.
 struct Report {
     /// Worker threads both drivers were allowed to use.
     threads: u64,
+    /// The SIMD level `packed_s` ran at (`packed_scalar_s` is always
+    /// `Scalar`).
+    simd_level: String,
     /// M3XU-FP32 GEMM rows.
     gemm_fp32: Vec<GemmRow>,
     /// FP32C GEMM-FFT rows.
@@ -83,6 +104,7 @@ struct Report {
 }
 impl_to_json!(Report {
     threads,
+    simd_level,
     gemm_fp32,
     fft_fp32c
 });
@@ -98,7 +120,7 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best.as_secs_f64()
 }
 
-fn bench_gemm(n: usize, reps: usize) -> GemmRow {
+fn bench_gemm(n: usize, reps: usize, active: SimdLevel) -> GemmRow {
     let a = Matrix::<f32>::random(n, n, 0xA + n as u64);
     let b = Matrix::<f32>::random(n, n, 0xB + n as u64);
     let c = Matrix::<f32>::zeros(n, n);
@@ -119,12 +141,27 @@ fn bench_gemm(n: usize, reps: usize) -> GemmRow {
     let packed_s = best_of(reps, || {
         std::hint::black_box(gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c));
     });
+    // The same pipeline through the scalar oracle path — bit-identity
+    // asserted here too, so the before/after pair is provably the same
+    // computation.
+    simd::set_level(SimdLevel::Scalar);
+    let scalar_r = gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    assert_eq!(
+        scalar_r.d, packed_r.d,
+        "scalar packed GEMM diverged from the SIMD path at n={n}"
+    );
+    let packed_scalar_s = best_of(reps, || {
+        std::hint::black_box(gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c));
+    });
+    simd::set_level(active);
     let flops = 2.0 * (n as f64).powi(3);
     GemmRow {
         n: n as u64,
         seed_s,
         packed_s,
         speedup: seed_s / packed_s,
+        packed_scalar_s,
+        simd_speedup: packed_scalar_s / packed_s,
         fragments: packed_r.stats.instructions,
         mma_instructions: exec.mode(MxuMode::M3xuFp32).instructions,
         mma_steps: exec.mode(MxuMode::M3xuFp32).steps,
@@ -134,7 +171,7 @@ fn bench_gemm(n: usize, reps: usize) -> GemmRow {
     }
 }
 
-fn bench_fft(points: usize, reps: usize) -> FftRow {
+fn bench_fft(points: usize, reps: usize, active: SimdLevel) -> FftRow {
     let m = Matrix::random_c32(points, 1, 0xF0 + points as u64);
     let x: Vec<m3xu_fp::C32> = (0..points).map(|i| m.get(i, 0)).collect();
     let (seed_out, _) = fft::gemm_fft_with(&x, baseline::cgemm_c32);
@@ -154,11 +191,26 @@ fn bench_fft(points: usize, reps: usize) -> FftRow {
     let packed_s = best_of(reps, || {
         std::hint::black_box(fft::gemm_fft(&x));
     });
+    simd::set_level(SimdLevel::Scalar);
+    let (scalar_out, _) = fft::gemm_fft(&x);
+    for (s, p) in scalar_out.iter().zip(&packed_out) {
+        assert_eq!(
+            (s.re.to_bits(), s.im.to_bits()),
+            (p.re.to_bits(), p.im.to_bits()),
+            "scalar packed FFT diverged from the SIMD path at {points} points"
+        );
+    }
+    let packed_scalar_s = best_of(reps, || {
+        std::hint::black_box(fft::gemm_fft(&x));
+    });
+    simd::set_level(active);
     FftRow {
         points: points as u64,
         seed_s,
         packed_s,
         speedup: seed_s / packed_s,
+        packed_scalar_s,
+        simd_speedup: packed_scalar_s / packed_s,
     }
 }
 
@@ -166,40 +218,49 @@ fn main() {
     let large = std::env::var("M3XU_BENCH_LARGE")
         .map(|v| v == "1")
         .unwrap_or(false);
+    let active = simd::level();
     println!(
-        "packed vs seed GEMM/CGEMM drivers ({} worker threads)\n",
-        gemm::workers()
+        "packed vs seed GEMM/CGEMM drivers ({} worker threads, SIMD {:?})\n",
+        gemm::workers(),
+        active
     );
 
-    let mut gemm_rows = vec![bench_gemm(256, 2), bench_gemm(512, 1)];
+    let mut gemm_rows = vec![bench_gemm(256, 2, active), bench_gemm(512, 1, active)];
     if large {
-        gemm_rows.push(bench_gemm(1024, 1));
+        gemm_rows.push(bench_gemm(1024, 1, active));
     }
     for r in &gemm_rows {
         println!(
-            "gemm {0}^3: seed {1:>10}  packed {2:>10}  speedup {3:.2}x  ({4:.1} Mfrag/s, {5:.2} eff GFLOP/s)",
+            "gemm {0}^3: seed {1:>10}  scalar {2:>10}  simd {3:>10}  simd speedup {4:.2}x  ({5:.1} Mfrag/s, {6:.2} eff GFLOP/s)",
             r.n,
             fmt_duration(Duration::from_secs_f64(r.seed_s)),
+            fmt_duration(Duration::from_secs_f64(r.packed_scalar_s)),
             fmt_duration(Duration::from_secs_f64(r.packed_s)),
-            r.speedup,
+            r.simd_speedup,
             r.packed_fragments_per_s / 1e6,
             r.packed_gflops,
         );
     }
 
-    let fft_rows = vec![bench_fft(512, 5), bench_fft(4096, 3), bench_fft(65536, 1)];
+    let fft_rows = vec![
+        bench_fft(512, 5, active),
+        bench_fft(4096, 3, active),
+        bench_fft(65536, 1, active),
+    ];
     for r in &fft_rows {
         println!(
-            "fft {0:>6} pts: seed {1:>10}  packed {2:>10}  speedup {3:.2}x",
+            "fft {0:>6} pts: seed {1:>10}  scalar {2:>10}  simd {3:>10}  simd speedup {4:.2}x",
             r.points,
             fmt_duration(Duration::from_secs_f64(r.seed_s)),
+            fmt_duration(Duration::from_secs_f64(r.packed_scalar_s)),
             fmt_duration(Duration::from_secs_f64(r.packed_s)),
-            r.speedup,
+            r.simd_speedup,
         );
     }
 
     let report = Report {
         threads: gemm::workers() as u64,
+        simd_level: format!("{active:?}"),
         gemm_fp32: gemm_rows,
         fft_fp32c: fft_rows,
     };

@@ -22,12 +22,12 @@ use crate::gemm::{self, GemmPrecision, GemmResult};
 use crate::pool::{self, WorkerPool};
 use crate::{conv2d, conv_grad, fft, knn, poly, solver};
 use m3xu_fp::complex::Complex;
-use m3xu_mxu::buffer::BufferEntry;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::fault::{FaultPlan, FaultSummary};
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::MmaStats;
 use m3xu_mxu::modes::MxuMode;
+use m3xu_mxu::packed::PackedStorage;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -227,11 +227,12 @@ impl ExecStats {
 
 /// Reusable packed-operand storage: capacity survives across GEMMs so
 /// repeated runs through one context stop visiting the allocator for
-/// their entry planes.
+/// their entry *and* value planes (the f32 mirrors the SIMD row kernels
+/// read).
 #[derive(Default)]
 struct OperandArena {
-    a: Vec<BufferEntry>,
-    b: Vec<BufferEntry>,
+    a: PackedStorage,
+    b: PackedStorage,
 }
 
 enum ContextPool {
@@ -339,20 +340,21 @@ impl M3xuContext {
     /// Borrow the packed-operand scratch buffers. A contended arena (two
     /// GEMMs in flight on one context) falls back to fresh allocations
     /// rather than serialising the callers.
-    pub(crate) fn take_scratch(&self) -> (Vec<BufferEntry>, Vec<BufferEntry>) {
+    pub(crate) fn take_scratch(&self) -> (PackedStorage, PackedStorage) {
         match self.arena.try_lock() {
             Ok(mut g) => (std::mem::take(&mut g.a), std::mem::take(&mut g.b)),
-            Err(_) => (Vec::new(), Vec::new()),
+            Err(_) => (PackedStorage::default(), PackedStorage::default()),
         }
     }
 
-    /// Return scratch to the arena, keeping the larger capacity.
-    pub(crate) fn put_scratch(&self, a: Vec<BufferEntry>, b: Vec<BufferEntry>) {
+    /// Return scratch to the arena, keeping the larger capacity (keyed on
+    /// the entry plane — the value planes scale with it).
+    pub(crate) fn put_scratch(&self, a: PackedStorage, b: PackedStorage) {
         if let Ok(mut g) = self.arena.try_lock() {
-            if a.capacity() > g.a.capacity() {
+            if a.entries.capacity() > g.a.entries.capacity() {
                 g.a = a;
             }
-            if b.capacity() > g.b.capacity() {
+            if b.entries.capacity() > g.b.entries.capacity() {
                 g.b = b;
             }
         }

@@ -18,18 +18,18 @@
 //! are bit-identical to the original per-tile path, kept alive in
 //! [`baseline`] as the differential-test and benchmark reference.
 
+use crate::blocking::KPlan;
 use crate::context::{self, GemmSample, M3xuContext};
 use crate::pool::WorkerPool;
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::abft::{self, Checksum};
-use m3xu_mxu::buffer::BufferEntry;
 use m3xu_mxu::dpu::DotProductUnit;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::fault::{FaultPlan, FaultSummary, MmaFault, TaskFault};
 use m3xu_mxu::matrix::Matrix;
 use m3xu_mxu::mma::{MmaShape, MmaStats};
 use m3xu_mxu::modes::MxuMode;
-use m3xu_mxu::packed::{fragment_stats, PackedOperand};
+use m3xu_mxu::packed::{fragment_stats, PackedOperand, PackedStorage};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,11 +107,15 @@ pub fn workers() -> usize {
 
 /// An element type the generic packed driver can multiply.
 pub trait PackedElem: Copy + Default + Send + Sync + 'static {
+    /// Bytes per reduction element in the packed value plane (`B` side) —
+    /// what the cache-blocking plan sizes its panels around.
+    const VAL_BYTES: usize;
     /// Decode the `A` operand (by rows) for `mode`, reusing `storage`'s
-    /// capacity (pass an empty `Vec` when no arena is available).
-    fn pack_a(a: &Matrix<Self>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand;
+    /// capacity (pass a default [`PackedStorage`] when no arena is
+    /// available).
+    fn pack_a(a: &Matrix<Self>, mode: MxuMode, storage: PackedStorage) -> PackedOperand;
     /// Decode the `B` operand (by columns) for `mode`, reusing `storage`.
-    fn pack_b(b: &Matrix<Self>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand;
+    fn pack_b(b: &Matrix<Self>, mode: MxuMode, storage: PackedStorage) -> PackedOperand;
     /// Execute one fragment in place on `acc` (row-major `rows x cols`).
     #[allow(clippy::too_many_arguments)]
     fn execute(
@@ -126,13 +130,31 @@ pub trait PackedElem: Copy + Default + Send + Sync + 'static {
         klen: usize,
         acc: &mut [Self],
     );
+    /// Execute a whole `[k0, kend)` reduction panel on one tile, chunked
+    /// at `frag_k` — bit-identical to looping [`PackedElem::execute`]
+    /// over the same chunks, but eligible for the SIMD row pipeline.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_panel(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [Self],
+    );
 }
 
 impl PackedElem for f32 {
-    fn pack_a(a: &Matrix<f32>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand {
+    const VAL_BYTES: usize = std::mem::size_of::<f32>();
+    fn pack_a(a: &Matrix<f32>, mode: MxuMode, storage: PackedStorage) -> PackedOperand {
         PackedOperand::try_pack_rows_f32_in(a, mode, storage).unwrap_or_else(|e| panic!("{e}"))
     }
-    fn pack_b(b: &Matrix<f32>, mode: MxuMode, storage: Vec<BufferEntry>) -> PackedOperand {
+    fn pack_b(b: &Matrix<f32>, mode: MxuMode, storage: PackedStorage) -> PackedOperand {
         PackedOperand::try_pack_cols_f32_in(b, mode, storage).unwrap_or_else(|e| panic!("{e}"))
     }
     fn execute(
@@ -149,21 +171,29 @@ impl PackedElem for f32 {
     ) {
         dpu.mma_f32_into(a, b, r0, rows, c0, cols, k0, klen, acc);
     }
+    fn execute_panel(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f32],
+    ) {
+        dpu.mma_f32_panel_into(a, b, r0, rows, c0, cols, k0, kend, frag_k, acc);
+    }
 }
 
 impl PackedElem for Complex<f32> {
-    fn pack_a(
-        a: &Matrix<Complex<f32>>,
-        _mode: MxuMode,
-        storage: Vec<BufferEntry>,
-    ) -> PackedOperand {
+    const VAL_BYTES: usize = std::mem::size_of::<Complex<f32>>();
+    fn pack_a(a: &Matrix<Complex<f32>>, _mode: MxuMode, storage: PackedStorage) -> PackedOperand {
         PackedOperand::pack_rows_c32_in(a, storage)
     }
-    fn pack_b(
-        b: &Matrix<Complex<f32>>,
-        _mode: MxuMode,
-        storage: Vec<BufferEntry>,
-    ) -> PackedOperand {
+    fn pack_b(b: &Matrix<Complex<f32>>, _mode: MxuMode, storage: PackedStorage) -> PackedOperand {
         PackedOperand::pack_cols_c32_in(b, storage)
     }
     fn execute(
@@ -179,6 +209,21 @@ impl PackedElem for Complex<f32> {
         acc: &mut [Complex<f32>],
     ) {
         dpu.mma_c32_into(a, b, r0, rows, c0, cols, k0, klen, acc);
+    }
+    fn execute_panel(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        dpu.mma_c32_panel_into(a, b, r0, rows, c0, cols, k0, kend, frag_k, acc);
     }
 }
 
@@ -251,46 +296,82 @@ fn try_gemm_packed<E: PackedElem>(
         });
     }
 
-    // Decode each operand exactly once for the whole GEMM, reusing the
-    // context's packed-operand arena when one is attached.
+    // Decode each operand exactly once for the whole GEMM — entry planes
+    // *and* the f32 value mirrors the SIMD row kernels read — reusing the
+    // context's packed-operand arena when one is attached. Packing `B`
+    // here hoists it out of every epoch and tile below.
     let (sa, sb) = match ctx {
         Some(cx) => cx.take_scratch(),
-        None => (Vec::new(), Vec::new()),
+        None => (PackedStorage::default(), PackedStorage::default()),
     };
     let t_pack = Instant::now();
     let pa = E::pack_a(a, mode, sa);
     let pb = E::pack_b(b, mode, sb);
     let pack_ns = t_pack.elapsed().as_nanos() as u64;
 
+    let plan = KPlan::new(frag.k, k, n, E::VAL_BYTES);
     let dptr = SendPtr(d.as_mut_slice().as_mut_ptr());
     let t_exec = Instant::now();
-    pool.run(tiles_m * tiles_n, |tid| {
-        let (i0, j0) = ((tid / tiles_n) * frag.m, (tid % tiles_n) * frag.n);
-        let rows = frag.m.min(m - i0);
-        let cols = frag.n.min(n - j0);
-        let mut acc = [E::default(); ACC_SCRATCH]; // >= frag.m * frag.n, checked at entry
-        let acc = &mut acc[..rows * cols];
-        c.view(i0, j0, rows, cols).copy_into(acc);
-        DPU.with(|dpu| {
-            let mut dpu = dpu.borrow_mut();
-            for k0 in (0..k).step_by(frag.k) {
-                E::execute(&mut dpu, &pa, &pb, i0, rows, j0, cols, k0, frag.k, acc);
+    // L2 epochs: one pool dispatch per `kc2`-deep reduction slice, so the
+    // whole tile grid consumes one L2-resident band of `B`'s planes
+    // before the next band is touched. Epoch boundaries are fragment
+    // boundaries, so each tile's chunk sequence is identical to the
+    // unblocked loop; tiles re-read their partial sums from `D` between
+    // epochs.
+    let mut ke0 = 0usize;
+    while ke0 < k {
+        let ke1 = (ke0 + plan.kc2).min(k);
+        let first = ke0 == 0;
+        pool.run(tiles_m * tiles_n, |tid| {
+            let (i0, j0) = ((tid / tiles_n) * frag.m, (tid % tiles_n) * frag.n);
+            let rows = frag.m.min(m - i0);
+            let cols = frag.n.min(n - j0);
+            let mut acc = [E::default(); ACC_SCRATCH]; // >= frag.m * frag.n, checked at entry
+            let acc = &mut acc[..rows * cols];
+            if first {
+                c.view(i0, j0, rows, cols).copy_into(acc);
+            } else {
+                for (i, row) in acc.chunks_exact_mut(cols).enumerate() {
+                    // SAFETY: this tile owns rows i0..i0+rows, cols
+                    // j0..j0+cols of the output, epochs run sequentially,
+                    // and the pointer outlives the pool run — the reads
+                    // see exactly what the previous epoch's store wrote.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            dptr.get().add((i0 + i) * n + j0) as *const E,
+                            row.as_mut_ptr(),
+                            cols,
+                        );
+                    }
+                }
+            }
+            DPU.with(|dpu| {
+                let mut dpu = dpu.borrow_mut();
+                // L1 panels inside the epoch: each keeps one 8-column
+                // slice of `B` resident across the tile's output rows.
+                let mut kb = ke0;
+                while kb < ke1 {
+                    let kbend = (kb + plan.kc1).min(ke1);
+                    E::execute_panel(
+                        &mut dpu, &pa, &pb, i0, rows, j0, cols, kb, kbend, frag.k, acc,
+                    );
+                    kb = kbend;
+                }
+            });
+            // Epilogue: disjoint predicated stores straight into D.
+            for (i, row) in acc.chunks_exact(cols).enumerate() {
+                // SAFETY: as above — this tile's disjoint output region.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        row.as_ptr(),
+                        dptr.get().add((i0 + i) * n + j0),
+                        cols,
+                    );
+                }
             }
         });
-        // Epilogue: disjoint predicated stores straight into D.
-        for (i, row) in acc.chunks_exact(cols).enumerate() {
-            // SAFETY: this tile owns rows i0..i0+rows, cols j0..j0+cols of
-            // the output; no other task touches them, and the pointer
-            // outlives the pool run.
-            unsafe {
-                std::ptr::copy_nonoverlapping(
-                    row.as_ptr(),
-                    dptr.get().add((i0 + i) * n + j0),
-                    cols,
-                );
-            }
-        }
-    });
+        ke0 = ke1;
+    }
     let exec_ns = t_exec.elapsed().as_nanos() as u64;
 
     // Statistics are a pure function of the fragment grid — identical to
@@ -498,7 +579,7 @@ pub(crate) fn try_gemm_abft<E: AbftElem>(
 
     let (sa, sb) = match ctx {
         Some(cx) => cx.take_scratch(),
-        None => (Vec::new(), Vec::new()),
+        None => (PackedStorage::default(), PackedStorage::default()),
     };
     let t_pack = Instant::now();
     let pa = E::pack_a(a, mode, sa);

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blocking;
 pub mod context;
 pub mod conv2d;
 pub mod conv_grad;

@@ -27,6 +27,19 @@
 //!    its output format exactly once per fragment, and the rounded value
 //!    re-seeds the next fragment of the `K`-loop — the same once-per-MMA
 //!    rounding contract as [`crate::mma`].
+//!
+//! ## The SIMD row pipeline
+//!
+//! On top of the per-chunk executors, the panel entry points
+//! ([`DotProductUnit::mma_f32_panel_into`] /
+//! [`DotProductUnit::mma_c32_panel_into`]) run a whole `K`-panel per
+//! call and, where a full 8-column fragment row is available, dispatch to
+//! the vectorized row kernels in [`simd`] — see that module for the
+//! exactness argument and the `M3XU_SIMD` kill switch. The per-chunk
+//! scalar executors stay intact as the differential oracle and the
+//! fallback for partial rows, specials, and wide exponent spreads.
+
+pub mod simd;
 
 use crate::abft::Checksum;
 use crate::buffer::{decode_fp32, decode_narrow, decode_tf32_truncating, BufferEntry};
@@ -38,7 +51,7 @@ use crate::mma::{MmaShape, MmaStats};
 use crate::modes::MxuMode;
 use crate::unit::Mxu;
 use m3xu_fp::complex::Complex;
-use m3xu_fp::format::{BF16, FP16};
+use m3xu_fp::format::{BF16, FP16, TF32};
 use m3xu_fp::softfloat::round_to_format;
 
 /// Buffer entries the data-assignment stage provisions per operand element
@@ -73,6 +86,13 @@ pub fn fragment_stats(mode: MxuMode, shape: MmaShape) -> MmaStats {
 /// [`entries_per_element`] consecutive entries. For `A` pack by rows; for
 /// `B` pack by columns — fragment execution then reads two contiguous
 /// slices.
+/// In addition to the entry planes, packing mirrors each element's
+/// *value* (the exact `f32` the entries denote — the original input for
+/// the lossless FP32/FP32C modes, the quantised value for the narrow
+/// modes, specials kept as themselves) into a planar `f32` buffer for
+/// the [`simd`] row kernels: row-major `[vec][k]` on the rows side,
+/// k-major `[k][vec]` on the columns side so one vector load covers 8
+/// consecutive output columns (FP32C stores separate re/im planes).
 #[derive(Debug, Clone)]
 pub struct PackedOperand {
     mode: MxuMode,
@@ -80,6 +100,32 @@ pub struct PackedOperand {
     len: usize,
     vecs: usize,
     entries: Vec<BufferEntry>,
+    vals: Vec<f32>,
+    /// True for column packing (`B` side): `vals` is k-major.
+    transposed: bool,
+}
+
+/// Reusable backing buffers for a [`PackedOperand`] — the unit the
+/// context scratch arena recycles so repeated GEMMs stop visiting the
+/// allocator for their entry planes *and* their SIMD value planes.
+#[derive(Debug, Default)]
+pub struct PackedStorage {
+    /// Buffer-entry planes.
+    pub entries: Vec<BufferEntry>,
+    /// Planar `f32` value mirror for the SIMD row kernels.
+    pub vals: Vec<f32>,
+}
+
+impl PackedStorage {
+    /// Clear and pre-size both buffers for `elems` operand elements at
+    /// `epe` entries and `vpe` value-plane slots each.
+    fn prepared(mut self, elems: usize, epe: usize, vpe: usize) -> (Vec<BufferEntry>, Vec<f32>) {
+        self.entries.clear();
+        self.entries.reserve(elems * epe);
+        self.vals.clear();
+        self.vals.reserve(elems * vpe);
+        (self.entries, self.vals)
+    }
 }
 
 /// True for the modes a real `f32` operand can be packed for.
@@ -106,6 +152,29 @@ fn push_f32(entries: &mut Vec<BufferEntry>, x: f32, mode: MxuMode) {
     }
 }
 
+/// The exact `f32` value the packed entries of element `x` denote in
+/// `mode` — what the SIMD value planes mirror. Lossless for FP32 (hi+lo
+/// reconstruct `x`); the quantised value for the narrow modes (every
+/// TF32/FP16/BF16 value, including a rounded-to-infinity overflow, is
+/// representable in `f32`); specials pass through as themselves so the
+/// row kernels' non-finite-product abort routes them to the oracle path.
+#[inline]
+fn val_f32(x: f32, mode: MxuMode) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    // Each narrow value (a finite overflow rounds to infinity, which the
+    // row kernels likewise abort on) is exactly representable in `f32`,
+    // so the cast never re-rounds.
+    match mode {
+        MxuMode::M3xuFp32 => x,
+        MxuMode::Tf32 => round_to_format(x as f64, TF32) as f32,
+        MxuMode::Fp16 => round_to_format(x as f64, FP16) as f32,
+        MxuMode::Bf16 => round_to_format(x as f64, BF16) as f32,
+        _ => unreachable!("mode gate admitted a non-real packing mode"),
+    }
+}
+
 #[inline]
 fn push_c32(entries: &mut Vec<BufferEntry>, x: Complex<f32>) {
     let (rh, rl) = decode_fp32(x.re);
@@ -121,17 +190,17 @@ impl PackedOperand {
     /// FP64 modes (whose operands are not plain `f32` planes) with
     /// [`M3xuError::ModeMismatch`] instead of aborting.
     pub fn try_pack_rows_f32(m: &Matrix<f32>, mode: MxuMode) -> Result<Self, M3xuError> {
-        Self::try_pack_rows_f32_in(m, mode, Vec::new())
+        Self::try_pack_rows_f32_in(m, mode, PackedStorage::default())
     }
 
     /// [`PackedOperand::try_pack_rows_f32`] packing into `storage` — the
-    /// buffer is cleared and its capacity reused, so an arena that round-
-    /// trips storage through [`PackedOperand::into_storage`] packs
+    /// buffers are cleared and their capacity reused, so an arena that
+    /// round-trips storage through [`PackedOperand::into_storage`] packs
     /// repeated GEMMs without touching the allocator.
     pub fn try_pack_rows_f32_in(
         m: &Matrix<f32>,
         mode: MxuMode,
-        mut storage: Vec<BufferEntry>,
+        storage: PackedStorage,
     ) -> Result<Self, M3xuError> {
         if !is_real_f32_mode(mode) {
             return Err(M3xuError::ModeMismatch {
@@ -140,12 +209,11 @@ impl PackedOperand {
             });
         }
         let epe = entries_per_element(mode);
-        storage.clear();
-        storage.reserve(m.rows() * m.cols() * epe);
-        let mut entries = storage;
+        let (mut entries, mut vals) = storage.prepared(m.rows() * m.cols(), epe, 1);
         for i in 0..m.rows() {
             for &x in m.row(i) {
                 push_f32(&mut entries, x, mode);
+                vals.push(val_f32(x, mode));
             }
         }
         Ok(PackedOperand {
@@ -154,6 +222,8 @@ impl PackedOperand {
             len: m.cols(),
             vecs: m.rows(),
             entries,
+            vals,
+            transposed: false,
         })
     }
 
@@ -167,7 +237,7 @@ impl PackedOperand {
 
     /// Fallible [`PackedOperand::pack_cols_f32`].
     pub fn try_pack_cols_f32(m: &Matrix<f32>, mode: MxuMode) -> Result<Self, M3xuError> {
-        Self::try_pack_cols_f32_in(m, mode, Vec::new())
+        Self::try_pack_cols_f32_in(m, mode, PackedStorage::default())
     }
 
     /// [`PackedOperand::try_pack_cols_f32`] packing into `storage` (see
@@ -175,7 +245,7 @@ impl PackedOperand {
     pub fn try_pack_cols_f32_in(
         m: &Matrix<f32>,
         mode: MxuMode,
-        mut storage: Vec<BufferEntry>,
+        storage: PackedStorage,
     ) -> Result<Self, M3xuError> {
         if !is_real_f32_mode(mode) {
             return Err(M3xuError::ModeMismatch {
@@ -184,12 +254,17 @@ impl PackedOperand {
             });
         }
         let epe = entries_per_element(mode);
-        storage.clear();
-        storage.reserve(m.rows() * m.cols() * epe);
-        let mut entries = storage;
+        let (mut entries, mut vals) = storage.prepared(m.rows() * m.cols(), epe, 1);
         for j in 0..m.cols() {
             for i in 0..m.rows() {
                 push_f32(&mut entries, m.get(i, j), mode);
+            }
+        }
+        // The k-major value plane: vals[k * vecs + v] = m[k][v], i.e. the
+        // matrix's own row-major layout — one memcpy-shaped pass.
+        for i in 0..m.rows() {
+            for &x in m.row(i) {
+                vals.push(val_f32(x, mode));
             }
         }
         Ok(PackedOperand {
@@ -198,6 +273,8 @@ impl PackedOperand {
             len: m.rows(),
             vecs: m.cols(),
             entries,
+            vals,
+            transposed: true,
         })
     }
 
@@ -211,18 +288,18 @@ impl PackedOperand {
 
     /// Pack a complex operand by rows (FP32C mode).
     pub fn pack_rows_c32(m: &Matrix<Complex<f32>>) -> Self {
-        Self::pack_rows_c32_in(m, Vec::new())
+        Self::pack_rows_c32_in(m, PackedStorage::default())
     }
 
     /// [`PackedOperand::pack_rows_c32`] packing into `storage` (see
     /// [`PackedOperand::try_pack_rows_f32_in`]).
-    pub fn pack_rows_c32_in(m: &Matrix<Complex<f32>>, mut storage: Vec<BufferEntry>) -> Self {
-        storage.clear();
-        storage.reserve(m.rows() * m.cols() * 4);
-        let mut entries = storage;
+    pub fn pack_rows_c32_in(m: &Matrix<Complex<f32>>, storage: PackedStorage) -> Self {
+        let (mut entries, mut vals) = storage.prepared(m.rows() * m.cols(), 4, 2);
         for i in 0..m.rows() {
             for &x in m.row(i) {
                 push_c32(&mut entries, x);
+                vals.push(x.re);
+                vals.push(x.im);
             }
         }
         PackedOperand {
@@ -231,23 +308,36 @@ impl PackedOperand {
             len: m.cols(),
             vecs: m.rows(),
             entries,
+            vals,
+            transposed: false,
         }
     }
 
     /// Pack a complex operand by columns (FP32C mode).
     pub fn pack_cols_c32(m: &Matrix<Complex<f32>>) -> Self {
-        Self::pack_cols_c32_in(m, Vec::new())
+        Self::pack_cols_c32_in(m, PackedStorage::default())
     }
 
     /// [`PackedOperand::pack_cols_c32`] packing into `storage` (see
     /// [`PackedOperand::try_pack_rows_f32_in`]).
-    pub fn pack_cols_c32_in(m: &Matrix<Complex<f32>>, mut storage: Vec<BufferEntry>) -> Self {
-        storage.clear();
-        storage.reserve(m.rows() * m.cols() * 4);
-        let mut entries = storage;
+    pub fn pack_cols_c32_in(m: &Matrix<Complex<f32>>, storage: PackedStorage) -> Self {
+        let (mut entries, mut vals) = storage.prepared(m.rows() * m.cols(), 4, 2);
         for j in 0..m.cols() {
             for i in 0..m.rows() {
                 push_c32(&mut entries, m.get(i, j));
+            }
+        }
+        // Planar k-major component planes: the re plane (vals[k*vecs + v])
+        // followed by the im plane at offset len*vecs, each in the
+        // matrix's own row-major order.
+        for i in 0..m.rows() {
+            for &x in m.row(i) {
+                vals.push(x.re);
+            }
+        }
+        for i in 0..m.rows() {
+            for &x in m.row(i) {
+                vals.push(x.im);
             }
         }
         PackedOperand {
@@ -256,13 +346,18 @@ impl PackedOperand {
             len: m.rows(),
             vecs: m.cols(),
             entries,
+            vals,
+            transposed: true,
         }
     }
 
-    /// Reclaim the entry storage for reuse by a later `*_in` pack call —
+    /// Reclaim the backing buffers for reuse by a later `*_in` pack call —
     /// the other half of the arena round-trip.
-    pub fn into_storage(self) -> Vec<BufferEntry> {
-        self.entries
+    pub fn into_storage(self) -> PackedStorage {
+        PackedStorage {
+            entries: self.entries,
+            vals: self.vals,
+        }
     }
 
     /// The mode this operand was decoded for.
@@ -332,54 +427,108 @@ const FAST_POW_RANGE: i32 = 96;
 /// (same kept-bit / round-bit / sticky-bit selection, same tie and
 /// boundary handling), verified bit-identical by `fast_rounding_matches_
 /// kulisch` below and by the end-to-end differential GEMM tests.
+#[inline(always)]
 fn fast_round_f32(sum: i128, pmin: i32) -> f32 {
+    let (sign, frac, weight, finite) = fast_round_parts(sum, pmin);
+    fast_round_assemble(sign, frac, weight, finite)
+}
+
+/// The rounding core of [`fast_round_f32`], returning the result in
+/// decoded form: value = `±frac · 2^weight` with `frac < 2^24`, or a
+/// signed infinity when `finite` is false. Panel kernels keep this form
+/// as the next chunk's seed (see [`simd::ChunkSeed`]) so the f32
+/// assemble/decode round-trip stays off the per-column dependency chain;
+/// [`fast_round_assemble`] turns it into the identical f32 bits.
+#[inline(always)]
+fn fast_round_parts(sum: i128, pmin: i32) -> (u32, u64, i32, bool) {
     if sum == 0 {
-        return 0.0;
+        return (0, 0, -149, true);
     }
     let negative = sum < 0;
+    let sign = (negative as u32) << 31;
     let m = sum.unsigned_abs();
-    let apply = |v: f32| if negative { -v } else { v };
     let h = 127 - m.leading_zeros() as i32; // position of the leading bit
     let e = h + pmin; // exponent of the leading bit
-                      // FP32: 24 bits of precision, minimum normal exponent -126.
+                      // Fast path for the overwhelmingly common shape: the round and
+                      // sticky probes sit entirely below the kept bits (h >= 25) and the
+                      // result is strictly normal with no overflow possible even after a
+                      // rounding carry (-126 <= e <= 126). One funnel shift yields the
+                      // kept fraction and the round bit together; everything the general
+                      // path guards against (subnormals, ties at the subnormal boundary,
+                      // overflow) is unreachable here.
+    if h >= 25 && e > -127 && e < 127 {
+        let lowbit = h - 24;
+        let r2 = (m >> lowbit) as u64; // frac:24 | round:1
+        let sticky = m & ((1u128 << lowbit) - 1) != 0;
+        let mut frac = r2 >> 1;
+        let round = r2 & 1 == 1;
+        frac += (round & (sticky | (frac & 1 == 1))) as u64;
+        let carry = (frac >> 24) as i32 & 1;
+        frac >>= carry;
+        return (sign, frac, e - 23 + carry, true);
+    }
+    if e > 128 {
+        // Magnitude at least 2^129 > 2 * f32::MAX: overflow regardless of
+        // the rounding bits.
+        return (sign, 0, 0, false);
+    }
+    // FP32: 24 bits of precision, minimum normal exponent -126.
     let keep = if e < -126 { 24 - (-126 - e) } else { 24 };
     if keep <= 0 {
-        // At or below half of the least subnormal 2^-149.
-        if e < -150 {
-            return apply(0.0);
-        }
-        // e == -150: exactly half rounds to even (zero), anything above
-        // half rounds away.
-        return if m != 1u128 << h {
-            apply(f32::from_bits(1))
-        } else {
-            apply(0.0)
-        };
+        // At or below half of the least subnormal 2^-149: e < -150 is a
+        // signed zero; e == -150 is exactly half (rounds to even, zero)
+        // unless any lower bit is set (rounds away to the least
+        // subnormal).
+        let away = e == -150 && m != 1u128 << h;
+        return (sign, away as u64, -149, true);
     }
     let lowbit = h - keep + 1; // position of the kept LSB
-    let mut frac = if lowbit >= 0 {
-        (m >> lowbit) as u64
+    let (mut frac, round, sticky);
+    if lowbit >= 0 {
+        // `lb1` clamps the below-LSB probes so they are well-defined at
+        // lowbit 0/1, where the `lowbit > _` factors zero them anyway.
+        let lb1 = (lowbit - 1).max(0) as u32;
+        frac = (m >> lowbit) as u64;
+        round = (lowbit > 0) & ((m >> lb1) & 1 == 1);
+        sticky = (lowbit > 1) & (m & ((1u128 << lb1) - 1) != 0);
     } else {
-        (m as u64) << (-lowbit) as u32
-    };
-    let round = lowbit > 0 && (m >> (lowbit - 1)) & 1 == 1;
-    let sticky = lowbit > 1 && m & ((1u128 << (lowbit - 1)) - 1) != 0;
+        frac = (m as u64) << (-lowbit) as u32;
+        round = false;
+        sticky = false;
+    }
     let mut weight = e - keep + 1;
-    if round && (sticky || frac & 1 == 1) {
-        frac += 1;
-        if frac == 1u64 << keep {
-            frac >>= 1;
-            weight += 1;
-        }
+    // Branchless round-to-nearest-even: increment, then renormalise a
+    // carry out of the full 24-bit width (frac can only reach exactly
+    // 2^keep). A carry at a narrower kept width stays subnormal — it
+    // merely sets the next mantissa bit at the same weight -149, which
+    // the bit assembly encodes directly.
+    frac += (round & (sticky | (frac & 1 == 1))) as u64;
+    let carry = (frac >> 24) as u32 & 1;
+    frac >>= carry;
+    weight += carry as i32;
+    // Rounding can push the magnitude past f32::MAX (biased exponent
+    // field 255): `weight + 23` is the result's exponent, and frac's top
+    // bit is necessarily set whenever the exponent is anywhere near the
+    // overflow boundary.
+    if weight + 23 >= 128 {
+        return (sign, 0, 0, false);
     }
-    // `frac * 2^weight` is exactly representable (frac < 2^24,
-    // weight >= -149), so the f64 product and the final cast are exact.
-    let mag = frac as f64 * 2f64.powi(weight);
-    if mag > f32::MAX as f64 {
-        apply(f32::INFINITY)
-    } else {
-        apply(mag as f32)
+    (sign, frac, weight, true)
+}
+
+/// Assemble the FP32 bits of a [`fast_round_parts`] result. A kept width
+/// below 24 pins `weight` to -149, so `frac`'s bit 23 cleanly separates
+/// subnormals (biased exponent 0, mantissa = frac) from normals (biased
+/// exponent `weight + 150`, implicit bit masked off) — including a
+/// subnormal that a rounding carry just promoted to the least normal.
+#[inline(always)]
+fn fast_round_assemble(sign: u32, frac: u64, weight: i32, finite: bool) -> f32 {
+    if !finite {
+        return f32::from_bits(sign | 0x7f80_0000);
     }
+    let hi = (frac >> 23) as u32;
+    let ebits = (weight + 23 + 127) as u32;
+    f32::from_bits(sign | ((ebits * hi) << 23) | (frac as u32 & 0x007f_ffff))
 }
 
 /// Fast-path exact reduction of one output element: collects the lane
@@ -589,6 +738,104 @@ fn try_fast_c32_checked(
     Some((Complex::new(vr, vi), re.residue_m61(), im.residue_m61()))
 }
 
+/// One real-mode output element over chunk `[k0, kend)`: the fast exact
+/// window, else the Kulisch drain. The single definition shared by the
+/// per-chunk executor and the SIMD panel's fallback — both paths are the
+/// same code, not merely equivalent code.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn scalar_element_real(
+    dpu: &mut DotProductUnit,
+    seed: f32,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+    epe: usize,
+    lanes_per_element: u64,
+) -> f32 {
+    // Fast path: exact integer reduction in a 128-bit window, bit-
+    // identical to the Kulisch drain below (see `fast_round_f32`).
+    // Specials, wide exponent spreads, and oversized reductions fall
+    // through to the general path.
+    if let Some(v) = try_fast_real(seed, av, bv, k0, kend, epe) {
+        dpu.lane_ops += lanes_per_element;
+        return v;
+    }
+    dpu.clear_real();
+    dpu.seed_real(seed as f64);
+    match epe {
+        1 => {
+            for k in k0..kend {
+                dpu.execute_lane_op(&lane(av[k], bv[k], false, Target::Real));
+            }
+        }
+        2 => {
+            // The fused 2-step FP32 stream: HH, LL (step 1) then HL, LH
+            // (step 2) for each element.
+            for k in k0..kend {
+                let (ah, al) = (av[2 * k], av[2 * k + 1]);
+                let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
+                dpu.execute_lane_op(&lane(ah, bh, false, Target::Real));
+                dpu.execute_lane_op(&lane(al, bl, false, Target::Real));
+                dpu.execute_lane_op(&lane(ah, bl, false, Target::Real));
+                dpu.execute_lane_op(&lane(al, bh, false, Target::Real));
+            }
+        }
+        _ => unreachable!("real-mode packing uses 1 or 2 entries per element"),
+    }
+    dpu.read_real_f32()
+}
+
+/// One FP32C output element over chunk `[k0, kend)` — the complex
+/// counterpart of [`scalar_element_real`].
+#[inline]
+fn scalar_element_c32(
+    dpu: &mut DotProductUnit,
+    seed: Complex<f32>,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+    lanes_per_element: u64,
+) -> Complex<f32> {
+    // Fast path (see `scalar_element_real`): both components reduced
+    // exactly in 128-bit windows, or the whole element falls back to the
+    // Kulisch pipeline.
+    if let Some(v) = try_fast_c32(seed, av, bv, k0, kend) {
+        dpu.lane_ops += lanes_per_element;
+        return v;
+    }
+    dpu.clear();
+    dpu.seed_real(seed.re as f64);
+    dpu.seed_imag(seed.im as f64);
+    for k in k0..kend {
+        let (xrh, xrl, xih, xil) = (av[4 * k], av[4 * k + 1], av[4 * k + 2], av[4 * k + 3]);
+        let (yrh, yrl, yih, yil) = (bv[4 * k], bv[4 * k + 1], bv[4 * k + 2], bv[4 * k + 3]);
+        // Steps 1-2 (real): a_R·b_R - a_I·b_I, matching then crossed
+        // halves; the subtraction is the flipped sign bit on the
+        // imaginary-imaginary lanes.
+        dpu.execute_lane_op(&lane(xrh, yrh, false, Target::Real));
+        dpu.execute_lane_op(&lane(xrl, yrl, false, Target::Real));
+        dpu.execute_lane_op(&lane(xih, yih, true, Target::Real));
+        dpu.execute_lane_op(&lane(xil, yil, true, Target::Real));
+        dpu.execute_lane_op(&lane(xrh, yrl, false, Target::Real));
+        dpu.execute_lane_op(&lane(xrl, yrh, false, Target::Real));
+        dpu.execute_lane_op(&lane(xih, yil, true, Target::Real));
+        dpu.execute_lane_op(&lane(xil, yih, true, Target::Real));
+        // Steps 3-4 (imag): a_R·b_I + a_I·b_R.
+        dpu.execute_lane_op(&lane(xrh, yih, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xrl, yil, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xih, yrh, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xil, yrl, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xrh, yil, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xrl, yih, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xih, yrl, false, Target::Imag));
+        dpu.execute_lane_op(&lane(xil, yrh, false, Target::Imag));
+    }
+    Complex::new(dpu.read_real_f32(), dpu.read_imag_f32())
+}
+
 impl DotProductUnit {
     /// Execute one real-mode fragment out of packed planes, in place.
     ///
@@ -621,38 +868,7 @@ impl DotProductUnit {
             for j in 0..cols {
                 let bv = b.vec(c0 + j);
                 let d = &mut acc[i * cols + j];
-                // Fast path: exact integer reduction in a 128-bit window,
-                // bit-identical to the Kulisch drain below (see
-                // `fast_round_f32`). Specials, wide exponent spreads, and
-                // oversized reductions fall through to the general path.
-                if let Some(v) = try_fast_real(*d, av, bv, k0, kend, epe) {
-                    self.lane_ops += lanes_per_element;
-                    *d = v;
-                    continue;
-                }
-                self.clear_real();
-                self.seed_real(*d as f64);
-                match epe {
-                    1 => {
-                        for k in k0..kend {
-                            self.execute_lane_op(&lane(av[k], bv[k], false, Target::Real));
-                        }
-                    }
-                    2 => {
-                        // The fused 2-step FP32 stream: HH, LL (step 1)
-                        // then HL, LH (step 2) for each element.
-                        for k in k0..kend {
-                            let (ah, al) = (av[2 * k], av[2 * k + 1]);
-                            let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
-                            self.execute_lane_op(&lane(ah, bh, false, Target::Real));
-                            self.execute_lane_op(&lane(al, bl, false, Target::Real));
-                            self.execute_lane_op(&lane(ah, bl, false, Target::Real));
-                            self.execute_lane_op(&lane(al, bh, false, Target::Real));
-                        }
-                    }
-                    _ => unreachable!("real-mode packing uses 1 or 2 entries per element"),
-                }
-                *d = self.read_real_f32();
+                *d = scalar_element_real(self, *d, av, bv, k0, kend, epe, lanes_per_element);
             }
         }
     }
@@ -684,45 +900,547 @@ impl DotProductUnit {
             for j in 0..cols {
                 let bv = b.vec(c0 + j);
                 let d = &mut acc[i * cols + j];
-                // Fast path (see `mma_f32_into`): both components reduced
-                // exactly in 128-bit windows, or the whole element falls
-                // back to the Kulisch pipeline.
-                if let Some(v) = try_fast_c32(*d, av, bv, k0, kend) {
-                    self.lane_ops += lanes_per_element;
-                    *d = v;
-                    continue;
-                }
-                self.clear();
-                self.seed_real(d.re as f64);
-                self.seed_imag(d.im as f64);
-                for k in k0..kend {
-                    let (xrh, xrl, xih, xil) =
-                        (av[4 * k], av[4 * k + 1], av[4 * k + 2], av[4 * k + 3]);
-                    let (yrh, yrl, yih, yil) =
-                        (bv[4 * k], bv[4 * k + 1], bv[4 * k + 2], bv[4 * k + 3]);
-                    // Steps 1-2 (real): a_R·b_R - a_I·b_I, matching then
-                    // crossed halves; the subtraction is the flipped sign
-                    // bit on the imaginary-imaginary lanes.
-                    self.execute_lane_op(&lane(xrh, yrh, false, Target::Real));
-                    self.execute_lane_op(&lane(xrl, yrl, false, Target::Real));
-                    self.execute_lane_op(&lane(xih, yih, true, Target::Real));
-                    self.execute_lane_op(&lane(xil, yil, true, Target::Real));
-                    self.execute_lane_op(&lane(xrh, yrl, false, Target::Real));
-                    self.execute_lane_op(&lane(xrl, yrh, false, Target::Real));
-                    self.execute_lane_op(&lane(xih, yil, true, Target::Real));
-                    self.execute_lane_op(&lane(xil, yih, true, Target::Real));
-                    // Steps 3-4 (imag): a_R·b_I + a_I·b_R.
-                    self.execute_lane_op(&lane(xrh, yih, false, Target::Imag));
-                    self.execute_lane_op(&lane(xrl, yil, false, Target::Imag));
-                    self.execute_lane_op(&lane(xih, yrh, false, Target::Imag));
-                    self.execute_lane_op(&lane(xil, yrl, false, Target::Imag));
-                    self.execute_lane_op(&lane(xrh, yil, false, Target::Imag));
-                    self.execute_lane_op(&lane(xrl, yih, false, Target::Imag));
-                    self.execute_lane_op(&lane(xih, yrl, false, Target::Imag));
-                    self.execute_lane_op(&lane(xil, yrh, false, Target::Imag));
-                }
-                *d = Complex::new(self.read_real_f32(), self.read_imag_f32());
+                *d = scalar_element_c32(self, *d, av, bv, k0, kend, lanes_per_element);
             }
+        }
+    }
+
+    /// Execute a whole `K`-panel `[k0, kend)` of one real-mode output
+    /// tile, chunked at the fragment depth `frag_k`.
+    ///
+    /// Rounding stays per fragment chunk — each chunk's rounded result
+    /// seeds the next — so this is bit-identical to looping
+    /// [`mma_f32_into`](DotProductUnit::mma_f32_into) over the same
+    /// chunks. What changes is the instruction mix: full 8-column rows
+    /// of row-major `A` against k-major `B` dispatch to the
+    /// [`simd`] row kernels when a vector level is active, forming each
+    /// chunk's exact value from whole-product `f64` lanes instead of
+    /// split-mantissa buffer entries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f32_panel_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f32],
+    ) {
+        assert_eq!(a.mode, b.mode, "operand modes disagree");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        assert!(frag_k > 0, "fragment depth must be positive");
+        let kend = kend.min(a.len);
+        let level = simd::level();
+        if level != simd::SimdLevel::Scalar
+            && cols == simd::COLS
+            && frag_k <= simd::MAX_KLEN
+            && !a.transposed
+            && b.transposed
+        {
+            self.simd_panel_f32(level, a, b, r0, rows, c0, k0, kend, frag_k, acc);
+            return;
+        }
+        let mut ck0 = k0;
+        while ck0 < kend {
+            let klen = frag_k.min(kend - ck0);
+            self.mma_f32_into(a, b, r0, rows, c0, cols, ck0, klen, acc);
+            ck0 += klen;
+        }
+    }
+
+    /// The FP32C counterpart of
+    /// [`mma_f32_panel_into`](DotProductUnit::mma_f32_panel_into):
+    /// executes `[k0, kend)` in `frag_k`-deep chunks, bit-identical to
+    /// the per-chunk loop, with full 8-column rows dispatched to the
+    /// complex SIMD row kernels when a vector level is active.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_c32_panel_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        assert_eq!(a.mode, MxuMode::M3xuFp32c, "a is not FP32C-packed");
+        assert_eq!(b.mode, MxuMode::M3xuFp32c, "b is not FP32C-packed");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        assert!(frag_k > 0, "fragment depth must be positive");
+        let kend = kend.min(a.len);
+        let level = simd::level();
+        if level != simd::SimdLevel::Scalar
+            && cols == simd::COLS
+            && frag_k == 1
+            && !a.transposed
+            && b.transposed
+        {
+            self.simd_panel_c32(level, a, b, r0, rows, c0, k0, kend, acc);
+            return;
+        }
+        let mut ck0 = k0;
+        while ck0 < kend {
+            let klen = frag_k.min(kend - ck0);
+            self.mma_c32_into(a, b, r0, rows, c0, cols, ck0, klen, acc);
+            ck0 += klen;
+        }
+    }
+
+    /// SIMD body of the real-mode panel: per row, per chunk, form the
+    /// `klen` whole products for all 8 columns with one vector pass, then
+    /// round each column's exact chunk value. Any column the exact window
+    /// cannot absorb (specials, wide exponent spread) falls back to the
+    /// scalar element path for that one (element, chunk) — the shared
+    /// [`scalar_element_real`] — so results match the scalar pipeline bit
+    /// for bit no matter which path each element took.
+    /// Dispatch the FP32 panel body compiled for the active vector level.
+    /// The AVX2 wrapper carries `#[target_feature]` so the row-product
+    /// kernel inlines into the panel loop instead of paying a call and a
+    /// product store/reload per chunk.
+    #[allow(clippy::too_many_arguments)]
+    fn simd_panel_f32(
+        &mut self,
+        level: simd::SimdLevel,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f32],
+    ) {
+        match level {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `level` is clamped to the host's detected
+            // capability, so Avx2 here implies the CPU supports it.
+            simd::SimdLevel::Avx2 => unsafe {
+                self.simd_panel_f32_avx2(a, b, r0, rows, c0, k0, kend, frag_k, acc)
+            },
+            _ => self.simd_panel_f32_body(level, a, b, r0, rows, c0, k0, kend, frag_k, acc),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn simd_panel_f32_avx2(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f32],
+    ) {
+        self.simd_panel_f32_body(
+            simd::SimdLevel::Avx2,
+            a,
+            b,
+            r0,
+            rows,
+            c0,
+            k0,
+            kend,
+            frag_k,
+            acc,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn simd_panel_f32_body(
+        &mut self,
+        level: simd::SimdLevel,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f32],
+    ) {
+        let epe = a.epe;
+        let n = b.vecs;
+        let alen = a.len;
+        let mut prods = [[0f64; simd::COLS]; simd::MAX_KLEN];
+        for i in 0..rows {
+            let arow = &a.vals[(r0 + i) * alen..(r0 + i) * alen + alen];
+            let row_acc: &mut [f32; simd::COLS] = (&mut acc[i * simd::COLS..(i + 1) * simd::COLS])
+                .try_into()
+                .expect("panel accumulator row is exactly one fragment row");
+            let mut seeds = simd::RowSeeds::load(row_acc);
+            let mut ck0 = k0;
+            while ck0 < kend {
+                let klen = frag_k.min(kend - ck0);
+                simd::row_products(level, arow, &b.vals, n, c0, ck0, klen, &mut prods);
+                // Constant-depth dispatch: the rounding kernel fully
+                // unrolls for each chunk depth.
+                match klen {
+                    1 => self.simd_row_chunk::<1>(
+                        level, a, b, &prods, row_acc, &mut seeds, i, r0, c0, ck0, epe,
+                    ),
+                    2 => self.simd_row_chunk::<2>(
+                        level, a, b, &prods, row_acc, &mut seeds, i, r0, c0, ck0, epe,
+                    ),
+                    3 => self.simd_row_chunk::<3>(
+                        level, a, b, &prods, row_acc, &mut seeds, i, r0, c0, ck0, epe,
+                    ),
+                    4 => self.simd_row_chunk::<4>(
+                        level, a, b, &prods, row_acc, &mut seeds, i, r0, c0, ck0, epe,
+                    ),
+                    _ => unreachable!("fragment depth exceeds the SIMD kernel maximum"),
+                }
+                ck0 += klen;
+            }
+        }
+    }
+
+    /// One `T`-deep chunk across a fragment row's 8 columns: exact
+    /// rounding of each column's chunk value, with the per-(element,
+    /// chunk) scalar fallback.
+    ///
+    /// At the AVX2 level the whole accumulate — operand decode, window
+    /// anchoring, spread check, and the 128-bit shifted sum — runs
+    /// vectorised four columns per register; only the final
+    /// round-to-f32 (a handful of scalar ops per column) and any
+    /// fallback columns run scalar. Below AVX2 the per-column scalar
+    /// accumulate is used unchanged.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn simd_row_chunk<const T: usize>(
+        &mut self,
+        level: simd::SimdLevel,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        prods: &[[f64; simd::COLS]; simd::MAX_KLEN],
+        acc: &mut [f32; simd::COLS],
+        seeds: &mut simd::RowSeeds,
+        i: usize,
+        r0: usize,
+        c0: usize,
+        ck0: usize,
+        epe: usize,
+    ) {
+        let lanes = (T * epe * epe) as u64;
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = level;
+        // Each column's accumulator threads through consecutive chunks in
+        // decoded form (`seeds`): the rounded result's mantissa/power feed
+        // the next chunk's accumulate directly, and the f32 stores into
+        // `acc` sit off that loop-carried chain. The f32 value and the
+        // decoded form denote the same number, so the fallback arm (which
+        // reads and writes the f32) re-synchronises losslessly.
+        #[cfg(target_arch = "x86_64")]
+        if level == simd::SimdLevel::Avx2 {
+            let mut lo = [0u64; simd::COLS];
+            let mut hi = [0u64; simd::COLS];
+            let mut base = [0i64; simd::COLS];
+            // SAFETY: Avx2 here implies detected host support (levels are
+            // clamped at resolve/set time).
+            let okm = unsafe {
+                simd::x86::accumulate_chunk_avx2(T, prods, seeds, &mut lo, &mut hi, &mut base)
+            } & seeds.finite;
+            for (j, d) in acc.iter_mut().enumerate() {
+                if okm >> j & 1 == 1 {
+                    self.lane_ops += lanes;
+                    let sum = (((hi[j] as u128) << 64) | lo[j] as u128) as i128;
+                    let (sign, frac, weight, finite) = fast_round_parts(sum, base[j] as i32);
+                    *d = fast_round_assemble(sign, frac, weight, finite);
+                    seeds.set(
+                        j,
+                        simd::ChunkSeed {
+                            mant: frac,
+                            pow: weight,
+                            neg: sign != 0,
+                            finite,
+                        },
+                    );
+                } else {
+                    *d = scalar_element_real(
+                        self,
+                        *d,
+                        a.vec(r0 + i),
+                        b.vec(c0 + j),
+                        ck0,
+                        ck0 + T,
+                        epe,
+                        lanes,
+                    );
+                    seeds.set(j, simd::ChunkSeed::decode(*d));
+                }
+            }
+            return;
+        }
+        for (j, d) in acc.iter_mut().enumerate() {
+            let mut terms = [0f64; T];
+            for (t, term) in terms.iter_mut().enumerate() {
+                *term = prods[t][j];
+            }
+            let (sum, pmin, o) = simd::exact_chunk_accumulate_seeded(seeds.get(j), &terms);
+            if o {
+                self.lane_ops += lanes;
+                let (sign, frac, weight, finite) = fast_round_parts(sum, pmin);
+                *d = fast_round_assemble(sign, frac, weight, finite);
+                seeds.set(
+                    j,
+                    simd::ChunkSeed {
+                        mant: frac,
+                        pow: weight,
+                        neg: sign != 0,
+                        finite,
+                    },
+                );
+            } else {
+                *d = scalar_element_real(
+                    self,
+                    *d,
+                    a.vec(r0 + i),
+                    b.vec(c0 + j),
+                    ck0,
+                    ck0 + T,
+                    epe,
+                    lanes,
+                );
+                seeds.set(j, simd::ChunkSeed::decode(*d));
+            }
+        }
+    }
+
+    /// SIMD body of the FP32C panel (`frag_k == 1`): per row, per packed
+    /// element, form the four component product rows `a_R·b_R`, `a_I·b_I`,
+    /// `a_R·b_I`, `a_I·b_R` for all 8 columns, then round
+    /// `re + a_R·b_R - a_I·b_I` and `im + a_R·b_I + a_I·b_R` exactly.
+    /// Either component failing the exact window sends that (element,
+    /// chunk) to the shared [`scalar_element_c32`] fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn simd_panel_c32(
+        &mut self,
+        level: simd::SimdLevel,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        match level {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `level` is clamped to the host's detected
+            // capability, so Avx2 here implies the CPU supports it.
+            simd::SimdLevel::Avx2 => unsafe {
+                self.simd_panel_c32_avx2(a, b, r0, rows, c0, k0, kend, acc)
+            },
+            _ => self.simd_panel_c32_body(level, a, b, r0, rows, c0, k0, kend, acc),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn simd_panel_c32_avx2(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        self.simd_panel_c32_body(simd::SimdLevel::Avx2, a, b, r0, rows, c0, k0, kend, acc)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn simd_panel_c32_body(
+        &mut self,
+        level: simd::SimdLevel,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        let n = b.vecs;
+        let alen = a.len;
+        // B's value planes: real plane then imaginary plane, each k-major.
+        let (bre_plane, bim_plane) = b.vals.split_at(alen * n);
+        let mut prods = [[0f64; simd::COLS]; 4];
+        for i in 0..rows {
+            let arow = &a.vals[(r0 + i) * 2 * alen..(r0 + i) * 2 * alen + 2 * alen];
+            #[cfg(target_arch = "x86_64")]
+            if level == simd::SimdLevel::Avx2 {
+                self.simd_c32_row_avx2(a, b, bre_plane, bim_plane, arow, i, r0, c0, k0, kend, acc);
+                continue;
+            }
+            for k in k0..kend {
+                let (ar, ai) = (arow[2 * k], arow[2 * k + 1]);
+                let bre = &bre_plane[k * n + c0..k * n + c0 + simd::COLS];
+                let bim = &bim_plane[k * n + c0..k * n + c0 + simd::COLS];
+                simd::row_products_c32(level, ar, ai, bre, bim, &mut prods);
+                for j in 0..simd::COLS {
+                    let d = &mut acc[i * simd::COLS + j];
+                    let re = simd::exact_chunk_round(d.re, &[prods[0][j], prods[1][j]]);
+                    let im = simd::exact_chunk_round(d.im, &[prods[2][j], prods[3][j]]);
+                    match (re, im) {
+                        (Some(re), Some(im)) => {
+                            self.lane_ops += 16;
+                            *d = Complex::new(re, im);
+                        }
+                        _ => {
+                            *d = scalar_element_c32(
+                                self,
+                                *d,
+                                a.vec(r0 + i),
+                                b.vec(c0 + j),
+                                k,
+                                k + 1,
+                                16,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One FP32C fragment row of the AVX2 panel: both components'
+    /// accumulates run through the vectorised 128-bit window kernel
+    /// (`prods[0..2]` are the real component's terms — the product
+    /// kernel emits `-a_I·b_I` pre-negated — and `prods[2..4]` the
+    /// imaginary's), with the accumulator threaded across the `K`-loop
+    /// in decoded [`simd::RowSeeds`] form exactly like the FP32 panel.
+    /// Either component failing its window sends that (element, k) to
+    /// the whole-element scalar fallback, as in the scalar-accumulate
+    /// body.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn simd_c32_row_avx2(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        bre_plane: &[f32],
+        bim_plane: &[f32],
+        arow: &[f32],
+        i: usize,
+        r0: usize,
+        c0: usize,
+        k0: usize,
+        kend: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        let n = b.vecs;
+        let row = &mut acc[i * simd::COLS..(i + 1) * simd::COLS];
+        let mut re_acc = [0f32; simd::COLS];
+        let mut im_acc = [0f32; simd::COLS];
+        for (j, d) in row.iter().enumerate() {
+            re_acc[j] = d.re;
+            im_acc[j] = d.im;
+        }
+        let mut sre = simd::RowSeeds::load(&re_acc);
+        let mut sim = simd::RowSeeds::load(&im_acc);
+        let mut prods = [[0f64; simd::COLS]; 4];
+        let (mut lo_r, mut hi_r, mut base_r) =
+            ([0u64; simd::COLS], [0u64; simd::COLS], [0i64; simd::COLS]);
+        let (mut lo_i, mut hi_i, mut base_i) =
+            ([0u64; simd::COLS], [0u64; simd::COLS], [0i64; simd::COLS]);
+        for k in k0..kend {
+            let (ar, ai) = (arow[2 * k], arow[2 * k + 1]);
+            let bre = &bre_plane[k * n + c0..k * n + c0 + simd::COLS];
+            let bim = &bim_plane[k * n + c0..k * n + c0 + simd::COLS];
+            simd::row_products_c32(simd::SimdLevel::Avx2, ar, ai, bre, bim, &mut prods);
+            // SAFETY: this path is only entered at the Avx2 level, which
+            // is clamped to detected host capability.
+            let okm = unsafe {
+                let okr = simd::x86::accumulate_chunk_avx2(
+                    2,
+                    &prods[0..2],
+                    &sre,
+                    &mut lo_r,
+                    &mut hi_r,
+                    &mut base_r,
+                );
+                let oki = simd::x86::accumulate_chunk_avx2(
+                    2,
+                    &prods[2..4],
+                    &sim,
+                    &mut lo_i,
+                    &mut hi_i,
+                    &mut base_i,
+                );
+                okr & oki
+            } & sre.finite
+                & sim.finite;
+            for j in 0..simd::COLS {
+                if okm >> j & 1 == 1 {
+                    self.lane_ops += 16;
+                    let sr = (((hi_r[j] as u128) << 64) | lo_r[j] as u128) as i128;
+                    let (sg, fr, w, fin) = fast_round_parts(sr, base_r[j] as i32);
+                    re_acc[j] = fast_round_assemble(sg, fr, w, fin);
+                    sre.set(
+                        j,
+                        simd::ChunkSeed {
+                            mant: fr,
+                            pow: w,
+                            neg: sg != 0,
+                            finite: fin,
+                        },
+                    );
+                    let si = (((hi_i[j] as u128) << 64) | lo_i[j] as u128) as i128;
+                    let (sg, fr, w, fin) = fast_round_parts(si, base_i[j] as i32);
+                    im_acc[j] = fast_round_assemble(sg, fr, w, fin);
+                    sim.set(
+                        j,
+                        simd::ChunkSeed {
+                            mant: fr,
+                            pow: w,
+                            neg: sg != 0,
+                            finite: fin,
+                        },
+                    );
+                } else {
+                    let d = scalar_element_c32(
+                        self,
+                        Complex::new(re_acc[j], im_acc[j]),
+                        a.vec(r0 + i),
+                        b.vec(c0 + j),
+                        k,
+                        k + 1,
+                        16,
+                    );
+                    re_acc[j] = d.re;
+                    im_acc[j] = d.im;
+                    sre.set(j, simd::ChunkSeed::decode(d.re));
+                    sim.set(j, simd::ChunkSeed::decode(d.im));
+                }
+            }
+        }
+        for (j, d) in row.iter_mut().enumerate() {
+            *d = Complex::new(re_acc[j], im_acc[j]);
         }
     }
 

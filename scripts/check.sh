@@ -26,6 +26,21 @@ cargo test --release -q
 echo "== cross-validation: functional ExecStats vs analytical model (release)"
 cargo test --release -q --test cross_validation
 
+# SIMD gate: the parity and differential suites with the vector pipeline
+# at the auto-detected level and forced off (`M3XU_SIMD=0`, the scalar
+# oracle standing alone). The level is resolved once per process, hence
+# one cargo invocation per setting.
+for simd in 1 0; do
+    echo "== SIMD parity + differential suites under M3XU_SIMD=${simd}"
+    M3XU_SIMD=${simd} cargo test -q \
+        --test simd_parity --test simd_env --test differential_props
+done
+
+# Perf smoke gate (release): proves the vector path is engaged and still
+# clears a conservative speedup floor over the forced-scalar packed path.
+echo "== release perf smoke gate (M3XU_PERF_GATE=1)"
+M3XU_PERF_GATE=1 cargo test --release -q --test perf_smoke -- --nocapture
+
 # The differential property suite and the concurrency stress tests must
 # hold regardless of how the process-wide pool is sized, so run them at
 # both ends of the thread-count range (M3XU_THREADS is resolved once per

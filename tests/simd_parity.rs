@@ -1,0 +1,200 @@
+//! SIMD ≡ scalar differential parity: the packed pipeline must produce
+//! **bit-identical** output at every dispatch level the host supports —
+//! `Scalar` (the oracle path), `Sse2`, and `Avx2` — across awkward
+//! shapes, all five precisions, and operand payloads full of specials
+//! (NaN, ±Inf, ±0, subnormals) that force the per-element-chunk
+//! fallback.
+//!
+//! The dispatch level is a process-wide atomic, so every test that
+//! flips it serializes on [`LEVEL_LOCK`] and restores the entry level
+//! before releasing it.
+
+use std::sync::Mutex;
+
+use m3xu::kernels::gemm::{self, baseline, GemmPrecision};
+use m3xu::mxu::packed::simd::{self, SimdLevel};
+use m3xu::{Matrix, C32};
+
+/// Serializes tests that override the process-wide dispatch level.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Every level the host can actually run (always includes `Scalar`).
+fn host_levels() -> Vec<SimdLevel> {
+    let mut levels = vec![SimdLevel::Scalar];
+    for lvl in [SimdLevel::Sse2, SimdLevel::Avx2] {
+        simd::set_level(lvl);
+        if simd::level() == lvl {
+            levels.push(lvl);
+        }
+    }
+    levels
+}
+
+fn assert_bits_f32(got: &Matrix<f32>, want: &Matrix<f32>, what: &str) {
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            assert_eq!(
+                got.get(i, j).to_bits(),
+                want.get(i, j).to_bits(),
+                "{what}: ({i},{j}) {} vs {}",
+                got.get(i, j),
+                want.get(i, j),
+            );
+        }
+    }
+}
+
+fn assert_bits_c32(got: &Matrix<C32>, want: &Matrix<C32>, what: &str) {
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            let (g, w) = (got.get(i, j), want.get(i, j));
+            assert_eq!(
+                (g.re.to_bits(), g.im.to_bits()),
+                (w.re.to_bits(), w.im.to_bits()),
+                "{what}: ({i},{j})"
+            );
+        }
+    }
+}
+
+/// Shapes chosen against the kernel's geometry: unit and zero edges,
+/// primes, k below/straddling the fragment depth, and n off the 8-wide
+/// row kernel.
+const SHAPES: [(usize, usize, usize); 10] = [
+    (1, 1, 1),
+    (0, 5, 3),
+    (3, 0, 4),
+    (5, 7, 0),
+    (1, 9, 2),
+    (7, 11, 13),
+    (8, 8, 3),
+    (13, 17, 19),
+    (9, 23, 31),
+    (16, 15, 129),
+];
+
+/// Special payloads that must trip the fallback without breaking parity.
+const SPECIALS: [f32; 10] = [
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    0.0,
+    -0.0,
+    1.0e-44, // subnormal
+    -f32::MIN_POSITIVE,
+    f32::MAX,
+    -1.0e-38,
+    2.5,
+];
+
+#[test]
+fn gemm_bitwise_identical_across_levels_and_shapes() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let entry = simd::level();
+    let levels = host_levels();
+    for (case, &(m, n, k)) in SHAPES.iter().enumerate() {
+        let a = Matrix::<f32>::random(m, k, 0x5EED + case as u64);
+        let b = Matrix::<f32>::random(k, n, 0xB0B + case as u64);
+        let c = Matrix::<f32>::random(m, n, 0xACC + case as u64);
+        for precision in [
+            GemmPrecision::M3xuFp32,
+            GemmPrecision::Tf32,
+            GemmPrecision::Fp16,
+            GemmPrecision::Bf16,
+        ] {
+            let want = baseline::gemm_f32(precision, &a, &b, &c);
+            for &lvl in &levels {
+                simd::set_level(lvl);
+                let got = gemm::gemm_f32(precision, &a, &b, &c);
+                assert_bits_f32(
+                    &got.d,
+                    &want.d,
+                    &format!("{precision:?} {m}x{n}x{k} at {lvl:?}"),
+                );
+            }
+        }
+    }
+    simd::set_level(entry);
+}
+
+#[test]
+fn cgemm_bitwise_identical_across_levels_and_shapes() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let entry = simd::level();
+    let levels = host_levels();
+    for (case, &(m, n, k)) in SHAPES.iter().enumerate() {
+        let a = Matrix::random_c32(m, k, 0xC5EED + case as u64);
+        let b = Matrix::random_c32(k, n, 0xCB0B + case as u64);
+        let c = Matrix::random_c32(m, n, 0xCACC + case as u64);
+        let want = baseline::cgemm_c32(&a, &b, &c);
+        for &lvl in &levels {
+            simd::set_level(lvl);
+            let got = gemm::cgemm_c32(&a, &b, &c);
+            assert_bits_c32(&got.d, &want.d, &format!("c32 {m}x{n}x{k} at {lvl:?}"));
+        }
+    }
+    simd::set_level(entry);
+}
+
+#[test]
+fn specials_and_subnormals_force_identical_fallbacks() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let entry = simd::level();
+    let levels = host_levels();
+    let a = Matrix::from_fn(13, 9, |i, j| SPECIALS[(i * 7 + j) % SPECIALS.len()]);
+    let b = Matrix::from_fn(9, 17, |i, j| SPECIALS[(i + j * 3) % SPECIALS.len()]);
+    let c = Matrix::from_fn(13, 17, |i, j| SPECIALS[(i + j) % SPECIALS.len()]);
+    for precision in [GemmPrecision::M3xuFp32, GemmPrecision::Tf32] {
+        let want = baseline::gemm_f32(precision, &a, &b, &c);
+        for &lvl in &levels {
+            simd::set_level(lvl);
+            let got = gemm::gemm_f32(precision, &a, &b, &c);
+            assert_bits_f32(
+                &got.d,
+                &want.d,
+                &format!("{precision:?} specials at {lvl:?}"),
+            );
+        }
+    }
+    let ca = Matrix::from_fn(9, 6, |i, j| {
+        C32::new(
+            SPECIALS[(i + j) % SPECIALS.len()],
+            SPECIALS[(i * 3 + j) % SPECIALS.len()],
+        )
+    });
+    let cb = Matrix::from_fn(6, 11, |i, j| {
+        C32::new(
+            SPECIALS[(i * 5 + j) % SPECIALS.len()],
+            SPECIALS[(i + 2 * j) % SPECIALS.len()],
+        )
+    });
+    let cc = Matrix::<C32>::zeros(9, 11);
+    let want = baseline::cgemm_c32(&ca, &cb, &cc);
+    for &lvl in &levels {
+        simd::set_level(lvl);
+        let got = gemm::cgemm_c32(&ca, &cb, &cc);
+        assert_bits_c32(&got.d, &want.d, &format!("c32 specials at {lvl:?}"));
+    }
+    simd::set_level(entry);
+}
+
+/// Exponent spreads wider than the SIMD window (`~2^70`) must abort to
+/// the scalar oracle per element-chunk — mix tiny and huge magnitudes so
+/// both the spread abort and the in-window path occur within one GEMM.
+#[test]
+fn wide_exponent_spreads_stay_bitwise_identical() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let entry = simd::level();
+    let levels = host_levels();
+    let mags = [1.0e30f32, 1.0e-30, 3.0, 1.0e20, 5.0e-39, -2.0e25, 1.0e-10];
+    let a = Matrix::from_fn(11, 14, |i, j| mags[(i * 5 + j) % mags.len()]);
+    let b = Matrix::from_fn(14, 10, |i, j| mags[(i + j * 7) % mags.len()]);
+    let c = Matrix::<f32>::zeros(11, 10);
+    let want = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+    for &lvl in &levels {
+        simd::set_level(lvl);
+        let got = gemm::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_bits_f32(&got.d, &want.d, &format!("wide spread at {lvl:?}"));
+    }
+    simd::set_level(entry);
+}
