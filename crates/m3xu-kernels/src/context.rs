@@ -201,6 +201,30 @@ impl ExecStats {
         t
     }
 
+    /// Element-wise sum of two snapshots — the aggregation a sharded
+    /// service uses to present N per-shard contexts as one counter set
+    /// (Σ shard `ExecStats` is what per-tenant accounting reconciles
+    /// against).
+    pub fn merged(&self, other: &ExecStats) -> ExecStats {
+        let mut per_mode = [MmaStats::default(); 7];
+        for (i, d) in per_mode.iter_mut().enumerate() {
+            *d = self.per_mode[i];
+            d.merge(&other.per_mode[i]);
+        }
+        ExecStats {
+            gemm_calls: self.gemm_calls + other.gemm_calls,
+            tiles: self.tiles + other.tiles,
+            fragments: self.fragments + other.fragments,
+            operand_bytes: self.operand_bytes + other.operand_bytes,
+            pack_ns: self.pack_ns + other.pack_ns,
+            exec_ns: self.exec_ns + other.exec_ns,
+            faults_detected: self.faults_detected + other.faults_detected,
+            faults_corrected: self.faults_corrected + other.faults_corrected,
+            fault_retries: self.fault_retries + other.fault_retries,
+            per_mode,
+        }
+    }
+
     /// Element-wise saturating difference `self - earlier`: the activity
     /// between two snapshots of the same (monotone) counter set.
     pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {

@@ -39,6 +39,24 @@ pub enum ServeError {
         /// Remaining cooldown when the request was shed, in nanoseconds.
         retry_after_ns: u64,
     },
+    /// The tenant's token bucket was empty ([`RateLimit`]); the request
+    /// was shed at admission without queueing. Counts as a rejection in
+    /// the tenant's conservation law.
+    ///
+    /// [`RateLimit`]: crate::RateLimit
+    RateLimited {
+        /// Time until the bucket refills one token, in nanoseconds.
+        retry_after_ns: u64,
+    },
+    /// The service could not spawn a shard scheduler thread at
+    /// construction time ([`M3xuServe::try_new`]) — typically resource
+    /// exhaustion. The service was torn down; nothing was started.
+    ///
+    /// [`M3xuServe::try_new`]: crate::M3xuServe::try_new
+    SpawnFailed {
+        /// The OS error, stringified.
+        reason: String,
+    },
     /// The kernel rejected the request at execution time; the inner
     /// [`M3xuError`] is exactly what a direct context call would return.
     Exec(M3xuError),
@@ -59,6 +77,15 @@ impl fmt::Display for ServeError {
                     f,
                     "tenant circuit breaker open (retry after {retry_after_ns} ns)"
                 )
+            }
+            ServeError::RateLimited { retry_after_ns } => {
+                write!(
+                    f,
+                    "tenant rate limit exceeded (retry after {retry_after_ns} ns)"
+                )
+            }
+            ServeError::SpawnFailed { reason } => {
+                write!(f, "failed to spawn a shard scheduler thread: {reason}")
             }
             ServeError::Exec(e) => write!(f, "execution rejected: {e}"),
         }
@@ -103,6 +130,14 @@ mod tests {
         assert!(ServeError::BreakerOpen { retry_after_ns: 99 }
             .to_string()
             .contains("99"));
+        assert!(ServeError::RateLimited { retry_after_ns: 55 }
+            .to_string()
+            .contains("55"));
+        assert!(ServeError::SpawnFailed {
+            reason: "out of threads".into()
+        }
+        .to_string()
+        .contains("out of threads"));
     }
 
     #[test]

@@ -1,28 +1,44 @@
-//! A multi-tenant serving layer over the M3XU execution context.
+//! A multi-tenant serving layer over sharded M3XU execution contexts.
 //!
 //! The kernels crate answers "how do we compute an FP32/FP32C GEMM on a
-//! low-precision MXU"; this crate answers "how do many clients share one
-//! emulated MXU". [`M3xuServe`] owns an [`M3xuContext`] (worker pool +
-//! counter sink), a bounded submission queue, and a scheduler thread:
+//! low-precision MXU"; this crate answers "how do many clients share the
+//! emulated MXUs". [`M3xuServe`] owns N shards — each an [`M3xuContext`]
+//! (worker pool + counter sink), a bounded priority queue, and a
+//! scheduler thread — plus tenant-affine routing between them:
 //!
 //! * **admission** — [`M3xuServe::try_submit_gemm_f32`] and friends
-//!   reject with typed [`ServeError::QueueFull`] when the queue is at
-//!   capacity; the `submit_*` forms block for space instead. Requests may
-//!   carry a deadline; the scheduler drops expired ones with
-//!   [`ServeError::Deadline`] without executing them.
-//! * **scheduling** — drained requests classify by output-tile count:
-//!   small ones are *batched* into a single worker-pool epoch (one
-//!   request per task, executing inline on its worker), large ones run
-//!   one at a time so the kernel's tile-wise sharding spreads each across
-//!   the whole pool. Both paths make exactly the calls a direct
-//!   [`M3xuContext`] user would, so served results are **bit-identical**
-//!   to unserved ones — a property the workspace's differential tests
-//!   assert.
+//!   reject with typed [`ServeError::QueueFull`] when the routed shard's
+//!   queue is at capacity; the `submit_*` forms block for space instead.
+//!   Admission layers three sheds: a per-tenant circuit breaker
+//!   ([`ServeError::BreakerOpen`]), a per-tenant token-bucket
+//!   [`RateLimit`] ([`ServeError::RateLimited`]), and queue
+//!   backpressure. Requests may carry a deadline and a [`Priority`]
+//!   class; the scheduler drops expired requests with
+//!   [`ServeError::Deadline`] — including ones that finished executing
+//!   past their deadline, which are classified `deadline_missed`, never
+//!   `completed`.
+//! * **routing** — a tenant hashes (FNV-1a) to one shard, so a tenant's
+//!   requests drain FIFO within their priority class on one context. An
+//!   idle shard *steals* queued work from loaded siblings, so hot-tenant
+//!   skew cannot strand capacity.
+//! * **scheduling** — each shard batches *adaptively*
+//!   ([`BatchPolicy::Adaptive`]): drained small requests are folded into
+//!   a single worker-pool epoch only when the batch is cache-resident
+//!   (pooling then amortises per-request scheduling overhead at any
+//!   parallelism) or an observed-cost model predicts a genuine parallel
+//!   win — on a 1-CPU host a batch of big GEMMs never pools, the exact
+//!   regression unconditional batching produced. Large requests run one
+//!   at a time so the kernel's
+//!   tile-wise sharding spreads each across the whole pool. Every path
+//!   makes exactly the calls a direct [`M3xuContext`] user would, so
+//!   served results are **bit-identical** to unserved ones — a property
+//!   the workspace's differential tests assert.
 //! * **accounting** — every outcome is recorded into the submitting
 //!   tenant's [`TenantStats`]: request counts by disposition, MMA
-//!   instructions and steps, rule-(c) operand bytes, queue wait and
-//!   execution wall time. Summed over tenants these reproduce the shared
-//!   context's [`ExecStats`] totals.
+//!   instructions and steps, rule-(c) operand bytes, queue wait,
+//!   execution wall time (final attempt only), and retry time. Summed
+//!   over tenants these reproduce the summed per-shard [`ExecStats`]
+//!   totals, at every shard count.
 //! * **fault tolerance** — arming [`ServeConfig::fault_plan`] routes
 //!   FP32/FP32C GEMMs through the ABFT-checked self-healing driver.
 //!   Requests that still fail with `FaultDetected` are retried with
@@ -31,7 +47,7 @@
 //!   ([`ServeError::BreakerOpen`] at admission); a service-wide streak
 //!   switches scheduling into a degraded serial mode until a request
 //!   succeeds. Fault telemetry lands in both [`TenantStats`] and the
-//!   context's [`ExecStats`].
+//!   shards' [`ExecStats`].
 //!
 //! ```
 //! use m3xu_serve::{M3xuServe, ServeConfig, SubmitOpts};
@@ -53,12 +69,14 @@
 #![deny(missing_docs)]
 
 mod error;
+pub mod openloop;
 mod queue;
 mod scheduler;
 mod tenant;
 
 pub use error::ServeError;
-pub use tenant::TenantStats;
+pub use queue::Priority;
+pub use tenant::{RateLimit, TenantStats};
 
 // The types that cross the service boundary, re-exported so clients can
 // depend on `m3xu-serve` alone.
@@ -68,8 +86,8 @@ pub use m3xu_kernels::gemm::{GemmPrecision, GemmResult};
 pub use m3xu_kernels::{FaultPlan, FaultSummary};
 pub use m3xu_mxu::mma::MmaStats;
 
-use crate::queue::{Request, SubmitQueue, Work};
-use crate::scheduler::{ExecPolicy, SchedulerCore};
+use crate::queue::{Request, ShardSet, Work};
+use crate::scheduler::{CostModel, ExecPolicy, ShardCore, SharedSched};
 use crate::tenant::TenantRegistry;
 use m3xu_mxu::matrix::Matrix;
 use std::sync::atomic::AtomicU32;
@@ -78,22 +96,54 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// When does a shard fold a drained batch of small requests into one
+/// worker-pool epoch instead of running them back to back on its own
+/// thread?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Batch when the drained batch is cache-resident (one pooled epoch
+    /// amortises the per-request scheduling overhead serial dispatch
+    /// pays) or when the shard's observed-cost model predicts the pooled
+    /// epoch beats serial dispatch by a safety margin (which a batch of
+    /// big GEMMs never does when effective parallelism is 1). The
+    /// production default.
+    #[default]
+    Adaptive,
+    /// Always pool drained batches — the pre-adaptive behaviour; the
+    /// differential tests use it to pin the pooled path.
+    Always,
+    /// Never pool; every request runs inline on its shard thread (the
+    /// kernel still spreads *large* requests across the pool).
+    Never,
+}
+
 /// Construction-time policy for [`M3xuServe`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads for this service's private pool; `0` shares the
-    /// process-wide pool (whose size `M3XU_THREADS` fixes at first use).
+    /// Shard count: independent contexts + queues + scheduler threads
+    /// with tenant-affine routing between them. `0` is treated as `1`.
+    pub shards: usize,
+    /// Worker threads for *each shard's* private pool; `0` shares the
+    /// process-wide pool (whose size `M3XU_THREADS` fixes at first use)
+    /// across all shards.
     pub workers: usize,
-    /// Bounded queue capacity; `try_submit_*` rejects past it.
+    /// Bounded queue capacity *per shard*; `try_submit_*` rejects past
+    /// it.
     pub queue_capacity: usize,
-    /// Most requests the scheduler drains per batch.
+    /// Most requests a shard drains (or steals) per batch.
     pub max_batch: usize,
-    /// Output-tile threshold between the batched path (`<=`, whole
-    /// request as one pool task) and the sharded path (`>`, kernel
-    /// spreads its tiles across the pool). The default, 4096 tiles,
-    /// batches anything up to a 512x512 output.
+    /// Output-tile threshold between the small path (`<=`, whole request
+    /// as one unit, pooled or inline per [`BatchPolicy`]) and the sharded
+    /// path (`>`, kernel spreads its tiles across the pool). The default,
+    /// 4096 tiles, classes anything up to a 512x512 output as small.
     pub shard_tiles: usize,
-    /// Fault-injection plan armed on the service's context. `None` (the
+    /// Small-batch dispatch policy; see [`BatchPolicy`].
+    pub batching: BatchPolicy,
+    /// Default per-tenant admission rate limit; `None` (the default)
+    /// admits freely. Individual tenants can be overridden with
+    /// [`M3xuServe::set_rate_limit`].
+    pub rate_limit: Option<RateLimit>,
+    /// Fault-injection plan armed on every shard's context. `None` (the
     /// default) keeps the production drivers: zero checksum work,
     /// bit-identical results. Arming a plan routes FP32/FP32C GEMMs
     /// through the ABFT-checked self-healing driver and activates the
@@ -118,10 +168,13 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: 1,
             workers: 0,
             queue_capacity: 64,
             max_batch: 32,
             shard_tiles: 4096,
+            batching: BatchPolicy::Adaptive,
+            rate_limit: None,
             fault_plan: None,
             max_retries: 2,
             retry_backoff: Duration::from_micros(100),
@@ -136,8 +189,12 @@ impl Default for ServeConfig {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SubmitOpts {
     /// Drop the request (with [`ServeError::Deadline`]) if it is still
-    /// queued this long after submission.
+    /// queued this long after submission — or if it *completes* later
+    /// than this (an executed-but-late request counts as
+    /// `deadline_missed`, with `late_ns` measured from completion).
     pub deadline: Option<Duration>,
+    /// Queue-ordering class; see [`Priority`].
+    pub priority: Priority,
 }
 
 /// A handle to one in-flight request's eventual result.
@@ -159,35 +216,50 @@ impl<T> Ticket<T> {
     }
 }
 
-/// The serving front end: submission API, scheduler thread, execution
-/// context, and per-tenant accounting. Share it across client threads by
-/// reference (or `Arc`); dropping it shuts the scheduler down, rejecting
-/// anything still queued.
+/// The serving front end: submission API, shard scheduler threads,
+/// execution contexts, and per-tenant accounting. Share it across client
+/// threads by reference (or `Arc`); dropping it shuts the shards down,
+/// rejecting anything still queued.
 pub struct M3xuServe {
-    ctx: Arc<M3xuContext>,
-    queue: Arc<SubmitQueue>,
+    contexts: Vec<Arc<M3xuContext>>,
+    set: Arc<ShardSet>,
     registry: TenantRegistry,
-    scheduler: Option<JoinHandle<()>>,
+    default_limit: Option<RateLimit>,
+    schedulers: Vec<JoinHandle<()>>,
+}
+
+/// FNV-1a over the tenant name — the shard router. Stable across runs,
+/// so a tenant's affinity is deterministic.
+fn tenant_shard(tenant: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
 }
 
 impl M3xuServe {
-    /// Build a service with `config` and start its scheduler thread.
-    pub fn new(config: ServeConfig) -> Self {
-        let mut ctx = if config.workers == 0 {
-            M3xuContext::new()
-        } else {
-            M3xuContext::with_threads(config.workers)
-        };
-        if let Some(plan) = &config.fault_plan {
-            ctx = ctx.with_fault_plan(Arc::clone(plan));
+    /// Build a service with `config` and start one scheduler thread per
+    /// shard. Fails with [`ServeError::SpawnFailed`] — tearing down
+    /// anything already started — if the OS refuses a thread.
+    pub fn try_new(config: ServeConfig) -> Result<Self, ServeError> {
+        let shards = config.shards.max(1);
+        let mut contexts = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut ctx = if config.workers == 0 {
+                M3xuContext::new()
+            } else {
+                M3xuContext::with_threads(config.workers)
+            };
+            if let Some(plan) = &config.fault_plan {
+                ctx = ctx.with_fault_plan(Arc::clone(plan));
+            }
+            contexts.push(Arc::new(ctx));
         }
-        let ctx = Arc::new(ctx);
-        let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
-        let core = SchedulerCore {
-            ctx: Arc::clone(&ctx),
-            queue: Arc::clone(&queue),
-            max_batch: config.max_batch.max(1),
-            shard_tiles: config.shard_tiles.max(1),
+        let set = Arc::new(ShardSet::new(shards, config.queue_capacity));
+        let shared = Arc::new(SharedSched {
+            set: Arc::clone(&set),
             policy: ExecPolicy {
                 max_retries: config.max_retries,
                 retry_backoff: config.retry_backoff,
@@ -195,22 +267,53 @@ impl M3xuServe {
                 breaker_cooldown: config.breaker_cooldown,
                 degraded_after: config.degraded_after,
             },
+            batching: config.batching,
+            max_batch: config.max_batch.max(1),
+            shard_tiles: config.shard_tiles.max(1),
             fault_streak: AtomicU32::new(0),
-        };
-        let scheduler = std::thread::Builder::new()
-            .name("m3xu-serve-scheduler".into())
-            .spawn(move || core.run_loop())
-            .expect("spawn m3xu-serve scheduler thread");
-        M3xuServe {
-            ctx,
-            queue,
-            registry: TenantRegistry::default(),
-            scheduler: Some(scheduler),
+        });
+        let mut schedulers = Vec::with_capacity(shards);
+        for (index, ctx) in contexts.iter().enumerate() {
+            let core = ShardCore {
+                index,
+                ctx: Arc::clone(ctx),
+                shared: Arc::clone(&shared),
+                cost: CostModel::for_context(ctx),
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("m3xu-serve-shard{index}"))
+                .spawn(move || core.run_loop());
+            match spawned {
+                Ok(h) => schedulers.push(h),
+                Err(e) => {
+                    // Tear down cleanly: wake and join whatever started.
+                    set.shutdown();
+                    for h in schedulers {
+                        let _ = h.join();
+                    }
+                    return Err(ServeError::SpawnFailed {
+                        reason: e.to_string(),
+                    });
+                }
+            }
         }
+        Ok(M3xuServe {
+            contexts,
+            set,
+            registry: TenantRegistry::default(),
+            default_limit: config.rate_limit,
+            schedulers,
+        })
+    }
+
+    /// [`M3xuServe::try_new`], panicking on the (construction-only)
+    /// [`ServeError::SpawnFailed`].
+    pub fn new(config: ServeConfig) -> Self {
+        M3xuServe::try_new(config).unwrap_or_else(|e| panic!("M3xuServe::new: {e}"))
     }
 
     /// [`M3xuServe::new`] with a private `workers`-thread pool and default
-    /// queue/batch policy.
+    /// shard/queue/batch policy.
     pub fn with_workers(workers: usize) -> Self {
         M3xuServe::new(ServeConfig {
             workers,
@@ -230,27 +333,31 @@ impl M3xuServe {
         let account = self.registry.account(tenant);
         account.record_submitted();
         let now = Instant::now();
-        // Load shedding: an open breaker rejects at admission, before the
-        // request can occupy queue space. Counts as a rejection, so the
-        // tenant's conservation law is unaffected.
+        // Load shedding, cheapest check first: an open breaker rejects at
+        // admission, before the request can occupy queue space; then the
+        // token bucket. Both count as rejections, so the tenant's
+        // conservation law is unaffected.
         if let Some(wait) = account.breaker_blocked(now) {
             account.record_rejected();
             return Err(ServeError::BreakerOpen {
                 retry_after_ns: wait.as_nanos() as u64,
             });
         }
+        if let Some(wait) = account.rate_check(now, self.default_limit) {
+            account.record_rejected();
+            return Err(ServeError::RateLimited {
+                retry_after_ns: wait.as_nanos() as u64,
+            });
+        }
+        let shard = tenant_shard(tenant, self.set.shard_count());
         let req = Request {
             tenant: account,
             enqueued: now,
             deadline: opts.deadline.map(|d| now + d),
+            priority: opts.priority,
             work,
         };
-        let pushed = if blocking {
-            self.queue.push_wait(req)
-        } else {
-            self.queue.try_push(req)
-        };
-        match pushed {
+        match self.set.push(shard, req, blocking) {
             Ok(()) => Ok(()),
             Err((req, e)) => {
                 req.tenant.record_rejected();
@@ -405,19 +512,48 @@ impl M3xuServe {
 
     /// Stop the service: flags shutdown, wakes every submitter parked in
     /// a blocking `submit_*` call (they fail with
-    /// [`ServeError::ShuttingDown`]), and lets the scheduler sweep
+    /// [`ServeError::ShuttingDown`]), and lets each shard sweep its
     /// still-queued requests with the same error. Idempotent; dropping
-    /// the service calls this implicitly and then joins the scheduler.
+    /// the service calls this implicitly and then joins the shards.
     pub fn shutdown(&self) {
-        self.queue.shutdown();
+        self.set.shutdown();
+    }
+
+    // ---- tenant policy -------------------------------------------------
+
+    /// Override one tenant's admission rate limit: `Some(l)` enforces
+    /// `l`, `None` makes the tenant explicitly unlimited — either way the
+    /// service-wide [`ServeConfig::rate_limit`] default no longer applies
+    /// to it.
+    pub fn set_rate_limit(&self, tenant: &str, limit: Option<RateLimit>) {
+        self.registry.account(tenant).set_rate_limit(limit);
     }
 
     // ---- observability -------------------------------------------------
 
-    /// The shared execution context's cumulative [`ExecStats`] (see its
-    /// relaxed-ordering caveat for snapshots under concurrency).
+    /// Cumulative [`ExecStats`] summed over every shard's context (see
+    /// the relaxed-ordering caveat for snapshots under concurrency).
     pub fn exec_stats(&self) -> ExecStats {
-        self.ctx.stats()
+        let mut total = ExecStats::default();
+        for ctx in &self.contexts {
+            total = total.merged(&ctx.stats());
+        }
+        total
+    }
+
+    /// Number of shards (contexts / queues / scheduler threads).
+    pub fn shard_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// One shard's cumulative [`ExecStats`]; `None` past the shard count.
+    pub fn shard_stats(&self, shard: usize) -> Option<ExecStats> {
+        self.contexts.get(shard).map(|c| c.stats())
+    }
+
+    /// The shard `tenant` routes to.
+    pub fn shard_of(&self, tenant: &str) -> usize {
+        tenant_shard(tenant, self.contexts.len())
     }
 
     /// One tenant's accounting; `None` if it has never submitted.
@@ -435,34 +571,60 @@ impl M3xuServe {
         self.registry.totals()
     }
 
-    /// Requests currently queued (not yet drained by the scheduler).
+    /// Requests currently queued across all shards (not yet drained by a
+    /// scheduler).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.set.len()
     }
 
-    /// The bounded queue's capacity.
+    /// The bounded per-shard queue capacity.
     pub fn queue_capacity(&self) -> usize {
-        self.queue.capacity()
+        self.set.shard(0).capacity()
     }
 
-    /// Worker threads the execution context runs on.
+    /// Worker threads each shard's execution context runs on.
     pub fn workers(&self) -> usize {
-        self.ctx.threads()
+        self.contexts[0].threads()
     }
 
-    /// The underlying execution context — for metering (`delta_since`
+    /// Shard 0's execution context — for metering (`delta_since`
     /// regions) or for direct calls that bypass queueing and per-tenant
-    /// accounting (the context's counters still record them).
+    /// accounting (that shard's counters still record them). With
+    /// multiple shards, prefer [`M3xuServe::shard_stats`] /
+    /// [`M3xuServe::exec_stats`] for observability.
     pub fn context(&self) -> &M3xuContext {
-        &self.ctx
+        &self.contexts[0]
     }
 }
 
 impl Drop for M3xuServe {
     fn drop(&mut self) {
-        self.queue.shutdown();
-        if let Some(h) = self.scheduler.take() {
+        self.set.shutdown();
+        for h in self.schedulers.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod router_tests {
+    use super::tenant_shard;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 8] {
+            for t in ["alice", "bob", "tenant-00017", ""] {
+                let s = tenant_shard(t, shards);
+                assert!(s < shards);
+                assert_eq!(s, tenant_shard(t, shards), "deterministic");
+            }
+        }
+        // With one shard everything routes to it.
+        assert_eq!(tenant_shard("anyone", 1), 0);
+        // FNV actually spreads distinct tenants at 8 shards.
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|i| tenant_shard(&format!("tenant-{i}"), 8))
+            .collect();
+        assert!(spread.len() >= 4, "expected spread, got {spread:?}");
     }
 }

@@ -1,11 +1,21 @@
-//! The bounded submission queue and the request model.
+//! The sharded submission queues and the request model.
 //!
-//! Admission control happens here: [`SubmitQueue::try_push`] rejects with
-//! [`ServeError::QueueFull`] when the queue is at capacity (typed
-//! backpressure the client can route on), while [`SubmitQueue::push_wait`]
-//! blocks the submitter until space frees — the two standard load-shedding
-//! postures. The scheduler drains requests in FIFO order, up to the
-//! configured batch size per epoch.
+//! Admission control happens here. Each shard owns a bounded queue of
+//! three priority classes ([`Priority`]); [`ShardQueue::try_push`]
+//! rejects with [`ServeError::QueueFull`] when that shard is at capacity
+//! (typed backpressure the client can route on), while
+//! [`ShardQueue::push_wait`] blocks the submitter until space frees — the
+//! two standard load-shedding postures. Tenants route to shards by hash
+//! (tenant-affine: one tenant's requests land on one shard's context and
+//! drain in FIFO order within a priority class), and shard schedulers
+//! whose own queue is empty *steal* from their siblings through the same
+//! [`ShardSet`] handle, so an idle shard never watches a loaded one
+//! queue.
+//!
+//! Wakeup protocol: every push bumps a generation counter on one shared
+//! condvar ([`ShardSet::wait_for_work`]) so *any* sleeping shard
+//! scheduler — not just the affine one — can wake and steal. Blocking
+//! submitters park on their shard's own `space` condvar.
 
 use crate::error::ServeError;
 use crate::tenant::TenantAccount;
@@ -17,6 +27,35 @@ use std::collections::VecDeque;
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Scheduling priority of one request. Within a shard, queued requests
+/// drain strictly by class (all `High` before any `Normal` before any
+/// `Low`), FIFO within a class. Priorities order the *queue*, not the
+/// MXU: an already-executing low-priority request is never preempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Drained before everything else.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Drained only when no higher class is queued.
+    Low,
+}
+
+/// Number of priority classes (the length of a shard's queue array).
+pub(crate) const PRIORITY_CLASSES: usize = 3;
+
+impl Priority {
+    /// Index into a shard's per-class queue array, drain order.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
 
 /// One queued operation, with the reply channel its [`Ticket`](crate::Ticket)
 /// listens on. Reply senders are rendezvous-free (`sync_channel(1)`): the
@@ -56,9 +95,10 @@ pub(crate) enum Work {
 }
 
 impl Work {
-    /// Output tiles the request shards into (the small/large classifier).
-    /// An FFT decomposes into many small internal CGEMMs, so it always
-    /// batches as one unit.
+    /// Output tiles the request shards into (the small/large classifier,
+    /// also the unit of the adaptive batching cost model). An FFT
+    /// decomposes into many small internal CGEMMs, so it always counts as
+    /// one unit.
     pub(crate) fn output_tiles(&self) -> usize {
         let grid = |rows: usize, cols: usize| {
             let frag = MmaShape::BASELINE_FP16;
@@ -88,40 +128,60 @@ pub(crate) struct Request {
     pub tenant: Arc<TenantAccount>,
     /// When the request was accepted into the queue.
     pub enqueued: Instant,
-    /// Drop without executing if still queued past this instant.
+    /// Drop (or, post-execution, reclassify) the request if its result
+    /// cannot be delivered by this instant.
     pub deadline: Option<Instant>,
+    /// Queue-ordering class.
+    pub priority: Priority,
     /// The operation itself.
     pub work: Work,
 }
 
-struct QueueState {
-    items: VecDeque<Request>,
+struct ShardState {
+    classes: [VecDeque<Request>; PRIORITY_CLASSES],
+    len: usize,
     shutdown: bool,
 }
 
-/// A bounded MPSC queue: many submitters, one scheduler.
-pub(crate) struct SubmitQueue {
-    state: Mutex<QueueState>,
+impl ShardState {
+    /// Pop up to `max` requests in priority-then-FIFO order.
+    fn pop(&mut self, max: usize) -> Vec<Request> {
+        let mut out = Vec::new();
+        for class in &mut self.classes {
+            while out.len() < max {
+                match class.pop_front() {
+                    Some(r) => out.push(r),
+                    None => break,
+                }
+            }
+        }
+        self.len -= out.len();
+        out
+    }
+}
+
+/// One shard's bounded MPSC queue: many submitters, one (affine)
+/// scheduler, plus stealing siblings.
+pub(crate) struct ShardQueue {
+    state: Mutex<ShardState>,
     capacity: usize,
-    /// Scheduler waits here for work (or shutdown).
-    ready: Condvar,
     /// Blocking submitters wait here for space (or shutdown).
     space: Condvar,
 }
 
-fn lock(m: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+fn lock(m: &Mutex<ShardState>) -> MutexGuard<'_, ShardState> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-impl SubmitQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
-        SubmitQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            state: Mutex::new(ShardState {
+                classes: Default::default(),
+                len: 0,
                 shutdown: false,
             }),
             capacity: capacity.max(1),
-            ready: Condvar::new(),
             space: Condvar::new(),
         }
     }
@@ -131,7 +191,7 @@ impl SubmitQueue {
     }
 
     pub(crate) fn len(&self) -> usize {
-        lock(&self.state).items.len()
+        lock(&self.state).len
     }
 
     /// Non-blocking enqueue. On rejection the request is handed back with
@@ -139,12 +199,12 @@ impl SubmitQueue {
     // The large Err is the point: rejection must return ownership of the
     // request (operands included) so the submitter can resolve its ticket.
     #[allow(clippy::result_large_err)]
-    pub(crate) fn try_push(&self, req: Request) -> Result<(), (Request, ServeError)> {
+    fn try_push(&self, req: Request) -> Result<(), (Request, ServeError)> {
         let mut st = lock(&self.state);
         if st.shutdown {
             return Err((req, ServeError::ShuttingDown));
         }
-        if st.items.len() >= self.capacity {
+        if st.len >= self.capacity {
             return Err((
                 req,
                 ServeError::QueueFull {
@@ -152,65 +212,190 @@ impl SubmitQueue {
                 },
             ));
         }
-        st.items.push_back(req);
-        self.ready.notify_one();
+        st.classes[req.priority.index()].push_back(req);
+        st.len += 1;
         Ok(())
     }
 
     /// Blocking enqueue: waits for space instead of rejecting. Fails only
     /// on shutdown.
     #[allow(clippy::result_large_err)]
-    pub(crate) fn push_wait(&self, req: Request) -> Result<(), (Request, ServeError)> {
+    fn push_wait(&self, req: Request) -> Result<(), (Request, ServeError)> {
         let mut st = lock(&self.state);
-        while !st.shutdown && st.items.len() >= self.capacity {
+        while !st.shutdown && st.len >= self.capacity {
             st = self.space.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         if st.shutdown {
             return Err((req, ServeError::ShuttingDown));
         }
-        st.items.push_back(req);
-        self.ready.notify_one();
+        st.classes[req.priority.index()].push_back(req);
+        st.len += 1;
         Ok(())
     }
 
-    /// Scheduler side: block until at least one request is queued, then
-    /// drain up to `max` in FIFO order. Returns `None` once shutdown is
-    /// flagged (any still-queued requests are left for [`take_all`]).
-    ///
-    /// [`take_all`]: SubmitQueue::take_all
-    pub(crate) fn drain(&self, max: usize) -> Option<Vec<Request>> {
+    /// Scheduler side: non-blocking drain of up to `max` requests in
+    /// priority-then-FIFO order. Returns an empty vec when the shard has
+    /// nothing queued (the caller then tries stealing, then sleeps on the
+    /// set's work signal) — or once shutdown is flagged, so anything
+    /// still queued is swept with `ShuttingDown` instead of executed.
+    pub(crate) fn try_drain(&self, max: usize) -> Vec<Request> {
         let mut st = lock(&self.state);
-        loop {
-            if st.shutdown {
-                return None;
-            }
-            if !st.items.is_empty() {
-                let take = st.items.len().min(max.max(1));
-                let batch: Vec<Request> = st.items.drain(..take).collect();
-                // Space freed: wake every blocked submitter (they re-check
-                // capacity under the lock).
-                self.space.notify_all();
-                return Some(batch);
-            }
-            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        if st.shutdown {
+            return Vec::new();
         }
+        let batch = st.pop(max.max(1));
+        if !batch.is_empty() {
+            // Space freed: wake every blocked submitter (they re-check
+            // capacity under the lock).
+            self.space.notify_all();
+        }
+        batch
     }
 
-    /// Flag shutdown and wake everyone: the scheduler (to exit) and any
-    /// blocked submitters (to fail with [`ServeError::ShuttingDown`]).
-    pub(crate) fn shutdown(&self) {
+    /// Stealing sibling side: take up to half of this shard's queued
+    /// requests (at least one, at most `max`), same priority-then-FIFO
+    /// order the owner would use. FIFO order is preserved *per shard*,
+    /// not service-wide — the usual work-stealing tradeoff.
+    pub(crate) fn steal(&self, max: usize) -> Vec<Request> {
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Vec::new();
+        }
+        let take = st.len.div_ceil(2).min(max.max(1));
+        let batch = st.pop(take);
+        if !batch.is_empty() {
+            self.space.notify_all();
+        }
+        batch
+    }
+
+    fn shutdown(&self) {
         let mut st = lock(&self.state);
         st.shutdown = true;
-        self.ready.notify_all();
         self.space.notify_all();
     }
 
     /// Remove and return every queued request (the post-shutdown sweep).
     pub(crate) fn take_all(&self) -> Vec<Request> {
         let mut st = lock(&self.state);
-        let out: Vec<Request> = st.items.drain(..).collect();
+        let n = st.len;
+        let out = st.pop(n.max(1));
         self.space.notify_all();
         out
+    }
+}
+
+/// The work signal every shard scheduler sleeps on: a generation counter
+/// bumped by each push, so an idle scheduler wakes to drain *or steal*.
+struct WorkSignal {
+    generation: u64,
+    shutdown: bool,
+}
+
+/// The service's full queue complex: one [`ShardQueue`] per shard plus
+/// the shared ready signal.
+pub(crate) struct ShardSet {
+    shards: Vec<ShardQueue>,
+    signal: Mutex<WorkSignal>,
+    ready: Condvar,
+}
+
+/// What [`ShardSet::wait_for_work`] woke for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// The generation moved: something was pushed somewhere.
+    Work(u64),
+    /// Shutdown was flagged.
+    Shutdown,
+}
+
+impl ShardSet {
+    pub(crate) fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        ShardSet {
+            shards: (0..shards.max(1))
+                .map(|_| ShardQueue::new(capacity_per_shard))
+                .collect(),
+            signal: Mutex::new(WorkSignal {
+                generation: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn shard(&self, i: usize) -> &ShardQueue {
+        &self.shards[i]
+    }
+
+    /// Total queued requests across every shard.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn bump(&self) {
+        let mut sig = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+        sig.generation = sig.generation.wrapping_add(1);
+        self.ready.notify_all();
+    }
+
+    /// Current generation — read *before* scanning the queues, so a push
+    /// racing the scan is caught by [`ShardSet::wait_for_work`] returning
+    /// immediately.
+    pub(crate) fn generation(&self) -> u64 {
+        self.signal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .generation
+    }
+
+    /// Park until the generation moves past `seen` or shutdown is
+    /// flagged.
+    pub(crate) fn wait_for_work(&self, seen: u64) -> Wake {
+        let mut sig = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if sig.shutdown {
+                return Wake::Shutdown;
+            }
+            if sig.generation != seen {
+                return Wake::Work(sig.generation);
+            }
+            sig = self.ready.wait(sig).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Submitter side: enqueue on `shard`, non-blocking or waiting for
+    /// space, then wake the schedulers.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn push(
+        &self,
+        shard: usize,
+        req: Request,
+        blocking: bool,
+    ) -> Result<(), (Request, ServeError)> {
+        let q = &self.shards[shard];
+        if blocking {
+            q.push_wait(req)?;
+        } else {
+            q.try_push(req)?;
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Flag shutdown and wake everyone: the shard schedulers (to exit and
+    /// sweep their queues) and any blocked submitters (to fail with
+    /// [`ServeError::ShuttingDown`]).
+    pub(crate) fn shutdown(&self) {
+        for q in &self.shards {
+            q.shutdown();
+        }
+        let mut sig = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+        sig.shutdown = true;
+        self.ready.notify_all();
     }
 }
 
@@ -221,6 +406,7 @@ mod tests {
 
     fn dummy(
         n: usize,
+        priority: Priority,
     ) -> (
         Request,
         std::sync::mpsc::Receiver<Result<GemmResult<f32>, ServeError>>,
@@ -230,6 +416,7 @@ mod tests {
             tenant: Arc::new(TenantAccount::default()),
             enqueued: Instant::now(),
             deadline: None,
+            priority,
             work: Work::GemmF32 {
                 precision: GemmPrecision::M3xuFp32,
                 a: Matrix::zeros(n, n),
@@ -243,65 +430,124 @@ mod tests {
 
     #[test]
     fn try_push_rejects_when_full_with_capacity() {
-        let q = SubmitQueue::new(2);
-        let (r1, _k1) = dummy(1);
-        let (r2, _k2) = dummy(1);
-        let (r3, _k3) = dummy(1);
-        q.try_push(r1).map_err(|_| ()).unwrap();
-        q.try_push(r2).map_err(|_| ()).unwrap();
-        match q.try_push(r3) {
+        let set = ShardSet::new(1, 2);
+        for _ in 0..2 {
+            let (r, k) = dummy(1, Priority::Normal);
+            std::mem::forget(k);
+            set.push(0, r, false).map_err(|_| ()).unwrap();
+        }
+        let (r3, _k3) = dummy(1, Priority::Normal);
+        match set.push(0, r3, false) {
             Err((_, ServeError::QueueFull { capacity })) => assert_eq!(capacity, 2),
             _ => panic!("expected QueueFull"),
         }
-        assert_eq!(q.len(), 2);
+        assert_eq!(set.len(), 2);
     }
 
     #[test]
-    fn drain_is_fifo_and_bounded_by_max() {
-        let q = SubmitQueue::new(8);
-        for n in 1..=5 {
-            let (r, _k) = dummy(n);
-            std::mem::forget(_k);
-            q.try_push(r).map_err(|_| ()).unwrap();
+    fn drain_is_priority_then_fifo_and_bounded_by_max() {
+        let set = ShardSet::new(1, 8);
+        let order = [
+            (1, Priority::Low),
+            (2, Priority::Normal),
+            (3, Priority::High),
+            (4, Priority::Normal),
+            (5, Priority::High),
+        ];
+        for (n, p) in order {
+            let (r, k) = dummy(n, p);
+            std::mem::forget(k);
+            set.push(0, r, false).map_err(|_| ()).unwrap();
         }
-        let batch = q.drain(3).unwrap();
-        assert_eq!(batch.len(), 3);
-        let sizes: Vec<usize> = batch.iter().map(|r| r.work.output_tiles()).collect();
-        assert_eq!(sizes, vec![1, 1, 1]); // 1..=3 are all single-tile
-        assert_eq!(q.len(), 2);
+        // High first (3 then 5), then Normal FIFO (2), bounded at 3.
+        let batch = set.shard(0).try_drain(3);
+        let sizes: Vec<usize> = batch
+            .iter()
+            .map(|r| match &r.work {
+                Work::GemmF32 { a, .. } => a.rows(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes, vec![3, 5, 2]);
+        // Remainder: Normal (4) before Low (1).
+        let rest = set.shard(0).try_drain(8);
+        let sizes: Vec<usize> = rest
+            .iter()
+            .map(|r| match &r.work {
+                Work::GemmF32 { a, .. } => a.rows(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 1]);
+        assert_eq!(set.len(), 0);
     }
 
     #[test]
-    fn shutdown_unblocks_drain_and_rejects_pushes() {
-        let q = Arc::new(SubmitQueue::new(1));
-        let q2 = Arc::clone(&q);
-        let h = std::thread::spawn(move || q2.drain(4));
-        q.shutdown();
-        assert!(h.join().unwrap().is_none());
-        let (r, _k) = dummy(1);
-        match q.try_push(r) {
+    fn steal_takes_about_half_from_a_sibling() {
+        let set = ShardSet::new(2, 16);
+        for n in 1..=5 {
+            let (r, k) = dummy(n, Priority::Normal);
+            std::mem::forget(k);
+            set.push(0, r, false).map_err(|_| ()).unwrap();
+        }
+        let stolen = set.shard(0).steal(16);
+        assert_eq!(stolen.len(), 3, "ceil(5/2)");
+        assert_eq!(set.shard(0).len(), 2);
+        // The steal bound is respected too.
+        let stolen = set.shard(0).steal(1);
+        assert_eq!(stolen.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters_and_rejects_pushes() {
+        let set = Arc::new(ShardSet::new(2, 1));
+        let s2 = Arc::clone(&set);
+        let gen = set.generation();
+        let h = std::thread::spawn(move || s2.wait_for_work(gen));
+        set.shutdown();
+        assert_eq!(h.join().unwrap(), Wake::Shutdown);
+        let (r, _k) = dummy(1, Priority::Normal);
+        match set.push(0, r, false) {
             Err((_, ServeError::ShuttingDown)) => {}
             _ => panic!("expected ShuttingDown"),
         }
     }
 
     #[test]
+    fn push_wakes_sleeping_scheduler_via_generation() {
+        let set = Arc::new(ShardSet::new(2, 4));
+        let gen = set.generation();
+        let s2 = Arc::clone(&set);
+        let h = std::thread::spawn(move || s2.wait_for_work(gen));
+        // Push to shard 1: the waiter (conceptually shard 0's scheduler)
+        // must still wake — that is what enables stealing.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (r, k) = dummy(1, Priority::Normal);
+        std::mem::forget(k);
+        set.push(1, r, false).map_err(|_| ()).unwrap();
+        match h.join().unwrap() {
+            Wake::Work(g) => assert_ne!(g, gen),
+            Wake::Shutdown => panic!("unexpected shutdown"),
+        }
+    }
+
+    #[test]
     fn push_wait_blocks_until_space() {
-        let q = Arc::new(SubmitQueue::new(1));
-        let (r1, _k1) = dummy(1);
-        q.try_push(r1).map_err(|_| ()).unwrap();
-        let q2 = Arc::clone(&q);
+        let set = Arc::new(ShardSet::new(1, 1));
+        let (r1, _k1) = dummy(1, Priority::Normal);
+        set.push(0, r1, false).map_err(|_| ()).unwrap();
+        let s2 = Arc::clone(&set);
         let h = std::thread::spawn(move || {
-            let (r2, _k2) = dummy(2);
-            std::mem::forget(_k2);
-            q2.push_wait(r2).map_err(|_| ()).unwrap();
+            let (r2, k2) = dummy(2, Priority::Normal);
+            std::mem::forget(k2);
+            s2.push(0, r2, true).map_err(|_| ()).unwrap();
         });
         // Let the pusher block, then free space by draining.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let b = q.drain(1).unwrap();
+        let b = set.shard(0).try_drain(1);
         assert_eq!(b.len(), 1);
         h.join().unwrap();
-        assert_eq!(q.len(), 1);
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -1,16 +1,21 @@
-//! The scheduler: one thread that drains the queue and decides *how* each
-//! request reaches the worker pool.
+//! The per-shard schedulers: one thread per shard that drains its own
+//! queue (stealing from siblings when idle) and decides *how* each
+//! request reaches its shard's worker pool.
+//!
+//! # Dispatch paths
 //!
 //! Requests classify by output-tile count against the configured shard
 //! threshold:
 //!
-//! * **small** — the whole batch becomes a single worker-pool epoch via
+//! * **small** — when batching is predicted to win (see below), the
+//!   whole batch becomes a single worker-pool epoch via
 //!   [`M3xuContext::run_tasks`], one request per task. A GEMM issued from
 //!   inside a pool task executes inline on that worker (the pool's
 //!   reentrancy contract), so `w` workers retire `w` small requests
 //!   concurrently with *one* epoch's worth of synchronisation instead of
-//!   one epoch per request;
-//! * **large** — executed one at a time on the scheduler thread, so the
+//!   one epoch per request. Otherwise the batch runs serially inline on
+//!   the shard thread — no epoch at all;
+//! * **large** — executed one at a time on the shard thread, so the
 //!   kernel's own tile-wise sharding spreads a single big problem across
 //!   every worker.
 //!
@@ -18,18 +23,55 @@
 //! `try_gemm_fft` calls a direct-context caller would make, which is why
 //! served results are bit-identical to unserved ones.
 //!
+//! # Adaptive batching
+//!
+//! Unconditional epoch batching is exactly what produced the serve
+//! bench's sub-1.0 headline: on a host whose effective parallelism is 1,
+//! fanning a batch of *large* GEMMs into a multi-worker epoch runs many
+//! cache-hungry problems concurrently — they evict each other's working
+//! sets and lose to running back to back. But serial inline dispatch is
+//! not free either: each non-trivial request's kernel pays its own
+//! worker-pool epoch for tile sharding, so a batch of *small* requests
+//! run inline pays one epoch per request where a pooled batch pays one
+//! epoch total. Under [`BatchPolicy::Adaptive`] a drained batch is
+//! therefore pooled when either rule fires:
+//!
+//! 1. **cache residency** — every request in the batch is at or under
+//!    [`POOL_RESIDENT_TILES`] output tiles. Working sets that small
+//!    cannot thrash each other, so the single shared epoch is a pure
+//!    amortisation win at any parallelism (measured: ~1.1x over inline
+//!    on a 1-core host for 64^3..128^3 batches);
+//! 2. **predicted parallel win** — the shard's [`CostModel`] (an EWMA of
+//!    observed per-tile cost plus a once-measured empty-epoch overhead)
+//!    predicts
+//!
+//!    ```text
+//!    epoch_overhead + max(total_cost / parallelism, max_request_cost)
+//!        < total_cost * (1 - margin)
+//!    ```
+//!
+//!    where `parallelism = min(pool workers, available CPUs)`. With
+//!    parallelism 1 this rule can never fire, so batches of large
+//!    requests always dispatch inline on a saturated host — the
+//!    regression case.
+//!
+//! [`BatchPolicy::Always`] / [`BatchPolicy::Never`] force either path
+//! (the differential suites use them to pin both).
+//!
 //! # Fault handling
 //!
-//! When the context carries an armed fault plan, execution can fail with
-//! [`M3xuError::FaultDetected`] — the ABFT driver detected corruption it
-//! could not repair within its per-chunk retry budget. The scheduler owns
-//! the next three lines of defence:
+//! When a shard's context carries an armed fault plan, execution can fail
+//! with [`M3xuError::FaultDetected`] — the ABFT driver detected
+//! corruption it could not repair within its per-chunk retry budget. The
+//! scheduler owns the next three lines of defence:
 //!
 //! * **bounded retry** — each request is re-executed up to
 //!   [`ExecPolicy::max_retries`] more times with exponential backoff
 //!   (`retry_backoff * 2^attempt`). The checked driver re-salts every
 //!   invocation, so a retry re-rolls the fault schedule rather than
-//!   replaying it.
+//!   replaying it. Time burned on failed attempts and backoff sleeps is
+//!   kept out of the tenant's `exec_ns` (which charges only the final
+//!   attempt) and surfaced as `retry_ns`.
 //! * **circuit breaker** — a tenant whose requests keep failing with
 //!   `FaultDetected` (a streak of [`ExecPolicy::breaker_threshold`])
 //!   trips its breaker: subsequent submissions are shed at admission with
@@ -37,25 +79,39 @@
 //!   as rejections, so the per-tenant conservation law still holds.
 //! * **degraded mode** — a service-wide streak of
 //!   [`ExecPolicy::degraded_after`] consecutive fault-failed requests
-//!   switches scheduling to serial inline execution on the scheduler
-//!   thread (no epoch batching) until any request succeeds. A fault storm
-//!   thus quiesces the pool instead of churning it.
+//!   switches every shard to serial inline execution (no epoch batching)
+//!   until any request succeeds. A fault storm thus quiesces the pools
+//!   instead of churning them.
 //!
 //! Every invocation's [`FaultSummary`] — including those of failed
 //! attempts, recovered from the error's fields — is absorbed into the
 //! tenant account verbatim, so summed tenant fault counters reproduce the
-//! shared context's `ExecStats` fault counters exactly for GEMM/CGEMM
+//! summed shard `ExecStats` fault counters exactly for GEMM/CGEMM
 //! traffic. (FFT-internal faults are visible in the context's counters
 //! only: the FFT's CGEMM decomposition is checked and retried, but its
 //! per-call summaries are not surfaced through the FFT return type.)
+//!
+//! # Deadlines
+//!
+//! A request's deadline is checked three times: at drain (shed without
+//! executing), immediately pre-execution on the worker (shed without
+//! executing — it may have aged in a batch behind peers), and *after*
+//! execution. The last one is the subtle case: a request admitted to a
+//! batch can blow its deadline inside the batch behind larger peers. It
+//! executed — the MXU work is real and is attributed to the tenant so
+//! reconciliation stays exact — but it is classified `deadline_missed`,
+//! never `completed`, and its ticket resolves to
+//! [`ServeError::Deadline`] with `late_ns` measured from actual
+//! completion time.
 
 use crate::error::ServeError;
-use crate::queue::{Request, SubmitQueue, Work};
+use crate::queue::{Request, ShardSet, Wake, Work};
+use crate::BatchPolicy;
 use m3xu_kernels::context::M3xuContext;
 use m3xu_kernels::FaultSummary;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::modes::MxuMode;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -77,36 +133,171 @@ pub(crate) struct ExecPolicy {
     pub degraded_after: u32,
 }
 
-/// Everything the scheduler thread needs, shared with the service handle.
-pub(crate) struct SchedulerCore {
-    pub ctx: Arc<M3xuContext>,
-    pub queue: Arc<SubmitQueue>,
+/// State shared by every shard scheduler and the service handle.
+pub(crate) struct SharedSched {
+    pub set: Arc<ShardSet>,
+    pub policy: ExecPolicy,
+    pub batching: BatchPolicy,
     pub max_batch: usize,
     pub shard_tiles: usize,
-    pub policy: ExecPolicy,
     /// Consecutive requests (service-wide) whose every attempt failed
     /// with `FaultDetected`; any success resets it.
     pub fault_streak: AtomicU32,
 }
 
-impl SchedulerCore {
-    /// The scheduler thread body: drain → schedule, until shutdown, then
-    /// sweep whatever is still queued with [`ServeError::ShuttingDown`].
-    pub(crate) fn run_loop(&self) {
-        while let Some(batch) = self.queue.drain(self.max_batch) {
-            self.schedule(batch);
+/// Output-tile bound for the cache-residency pooling rule. A request at
+/// or under this many output tiles (a 128x128 FP32 output is 256; its
+/// GEMM touches ~192 KiB of operands) is small enough that a batch of
+/// them executing concurrently cannot evict each other's working sets,
+/// so pooling the batch trades one shared epoch for one kernel-internal
+/// epoch *per request* — a pure win at any parallelism. A 256^3 request
+/// (1024 tiles, ~768 KiB) is past it: several of those running
+/// concurrently on an oversubscribed host thrash — the measured 0.89x
+/// headline regression this policy exists to prevent.
+const POOL_RESIDENT_TILES: usize = 256;
+
+/// One shard's EWMA cost model, feeding the adaptive batching decision.
+/// All state is relaxed-atomic: a racy update loses one sample, never
+/// correctness (the decision it feeds is a heuristic).
+pub(crate) struct CostModel {
+    /// EWMA of observed per-output-tile execution cost, ns. `0` means no
+    /// estimate yet (adaptive batching then stays serial — the safe
+    /// default on this regression's host).
+    ns_per_tile: AtomicU64,
+    /// Once-measured cost of an empty worker-pool epoch, ns.
+    epoch_overhead_ns: u64,
+    /// Effective parallelism: pool workers capped by available CPUs.
+    parallelism: usize,
+}
+
+impl CostModel {
+    /// Build the model for `ctx`, measuring the empty-epoch overhead
+    /// (best of a few trials, so a scheduling hiccup can't poison it).
+    pub(crate) fn for_context(ctx: &M3xuContext) -> CostModel {
+        let workers = ctx.threads().max(1);
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut overhead = u64::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            ctx.run_tasks(workers, |_| {});
+            overhead = overhead.min(ns(t0, Instant::now()));
         }
-        for req in self.queue.take_all() {
+        CostModel {
+            ns_per_tile: AtomicU64::new(0),
+            epoch_overhead_ns: overhead,
+            parallelism: workers.min(cpus),
+        }
+    }
+
+    /// Fold one successful execution into the EWMA (`new = old*7/8 +
+    /// sample/8`).
+    fn observe(&self, exec_ns: u64, tiles: usize) {
+        let sample = exec_ns / tiles.max(1) as u64;
+        let old = self.ns_per_tile.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.ns_per_tile.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Predict whether pooling `batch` into one epoch beats running it
+    /// serially inline: cache-resident batches always pool (rule 1);
+    /// anything larger pools only on a predicted parallel win (rule 2).
+    /// Conservative on rule 2: with no estimate yet, a singleton batch,
+    /// or parallelism 1, serial wins by construction.
+    fn batch_wins(&self, batch: &[Request]) -> bool {
+        if batch.len() < 2 {
+            return false;
+        }
+        if batch
+            .iter()
+            .all(|r| r.work.output_tiles() <= POOL_RESIDENT_TILES)
+        {
+            return true;
+        }
+        if self.parallelism < 2 {
+            return false;
+        }
+        let per_tile = self.ns_per_tile.load(Ordering::Relaxed);
+        if per_tile == 0 {
+            return false;
+        }
+        let mut total: u128 = 0;
+        let mut max_cost: u128 = 0;
+        for req in batch {
+            let cost = req.work.output_tiles() as u128 * per_tile as u128;
+            total += cost;
+            max_cost = max_cost.max(cost);
+        }
+        let batched =
+            self.epoch_overhead_ns as u128 + (total / self.parallelism as u128).max(max_cost);
+        // Require a 10% predicted win before paying for an epoch.
+        batched * 10 < total * 9
+    }
+}
+
+/// One shard scheduler: its queue index, its own context (pool + scratch
+/// + stats sink), and the shared policy/signal state.
+pub(crate) struct ShardCore {
+    pub index: usize,
+    pub ctx: Arc<M3xuContext>,
+    pub shared: Arc<SharedSched>,
+    pub cost: CostModel,
+}
+
+impl ShardCore {
+    /// The shard thread body: drain own queue → steal from siblings →
+    /// sleep on the work signal, until shutdown; then sweep the own queue
+    /// with [`ServeError::ShuttingDown`].
+    pub(crate) fn run_loop(&self) {
+        let set = &self.shared.set;
+        let max_batch = self.shared.max_batch;
+        let mut seen = set.generation();
+        loop {
+            // Capture the generation *before* scanning: a push racing the
+            // scan moves it, so wait_for_work returns immediately.
+            let batch = set.shard(self.index).try_drain(max_batch);
+            if !batch.is_empty() {
+                self.schedule(batch);
+                continue;
+            }
+            let mut stole = false;
+            for victim in 0..set.shard_count() {
+                if victim == self.index {
+                    continue;
+                }
+                let batch = set.shard(victim).steal(max_batch);
+                if !batch.is_empty() {
+                    stole = true;
+                    self.schedule(batch);
+                    break;
+                }
+            }
+            if stole {
+                continue;
+            }
+            match set.wait_for_work(seen) {
+                Wake::Work(gen) => seen = gen,
+                Wake::Shutdown => break,
+            }
+        }
+        for req in set.shard(self.index).take_all() {
             req.tenant.record_rejected();
             req.work.reject(ServeError::ShuttingDown);
         }
     }
 
-    /// Dispatch one drained batch: shed expired deadlines, fold the small
-    /// requests into one pool epoch, run the large ones sharded. In
-    /// degraded mode (fault streak at or past the threshold) everything
-    /// runs serially on this thread instead.
+    /// Dispatch one drained batch: shed expired deadlines, then run the
+    /// small requests either as one pool epoch (when the batching policy
+    /// says it wins) or serially inline, and the large ones one at a time
+    /// sharded across the pool. In degraded mode (fault streak at or past
+    /// the threshold) everything runs serially.
     fn schedule(&self, batch: Vec<Request>) {
+        let shared = &*self.shared;
         let mut small = Vec::new();
         let mut large = Vec::new();
         let now = Instant::now();
@@ -119,24 +310,30 @@ impl SchedulerCore {
                     continue;
                 }
             }
-            if req.work.output_tiles() <= self.shard_tiles {
+            if req.work.output_tiles() <= shared.shard_tiles {
                 small.push(req);
             } else {
                 large.push(req);
             }
         }
-        let degraded = self.policy.degraded_after > 0
-            && self.fault_streak.load(Ordering::Relaxed) >= self.policy.degraded_after;
-        if degraded {
-            for req in small.iter().chain(large.iter()) {
-                execute(self, req);
-            }
-        } else {
+        let degraded = shared.policy.degraded_after > 0
+            && shared.fault_streak.load(Ordering::Relaxed) >= shared.policy.degraded_after;
+        let pool_small = !degraded
+            && match shared.batching {
+                BatchPolicy::Always => !small.is_empty(),
+                BatchPolicy::Never => false,
+                BatchPolicy::Adaptive => self.cost.batch_wins(&small),
+            };
+        if pool_small {
             self.ctx
                 .run_tasks(small.len(), |i| execute(self, &small[i]));
-            for req in &large {
+        } else {
+            for req in &small {
                 execute(self, req);
             }
+        }
+        for req in &large {
+            execute(self, req);
         }
     }
 }
@@ -147,9 +344,9 @@ fn ns(from: Instant, to: Instant) -> u64 {
 }
 
 /// The driver's rule-(c) operand-traffic formula, mirrored so per-tenant
-/// sums reproduce the shared context's `operand_bytes` exactly: A/B
-/// elements at the mode's storage width, zero for degenerate shapes (which
-/// the driver returns from before recording traffic).
+/// sums reproduce the shards' `operand_bytes` exactly: A/B elements at
+/// the mode's storage width, zero for degenerate shapes (which the driver
+/// returns from before recording traffic).
 fn gemm_operand_bytes(m: usize, k: usize, n: usize, mode: MxuMode) -> u64 {
     if m == 0 || k == 0 || n == 0 {
         0
@@ -158,24 +355,41 @@ fn gemm_operand_bytes(m: usize, k: usize, n: usize, mode: MxuMode) -> u64 {
     }
 }
 
-/// Run `call` under the core's retry policy: re-execute on
+/// How one request's in-service time splits across attempts.
+#[derive(Default, Clone, Copy)]
+struct AttemptTimes {
+    /// Wall time of the final attempt only (successful or not), ns.
+    exec_ns: u64,
+    /// Wall time of every earlier failed attempt plus the backoff sleeps
+    /// between attempts, ns.
+    retry_ns: u64,
+}
+
+/// Run `call` under the retry policy: re-execute on
 /// [`M3xuError::FaultDetected`] (with exponential backoff) up to
 /// `max_retries` extra times, absorbing every attempt's fault telemetry —
 /// a failed attempt's summary is reconstructed from the error's fields,
 /// mirroring exactly what the driver recorded into the context counters.
+/// Each attempt is timed individually: only the final attempt lands in
+/// `exec_ns`, everything before it (failed attempts and backoffs) in
+/// `retry_ns`.
 fn run_with_retries<T>(
     policy: &ExecPolicy,
     mut call: impl FnMut() -> Result<(T, FaultSummary), M3xuError>,
-) -> (Result<T, M3xuError>, FaultSummary) {
+) -> (Result<T, M3xuError>, FaultSummary, AttemptTimes) {
     let mut total = FaultSummary::default();
+    let mut times = AttemptTimes::default();
     let mut attempt = 0u32;
     loop {
+        let t0 = Instant::now();
         match call() {
             Ok((out, s)) => {
+                times.exec_ns = ns(t0, Instant::now());
                 total.absorb(s);
-                return (Ok(out), total);
+                return (Ok(out), total, times);
             }
             Err(e) => {
+                let attempt_ns = ns(t0, Instant::now());
                 if let M3xuError::FaultDetected {
                     detected,
                     corrected,
@@ -189,27 +403,69 @@ fn run_with_retries<T>(
                         retries,
                     });
                     if attempt < policy.max_retries {
+                        // This attempt failed and will be retried: its
+                        // time (and the backoff) is retry overhead.
+                        times.retry_ns += attempt_ns;
                         let backoff = policy.retry_backoff * 2u32.saturating_pow(attempt);
                         if !backoff.is_zero() {
+                            let b0 = Instant::now();
                             std::thread::sleep(backoff);
+                            times.retry_ns += ns(b0, Instant::now());
                         }
                         attempt += 1;
                         continue;
                     }
                 }
-                return (Err(e), total);
+                // Terminal attempt: it is the request's execution time.
+                times.exec_ns = attempt_ns;
+                return (Err(e), total, times);
             }
         }
     }
 }
 
-/// Execute one request on the core's context, record the outcome into its
-/// tenant account, and resolve its ticket. Runs either inside a pool task
-/// (small path), on the scheduler thread (large path and degraded mode).
-pub(crate) fn execute(core: &SchedulerCore, req: &Request) {
+/// A request executed successfully but past its deadline: classify it
+/// `deadline_missed` while still attributing the executed work, then
+/// resolve the ticket with the post-completion lateness. Returns `true`
+/// if the deadline was missed (the caller then skips the completion
+/// path).
+fn settle_post_deadline(
+    req: &Request,
+    reject: impl FnOnce(ServeError),
+    instructions: u64,
+    steps: u64,
+    operand_bytes: u64,
+    wait_ns: u64,
+    times: AttemptTimes,
+) -> bool {
+    let done = Instant::now();
+    match req.deadline {
+        Some(deadline) if done > deadline => {
+            let late_ns = ns(deadline, done);
+            req.tenant.record_deadline_missed_executed(
+                instructions,
+                steps,
+                operand_bytes,
+                wait_ns,
+                times.exec_ns,
+                times.retry_ns,
+            );
+            reject(ServeError::Deadline { late_ns });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Execute one request on the shard's context, record the outcome into
+/// its tenant account, and resolve its ticket. Runs either inside a pool
+/// task (pooled small path) or on the shard thread (serial small path,
+/// large path, degraded mode).
+pub(crate) fn execute(shard: &ShardCore, req: &Request) {
+    let core = &*shard.shared;
     let started = Instant::now();
     let wait_ns = ns(req.enqueued, started);
-    // Last-line deadline check: the batch-level shed happens at drain
+    // Pre-execution deadline check: the batch-level shed happens at drain
     // time, but a deadline can expire between drain and this task's turn
     // on a worker. An expired request must never reach the kernels.
     if let Some(deadline) = req.deadline {
@@ -221,7 +477,8 @@ pub(crate) fn execute(core: &SchedulerCore, req: &Request) {
             return;
         }
     }
-    let ctx = &*core.ctx;
+    let ctx = &*shard.ctx;
+    let tiles = req.work.output_tiles();
     match &req.work {
         Work::GemmF32 {
             precision,
@@ -230,52 +487,78 @@ pub(crate) fn execute(core: &SchedulerCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults) = run_with_retries(&core.policy, || {
+            let (out, faults, times) = run_with_retries(&core.policy, || {
                 ctx.try_gemm_f32_faulted(*precision, a, b, c)
             });
-            let exec_ns = ns(started, Instant::now());
             req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
+                    shard.cost.observe(times.exec_ns, tiles);
+                    settle_success(core, req);
                     let bytes = gemm_operand_bytes(a.rows(), a.cols(), b.cols(), precision.mode());
+                    if settle_post_deadline(
+                        req,
+                        |e| drop(reply.try_send(Err(e))),
+                        res.stats.instructions,
+                        res.stats.steps,
+                        bytes,
+                        wait_ns,
+                        times,
+                    ) {
+                        return;
+                    }
                     req.tenant.record_completed(
                         res.stats.instructions,
                         res.stats.steps,
                         bytes,
                         wait_ns,
-                        exec_ns,
+                        times.exec_ns,
+                        times.retry_ns,
                     );
-                    settle_success(core, req);
                     drop(reply.try_send(Ok(res)));
                 }
                 Err(e) => {
-                    req.tenant.record_exec_error(wait_ns, exec_ns);
+                    req.tenant
+                        .record_exec_error(wait_ns, times.exec_ns, times.retry_ns);
                     settle_failure(core, req, &e);
                     drop(reply.try_send(Err(e.into())));
                 }
             }
         }
         Work::CgemmC32 { a, b, c, reply } => {
-            let (out, faults) =
+            let (out, faults, times) =
                 run_with_retries(&core.policy, || ctx.try_cgemm_c32_faulted(a, b, c));
-            let exec_ns = ns(started, Instant::now());
             req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
+                    shard.cost.observe(times.exec_ns, tiles);
+                    settle_success(core, req);
                     let bytes =
                         gemm_operand_bytes(a.rows(), a.cols(), b.cols(), MxuMode::M3xuFp32c);
+                    if settle_post_deadline(
+                        req,
+                        |e| drop(reply.try_send(Err(e))),
+                        res.stats.instructions,
+                        res.stats.steps,
+                        bytes,
+                        wait_ns,
+                        times,
+                    ) {
+                        return;
+                    }
                     req.tenant.record_completed(
                         res.stats.instructions,
                         res.stats.steps,
                         bytes,
                         wait_ns,
-                        exec_ns,
+                        times.exec_ns,
+                        times.retry_ns,
                     );
-                    settle_success(core, req);
                     drop(reply.try_send(Ok(res)));
                 }
                 Err(e) => {
-                    req.tenant.record_exec_error(wait_ns, exec_ns);
+                    req.tenant
+                        .record_exec_error(wait_ns, times.exec_ns, times.retry_ns);
                     settle_failure(core, req, &e);
                     drop(reply.try_send(Err(e.into())));
                 }
@@ -285,27 +568,40 @@ pub(crate) fn execute(core: &SchedulerCore, req: &Request) {
             // The FFT's internal CGEMMs run checked (and are retried here
             // on FaultDetected), but their summaries stay context-level:
             // the tenant-facing summary of an FFT is zero by design.
-            let (out, _) = run_with_retries(&core.policy, || {
+            let (out, _, times) = run_with_retries(&core.policy, || {
                 ctx.try_gemm_fft(x).map(|y| (y, FaultSummary::default()))
             });
-            let exec_ns = ns(started, Instant::now());
             match out {
                 Ok((y, stats)) => {
+                    shard.cost.observe(times.exec_ns, tiles);
+                    settle_success(core, req);
                     // FFT operand traffic is internal to its CGEMM
                     // decomposition; it is visible in the context's
                     // ExecStats but not attributed per tenant.
+                    if settle_post_deadline(
+                        req,
+                        |e| drop(reply.try_send(Err(e))),
+                        stats.instructions,
+                        stats.steps,
+                        0,
+                        wait_ns,
+                        times,
+                    ) {
+                        return;
+                    }
                     req.tenant.record_completed(
                         stats.instructions,
                         stats.steps,
                         0,
                         wait_ns,
-                        exec_ns,
+                        times.exec_ns,
+                        times.retry_ns,
                     );
-                    settle_success(core, req);
                     drop(reply.try_send(Ok((y, stats))));
                 }
                 Err(e) => {
-                    req.tenant.record_exec_error(wait_ns, exec_ns);
+                    req.tenant
+                        .record_exec_error(wait_ns, times.exec_ns, times.retry_ns);
                     settle_failure(core, req, &e);
                     drop(reply.try_send(Err(e.into())));
                 }
@@ -315,8 +611,10 @@ pub(crate) fn execute(core: &SchedulerCore, req: &Request) {
 }
 
 /// A request retired successfully: reset the tenant's breaker streak and
-/// the service-wide degraded-mode streak.
-fn settle_success(core: &SchedulerCore, req: &Request) {
+/// the service-wide degraded-mode streak. (A post-deadline miss still
+/// counts as an execution success for fault-health purposes — the
+/// hardware did its job.)
+fn settle_success(core: &SharedSched, req: &Request) {
     req.tenant.breaker_success();
     core.fault_streak.store(0, Ordering::Relaxed);
 }
@@ -324,7 +622,7 @@ fn settle_success(core: &SchedulerCore, req: &Request) {
 /// A request exhausted its attempts: advance the fault streaks if (and
 /// only if) the terminal error was a fault detection — shape errors and
 /// the like say nothing about hardware health.
-fn settle_failure(core: &SchedulerCore, req: &Request, e: &M3xuError) {
+fn settle_failure(core: &SharedSched, req: &Request, e: &M3xuError) {
     if matches!(e, M3xuError::FaultDetected { .. }) {
         core.fault_streak.fetch_add(1, Ordering::Relaxed);
         req.tenant.breaker_failure(

@@ -49,7 +49,17 @@ pub struct TenantStats {
     pub queue_wait_ns: u64,
     /// Total wall time executing this tenant's requests, ns. Batched
     /// requests execute concurrently, so this can exceed elapsed time.
+    /// For retried requests this charges only the *final* attempt; time
+    /// burned on failed attempts and backoff sleeps lands in
+    /// [`retry_ns`](TenantStats::retry_ns) instead, so
+    /// `queue_wait_ns + retry_ns + exec_ns` partitions a request's
+    /// in-service time exactly.
     pub exec_ns: u64,
+    /// Wall time spent on failed execution attempts and the backoff
+    /// sleeps between them, ns. Disjoint from
+    /// [`exec_ns`](TenantStats::exec_ns); zero unless serve-layer
+    /// retries actually fired.
+    pub retry_ns: u64,
     /// ABFT checksum mismatches (plus lost pool epochs) the checked
     /// drivers detected while executing this tenant's GEMM/CGEMM
     /// requests. Mirrors each invocation's
@@ -83,6 +93,7 @@ impl TenantStats {
             operand_bytes: self.operand_bytes + other.operand_bytes,
             queue_wait_ns: self.queue_wait_ns + other.queue_wait_ns,
             exec_ns: self.exec_ns + other.exec_ns,
+            retry_ns: self.retry_ns + other.retry_ns,
             faults_detected: self.faults_detected + other.faults_detected,
             faults_corrected: self.faults_corrected + other.faults_corrected,
             retries: self.retries + other.retries,
@@ -104,6 +115,7 @@ pub(crate) struct TenantAccount {
     operand_bytes: AtomicU64,
     queue_wait_ns: AtomicU64,
     exec_ns: AtomicU64,
+    retry_ns: AtomicU64,
     faults_detected: AtomicU64,
     faults_corrected: AtomicU64,
     retries: AtomicU64,
@@ -113,6 +125,32 @@ pub(crate) struct TenantAccount {
     /// While set and in the future, the breaker is open: submissions from
     /// this tenant are shed at admission.
     breaker_until: Mutex<Option<Instant>>,
+    /// Token-bucket state for the tenant's rate limit. Lazily
+    /// initialised on the first rate-checked submission.
+    bucket: Mutex<Option<Bucket>>,
+    /// Per-tenant rate-limit override: `None` = use the service default,
+    /// `Some(None)` = explicitly unlimited, `Some(Some(l))` = `l`.
+    limit_override: Mutex<Option<Option<RateLimit>>>,
+}
+
+/// A per-tenant admission rate limit, enforced as a token bucket:
+/// tokens refill at `rps` per second up to `burst`, and each accepted
+/// submission spends one. Requests arriving with the bucket empty are
+/// shed at admission with [`RateLimited`](crate::ServeError::RateLimited)
+/// and count as `rejected` in the conservation law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admissions per second.
+    pub rps: f64,
+    /// Bucket capacity: how far a tenant may burst above the sustained
+    /// rate after idling.
+    pub burst: f64,
+}
+
+/// Live token-bucket state: tokens at `last`.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
 }
 
 impl TenantAccount {
@@ -129,12 +167,40 @@ impl TenantAccount {
         self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_exec_error(&self, wait_ns: u64, exec_ns: u64) {
+    /// A request that *executed* but finished past its deadline. It is
+    /// classified `deadline_missed` (never `completed`), but the MXU work
+    /// really happened, so the instruction/step/byte/time quantities are
+    /// still attributed — otherwise Σ tenant would fall short of the
+    /// shards' `ExecStats` and the reconciliation law would break.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_deadline_missed_executed(
+        &self,
+        instructions: u64,
+        steps: u64,
+        operand_bytes: u64,
+        wait_ns: u64,
+        exec_ns: u64,
+        retry_ns: u64,
+    ) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        self.mma_instructions
+            .fetch_add(instructions, Ordering::Relaxed);
+        self.mma_steps.fetch_add(steps, Ordering::Relaxed);
+        self.operand_bytes
+            .fetch_add(operand_bytes, Ordering::Relaxed);
+        self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.retry_ns.fetch_add(retry_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_exec_error(&self, wait_ns: u64, exec_ns: u64, retry_ns: u64) {
         self.exec_errors.fetch_add(1, Ordering::Relaxed);
         self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
         self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.retry_ns.fetch_add(retry_ns, Ordering::Relaxed);
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_completed(
         &self,
         instructions: u64,
@@ -142,6 +208,7 @@ impl TenantAccount {
         operand_bytes: u64,
         wait_ns: u64,
         exec_ns: u64,
+        retry_ns: u64,
     ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.mma_instructions
@@ -151,6 +218,7 @@ impl TenantAccount {
             .fetch_add(operand_bytes, Ordering::Relaxed);
         self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
         self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.retry_ns.fetch_add(retry_ns, Ordering::Relaxed);
     }
 
     /// Absorb one checked-driver invocation's fault telemetry, verbatim —
@@ -198,6 +266,62 @@ impl TenantAccount {
         self.consecutive_faults.store(0, Ordering::Relaxed);
     }
 
+    /// Override this tenant's rate limit (`Some(None)` = explicitly
+    /// unlimited, `None` would mean "use the service default" — callers
+    /// pass the resolved `Option<RateLimit>`).
+    pub(crate) fn set_rate_limit(&self, limit: Option<RateLimit>) {
+        let mut slot = self
+            .limit_override
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *slot = Some(limit);
+    }
+
+    /// Token-bucket admission check at `now` against `default_limit`
+    /// (the service-wide limit, unless this tenant has an override).
+    /// `None` admits and spends a token; `Some(d)` sheds, with `d` the
+    /// time until one token refills.
+    pub(crate) fn rate_check(
+        &self,
+        now: Instant,
+        default_limit: Option<RateLimit>,
+    ) -> Option<Duration> {
+        let limit = {
+            let ovr = self
+                .limit_override
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match *ovr {
+                Some(l) => l,
+                None => default_limit,
+            }
+        };
+        let limit = limit?;
+        if limit.rps <= 0.0 || limit.rps.is_nan() {
+            // A non-positive (or NaN) rate admits nothing; report a long retry.
+            return Some(Duration::from_secs(u32::MAX as u64));
+        }
+        let burst = limit.burst.max(1.0);
+        let mut slot = self.bucket.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = slot.get_or_insert(Bucket {
+            tokens: burst,
+            last: now,
+        });
+        if now > bucket.last {
+            let elapsed = (now - bucket.last).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * limit.rps).min(burst);
+            bucket.last = now;
+        }
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            None
+        } else {
+            Some(Duration::from_secs_f64(
+                (1.0 - bucket.tokens).max(0.0) / limit.rps,
+            ))
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> TenantStats {
         TenantStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -210,6 +334,7 @@ impl TenantAccount {
             operand_bytes: self.operand_bytes.load(Ordering::Relaxed),
             queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
             exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            retry_ns: self.retry_ns.load(Ordering::Relaxed),
             faults_detected: self.faults_detected.load(Ordering::Relaxed),
             faults_corrected: self.faults_corrected.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
@@ -271,7 +396,7 @@ mod tests {
         let a2 = reg.account("alice");
         assert!(Arc::ptr_eq(&a, &a2));
         a.record_submitted();
-        a.record_completed(10, 20, 30, 40, 50);
+        a.record_completed(10, 20, 30, 40, 50, 60);
         reg.account("bob").record_submitted();
         reg.account("bob").record_rejected();
         let alice = reg.snapshot("alice").unwrap();
@@ -282,6 +407,7 @@ mod tests {
         assert_eq!(alice.operand_bytes, 30);
         assert_eq!(alice.queue_wait_ns, 40);
         assert_eq!(alice.exec_ns, 50);
+        assert_eq!(alice.retry_ns, 60);
         assert!(reg.snapshot("carol").is_none());
         let t = reg.totals();
         assert_eq!(t.submitted, 2);
@@ -330,12 +456,52 @@ mod tests {
     fn deadline_and_error_paths_count_separately() {
         let acc = TenantAccount::default();
         acc.record_deadline_missed(5);
-        acc.record_exec_error(7, 11);
+        acc.record_exec_error(7, 11, 13);
         let s = acc.snapshot();
         assert_eq!(s.deadline_missed, 1);
         assert_eq!(s.exec_errors, 1);
         assert_eq!(s.queue_wait_ns, 12);
         assert_eq!(s.exec_ns, 11);
+        assert_eq!(s.retry_ns, 13);
         assert_eq!(s.completed, 0);
+    }
+
+    #[test]
+    fn executed_deadline_miss_attributes_work_but_not_completion() {
+        let acc = TenantAccount::default();
+        acc.record_deadline_missed_executed(10, 20, 30, 40, 50, 60);
+        let s = acc.snapshot();
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.mma_instructions, 10);
+        assert_eq!(s.mma_steps, 20);
+        assert_eq!(s.operand_bytes, 30);
+        assert_eq!(s.queue_wait_ns, 40);
+        assert_eq!(s.exec_ns, 50);
+        assert_eq!(s.retry_ns, 60);
+    }
+
+    #[test]
+    fn token_bucket_admits_burst_then_sheds_and_refills() {
+        let acc = TenantAccount::default();
+        let limit = Some(RateLimit {
+            rps: 10.0,
+            burst: 2.0,
+        });
+        let t0 = Instant::now();
+        // Burst of 2 admits, third sheds with a positive retry-after.
+        assert!(acc.rate_check(t0, limit).is_none());
+        assert!(acc.rate_check(t0, limit).is_none());
+        let wait = acc.rate_check(t0, limit).expect("bucket empty");
+        assert!(wait > Duration::ZERO && wait <= Duration::from_millis(100));
+        // 100 ms at 10 rps refills one token.
+        assert!(acc
+            .rate_check(t0 + Duration::from_millis(150), limit)
+            .is_none());
+        // No limit anywhere: always admits.
+        assert!(acc.rate_check(t0, None).is_none());
+        // Per-tenant override beats the default.
+        acc.set_rate_limit(None);
+        assert!(acc.rate_check(t0, limit).is_none());
     }
 }

@@ -191,6 +191,7 @@ fn expired_deadline_rejects_without_executing() {
             Matrix::zeros(16, 16),
             SubmitOpts {
                 deadline: Some(Duration::ZERO),
+                ..SubmitOpts::default()
             },
         )
         .unwrap();
@@ -217,6 +218,7 @@ fn expired_deadline_rejects_without_executing() {
             Matrix::zeros(16, 16),
             SubmitOpts {
                 deadline: Some(Duration::from_secs(300)),
+                ..SubmitOpts::default()
             },
         )
         .unwrap();

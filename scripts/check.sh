@@ -66,6 +66,32 @@ for profile in "" "--release"; do
     done
 done
 
+# Serve gate: the serve edge + regression suites at shard counts 1 and 4
+# (M3XU_SERVE_SHARDS is resolved per process), then a fresh small-mode
+# run of the serve benchmark — the regenerated headline wall_speedup must
+# not fall below 1.0 (the adaptive-batching regression this gate pins).
+for shards in 1 4; do
+    echo "== serve suites under M3XU_SERVE_SHARDS=${shards}"
+    M3XU_SERVE_SHARDS=${shards} cargo test -q \
+        --test serve_edge --test serve_regressions
+done
+echo "== serve bench headline gate (M3XU_BENCH_SERVE_SMALL=1)"
+M3XU_BENCH_SERVE_SMALL=1 cargo run --release -q -p m3xu-bench --bin bench_serve
+awk '
+    /"wall_speedup"/ && !found {
+        found = 1
+        v = $0
+        gsub(/.*"wall_speedup": */, "", v)
+        gsub(/[,} ].*/, "", v)
+        if (v + 0 < 1.0) {
+            printf "FAIL: serve headline wall_speedup %s < 1.0\n", v
+            exit 1
+        }
+        printf "serve headline wall_speedup %s >= 1.0\n", v
+    }
+    END { if (!found) { print "FAIL: no wall_speedup in results/BENCH_serve.json"; exit 1 } }
+' results/BENCH_serve.json
+
 # Soak mode: the same suites in release with a much longer random-shape
 # sweep. Slow by design; not part of the default gate.
 if [[ "${M3XU_SOAK:-0}" == "1" ]]; then

@@ -28,4 +28,7 @@ pub use m3xu_core::{
     default_context, Complex, ExecStats, GemmExecutor, GemmPrecision, M3xu, M3xuContext, M3xuError,
     Matrix, C32,
 };
-pub use m3xu_serve::{M3xuServe, ServeConfig, ServeError, SubmitOpts, TenantStats, Ticket};
+pub use m3xu_serve::{
+    BatchPolicy, M3xuServe, Priority, RateLimit, ServeConfig, ServeError, SubmitOpts, TenantStats,
+    Ticket,
+};

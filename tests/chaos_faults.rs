@@ -20,7 +20,7 @@
 
 use m3xu::kernels::gemm::{self, GemmPrecision};
 use m3xu::kernels::{FaultPlan, FaultyExecutor, M3xuContext};
-use m3xu::serve::{M3xuServe, ServeConfig, SubmitOpts};
+use m3xu::serve::{BatchPolicy, M3xuServe, ServeConfig, SubmitOpts};
 use m3xu::{M3xuError, Matrix, ServeError, C32};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -279,10 +279,12 @@ fn pool_survives_panicking_tasks_bit_identically() {
 /// check (a) every completed result is bit-identical to baseline, (b) the
 /// per-tenant conservation law, (c) tenant fault/instruction counters
 /// reconcile exactly with the shared context's `ExecStats`.
-fn serve_chaos_round(shard_tiles: usize) {
+fn serve_chaos_round(batching: BatchPolicy, shard_tiles: usize, shards: usize) {
     let serve = M3xuServe::new(ServeConfig {
         workers: 2,
+        batching,
         shard_tiles,
+        shards,
         fault_plan: Some(Arc::new(FaultPlan::new(9, 0.02))),
         ..ServeConfig::default()
     });
@@ -341,7 +343,7 @@ fn serve_chaos_round(shard_tiles: usize) {
     assert_eq!(totals.submitted, 2 * SHAPES.len() as u64);
     assert_eq!(totals.completed, totals.submitted);
 
-    // Exact reconciliation against the shared context (GEMM/CGEMM-only
+    // Exact reconciliation against the summed shard stats (GEMM/CGEMM-only
     // workload, so tenant fault counters mirror ExecStats verbatim).
     let exec = serve.exec_stats();
     assert_eq!(totals.faults_detected, exec.faults_detected, "detected");
@@ -359,12 +361,17 @@ fn serve_chaos_round(shard_tiles: usize) {
 
 #[test]
 fn serve_chaos_batched_path_reconciles() {
-    serve_chaos_round(usize::MAX);
+    serve_chaos_round(BatchPolicy::Always, usize::MAX, 1);
 }
 
 #[test]
 fn serve_chaos_sharded_path_reconciles() {
-    serve_chaos_round(1);
+    serve_chaos_round(BatchPolicy::Never, 1, 1);
+}
+
+#[test]
+fn serve_chaos_two_shards_reconcile() {
+    serve_chaos_round(BatchPolicy::Adaptive, 4096, 2);
 }
 
 #[test]

@@ -152,6 +152,7 @@ fn concurrent_hammering_sums_to_exact_analytical_counts() {
 
     let ctx = M3xuContext::with_threads(2);
     let serve = M3xuServe::new(ServeConfig {
+        shards: 2,
         workers: 2,
         queue_capacity: 256,
         ..ServeConfig::default()
@@ -259,8 +260,9 @@ fn concurrent_hammering_sums_to_exact_analytical_counts() {
         want_fp32.operand_bytes + want_fp32c.operand_bytes
     );
 
-    // The service saw one FP32 pass: its context's sink and its per-tenant
-    // accounting must both sum to the same analytical totals.
+    // The service saw one FP32 pass: its shards' summed sinks and its
+    // per-tenant accounting must both reproduce the same analytical
+    // totals — the conservation law surviving sharding.
     let serve_stats = serve.exec_stats();
     assert_eq!(serve_stats.gemm_calls as usize, CLIENTS * SHAPES.len());
     assert_eq!(
@@ -268,11 +270,29 @@ fn concurrent_hammering_sums_to_exact_analytical_counts() {
         want_fp32.instructions
     );
     assert_eq!(serve_stats.operand_bytes, want_fp32.operand_bytes);
+    // exec_stats() is defined as the fold of per-shard stats; re-derive
+    // it by hand so a future refactor can't silently drop a shard.
+    let mut by_shard_instructions = 0u64;
+    let mut by_shard_calls = 0u64;
+    for shard in 0..serve.shard_count() {
+        let s = serve.shard_stats(shard).unwrap();
+        by_shard_instructions += s.mode(MxuMode::M3xuFp32).instructions;
+        by_shard_calls += s.gemm_calls;
+    }
+    assert_eq!(by_shard_calls, serve_stats.gemm_calls);
+    assert_eq!(by_shard_instructions, want_fp32.instructions);
     let tenants = serve.total_stats();
     assert_eq!(tenants.completed, serve_stats.gemm_calls);
     assert_eq!(tenants.mma_instructions, want_fp32.instructions);
     assert_eq!(tenants.mma_steps, want_fp32.steps);
     assert_eq!(tenants.operand_bytes, want_fp32.operand_bytes);
+    // Conservation law and the retry-time split: nothing was retried, so
+    // every nanosecond of execution is exec_ns and retry_ns stays zero.
+    assert_eq!(
+        tenants.submitted,
+        tenants.completed + tenants.rejected + tenants.deadline_missed + tenants.exec_errors
+    );
+    assert_eq!(tenants.retry_ns, 0);
     assert_eq!(serve.tenants().len(), CLIENTS);
 }
 

@@ -13,7 +13,7 @@
 
 use m3xu::kernels::gemm::{self, GemmPrecision};
 use m3xu::kernels::M3xuContext;
-use m3xu::serve::{M3xuServe, ServeConfig, SubmitOpts};
+use m3xu::serve::{BatchPolicy, M3xuServe, ServeConfig, SubmitOpts};
 use m3xu::{Matrix, C32};
 
 /// Deterministic xorshift64* shape generator.
@@ -101,18 +101,28 @@ fn assert_bits_c32(got: &Matrix<C32>, want: &Matrix<C32>, what: &str) {
 #[test]
 fn real_gemm_all_engines_all_paths_match_baseline_bits() {
     // One service per (thread count, scheduler path), reused across
-    // shapes: shard_tiles=MAX forces the batched epoch path, 1 forces the
-    // per-request sharded path.
-    let serves: Vec<(usize, usize, M3xuServe)> = THREAD_COUNTS
+    // shapes: BatchPolicy::Always + shard_tiles=MAX forces the pooled
+    // epoch path, BatchPolicy::Never + shard_tiles=1 forces the
+    // per-request tile-sharded path, and an Adaptive 2-shard service
+    // exercises the production routing/stealing configuration.
+    let serves: Vec<(String, M3xuServe)> = THREAD_COUNTS
         .iter()
         .flat_map(|&t| {
-            [usize::MAX, 1].map(|shard_tiles| {
+            [
+                (BatchPolicy::Always, usize::MAX, 1usize),
+                (BatchPolicy::Never, 1, 1),
+                (BatchPolicy::Adaptive, 4096, 2),
+            ]
+            .map(|(batching, shard_tiles, shards)| {
                 (
-                    t,
-                    shard_tiles,
+                    format!(
+                        "workers={t},batching={batching:?},shard_tiles={shard_tiles},shards={shards}"
+                    ),
                     M3xuServe::new(ServeConfig {
                         workers: t,
+                        batching,
                         shard_tiles,
+                        shards,
                         ..ServeConfig::default()
                     }),
                 )
@@ -140,8 +150,8 @@ fn real_gemm_all_engines_all_paths_match_baseline_bits() {
                 assert_eq!(r.stats, want.stats, "{}", tag(&format!("ctx[{t}]")));
             }
 
-            // Path 3: the serving layer, both scheduler paths.
-            for (t, shard_tiles, serve) in &serves {
+            // Path 3: the serving layer, every scheduler path.
+            for (label, serve) in &serves {
                 let r = serve
                     .blocking_gemm_f32(
                         "prop",
@@ -152,7 +162,7 @@ fn real_gemm_all_engines_all_paths_match_baseline_bits() {
                         SubmitOpts::default(),
                     )
                     .unwrap();
-                let path = format!("serve[workers={t},shard_tiles={shard_tiles}]");
+                let path = format!("serve[{label}]");
                 assert_bits_f32(&r.d, &want.d, &tag(&path));
                 assert_eq!(r.stats, want.stats, "{}", tag(&path));
             }

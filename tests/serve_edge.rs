@@ -6,10 +6,22 @@ use m3xu::serve::{M3xuServe, ServeConfig, SubmitOpts};
 use m3xu::{GemmPrecision, Matrix, ServeError};
 use std::time::Duration;
 
-/// A service whose scheduler is easy to keep busy: one worker, one
-/// request drained per batch.
+/// Shard count under test: `M3XU_SERVE_SHARDS` overrides (the check.sh
+/// serve gate runs this suite at 1 and 4), defaulting to 1.
+fn shards_from_env() -> usize {
+    std::env::var("M3XU_SERVE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A service whose schedulers are easy to keep busy: one worker, one
+/// request drained per batch. All tests use a single tenant per
+/// pipeline, so requests serialize on that tenant's affine shard at any
+/// shard count (stealing aside, which the assertions tolerate).
 fn slow_serve(queue_capacity: usize) -> M3xuServe {
     M3xuServe::new(ServeConfig {
+        shards: shards_from_env(),
         workers: 1,
         max_batch: 1,
         queue_capacity,
@@ -52,6 +64,7 @@ fn expired_deadline_rejects_before_execution() {
             Matrix::<f32>::zeros(32, 32),
             SubmitOpts {
                 deadline: Some(Duration::ZERO),
+                ..SubmitOpts::default()
             },
         )
         .unwrap();
