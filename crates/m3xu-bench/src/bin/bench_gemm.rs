@@ -5,6 +5,13 @@
 //! equivalent) — so every row carries its own before/after pair. Emits
 //! `results/BENCH_gemm.json`.
 //!
+//! A second sweep walks the whole precision dial —
+//! [`GemmPrecision::ALL`], `Fp16` through `Fp64Emulated` — at 256^3 and
+//! 512^3, recording wall time, per-mode MMA instruction/step/lane
+//! counts, and the max-ULP error of every element against a sequential
+//! correctly-rounded FP64 FMA reference. Emits
+//! `results/BENCH_precision.json`.
+//!
 //! Default sizes: 256^3 and 512^3 M3XU-FP32 GEMM, and 512 / 4096 / 65536
 //! point GEMM-formulated FFTs. Set `M3XU_BENCH_LARGE=1` to add the
 //! 1024^3 GEMM.
@@ -108,6 +115,173 @@ impl_to_json!(Report {
     gemm_fp32,
     fft_fp32c
 });
+
+/// One row of the precision-dial sweep: a single `n^3` GEMM at one
+/// [`GemmPrecision`], with its cost and accuracy columns.
+struct PrecisionRow {
+    /// Problem size `n` of the `n^3` GEMM.
+    n: u64,
+    /// The [`GemmPrecision`] variant.
+    precision: String,
+    /// The [`MxuMode`] it executes in.
+    mode: String,
+    /// Packed-pipeline wall-clock, seconds (best of a few reps).
+    wall_s: f64,
+    /// MMA instructions recorded in this mode's `ExecStats` slot.
+    mma_instructions: u64,
+    /// MXU-occupying steps — where `Fp64Emulated`'s 7x shows up.
+    mma_steps: u64,
+    /// Active lane products — where `Fp32Fast`'s truncation shows up.
+    mma_lane_products: u64,
+    /// A/B operand bytes at the mode's storage width.
+    operand_bytes: u64,
+    /// Max per-element ULP distance from a sequential correctly-rounded
+    /// FP64 FMA reference (measured in the result's own element width:
+    /// f32 ULPs for the f32 family, f64 ULPs for `Fp64Emulated`).
+    max_ulp: u64,
+}
+impl_to_json!(PrecisionRow {
+    n,
+    precision,
+    mode,
+    wall_s,
+    mma_instructions,
+    mma_steps,
+    mma_lane_products,
+    operand_bytes,
+    max_ulp
+});
+
+/// The precision-sweep report written to `results/BENCH_precision.json`.
+struct PrecisionReport {
+    /// Worker threads the sweep ran on.
+    threads: u64,
+    /// Active SIMD dispatch level.
+    simd_level: String,
+    /// One row per (size, precision).
+    rows: Vec<PrecisionRow>,
+}
+impl_to_json!(PrecisionReport {
+    threads,
+    simd_level,
+    rows
+});
+
+/// Monotone integer key over f64 bit patterns (negatives reversed), so
+/// ULP distance is a plain integer difference.
+fn key64(v: f64) -> i64 {
+    let b = v.to_bits() as i64;
+    if b < 0 {
+        i64::MIN.wrapping_add(b.wrapping_neg())
+    } else {
+        b
+    }
+}
+
+fn ulp64(x: f64, y: f64) -> u64 {
+    if x == y {
+        return 0; // covers -0.0 vs +0.0
+    }
+    key64(x).abs_diff(key64(y))
+}
+
+fn key32(v: f32) -> i64 {
+    let b = v.to_bits() as i32;
+    (if b < 0 {
+        i32::MIN.wrapping_add(b.wrapping_neg())
+    } else {
+        b
+    }) as i64
+}
+
+fn ulp32(x: f32, y: f32) -> u64 {
+    if x == y {
+        return 0;
+    }
+    key32(x).abs_diff(key32(y))
+}
+
+/// Sequential correctly-rounded FP64 FMA reference for f32 operands:
+/// the answer a native FP64 MAC pipeline would produce, before the
+/// final narrowing to f32.
+fn reference_f64_of_f32(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> Vec<f64> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c.get(i, j) as f64;
+            for l in 0..k {
+                acc = (a.get(i, l) as f64).mul_add(b.get(l, j) as f64, acc);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// One precision-dial row: run the GEMM in `precision` through a private
+/// context, meter its per-mode counters, and measure max-ULP against the
+/// FP64 FMA reference.
+fn bench_precision(
+    n: usize,
+    reps: usize,
+    precision: GemmPrecision,
+    a32: &Matrix<f32>,
+    b32: &Matrix<f32>,
+    c32: &Matrix<f32>,
+    reference: &[f64],
+) -> PrecisionRow {
+    let mode = precision.mode();
+    let ctx = M3xuContext::new();
+    // One metered correctness pass first — its ExecStats snapshot is the
+    // row's cost column (the timing reps below would multiply it).
+    let (exec, wall_s, max_ulp) = if precision == GemmPrecision::Fp64Emulated {
+        // The f64 entry point: widen the same operand values, so the
+        // reference (exact in f64 for f32-valued inputs) is shared.
+        let a = Matrix::from_fn(n, n, |i, j| a32.get(i, j) as f64);
+        let b = Matrix::from_fn(n, n, |i, j| b32.get(i, j) as f64);
+        let c = Matrix::from_fn(n, n, |i, j| c32.get(i, j) as f64);
+        let r = ctx.gemm_f64(precision, &a, &b, &c);
+        let exec = ctx.stats();
+        let max_ulp =
+            r.d.as_slice()
+                .iter()
+                .zip(reference)
+                .map(|(x, y)| ulp64(*x, *y))
+                .max()
+                .unwrap_or(0);
+        let wall_s = best_of(reps, || {
+            std::hint::black_box(ctx.gemm_f64(precision, &a, &b, &c));
+        });
+        (exec, wall_s, max_ulp)
+    } else {
+        let r = ctx.gemm_f32(precision, a32, b32, c32);
+        let exec = ctx.stats();
+        let max_ulp =
+            r.d.as_slice()
+                .iter()
+                .zip(reference)
+                .map(|(x, y)| ulp32(*x, *y as f32))
+                .max()
+                .unwrap_or(0);
+        let wall_s = best_of(reps, || {
+            std::hint::black_box(ctx.gemm_f32(precision, a32, b32, c32));
+        });
+        (exec, wall_s, max_ulp)
+    };
+    let slot = exec.mode(mode);
+    PrecisionRow {
+        n: n as u64,
+        precision: format!("{precision:?}"),
+        mode: format!("{mode:?}"),
+        wall_s,
+        mma_instructions: slot.instructions,
+        mma_steps: slot.steps,
+        mma_lane_products: slot.lane_products,
+        operand_bytes: exec.operand_bytes,
+        max_ulp,
+    }
+}
 
 /// Best-of-`reps` wall time of `f`.
 fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -266,4 +440,33 @@ fn main() {
     };
     dump_json("BENCH_gemm", &report).expect("write results/BENCH_gemm.json");
     println!("\nwrote results/BENCH_gemm.json");
+
+    println!("\nprecision dial sweep (error vs an exact-in-f64 reference)\n");
+    let mut precision_rows = Vec::new();
+    for &(n, reps) in &[(256usize, 2usize), (512, 1)] {
+        let a32 = Matrix::<f32>::random(n, n, 0xA + n as u64);
+        let b32 = Matrix::<f32>::random(n, n, 0xB + n as u64);
+        let c32 = Matrix::<f32>::zeros(n, n);
+        let reference = reference_f64_of_f32(&a32, &b32, &c32);
+        for precision in GemmPrecision::ALL {
+            let row = bench_precision(n, reps, precision, &a32, &b32, &c32, &reference);
+            println!(
+                "gemm {0}^3 {1:>12}: {2:>10}  {3:>9} mma  {4:>12} lanes  max ulp {5}",
+                row.n,
+                row.precision,
+                fmt_duration(Duration::from_secs_f64(row.wall_s)),
+                row.mma_instructions,
+                row.mma_lane_products,
+                row.max_ulp,
+            );
+            precision_rows.push(row);
+        }
+    }
+    let precision_report = PrecisionReport {
+        threads: gemm::workers() as u64,
+        simd_level: format!("{active:?}"),
+        rows: precision_rows,
+    };
+    dump_json("BENCH_precision", &precision_report).expect("write results/BENCH_precision.json");
+    println!("\nwrote results/BENCH_precision.json");
 }

@@ -716,6 +716,7 @@ fn open_loop_cell(
     let opts = SubmitOpts {
         deadline: Some(deadline),
         priority: Priority::Normal,
+        ..SubmitOpts::default()
     };
     let mut pending: Vec<(Instant, Pending)> = Vec::new();
     let mut latencies: Vec<Duration> = Vec::new();

@@ -8,7 +8,9 @@
 use m3xu_fp::fixed::Kulisch;
 use m3xu_fp::format::{FP32, M3XU_BUFFER};
 use m3xu_fp::rounding::{round_with, Rounding};
-use m3xu_fp::split::{join_fp32, split_fp32, FP32_LOW_BITS};
+use m3xu_fp::split::{
+    join_fp32, split_fp32, SliceConfig, FP32_LOW_BITS, FP32_SLICES_EXACT, FP64_SLICES_EMULATED,
+};
 
 /// `2^k` as an exact `f64` (valid down to the subnormal floor at -1074).
 fn pow2(k: i32) -> f64 {
@@ -112,6 +114,139 @@ fn split_boundary_of_normal_values() {
         0,
         "high half must have clear low bits"
     );
+}
+
+// ---- N-slice decompositions (SliceConfig) ------------------------------
+
+#[test]
+fn n_slice_subnormals_reconstruct_bit_exactly() {
+    // Subnormal patterns at every slice count: each slice is exact, and the
+    // ascending-order re-sum returns the input bit for bit.
+    for bits in [
+        0x0000_0001u32,
+        0x0000_0FFF,
+        0x0000_1000,
+        0x0000_1ABC,
+        0x007F_FFFF,
+    ] {
+        let x = f32::from_bits(bits);
+        for n in [2u32, 3, 4] {
+            let s = SliceConfig::for_f32(n).split_f32(x);
+            assert_eq!(
+                s.total_f32().to_bits(),
+                bits,
+                "subnormal {bits:#010x} at n={n}"
+            );
+            // Sum of f32-rounded slices also reconstructs: every slice of a
+            // 24-bit significand is itself FP32-representable.
+            let resum: f32 = s.slices().iter().rev().map(|&v| v as f32).sum();
+            assert_eq!(resum.to_bits(), bits, "f32 slice re-sum at n={n}");
+        }
+    }
+}
+
+#[test]
+fn n_slice_two_slice_matches_classic_split_golden() {
+    // The N=2 instance is the paper's 12+12 split, bit for bit.
+    for bits in [
+        0x3F80_0800u32,
+        0x3F80_1000,
+        0x0000_1ABC,
+        0x8000_0000,
+        0x7F7F_FFFF,
+    ] {
+        let x = f32::from_bits(bits);
+        let (hi, lo) = split_fp32(x);
+        let s = FP32_SLICES_EXACT.split_f32(x);
+        assert_eq!((s.get(0) as f32).to_bits(), hi.to_bits());
+        assert_eq!((s.get(1) as f32).to_bits(), lo.to_bits());
+    }
+}
+
+#[test]
+fn n_slice_nan_payloads_and_infinities() {
+    for n in [2u32, 3, 4] {
+        let cfg = SliceConfig::for_f32(n);
+        // Quiet-NaN payloads survive in slice 0; the rest are zero.
+        for bits in [0x7FC1_2345u32, 0xFFC0_DEAD] {
+            let s = cfg.split_f32(f32::from_bits(bits));
+            assert_eq!((s.get(0) as f32).to_bits(), bits, "payload at n={n}");
+            for i in 1..n as usize {
+                assert_eq!(s.get(i).to_bits(), 0);
+            }
+            assert_eq!(s.total_f32().to_bits(), bits);
+        }
+        // Infinities pass through slice 0 with sign.
+        let s = cfg.split_f32(f32::INFINITY);
+        assert_eq!(s.total_f32().to_bits(), 0x7F80_0000);
+        let s = cfg.split_f32(f32::NEG_INFINITY);
+        assert_eq!(s.total_f32().to_bits(), 0xFF80_0000);
+    }
+}
+
+#[test]
+fn n_slice_signed_zero() {
+    for n in [2u32, 3, 4] {
+        let cfg = SliceConfig::for_f32(n);
+        let s = cfg.split_f32(-0.0);
+        assert_eq!((s.get(0) as f32).to_bits(), 0x8000_0000, "n={n}");
+        for i in 1..n as usize {
+            assert_eq!((s.get(i) as f32).to_bits(), 0x0000_0000);
+        }
+        assert_eq!(s.total_f32().to_bits(), 0x8000_0000);
+        let s = cfg.split_f32(0.0);
+        assert_eq!(s.total_f32().to_bits(), 0x0000_0000);
+    }
+}
+
+#[test]
+fn n_slice_deep_underflow_reconstruction_through_kulisch() {
+    // Deep-underflow accumulation: slice an input whose low slices are far
+    // below the FP32 subnormal floor, push every slice through the exact
+    // accumulator, and demand the drained value equals the input exactly.
+    for n in [2u32, 3, 4] {
+        let cfg = SliceConfig::for_f32(n);
+        for bits in [0x0000_0001u32, 0x0000_0003, 0x0080_0001, 0x3F80_0001] {
+            let x = f32::from_bits(bits);
+            let mut acc = Kulisch::new();
+            for &v in cfg.split_f32(x).slices() {
+                acc.add_f64(v);
+            }
+            assert_eq!(acc.to_f32().to_bits(), bits, "n={n}, bits={bits:#010x}");
+        }
+    }
+}
+
+#[test]
+fn fp64_slice_family_golden() {
+    // The 5-slice FP64 configuration: widths 11,11,11,11,9 — all within
+    // the 12-bit multiplier — and bit-exact reconstruction across the full
+    // dynamic range including f64 subnormals.
+    let cfg = FP64_SLICES_EMULATED;
+    assert_eq!(
+        (0..5).map(|i| cfg.slice_bits(i)).collect::<Vec<_>>(),
+        vec![11, 11, 11, 11, 9]
+    );
+    for bits in [
+        0x0000_0000_0000_0001u64, // min subnormal
+        0x000F_FFFF_FFFF_FFFF,    // max subnormal
+        0x0010_0000_0000_0000,    // min normal
+        0x3FF0_0000_0000_0001,    // 1 + eps
+        0x7FEF_FFFF_FFFF_FFFF,    // f64::MAX
+        0x8000_0000_0000_0000,    // -0.0
+        0xC000_0000_0000_0000,    // -2.0
+    ] {
+        let x = f64::from_bits(bits);
+        let s = cfg.split_f64(x);
+        assert_eq!(s.total().to_bits(), bits, "{bits:#018x}");
+        let mut acc = Kulisch::new();
+        for &v in s.slices() {
+            acc.add_f64(v);
+        }
+        if x != 0.0 {
+            assert_eq!(acc.to_f64().to_bits(), bits, "kulisch {bits:#018x}");
+        }
+    }
 }
 
 // ---- Kulisch round-to-nearest-even ties --------------------------------

@@ -26,7 +26,8 @@ fn engine_power(engine: Engine, clock_scale: f64) -> f64 {
         Engine::TensorFp16 | Engine::TensorBf16 | Engine::TensorTf32 => 1.0,
         // M3XU designs: pipelined (1.07) at full clock; the non-pipelined
         // variant's relaxed-clock power (0.69) is selected via clock_scale.
-        Engine::M3xuFp32 | Engine::M3xuFp32c => {
+        // The precision-family modes run on the same M3XU array.
+        Engine::M3xuFp32 | Engine::M3xuFp32Fast | Engine::M3xuFp64Emu | Engine::M3xuFp32c => {
             if clock_scale < 0.999 {
                 PAPER_TABLE3[3].2 // 0.69: non-pipelined M3XU
             } else {

@@ -85,6 +85,13 @@ pub enum Engine {
     TensorTf32,
     /// M3XU in FP32 mode (2-step MMAs).
     M3xuFp32,
+    /// M3XU in fast-FP32 mode: the truncated 3-term slice schedule. Same
+    /// 2-step MMA issue shape as [`Engine::M3xuFp32`] — the truncation
+    /// drops lane products, not steps.
+    M3xuFp32Fast,
+    /// M3XU in emulated-FP64 mode: 5-slice operands, 25 cross products,
+    /// 7-step MMAs over depth-1 fragments.
+    M3xuFp64Emu,
     /// M3XU in FP32C mode (4-step MMAs).
     M3xuFp32c,
     /// The brute-force native FP32 MXU (Table III column 2).
@@ -106,6 +113,12 @@ impl Engine {
             Engine::TensorBf16 => gpu.bf16_tc_tflops,
             Engine::TensorTf32 => gpu.tf32_tc_tflops,
             Engine::M3xuFp32 => gpu.m3xu_fp32_tflops(),
+            // The truncated schedule saves lane products (energy), not
+            // MXU-occupying steps: same effective rate as full FP32.
+            Engine::M3xuFp32Fast => gpu.m3xu_fp32_tflops(),
+            // 4x the FP16 fragment count (depth-1 fragments) at 7 steps
+            // each: 1/28 of the FP16 rate.
+            Engine::M3xuFp64Emu => gpu.fp16_tc_tflops / 28.0,
             Engine::M3xuFp32c => gpu.m3xu_fp32c_real_tflops(),
             // Full FP16-rate FP32: the expensive design's whole point.
             Engine::NativeFp32Mxu => gpu.fp16_tc_tflops,

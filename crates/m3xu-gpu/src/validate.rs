@@ -44,6 +44,17 @@ m3xu_json::impl_to_json!(ExactCounts {
     operand_bytes
 });
 
+/// Fragment parameters of an N-slice Ozaki engine, derived from its
+/// term schedule rather than tabulated: the fragment depth is the FP16
+/// baseline depth 4 divided by the mode's k-divisor, and each MMA
+/// occupies `ceil(frag_k * terms_per_mac / 4)` steps — the functional
+/// MXU's lane law (four lane products retire per step).
+fn ozaki_params(k_div: usize, terms_per_mac: u64, elem_bytes: u64) -> (usize, u64, u64) {
+    let frag_k = (4 / k_div).max(1);
+    let steps = (frag_k as u64 * terms_per_mac).div_ceil(4);
+    (frag_k, steps, elem_bytes)
+}
+
 /// Per-engine fragment parameters in the functional convention:
 /// `(fragment k-depth, steps per MMA, bytes per stored element)`.
 /// `None` for engines with no functional MMA path (SIMT cores, the
@@ -52,7 +63,12 @@ fn engine_params(engine: Engine) -> Option<(usize, u64, u64)> {
     match engine {
         Engine::TensorFp16 | Engine::TensorBf16 => Some((4, 1, 2)),
         Engine::TensorTf32 => Some((2, 1, 4)),
-        Engine::M3xuFp32 => Some((2, 2, 4)),
+        // Full 2-slice FP32: 2x2 = 4 cross terms.
+        Engine::M3xuFp32 => Some(ozaki_params(2, 4, 4)),
+        // Truncated 2-slice FP32: the lo·lo term is dropped.
+        Engine::M3xuFp32Fast => Some(ozaki_params(2, 3, 4)),
+        // Emulated FP64: 5 slices, all 25 cross terms, f64 storage.
+        Engine::M3xuFp64Emu => Some(ozaki_params(4, 25, 8)),
         Engine::M3xuFp32c => Some((1, 4, 8)),
         Engine::Simt | Engine::NativeFp32Mxu => None,
     }
@@ -175,6 +191,30 @@ mod tests {
         // Rule (c): 2x / 4x the FP16 operand bytes.
         assert_eq!(fp32.operand_bytes, 2 * fp16.operand_bytes);
         assert_eq!(fp32c.operand_bytes, 4 * fp16.operand_bytes);
+    }
+
+    #[test]
+    fn precision_family_counts_follow_the_lane_law() {
+        let p = Problem {
+            m: 64,
+            n: 64,
+            k: 64,
+            complex: false,
+        };
+        let fp32 = exact_counts(p, Engine::M3xuFp32).unwrap();
+        let fast = exact_counts(p, Engine::M3xuFp32Fast).unwrap();
+        // The truncated schedule drops lane products, not steps: the
+        // fast engine's instruction/step/traffic triple is identical to
+        // full FP32 (ceil(2*3/4) = ceil(2*4/4) = 2 steps per MMA).
+        assert_eq!(fast, fp32);
+
+        let emu = exact_counts(p, Engine::M3xuFp64Emu).unwrap();
+        // Depth-1 fragments: 8x8 tiles x 64 k-chunks.
+        assert_eq!(emu.instructions, 8 * 8 * 64);
+        // ceil(1 * 25 / 4) = 7 steps per MMA.
+        assert_eq!(emu.steps, emu.instructions * 7);
+        // f64 operand storage.
+        assert_eq!(emu.operand_bytes, ((64 * 64 + 64 * 64) * 8) as u64);
     }
 
     #[test]

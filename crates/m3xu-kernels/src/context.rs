@@ -33,6 +33,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 type C32 = Complex<f32>;
 
+/// Number of execution modes the per-mode counter arrays cover.
+pub(crate) const MODE_COUNT: usize = MxuMode::ALL.len();
+
 /// Index of `mode` into per-mode counter arrays — the declaration order
 /// of [`MxuMode::ALL`].
 fn mode_index(mode: MxuMode) -> usize {
@@ -41,9 +44,11 @@ fn mode_index(mode: MxuMode) -> usize {
         MxuMode::Bf16 => 1,
         MxuMode::Tf32 => 2,
         MxuMode::M3xuFp32 => 3,
-        MxuMode::M3xuFp32c => 4,
-        MxuMode::M3xuFp64 => 5,
-        MxuMode::M3xuFp64c => 6,
+        MxuMode::M3xuFp32Fast => 4,
+        MxuMode::M3xuFp32c => 5,
+        MxuMode::M3xuFp64 => 6,
+        MxuMode::M3xuFp64Emu => 7,
+        MxuMode::M3xuFp64c => 8,
     }
 }
 
@@ -85,7 +90,7 @@ pub(crate) struct ExecCounters {
     faults_detected: AtomicU64,
     faults_corrected: AtomicU64,
     fault_retries: AtomicU64,
-    per_mode: [ModeCounters; 7],
+    per_mode: [ModeCounters; MODE_COUNT],
 }
 
 impl ExecCounters {
@@ -115,7 +120,7 @@ impl ExecCounters {
     }
 
     fn snapshot(&self) -> ExecStats {
-        let mut per_mode = [MmaStats::default(); 7];
+        let mut per_mode = [MmaStats::default(); MODE_COUNT];
         for (i, m) in self.per_mode.iter().enumerate() {
             per_mode[i] = MmaStats {
                 instructions: m.instructions.load(Ordering::Relaxed),
@@ -183,7 +188,7 @@ pub struct ExecStats {
     /// Tile re-executions plus epoch re-submissions the checked drivers
     /// performed.
     pub fault_retries: u64,
-    per_mode: [MmaStats; 7],
+    per_mode: [MmaStats; MODE_COUNT],
 }
 
 impl ExecStats {
@@ -206,7 +211,7 @@ impl ExecStats {
     /// (Σ shard `ExecStats` is what per-tenant accounting reconciles
     /// against).
     pub fn merged(&self, other: &ExecStats) -> ExecStats {
-        let mut per_mode = [MmaStats::default(); 7];
+        let mut per_mode = [MmaStats::default(); MODE_COUNT];
         for (i, d) in per_mode.iter_mut().enumerate() {
             *d = self.per_mode[i];
             d.merge(&other.per_mode[i]);
@@ -228,7 +233,7 @@ impl ExecStats {
     /// Element-wise saturating difference `self - earlier`: the activity
     /// between two snapshots of the same (monotone) counter set.
     pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
-        let mut per_mode = [MmaStats::default(); 7];
+        let mut per_mode = [MmaStats::default(); MODE_COUNT];
         for (i, d) in per_mode.iter_mut().enumerate() {
             *d = self.per_mode[i].delta_since(&earlier.per_mode[i]);
         }
@@ -487,6 +492,43 @@ impl M3xuContext {
         gemm::try_cgemm_c32_faulted_ctx(self, a, b, c)
     }
 
+    /// Fallible tiled emulated-FP64 GEMM `D = A·B + C`, counted into this
+    /// context's [`ExecStats`]. Only [`GemmPrecision::Fp64Emulated`] is
+    /// accepted; every other precision returns
+    /// [`M3xuError::ModeMismatch`].
+    pub fn try_gemm_f64(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+    ) -> Result<GemmResult<f64>, M3xuError> {
+        gemm::try_gemm_f64_ctx(self, precision, a, b, c)
+    }
+
+    /// [`M3xuContext::try_gemm_f64`], panicking on invalid shapes or
+    /// precision.
+    pub fn gemm_f64(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+    ) -> GemmResult<f64> {
+        self.try_gemm_f64(precision, a, b, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible emulated-FP64 `A·B` with a zero `C`.
+    pub fn try_matmul_f64(
+        &self,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<Matrix<f64>, M3xuError> {
+        let c = Matrix::zeros(a.rows(), b.cols());
+        Ok(self.try_gemm_f64(GemmPrecision::Fp64Emulated, a, b, &c)?.d)
+    }
+
     /// Fallible `A·B` with a zero `C`.
     pub fn try_matmul_f32(
         &self,
@@ -630,6 +672,24 @@ pub trait GemmExecutor {
         c: &Matrix<C32>,
     ) -> Result<GemmResult<C32>, M3xuError>;
 
+    /// Fallible tiled emulated-FP64 GEMM `D = A·B + C`. Executors without
+    /// a double-precision engine inherit this default, which rejects the
+    /// request with [`M3xuError::ModeMismatch`] instead of silently
+    /// degrading precision.
+    fn try_gemm_f64(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+    ) -> Result<GemmResult<f64>, M3xuError> {
+        let _ = (a, b, c);
+        Err(M3xuError::ModeMismatch {
+            context: "GemmExecutor::try_gemm_f64",
+            got: precision.mode(),
+        })
+    }
+
     /// Fallible `A·B` with a zero `C`.
     fn try_matmul_f32(
         &self,
@@ -666,6 +726,16 @@ impl GemmExecutor for M3xuContext {
         c: &Matrix<C32>,
     ) -> Result<GemmResult<C32>, M3xuError> {
         M3xuContext::try_cgemm_c32(self, a, b, c)
+    }
+
+    fn try_gemm_f64(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+    ) -> Result<GemmResult<f64>, M3xuError> {
+        M3xuContext::try_gemm_f64(self, precision, a, b, c)
     }
 }
 

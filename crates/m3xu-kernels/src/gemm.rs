@@ -61,11 +61,23 @@ fn validate_gemm_shapes<E>(a: &Matrix<E>, b: &Matrix<E>, c: &Matrix<E>) -> Resul
     Ok(())
 }
 
-/// Which GEMM engine/precision the driver runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which GEMM engine/precision the driver runs — the serve API's
+/// per-request **precision dial**, from the fastest lossy narrow modes up
+/// to emulated FP64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmPrecision {
     /// M3XU true FP32 (bit-exact, 2-step MMAs).
     M3xuFp32,
+    /// M3XU fast FP32: the truncated 3-term slice schedule (drops the
+    /// lo·lo cross term, 3xTF32-style). Same 2-step issue shape as
+    /// [`GemmPrecision::M3xuFp32`] with 25% fewer lane products; the
+    /// result is no longer the exactly-rounded dot product.
+    Fp32Fast,
+    /// Emulated FP64: `f64` operands sliced into five ≤12-bit mantissa
+    /// slices, all 25 cross products accumulated exactly, rounded to
+    /// `f64` once per fragment chunk. Runs on [`try_gemm_f64`]-family
+    /// entry points (the operands are `Matrix<f64>`).
+    Fp64Emulated,
     /// TF32 Tensor-Core mode (precision-lossy baseline).
     Tf32,
     /// FP16 inputs (values quantised at the buffers).
@@ -75,17 +87,51 @@ pub enum GemmPrecision {
 }
 
 impl GemmPrecision {
+    /// Every precision the dial exposes, fastest-narrow to widest.
+    pub const ALL: [GemmPrecision; 6] = [
+        GemmPrecision::Fp16,
+        GemmPrecision::Bf16,
+        GemmPrecision::Tf32,
+        GemmPrecision::Fp32Fast,
+        GemmPrecision::M3xuFp32,
+        GemmPrecision::Fp64Emulated,
+    ];
+
     /// The [`MxuMode`] this engine executes in — the key into per-mode
     /// [`ExecStats`](crate::context::ExecStats) counters and the element
     /// width behind the rule-(c) operand-traffic formula.
     pub fn mode(self) -> MxuMode {
         match self {
             GemmPrecision::M3xuFp32 => MxuMode::M3xuFp32,
+            GemmPrecision::Fp32Fast => MxuMode::M3xuFp32Fast,
+            GemmPrecision::Fp64Emulated => MxuMode::M3xuFp64Emu,
             GemmPrecision::Tf32 => MxuMode::Tf32,
             GemmPrecision::Fp16 => MxuMode::Fp16,
             GemmPrecision::Bf16 => MxuMode::Bf16,
         }
     }
+
+    /// True for the precisions the `f32` GEMM entry points accept; only
+    /// [`GemmPrecision::Fp64Emulated`] takes `Matrix<f64>` operands.
+    pub fn is_f32(self) -> bool {
+        !matches!(self, GemmPrecision::Fp64Emulated)
+    }
+}
+
+/// Reject an `f32` entry point called with the FP64 precision (or vice
+/// versa) with a typed error instead of a packing panic.
+fn check_precision(
+    precision: GemmPrecision,
+    want_f32: bool,
+    context: &'static str,
+) -> Result<(), M3xuError> {
+    if precision.is_f32() != want_f32 {
+        return Err(M3xuError::ModeMismatch {
+            context,
+            got: precision.mode(),
+        });
+    }
+    Ok(())
 }
 
 /// Result of a tiled GEMM: the output matrix plus MMA statistics.
@@ -224,6 +270,45 @@ impl PackedElem for Complex<f32> {
         acc: &mut [Complex<f32>],
     ) {
         dpu.mma_c32_panel_into(a, b, r0, rows, c0, cols, k0, kend, frag_k, acc);
+    }
+}
+
+impl PackedElem for f64 {
+    const VAL_BYTES: usize = std::mem::size_of::<f64>();
+    fn pack_a(a: &Matrix<f64>, mode: MxuMode, storage: PackedStorage) -> PackedOperand {
+        PackedOperand::try_pack_rows_f64_in(a, mode, storage).unwrap_or_else(|e| panic!("{e}"))
+    }
+    fn pack_b(b: &Matrix<f64>, mode: MxuMode, storage: PackedStorage) -> PackedOperand {
+        PackedOperand::try_pack_cols_f64_in(b, mode, storage).unwrap_or_else(|e| panic!("{e}"))
+    }
+    fn execute(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f64],
+    ) {
+        dpu.mma_f64_into(a, b, r0, rows, c0, cols, k0, klen, acc);
+    }
+    fn execute_panel(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f64],
+    ) {
+        dpu.mma_f64_panel_into(a, b, r0, rows, c0, cols, k0, kend, frag_k, acc);
     }
 }
 
@@ -810,6 +895,7 @@ pub(crate) fn try_gemm_f32_faulted_ctx(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+    check_precision(precision, true, "gemm_f32")?;
     match ctx.fault_plan() {
         Some(plan) if precision == GemmPrecision::M3xuFp32 => {
             try_gemm_abft(ctx.pool(), precision.mode(), a, b, c, Some(ctx), plan)
@@ -817,6 +903,21 @@ pub(crate) fn try_gemm_f32_faulted_ctx(
         _ => try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
             .map(|r| (r, FaultSummary::default())),
     }
+}
+
+/// Context-attached emulated-FP64 GEMM: the body of
+/// [`M3xuContext::try_gemm_f64`](crate::context::M3xuContext::try_gemm_f64).
+/// The FP64 path has no checked (ABFT) variant — the checksum algebra is
+/// FP32 — so an armed fault plan does not reroute it.
+pub(crate) fn try_gemm_f64_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &Matrix<f64>,
+) -> Result<GemmResult<f64>, M3xuError> {
+    check_precision(precision, false, "gemm_f64")?;
+    try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
 }
 
 /// [`try_cgemm_c32_ctx`] with the invocation's [`FaultSummary`].
@@ -844,6 +945,7 @@ pub fn try_gemm_f32_on(
     b: &Matrix<f32>,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
+    check_precision(precision, true, "gemm_f32")?;
     try_gemm_packed(pool, precision.mode(), a, b, c, None)
 }
 
@@ -945,6 +1047,71 @@ pub fn try_matmul_f32(
 /// [`try_matmul_f32`] for the fallible form.
 pub fn matmul_f32(precision: GemmPrecision, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
     try_matmul_f32(precision, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible tiled emulated-FP64 GEMM `D = A·B + C` on an explicit worker
+/// pool. Only [`GemmPrecision::Fp64Emulated`] is accepted — every other
+/// precision returns [`M3xuError::ModeMismatch`] (the `f64` operands have
+/// no decode path on the f32 engines).
+pub fn try_gemm_f64_on(
+    pool: &WorkerPool,
+    precision: GemmPrecision,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &Matrix<f64>,
+) -> Result<GemmResult<f64>, M3xuError> {
+    check_precision(precision, false, "gemm_f64")?;
+    try_gemm_packed(pool, precision.mode(), a, b, c, None)
+}
+
+/// Tiled emulated-FP64 GEMM `D = A·B + C` using an explicit worker pool.
+/// Panics on shape or precision mismatch; see [`try_gemm_f64_on`] for the
+/// fallible form.
+pub fn gemm_f64_on(
+    pool: &WorkerPool,
+    precision: GemmPrecision,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &Matrix<f64>,
+) -> GemmResult<f64> {
+    try_gemm_f64_on(pool, precision, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible tiled emulated-FP64 GEMM `D = A·B + C` on the process-wide
+/// default context (the call is recorded into its
+/// [`ExecStats`](crate::context::ExecStats) counters).
+pub fn try_gemm_f64(
+    precision: GemmPrecision,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &Matrix<f64>,
+) -> Result<GemmResult<f64>, M3xuError> {
+    context::default_context().try_gemm_f64(precision, a, b, c)
+}
+
+/// Tiled emulated-FP64 GEMM `D = A·B + C`.
+///
+/// Panics on shape or precision mismatch; see [`try_gemm_f64`] for the
+/// fallible form.
+pub fn gemm_f64(
+    precision: GemmPrecision,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &Matrix<f64>,
+) -> GemmResult<f64> {
+    try_gemm_f64(precision, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible convenience: emulated-FP64 `A·B` with a zero C.
+pub fn try_matmul_f64(a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>, M3xuError> {
+    let c = Matrix::zeros(a.rows(), b.cols());
+    Ok(try_gemm_f64(GemmPrecision::Fp64Emulated, a, b, &c)?.d)
+}
+
+/// Convenience: emulated-FP64 `A·B` with a zero C. Panics on shape
+/// mismatch; see [`try_matmul_f64`] for the fallible form.
+pub fn matmul_f64(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+    try_matmul_f64(a, b).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Fallible convenience: complex `A·B` with a zero C.
@@ -1067,6 +1234,11 @@ pub mod baseline {
                 GemmPrecision::Tf32 => mxu.mma_tf32(at, bt, acc),
                 GemmPrecision::Fp16 => mxu.mma_fp16(at, bt, acc),
                 GemmPrecision::Bf16 => mxu.mma_bf16(at, bt, acc),
+                GemmPrecision::Fp32Fast | GemmPrecision::Fp64Emulated => panic!(
+                    "no baseline tile executor for {:?}; the packed driver is \
+                     the only engine for this precision",
+                    precision
+                ),
             },
         )
     }
@@ -1108,6 +1280,145 @@ mod tests {
             }
             acc
         })
+    }
+
+    /// Per-fragment truncated-schedule reference for
+    /// [`GemmPrecision::Fp32Fast`]: the 12+12 slice split with the lo·lo
+    /// cross term dropped, accumulated exactly per K-chunk.
+    fn fast_fragment_reference(
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        c: &Matrix<f32>,
+        frag_k: usize,
+    ) -> Matrix<f32> {
+        let cfg = m3xu_fp::split::FP32_SLICES_EXACT;
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            let mut acc = c.get(i, j);
+            for k0 in (0..a.cols()).step_by(frag_k) {
+                let mut kul = m3xu_fp::Kulisch::new();
+                kul.add_f64(acc as f64);
+                for kk in k0..(k0 + frag_k).min(a.cols()) {
+                    let sa = cfg.split_f32(a.get(i, kk));
+                    let sb = cfg.split_f32(b.get(kk, j));
+                    kul.add_product_f64(sa.get(0), sb.get(0));
+                    kul.add_product_f64(sa.get(0), sb.get(1));
+                    kul.add_product_f64(sa.get(1), sb.get(0));
+                }
+                acc = kul.to_f32();
+            }
+            acc
+        })
+    }
+
+    /// Per-fragment exact reference for [`GemmPrecision::Fp64Emulated`]:
+    /// all 25 slice cross products of the 5-slice `f64` split, rounded to
+    /// `f64` once per K-chunk.
+    fn f64_fragment_reference(
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+        frag_k: usize,
+    ) -> Matrix<f64> {
+        let cfg = m3xu_fp::split::FP64_SLICES_EMULATED;
+        let n = cfg.slices() as usize;
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            let mut acc = c.get(i, j);
+            for k0 in (0..a.cols()).step_by(frag_k) {
+                let mut kul = m3xu_fp::Kulisch::new();
+                kul.add_f64(acc);
+                for kk in k0..(k0 + frag_k).min(a.cols()) {
+                    let sa = cfg.split_f64(a.get(i, kk));
+                    let sb = cfg.split_f64(b.get(kk, j));
+                    for si in 0..n {
+                        for sj in 0..n {
+                            kul.add_product_f64(sa.get(si), sb.get(sj));
+                        }
+                    }
+                }
+                acc = kul.to_f64();
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn fp32_fast_gemm_bit_exact_vs_truncated_fragment_reference() {
+        let a = Matrix::<f32>::random(37, 19, 11);
+        let b = Matrix::<f32>::random(19, 23, 12);
+        let c = Matrix::<f32>::random(37, 23, 13);
+        let r = gemm_f32(GemmPrecision::Fp32Fast, &a, &b, &c);
+        let expect = fast_fragment_reference(&a, &b, &c, 2);
+        assert_eq!(r.d, expect);
+        // The truncation is real: the fast engine must not silently run
+        // the full 4-term schedule.
+        let exact = gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
+        assert_ne!(r.d, exact.d);
+    }
+
+    #[test]
+    fn fp64_emulated_gemm_bit_exact_vs_fragment_reference() {
+        let a = Matrix::<f64>::random_f64(37, 19, 21);
+        let b = Matrix::<f64>::random_f64(19, 23, 22);
+        let c = Matrix::<f64>::random_f64(37, 23, 23);
+        let r = gemm_f64(GemmPrecision::Fp64Emulated, &a, &b, &c);
+        let expect = f64_fragment_reference(&a, &b, &c, 1);
+        assert_eq!(r.d, expect);
+    }
+
+    #[test]
+    fn fp64_emulated_identity_passthrough() {
+        let a = Matrix::<f64>::random_f64(16, 16, 31);
+        let i = Matrix::<f64>::identity_f64(16);
+        let d = matmul_f64(&a, &i);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn precision_guards_reject_mismatched_element_types() {
+        let a32 = Matrix::<f32>::random(4, 4, 1);
+        let c32 = Matrix::<f32>::zeros(4, 4);
+        let err = try_gemm_f32(GemmPrecision::Fp64Emulated, &a32, &a32, &c32).unwrap_err();
+        assert!(matches!(
+            err,
+            M3xuError::ModeMismatch {
+                got: MxuMode::M3xuFp64Emu,
+                ..
+            }
+        ));
+
+        let a64 = Matrix::<f64>::random_f64(4, 4, 1);
+        let c64 = Matrix::<f64>::zeros(4, 4);
+        for precision in GemmPrecision::ALL {
+            if precision == GemmPrecision::Fp64Emulated {
+                assert!(try_gemm_f64(precision, &a64, &a64, &c64).is_ok());
+            } else {
+                let err = try_gemm_f64(precision, &a64, &a64, &c64).unwrap_err();
+                assert!(
+                    matches!(err, M3xuError::ModeMismatch { got, .. } if got == precision.mode())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp64_emulated_stats_follow_the_lane_law() {
+        let ctx = crate::context::M3xuContext::with_threads(2);
+        let a = Matrix::<f64>::random_f64(64, 64, 41);
+        let b = Matrix::<f64>::random_f64(64, 64, 42);
+        let c = Matrix::<f64>::zeros(64, 64);
+        ctx.gemm_f64(GemmPrecision::Fp64Emulated, &a, &b, &c);
+        let stats = ctx.stats();
+        let per = stats.mode(MxuMode::M3xuFp64Emu);
+        // 8x8 tiles, frag_k = 1: (64/8) * (64/8) * 64 fragments.
+        assert_eq!(per.instructions, 8 * 8 * 64);
+        assert_eq!(
+            per.steps,
+            per.instructions * MxuMode::M3xuFp64Emu.steps() as u64
+        );
+        // 25 slice products per scalar MAC; 8*8*1 MACs per fragment.
+        assert_eq!(per.lane_products, per.instructions * 8 * 8 * 25);
+        // Operand traffic at the f64 storage width.
+        assert_eq!(stats.operand_bytes, (64 * 64 + 64 * 64) * 8);
     }
 
     #[test]

@@ -15,11 +15,14 @@
 
 use m3xu_fp::format::{FloatFormat, FP32};
 use m3xu_fp::softfloat::encode;
+use m3xu_fp::split::{SliceConfig, FP32_SLICES_EXACT};
 
 /// Width of the mantissa field in a buffer entry (and of the extended
-/// multiplier): 12 bits — the paper's key "1-bit extension" over the 11-bit
-/// significands of FP16/BF16/TF32 Tensor Cores.
-pub const MANT_BITS: u32 = 12;
+/// multiplier): the paper's key "1-bit extension" over the 11-bit
+/// significands of FP16/BF16/TF32 Tensor Cores. Derived from the exact
+/// 2-slice FP32 configuration (`ceil(24 / 2) = 12`) so the multiplier
+/// width and the slice family cannot silently drift apart.
+pub const MANT_BITS: u32 = FP32_SLICES_EXACT.max_slice_bits();
 
 /// Non-finite payloads the decode stage flags before data reaches the
 /// multiplier array.
@@ -144,13 +147,15 @@ pub fn decode_fp32(x: f32) -> (BufferEntry, BufferEntry) {
         (frac | 0x80_0000, biased - 127)
     };
     let zero = m24 == 0;
-    // value = ±M * 2^(e - 23); split M = mH*2^12 + mL.
-    let m_hi = m24 >> 12; // hidden 1 + top 11 explicit bits
-    let m_lo = m24 & 0xfff; // bottom 12 explicit bits
+    // value = ±M * 2^(e - 23); split M = mH*2^LOW + mL with LOW =
+    // bits_below(0) of the exact 2-slice config (the classic 12).
+    let low = FP32_SLICES_EXACT.bits_below(0);
+    let m_hi = m24 >> low; // hidden 1 + top explicit bits
+    let m_lo = m24 & ((1 << low) - 1); // bottom explicit bits
     let hi = BufferEntry {
         sign,
         mant: m_hi,
-        pow: e - 11,
+        pow: e - 23 + low as i32,
         special: None,
         operand_zero: zero,
     };
@@ -162,6 +167,113 @@ pub fn decode_fp32(x: f32) -> (BufferEntry, BufferEntry) {
         operand_zero: zero,
     };
     (hi, lo)
+}
+
+/// Decode an FP32 operand into `cfg.slices()` buffer entries — the N-slice
+/// generalisation of [`decode_fp32`]. Entry `i` carries slice `i` of the
+/// 24-bit significand (slice 0 most significant), each within the
+/// [`MANT_BITS`]-wide multiplier field; the entries' exact values sum to
+/// `x`. Writes into `out[..cfg.slices()]` (no allocation on the packing
+/// path) and returns the slice count. Non-finite operands flag every entry.
+pub fn decode_fp32_slices(x: f32, cfg: SliceConfig, out: &mut [BufferEntry]) -> usize {
+    let n = cfg.slices() as usize;
+    assert!(cfg.precision() == 24, "FP32 slices need a 24-bit config");
+    assert!(
+        cfg.max_slice_bits() <= MANT_BITS,
+        "slice width exceeds the {MANT_BITS}-bit multiplier field"
+    );
+    assert!(out.len() >= n, "output buffer too short");
+    let bits = x.to_bits();
+    let sign = bits >> 31 == 1;
+    let biased = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+
+    if biased == 0xff {
+        let s = if frac != 0 {
+            Special::Nan
+        } else {
+            Special::Inf(sign)
+        };
+        let e = BufferEntry {
+            sign,
+            mant: 0,
+            pow: 0,
+            special: Some(s),
+            operand_zero: false,
+        };
+        out[..n].fill(e);
+        return n;
+    }
+    let (m24, e) = if biased == 0 {
+        (frac, -126)
+    } else {
+        (frac | 0x80_0000, biased - 127)
+    };
+    let zero = m24 == 0;
+    for i in 0..cfg.slices() {
+        let below = cfg.bits_below(i);
+        let width = cfg.slice_bits(i);
+        out[i as usize] = BufferEntry {
+            sign,
+            mant: (m24 >> below) & ((1u32 << width) - 1),
+            pow: e - 23 + below as i32,
+            special: None,
+            operand_zero: zero,
+        };
+    }
+    n
+}
+
+/// Decode an FP64 operand into `cfg.slices()` buffer entries for the
+/// emulated-FP64 mode: N slices of the 53-bit significand, each within the
+/// 12-bit multiplier field (unlike the §IV-C [`decode_fp64`] halves, which
+/// need 27-bit multipliers). The entries' exact values sum to `x`.
+pub fn decode_fp64_slices(x: f64, cfg: SliceConfig, out: &mut [BufferEntry]) -> usize {
+    let n = cfg.slices() as usize;
+    assert!(cfg.precision() == 53, "FP64 slices need a 53-bit config");
+    assert!(
+        cfg.max_slice_bits() <= MANT_BITS,
+        "slice width exceeds the {MANT_BITS}-bit multiplier field"
+    );
+    assert!(out.len() >= n, "output buffer too short");
+    if x.is_nan() || x.is_infinite() {
+        let s = if x.is_nan() {
+            Special::Nan
+        } else {
+            Special::Inf(x.is_sign_negative())
+        };
+        let e = BufferEntry {
+            sign: x.is_sign_negative(),
+            mant: 0,
+            pow: 0,
+            special: Some(s),
+            operand_zero: false,
+        };
+        out[..n].fill(e);
+        return n;
+    }
+    let bits = x.to_bits();
+    let sign = bits >> 63 == 1;
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m53, e) = if biased == 0 {
+        (frac, -1022)
+    } else {
+        (frac | (1u64 << 52), biased - 1023)
+    };
+    let zero = m53 == 0;
+    for i in 0..cfg.slices() {
+        let below = cfg.bits_below(i);
+        let width = cfg.slice_bits(i);
+        out[i as usize] = BufferEntry {
+            sign,
+            mant: ((m53 >> below) & ((1u64 << width) - 1)) as u32,
+            pow: e - 52 + below as i32,
+            special: None,
+            operand_zero: zero,
+        };
+    }
+    n
 }
 
 /// Decode a narrow-format operand (FP16/BF16/TF32) into a single buffer
@@ -421,5 +533,79 @@ mod tests {
     fn fp64_weight_relationship() {
         let (hi, lo) = decode_fp64(3.75);
         assert_eq!(hi.pow - lo.pow, 26);
+    }
+
+    #[test]
+    fn fp32_slice_decode_n2_matches_classic_decode() {
+        // The generalized decode at N=2 is the classic hi/lo decode,
+        // field for field.
+        let mut out = [BufferEntry::ZERO; 8];
+        for &x in &[
+            std::f32::consts::PI,
+            -1.5e-40,
+            2.5e37,
+            1.0 + f32::EPSILON,
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::NEG_INFINITY,
+        ] {
+            let n = decode_fp32_slices(x, FP32_SLICES_EXACT, &mut out);
+            assert_eq!(n, 2);
+            let (hi, lo) = decode_fp32(x);
+            assert_eq!(out[0], hi, "hi mismatch for {x}");
+            assert_eq!(out[1], lo, "lo mismatch for {x}");
+        }
+    }
+
+    #[test]
+    fn fp32_slice_decode_reconstructs_and_matches_numeric_split() {
+        let mut out = [BufferEntry::ZERO; 8];
+        for n in [2u32, 3, 4] {
+            let cfg = SliceConfig::for_f32(n);
+            for &x in &[std::f32::consts::PI, -1.5e-40, 6.5504e4, 1.0e-44] {
+                let k = decode_fp32_slices(x, cfg, &mut out);
+                let numeric = cfg.split_f32(x);
+                let mut sum = 0.0f64;
+                for i in (0..k).rev() {
+                    assert_eq!(out[i].value(), numeric.get(i), "slice {i} of {x} (n={n})");
+                    assert!(out[i].mant < 1 << cfg.slice_bits(i as u32));
+                    sum += out[i].value();
+                }
+                assert_eq!(sum, x as f64, "structural sum for {x} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn fp64_slice_decode_reconstructs_exactly() {
+        use m3xu_fp::split::FP64_SLICES_EMULATED;
+        let mut out = [BufferEntry::ZERO; 8];
+        for &x in &[std::f64::consts::PI, -1e300, 2.5e-308, 5e-324, 0.1, -0.0] {
+            let k = decode_fp64_slices(x, FP64_SLICES_EMULATED, &mut out);
+            assert_eq!(k, 5);
+            let mut sum = 0.0f64;
+            for i in (0..k).rev() {
+                assert!(out[i].mant < 1 << MANT_BITS, "slice fits the multiplier");
+                sum += out[i].value();
+            }
+            assert_eq!(sum, x, "fp64 slice sum for {x:e}");
+            let numeric = FP64_SLICES_EMULATED.split_f64(x);
+            for (i, entry) in out.iter().enumerate().take(k) {
+                assert_eq!(entry.value(), numeric.get(i), "slice {i} of {x:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp64_slice_decode_specials() {
+        use m3xu_fp::split::FP64_SLICES_EMULATED;
+        let mut out = [BufferEntry::ZERO; 8];
+        decode_fp64_slices(f64::NAN, FP64_SLICES_EMULATED, &mut out);
+        assert!(out[..5].iter().all(|e| e.special == Some(Special::Nan)));
+        decode_fp64_slices(f64::NEG_INFINITY, FP64_SLICES_EMULATED, &mut out);
+        assert!(out[..5]
+            .iter()
+            .all(|e| e.special == Some(Special::Inf(true))));
     }
 }

@@ -53,8 +53,10 @@ impl MmaInstruction {
             MxuMode::Bf16 => "f32.bf16.bf16.f32",
             MxuMode::Tf32 => "f32.tf32.tf32.f32",
             MxuMode::M3xuFp32 => "f32.f32.f32.f32",
+            MxuMode::M3xuFp32Fast => "f32.f32x3.f32x3.f32",
             MxuMode::M3xuFp32c => "c32.c32.c32.c32",
             MxuMode::M3xuFp64 => "f64.f64.f64.f64",
+            MxuMode::M3xuFp64Emu => "f64.f64s5.f64s5.f64",
             MxuMode::M3xuFp64c => "c64.c64.c64.c64",
         }
     }
@@ -123,8 +125,10 @@ impl FromStr for MmaInstruction {
             "f32.bf16.bf16.f32" => MxuMode::Bf16,
             "f32.tf32.tf32.f32" => MxuMode::Tf32,
             "f32.f32.f32.f32" => MxuMode::M3xuFp32,
+            "f32.f32x3.f32x3.f32" => MxuMode::M3xuFp32Fast,
             "c32.c32.c32.c32" => MxuMode::M3xuFp32c,
             "f64.f64.f64.f64" => MxuMode::M3xuFp64,
+            "f64.f64s5.f64s5.f64" => MxuMode::M3xuFp64Emu,
             "c64.c64.c64.c64" => MxuMode::M3xuFp64c,
             other => return Err(ParseError::UnknownTypes(other.to_string())),
         };
@@ -212,7 +216,9 @@ pub fn execute(
             check_shape(inst.shape, a.rows(), a.cols(), b.cols())?;
             Ok(FragmentResult::Complex(mma::mma_fp32c(a, b, c, stats)))
         }
-        (MxuMode::M3xuFp64 | MxuMode::M3xuFp64c, _) => Err(ExecError::UnsupportedHere),
+        (MxuMode::M3xuFp64 | MxuMode::M3xuFp64Emu | MxuMode::M3xuFp64c, _) => {
+            Err(ExecError::UnsupportedHere)
+        }
         _ => Err(ExecError::OperandKind),
     }
 }

@@ -246,6 +246,46 @@ impl Matrix<f32> {
     }
 }
 
+impl Matrix<f64> {
+    /// Deterministic pseudo-random `f64` matrix in `[-1, 1)` — the same
+    /// xorshift stream as [`Matrix::<f32>::random`], but mapping the top
+    /// 53 bits so the values exercise the full double mantissa.
+    pub fn random_f64(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map the top 53 bits onto [-1, 1).
+            ((state >> 11) as f64 / 4_503_599_627_370_496.0) - 1.0
+        })
+    }
+
+    /// The `f64` identity matrix.
+    pub fn identity_f64(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Reference FP64 GEMM `D = A·B + C` with sequential FMA accumulation
+    /// over `k` — the bit-exact model of a double-precision SIMT loop.
+    pub fn reference_gemm_f64_native(
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+    ) -> Matrix<f64> {
+        assert_eq!(a.cols, b.rows);
+        assert_eq!(c.rows, a.rows);
+        assert_eq!(c.cols, b.cols);
+        Matrix::from_fn(a.rows, b.cols, |i, j| {
+            let mut acc = c.get(i, j);
+            for k in 0..a.cols {
+                acc = a.get(i, k).mul_add(b.get(k, j), acc);
+            }
+            acc
+        })
+    }
+}
+
 impl Matrix<Complex<f32>> {
     /// Deterministic pseudo-random complex matrix with components in `[-1, 1)`.
     pub fn random_c32(rows: usize, cols: usize, seed: u64) -> Self {

@@ -6,21 +6,32 @@
 //! delivers), and therefore (c) the throughput relative to FP16 peak —
 //! the corollaries of §III:
 //!
-//! | mode      | steps | K divisor | rel. throughput |
-//! |-----------|------:|----------:|----------------:|
-//! | FP16/BF16 |     1 |         1 |          1      |
-//! | TF32      |     1 |         2 |          1/2    |
-//! | M3XU FP32 |     2 |         2 |          1/4    | (Corollary 2)
-//! | M3XU FP32C|     4 |         4 |          1/16   | (Corollary 3)
-//! | M3XU FP64 |     2*|         4 |          1/8*   | (§IV-C, 27-bit muls)
-//! | M3XU FP64C|     4*|         8 |          1/32*  |
+//! | mode          | steps | K divisor | rel. throughput |
+//! |---------------|------:|----------:|----------------:|
+//! | FP16/BF16     |     1 |         1 |          1      |
+//! | TF32          |     1 |         2 |          1/2    |
+//! | M3XU FP32     |     2 |         2 |          1/4    | (Corollary 2)
+//! | M3XU FP32-fast|     2†|         2 |          1/4†   | (truncated 3-term)
+//! | M3XU FP32C    |     4 |         4 |          1/16   | (Corollary 3)
+//! | M3XU FP64     |     2*|         4 |          1/8*   | (§IV-C, 27-bit muls)
+//! | M3XU FP64-emu |     7 |         4 |          1/28   | (5×12-bit slices)
+//! | M3XU FP64C    |     4*|         8 |          1/32*  |
 //!
 //! (*) The FP64 extension assumes the §IV-C variant with 27-bit multiplier
 //! columns; with only 12-bit multipliers the step counts would scale by
-//! the larger split factor. This is the design-space knob the paper leaves
-//! open ("accommodating options like 8-bit or 32-bit multipliers").
+//! the larger split factor. That 12-bit-only point in the design space is
+//! exactly what `M3xuFp64Emu` realises: 5 slices of the 53-bit significand
+//! (≤ 11 bits each), 25 cross terms per MAC, scheduled over the 4-lane
+//! dot-product columns as `ceil(frag_k · terms / 4)` steps.
+//!
+//! (†) The fast FP32 mode drops the deepest (`lo·lo`) cross term — the
+//! 3xTF32-style approximation. Its 2·3 = 6 lane products per output still
+//! need `ceil(6/4) = 2` steps, so its *step* model matches exact FP32; the
+//! win is 25% fewer multiplier activations (lane products / energy) and
+//! proportionally less scalar-path work.
 
 use m3xu_fp::format::{FloatFormat, BF16, FP16, FP32, FP64, TF32};
+use m3xu_fp::split::{SliceConfig, FP32_SLICES_EXACT, FP64_SLICES_EMULATED};
 
 /// The operating mode of one MMA instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,32 +44,77 @@ pub enum MxuMode {
     Tf32,
     /// M3XU true FP32: two-step, bit-exact (§IV-A).
     M3xuFp32,
+    /// M3XU fast FP32: the truncated 3-term schedule (drops `lo·lo`) — the
+    /// 3xTF32-style approximation on the same 2-slice operands.
+    M3xuFp32Fast,
     /// M3XU FP32 complex: four-step, bit-exact (§IV-B).
     M3xuFp32c,
     /// M3XU FP64 extension (§IV-C).
     M3xuFp64,
+    /// M3XU emulated FP64 on 12-bit multipliers: 5 mantissa slices, 25
+    /// exact cross terms per MAC (the Ozaki-scheme point of the §IV-C
+    /// design space).
+    M3xuFp64Emu,
     /// M3XU FP64 complex extension (§IV-C).
     M3xuFp64c,
 }
 
 impl MxuMode {
     /// All modes, for exhaustive sweeps.
-    pub const ALL: [MxuMode; 7] = [
+    pub const ALL: [MxuMode; 9] = [
         MxuMode::Fp16,
         MxuMode::Bf16,
         MxuMode::Tf32,
         MxuMode::M3xuFp32,
+        MxuMode::M3xuFp32Fast,
         MxuMode::M3xuFp32c,
         MxuMode::M3xuFp64,
+        MxuMode::M3xuFp64Emu,
         MxuMode::M3xuFp64c,
     ];
 
     /// Sequencing steps per MMA instruction.
+    ///
+    /// For the 12-bit slice family these follow the lane law
+    /// `ceil(frag_k · terms_per_mac / 4)` — the four dot-product lanes per
+    /// output column of the baseline unit: FP32 `ceil(2·4/4) = 2`, FP32C
+    /// `ceil(1·16/4) = 4`, FP64-emu `ceil(1·25/4) = 7`. The §IV-C 27-bit
+    /// FP64 variants keep their declared counts (their lanes are wider).
     pub fn steps(self) -> u32 {
         match self {
             MxuMode::Fp16 | MxuMode::Bf16 | MxuMode::Tf32 => 1,
-            MxuMode::M3xuFp32 | MxuMode::M3xuFp64 => 2,
+            MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast | MxuMode::M3xuFp64 => 2,
             MxuMode::M3xuFp32c | MxuMode::M3xuFp64c => 4,
+            MxuMode::M3xuFp64Emu => 7,
+        }
+    }
+
+    /// Exact cross-product terms the mode schedules per MAC: `N²` for a
+    /// full N-slice schedule, `N(N+1)/2` for the truncated fast schedule,
+    /// 1 for the narrow single-entry modes. Complex modes count all four
+    /// component products. `lane_products = macs × terms_per_mac`.
+    pub fn terms_per_mac(self) -> u64 {
+        match self {
+            MxuMode::Fp16 | MxuMode::Bf16 | MxuMode::Tf32 => 1,
+            MxuMode::M3xuFp32 => FP32_SLICES_EXACT.full_terms() as u64,
+            MxuMode::M3xuFp32Fast => FP32_SLICES_EXACT.fast_terms() as u64,
+            // 4 component products × 4 cross terms each.
+            MxuMode::M3xuFp32c => 4 * FP32_SLICES_EXACT.full_terms() as u64,
+            MxuMode::M3xuFp64 => 4,
+            MxuMode::M3xuFp64Emu => FP64_SLICES_EMULATED.full_terms() as u64,
+            MxuMode::M3xuFp64c => 16,
+        }
+    }
+
+    /// The slice configuration behind a 12-bit slice-family mode, `None`
+    /// for narrow and 27-bit-multiplier modes.
+    pub fn slice_config(self) -> Option<SliceConfig> {
+        match self {
+            MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast | MxuMode::M3xuFp32c => {
+                Some(FP32_SLICES_EXACT)
+            }
+            MxuMode::M3xuFp64Emu => Some(FP64_SLICES_EMULATED),
+            _ => None,
         }
     }
 
@@ -67,8 +123,8 @@ impl MxuMode {
     pub fn k_divisor(self) -> usize {
         match self {
             MxuMode::Fp16 | MxuMode::Bf16 => 1,
-            MxuMode::Tf32 | MxuMode::M3xuFp32 => 2,
-            MxuMode::M3xuFp32c | MxuMode::M3xuFp64 => 4,
+            MxuMode::Tf32 | MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast => 2,
+            MxuMode::M3xuFp32c | MxuMode::M3xuFp64 | MxuMode::M3xuFp64Emu => 4,
             MxuMode::M3xuFp64c => 8,
         }
     }
@@ -84,8 +140,8 @@ impl MxuMode {
     pub fn element_bytes(self) -> usize {
         match self {
             MxuMode::Fp16 | MxuMode::Bf16 => 2,
-            MxuMode::Tf32 | MxuMode::M3xuFp32 => 4,
-            MxuMode::M3xuFp32c | MxuMode::M3xuFp64 => 8,
+            MxuMode::Tf32 | MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast => 4,
+            MxuMode::M3xuFp32c | MxuMode::M3xuFp64 | MxuMode::M3xuFp64Emu => 8,
             MxuMode::M3xuFp64c => 16,
         }
     }
@@ -97,8 +153,8 @@ impl MxuMode {
             MxuMode::Fp16 => FP16,
             MxuMode::Bf16 => BF16,
             MxuMode::Tf32 => TF32,
-            MxuMode::M3xuFp32 | MxuMode::M3xuFp32c => FP32,
-            MxuMode::M3xuFp64 | MxuMode::M3xuFp64c => FP64,
+            MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast | MxuMode::M3xuFp32c => FP32,
+            MxuMode::M3xuFp64 | MxuMode::M3xuFp64Emu | MxuMode::M3xuFp64c => FP64,
         }
     }
 
@@ -109,10 +165,7 @@ impl MxuMode {
 
     /// True for the modes that exist only on M3XU (not on the baseline MXU).
     pub fn is_m3xu_extension(self) -> bool {
-        matches!(
-            self,
-            MxuMode::M3xuFp32 | MxuMode::M3xuFp32c | MxuMode::M3xuFp64 | MxuMode::M3xuFp64c
-        )
+        !matches!(self, MxuMode::Fp16 | MxuMode::Bf16 | MxuMode::Tf32)
     }
 
     /// Short display name matching the paper's vocabulary.
@@ -122,8 +175,10 @@ impl MxuMode {
             MxuMode::Bf16 => "bf16",
             MxuMode::Tf32 => "tf32",
             MxuMode::M3xuFp32 => "m3xu-fp32",
+            MxuMode::M3xuFp32Fast => "m3xu-fp32-fast",
             MxuMode::M3xuFp32c => "m3xu-fp32c",
             MxuMode::M3xuFp64 => "m3xu-fp64",
+            MxuMode::M3xuFp64Emu => "m3xu-fp64-emu",
             MxuMode::M3xuFp64c => "m3xu-fp64c",
         }
     }
@@ -224,5 +279,57 @@ mod tests {
     fn complex_flags() {
         assert!(MxuMode::M3xuFp32c.is_complex());
         assert!(!MxuMode::M3xuFp32.is_complex());
+    }
+
+    #[test]
+    fn slice_family_steps_follow_the_lane_law() {
+        // For every 12-bit slice-family mode, steps = ceil(frag_k · terms
+        // / 4): the four dot-product lanes per output column of the
+        // baseline FP16 unit (k = 4, 1 term, 1 step).
+        let baseline_k = 4u64;
+        for mode in [
+            MxuMode::M3xuFp32,
+            MxuMode::M3xuFp32Fast,
+            MxuMode::M3xuFp32c,
+            MxuMode::M3xuFp64Emu,
+        ] {
+            let frag_k = (baseline_k as usize / mode.k_divisor()).max(1) as u64;
+            let lanes = frag_k * mode.terms_per_mac();
+            let steps = lanes.div_ceil(baseline_k);
+            assert_eq!(mode.steps() as u64, steps, "{mode}");
+        }
+    }
+
+    #[test]
+    fn new_mode_timing_properties() {
+        assert_eq!(MxuMode::M3xuFp32Fast.steps(), 2);
+        assert_eq!(MxuMode::M3xuFp32Fast.k_divisor(), 2);
+        assert_eq!(MxuMode::M3xuFp32Fast.terms_per_mac(), 3);
+        assert_eq!(MxuMode::M3xuFp32Fast.relative_throughput(), 0.25);
+        assert_eq!(MxuMode::M3xuFp64Emu.steps(), 7);
+        assert_eq!(MxuMode::M3xuFp64Emu.k_divisor(), 4);
+        assert_eq!(MxuMode::M3xuFp64Emu.terms_per_mac(), 25);
+        assert_eq!(MxuMode::M3xuFp64Emu.element_bytes(), 8);
+        assert!(MxuMode::M3xuFp32Fast.is_m3xu_extension());
+        assert!(MxuMode::M3xuFp64Emu.is_m3xu_extension());
+        assert_eq!(
+            MxuMode::M3xuFp64Emu
+                .slice_config()
+                .unwrap()
+                .max_slice_bits(),
+            11
+        );
+    }
+
+    #[test]
+    fn terms_per_mac_reproduces_legacy_step_times_epe() {
+        // For the pre-existing modes the term count equals steps × entries
+        // per element — the quantity fragment_stats historically recorded.
+        assert_eq!(MxuMode::Fp16.terms_per_mac(), 1);
+        assert_eq!(MxuMode::Tf32.terms_per_mac(), 1);
+        assert_eq!(MxuMode::M3xuFp32.terms_per_mac(), 2 * 2);
+        assert_eq!(MxuMode::M3xuFp32c.terms_per_mac(), 4 * 4);
+        assert_eq!(MxuMode::M3xuFp64.terms_per_mac(), 2 * 2);
+        assert_eq!(MxuMode::M3xuFp64c.terms_per_mac(), 4 * 4);
     }
 }

@@ -42,7 +42,9 @@
 pub mod simd;
 
 use crate::abft::Checksum;
-use crate::buffer::{decode_fp32, decode_narrow, decode_tf32_truncating, BufferEntry};
+use crate::buffer::{
+    decode_fp32, decode_fp64_slices, decode_narrow, decode_tf32_truncating, BufferEntry,
+};
 use crate::dpu::{DotProductUnit, LaneOp, Target};
 use crate::error::M3xuError;
 use crate::fault::MmaFault;
@@ -56,11 +58,15 @@ use m3xu_fp::softfloat::round_to_format;
 
 /// Buffer entries the data-assignment stage provisions per operand element
 /// in `mode` — 1 for the narrow formats, 2 for the hi/lo split of the FP32
-/// and FP64 modes, 4 for the complex modes' component-half planes.
+/// and FP64 modes (the fast FP32 variant packs the identical two slices;
+/// truncation happens at term scheduling, not at decode), 5 for the
+/// emulated-FP64 mantissa slices, 4 for the complex modes' component-half
+/// planes.
 pub const fn entries_per_element(mode: MxuMode) -> usize {
     match mode {
         MxuMode::Fp16 | MxuMode::Bf16 | MxuMode::Tf32 => 1,
-        MxuMode::M3xuFp32 | MxuMode::M3xuFp64 => 2,
+        MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast | MxuMode::M3xuFp64 => 2,
+        MxuMode::M3xuFp64Emu => 5,
         MxuMode::M3xuFp32c | MxuMode::M3xuFp64c => 4,
     }
 }
@@ -69,12 +75,16 @@ pub const fn entries_per_element(mode: MxuMode) -> usize {
 /// identical to what the per-fragment [`crate::mma`] executors count on
 /// zero-padded tiles (padded lanes are provisioned by the hardware whether
 /// or not their products are useful, so they are charged either way).
+///
+/// A MAC costs [`MxuMode::terms_per_mac`] lane products — for the legacy
+/// modes that equals `steps * entries_per_element` (pinned by
+/// `fragment_stats_match_tile_counters` below), while the truncated fast
+/// schedule charges only the terms it actually issues.
 pub fn fragment_stats(mode: MxuMode, shape: MmaShape) -> MmaStats {
-    let steps = mode.steps() as u64;
     MmaStats {
         instructions: 1,
-        steps,
-        lane_products: shape.macs() * steps * entries_per_element(mode) as u64,
+        steps: mode.steps() as u64,
+        lane_products: shape.macs() * mode.terms_per_mac(),
     }
 }
 
@@ -132,14 +142,14 @@ impl PackedStorage {
 const fn is_real_f32_mode(mode: MxuMode) -> bool {
     matches!(
         mode,
-        MxuMode::M3xuFp32 | MxuMode::Tf32 | MxuMode::Fp16 | MxuMode::Bf16
+        MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast | MxuMode::Tf32 | MxuMode::Fp16 | MxuMode::Bf16
     )
 }
 
 #[inline]
 fn push_f32(entries: &mut Vec<BufferEntry>, x: f32, mode: MxuMode) {
     match mode {
-        MxuMode::M3xuFp32 => {
+        MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast => {
             let (hi, lo) = decode_fp32(x);
             entries.push(hi);
             entries.push(lo);
@@ -167,7 +177,7 @@ fn val_f32(x: f32, mode: MxuMode) -> f32 {
     // row kernels likewise abort on) is exactly representable in `f32`,
     // so the cast never re-rounds.
     match mode {
-        MxuMode::M3xuFp32 => x,
+        MxuMode::M3xuFp32 | MxuMode::M3xuFp32Fast => x,
         MxuMode::Tf32 => round_to_format(x as f64, TF32) as f32,
         MxuMode::Fp16 => round_to_format(x as f64, FP16) as f32,
         MxuMode::Bf16 => round_to_format(x as f64, BF16) as f32,
@@ -349,6 +359,95 @@ impl PackedOperand {
             vals,
             transposed: true,
         }
+    }
+
+    /// Fallible pack of an FP64 operand by rows for the emulated-FP64
+    /// mode: each element expands to its `N` mantissa slices (see
+    /// [`decode_fp64_slices`]), every slice within the 12-bit multiplier
+    /// field. Rejects every other mode with [`M3xuError::ModeMismatch`].
+    ///
+    /// The emulated mode has no SIMD value mirror (the row kernels round
+    /// to `f32`; the emulated pipeline drains to `f64`), so the value
+    /// plane stays empty and execution is scalar per element.
+    pub fn try_pack_rows_f64(m: &Matrix<f64>, mode: MxuMode) -> Result<Self, M3xuError> {
+        Self::try_pack_rows_f64_in(m, mode, PackedStorage::default())
+    }
+
+    /// [`PackedOperand::try_pack_rows_f64`] packing into `storage` (see
+    /// [`PackedOperand::try_pack_rows_f32_in`]).
+    pub fn try_pack_rows_f64_in(
+        m: &Matrix<f64>,
+        mode: MxuMode,
+        storage: PackedStorage,
+    ) -> Result<Self, M3xuError> {
+        if mode != MxuMode::M3xuFp64Emu {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_rows_f64",
+                got: mode,
+            });
+        }
+        let cfg = mode
+            .slice_config()
+            .expect("emulated FP64 has a slice config");
+        let epe = entries_per_element(mode);
+        let (mut entries, vals) = storage.prepared(m.rows() * m.cols(), epe, 0);
+        let mut buf = [BufferEntry::ZERO; m3xu_fp::split::MAX_SLICES];
+        for i in 0..m.rows() {
+            for &x in m.row(i) {
+                let n = decode_fp64_slices(x, cfg, &mut buf);
+                entries.extend_from_slice(&buf[..n]);
+            }
+        }
+        Ok(PackedOperand {
+            mode,
+            epe,
+            len: m.cols(),
+            vecs: m.rows(),
+            entries,
+            vals,
+            transposed: false,
+        })
+    }
+
+    /// Fallible pack of an FP64 operand by columns for the emulated-FP64
+    /// mode (the `B` side); see [`PackedOperand::try_pack_rows_f64`].
+    pub fn try_pack_cols_f64(m: &Matrix<f64>, mode: MxuMode) -> Result<Self, M3xuError> {
+        Self::try_pack_cols_f64_in(m, mode, PackedStorage::default())
+    }
+
+    /// [`PackedOperand::try_pack_cols_f64`] packing into `storage`.
+    pub fn try_pack_cols_f64_in(
+        m: &Matrix<f64>,
+        mode: MxuMode,
+        storage: PackedStorage,
+    ) -> Result<Self, M3xuError> {
+        if mode != MxuMode::M3xuFp64Emu {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_cols_f64",
+                got: mode,
+            });
+        }
+        let cfg = mode
+            .slice_config()
+            .expect("emulated FP64 has a slice config");
+        let epe = entries_per_element(mode);
+        let (mut entries, vals) = storage.prepared(m.rows() * m.cols(), epe, 0);
+        let mut buf = [BufferEntry::ZERO; m3xu_fp::split::MAX_SLICES];
+        for j in 0..m.cols() {
+            for i in 0..m.rows() {
+                let n = decode_fp64_slices(m.get(i, j), cfg, &mut buf);
+                entries.extend_from_slice(&buf[..n]);
+            }
+        }
+        Ok(PackedOperand {
+            mode,
+            epe,
+            len: m.rows(),
+            vecs: m.cols(),
+            entries,
+            vals,
+            transposed: true,
+        })
     }
 
     /// Reclaim the backing buffers for reuse by a later `*_in` pack call —
@@ -622,6 +721,13 @@ impl FastDot {
 }
 
 /// Collect one real-mode output element's contributions for the fast path.
+///
+/// The term schedule is the N-slice cross-product: every `(i, j)` slice
+/// pair for the full modes, only the pairs with `i + j < N` when
+/// `truncated` (the fast schedule — for N = 2 that drops the lo·lo term,
+/// whose magnitude sits below the FP32 rounding boundary of the leading
+/// term). The specialised `epe` 1 and full-2 loops are the historical
+/// unrolls, kept verbatim for the legacy modes' bit-parity tests.
 #[inline]
 fn build_fast_real(
     seed: f32,
@@ -630,20 +736,48 @@ fn build_fast_real(
     k0: usize,
     kend: usize,
     epe: usize,
+    truncated: bool,
 ) -> Option<FastDot> {
     let mut dot = FastDot::new(seed)?;
-    if epe == 1 {
-        for k in k0..kend {
-            dot.push_pair(&av[k], &bv[k], false)?;
+    match (epe, truncated) {
+        (1, _) => {
+            for k in k0..kend {
+                dot.push_pair(&av[k], &bv[k], false)?;
+            }
         }
-    } else {
-        for k in k0..kend {
-            let (ah, al) = (&av[2 * k], &av[2 * k + 1]);
-            let (bh, bl) = (&bv[2 * k], &bv[2 * k + 1]);
-            dot.push_pair(ah, bh, false)?;
-            dot.push_pair(al, bl, false)?;
-            dot.push_pair(ah, bl, false)?;
-            dot.push_pair(al, bh, false)?;
+        (2, false) => {
+            for k in k0..kend {
+                let (ah, al) = (&av[2 * k], &av[2 * k + 1]);
+                let (bh, bl) = (&bv[2 * k], &bv[2 * k + 1]);
+                dot.push_pair(ah, bh, false)?;
+                dot.push_pair(al, bl, false)?;
+                dot.push_pair(ah, bl, false)?;
+                dot.push_pair(al, bh, false)?;
+            }
+        }
+        (2, true) => {
+            // The 3-term fast schedule: HH, HL, LH — LL is dropped.
+            for k in k0..kend {
+                let (ah, al) = (&av[2 * k], &av[2 * k + 1]);
+                let (bh, bl) = (&bv[2 * k], &bv[2 * k + 1]);
+                dot.push_pair(ah, bh, false)?;
+                dot.push_pair(ah, bl, false)?;
+                dot.push_pair(al, bh, false)?;
+            }
+        }
+        (n, truncated) => {
+            for k in k0..kend {
+                let a = &av[n * k..n * k + n];
+                let b = &bv[n * k..n * k + n];
+                for (i, ai) in a.iter().enumerate() {
+                    for (j, bj) in b.iter().enumerate() {
+                        if truncated && i + j >= n {
+                            continue;
+                        }
+                        dot.push_pair(ai, bj, false)?;
+                    }
+                }
+            }
         }
     }
     Some(dot)
@@ -658,8 +792,9 @@ fn try_fast_real(
     k0: usize,
     kend: usize,
     epe: usize,
+    truncated: bool,
 ) -> Option<f32> {
-    build_fast_real(seed, av, bv, k0, kend, epe)?.reduce()
+    build_fast_real(seed, av, bv, k0, kend, epe, truncated)?.reduce()
 }
 
 /// Fast path plus the `F_p` residue of the exact pre-rounding value, for
@@ -673,7 +808,7 @@ fn try_fast_real_checked(
     kend: usize,
     epe: usize,
 ) -> Option<(f32, u64)> {
-    let dot = build_fast_real(seed, av, bv, k0, kend, epe)?;
+    let dot = build_fast_real(seed, av, bv, k0, kend, epe, false)?;
     Some((dot.reduce()?, dot.residue_m61()))
 }
 
@@ -752,25 +887,26 @@ fn scalar_element_real(
     k0: usize,
     kend: usize,
     epe: usize,
+    truncated: bool,
     lanes_per_element: u64,
 ) -> f32 {
     // Fast path: exact integer reduction in a 128-bit window, bit-
     // identical to the Kulisch drain below (see `fast_round_f32`).
     // Specials, wide exponent spreads, and oversized reductions fall
     // through to the general path.
-    if let Some(v) = try_fast_real(seed, av, bv, k0, kend, epe) {
+    if let Some(v) = try_fast_real(seed, av, bv, k0, kend, epe, truncated) {
         dpu.lane_ops += lanes_per_element;
         return v;
     }
     dpu.clear_real();
     dpu.seed_real(seed as f64);
-    match epe {
-        1 => {
+    match (epe, truncated) {
+        (1, _) => {
             for k in k0..kend {
                 dpu.execute_lane_op(&lane(av[k], bv[k], false, Target::Real));
             }
         }
-        2 => {
+        (2, false) => {
             // The fused 2-step FP32 stream: HH, LL (step 1) then HL, LH
             // (step 2) for each element.
             for k in k0..kend {
@@ -782,9 +918,67 @@ fn scalar_element_real(
                 dpu.execute_lane_op(&lane(al, bh, false, Target::Real));
             }
         }
-        _ => unreachable!("real-mode packing uses 1 or 2 entries per element"),
+        (2, true) => {
+            // The fast 3-term schedule: HH (step 1), HL, LH (step 2).
+            for k in k0..kend {
+                let (ah, al) = (av[2 * k], av[2 * k + 1]);
+                let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
+                dpu.execute_lane_op(&lane(ah, bh, false, Target::Real));
+                dpu.execute_lane_op(&lane(ah, bl, false, Target::Real));
+                dpu.execute_lane_op(&lane(al, bh, false, Target::Real));
+            }
+        }
+        (n, truncated) => {
+            // General N-slice cross product, truncated to i + j < N when
+            // requested. Lane order is irrelevant: the Kulisch register is
+            // exact and the specials state machine's final value is a pure
+            // function of the lane multiset.
+            for k in k0..kend {
+                for i in 0..n {
+                    for j in 0..n {
+                        if truncated && i + j >= n {
+                            continue;
+                        }
+                        dpu.execute_lane_op(&lane(
+                            av[n * k + i],
+                            bv[n * k + j],
+                            false,
+                            Target::Real,
+                        ));
+                    }
+                }
+            }
+        }
     }
     dpu.read_real_f32()
+}
+
+/// One emulated-FP64 output element over chunk `[k0, kend)`: the full
+/// `N x N` slice cross product accumulated exactly in the Kulisch
+/// register, seeded with the incoming `f64` accumulator (exact — no
+/// narrowing) and drained back to `f64` once per chunk. There is no
+/// 128-bit fast window here: the 53-bit seed and the wider slice family
+/// exceed its design envelope, and the emulated mode is the precision
+/// dial's accuracy endpoint, not its speed endpoint.
+fn scalar_element_f64(
+    dpu: &mut DotProductUnit,
+    seed: f64,
+    av: &[BufferEntry],
+    bv: &[BufferEntry],
+    k0: usize,
+    kend: usize,
+    epe: usize,
+) -> f64 {
+    dpu.clear_real();
+    dpu.seed_real(seed);
+    for k in k0..kend {
+        for i in 0..epe {
+            for j in 0..epe {
+                dpu.execute_lane_op(&lane(av[epe * k + i], bv[epe * k + j], false, Target::Real));
+            }
+        }
+    }
+    dpu.read_real_f64()
 }
 
 /// One FP32C output element over chunk `[k0, kend)` — the complex
@@ -862,13 +1056,24 @@ impl DotProductUnit {
         assert!(acc.len() >= rows * cols, "accumulator scratch too short");
         let kend = (k0 + klen).min(a.len);
         let epe = a.epe;
-        let lanes_per_element = ((kend.saturating_sub(k0)) * epe * epe) as u64;
+        let truncated = a.mode == MxuMode::M3xuFp32Fast;
+        let lanes_per_element = (kend.saturating_sub(k0)) as u64 * a.mode.terms_per_mac();
         for i in 0..rows {
             let av = a.vec(r0 + i);
             for j in 0..cols {
                 let bv = b.vec(c0 + j);
                 let d = &mut acc[i * cols + j];
-                *d = scalar_element_real(self, *d, av, bv, k0, kend, epe, lanes_per_element);
+                *d = scalar_element_real(
+                    self,
+                    *d,
+                    av,
+                    bv,
+                    k0,
+                    kend,
+                    epe,
+                    truncated,
+                    lanes_per_element,
+                );
             }
         }
     }
@@ -905,6 +1110,69 @@ impl DotProductUnit {
         }
     }
 
+    /// Execute one emulated-FP64 fragment out of packed slice planes, in
+    /// place — the `f64` counterpart of
+    /// [`mma_f32_into`](DotProductUnit::mma_f32_into). Each output element
+    /// accumulates the full `N x N` slice cross product exactly and rounds
+    /// to `f64` once per fragment chunk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f64_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f64],
+    ) {
+        assert_eq!(a.mode, MxuMode::M3xuFp64Emu, "a is not FP64-slice-packed");
+        assert_eq!(b.mode, MxuMode::M3xuFp64Emu, "b is not FP64-slice-packed");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        let kend = (k0 + klen).min(a.len);
+        let epe = a.epe;
+        for i in 0..rows {
+            let av = a.vec(r0 + i);
+            for j in 0..cols {
+                let bv = b.vec(c0 + j);
+                let d = &mut acc[i * cols + j];
+                *d = scalar_element_f64(self, *d, av, bv, k0, kend, epe);
+            }
+        }
+    }
+
+    /// Execute a whole `K`-panel `[k0, kend)` of one emulated-FP64 output
+    /// tile, chunked at the fragment depth `frag_k` — bit-identical to
+    /// looping [`mma_f64_into`](DotProductUnit::mma_f64_into) over the
+    /// same chunks (it *is* that loop; the emulated mode has no SIMD row
+    /// kernel).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f64_panel_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+        frag_k: usize,
+        acc: &mut [f64],
+    ) {
+        assert!(frag_k > 0, "fragment depth must be positive");
+        let kend = kend.min(a.len);
+        let mut ck0 = k0;
+        while ck0 < kend {
+            let klen = frag_k.min(kend - ck0);
+            self.mma_f64_into(a, b, r0, rows, c0, cols, ck0, klen, acc);
+            ck0 += klen;
+        }
+    }
+
     /// Execute a whole `K`-panel `[k0, kend)` of one real-mode output
     /// tile, chunked at the fragment depth `frag_k`.
     ///
@@ -936,11 +1204,16 @@ impl DotProductUnit {
         assert!(frag_k > 0, "fragment depth must be positive");
         let kend = kend.min(a.len);
         let level = simd::level();
+        // The fast truncated mode is excluded from the SIMD row kernels:
+        // they form whole `f64` products per element (the exact a·b, i.e.
+        // all four slice terms fused), which would silently restore the
+        // dropped lo·lo term. Fast fragments stay on the scalar schedule.
         if level != simd::SimdLevel::Scalar
             && cols == simd::COLS
             && frag_k <= simd::MAX_KLEN
             && !a.transposed
             && b.transposed
+            && a.mode != MxuMode::M3xuFp32Fast
         {
             self.simd_panel_f32(level, a, b, r0, rows, c0, k0, kend, frag_k, acc);
             return;
@@ -1181,6 +1454,7 @@ impl DotProductUnit {
                         ck0,
                         ck0 + T,
                         epe,
+                        false,
                         lanes,
                     );
                     seeds.set(j, simd::ChunkSeed::decode(*d));
@@ -1216,6 +1490,7 @@ impl DotProductUnit {
                     ck0,
                     ck0 + T,
                     epe,
+                    false,
                     lanes,
                 );
                 seeds.set(j, simd::ChunkSeed::decode(*d));
@@ -1473,6 +1748,13 @@ impl DotProductUnit {
     ) -> Checksum {
         use m3xu_fp::residue::{add_m61, residue_f32, sub_m61};
         assert_eq!(a.mode, b.mode, "operand modes disagree");
+        // The ABFT checksum identity assumes the full product schedule; the
+        // truncated fast mode routes through the unchecked executors only.
+        assert_ne!(
+            a.mode,
+            MxuMode::M3xuFp32Fast,
+            "checked MMA requires a full product schedule"
+        );
         assert_eq!(a.len, b.len, "reduction lengths disagree");
         assert!(acc.len() >= rows * cols, "accumulator scratch too short");
         let kend = (k0 + klen).min(a.len);
@@ -1656,6 +1938,28 @@ impl Mxu {
         (rows, cols)
     }
 
+    /// One packed emulated-FP64 fragment MMA, mirroring
+    /// [`Mxu::mma_f32_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f64_into(
+        &mut self,
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        c0: usize,
+        k0: usize,
+        acc: &mut [f64],
+    ) -> (usize, usize) {
+        let mode = a.mode();
+        let shape = self.shape(mode);
+        let rows = shape.m.min(a.vecs().saturating_sub(r0));
+        let cols = shape.n.min(b.vecs().saturating_sub(c0));
+        dpu.mma_f64_into(a, b, r0, rows, c0, cols, k0, shape.k, acc);
+        self.counters.record(mode, &fragment_stats(mode, shape));
+        (rows, cols)
+    }
+
     /// One packed FP32C fragment MMA, mirroring [`Mxu::mma_f32_into`].
     #[allow(clippy::too_many_arguments)]
     pub fn mma_c32_into(
@@ -1687,11 +1991,197 @@ mod tests {
     #[test]
     fn packing_rejects_non_real_modes_without_panicking() {
         let m = Matrix::<f32>::random(4, 4, 1);
-        for mode in [MxuMode::M3xuFp32c, MxuMode::M3xuFp64, MxuMode::M3xuFp64c] {
+        for mode in [
+            MxuMode::M3xuFp32c,
+            MxuMode::M3xuFp64,
+            MxuMode::M3xuFp64Emu,
+            MxuMode::M3xuFp64c,
+        ] {
             let row_err = PackedOperand::try_pack_rows_f32(&m, mode).unwrap_err();
             assert!(matches!(row_err, M3xuError::ModeMismatch { got, .. } if got == mode));
             let col_err = PackedOperand::try_pack_cols_f32(&m, mode).unwrap_err();
             assert!(matches!(col_err, M3xuError::ModeMismatch { got, .. } if got == mode));
+        }
+    }
+
+    #[test]
+    fn f64_packing_rejects_every_other_mode() {
+        let m = Matrix::from_fn(2, 2, |i, j| (1 + i * 2 + j) as f64 / 3.0);
+        for mode in MxuMode::ALL {
+            if mode == MxuMode::M3xuFp64Emu {
+                assert!(PackedOperand::try_pack_rows_f64(&m, mode).is_ok());
+                assert!(PackedOperand::try_pack_cols_f64(&m, mode).is_ok());
+            } else {
+                let err = PackedOperand::try_pack_rows_f64(&m, mode).unwrap_err();
+                assert!(matches!(err, M3xuError::ModeMismatch { got, .. } if got == mode));
+                let err = PackedOperand::try_pack_cols_f64(&m, mode).unwrap_err();
+                assert!(matches!(err, M3xuError::ModeMismatch { got, .. } if got == mode));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fp32_fast_matches_truncated_kulisch_reference() {
+        use m3xu_fp::split::split_fp32;
+        // One 8x8x2 fragment: the fast schedule's chunk value is the exact
+        // sum of seed + HH + HL + LH over the chunk, rounded once.
+        let a = Matrix::<f32>::random(8, 2, 141);
+        let b = Matrix::<f32>::random(2, 8, 142);
+        let c = Matrix::<f32>::random(8, 8, 143);
+        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32Fast);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32Fast);
+        assert_eq!(pa.epe(), 2);
+        let mut acc: Vec<f32> = c.as_slice().to_vec();
+        let mut dpu = DotProductUnit::new();
+        dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc);
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut kul = m3xu_fp::Kulisch::new();
+                kul.add_f64(c.get(i, j) as f64);
+                for k in 0..2 {
+                    let (ah, al) = split_fp32(a.get(i, k));
+                    let (bh, bl) = split_fp32(b.get(k, j));
+                    kul.add_product_f32(ah, bh);
+                    kul.add_product_f32(ah, bl);
+                    kul.add_product_f32(al, bh);
+                }
+                assert_eq!(
+                    acc[i * 8 + j].to_bits(),
+                    kul.to_f32().to_bits(),
+                    "fast-schedule mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_mode_panel_never_takes_the_simd_row_kernels() {
+        // The SIMD row kernels form whole products, which would restore
+        // the dropped lo.lo term; the panel must produce the truncated
+        // scalar result whatever the active SIMD level.
+        let a = Matrix::<f32>::random(8, 8, 151);
+        let b = Matrix::<f32>::random(8, 8, 152);
+        let c = Matrix::<f32>::random(8, 8, 153);
+        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32Fast);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32Fast);
+        let mut dpu = DotProductUnit::new();
+        let mut panel: Vec<f32> = c.as_slice().to_vec();
+        dpu.mma_f32_panel_into(&pa, &pb, 0, 8, 0, 8, 0, 8, 2, &mut panel);
+        let mut chunked: Vec<f32> = c.as_slice().to_vec();
+        for ck0 in (0..8).step_by(2) {
+            dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, ck0, 2, &mut chunked);
+        }
+        for (x, y) in panel.iter().zip(&chunked) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // And the full mode on the same data differs (lo.lo matters for
+        // generic inputs) — the truncation is real, not a no-op.
+        let paf = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
+        let pbf = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+        let mut full: Vec<f32> = c.as_slice().to_vec();
+        dpu.mma_f32_panel_into(&paf, &pbf, 0, 8, 0, 8, 0, 8, 2, &mut full);
+        assert!(
+            panel
+                .iter()
+                .zip(&full)
+                .any(|(x, y)| x.to_bits() != y.to_bits()),
+            "truncated and full schedules coincided on random data"
+        );
+    }
+
+    #[test]
+    fn packed_fp64_emu_fragment_matches_kulisch_reference() {
+        // One fragment chunk accumulates all 25 slice products per k plus
+        // the f64 seed exactly, rounding once to f64 at drain.
+        let a = Matrix::from_fn(8, 3, |i, j| ((1 + i * 3 + j) as f64 / 7.0).sin());
+        let b = Matrix::from_fn(3, 8, |i, j| ((2 + i * 8 + j) as f64 / 11.0).cos());
+        let c = Matrix::from_fn(8, 8, |i, j| (i as f64 - j as f64) / 13.0);
+        let pa = PackedOperand::try_pack_rows_f64(&a, MxuMode::M3xuFp64Emu).unwrap();
+        let pb = PackedOperand::try_pack_cols_f64(&b, MxuMode::M3xuFp64Emu).unwrap();
+        assert_eq!((pa.epe(), pa.len(), pa.vecs()), (5, 3, 8));
+        let mut acc: Vec<f64> = c.as_slice().to_vec();
+        let mut dpu = DotProductUnit::new();
+        dpu.mma_f64_into(&pa, &pb, 0, 8, 0, 8, 0, 3, &mut acc);
+        let cfg = m3xu_fp::split::FP64_SLICES_EMULATED;
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut kul = m3xu_fp::Kulisch::new();
+                kul.add_f64(c.get(i, j));
+                for k in 0..3 {
+                    let sa = cfg.split_f64(a.get(i, k));
+                    let sb = cfg.split_f64(b.get(k, j));
+                    for si in 0..5 {
+                        for sj in 0..5 {
+                            kul.add_product_f64(sa.get(si), sb.get(sj));
+                        }
+                    }
+                }
+                assert_eq!(
+                    acc[i * 8 + j].to_bits(),
+                    kul.to_f64().to_bits(),
+                    "emulated-FP64 mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fp64_emu_specials_propagate() {
+        let vals = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.5e-300,
+            2.0,
+            -3.25,
+        ];
+        let a = Matrix::from_fn(4, 2, |i, j| vals[(i + j) % vals.len()]);
+        let b = Matrix::from_fn(2, 4, |i, j| vals[(3 * i + j + 1) % vals.len()]);
+        let pa = PackedOperand::try_pack_rows_f64(&a, MxuMode::M3xuFp64Emu).unwrap();
+        let pb = PackedOperand::try_pack_cols_f64(&b, MxuMode::M3xuFp64Emu).unwrap();
+        let mut acc = vec![0.0f64; 16];
+        let mut dpu = DotProductUnit::new();
+        dpu.mma_f64_panel_into(&pa, &pb, 0, 4, 0, 4, 0, 2, 1, &mut acc);
+        // IEEE reference with per-chunk (frag_k = 1) rounding, the specials
+        // resolved as the accumulator state machine does: any NaN input or
+        // Inf*0 poisons, opposing infinities poison, a single infinity sign
+        // wins, finite chunks accumulate exactly and round once.
+        let chunk = |seed: f64, x: f64, y: f64| -> f64 {
+            if seed.is_nan() || x.is_nan() || y.is_nan() {
+                return f64::NAN;
+            }
+            if (x.is_infinite() && y == 0.0) || (y.is_infinite() && x == 0.0) {
+                return f64::NAN;
+            }
+            if x.is_infinite() || y.is_infinite() {
+                let p = x * y; // +-Inf with the product sign
+                if seed.is_infinite() && seed != p {
+                    return f64::NAN;
+                }
+                return p;
+            }
+            if seed.is_infinite() {
+                return seed;
+            }
+            let mut kul = m3xu_fp::Kulisch::new();
+            kul.add_f64(seed);
+            kul.add_product_f64(x, y);
+            kul.to_f64()
+        };
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut want = 0.0f64;
+                for k in 0..2 {
+                    want = chunk(want, a.get(i, k), b.get(k, j));
+                }
+                let got = acc[i * 4 + j];
+                assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "specials mismatch at ({i},{j}): got {got:?} want {want:?}"
+                );
+            }
         }
     }
 

@@ -33,12 +33,21 @@
 //!   makes exactly the calls a direct [`M3xuContext`] user would, so
 //!   served results are **bit-identical** to unserved ones — a property
 //!   the workspace's differential tests assert.
+//! * **precision dial** — every GEMM request carries a
+//!   [`GemmPrecision`], either positionally or per-request via
+//!   [`SubmitOpts::precision`], spanning the whole emulated family from
+//!   `Fp16` through the truncated `Fp32Fast` schedule up to
+//!   `Fp64Emulated` (5-slice Ozaki FP64 on the same low-precision MXU).
+//!   The `*_gemm_f64` submission family serves emulated-FP64 problems
+//!   through the same queues, batching, and stealing as everything else.
 //! * **accounting** — every outcome is recorded into the submitting
 //!   tenant's [`TenantStats`]: request counts by disposition, MMA
 //!   instructions and steps, rule-(c) operand bytes, queue wait,
-//!   execution wall time (final attempt only), and retry time. Summed
-//!   over tenants these reproduce the summed per-shard [`ExecStats`]
-//!   totals, at every shard count.
+//!   execution wall time (final attempt only), and retry time — plus a
+//!   per-mode [`ModeUsage`] split ([`TenantStats::mode`]) so each
+//!   tenant's bill shows *which* precision burned the MXU. Summed over
+//!   tenants these reproduce the summed per-shard [`ExecStats`] totals —
+//!   flat and per mode — at every shard count.
 //! * **fault tolerance** — arming [`ServeConfig::fault_plan`] routes
 //!   FP32/FP32C GEMMs through the ABFT-checked self-healing driver.
 //!   Requests that still fail with `FaultDetected` are retried with
@@ -64,6 +73,15 @@
 //! let result = ticket.wait().unwrap();
 //! assert_eq!(result.d.rows(), 32);
 //! assert_eq!(serve.tenant_stats("alice").unwrap().completed, 1);
+//!
+//! // The precision dial: the same service serves emulated-FP64 GEMMs.
+//! let a64 = Matrix::<f64>::random_f64(16, 16, 3);
+//! let b64 = Matrix::<f64>::random_f64(16, 16, 4);
+//! let c64 = Matrix::<f64>::zeros(16, 16);
+//! let d = serve
+//!     .blocking_gemm_f64("alice", a64, b64, c64, SubmitOpts::default())
+//!     .unwrap();
+//! assert_eq!(d.d.rows(), 16);
 //! ```
 
 #![deny(missing_docs)]
@@ -76,7 +94,7 @@ mod tenant;
 
 pub use error::ServeError;
 pub use queue::Priority;
-pub use tenant::{RateLimit, TenantStats};
+pub use tenant::{ModeUsage, RateLimit, TenantStats};
 
 // The types that cross the service boundary, re-exported so clients can
 // depend on `m3xu-serve` alone.
@@ -195,6 +213,15 @@ pub struct SubmitOpts {
     pub deadline: Option<Duration>,
     /// Queue-ordering class; see [`Priority`].
     pub priority: Priority,
+    /// The per-request precision dial: when `Some`, overrides the
+    /// positional precision argument of the GEMM submission calls (and
+    /// the [`GemmPrecision::Fp64Emulated`] default of the `*_gemm_f64`
+    /// family). The override is applied at admission, so the routed
+    /// request carries exactly one resolved precision; a precision whose
+    /// element type does not match the entry point (e.g. `Fp64Emulated`
+    /// on an `f32` submission) is rejected at execution with a typed
+    /// mode-mismatch [`ServeError::Exec`] — never a panic.
+    pub precision: Option<GemmPrecision>,
 }
 
 /// A handle to one in-flight request's eventual result.
@@ -367,8 +394,8 @@ impl M3xuServe {
     }
 
     /// Non-blocking submission of a real GEMM `D = A·B + C` in
-    /// `precision`. Rejects with [`ServeError::QueueFull`] under
-    /// backpressure.
+    /// `precision` (overridden by [`SubmitOpts::precision`] when set).
+    /// Rejects with [`ServeError::QueueFull`] under backpressure.
     pub fn try_submit_gemm_f32(
         &self,
         tenant: &str,
@@ -378,6 +405,7 @@ impl M3xuServe {
         c: Matrix<f32>,
         opts: SubmitOpts,
     ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let precision = opts.precision.unwrap_or(precision);
         let (reply, rx) = sync_channel(1);
         self.push(
             tenant,
@@ -405,6 +433,7 @@ impl M3xuServe {
         c: Matrix<f32>,
         opts: SubmitOpts,
     ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let precision = opts.precision.unwrap_or(precision);
         let (reply, rx) = sync_channel(1);
         self.push(
             tenant,
@@ -433,6 +462,76 @@ impl M3xuServe {
     ) -> Result<GemmResult<f32>, ServeError> {
         self.submit_gemm_f32(tenant, precision, a, b, c, opts)?
             .wait()
+    }
+
+    /// Non-blocking submission of an emulated-FP64 GEMM `D = A·B + C` —
+    /// the top of the precision dial. Defaults to
+    /// [`GemmPrecision::Fp64Emulated`] unless [`SubmitOpts::precision`]
+    /// selects another (f64-element) precision. Rejects with
+    /// [`ServeError::QueueFull`] under backpressure.
+    pub fn try_submit_gemm_f64(
+        &self,
+        tenant: &str,
+        a: Matrix<f64>,
+        b: Matrix<f64>,
+        c: Matrix<f64>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f64>>, ServeError> {
+        let precision = opts.precision.unwrap_or(GemmPrecision::Fp64Emulated);
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::GemmF64 {
+                precision,
+                a,
+                b,
+                c,
+                reply,
+            },
+            false,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// [`M3xuServe::try_submit_gemm_f64`], but blocks for queue space
+    /// instead of rejecting (fails only on shutdown).
+    pub fn submit_gemm_f64(
+        &self,
+        tenant: &str,
+        a: Matrix<f64>,
+        b: Matrix<f64>,
+        c: Matrix<f64>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f64>>, ServeError> {
+        let precision = opts.precision.unwrap_or(GemmPrecision::Fp64Emulated);
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::GemmF64 {
+                precision,
+                a,
+                b,
+                c,
+                reply,
+            },
+            true,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit-and-wait convenience: one emulated-FP64 GEMM, start to
+    /// finish.
+    pub fn blocking_gemm_f64(
+        &self,
+        tenant: &str,
+        a: Matrix<f64>,
+        b: Matrix<f64>,
+        c: Matrix<f64>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<f64>, ServeError> {
+        self.submit_gemm_f64(tenant, a, b, c, opts)?.wait()
     }
 
     /// Non-blocking submission of a complex FP32C GEMM `D = A·B + C`.

@@ -74,6 +74,21 @@ pub(crate) enum Work {
         /// Reply channel.
         reply: SyncSender<Result<GemmResult<f32>, ServeError>>,
     },
+    /// Emulated-FP64 GEMM `D = A·B + C` — the top of the precision dial.
+    GemmF64 {
+        /// Requested engine/precision (must be an f64-element precision;
+        /// anything else resolves the ticket with a typed
+        /// mode-mismatch [`ServeError::Exec`]).
+        precision: GemmPrecision,
+        /// `m x k` left operand.
+        a: Matrix<f64>,
+        /// `k x n` right operand.
+        b: Matrix<f64>,
+        /// `m x n` addend.
+        c: Matrix<f64>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<f64>, ServeError>>,
+    },
     /// Complex FP32C GEMM.
     CgemmC32 {
         /// `m x k` left operand.
@@ -106,6 +121,7 @@ impl Work {
         };
         match self {
             Work::GemmF32 { a, b, .. } => grid(a.rows(), b.cols()),
+            Work::GemmF64 { a, b, .. } => grid(a.rows(), b.cols()),
             Work::CgemmC32 { a, b, .. } => grid(a.rows(), b.cols()),
             Work::Fft { .. } => 1,
         }
@@ -115,6 +131,7 @@ impl Work {
     pub(crate) fn reject(&self, err: ServeError) {
         match self {
             Work::GemmF32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::GemmF64 { reply, .. } => drop(reply.try_send(Err(err))),
             Work::CgemmC32 { reply, .. } => drop(reply.try_send(Err(err))),
             Work::Fft { reply, .. } => drop(reply.try_send(Err(err))),
         }

@@ -432,8 +432,8 @@ fn run_with_retries<T>(
 fn settle_post_deadline(
     req: &Request,
     reject: impl FnOnce(ServeError),
-    instructions: u64,
-    steps: u64,
+    mode: MxuMode,
+    stats: &m3xu_mxu::mma::MmaStats,
     operand_bytes: u64,
     wait_ns: u64,
     times: AttemptTimes,
@@ -443,8 +443,8 @@ fn settle_post_deadline(
         Some(deadline) if done > deadline => {
             let late_ns = ns(deadline, done);
             req.tenant.record_deadline_missed_executed(
-                instructions,
-                steps,
+                mode,
+                stats,
                 operand_bytes,
                 wait_ns,
                 times.exec_ns,
@@ -495,12 +495,13 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                 Ok(res) => {
                     shard.cost.observe(times.exec_ns, tiles);
                     settle_success(core, req);
-                    let bytes = gemm_operand_bytes(a.rows(), a.cols(), b.cols(), precision.mode());
+                    let mode = precision.mode();
+                    let bytes = gemm_operand_bytes(a.rows(), a.cols(), b.cols(), mode);
                     if settle_post_deadline(
                         req,
                         |e| drop(reply.try_send(Err(e))),
-                        res.stats.instructions,
-                        res.stats.steps,
+                        mode,
+                        &res.stats,
                         bytes,
                         wait_ns,
                         times,
@@ -508,8 +509,59 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                         return;
                     }
                     req.tenant.record_completed(
-                        res.stats.instructions,
-                        res.stats.steps,
+                        mode,
+                        &res.stats,
+                        bytes,
+                        wait_ns,
+                        times.exec_ns,
+                        times.retry_ns,
+                    );
+                    drop(reply.try_send(Ok(res)));
+                }
+                Err(e) => {
+                    req.tenant
+                        .record_exec_error(wait_ns, times.exec_ns, times.retry_ns);
+                    settle_failure(core, req, &e);
+                    drop(reply.try_send(Err(e.into())));
+                }
+            }
+        }
+        Work::GemmF64 {
+            precision,
+            a,
+            b,
+            c,
+            reply,
+        } => {
+            // No ABFT variant exists for the f64 path (the checksum
+            // algebra is FP32), so fault plans never reroute it and its
+            // fault summary is identically zero; the retry loop is still
+            // used for its timing discipline.
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_gemm_f64(*precision, a, b, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            req.tenant.record_faults(&faults);
+            match out {
+                Ok(res) => {
+                    shard.cost.observe(times.exec_ns, tiles);
+                    settle_success(core, req);
+                    let mode = precision.mode();
+                    let bytes = gemm_operand_bytes(a.rows(), a.cols(), b.cols(), mode);
+                    if settle_post_deadline(
+                        req,
+                        |e| drop(reply.try_send(Err(e))),
+                        mode,
+                        &res.stats,
+                        bytes,
+                        wait_ns,
+                        times,
+                    ) {
+                        return;
+                    }
+                    req.tenant.record_completed(
+                        mode,
+                        &res.stats,
                         bytes,
                         wait_ns,
                         times.exec_ns,
@@ -538,8 +590,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                     if settle_post_deadline(
                         req,
                         |e| drop(reply.try_send(Err(e))),
-                        res.stats.instructions,
-                        res.stats.steps,
+                        MxuMode::M3xuFp32c,
+                        &res.stats,
                         bytes,
                         wait_ns,
                         times,
@@ -547,8 +599,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                         return;
                     }
                     req.tenant.record_completed(
-                        res.stats.instructions,
-                        res.stats.steps,
+                        MxuMode::M3xuFp32c,
+                        &res.stats,
                         bytes,
                         wait_ns,
                         times.exec_ns,
@@ -581,8 +633,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                     if settle_post_deadline(
                         req,
                         |e| drop(reply.try_send(Err(e))),
-                        stats.instructions,
-                        stats.steps,
+                        MxuMode::M3xuFp32c,
+                        &stats,
                         0,
                         wait_ns,
                         times,
@@ -590,8 +642,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                         return;
                     }
                     req.tenant.record_completed(
-                        stats.instructions,
-                        stats.steps,
+                        MxuMode::M3xuFp32c,
+                        &stats,
                         0,
                         wait_ns,
                         times.exec_ns,

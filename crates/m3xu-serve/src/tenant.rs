@@ -11,11 +11,64 @@
 //! cross-validation tests assert).
 
 use m3xu_kernels::FaultSummary;
+use m3xu_mxu::mma::MmaStats;
+use m3xu_mxu::modes::MxuMode;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Number of execution modes the per-mode usage arrays cover — one slot
+/// per [`MxuMode`], in [`MxuMode::ALL`] declaration order (the same
+/// layout the contexts' [`ExecStats`](m3xu_kernels::ExecStats) uses, so
+/// the two reconcile slot by slot).
+const MODE_COUNT: usize = MxuMode::ALL.len();
+
+/// Index of `mode` into per-mode usage arrays.
+fn mode_index(mode: MxuMode) -> usize {
+    MxuMode::ALL
+        .iter()
+        .position(|m| *m == mode)
+        .expect("MxuMode::ALL covers every mode")
+}
+
+/// One tenant's executed-work usage in a single [`MxuMode`] — the
+/// per-mode slice of the precision dial's bill. Instructions, steps, and
+/// lane products come verbatim from each request's executed
+/// [`MmaStats`]; operand bytes from the driver's rule-(c) formula at the
+/// mode's storage width. Summed over tenants, each mode's slot
+/// reproduces the summed per-shard
+/// [`ExecStats::mode`](m3xu_kernels::ExecStats::mode) counters for
+/// GEMM/CGEMM traffic exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModeUsage {
+    /// Requests that *executed* in this mode (completions plus
+    /// executed-but-late deadline misses; never queue-side sheds).
+    pub requests: u64,
+    /// MMA instructions executed in this mode.
+    pub mma_instructions: u64,
+    /// MXU-occupying steps executed in this mode.
+    pub mma_steps: u64,
+    /// Active lane products executed in this mode (the energy proxy —
+    /// this is where a truncated slice schedule's savings show up).
+    pub mma_lane_products: u64,
+    /// A/B operand bytes moved at this mode's storage width.
+    pub operand_bytes: u64,
+}
+
+impl ModeUsage {
+    /// Element-wise sum.
+    fn merged(&self, other: &ModeUsage) -> ModeUsage {
+        ModeUsage {
+            requests: self.requests + other.requests,
+            mma_instructions: self.mma_instructions + other.mma_instructions,
+            mma_steps: self.mma_steps + other.mma_steps,
+            mma_lane_products: self.mma_lane_products + other.mma_lane_products,
+            operand_bytes: self.operand_bytes + other.operand_bytes,
+        }
+    }
+}
 
 /// A point-in-time snapshot of one tenant's accounting (or, via
 /// [`M3xuServe::total_stats`](crate::M3xuServe::total_stats), the sum over
@@ -77,11 +130,26 @@ pub struct TenantStats {
     /// Times this tenant's circuit breaker tripped open after repeated
     /// unrecoverable fault detections.
     pub breaker_trips: u64,
+    /// Executed work split by [`MxuMode`] — the precision dial's
+    /// per-mode bill. Read one slot with [`TenantStats::mode`].
+    per_mode: [ModeUsage; MODE_COUNT],
 }
 
 impl TenantStats {
+    /// Executed-work usage recorded for one [`MxuMode`]. GEMM requests
+    /// land in their [`GemmPrecision`](m3xu_kernels::gemm::GemmPrecision)'s
+    /// mode, CGEMM and FFT requests in
+    /// [`MxuMode::M3xuFp32c`].
+    pub fn mode(&self, mode: MxuMode) -> ModeUsage {
+        self.per_mode[mode_index(mode)]
+    }
+
     /// Element-wise sum of two snapshots.
     pub fn merged(&self, other: &TenantStats) -> TenantStats {
+        let mut per_mode = [ModeUsage::default(); MODE_COUNT];
+        for (i, d) in per_mode.iter_mut().enumerate() {
+            *d = self.per_mode[i].merged(&other.per_mode[i]);
+        }
         TenantStats {
             submitted: self.submitted + other.submitted,
             completed: self.completed + other.completed,
@@ -98,6 +166,42 @@ impl TenantStats {
             faults_corrected: self.faults_corrected + other.faults_corrected,
             retries: self.retries + other.retries,
             breaker_trips: self.breaker_trips + other.breaker_trips,
+            per_mode,
+        }
+    }
+}
+
+/// One mode's live usage counters: relaxed atomic adds only.
+#[derive(Default)]
+struct ModeAccum {
+    requests: AtomicU64,
+    instructions: AtomicU64,
+    steps: AtomicU64,
+    lane_products: AtomicU64,
+    operand_bytes: AtomicU64,
+}
+
+impl ModeAccum {
+    /// Attribute one executed request's MMA statistics and operand
+    /// traffic to this mode.
+    fn record(&self, stats: &MmaStats, operand_bytes: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(stats.instructions, Ordering::Relaxed);
+        self.steps.fetch_add(stats.steps, Ordering::Relaxed);
+        self.lane_products
+            .fetch_add(stats.lane_products, Ordering::Relaxed);
+        self.operand_bytes
+            .fetch_add(operand_bytes, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ModeUsage {
+        ModeUsage {
+            requests: self.requests.load(Ordering::Relaxed),
+            mma_instructions: self.instructions.load(Ordering::Relaxed),
+            mma_steps: self.steps.load(Ordering::Relaxed),
+            mma_lane_products: self.lane_products.load(Ordering::Relaxed),
+            operand_bytes: self.operand_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +224,8 @@ pub(crate) struct TenantAccount {
     faults_corrected: AtomicU64,
     retries: AtomicU64,
     breaker_trips: AtomicU64,
+    /// Executed work split by mode, [`MxuMode::ALL`] order.
+    per_mode: [ModeAccum; MODE_COUNT],
     /// Consecutive unrecoverable fault detections; a success resets it.
     consecutive_faults: AtomicU32,
     /// While set and in the future, the breaker is open: submissions from
@@ -170,24 +276,20 @@ impl TenantAccount {
     /// A request that *executed* but finished past its deadline. It is
     /// classified `deadline_missed` (never `completed`), but the MXU work
     /// really happened, so the instruction/step/byte/time quantities are
-    /// still attributed — otherwise Σ tenant would fall short of the
-    /// shards' `ExecStats` and the reconciliation law would break.
-    #[allow(clippy::too_many_arguments)]
+    /// still attributed — to the flat counters *and* to `mode`'s usage
+    /// slot — otherwise Σ tenant would fall short of the shards'
+    /// `ExecStats` and the reconciliation law would break.
     pub(crate) fn record_deadline_missed_executed(
         &self,
-        instructions: u64,
-        steps: u64,
+        mode: MxuMode,
+        stats: &MmaStats,
         operand_bytes: u64,
         wait_ns: u64,
         exec_ns: u64,
         retry_ns: u64,
     ) {
         self.deadline_missed.fetch_add(1, Ordering::Relaxed);
-        self.mma_instructions
-            .fetch_add(instructions, Ordering::Relaxed);
-        self.mma_steps.fetch_add(steps, Ordering::Relaxed);
-        self.operand_bytes
-            .fetch_add(operand_bytes, Ordering::Relaxed);
+        self.attribute_work(mode, stats, operand_bytes);
         self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
         self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
         self.retry_ns.fetch_add(retry_ns, Ordering::Relaxed);
@@ -200,25 +302,32 @@ impl TenantAccount {
         self.retry_ns.fetch_add(retry_ns, Ordering::Relaxed);
     }
 
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_completed(
         &self,
-        instructions: u64,
-        steps: u64,
+        mode: MxuMode,
+        stats: &MmaStats,
         operand_bytes: u64,
         wait_ns: u64,
         exec_ns: u64,
         retry_ns: u64,
     ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.mma_instructions
-            .fetch_add(instructions, Ordering::Relaxed);
-        self.mma_steps.fetch_add(steps, Ordering::Relaxed);
-        self.operand_bytes
-            .fetch_add(operand_bytes, Ordering::Relaxed);
+        self.attribute_work(mode, stats, operand_bytes);
         self.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
         self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
         self.retry_ns.fetch_add(retry_ns, Ordering::Relaxed);
+    }
+
+    /// Attribute one executed request's MXU work to both the flat
+    /// counters and `mode`'s usage slot (the flat counters stay the sum
+    /// of the per-mode slots by construction).
+    fn attribute_work(&self, mode: MxuMode, stats: &MmaStats, operand_bytes: u64) {
+        self.mma_instructions
+            .fetch_add(stats.instructions, Ordering::Relaxed);
+        self.mma_steps.fetch_add(stats.steps, Ordering::Relaxed);
+        self.operand_bytes
+            .fetch_add(operand_bytes, Ordering::Relaxed);
+        self.per_mode[mode_index(mode)].record(stats, operand_bytes);
     }
 
     /// Absorb one checked-driver invocation's fault telemetry, verbatim —
@@ -323,6 +432,10 @@ impl TenantAccount {
     }
 
     pub(crate) fn snapshot(&self) -> TenantStats {
+        let mut per_mode = [ModeUsage::default(); MODE_COUNT];
+        for (i, m) in self.per_mode.iter().enumerate() {
+            per_mode[i] = m.snapshot();
+        }
         TenantStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -339,6 +452,7 @@ impl TenantAccount {
             faults_corrected: self.faults_corrected.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            per_mode,
         }
     }
 }
@@ -396,7 +510,18 @@ mod tests {
         let a2 = reg.account("alice");
         assert!(Arc::ptr_eq(&a, &a2));
         a.record_submitted();
-        a.record_completed(10, 20, 30, 40, 50, 60);
+        a.record_completed(
+            MxuMode::M3xuFp32,
+            &MmaStats {
+                instructions: 10,
+                steps: 20,
+                lane_products: 25,
+            },
+            30,
+            40,
+            50,
+            60,
+        );
         reg.account("bob").record_submitted();
         reg.account("bob").record_rejected();
         let alice = reg.snapshot("alice").unwrap();
@@ -408,6 +533,18 @@ mod tests {
         assert_eq!(alice.queue_wait_ns, 40);
         assert_eq!(alice.exec_ns, 50);
         assert_eq!(alice.retry_ns, 60);
+        // Per-mode attribution lands in the executed mode's slot only.
+        let slot = alice.mode(MxuMode::M3xuFp32);
+        assert_eq!(slot.requests, 1);
+        assert_eq!(slot.mma_instructions, 10);
+        assert_eq!(slot.mma_steps, 20);
+        assert_eq!(slot.mma_lane_products, 25);
+        assert_eq!(slot.operand_bytes, 30);
+        for mode in MxuMode::ALL {
+            if mode != MxuMode::M3xuFp32 {
+                assert_eq!(alice.mode(mode), ModeUsage::default(), "{mode:?}");
+            }
+        }
         assert!(reg.snapshot("carol").is_none());
         let t = reg.totals();
         assert_eq!(t.submitted, 2);
@@ -469,16 +606,68 @@ mod tests {
     #[test]
     fn executed_deadline_miss_attributes_work_but_not_completion() {
         let acc = TenantAccount::default();
-        acc.record_deadline_missed_executed(10, 20, 30, 40, 50, 60);
+        acc.record_deadline_missed_executed(
+            MxuMode::M3xuFp64Emu,
+            &MmaStats {
+                instructions: 10,
+                steps: 70,
+                lane_products: 250,
+            },
+            30,
+            40,
+            50,
+            60,
+        );
         let s = acc.snapshot();
         assert_eq!(s.deadline_missed, 1);
         assert_eq!(s.completed, 0);
         assert_eq!(s.mma_instructions, 10);
-        assert_eq!(s.mma_steps, 20);
+        assert_eq!(s.mma_steps, 70);
         assert_eq!(s.operand_bytes, 30);
         assert_eq!(s.queue_wait_ns, 40);
         assert_eq!(s.exec_ns, 50);
         assert_eq!(s.retry_ns, 60);
+        // The executed-but-late work still bills the mode's usage slot.
+        let slot = s.mode(MxuMode::M3xuFp64Emu);
+        assert_eq!(slot.requests, 1);
+        assert_eq!(slot.mma_instructions, 10);
+        assert_eq!(slot.mma_steps, 70);
+        assert_eq!(slot.mma_lane_products, 250);
+        assert_eq!(slot.operand_bytes, 30);
+    }
+
+    #[test]
+    fn per_mode_usage_merges_and_sums_to_flat_counters() {
+        let reg = TenantRegistry::default();
+        let stats = |i: u64| MmaStats {
+            instructions: i,
+            steps: 2 * i,
+            lane_products: 3 * i,
+        };
+        reg.account("alice")
+            .record_completed(MxuMode::M3xuFp32, &stats(5), 11, 0, 0, 0);
+        reg.account("alice")
+            .record_completed(MxuMode::M3xuFp64Emu, &stats(7), 13, 0, 0, 0);
+        reg.account("bob")
+            .record_completed(MxuMode::M3xuFp64Emu, &stats(9), 17, 0, 0, 0);
+        let t = reg.totals();
+        // Flat counters equal the sum of the per-mode slots.
+        let (mut instr, mut steps, mut bytes) = (0, 0, 0);
+        for mode in MxuMode::ALL {
+            let m = t.mode(mode);
+            instr += m.mma_instructions;
+            steps += m.mma_steps;
+            bytes += m.operand_bytes;
+        }
+        assert_eq!(instr, t.mma_instructions);
+        assert_eq!(steps, t.mma_steps);
+        assert_eq!(bytes, t.operand_bytes);
+        // And the merged slots themselves are exact.
+        let emu = t.mode(MxuMode::M3xuFp64Emu);
+        assert_eq!(emu.requests, 2);
+        assert_eq!(emu.mma_instructions, 16);
+        assert_eq!(emu.mma_lane_products, 48);
+        assert_eq!(emu.operand_bytes, 30);
     }
 
     #[test]

@@ -92,6 +92,17 @@ awk '
     END { if (!found) { print "FAIL: no wall_speedup in results/BENCH_serve.json"; exit 1 } }
 ' results/BENCH_serve.json
 
+# Precision gate (release): the emulated-FP64 engine must stay inside
+# its documented ULP envelope versus a sequential correctly-rounded
+# softfloat FMA reference. The envelope is pinned at zero ULPs
+# (bit-exact) in tests/differential_props.rs — any rounding regression
+# in the slice/Kulisch pipeline trips this test before anything else.
+# (The serve-side precision dial is covered by serve_regressions above,
+# which the shard loop already runs at both shard counts.)
+echo "== precision gate: emulated FP64 vs softfloat FMA reference (release)"
+cargo test --release -q --test differential_props \
+    fp64_emulated_matches_softfloat_fma_reference_within_envelope -- --exact
+
 # Soak mode: the same suites in release with a much longer random-shape
 # sweep. Slow by design; not part of the default gate.
 if [[ "${M3XU_SOAK:-0}" == "1" ]]; then

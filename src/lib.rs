@@ -29,6 +29,6 @@ pub use m3xu_core::{
     Matrix, C32,
 };
 pub use m3xu_serve::{
-    BatchPolicy, M3xuServe, Priority, RateLimit, ServeConfig, ServeError, SubmitOpts, TenantStats,
-    Ticket,
+    BatchPolicy, M3xuServe, ModeUsage, Priority, RateLimit, ServeConfig, ServeError, SubmitOpts,
+    TenantStats, Ticket,
 };

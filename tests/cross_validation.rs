@@ -79,6 +79,52 @@ fn functional_real_gemm_matches_analytical_counts_exactly() {
 }
 
 #[test]
+fn precision_family_matches_analytical_counts_exactly() {
+    // The N-slice precision family: the truncated fast-FP32 schedule and
+    // the 5-slice emulated-FP64 engine. Neither has a baseline tile
+    // executor (the packed driver is their only engine), so the contract
+    // here is purely analytical: executed ExecStats must equal the
+    // derived instruction/step/traffic counts on every grid shape.
+    for &(m, n, k) in &GRID {
+        let p = Problem {
+            m,
+            n,
+            k,
+            complex: false,
+        };
+
+        let ctx = M3xuContext::with_threads(2);
+        let a = Matrix::<f32>::random(m, k, (m + k) as u64);
+        let b = Matrix::<f32>::random(k, n, (k + n) as u64);
+        let c = Matrix::<f32>::random(m, n, (m * n) as u64);
+        let r = ctx.gemm_f32(GemmPrecision::Fp32Fast, &a, &b, &c);
+        let got = observed(&ctx, MxuMode::M3xuFp32Fast);
+        match validate_counts(p, Engine::M3xuFp32Fast, got).expect("fast FP32 must be modelled") {
+            Ok(want) => {
+                assert_eq!(r.stats.instructions, want.instructions);
+                assert_eq!(r.stats.steps, want.steps);
+            }
+            Err(e) => panic!("{m}x{n}x{k} M3xuFp32Fast: {e}"),
+        }
+
+        let ctx = M3xuContext::with_threads(2);
+        let a = Matrix::<f64>::random_f64(m, k, (m + k) as u64);
+        let b = Matrix::<f64>::random_f64(k, n, (k + n) as u64);
+        let c = Matrix::<f64>::random_f64(m, n, (m * n) as u64);
+        let r = ctx.gemm_f64(GemmPrecision::Fp64Emulated, &a, &b, &c);
+        let got = observed(&ctx, MxuMode::M3xuFp64Emu);
+        match validate_counts(p, Engine::M3xuFp64Emu, got).expect("emulated FP64 must be modelled")
+        {
+            Ok(want) => {
+                assert_eq!(r.stats.instructions, want.instructions);
+                assert_eq!(r.stats.steps, want.steps);
+            }
+            Err(e) => panic!("{m}x{n}x{k} M3xuFp64Emu: {e}"),
+        }
+    }
+}
+
+#[test]
 fn functional_complex_gemm_matches_analytical_counts_exactly() {
     for &(m, n, k) in &GRID {
         let ctx = M3xuContext::with_threads(2);

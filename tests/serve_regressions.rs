@@ -2,8 +2,12 @@
 //! construction path, the retry-timer accounting split, the
 //! executed-past-deadline classification, per-tenant rate limits,
 //! priority-class drain order, open-loop determinism across shard
-//! counts, and the sharded reconciliation law.
+//! counts, and the sharded reconciliation law — plus the PR-8 precision
+//! dial: per-request [`SubmitOpts::precision`], the `*_gemm_f64` family,
+//! and the per-tenant per-mode usage split reconciling against the
+//! shards' per-mode `ExecStats` at shard counts 1 and 4.
 
+use m3xu::mxu::modes::MxuMode;
 use m3xu::serve::openloop::{generate, Arrival, OpKind, OpenLoopSpec};
 use m3xu::serve::{FaultPlan, M3xuServe, Priority, RateLimit, ServeConfig, ServeError, SubmitOpts};
 use m3xu::{kernels::gemm, GemmPrecision, M3xuContext, M3xuError, Matrix, C32};
@@ -490,4 +494,212 @@ fn eight_concurrent_clients_reconcile_across_four_shards() {
     let folded = serve.exec_stats();
     assert_eq!(folded.gemm_calls, shard_sum_calls);
     assert_eq!(folded.total().instructions, shard_sum_instructions);
+}
+
+#[test]
+fn served_fp64_gemm_is_bit_identical_to_direct_context_execution() {
+    let serve = M3xuServe::with_workers(1);
+    let ctx = M3xuContext::with_threads(1);
+    let a = Matrix::<f64>::random_f64(33, 17, 11);
+    let b = Matrix::<f64>::random_f64(17, 21, 12);
+    let c = Matrix::<f64>::random_f64(33, 21, 13);
+    let want = ctx.gemm_f64(GemmPrecision::Fp64Emulated, &a, &b, &c);
+    let got = serve
+        .blocking_gemm_f64("t", a, b, c, SubmitOpts::default())
+        .unwrap();
+    for (x, y) in got.d.as_slice().iter().zip(want.d.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(got.stats, want.stats, "served stats match direct stats");
+    let s = serve.tenant_stats("t").unwrap();
+    assert_eq!(s.completed, 1);
+    let slot = s.mode(MxuMode::M3xuFp64Emu);
+    assert_eq!(slot.requests, 1);
+    assert_eq!(slot.mma_instructions, want.stats.instructions);
+    assert_eq!(slot.mma_steps, want.stats.steps);
+    assert_eq!(slot.mma_lane_products, want.stats.lane_products);
+    assert_eq!(slot.operand_bytes, ((33 * 17 + 17 * 21) * 8) as u64);
+}
+
+#[test]
+fn submit_opts_precision_overrides_the_positional_argument() {
+    // The per-request dial: positional M3xuFp32, opts say Fp32Fast — the
+    // request must execute (and be billed) as Fp32Fast.
+    let serve = M3xuServe::with_workers(1);
+    let (a, b, c) = tiny_inputs(31);
+    // Fp32Fast has no baseline tile executor (the packed driver is its
+    // only engine), so the bit-identity reference is a direct context.
+    let want = M3xuContext::with_threads(1).gemm_f32(GemmPrecision::Fp32Fast, &a, &b, &c);
+    let got = serve
+        .blocking_gemm_f32(
+            "dial",
+            GemmPrecision::M3xuFp32,
+            a,
+            b,
+            c,
+            SubmitOpts {
+                precision: Some(GemmPrecision::Fp32Fast),
+                ..SubmitOpts::default()
+            },
+        )
+        .unwrap();
+    for (x, y) in got.d.as_slice().iter().zip(want.d.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    let s = serve.tenant_stats("dial").unwrap();
+    assert_eq!(s.mode(MxuMode::M3xuFp32Fast).requests, 1);
+    assert_eq!(
+        s.mode(MxuMode::M3xuFp32).requests,
+        0,
+        "nothing billed to the overridden precision"
+    );
+}
+
+#[test]
+fn mismatched_precision_is_a_typed_exec_error_not_a_panic() {
+    // Fp64Emulated on an f32 submission cannot execute; the guard must
+    // resolve the ticket with a typed ModeMismatch and the disposition
+    // must land in exec_errors, keeping the conservation law intact.
+    let serve = M3xuServe::with_workers(1);
+    let (a, b, c) = tiny_inputs(47);
+    let err = serve
+        .blocking_gemm_f32(
+            "bad",
+            GemmPrecision::M3xuFp32,
+            a,
+            b,
+            c,
+            SubmitOpts {
+                precision: Some(GemmPrecision::Fp64Emulated),
+                ..SubmitOpts::default()
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::Exec(M3xuError::ModeMismatch { .. })),
+        "expected a typed mode mismatch, got {err:?}"
+    );
+    let s = serve.tenant_stats("bad").unwrap();
+    assert_eq!(s.exec_errors, 1);
+    assert_eq!(s.mma_instructions, 0, "nothing executed");
+    assert_eq!(
+        s.submitted,
+        s.completed + s.rejected + s.deadline_missed + s.exec_errors
+    );
+}
+
+/// Drive a mixed-precision workload (every f32 precision through the
+/// dial plus the f64 family) from several concurrent clients, then
+/// reconcile the per-tenant per-mode usage against the summed per-shard
+/// `ExecStats` — mode by mode, exactly.
+fn run_precision_mix_and_reconcile(shards: usize) {
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 3;
+    let f32_dial = [
+        GemmPrecision::Fp16,
+        GemmPrecision::Bf16,
+        GemmPrecision::Tf32,
+        GemmPrecision::Fp32Fast,
+        GemmPrecision::M3xuFp32,
+    ];
+    let serve = M3xuServe::new(ServeConfig {
+        shards,
+        workers: 1,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS as u64 {
+            let serve = &serve;
+            let f32_dial = &f32_dial;
+            s.spawn(move || {
+                for round in 0..ROUNDS as u64 {
+                    let seed = client * 100 + round;
+                    let (m, k, n) = (5 + (seed % 11) as usize, 1 + (seed % 6) as usize, 7);
+                    let tenant = format!("client-{client}");
+                    // One f32 request per round, cycling the dial via the
+                    // per-request override (positional arg deliberately
+                    // different, to prove the override is what executes).
+                    let precision = f32_dial[(seed as usize) % f32_dial.len()];
+                    serve
+                        .blocking_gemm_f32(
+                            &tenant,
+                            GemmPrecision::M3xuFp32,
+                            Matrix::<f32>::random(m, k, seed + 1),
+                            Matrix::<f32>::random(k, n, seed + 2),
+                            Matrix::<f32>::random(m, n, seed + 3),
+                            SubmitOpts {
+                                precision: Some(precision),
+                                ..SubmitOpts::default()
+                            },
+                        )
+                        .unwrap();
+                    // And one emulated-FP64 request per round.
+                    serve
+                        .blocking_gemm_f64(
+                            &tenant,
+                            Matrix::<f64>::random_f64(m, k, seed + 4),
+                            Matrix::<f64>::random_f64(k, n, seed + 5),
+                            Matrix::<f64>::random_f64(m, n, seed + 6),
+                            SubmitOpts::default(),
+                        )
+                        .unwrap();
+                }
+            });
+        }
+    });
+    // Quiesced: Σ per-tenant per-mode == Σ per-shard per-mode ExecStats.
+    let totals = serve.total_stats();
+    assert_eq!(totals.completed, (CLIENTS * ROUNDS * 2) as u64);
+    let mut folded = m3xu::ExecStats::default();
+    for shard in 0..serve.shard_count() {
+        folded = folded.merged(&serve.shard_stats(shard).unwrap());
+    }
+    let mut flat_instructions = 0u64;
+    let mut flat_steps = 0u64;
+    let mut flat_bytes = 0u64;
+    for mode in MxuMode::ALL {
+        let tenant_side = totals.mode(mode);
+        let shard_side = folded.mode(mode);
+        assert_eq!(
+            tenant_side.mma_instructions, shard_side.instructions,
+            "instructions for {mode:?} at shards={shards}"
+        );
+        assert_eq!(
+            tenant_side.mma_steps, shard_side.steps,
+            "steps for {mode:?} at shards={shards}"
+        );
+        assert_eq!(
+            tenant_side.mma_lane_products, shard_side.lane_products,
+            "lane products for {mode:?} at shards={shards}"
+        );
+        flat_instructions += tenant_side.mma_instructions;
+        flat_steps += tenant_side.mma_steps;
+        flat_bytes += tenant_side.operand_bytes;
+    }
+    // The per-mode slots must also sum back to the flat counters, and
+    // the flat counters to the shards' flat counters.
+    assert_eq!(flat_instructions, totals.mma_instructions);
+    assert_eq!(flat_steps, totals.mma_steps);
+    assert_eq!(flat_bytes, totals.operand_bytes);
+    assert_eq!(totals.operand_bytes, folded.operand_bytes);
+    // The FP64 slot saw exactly the f64 requests, nothing else.
+    assert_eq!(
+        totals.mode(MxuMode::M3xuFp64Emu).requests,
+        (CLIENTS * ROUNDS) as u64
+    );
+    assert_eq!(
+        totals.submitted,
+        totals.completed + totals.rejected + totals.deadline_missed + totals.exec_errors
+    );
+}
+
+#[test]
+fn precision_mix_reconciles_per_mode_at_one_shard() {
+    run_precision_mix_and_reconcile(1);
+}
+
+#[test]
+fn precision_mix_reconciles_per_mode_at_four_shards() {
+    run_precision_mix_and_reconcile(4);
 }
