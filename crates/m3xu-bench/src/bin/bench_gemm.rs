@@ -21,7 +21,7 @@ use m3xu_json::impl_to_json;
 use m3xu_kernels::fft;
 use m3xu_kernels::gemm::{self, baseline, GemmPrecision};
 use m3xu_kernels::M3xuContext;
-use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::matrix::{MatOp, Matrix, Triangle};
 use m3xu_mxu::modes::MxuMode;
 use m3xu_mxu::packed::simd::{self, SimdLevel};
 use std::time::{Duration, Instant};
@@ -165,6 +165,60 @@ impl_to_json!(PrecisionReport {
     threads,
     simd_level,
     rows
+});
+
+/// One rank-k row of the BLAS-3 sweep: SYRK writing one triangle against
+/// the equivalent full `op(A)·op(A)^T` GEMM on the same operands, with
+/// the in-triangle bits asserted identical between the two paths.
+struct Blas3Row {
+    /// Output dimension `n` of the `n x n` update.
+    n: u64,
+    /// Contraction depth `k`.
+    k: u64,
+    /// SYRK (one-triangle) wall-clock, seconds.
+    syrk_s: f64,
+    /// Full `op(A)·op(A)^T` GEMM wall-clock, seconds.
+    full_s: f64,
+    /// `full_s / syrk_s` — the wall-clock the triangle scheduler saves.
+    speedup: f64,
+    /// MMA instructions the SYRK issued.
+    syrk_instructions: u64,
+    /// MMA instructions the full GEMM issued.
+    full_instructions: u64,
+    /// `full_instructions / syrk_instructions` — approaches 2x as the
+    /// tile grid grows (T^2 vs T(T+1)/2 tiles).
+    instruction_ratio: f64,
+    /// Output tiles the SYRK scheduled (the triangle).
+    syrk_tiles: u64,
+    /// Output tiles the full GEMM scheduled (the square).
+    full_tiles: u64,
+}
+impl_to_json!(Blas3Row {
+    n,
+    k,
+    syrk_s,
+    full_s,
+    speedup,
+    syrk_instructions,
+    full_instructions,
+    instruction_ratio,
+    syrk_tiles,
+    full_tiles
+});
+
+/// The BLAS-3 rank-k report written to `results/BENCH_blas3.json`.
+struct Blas3Report {
+    /// Worker threads the sweep ran on.
+    threads: u64,
+    /// Active SIMD dispatch level.
+    simd_level: String,
+    /// One row per (n, k) size.
+    syrk_fp32: Vec<Blas3Row>,
+}
+impl_to_json!(Blas3Report {
+    threads,
+    simd_level,
+    syrk_fp32
 });
 
 /// Monotone integer key over f64 bit patterns (negatives reversed), so
@@ -345,6 +399,47 @@ fn bench_gemm(n: usize, reps: usize, active: SimdLevel) -> GemmRow {
     }
 }
 
+/// One BLAS-3 rank-k row: a Lower-triangle SYRK against the equivalent
+/// full `A·A^T` op-GEMM, bit-compared inside the stored triangle.
+fn bench_syrk(n: usize, k: usize, reps: usize) -> Blas3Row {
+    let a = Matrix::<f32>::random(n, k, 0x51 + n as u64);
+    let c = Matrix::<f32>::random(n, n, 0x52 + n as u64);
+    let p = GemmPrecision::M3xuFp32;
+    let tri_ctx = M3xuContext::new();
+    let tri_r = tri_ctx.syrk_f32(p, Triangle::Lower, MatOp::N, &a, 1.0, 0.0, &c);
+    let tri_exec = tri_ctx.stats();
+    let full_ctx = M3xuContext::new();
+    let full_r = full_ctx.gemm_op_f32(p, MatOp::N, &a, MatOp::T, &a, 1.0, 0.0, &c);
+    let full_exec = full_ctx.stats();
+    for i in 0..n {
+        for j in 0..=i {
+            assert_eq!(
+                tri_r.d.get(i, j).to_bits(),
+                full_r.d.get(i, j).to_bits(),
+                "syrk diverged from the full rank-k GEMM at n={n} ({i},{j})"
+            );
+        }
+    }
+    let syrk_s = best_of(reps, || {
+        std::hint::black_box(tri_ctx.syrk_f32(p, Triangle::Lower, MatOp::N, &a, 1.0, 0.0, &c));
+    });
+    let full_s = best_of(reps, || {
+        std::hint::black_box(full_ctx.gemm_op_f32(p, MatOp::N, &a, MatOp::T, &a, 1.0, 0.0, &c));
+    });
+    Blas3Row {
+        n: n as u64,
+        k: k as u64,
+        syrk_s,
+        full_s,
+        speedup: full_s / syrk_s,
+        syrk_instructions: tri_r.stats.instructions,
+        full_instructions: full_r.stats.instructions,
+        instruction_ratio: full_r.stats.instructions as f64 / tri_r.stats.instructions as f64,
+        syrk_tiles: tri_exec.tiles,
+        full_tiles: full_exec.tiles,
+    }
+}
+
 fn bench_fft(points: usize, reps: usize, active: SimdLevel) -> FftRow {
     let m = Matrix::random_c32(points, 1, 0xF0 + points as u64);
     let x: Vec<m3xu_fp::C32> = (0..points).map(|i| m.get(i, 0)).collect();
@@ -440,6 +535,32 @@ fn main() {
     };
     dump_json("BENCH_gemm", &report).expect("write results/BENCH_gemm.json");
     println!("\nwrote results/BENCH_gemm.json");
+
+    println!("\nBLAS-3 rank-k sweep (SYRK triangle vs full op-GEMM)\n");
+    let mut blas3_rows = vec![bench_syrk(128, 128, 3), bench_syrk(256, 256, 2)];
+    if large {
+        blas3_rows.push(bench_syrk(512, 512, 1));
+    }
+    for r in &blas3_rows {
+        println!(
+            "syrk {0}x{0} k={1}: full {2:>10}  tri {3:>10}  speedup {4:.2}x  instr ratio {5:.2}x  tiles {6}/{7}",
+            r.n,
+            r.k,
+            fmt_duration(Duration::from_secs_f64(r.full_s)),
+            fmt_duration(Duration::from_secs_f64(r.syrk_s)),
+            r.speedup,
+            r.instruction_ratio,
+            r.syrk_tiles,
+            r.full_tiles,
+        );
+    }
+    let blas3_report = Blas3Report {
+        threads: gemm::workers() as u64,
+        simd_level: format!("{active:?}"),
+        syrk_fp32: blas3_rows,
+    };
+    dump_json("BENCH_blas3", &blas3_report).expect("write results/BENCH_blas3.json");
+    println!("\nwrote results/BENCH_blas3.json");
 
     println!("\nprecision dial sweep (error vs an exact-in-f64 reference)\n");
     let mut precision_rows = Vec::new();

@@ -206,6 +206,47 @@ macro_rules! impl_complex_float {
 impl_complex_float!(f32);
 impl_complex_float!(f64);
 
+/// Element-level conjugation — the primitive behind `op(X) = X^H` operand
+/// iteration in the packing layer.
+///
+/// For real scalars conjugation is the identity (so `X^H == X^T`); for
+/// complex values it flips the sign bit of the imaginary part. The complex
+/// implementation is a pure IEEE-754 negation: it preserves NaN payloads
+/// and turns `-0.0` into `+0.0` (and vice versa) without renormalizing,
+/// which is what the golden-bit conjugation tests pin.
+pub trait Conjugate: Copy {
+    /// The conjugated value (`self` for real types).
+    fn conjugate(self) -> Self;
+}
+
+impl Conjugate for f32 {
+    #[inline]
+    fn conjugate(self) -> Self {
+        self
+    }
+}
+
+impl Conjugate for f64 {
+    #[inline]
+    fn conjugate(self) -> Self {
+        self
+    }
+}
+
+impl Conjugate for Complex<f32> {
+    #[inline]
+    fn conjugate(self) -> Self {
+        self.conj()
+    }
+}
+
+impl Conjugate for Complex<f64> {
+    #[inline]
+    fn conjugate(self) -> Self {
+        self.conj()
+    }
+}
+
 impl From<Complex<f32>> for Complex<f64> {
     #[inline]
     fn from(c: Complex<f32>) -> Self {

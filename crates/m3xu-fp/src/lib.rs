@@ -46,7 +46,7 @@ pub mod softfloat;
 pub mod split;
 pub mod ulp;
 
-pub use complex::{Complex, C32, C64};
+pub use complex::{Complex, Conjugate, C32, C64};
 pub use fixed::{Kulisch, RoundFlags};
 pub use format::FloatFormat;
 pub use rounding::{Interval, Rounding};

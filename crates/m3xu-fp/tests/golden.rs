@@ -11,6 +11,7 @@ use m3xu_fp::rounding::{round_with, Rounding};
 use m3xu_fp::split::{
     join_fp32, split_fp32, SliceConfig, FP32_LOW_BITS, FP32_SLICES_EXACT, FP64_SLICES_EMULATED,
 };
+use m3xu_fp::{Conjugate, C32, C64};
 
 /// `2^k` as an exact `f64` (valid down to the subnormal floor at -1074).
 fn pow2(k: i32) -> f64 {
@@ -377,4 +378,80 @@ fn rne_ties_at_the_split_boundary_precision() {
         round_with(-x, M3XU_BUFFER, Rounding::TowardNegative).to_bits(),
         (-(1.0 + pow2(-12))).to_bits()
     );
+}
+
+// ---- conjugation bit behaviour -----------------------------------------
+//
+// op(X) = X^H packs through [`Conjugate`], whose contract is a pure
+// IEEE-754 negation of the imaginary part: sign bit flips, every other
+// bit — NaN payloads included — survives untouched. These goldens pin
+// that contract so a "helpful" renormalising conjugate cannot sneak in.
+
+#[test]
+fn conjugate_preserves_nan_payload_bits_and_flips_only_the_sign() {
+    // Quiet NaNs with distinctive payloads in both components.
+    let z = C32::new(f32::from_bits(0x7FC0_1DEA), f32::from_bits(0xFFC0_BEEF));
+    let c = z.conjugate();
+    // The real part is untouched, bit for bit.
+    assert_eq!(c.re.to_bits(), 0x7FC0_1DEA);
+    // The imaginary NaN keeps its payload; only the sign bit flips.
+    assert_eq!(c.im.to_bits(), 0x7FC0_BEEF);
+
+    // A signalling NaN imaginary part is negated without being quieted.
+    let z = C32::new(1.0, f32::from_bits(0x7F81_0001));
+    assert_eq!(z.conjugate().im.to_bits(), 0xFF81_0001);
+
+    // Double conjugation is a bitwise no-op, NaNs and all.
+    let z = C32::new(f32::from_bits(0xFFC0_DEAD), f32::from_bits(0x7FC1_2345));
+    let cc = z.conjugate().conjugate();
+    assert_eq!(cc.re.to_bits(), z.re.to_bits());
+    assert_eq!(cc.im.to_bits(), z.im.to_bits());
+
+    // Same contract at f64 width.
+    let z = C64::new(
+        f64::from_bits(0x7FF8_DEAD_BEEF_0123),
+        f64::from_bits(0xFFF8_0000_0000_1DEA),
+    );
+    let c = z.conjugate();
+    assert_eq!(c.re.to_bits(), 0x7FF8_DEAD_BEEF_0123);
+    assert_eq!(c.im.to_bits(), 0x7FF8_0000_0000_1DEA);
+}
+
+#[test]
+fn conjugate_signed_zero_imaginary_golden() {
+    // (x, -0.0)^H has a +0.0 imaginary part — and vice versa. The real
+    // part's zero sign is never touched.
+    let z = C32::new(-0.0, -0.0);
+    let c = z.conjugate();
+    assert_eq!(c.re.to_bits(), 0x8000_0000);
+    assert_eq!(c.im.to_bits(), 0x0000_0000);
+    let c = C32::new(2.5, 0.0).conjugate();
+    assert_eq!(c.im.to_bits(), 0x8000_0000);
+
+    // Subnormal and extreme-magnitude imaginary parts negate bit-exactly.
+    for bits in [0x0000_0001u32, 0x0000_1ABC, 0x7F7F_FFFF, 0x0080_0000] {
+        let z = C32::new(1.0, f32::from_bits(bits));
+        assert_eq!(z.conjugate().im.to_bits(), bits | 0x8000_0000);
+        let z = C32::new(1.0, f32::from_bits(bits | 0x8000_0000));
+        assert_eq!(z.conjugate().im.to_bits(), bits);
+    }
+
+    // f64: -0.0 imaginary conjugates to +0.0 exactly.
+    let c = C64::new(1.0, -0.0).conjugate();
+    assert_eq!(c.im.to_bits(), 0x0000_0000_0000_0000);
+}
+
+#[test]
+fn conjugate_is_bitwise_identity_for_real_types() {
+    // op(X) = X^H on real matrices degenerates to X^T: `Conjugate` for
+    // f32/f64 must be the identity on every bit pattern, NaNs and signed
+    // zeros included.
+    for bits in [0x7FC0_1DEAu32, 0x8000_0000, 0x0000_0001, 0xFF80_0000] {
+        let x = f32::from_bits(bits);
+        assert_eq!(x.conjugate().to_bits(), bits);
+    }
+    for bits in [0x7FF8_DEAD_BEEF_0123u64, 0x8000_0000_0000_0000] {
+        let x = f64::from_bits(bits);
+        assert_eq!(x.conjugate().to_bits(), bits);
+    }
 }

@@ -33,4 +33,6 @@ pub mod validate;
 
 pub use config::GpuConfig;
 pub use kernel::{Engine, KernelReport, KernelSpec, Problem};
-pub use validate::{exact_counts, validate_counts, CountMismatch, ExactCounts};
+pub use validate::{
+    exact_counts, exact_counts_rank_k, validate_counts, CountMismatch, ExactCounts,
+};

@@ -111,6 +111,48 @@ pub fn exact_counts(p: Problem, engine: Engine) -> Option<ExactCounts> {
     })
 }
 
+/// Exact functional counts for a **triangular-scheduled rank-k update**
+/// (SYRK/HERK) of `p` on `engine`: an `n x n` output (`p.m == p.n`,
+/// else `None`) reduced over `p.k`, executing only the output tiles that
+/// intersect one triangle.
+///
+/// With `T = ceil(n/8)` tiles per side, the scheduler runs
+/// `T*(T+1)/2` of the full `T^2` tile grid — the near-2x §V-B1
+/// instruction/step saving the functional driver must report:
+///
+/// * `instructions = T*(T+1)/2 * ceil(k/frag_k)`;
+/// * `steps = instructions * steps_per_mma` (rule (a), unchanged);
+/// * `operand_bytes = 2*n*k * element_bytes` — the driver packs `op(A)`
+///   once per orientation, so rank-k traffic is the full GEMM's
+///   `(m*k + k*n)` formula at `m = n` (rule (c), unchanged).
+///
+/// The same degenerate and engine/complexity gating as [`exact_counts`]
+/// applies.
+pub fn exact_counts_rank_k(p: Problem, engine: Engine) -> Option<ExactCounts> {
+    if p.m != p.n {
+        return None;
+    }
+    if p.complex != matches!(engine, Engine::M3xuFp32c) {
+        return None;
+    }
+    let (frag_k, steps_per_mma, elem_bytes) = engine_params(engine)?;
+    if p.n == 0 || p.k == 0 {
+        return Some(ExactCounts {
+            instructions: 0,
+            steps: 0,
+            operand_bytes: 0,
+        });
+    }
+    let t = p.n.div_ceil(8);
+    let tri_tiles = t * (t + 1) / 2;
+    let instructions = (tri_tiles * p.k.div_ceil(frag_k)) as u64;
+    Some(ExactCounts {
+        instructions,
+        steps: instructions * steps_per_mma,
+        operand_bytes: (2 * p.n * p.k) as u64 * elem_bytes,
+    })
+}
+
 /// One field of a failed [`validate_counts`] check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CountMismatch {
@@ -254,6 +296,51 @@ mod tests {
         // Complexity mismatch in either direction.
         assert!(exact_counts(p, Engine::M3xuFp32c).is_none());
         assert!(exact_counts(Problem::square_complex(64), Engine::M3xuFp32).is_none());
+    }
+
+    #[test]
+    fn rank_k_counts_halve_the_tile_grid() {
+        let p = Problem {
+            m: 64,
+            n: 64,
+            k: 32,
+            complex: false,
+        };
+        let full = exact_counts(p, Engine::M3xuFp32).unwrap();
+        let tri = exact_counts_rank_k(p, Engine::M3xuFp32).unwrap();
+        // 8 tiles per side: 36 of 64 tiles, same 16 k-chunks each.
+        assert_eq!(tri.instructions, 36 * 16);
+        assert_eq!(tri.instructions * 64, full.instructions * 36);
+        assert_eq!(tri.steps, 2 * tri.instructions);
+        // Traffic is unchanged: both orientations of A are packed.
+        assert_eq!(tri.operand_bytes, full.operand_bytes);
+
+        // Non-square outputs have no rank-k kernel; degenerate shapes
+        // execute nothing.
+        assert!(exact_counts_rank_k(
+            Problem {
+                m: 8,
+                n: 16,
+                k: 4,
+                complex: false
+            },
+            Engine::M3xuFp32
+        )
+        .is_none());
+        let empty = Problem {
+            m: 8,
+            n: 8,
+            k: 0,
+            complex: false,
+        };
+        assert_eq!(
+            exact_counts_rank_k(empty, Engine::M3xuFp32).unwrap(),
+            ExactCounts {
+                instructions: 0,
+                steps: 0,
+                operand_bytes: 0
+            }
+        );
     }
 
     #[test]

@@ -18,13 +18,14 @@
 //! free functions remain as thin wrappers over the process-wide
 //! [`default_context`], which resolves `M3XU_THREADS` exactly once.
 
+use crate::blas3::{self, Side};
 use crate::gemm::{self, GemmPrecision, GemmResult};
 use crate::pool::{self, WorkerPool};
 use crate::{conv2d, conv_grad, fft, knn, poly, solver};
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::fault::{FaultPlan, FaultSummary};
-use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::matrix::{MatOp, Matrix, MirrorView, OpView, Triangle};
 use m3xu_mxu::mma::MmaStats;
 use m3xu_mxu::modes::MxuMode;
 use m3xu_mxu::packed::PackedStorage;
@@ -550,6 +551,250 @@ impl M3xuContext {
         Ok(self.try_cgemm_c32(a, b, &c)?.d)
     }
 
+    // ---- BLAS-3 family -------------------------------------------------
+
+    /// Fallible op-GEMM `D = alpha·op(A)·op(B) + beta·C` on an f32
+    /// engine; `op = N`, `alpha = 1`, `beta = 1` is bit-identical to
+    /// [`M3xuContext::try_gemm_f32`]. Counted into this context's
+    /// [`ExecStats`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_op_f32(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        op_b: MatOp,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        blas3::try_gemm_op_f32_ctx(self, precision, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_gemm_op_f32`], panicking on invalid shapes or
+    /// precision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_op_f32(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        op_b: MatOp,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> GemmResult<f32> {
+        self.try_gemm_op_f32(precision, op_a, a, op_b, b, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible complex op-GEMM `D = alpha·op(A)·op(B) + beta·C` on the
+    /// FP32C engine (`op` may conjugate); counted into this context's
+    /// [`ExecStats`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_cgemm_op_c32(
+        &self,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        op_b: MatOp,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        blas3::try_cgemm_op_c32_ctx(self, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_cgemm_op_c32`], panicking on invalid shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cgemm_op_c32(
+        &self,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        op_b: MatOp,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> GemmResult<C32> {
+        self.try_cgemm_op_c32(op_a, a, op_b, b, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible emulated-FP64 op-GEMM; only
+    /// [`GemmPrecision::Fp64Emulated`] is accepted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_op_f64(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f64>,
+        op_b: MatOp,
+        b: &Matrix<f64>,
+        alpha: f64,
+        beta: f64,
+        c: &Matrix<f64>,
+    ) -> Result<GemmResult<f64>, M3xuError> {
+        blas3::try_gemm_op_f64_ctx(self, precision, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_gemm_op_f64`], panicking on invalid shapes or
+    /// precision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_op_f64(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f64>,
+        op_b: MatOp,
+        b: &Matrix<f64>,
+        alpha: f64,
+        beta: f64,
+        c: &Matrix<f64>,
+    ) -> GemmResult<f64> {
+        self.try_gemm_op_f64(precision, op_a, a, op_b, b, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible SYRK `C := alpha·op(A)·op(A)^T + beta·C`, scheduling (and
+    /// writing) only the output tiles intersecting `tri` — the other
+    /// triangle of `C` passes through byte-for-byte untouched, and the
+    /// recorded [`ExecStats`] reflect the ~2x tile saving.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_syrk_f32(
+        &self,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        blas3::try_syrk_f32_ctx(self, precision, tri, op_a, a, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_syrk_f32`], panicking on invalid shapes or
+    /// precision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk_f32(
+        &self,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> GemmResult<f32> {
+        self.try_syrk_f32(precision, tri, op_a, a, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible HERK `C := alpha·op(A)·op(A)^H + beta·C` with real
+    /// `alpha`/`beta` on the FP32C engine, writing only the `tri`
+    /// triangle; diagonal entries are exactly real on output. `op_a` must
+    /// be [`MatOp::N`] or [`MatOp::H`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_herk_c32(
+        &self,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        blas3::try_herk_c32_ctx(self, tri, op_a, a, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_herk_c32`], panicking on invalid shapes or op.
+    pub fn herk_c32(
+        &self,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<C32>,
+    ) -> GemmResult<C32> {
+        self.try_herk_c32(tri, op_a, a, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible SYMM `C := alpha·sym(A)·B + beta·C` (or `B·sym(A)` on
+    /// [`Side::Right`]), expanding the `tri`-stored triangle of the
+    /// square matrix `A` on the fly — the opposite triangle of `A` is
+    /// never read.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_symm_f32(
+        &self,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        blas3::try_symm_f32_ctx(self, precision, side, tri, a, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_symm_f32`], panicking on invalid shapes or
+    /// precision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn symm_f32(
+        &self,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> GemmResult<f32> {
+        self.try_symm_f32(precision, side, tri, a, b, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible HEMM: the Hermitian counterpart of
+    /// [`M3xuContext::try_symm_f32`] on the FP32C engine (the mirror
+    /// conjugates across the diagonal and reads diagonal entries as
+    /// real).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_hemm_c32(
+        &self,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        blas3::try_hemm_c32_ctx(self, side, tri, a, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_hemm_c32`], panicking on invalid shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hemm_c32(
+        &self,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> GemmResult<C32> {
+        self.try_hemm_c32(side, tri, a, b, alpha, beta, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     // ---- Kernel conveniences -------------------------------------------
 
     /// GEMM-formulated FFT on this context (see [`fft::try_gemm_fft`]).
@@ -706,6 +951,262 @@ pub trait GemmExecutor {
         let c = Matrix::zeros(a.rows(), b.cols());
         Ok(self.try_cgemm_c32(a, b, &c)?.d)
     }
+
+    /// Fallible op-GEMM `D = alpha·op(A)·op(B) + beta·C` on an f32
+    /// engine. The default materializes the views and scalar folds (alpha
+    /// before quantisation, beta into the `C` seed — the same fold order
+    /// as the packed driver, so results stay bit-compatible with
+    /// [`M3xuContext`]'s view-iterating implementation) and delegates to
+    /// [`GemmExecutor::try_gemm_f32`].
+    #[allow(clippy::too_many_arguments)]
+    fn try_gemm_op_f32(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        op_b: MatOp,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        let am = fold_op_f32(a, op_a, alpha);
+        let bm = fold_op_f32(b, op_b, 1.0);
+        let cm = fold_beta_f32(c, beta);
+        self.try_gemm_f32(precision, &am, &bm, &cm)
+    }
+
+    /// Fallible complex op-GEMM `D = alpha·op(A)·op(B) + beta·C`; default
+    /// materializes and delegates to [`GemmExecutor::try_cgemm_c32`].
+    #[allow(clippy::too_many_arguments)]
+    fn try_cgemm_op_c32(
+        &self,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        op_b: MatOp,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        let am = fold_op_c32(a, op_a, alpha);
+        let bm = fold_op_c32(b, op_b, Complex::<f32>::ONE);
+        let cm = fold_beta_c32(c, beta);
+        self.try_cgemm_c32(&am, &bm, &cm)
+    }
+
+    /// Fallible emulated-FP64 op-GEMM; default materializes and delegates
+    /// to [`GemmExecutor::try_gemm_f64`] (which executors without a
+    /// double-precision engine reject).
+    #[allow(clippy::too_many_arguments)]
+    fn try_gemm_op_f64(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f64>,
+        op_b: MatOp,
+        b: &Matrix<f64>,
+        alpha: f64,
+        beta: f64,
+        c: &Matrix<f64>,
+    ) -> Result<GemmResult<f64>, M3xuError> {
+        let am = fold_op_f64(a, op_a, alpha);
+        let bm = fold_op_f64(b, op_b, 1.0);
+        let cm = fold_beta_f64(c, beta);
+        self.try_gemm_f64(precision, &am, &bm, &cm)
+    }
+
+    /// Fallible SYRK `C := alpha·op(A)·op(A)^T + beta·C` over one
+    /// triangle. No default fallback: the contract that the unreferenced
+    /// triangle of `C` passes through untouched needs triangular output
+    /// scheduling, so executors without it reject with
+    /// [`M3xuError::ModeMismatch`].
+    #[allow(clippy::too_many_arguments)]
+    fn try_syrk_f32(
+        &self,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        let _ = (tri, op_a, a, alpha, beta, c);
+        Err(M3xuError::ModeMismatch {
+            context: "GemmExecutor::try_syrk_f32",
+            got: precision.mode(),
+        })
+    }
+
+    /// Fallible HERK `C := alpha·op(A)·op(A)^H + beta·C` over one
+    /// triangle; like [`GemmExecutor::try_syrk_f32`], executors without
+    /// triangular output scheduling reject.
+    #[allow(clippy::too_many_arguments)]
+    fn try_herk_c32(
+        &self,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        let _ = (tri, op_a, a, alpha, beta, c);
+        Err(M3xuError::ModeMismatch {
+            context: "GemmExecutor::try_herk_c32",
+            got: MxuMode::M3xuFp32c,
+        })
+    }
+
+    /// Fallible SYMM with a triangle-stored symmetric `A`; default
+    /// expands the mirror and delegates to
+    /// [`GemmExecutor::try_gemm_op_f32`].
+    #[allow(clippy::too_many_arguments)]
+    fn try_symm_f32(
+        &self,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        if a.rows() != a.cols() {
+            return Err(M3xuError::ShapeMismatch {
+                context: "symm(A): A must be square",
+                expected: (a.rows(), a.rows()),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let sym = MirrorView::new(a, tri, false).materialize();
+        match side {
+            Side::Left => {
+                self.try_gemm_op_f32(precision, MatOp::N, &sym, MatOp::N, b, alpha, beta, c)
+            }
+            Side::Right => {
+                self.try_gemm_op_f32(precision, MatOp::N, b, MatOp::N, &sym, alpha, beta, c)
+            }
+        }
+    }
+
+    /// Fallible HEMM with a triangle-stored Hermitian `A`; default
+    /// expands the mirror and delegates to
+    /// [`GemmExecutor::try_cgemm_op_c32`].
+    #[allow(clippy::too_many_arguments)]
+    fn try_hemm_c32(
+        &self,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        if a.rows() != a.cols() {
+            return Err(M3xuError::ShapeMismatch {
+                context: "hemm(A): A must be square",
+                expected: (a.rows(), a.rows()),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let herm = MirrorView::new(a, tri, true).materialize();
+        match side {
+            Side::Left => self.try_cgemm_op_c32(MatOp::N, &herm, MatOp::N, b, alpha, beta, c),
+            Side::Right => self.try_cgemm_op_c32(MatOp::N, b, MatOp::N, &herm, alpha, beta, c),
+        }
+    }
+}
+
+/// `op(X)` materialized with `alpha` folded elementwise — the same values
+/// in the same order the view-iterating packers produce (`alpha == 1`
+/// skips the multiply bitwise, mirroring the packed driver).
+///
+/// The `s * x` operand order matches the packed scale exactly; `*v *=`
+/// would flip it (visible in both-NaN payload selection), hence the
+/// lint allowances here and in the other fold helpers.
+#[allow(clippy::assign_op_pattern)]
+fn fold_op_f32(x: &Matrix<f32>, op: MatOp, alpha: f32) -> Matrix<f32> {
+    let mut m = OpView::new(x, op).materialize();
+    if alpha.to_bits() != 1.0f32.to_bits() {
+        for v in m.as_mut_slice() {
+            *v = alpha * *v;
+        }
+    }
+    m
+}
+
+/// `beta·C` folded elementwise: `beta == 1` clones, `beta == +0.0` never
+/// reads `C`'s values — the packed driver's seed semantics.
+#[allow(clippy::assign_op_pattern)]
+fn fold_beta_f32(c: &Matrix<f32>, beta: f32) -> Matrix<f32> {
+    if beta.to_bits() == 0.0f32.to_bits() {
+        return Matrix::zeros(c.rows(), c.cols());
+    }
+    let mut m = c.clone();
+    if beta.to_bits() != 1.0f32.to_bits() {
+        for v in m.as_mut_slice() {
+            *v = beta * *v;
+        }
+    }
+    m
+}
+
+/// Complex counterpart of [`fold_op_f32`].
+fn fold_op_c32(x: &Matrix<C32>, op: MatOp, alpha: C32) -> Matrix<C32> {
+    let mut m = OpView::new(x, op).materialize();
+    let unit = alpha.re.to_bits() == 1.0f32.to_bits() && alpha.im.to_bits() == 0.0f32.to_bits();
+    if !unit {
+        for v in m.as_mut_slice() {
+            *v = alpha * *v;
+        }
+    }
+    m
+}
+
+/// Complex counterpart of [`fold_beta_f32`].
+fn fold_beta_c32(c: &Matrix<C32>, beta: C32) -> Matrix<C32> {
+    if beta.re.to_bits() == 0.0f32.to_bits() && beta.im.to_bits() == 0.0f32.to_bits() {
+        return Matrix::zeros(c.rows(), c.cols());
+    }
+    let mut m = c.clone();
+    let unit = beta.re.to_bits() == 1.0f32.to_bits() && beta.im.to_bits() == 0.0f32.to_bits();
+    if !unit {
+        for v in m.as_mut_slice() {
+            *v = beta * *v;
+        }
+    }
+    m
+}
+
+/// f64 counterpart of [`fold_op_f32`].
+#[allow(clippy::assign_op_pattern)]
+fn fold_op_f64(x: &Matrix<f64>, op: MatOp, alpha: f64) -> Matrix<f64> {
+    let mut m = OpView::new(x, op).materialize();
+    if alpha.to_bits() != 1.0f64.to_bits() {
+        for v in m.as_mut_slice() {
+            *v = alpha * *v;
+        }
+    }
+    m
+}
+
+/// f64 counterpart of [`fold_beta_f32`].
+#[allow(clippy::assign_op_pattern)]
+fn fold_beta_f64(c: &Matrix<f64>, beta: f64) -> Matrix<f64> {
+    if beta.to_bits() == 0.0f64.to_bits() {
+        return Matrix::zeros(c.rows(), c.cols());
+    }
+    let mut m = c.clone();
+    if beta.to_bits() != 1.0f64.to_bits() {
+        for v in m.as_mut_slice() {
+            *v = beta * *v;
+        }
+    }
+    m
 }
 
 impl GemmExecutor for M3xuContext {
@@ -736,6 +1237,99 @@ impl GemmExecutor for M3xuContext {
         c: &Matrix<f64>,
     ) -> Result<GemmResult<f64>, M3xuError> {
         M3xuContext::try_gemm_f64(self, precision, a, b, c)
+    }
+
+    fn try_gemm_op_f32(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        op_b: MatOp,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        M3xuContext::try_gemm_op_f32(self, precision, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    fn try_cgemm_op_c32(
+        &self,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        op_b: MatOp,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        M3xuContext::try_cgemm_op_c32(self, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    fn try_gemm_op_f64(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f64>,
+        op_b: MatOp,
+        b: &Matrix<f64>,
+        alpha: f64,
+        beta: f64,
+        c: &Matrix<f64>,
+    ) -> Result<GemmResult<f64>, M3xuError> {
+        M3xuContext::try_gemm_op_f64(self, precision, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    fn try_syrk_f32(
+        &self,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        M3xuContext::try_syrk_f32(self, precision, tri, op_a, a, alpha, beta, c)
+    }
+
+    fn try_herk_c32(
+        &self,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        M3xuContext::try_herk_c32(self, tri, op_a, a, alpha, beta, c)
+    }
+
+    fn try_symm_f32(
+        &self,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<GemmResult<f32>, M3xuError> {
+        M3xuContext::try_symm_f32(self, precision, side, tri, a, b, alpha, beta, c)
+    }
+
+    fn try_hemm_c32(
+        &self,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<GemmResult<C32>, M3xuError> {
+        M3xuContext::try_hemm_c32(self, side, tri, a, b, alpha, beta, c)
     }
 }
 

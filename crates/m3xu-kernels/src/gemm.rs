@@ -39,7 +39,7 @@ use std::time::Instant;
 /// full fragment, `frag.m * frag.n` elements). Validated against each
 /// mode's fragment shape at entry so a future shape cannot silently
 /// truncate a tile or panic mid-epoch inside a pooled task.
-const ACC_SCRATCH: usize = 64;
+pub(crate) const ACC_SCRATCH: usize = 64;
 
 /// Validate the `D = A·B + C` operand shapes shared by every driver.
 fn validate_gemm_shapes<E>(a: &Matrix<E>, b: &Matrix<E>, c: &Matrix<E>) -> Result<(), M3xuError> {
@@ -120,7 +120,7 @@ impl GemmPrecision {
 
 /// Reject an `f32` entry point called with the FP64 precision (or vice
 /// versa) with a typed error instead of a packing panic.
-fn check_precision(
+pub(crate) fn check_precision(
     precision: GemmPrecision,
     want_f32: bool,
     context: &'static str,
@@ -314,14 +314,14 @@ impl PackedElem for f64 {
 
 /// A raw output pointer the tile tasks write through. Tiles are disjoint
 /// regions of the output, so concurrent writes never alias.
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
     /// Accessor (rather than field access) so closures capture the whole
     /// `Sync` wrapper, not the bare raw pointer.
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }
@@ -330,7 +330,7 @@ thread_local! {
     /// One dot-product unit per thread, reused across every fragment of
     /// every GEMM — its wide Kulisch registers never hit the allocator on
     /// the hot path.
-    static DPU: RefCell<DotProductUnit> = RefCell::new(DotProductUnit::new());
+    pub(crate) static DPU: RefCell<DotProductUnit> = RefCell::new(DotProductUnit::new());
 }
 
 /// The generic packed GEMM driver: `D = A·B + C` in `mode` on `pool`.

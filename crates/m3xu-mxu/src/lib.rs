@@ -67,7 +67,7 @@ pub mod unit;
 
 pub use error::M3xuError;
 pub use fault::{FaultPlan, FaultSummary};
-pub use matrix::{Matrix, TileView};
+pub use matrix::{MatOp, MatSource, Matrix, MirrorView, OpView, RealPart, TileView, Triangle};
 pub use mma::{MmaShape, MmaStats};
 pub use modes::{MxuMode, PipelineVariant};
 pub use packed::PackedOperand;

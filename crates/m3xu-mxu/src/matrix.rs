@@ -4,7 +4,7 @@
 //! and generators for test/bench workloads. Higher-level tiling policy
 //! lives in `m3xu-kernels`.
 
-use m3xu_fp::complex::Complex;
+use m3xu_fp::complex::{Complex, Conjugate};
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,6 +195,247 @@ impl<T: Copy + Default> TileView<'_, T> {
             out[i * self.cols + keep_c..(i + 1) * self.cols].fill(T::default());
         }
         out[keep_r * self.cols..self.rows * self.cols].fill(T::default());
+    }
+}
+
+/// The operand orientation `op(X)` of a BLAS-3 call.
+///
+/// `N` reads the matrix as stored, `T` iterates it transposed, and `H`
+/// iterates it transposed with every element conjugated. For real element
+/// types conjugation is the identity, so `H` and `T` coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatOp {
+    /// `op(X) = X` — no transpose.
+    N,
+    /// `op(X) = X^T` — transpose.
+    T,
+    /// `op(X) = X^H` — conjugate transpose.
+    H,
+}
+
+impl MatOp {
+    /// True if this op swaps the row/column axes.
+    #[inline]
+    pub fn transposes(self) -> bool {
+        !matches!(self, MatOp::N)
+    }
+
+    /// True if this op conjugates elements.
+    #[inline]
+    pub fn conjugates(self) -> bool {
+        matches!(self, MatOp::H)
+    }
+
+    /// Logical `(rows, cols)` of `op(X)` for a stored `rows x cols` matrix.
+    #[inline]
+    pub fn dims(self, rows: usize, cols: usize) -> (usize, usize) {
+        if self.transposes() {
+            (cols, rows)
+        } else {
+            (rows, cols)
+        }
+    }
+}
+
+/// Which triangle of a symmetric/Hermitian matrix is referenced (rank-k
+/// output triangle, or the stored half of a SYMM/HEMM operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Triangle {
+    /// Elements with `i >= j`.
+    Lower,
+    /// Elements with `i <= j`.
+    Upper,
+}
+
+impl Triangle {
+    /// True if `(i, j)` lies in this triangle (diagonal included in both).
+    #[inline]
+    pub fn contains(self, i: usize, j: usize) -> bool {
+        match self {
+            Triangle::Lower => i >= j,
+            Triangle::Upper => i <= j,
+        }
+    }
+}
+
+/// A logical read-only matrix: anything the packing layer can iterate
+/// element-by-element in a stated orientation. Implemented by [`Matrix`]
+/// itself, by [`OpView`] (transpose/conjugate iteration without a copy),
+/// and by [`MirrorView`] (triangle-stored symmetric/Hermitian expansion).
+pub trait MatSource<T> {
+    /// Logical row count.
+    fn rows(&self) -> usize;
+    /// Logical column count.
+    fn cols(&self) -> usize;
+    /// Logical element at `(i, j)` (debug-checked bounds).
+    fn at(&self, i: usize, j: usize) -> T;
+}
+
+impl<T: Copy + Default> MatSource<T> for Matrix<T> {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> T {
+        self.get(i, j)
+    }
+}
+
+/// A zero-copy `op(X)` view over a [`Matrix`]: the transpose/conjugate
+/// generalization of [`TileView`] iteration. Elements are produced in the
+/// logical (post-op) orientation, so the packing loops read either
+/// orientation directly from the stored buffer without materializing a
+/// transposed or conjugated copy.
+#[derive(Debug, Clone, Copy)]
+pub struct OpView<'a, T> {
+    src: &'a Matrix<T>,
+    op: MatOp,
+}
+
+impl<'a, T: Copy + Default + Conjugate> OpView<'a, T> {
+    /// Wrap `src` as `op(src)`.
+    #[inline]
+    pub fn new(src: &'a Matrix<T>, op: MatOp) -> Self {
+        OpView { src, op }
+    }
+
+    /// The orientation this view applies.
+    #[inline]
+    pub fn op(&self) -> MatOp {
+        self.op
+    }
+
+    /// Materialize the logical matrix (test/reference convenience; the
+    /// packing layer never calls this).
+    pub fn materialize(&self) -> Matrix<T> {
+        Matrix::from_fn(MatSource::rows(self), MatSource::cols(self), |i, j| {
+            self.at(i, j)
+        })
+    }
+}
+
+impl<T: Copy + Default + Conjugate> MatSource<T> for OpView<'_, T> {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.op.dims(self.src.rows, self.src.cols).0
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.op.dims(self.src.rows, self.src.cols).1
+    }
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> T {
+        let x = if self.op.transposes() {
+            self.src.get(j, i)
+        } else {
+            self.src.get(i, j)
+        };
+        if self.op.conjugates() {
+            x.conjugate()
+        } else {
+            x
+        }
+    }
+}
+
+/// A zero-copy symmetric/Hermitian expansion of a triangle-stored square
+/// matrix: element `(i, j)` outside the stored [`Triangle`] is mirrored
+/// from `(j, i)` (conjugated in the Hermitian case). With `hermitian`,
+/// diagonal elements are forced real on read, matching the BLAS convention
+/// that HEMM/HERK never reference the imaginary parts of the diagonal.
+#[derive(Debug, Clone, Copy)]
+pub struct MirrorView<'a, T> {
+    src: &'a Matrix<T>,
+    tri: Triangle,
+    hermitian: bool,
+}
+
+impl<'a, T: Copy + Default + Conjugate + RealPart> MirrorView<'a, T> {
+    /// Wrap the square matrix `src`, whose `tri` triangle holds the data.
+    /// Panics if `src` is not square.
+    pub fn new(src: &'a Matrix<T>, tri: Triangle, hermitian: bool) -> Self {
+        assert_eq!(src.rows, src.cols, "MirrorView requires a square matrix");
+        MirrorView {
+            src,
+            tri,
+            hermitian,
+        }
+    }
+
+    /// Materialize the full symmetric/Hermitian matrix (test convenience).
+    pub fn materialize(&self) -> Matrix<T> {
+        Matrix::from_fn(self.src.rows, self.src.cols, |i, j| self.at(i, j))
+    }
+}
+
+impl<T: Copy + Default + Conjugate + RealPart> MatSource<T> for MirrorView<'_, T> {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.src.rows
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.src.cols
+    }
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> T {
+        if self.hermitian && i == j {
+            self.src.get(i, i).real_part()
+        } else if self.tri.contains(i, j) {
+            self.src.get(i, j)
+        } else if self.hermitian {
+            self.src.get(j, i).conjugate()
+        } else {
+            self.src.get(j, i)
+        }
+    }
+}
+
+/// Projection onto the real axis — used by [`MirrorView`] to implement the
+/// BLAS rule that Hermitian diagonals are real by definition.
+pub trait RealPart: Copy {
+    /// The value with any imaginary component replaced by `+0.0`.
+    fn real_part(self) -> Self;
+}
+
+impl RealPart for f32 {
+    #[inline]
+    fn real_part(self) -> Self {
+        self
+    }
+}
+
+impl RealPart for f64 {
+    #[inline]
+    fn real_part(self) -> Self {
+        self
+    }
+}
+
+impl RealPart for Complex<f32> {
+    #[inline]
+    fn real_part(self) -> Self {
+        Complex::new(self.re, 0.0)
+    }
+}
+
+impl RealPart for Complex<f64> {
+    #[inline]
+    fn real_part(self) -> Self {
+        Complex::new(self.re, 0.0)
+    }
+}
+
+impl<T: Copy + Default + Conjugate> Matrix<T> {
+    /// A zero-copy `op(self)` view (transpose/conjugate iteration).
+    #[inline]
+    pub fn op_view(&self, op: MatOp) -> OpView<'_, T> {
+        OpView::new(self, op)
     }
 }
 

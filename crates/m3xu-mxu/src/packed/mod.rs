@@ -48,7 +48,7 @@ use crate::buffer::{
 use crate::dpu::{DotProductUnit, LaneOp, Target};
 use crate::error::M3xuError;
 use crate::fault::MmaFault;
-use crate::matrix::Matrix;
+use crate::matrix::{MatSource, Matrix};
 use crate::mma::{MmaShape, MmaStats};
 use crate::modes::MxuMode;
 use crate::unit::Mxu;
@@ -182,6 +182,40 @@ fn val_f32(x: f32, mode: MxuMode) -> f32 {
         MxuMode::Fp16 => round_to_format(x as f64, FP16) as f32,
         MxuMode::Bf16 => round_to_format(x as f64, BF16) as f32,
         _ => unreachable!("mode gate admitted a non-real packing mode"),
+    }
+}
+
+/// Fold the scalar `alpha` into an element before decode. A bitwise check
+/// against `1.0` skips the multiply entirely, so an `alpha = 1` pack is
+/// instruction-for-instruction (and therefore bit-for-bit) identical to
+/// the unscaled packers — the contract the op/alpha differential suite
+/// pins against the plain GEMM path.
+#[inline]
+fn scale_f32(alpha: f32, x: f32) -> f32 {
+    if alpha.to_bits() == 1.0f32.to_bits() {
+        x
+    } else {
+        alpha * x
+    }
+}
+
+/// [`scale_f32`] for complex elements (bitwise skip at `alpha = 1 + 0i`).
+#[inline]
+fn scale_c32(alpha: Complex<f32>, x: Complex<f32>) -> Complex<f32> {
+    if alpha.re.to_bits() == 1.0f32.to_bits() && alpha.im.to_bits() == 0.0f32.to_bits() {
+        x
+    } else {
+        alpha * x
+    }
+}
+
+/// [`scale_f32`] for `f64` elements (bitwise skip at `alpha = 1.0`).
+#[inline]
+fn scale_f64(alpha: f64, x: f64) -> f64 {
+    if alpha.to_bits() == 1.0f64.to_bits() {
+        x
+    } else {
+        alpha * x
     }
 }
 
@@ -444,6 +478,233 @@ impl PackedOperand {
             epe,
             len: m.rows(),
             vecs: m.cols(),
+            entries,
+            vals,
+            transposed: true,
+        })
+    }
+
+    /// Pack a real operand by rows from any logical [`MatSource`] — an
+    /// [`crate::matrix::OpView`] for `op(A)` iteration, a
+    /// [`crate::matrix::MirrorView`] for a triangle-stored SYMM operand, or
+    /// a plain [`Matrix`] — folding `alpha` into every element *before*
+    /// mode quantisation. With an identity source and `alpha = 1` (bitwise)
+    /// this produces exactly the planes of
+    /// [`PackedOperand::try_pack_rows_f32_in`]: same element order, same
+    /// decode calls, no extra arithmetic.
+    pub fn try_pack_rows_f32_src_in<S: MatSource<f32>>(
+        src: &S,
+        alpha: f32,
+        mode: MxuMode,
+        storage: PackedStorage,
+    ) -> Result<Self, M3xuError> {
+        if !is_real_f32_mode(mode) {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_rows_f32",
+                got: mode,
+            });
+        }
+        let (rows, cols) = (src.rows(), src.cols());
+        let epe = entries_per_element(mode);
+        let (mut entries, mut vals) = storage.prepared(rows * cols, epe, 1);
+        for i in 0..rows {
+            for k in 0..cols {
+                let x = scale_f32(alpha, src.at(i, k));
+                push_f32(&mut entries, x, mode);
+                vals.push(val_f32(x, mode));
+            }
+        }
+        Ok(PackedOperand {
+            mode,
+            epe,
+            len: cols,
+            vecs: rows,
+            entries,
+            vals,
+            transposed: false,
+        })
+    }
+
+    /// Pack a real operand by columns from any logical [`MatSource`] (the
+    /// `B` side), folding `alpha` before quantisation; see
+    /// [`PackedOperand::try_pack_rows_f32_src_in`].
+    pub fn try_pack_cols_f32_src_in<S: MatSource<f32>>(
+        src: &S,
+        alpha: f32,
+        mode: MxuMode,
+        storage: PackedStorage,
+    ) -> Result<Self, M3xuError> {
+        if !is_real_f32_mode(mode) {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_cols_f32",
+                got: mode,
+            });
+        }
+        let (rows, cols) = (src.rows(), src.cols());
+        let epe = entries_per_element(mode);
+        let (mut entries, mut vals) = storage.prepared(rows * cols, epe, 1);
+        for j in 0..cols {
+            for i in 0..rows {
+                push_f32(&mut entries, scale_f32(alpha, src.at(i, j)), mode);
+            }
+        }
+        // The k-major value plane, in the source's logical row-major order
+        // (vals[k * vecs + v] = src[k][v]).
+        for i in 0..rows {
+            for j in 0..cols {
+                vals.push(val_f32(scale_f32(alpha, src.at(i, j)), mode));
+            }
+        }
+        Ok(PackedOperand {
+            mode,
+            epe,
+            len: rows,
+            vecs: cols,
+            entries,
+            vals,
+            transposed: true,
+        })
+    }
+
+    /// Pack a complex operand by rows from any logical [`MatSource`]
+    /// (FP32C mode), folding `alpha` before the hi/lo split; see
+    /// [`PackedOperand::try_pack_rows_f32_src_in`].
+    pub fn pack_rows_c32_src_in<S: MatSource<Complex<f32>>>(
+        src: &S,
+        alpha: Complex<f32>,
+        storage: PackedStorage,
+    ) -> Self {
+        let (rows, cols) = (src.rows(), src.cols());
+        let (mut entries, mut vals) = storage.prepared(rows * cols, 4, 2);
+        for i in 0..rows {
+            for k in 0..cols {
+                let x = scale_c32(alpha, src.at(i, k));
+                push_c32(&mut entries, x);
+                vals.push(x.re);
+                vals.push(x.im);
+            }
+        }
+        PackedOperand {
+            mode: MxuMode::M3xuFp32c,
+            epe: 4,
+            len: cols,
+            vecs: rows,
+            entries,
+            vals,
+            transposed: false,
+        }
+    }
+
+    /// Pack a complex operand by columns from any logical [`MatSource`]
+    /// (FP32C mode, the `B` side); see
+    /// [`PackedOperand::pack_rows_c32_src_in`].
+    pub fn pack_cols_c32_src_in<S: MatSource<Complex<f32>>>(
+        src: &S,
+        alpha: Complex<f32>,
+        storage: PackedStorage,
+    ) -> Self {
+        let (rows, cols) = (src.rows(), src.cols());
+        let (mut entries, mut vals) = storage.prepared(rows * cols, 4, 2);
+        for j in 0..cols {
+            for i in 0..rows {
+                push_c32(&mut entries, scale_c32(alpha, src.at(i, j)));
+            }
+        }
+        // Planar k-major component planes in the source's logical
+        // row-major order: the re plane, then the im plane.
+        for i in 0..rows {
+            for j in 0..cols {
+                vals.push(scale_c32(alpha, src.at(i, j)).re);
+            }
+        }
+        for i in 0..rows {
+            for j in 0..cols {
+                vals.push(scale_c32(alpha, src.at(i, j)).im);
+            }
+        }
+        PackedOperand {
+            mode: MxuMode::M3xuFp32c,
+            epe: 4,
+            len: rows,
+            vecs: cols,
+            entries,
+            vals,
+            transposed: true,
+        }
+    }
+
+    /// Pack an FP64 operand by rows from any logical [`MatSource`] for the
+    /// emulated-FP64 mode, folding `alpha` before slice decode; see
+    /// [`PackedOperand::try_pack_rows_f64_in`].
+    pub fn try_pack_rows_f64_src_in<S: MatSource<f64>>(
+        src: &S,
+        alpha: f64,
+        mode: MxuMode,
+        storage: PackedStorage,
+    ) -> Result<Self, M3xuError> {
+        if mode != MxuMode::M3xuFp64Emu {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_rows_f64",
+                got: mode,
+            });
+        }
+        let cfg = mode
+            .slice_config()
+            .expect("emulated FP64 has a slice config");
+        let (rows, cols) = (src.rows(), src.cols());
+        let epe = entries_per_element(mode);
+        let (mut entries, vals) = storage.prepared(rows * cols, epe, 0);
+        let mut buf = [BufferEntry::ZERO; m3xu_fp::split::MAX_SLICES];
+        for i in 0..rows {
+            for k in 0..cols {
+                let n = decode_fp64_slices(scale_f64(alpha, src.at(i, k)), cfg, &mut buf);
+                entries.extend_from_slice(&buf[..n]);
+            }
+        }
+        Ok(PackedOperand {
+            mode,
+            epe,
+            len: cols,
+            vecs: rows,
+            entries,
+            vals,
+            transposed: false,
+        })
+    }
+
+    /// Pack an FP64 operand by columns from any logical [`MatSource`] for
+    /// the emulated-FP64 mode (the `B` side); see
+    /// [`PackedOperand::try_pack_rows_f64_src_in`].
+    pub fn try_pack_cols_f64_src_in<S: MatSource<f64>>(
+        src: &S,
+        alpha: f64,
+        mode: MxuMode,
+        storage: PackedStorage,
+    ) -> Result<Self, M3xuError> {
+        if mode != MxuMode::M3xuFp64Emu {
+            return Err(M3xuError::ModeMismatch {
+                context: "PackedOperand::pack_cols_f64",
+                got: mode,
+            });
+        }
+        let cfg = mode
+            .slice_config()
+            .expect("emulated FP64 has a slice config");
+        let (rows, cols) = (src.rows(), src.cols());
+        let epe = entries_per_element(mode);
+        let (mut entries, vals) = storage.prepared(rows * cols, epe, 0);
+        let mut buf = [BufferEntry::ZERO; m3xu_fp::split::MAX_SLICES];
+        for j in 0..cols {
+            for i in 0..rows {
+                let n = decode_fp64_slices(scale_f64(alpha, src.at(i, j)), cfg, &mut buf);
+                entries.extend_from_slice(&buf[..n]);
+            }
+        }
+        Ok(PackedOperand {
+            mode,
+            epe,
+            len: rows,
+            vecs: cols,
             entries,
             vals,
             transposed: true,

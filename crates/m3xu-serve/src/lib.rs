@@ -99,9 +99,11 @@ pub use tenant::{ModeUsage, RateLimit, TenantStats};
 // The types that cross the service boundary, re-exported so clients can
 // depend on `m3xu-serve` alone.
 pub use m3xu_fp::C32;
+pub use m3xu_kernels::blas3::Side;
 pub use m3xu_kernels::context::{ExecStats, M3xuContext};
 pub use m3xu_kernels::gemm::{GemmPrecision, GemmResult};
 pub use m3xu_kernels::{FaultPlan, FaultSummary};
+pub use m3xu_mxu::matrix::{MatOp, Triangle};
 pub use m3xu_mxu::mma::MmaStats;
 
 use crate::queue::{Request, ShardSet, Work};
@@ -572,6 +574,552 @@ impl M3xuServe {
         opts: SubmitOpts,
     ) -> Result<GemmResult<C32>, ServeError> {
         self.submit_cgemm_c32(tenant, a, b, c, opts)?.wait()
+    }
+
+    // ---- BLAS-3 submission ---------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_gemm_op_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        op_b: MatOp,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+        blocking: bool,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let precision = opts.precision.unwrap_or(precision);
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::GemmOpF32 {
+                precision,
+                op_a,
+                a,
+                op_b,
+                b,
+                alpha,
+                beta,
+                c,
+                reply,
+            },
+            blocking,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submission of the general real op-GEMM
+    /// `D = alpha·op(A)·op(B) + beta·C` in `precision` (overridden by
+    /// [`SubmitOpts::precision`] when set). Rejects with
+    /// [`ServeError::QueueFull`] under backpressure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit_gemm_op_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        op_b: MatOp,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        self.push_gemm_op_f32(
+            tenant, precision, op_a, a, op_b, b, alpha, beta, c, opts, false,
+        )
+    }
+
+    /// [`M3xuServe::try_submit_gemm_op_f32`], but blocks for queue space
+    /// instead of rejecting (fails only on shutdown).
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_gemm_op_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        op_b: MatOp,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        self.push_gemm_op_f32(
+            tenant, precision, op_a, a, op_b, b, alpha, beta, c, opts, true,
+        )
+    }
+
+    /// Submit-and-wait convenience for one real op-GEMM.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_gemm_op_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        op_b: MatOp,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<f32>, ServeError> {
+        self.submit_gemm_op_f32(tenant, precision, op_a, a, op_b, b, alpha, beta, c, opts)?
+            .wait()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_cgemm_op_c32(
+        &self,
+        tenant: &str,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        op_b: MatOp,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+        blocking: bool,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::CgemmOpC32 {
+                op_a,
+                a,
+                op_b,
+                b,
+                alpha,
+                beta,
+                c,
+                reply,
+            },
+            blocking,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submission of the complex op-GEMM
+    /// `D = alpha·op(A)·op(B) + beta·C` on FP32C, where `op` may
+    /// transpose and/or conjugate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit_cgemm_op_c32(
+        &self,
+        tenant: &str,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        op_b: MatOp,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        self.push_cgemm_op_c32(tenant, op_a, a, op_b, b, alpha, beta, c, opts, false)
+    }
+
+    /// [`M3xuServe::try_submit_cgemm_op_c32`], blocking for queue space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_cgemm_op_c32(
+        &self,
+        tenant: &str,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        op_b: MatOp,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        self.push_cgemm_op_c32(tenant, op_a, a, op_b, b, alpha, beta, c, opts, true)
+    }
+
+    /// Submit-and-wait convenience for one complex op-GEMM.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_cgemm_op_c32(
+        &self,
+        tenant: &str,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        op_b: MatOp,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<C32>, ServeError> {
+        self.submit_cgemm_op_c32(tenant, op_a, a, op_b, b, alpha, beta, c, opts)?
+            .wait()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_syrk_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+        blocking: bool,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let precision = opts.precision.unwrap_or(precision);
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::SyrkF32 {
+                precision,
+                tri,
+                op_a,
+                a,
+                alpha,
+                beta,
+                c,
+                reply,
+            },
+            blocking,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submission of the symmetric rank-k update
+    /// `C := alpha·op(A)·op(A)^T + beta·C`, writing only `tri` — the
+    /// kernel schedules roughly half the output tiles of the equivalent
+    /// full GEMM.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit_syrk_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        self.push_syrk_f32(tenant, precision, tri, op_a, a, alpha, beta, c, opts, false)
+    }
+
+    /// [`M3xuServe::try_submit_syrk_f32`], blocking for queue space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_syrk_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        self.push_syrk_f32(tenant, precision, tri, op_a, a, alpha, beta, c, opts, true)
+    }
+
+    /// Submit-and-wait convenience for one SYRK.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_syrk_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<f32>, ServeError> {
+        self.submit_syrk_f32(tenant, precision, tri, op_a, a, alpha, beta, c, opts)?
+            .wait()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_herk_c32(
+        &self,
+        tenant: &str,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+        blocking: bool,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::HerkC32 {
+                tri,
+                op_a,
+                a,
+                alpha,
+                beta,
+                c,
+                reply,
+            },
+            blocking,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submission of the Hermitian rank-k update
+    /// `C := alpha·op(A)·op(A)^H + beta·C` (real `alpha`/`beta`, `op`
+    /// either `N` or `H`) on FP32C, writing only `tri` with an exactly
+    /// real diagonal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit_herk_c32(
+        &self,
+        tenant: &str,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        self.push_herk_c32(tenant, tri, op_a, a, alpha, beta, c, opts, false)
+    }
+
+    /// [`M3xuServe::try_submit_herk_c32`], blocking for queue space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_herk_c32(
+        &self,
+        tenant: &str,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        self.push_herk_c32(tenant, tri, op_a, a, alpha, beta, c, opts, true)
+    }
+
+    /// Submit-and-wait convenience for one HERK.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_herk_c32(
+        &self,
+        tenant: &str,
+        tri: Triangle,
+        op_a: MatOp,
+        a: Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<C32>, ServeError> {
+        self.submit_herk_c32(tenant, tri, op_a, a, alpha, beta, c, opts)?
+            .wait()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_symm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+        blocking: bool,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        let precision = opts.precision.unwrap_or(precision);
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::SymmF32 {
+                precision,
+                side,
+                tri,
+                a,
+                b,
+                alpha,
+                beta,
+                c,
+                reply,
+            },
+            blocking,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submission of the symmetric multiply
+    /// `C := alpha·sym(A)·B + beta·C` (or `B·sym(A)` for
+    /// [`Side::Right`]), with `sym(A)` read from the `tri` triangle of
+    /// the square `A`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit_symm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        self.push_symm_f32(
+            tenant, precision, side, tri, a, b, alpha, beta, c, opts, false,
+        )
+    }
+
+    /// [`M3xuServe::try_submit_symm_f32`], blocking for queue space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_symm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<f32>>, ServeError> {
+        self.push_symm_f32(
+            tenant, precision, side, tri, a, b, alpha, beta, c, opts, true,
+        )
+    }
+
+    /// Submit-and-wait convenience for one SYMM.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_symm_f32(
+        &self,
+        tenant: &str,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: Matrix<f32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<f32>, ServeError> {
+        self.submit_symm_f32(tenant, precision, side, tri, a, b, alpha, beta, c, opts)?
+            .wait()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_hemm_c32(
+        &self,
+        tenant: &str,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+        blocking: bool,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(
+            tenant,
+            opts,
+            Work::HemmC32 {
+                side,
+                tri,
+                a,
+                b,
+                alpha,
+                beta,
+                c,
+                reply,
+            },
+            blocking,
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submission of the Hermitian multiply
+    /// `C := alpha·herm(A)·B + beta·C` (or `B·herm(A)` for
+    /// [`Side::Right`]) on FP32C, with `herm(A)` reconstructed from the
+    /// `tri` triangle of the square `A`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit_hemm_c32(
+        &self,
+        tenant: &str,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        self.push_hemm_c32(tenant, side, tri, a, b, alpha, beta, c, opts, false)
+    }
+
+    /// [`M3xuServe::try_submit_hemm_c32`], blocking for queue space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_hemm_c32(
+        &self,
+        tenant: &str,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<GemmResult<C32>>, ServeError> {
+        self.push_hemm_c32(tenant, side, tri, a, b, alpha, beta, c, opts, true)
+    }
+
+    /// Submit-and-wait convenience for one HEMM.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_hemm_c32(
+        &self,
+        tenant: &str,
+        side: Side,
+        tri: Triangle,
+        a: Matrix<C32>,
+        b: Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: Matrix<C32>,
+        opts: SubmitOpts,
+    ) -> Result<GemmResult<C32>, ServeError> {
+        self.submit_hemm_c32(tenant, side, tri, a, b, alpha, beta, c, opts)?
+            .wait()
     }
 
     /// Non-blocking submission of a GEMM-formulated FFT of `x` (length

@@ -20,8 +20,9 @@
 use crate::error::ServeError;
 use crate::tenant::TenantAccount;
 use m3xu_fp::C32;
+use m3xu_kernels::blas3::Side;
 use m3xu_kernels::gemm::{GemmPrecision, GemmResult};
-use m3xu_mxu::matrix::Matrix;
+use m3xu_mxu::matrix::{MatOp, Matrix, Triangle};
 use m3xu_mxu::mma::{MmaShape, MmaStats};
 use std::collections::VecDeque;
 use std::sync::mpsc::SyncSender;
@@ -107,23 +108,162 @@ pub(crate) enum Work {
         /// Reply channel.
         reply: SyncSender<Result<(Vec<C32>, MmaStats), ServeError>>,
     },
+    /// Op-GEMM `D = alpha·op(A)·op(B) + beta·C` on an f32 engine.
+    GemmOpF32 {
+        /// Requested engine/precision.
+        precision: GemmPrecision,
+        /// Orientation of `A`.
+        op_a: MatOp,
+        /// Stored `A` (logical `m x k` after `op_a`).
+        a: Matrix<f32>,
+        /// Orientation of `B`.
+        op_b: MatOp,
+        /// Stored `B` (logical `k x n` after `op_b`).
+        b: Matrix<f32>,
+        /// Scale folded into `op(A)` before quantisation.
+        alpha: f32,
+        /// Scale folded into the `C` seed.
+        beta: f32,
+        /// `m x n` addend.
+        c: Matrix<f32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<f32>, ServeError>>,
+    },
+    /// Complex op-GEMM `D = alpha·op(A)·op(B) + beta·C` on FP32C.
+    CgemmOpC32 {
+        /// Orientation of `A` (may conjugate).
+        op_a: MatOp,
+        /// Stored `A`.
+        a: Matrix<C32>,
+        /// Orientation of `B` (may conjugate).
+        op_b: MatOp,
+        /// Stored `B`.
+        b: Matrix<C32>,
+        /// Scale folded into `op(A)`.
+        alpha: C32,
+        /// Scale folded into the `C` seed.
+        beta: C32,
+        /// `m x n` addend.
+        c: Matrix<C32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<C32>, ServeError>>,
+    },
+    /// SYRK `C := alpha·op(A)·op(A)^T + beta·C` over one triangle.
+    SyrkF32 {
+        /// Requested engine/precision.
+        precision: GemmPrecision,
+        /// Triangle of `C` that is written.
+        tri: Triangle,
+        /// Orientation of `A`.
+        op_a: MatOp,
+        /// Stored `A` (logical `n x k` after `op_a`).
+        a: Matrix<f32>,
+        /// Rank-k scale.
+        alpha: f32,
+        /// `C` seed scale.
+        beta: f32,
+        /// `n x n` addend/output.
+        c: Matrix<f32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<f32>, ServeError>>,
+    },
+    /// HERK `C := alpha·op(A)·op(A)^H + beta·C` (real scales) over one
+    /// triangle on FP32C.
+    HerkC32 {
+        /// Triangle of `C` that is written.
+        tri: Triangle,
+        /// Orientation of `A` (`N` or `H`).
+        op_a: MatOp,
+        /// Stored `A`.
+        a: Matrix<C32>,
+        /// Rank-k scale (real, per the BLAS signature).
+        alpha: f32,
+        /// `C` seed scale (real).
+        beta: f32,
+        /// `n x n` addend/output.
+        c: Matrix<C32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<C32>, ServeError>>,
+    },
+    /// SYMM with a triangle-stored symmetric `A`.
+    SymmF32 {
+        /// Requested engine/precision.
+        precision: GemmPrecision,
+        /// Which side `sym(A)` multiplies from.
+        side: Side,
+        /// Stored triangle of `A`.
+        tri: Triangle,
+        /// The square symmetric operand.
+        a: Matrix<f32>,
+        /// The dense operand.
+        b: Matrix<f32>,
+        /// Product scale.
+        alpha: f32,
+        /// `C` seed scale.
+        beta: f32,
+        /// `m x n` addend.
+        c: Matrix<f32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<f32>, ServeError>>,
+    },
+    /// HEMM with a triangle-stored Hermitian `A` on FP32C.
+    HemmC32 {
+        /// Which side `herm(A)` multiplies from.
+        side: Side,
+        /// Stored triangle of `A`.
+        tri: Triangle,
+        /// The square Hermitian operand.
+        a: Matrix<C32>,
+        /// The dense operand.
+        b: Matrix<C32>,
+        /// Product scale.
+        alpha: C32,
+        /// `C` seed scale.
+        beta: C32,
+        /// `m x n` addend.
+        c: Matrix<C32>,
+        /// Reply channel.
+        reply: SyncSender<Result<GemmResult<C32>, ServeError>>,
+    },
 }
 
 impl Work {
     /// Output tiles the request shards into (the small/large classifier,
     /// also the unit of the adaptive batching cost model). An FFT
     /// decomposes into many small internal CGEMMs, so it always counts as
-    /// one unit.
+    /// one unit. Triangular rank-k updates count only the scheduled
+    /// triangle — `T*(T+1)/2` of the `T x T` grid — so the batching cost
+    /// model sees their real (halved) footprint.
     pub(crate) fn output_tiles(&self) -> usize {
-        let grid = |rows: usize, cols: usize| {
-            let frag = MmaShape::BASELINE_FP16;
-            rows.div_ceil(frag.m) * cols.div_ceil(frag.n)
+        let frag = MmaShape::BASELINE_FP16;
+        let grid = |rows: usize, cols: usize| rows.div_ceil(frag.m) * cols.div_ceil(frag.n);
+        let tri_grid = |n: usize| {
+            let t = n.div_ceil(frag.m);
+            t * (t + 1) / 2
         };
         match self {
             Work::GemmF32 { a, b, .. } => grid(a.rows(), b.cols()),
             Work::GemmF64 { a, b, .. } => grid(a.rows(), b.cols()),
             Work::CgemmC32 { a, b, .. } => grid(a.rows(), b.cols()),
             Work::Fft { .. } => 1,
+            Work::GemmOpF32 {
+                op_a, a, op_b, b, ..
+            } => {
+                let m = op_a.dims(a.rows(), a.cols()).0;
+                let n = op_b.dims(b.rows(), b.cols()).1;
+                grid(m, n)
+            }
+            Work::CgemmOpC32 {
+                op_a, a, op_b, b, ..
+            } => {
+                let m = op_a.dims(a.rows(), a.cols()).0;
+                let n = op_b.dims(b.rows(), b.cols()).1;
+                grid(m, n)
+            }
+            Work::SyrkF32 { op_a, a, .. } => tri_grid(op_a.dims(a.rows(), a.cols()).0),
+            Work::HerkC32 { op_a, a, .. } => tri_grid(op_a.dims(a.rows(), a.cols()).0),
+            Work::SymmF32 { c, .. } => grid(c.rows(), c.cols()),
+            Work::HemmC32 { c, .. } => grid(c.rows(), c.cols()),
         }
     }
 
@@ -134,6 +274,12 @@ impl Work {
             Work::GemmF64 { reply, .. } => drop(reply.try_send(Err(err))),
             Work::CgemmC32 { reply, .. } => drop(reply.try_send(Err(err))),
             Work::Fft { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::GemmOpF32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::CgemmOpC32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::SyrkF32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::HerkC32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::SymmF32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::HemmC32 { reply, .. } => drop(reply.try_send(Err(err))),
         }
     }
 }

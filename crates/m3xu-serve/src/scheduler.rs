@@ -107,11 +107,14 @@
 use crate::error::ServeError;
 use crate::queue::{Request, ShardSet, Wake, Work};
 use crate::BatchPolicy;
+use m3xu_kernels::blas3::Side;
 use m3xu_kernels::context::M3xuContext;
+use m3xu_kernels::gemm::GemmResult;
 use m3xu_kernels::FaultSummary;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::modes::MxuMode;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -616,6 +619,164 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                 }
             }
         }
+        Work::GemmOpF32 {
+            precision,
+            op_a,
+            a,
+            op_b,
+            b,
+            alpha,
+            beta,
+            c,
+            reply,
+        } => {
+            // The BLAS-3 drivers never route through ABFT (the checksum
+            // algebra is plain A·B + C), so like the f64 arm their fault
+            // summaries are identically zero; the retry loop is kept for
+            // its timing discipline.
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_gemm_op_f32(*precision, *op_a, a, *op_b, b, *alpha, *beta, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            let (m, k) = op_a.dims(a.rows(), a.cols());
+            let n = op_b.dims(b.rows(), b.cols()).1;
+            let mode = precision.mode();
+            let bytes = gemm_operand_bytes(m, k, n, mode);
+            settle_gemm_outcome(shard, req, reply, mode, bytes, wait_ns, out, faults, times);
+        }
+        Work::CgemmOpC32 {
+            op_a,
+            a,
+            op_b,
+            b,
+            alpha,
+            beta,
+            c,
+            reply,
+        } => {
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_cgemm_op_c32(*op_a, a, *op_b, b, *alpha, *beta, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            let (m, k) = op_a.dims(a.rows(), a.cols());
+            let n = op_b.dims(b.rows(), b.cols()).1;
+            let bytes = gemm_operand_bytes(m, k, n, MxuMode::M3xuFp32c);
+            settle_gemm_outcome(
+                shard,
+                req,
+                reply,
+                MxuMode::M3xuFp32c,
+                bytes,
+                wait_ns,
+                out,
+                faults,
+                times,
+            );
+        }
+        Work::SyrkF32 {
+            precision,
+            tri,
+            op_a,
+            a,
+            alpha,
+            beta,
+            c,
+            reply,
+        } => {
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_syrk_f32(*precision, *tri, *op_a, a, *alpha, *beta, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            // Rank-k traffic at logical dims: op(A) packs once per
+            // orientation, n x k each way — the driver's (m*k + k*n)
+            // formula at m = n.
+            let (n, k) = op_a.dims(a.rows(), a.cols());
+            let mode = precision.mode();
+            let bytes = gemm_operand_bytes(n, k, n, mode);
+            settle_gemm_outcome(shard, req, reply, mode, bytes, wait_ns, out, faults, times);
+        }
+        Work::HerkC32 {
+            tri,
+            op_a,
+            a,
+            alpha,
+            beta,
+            c,
+            reply,
+        } => {
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_herk_c32(*tri, *op_a, a, *alpha, *beta, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            let (n, k) = op_a.dims(a.rows(), a.cols());
+            let bytes = gemm_operand_bytes(n, k, n, MxuMode::M3xuFp32c);
+            settle_gemm_outcome(
+                shard,
+                req,
+                reply,
+                MxuMode::M3xuFp32c,
+                bytes,
+                wait_ns,
+                out,
+                faults,
+                times,
+            );
+        }
+        Work::SymmF32 {
+            precision,
+            side,
+            tri,
+            a,
+            b,
+            alpha,
+            beta,
+            c,
+            reply,
+        } => {
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_symm_f32(*precision, *side, *tri, a, b, *alpha, *beta, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            // The expanded square operand is read in full on its side.
+            let nsq = a.rows();
+            let mode = precision.mode();
+            let bytes = match side {
+                Side::Left => gemm_operand_bytes(nsq, nsq, b.cols(), mode),
+                Side::Right => gemm_operand_bytes(b.rows(), nsq, nsq, mode),
+            };
+            settle_gemm_outcome(shard, req, reply, mode, bytes, wait_ns, out, faults, times);
+        }
+        Work::HemmC32 {
+            side,
+            tri,
+            a,
+            b,
+            alpha,
+            beta,
+            c,
+            reply,
+        } => {
+            let (out, faults, times) = run_with_retries(&core.policy, || {
+                ctx.try_hemm_c32(*side, *tri, a, b, *alpha, *beta, c)
+                    .map(|res| (res, FaultSummary::default()))
+            });
+            let nsq = a.rows();
+            let bytes = match side {
+                Side::Left => gemm_operand_bytes(nsq, nsq, b.cols(), MxuMode::M3xuFp32c),
+                Side::Right => gemm_operand_bytes(b.rows(), nsq, nsq, MxuMode::M3xuFp32c),
+            };
+            settle_gemm_outcome(
+                shard,
+                req,
+                reply,
+                MxuMode::M3xuFp32c,
+                bytes,
+                wait_ns,
+                out,
+                faults,
+                times,
+            );
+        }
         Work::Fft { x, reply } => {
             // The FFT's internal CGEMMs run checked (and are retried here
             // on FaultDetected), but their summaries stay context-level:
@@ -658,6 +819,60 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                     drop(reply.try_send(Err(e.into())));
                 }
             }
+        }
+    }
+}
+
+/// The shared tail of every `Work` arm whose result is a
+/// [`GemmResult`]: absorb fault telemetry, feed the cost model,
+/// classify completed vs post-deadline, attribute the executed work to
+/// the tenant, and resolve the ticket — byte-for-byte the same
+/// settlement sequence as the original GEMM arms, so per-tenant
+/// reconciliation holds across the whole BLAS-3 surface.
+#[allow(clippy::too_many_arguments)]
+fn settle_gemm_outcome<T>(
+    shard: &ShardCore,
+    req: &Request,
+    reply: &SyncSender<Result<GemmResult<T>, ServeError>>,
+    mode: MxuMode,
+    operand_bytes: u64,
+    wait_ns: u64,
+    out: Result<GemmResult<T>, M3xuError>,
+    faults: FaultSummary,
+    times: AttemptTimes,
+) {
+    let core = &*shard.shared;
+    req.tenant.record_faults(&faults);
+    match out {
+        Ok(res) => {
+            shard.cost.observe(times.exec_ns, req.work.output_tiles());
+            settle_success(core, req);
+            if settle_post_deadline(
+                req,
+                |e| drop(reply.try_send(Err(e))),
+                mode,
+                &res.stats,
+                operand_bytes,
+                wait_ns,
+                times,
+            ) {
+                return;
+            }
+            req.tenant.record_completed(
+                mode,
+                &res.stats,
+                operand_bytes,
+                wait_ns,
+                times.exec_ns,
+                times.retry_ns,
+            );
+            drop(reply.try_send(Ok(res)));
+        }
+        Err(e) => {
+            req.tenant
+                .record_exec_error(wait_ns, times.exec_ns, times.retry_ns);
+            settle_failure(core, req, &e);
+            drop(reply.try_send(Err(e.into())));
         }
     }
 }

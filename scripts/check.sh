@@ -34,6 +34,9 @@ for simd in 1 0; do
     echo "== SIMD parity + differential suites under M3XU_SIMD=${simd}"
     M3XU_SIMD=${simd} cargo test -q \
         --test simd_parity --test simd_env --test differential_props
+    echo "== BLAS-3 differential suite under M3XU_SIMD=${simd}"
+    M3XU_SIMD=${simd} M3XU_PROP_CASES=4 cargo test -q \
+        --test blas3_differential
 done
 
 # Perf smoke gate (release): proves the vector path is engaged and still
@@ -49,6 +52,9 @@ for threads in 1 8; do
     echo "== differential + stress suites under M3XU_THREADS=${threads}"
     M3XU_THREADS=${threads} cargo test -q \
         --test differential_props --test cross_validation
+    echo "== BLAS-3 differential suite under M3XU_THREADS=${threads}"
+    M3XU_THREADS=${threads} M3XU_PROP_CASES=4 cargo test -q \
+        --test blas3_differential
 done
 
 # Chaos gate: the fault-injection suite, debug and release. The first
@@ -103,13 +109,23 @@ echo "== precision gate: emulated FP64 vs softfloat FMA reference (release)"
 cargo test --release -q --test differential_props \
     fp64_emulated_matches_softfloat_fma_reference_within_envelope -- --exact
 
+# BLAS-3 rank-k gate (release): SYRK/HERK must schedule exactly the
+# T(T+1)/2 triangle of the T^2 output-tile grid — the executed counts
+# match exact_counts_rank_k field-for-field, the instruction ratio
+# clears its flop-saving floor, and in-triangle bits equal the full
+# rank-k op-GEMM's.
+echo "== BLAS-3 rank-k flop-saving gate (release)"
+cargo test --release -q --test cross_validation \
+    rank_k_updates_match_analytical_counts_and_halve_the_grid_executed -- --exact
+
 # Soak mode: the same suites in release with a much longer random-shape
 # sweep. Slow by design; not part of the default gate.
 if [[ "${M3XU_SOAK:-0}" == "1" ]]; then
     for threads in 1 8; do
         echo "== SOAK: release, M3XU_PROP_CASES=200, M3XU_THREADS=${threads}"
         M3XU_THREADS=${threads} M3XU_PROP_CASES=200 cargo test --release -q \
-            --test differential_props --test cross_validation
+            --test differential_props --test cross_validation \
+            --test blas3_differential
     done
 fi
 

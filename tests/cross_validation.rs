@@ -343,6 +343,208 @@ fn concurrent_hammering_sums_to_exact_analytical_counts() {
 }
 
 #[test]
+fn blas3_op_gemm_and_symm_match_analytical_counts_exactly() {
+    // The BLAS-3 surface packs straight from op(X) views and folds
+    // alpha/beta without extra traffic, so its ExecStats must equal the
+    // *plain* GEMM's analytical counts at the logical (post-op)
+    // dimensions on every grid shape.
+    use m3xu::{MatOp, Side, Triangle};
+    let ops = [
+        (MatOp::N, MatOp::T),
+        (MatOp::T, MatOp::N),
+        (MatOp::H, MatOp::H),
+    ];
+    for (gi, &(m, n, k)) in GRID.iter().enumerate() {
+        let (op_a, op_b) = ops[gi % ops.len()];
+        let stored = |op: MatOp, r: usize, c: usize| match op {
+            MatOp::N => (r, c),
+            _ => (c, r),
+        };
+        let (ar, ac) = stored(op_a, m, k);
+        let (br, bc) = stored(op_b, k, n);
+        let p = Problem {
+            m,
+            n,
+            k,
+            complex: false,
+        };
+        for (precision, engine, mode) in [
+            (GemmPrecision::Fp16, Engine::TensorFp16, MxuMode::Fp16),
+            (GemmPrecision::Tf32, Engine::TensorTf32, MxuMode::Tf32),
+            (GemmPrecision::M3xuFp32, Engine::M3xuFp32, MxuMode::M3xuFp32),
+        ] {
+            let ctx = M3xuContext::with_threads(2);
+            let a = Matrix::<f32>::random(ar, ac, (m + k) as u64);
+            let b = Matrix::<f32>::random(br, bc, (k + n) as u64);
+            let c = Matrix::<f32>::random(m, n, (m * n) as u64);
+            let r = ctx.gemm_op_f32(precision, op_a, &a, op_b, &b, 0.5, -1.0, &c);
+            let got = observed(&ctx, mode);
+            match validate_counts(p, engine, got).expect("combination must be modelled") {
+                Ok(want) => {
+                    assert_eq!(r.stats.instructions, want.instructions);
+                    assert_eq!(r.stats.steps, want.steps);
+                }
+                Err(e) => panic!("op-gemm {m}x{n}x{k} {engine:?}: {e}"),
+            }
+        }
+
+        // Complex op-GEMM against the FP32C engine.
+        let ctx = M3xuContext::with_threads(2);
+        let a = Matrix::random_c32(ar, ac, (m + k) as u64);
+        let b = Matrix::random_c32(br, bc, (k + n) as u64);
+        let c = Matrix::random_c32(m, n, (m * n) as u64);
+        let r = ctx.cgemm_op_c32(
+            op_a,
+            &a,
+            op_b,
+            &b,
+            m3xu::Complex::new(0.5, -0.25),
+            m3xu::Complex::new(-1.0, 0.0),
+            &c,
+        );
+        let cp = Problem {
+            m,
+            n,
+            k,
+            complex: true,
+        };
+        let got = observed(&ctx, MxuMode::M3xuFp32c);
+        match validate_counts(cp, Engine::M3xuFp32c, got).expect("FP32C must be modelled") {
+            Ok(want) => assert_eq!(r.stats.instructions, want.instructions),
+            Err(e) => panic!("cgemm-op {m}x{n}x{k}: {e}"),
+        }
+
+        // SYMM/HEMM expand the mirror at pack time: counts equal the
+        // plain GEMM's at the expanded square-times-dense dimensions.
+        let (side, tri) = if gi % 2 == 0 {
+            (Side::Left, Triangle::Lower)
+        } else {
+            (Side::Right, Triangle::Upper)
+        };
+        let nsq = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        let sp = Problem {
+            m,
+            n,
+            k: nsq,
+            complex: false,
+        };
+        let ctx = M3xuContext::with_threads(2);
+        let sa = Matrix::<f32>::random(nsq, nsq, gi as u64 + 1);
+        let (sb, sc) = (
+            Matrix::<f32>::random(m, n, gi as u64 + 2),
+            Matrix::<f32>::random(m, n, gi as u64 + 3),
+        );
+        let r = ctx.symm_f32(GemmPrecision::M3xuFp32, side, tri, &sa, &sb, 1.5, 0.5, &sc);
+        let got = observed(&ctx, MxuMode::M3xuFp32);
+        match validate_counts(sp, Engine::M3xuFp32, got).expect("SYMM must be modelled") {
+            Ok(want) => {
+                assert_eq!(r.stats.instructions, want.instructions);
+                assert_eq!(r.stats.steps, want.steps);
+            }
+            Err(e) => panic!("symm {m}x{n} (nsq={nsq}): {e}"),
+        }
+    }
+}
+
+#[test]
+fn rank_k_updates_match_analytical_counts_and_halve_the_grid_executed() {
+    // SYRK/HERK schedule only the T(T+1)/2 triangle tiles of the TxT
+    // output grid. The analytical `exact_counts_rank_k` must predict the
+    // executed ExecStats exactly, and the saving over the equivalent
+    // full op-GEMM must hold as an executed instruction ratio — exactly
+    // proportional to the tile counts, approaching 2x as n grows.
+    use m3xu::gpu::exact_counts_rank_k;
+    use m3xu::{MatOp, Triangle};
+    for (gi, &(n, _, k)) in GRID.iter().enumerate() {
+        let tri = if gi % 2 == 0 {
+            Triangle::Lower
+        } else {
+            Triangle::Upper
+        };
+        let p = Problem {
+            m: n,
+            n,
+            k,
+            complex: false,
+        };
+
+        // SYRK: functional == analytical, field by field.
+        let ctx = M3xuContext::with_threads(2);
+        let a = Matrix::<f32>::random(n, k, (n + k) as u64);
+        let c = Matrix::<f32>::random(n, n, (n * n) as u64);
+        let r = ctx.syrk_f32(GemmPrecision::M3xuFp32, tri, MatOp::N, &a, 1.0, 1.0, &c);
+        let got = observed(&ctx, MxuMode::M3xuFp32);
+        let want = exact_counts_rank_k(p, Engine::M3xuFp32).expect("square rank-k is modelled");
+        assert_eq!(got.instructions, want.instructions, "syrk n={n} k={k}");
+        assert_eq!(got.steps, want.steps, "syrk n={n} k={k}");
+        assert_eq!(got.operand_bytes, want.operand_bytes, "syrk n={n} k={k}");
+        assert_eq!(r.stats.instructions, want.instructions);
+
+        // HERK on the FP32C engine.
+        let zctx = M3xuContext::with_threads(2);
+        let za = Matrix::random_c32(n, k, (n + k) as u64 + 7);
+        let zc = Matrix::random_c32(n, n, (n * n) as u64 + 7);
+        let zr = zctx.herk_c32(tri, MatOp::N, &za, 1.0, 0.0, &zc);
+        let zgot = observed(&zctx, MxuMode::M3xuFp32c);
+        let zp = Problem {
+            m: n,
+            n,
+            k,
+            complex: true,
+        };
+        let zwant = exact_counts_rank_k(zp, Engine::M3xuFp32c).expect("complex rank-k is modelled");
+        assert_eq!(zgot.instructions, zwant.instructions, "herk n={n} k={k}");
+        assert_eq!(zgot.steps, zwant.steps, "herk n={n} k={k}");
+        assert_eq!(zgot.operand_bytes, zwant.operand_bytes, "herk n={n} k={k}");
+        assert_eq!(zr.stats.instructions, zwant.instructions);
+
+        // Executed saving vs the equivalent full GEMM (same logical
+        // n x k x n problem through the op-GEMM path).
+        let fctx = M3xuContext::with_threads(2);
+        let f = fctx.gemm_op_f32(
+            GemmPrecision::M3xuFp32,
+            MatOp::N,
+            &a,
+            MatOp::T,
+            &a,
+            1.0,
+            1.0,
+            &c,
+        );
+        let t = n.div_ceil(8) as u64;
+        let (tri_tiles, full_tiles) = (t * (t + 1) / 2, t * t);
+        assert_eq!(
+            r.stats.instructions * full_tiles,
+            f.stats.instructions * tri_tiles,
+            "n={n} k={k}: rank-k instructions must scale exactly with the tile grids"
+        );
+        if n >= 64 {
+            let ratio = f.stats.instructions as f64 / r.stats.instructions as f64;
+            assert!(
+                ratio > 1.7,
+                "n={n}: expected near-2x instruction saving, got {ratio:.3}x"
+            );
+        }
+        // The in-triangle bits agree between the two paths, tile
+        // scheduling aside.
+        for i in 0..n {
+            for j in 0..n {
+                if tri.contains(i, j) {
+                    assert_eq!(
+                        r.d.get(i, j).to_bits(),
+                        f.d.get(i, j).to_bits(),
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn wall_time_counters_are_nonzero_and_monotone() {
     // Regression guard for the pack/exec wall-time sinks: a substantial
     // GEMM must record nonzero time in both phases, and the counters only
