@@ -48,8 +48,8 @@ use m3xu_kernels::M3xuContext;
 use m3xu_mxu::matrix::Matrix;
 use m3xu_serve::openloop::{self, Arrival, OpKind, OpenLoopSpec};
 use m3xu_serve::{
-    BatchPolicy, FaultPlan, GemmPrecision, GemmResult, M3xuServe, MmaStats, Priority, ServeConfig,
-    ServeError, SubmitOpts, Ticket, C32,
+    BatchPolicy, FaultPlan, GemmPrecision, GemmResult, M3xuServe, MatOp, MmaStats, Priority,
+    ServeConfig, ServeError, Side, SubmitOpts, Ticket, Triangle, C32,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -411,11 +411,127 @@ struct FaultReport {
     host_parallelism: u64,
     /// One row per injection rate.
     sweep: Vec<FaultRow>,
+    /// Per-op price of verification: checked vs unchecked at zero rate.
+    abft_overhead: Vec<OverheadRow>,
 }
 impl_to_json!(FaultReport {
     host_parallelism,
-    sweep
+    sweep,
+    abft_overhead
 });
+
+/// One per-op ABFT overhead row. "Checked" arms a plan at rate 0: every
+/// chunk runs the full checksum algebra and nothing is ever injected, so
+/// the wall-time ratio against the unchecked production driver is the
+/// pure price of verification for that op.
+struct OverheadRow {
+    /// Driver op label (matches `FaultDetected.op`).
+    op: &'static str,
+    /// Square problem size.
+    n: u64,
+    /// Repetitions per cell (minimum wall reported).
+    reps: u64,
+    /// Unchecked production driver, seconds.
+    unchecked_wall_s: f64,
+    /// Checked driver at zero fault rate, seconds.
+    checked_wall_s: f64,
+    /// `checked / unchecked`.
+    overhead: f64,
+}
+impl_to_json!(OverheadRow {
+    op,
+    n,
+    reps,
+    unchecked_wall_s,
+    checked_wall_s,
+    overhead
+});
+
+/// Minimum wall seconds over `reps` runs of `f`.
+fn min_wall(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure every checked driver against its unchecked twin at zero fault
+/// rate. Both contexts share a thread count so the ratio isolates the
+/// checksum work; the `*_faulted` entry points are used on both sides
+/// (on the unarmed context they are pure delegation to production).
+fn abft_overhead(n: usize, reps: usize, workers: usize) -> Vec<OverheadRow> {
+    let unchecked = M3xuContext::with_threads(workers);
+    let checked =
+        M3xuContext::with_threads(workers).with_fault_plan(Arc::new(FaultPlan::new(1, 0.0)));
+    let p = GemmPrecision::M3xuFp32;
+    let mut rows = Vec::new();
+    let mut cell = |op: &'static str, run: &dyn Fn(&M3xuContext)| {
+        let unchecked_wall_s = min_wall(reps, || run(&unchecked));
+        let checked_wall_s = min_wall(reps, || run(&checked));
+        rows.push(OverheadRow {
+            op,
+            n: n as u64,
+            reps: reps as u64,
+            unchecked_wall_s,
+            checked_wall_s,
+            overhead: checked_wall_s / unchecked_wall_s,
+        });
+    };
+
+    let a = Matrix::<f32>::random(n, n, 1);
+    let b = Matrix::<f32>::random(n, n, 2);
+    let c = Matrix::<f32>::random(n, n, 3);
+    cell("gemm", &|ctx| {
+        ctx.try_gemm_f32_faulted(p, &a, &b, &c).unwrap();
+    });
+    cell("gemm_op", &|ctx| {
+        ctx.try_gemm_op_f32_faulted(p, MatOp::T, &a, MatOp::N, &b, 0.75, -1.25, &c)
+            .unwrap();
+    });
+    cell("syrk", &|ctx| {
+        ctx.try_syrk_f32_faulted(p, Triangle::Lower, MatOp::N, &a, 0.5, 2.0, &c)
+            .unwrap();
+    });
+    cell("symm", &|ctx| {
+        ctx.try_symm_f32_faulted(p, Side::Left, Triangle::Upper, &a, &b, -0.5, 1.25, &c)
+            .unwrap();
+    });
+
+    let fa = Matrix::<f64>::random_f64(n, n, 4);
+    let fb = Matrix::<f64>::random_f64(n, n, 5);
+    let fc = Matrix::<f64>::random_f64(n, n, 6);
+    cell("gemm_f64", &|ctx| {
+        ctx.try_gemm_f64_faulted(GemmPrecision::Fp64Emulated, &fa, &fb, &fc)
+            .unwrap();
+    });
+
+    let ca = Matrix::random_c32(n, n, 7);
+    let cb = Matrix::random_c32(n, n, 8);
+    let cc = Matrix::random_c32(n, n, 9);
+    cell("cgemm", &|ctx| {
+        ctx.try_cgemm_c32_faulted(&ca, &cb, &cc).unwrap();
+    });
+    cell("herk", &|ctx| {
+        ctx.try_herk_c32_faulted(Triangle::Upper, MatOp::N, &ca, 0.75, -0.5, &cc)
+            .unwrap();
+    });
+    cell("hemm", &|ctx| {
+        ctx.try_hemm_c32_faulted(
+            Side::Right,
+            Triangle::Lower,
+            &ca,
+            &cb,
+            C32::new(0.5, -0.25),
+            C32::new(1.0, 0.5),
+            &cc,
+        )
+        .unwrap();
+    });
+    rows
+}
 
 fn fault_cell(w: &Workload, seed: u64, rate: f64, workers: usize, requests: usize) -> FaultRow {
     let serve = M3xuServe::new(ServeConfig {
@@ -996,9 +1112,22 @@ fn main() {
             .any(|r| r.rate > 0.0 && r.faults_detected > 0),
         "the armed cells never injected anything"
     );
+    let (ov_n, ov_reps) = if small { (48, 2) } else { (96, 3) };
+    println!("\nper-op ABFT overhead ({ov_n}^3, zero fault rate, min of {ov_reps}):");
+    let overhead_rows = abft_overhead(ov_n, ov_reps, 4);
+    for r in &overhead_rows {
+        println!(
+            "  {:<9} unchecked {:>10}  checked {:>10}  overhead {:.2}x",
+            r.op,
+            fmt_duration(Duration::from_secs_f64(r.unchecked_wall_s)),
+            fmt_duration(Duration::from_secs_f64(r.checked_wall_s)),
+            r.overhead
+        );
+    }
     let fault_report = FaultReport {
         host_parallelism: host as u64,
         sweep: fault_sweep,
+        abft_overhead: overhead_rows,
     };
     dump_json("BENCH_fault", &fault_report).expect("write results/BENCH_fault.json");
     println!("wrote results/BENCH_fault.json");

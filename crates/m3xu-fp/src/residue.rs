@@ -116,6 +116,28 @@ pub fn residue_f32(x: f32) -> Option<u64> {
     Some(if sign { neg_m61(r) } else { r })
 }
 
+/// Residue of a finite `f64` value (`±m · 2^e` exactly); `None` for
+/// NaN/infinity. The 53-bit significand fits a single `reduce_u64`, and
+/// exponents down to the subnormal floor `2^-1074` reduce mod 61 like any
+/// other power of two, so the f64/N-slice dyadic range is covered with the
+/// same single-fault-detection guarantee as the f32 map.
+pub fn residue_f64(x: f64) -> Option<u64> {
+    if !x.is_finite() {
+        return None;
+    }
+    let bits = x.to_bits();
+    let sign = bits >> 63 == 1;
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & 0xf_ffff_ffff_ffff;
+    let (m, e) = if exp != 0 {
+        (frac | (1u64 << 52), exp - 1023 - 52)
+    } else {
+        (frac, -1074)
+    };
+    let r = mul_m61(reduce_u64(m), pow2_m61(e));
+    Some(if sign { neg_m61(r) } else { r })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +233,66 @@ mod tests {
         assert!(residue_f32(f32::NAN).is_none());
         assert!(residue_f32(f32::INFINITY).is_none());
         assert!(residue_f32(f32::NEG_INFINITY).is_none());
+        assert!(residue_f64(f64::NAN).is_none());
+        assert!(residue_f64(f64::INFINITY).is_none());
+        assert!(residue_f64(f64::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn residue_f64_is_a_homomorphism_on_exact_ops() {
+        // Additivity on exact sums.
+        let r = add_m61(residue_f64(1.5).unwrap(), residue_f64(0.25).unwrap());
+        assert_eq!(r, residue_f64(1.75).unwrap());
+        let r = add_m61(residue_f64(3.75).unwrap(), residue_f64(-3.75).unwrap());
+        assert_eq!(r, 0);
+        assert_eq!(residue_f64(0.0).unwrap(), 0);
+        assert_eq!(residue_f64(-0.0).unwrap(), 0);
+        // Multiplicativity on exact products, incl. the subnormal floor.
+        let p = mul_m61(residue_f64(3.0).unwrap(), residue_f64(0.5).unwrap());
+        assert_eq!(p, residue_f64(1.5).unwrap());
+        let tiny = f64::from_bits(1); // 2^-1074
+        let p = mul_m61(residue_f64(tiny).unwrap(), residue_f64(1024.0).unwrap());
+        assert_eq!(p, residue_f64(tiny * 1024.0).unwrap());
+    }
+
+    #[test]
+    fn residue_f64_agrees_with_f32_on_shared_values() {
+        for &x in &[0.0f32, 1.0, -1.0, 1.5, f32::MIN_POSITIVE, 123456.78] {
+            assert_eq!(residue_f32(x), residue_f64(x as f64), "{x}");
+        }
+    }
+
+    #[test]
+    fn distinct_f64_values_have_distinct_residue_deltas() {
+        let vals = [
+            0.0f64,
+            1.0,
+            -1.0,
+            1.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            123456.789012345,
+        ];
+        for &x in &vals {
+            for &y in &vals {
+                if x.to_bits() != y.to_bits() && x != y {
+                    assert_ne!(
+                        residue_f64(x).unwrap(),
+                        residue_f64(y).unwrap(),
+                        "{x} vs {y}"
+                    );
+                }
+            }
+        }
+        // Any single bit flip in a finite value is visible.
+        let x = 1.999999999999999f64;
+        for bit in 0..63 {
+            let y = f64::from_bits(x.to_bits() ^ (1u64 << bit));
+            if y.is_finite() {
+                assert_ne!(residue_f64(x).unwrap(), residue_f64(y).unwrap());
+            }
+        }
     }
 
     #[test]

@@ -29,22 +29,29 @@
 //! with `op = N`, `alpha = 1`, `beta = 1` is bit-identical — and
 //! stats-identical — to [`crate::gemm::try_gemm_f32`].
 //!
-//! The checked (ABFT) driver does not cover these entry points: the
-//! checksum algebra is formulated for plain `A·B + C`, so an armed fault
-//! plan does not reroute BLAS-3 calls.
+//! Every entry point here is covered by the checked (ABFT) driver: the
+//! expected checksums are computed from the **packed** operand planes —
+//! after alpha folding, op views, mirrors, and quantisation — so an armed
+//! fault plan reroutes the whole surface through the checked
+//! `try_blas3_abft` driver, including the triangular SYRK/HERK schedules
+//! (verification prices only the `T(T+1)/2` scheduled tiles).
 
 use crate::blocking::KPlan;
 use crate::context::{self, GemmSample, M3xuContext};
 use crate::gemm::{
-    check_precision, GemmPrecision, GemmResult, PackedElem, SendPtr, ACC_SCRATCH, DPU,
+    check_precision, AbftElem, GemmPrecision, GemmResult, PackedElem, SendPtr, ACC_SCRATCH, DPU,
+    MAX_EPOCH_ATTEMPTS, MAX_TILE_ATTEMPTS,
 };
 use crate::pool::WorkerPool;
 use m3xu_fp::complex::Complex;
 use m3xu_mxu::error::M3xuError;
+use m3xu_mxu::fault::{FaultPlan, FaultSummary, TaskFault};
 use m3xu_mxu::matrix::{MatOp, MatSource, Matrix, MirrorView, OpView, Triangle};
 use m3xu_mxu::mma::{MmaShape, MmaStats};
 use m3xu_mxu::modes::MxuMode;
 use m3xu_mxu::packed::{fragment_stats, PackedOperand, PackedStorage};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Which side a SYMM/HEMM's symmetric operand multiplies from.
@@ -478,6 +485,395 @@ where
     Ok(GemmResult { d, stats })
 }
 
+/// The ABFT-checked BLAS-3 driver: [`try_blas3_packed`]'s surface with
+/// the per-k-chunk checksum verification and hierarchical recovery of
+/// [`crate::gemm::try_gemm_abft`] (chunk-level rollback/re-execution up
+/// to [`MAX_TILE_ATTEMPTS`], epoch re-submission up to
+/// [`MAX_EPOCH_ATTEMPTS`], typed [`M3xuError::FaultDetected`] beyond).
+///
+/// The expected checksums read the **packed** planes, so alpha folding,
+/// op/mirror views, and quantisation are already on both sides of the
+/// comparison; a triangular region verifies only its `T(T+1)/2`
+/// scheduled tiles. Tile seeds are recomputed **in-task** from `beta`
+/// and `C` (a pure function), so a lost pool epoch re-submits the whole
+/// grid without any partially-written `D` state leaking into the rerun —
+/// every rerun is exactly idempotent. Out-of-region positions of a
+/// diagonal tile seed the untouched `C` canary values; they participate
+/// in the chunk checksum like any other accumulator lane but are
+/// discarded by the predicated store.
+#[allow(clippy::too_many_arguments)]
+fn try_blas3_abft<E, SA, SB>(
+    pool: &WorkerPool,
+    op_name: &'static str,
+    mode: MxuMode,
+    a: &SA,
+    b: &SB,
+    alpha: E::Scalar,
+    beta: E::Scalar,
+    c: &Matrix<E>,
+    region: OutRegion,
+    force_real_diag: bool,
+    ctx: Option<&M3xuContext>,
+    plan: &FaultPlan,
+) -> Result<(GemmResult<E>, FaultSummary), M3xuError>
+where
+    E: Blas3Elem + AbftElem,
+    SA: MatSource<E>,
+    SB: MatSource<E>,
+{
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if b.rows() != k {
+        return Err(M3xuError::ShapeMismatch {
+            context: "blas3(B): inner dimensions must agree",
+            expected: (k, n),
+            got: (b.rows(), n),
+        });
+    }
+    if (c.rows(), c.cols()) != (m, n) {
+        return Err(M3xuError::ShapeMismatch {
+            context: "blas3(C): C must be m x n",
+            expected: (m, n),
+            got: (c.rows(), c.cols()),
+        });
+    }
+
+    let frag = MmaShape::BASELINE_FP16.for_mode(mode);
+    if frag.m * frag.n > ACC_SCRATCH {
+        return Err(M3xuError::FragmentOverflow {
+            needed: frag.m * frag.n,
+            capacity: ACC_SCRATCH,
+        });
+    }
+    let (tiles_m, tiles_n, k_chunks) = frag.grid(m, n, k);
+
+    let beta_unit = E::is_unit(beta);
+    let beta_zero = E::is_zero(beta);
+    // The beta-folded seed of output element (gi, gj): a pure function of
+    // the inputs, shared by the degenerate k = 0 path and the in-task
+    // tile seeding, so epoch reruns always start from identical state.
+    let seed_at = |gi: usize, gj: usize| -> E {
+        if !region.writes(gi, gj) {
+            c.get(gi, gj)
+        } else if force_real_diag && gi == gj {
+            E::real_diag_seed(beta, c.get(gi, gj))
+        } else if beta_zero {
+            E::default()
+        } else if beta_unit {
+            c.get(gi, gj)
+        } else {
+            E::scale(beta, c.get(gi, gj))
+        }
+    };
+
+    let mut d = c.clone();
+    if k_chunks == 0 || m == 0 || n == 0 {
+        if !beta_unit || force_real_diag {
+            for i in 0..m {
+                for j in 0..n {
+                    if region.writes(i, j) {
+                        d.set(i, j, seed_at(i, j));
+                    }
+                }
+            }
+        }
+        if let Some(cx) = ctx {
+            cx.counters().record(&GemmSample {
+                mode,
+                stats: MmaStats::default(),
+                tiles: 0,
+                fragments: 0,
+                operand_bytes: 0,
+                pack_ns: 0,
+                exec_ns: 0,
+            });
+        }
+        return Ok((
+            GemmResult {
+                d,
+                stats: MmaStats::default(),
+            },
+            FaultSummary::default(),
+        ));
+    }
+
+    let tiles: Vec<(usize, usize)> = match region {
+        OutRegion::Full => (0..tiles_m)
+            .flat_map(|ti| (0..tiles_n).map(move |tj| (ti, tj)))
+            .collect(),
+        OutRegion::Tri(tri) => (0..tiles_m)
+            .flat_map(|ti| (0..tiles_n).map(move |tj| (ti, tj)))
+            .filter(|&(ti, tj)| match tri {
+                Triangle::Lower => tj <= ti,
+                Triangle::Upper => ti <= tj,
+            })
+            .collect(),
+    };
+
+    let (sa, sb) = match ctx {
+        Some(cx) => cx.take_scratch(),
+        None => (PackedStorage::default(), PackedStorage::default()),
+    };
+    let t_pack = Instant::now();
+    let pa = E::pack_rows_src(a, alpha, mode, sa);
+    let pb = E::pack_cols_src(b, mode, sb);
+    let pack_ns = t_pack.elapsed().as_nanos() as u64;
+
+    // One salt per driver invocation: a serve-layer retry of this whole
+    // call draws an independent fault schedule.
+    let salt = plan.next_call();
+
+    let detected = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let failed_tiles = AtomicU64::new(0);
+    let epoch_uncorrected = AtomicU64::new(0);
+
+    let dptr = SendPtr(d.as_mut_slice().as_mut_ptr());
+    let t_exec = Instant::now();
+    let mut epoch_ok = false;
+    for epoch_attempt in 0..MAX_EPOCH_ATTEMPTS {
+        failed_tiles.store(0, Ordering::Relaxed);
+        epoch_uncorrected.store(0, Ordering::Relaxed);
+        let task = |tid: usize| {
+            match plan.task_fault(salt, epoch_attempt, tid as u64) {
+                Some(TaskFault::Stall { millis }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                Some(TaskFault::Panic) => {
+                    panic!("m3xu fault injection: task panic (tile {tid})");
+                }
+                None => {}
+            }
+            let (ti, tj) = tiles[tid];
+            let (i0, j0) = (ti * frag.m, tj * frag.n);
+            let rows = frag.m.min(m - i0);
+            let cols = frag.n.min(n - j0);
+            let mut acc = [E::default(); ACC_SCRATCH]; // >= frag.m * frag.n, checked at entry
+            let acc = &mut acc[..rows * cols];
+            let mut seeds = [E::default(); ACC_SCRATCH];
+            let seeds = &mut seeds[..rows * cols];
+            for i in 0..rows {
+                for j in 0..cols {
+                    acc[i * cols + j] = seed_at(i0 + i, j0 + j);
+                }
+            }
+            let mut tile_detected = 0u64;
+            let mut tile_retries = 0u64;
+            let mut tile_uncorrected = 0u64;
+            let mut tile_failed = false;
+            DPU.with(|dpu| {
+                let mut dpu = dpu.borrow_mut();
+                for (ci, k0) in (0..k).step_by(frag.k).enumerate() {
+                    let kend = (k0 + frag.k).min(k);
+                    seeds.copy_from_slice(acc);
+                    let expected = E::expected_chunk(&pa, &pb, seeds, i0, rows, j0, cols, k0, kend);
+                    let mut chunk_fails = 0u64;
+                    let mut chunk_ok = false;
+                    for attempt in 0..MAX_TILE_ATTEMPTS {
+                        if attempt > 0 {
+                            acc.copy_from_slice(seeds);
+                        }
+                        // Specials bypass the multiplier array: an
+                        // unverifiable chunk is not a fault target.
+                        let fault = if expected.ok {
+                            plan.mma_fault(salt, epoch_attempt, tid as u64, ci as u64, attempt)
+                        } else {
+                            None
+                        };
+                        let computed = E::execute_checked(
+                            &mut dpu,
+                            &pa,
+                            &pb,
+                            i0,
+                            rows,
+                            j0,
+                            cols,
+                            k0,
+                            frag.k,
+                            acc,
+                            fault.as_ref(),
+                        );
+                        if expected.matches(&computed) {
+                            chunk_ok = true;
+                            break;
+                        }
+                        chunk_fails += 1;
+                    }
+                    tile_detected += chunk_fails;
+                    if chunk_ok {
+                        tile_retries += chunk_fails;
+                    } else {
+                        tile_retries += chunk_fails.saturating_sub(1);
+                        tile_uncorrected += chunk_fails;
+                        tile_failed = true;
+                        break;
+                    }
+                }
+            });
+            detected.fetch_add(tile_detected, Ordering::Relaxed);
+            retries.fetch_add(tile_retries, Ordering::Relaxed);
+            if tile_failed {
+                epoch_uncorrected.fetch_add(tile_uncorrected, Ordering::Relaxed);
+                failed_tiles.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let bulk = match region {
+                OutRegion::Full => true,
+                OutRegion::Tri(_) => ti != tj,
+            };
+            if bulk {
+                for (i, row) in acc.chunks_exact(cols).enumerate() {
+                    // SAFETY: this tile owns its disjoint output region,
+                    // the pointer outlives the pool run, and epoch reruns
+                    // rewrite the same bytes.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            row.as_ptr(),
+                            dptr.get().add((i0 + i) * n + j0),
+                            cols,
+                        );
+                    }
+                }
+            } else {
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let (gi, gj) = (i0 + i, j0 + j);
+                        if !region.writes(gi, gj) {
+                            continue;
+                        }
+                        let mut v = acc[i * cols + j];
+                        if force_real_diag && gi == gj {
+                            v = E::force_real(v);
+                        }
+                        // SAFETY: as above — disjoint predicated store.
+                        unsafe {
+                            *dptr.get().add(gi * n + gj) = v;
+                        }
+                    }
+                }
+            }
+        };
+        // An injected task panic (or a worker killed mid-epoch) surfaces
+        // as a panic out of `run` once the epoch has drained; catch it
+        // and re-submit rather than unwinding through the caller.
+        match catch_unwind(AssertUnwindSafe(|| pool.run(tiles.len(), task))) {
+            Ok(()) => {
+                epoch_ok = true;
+                break;
+            }
+            Err(_) => {
+                detected.fetch_add(1, Ordering::Relaxed);
+                if epoch_attempt + 1 < MAX_EPOCH_ATTEMPTS {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    let exec_ns = t_exec.elapsed().as_nanos() as u64;
+
+    let detected = detected.load(Ordering::Relaxed);
+    let retries = retries.load(Ordering::Relaxed);
+    let (failed, uncorrected) = if epoch_ok {
+        (
+            failed_tiles.load(Ordering::Relaxed),
+            epoch_uncorrected.load(Ordering::Relaxed),
+        )
+    } else {
+        (tiles.len() as u64, 1)
+    };
+    let summary = FaultSummary {
+        detected,
+        corrected: detected - uncorrected,
+        retries,
+    };
+
+    if let Some(cx) = ctx {
+        cx.counters().record_faults(&summary);
+    }
+    if failed > 0 {
+        if let Some(cx) = ctx {
+            cx.put_scratch(pa.into_storage(), pb.into_storage());
+        }
+        return Err(M3xuError::FaultDetected {
+            op: op_name,
+            mode,
+            tiles: failed as usize,
+            detected,
+            corrected: summary.corrected,
+            retries,
+        });
+    }
+
+    // The production sample: a pure function of the fragment grid,
+    // bit-identical accounting to the unchecked BLAS-3 driver.
+    let frags = (tiles.len() * k_chunks) as u64;
+    let stats = fragment_stats(mode, frag).scaled(frags);
+    if let Some(cx) = ctx {
+        cx.counters().record(&GemmSample {
+            mode,
+            stats,
+            tiles: tiles.len() as u64,
+            fragments: frags,
+            operand_bytes: ((m * k + k * n) * mode.element_bytes()) as u64,
+            pack_ns,
+            exec_ns,
+        });
+        cx.put_scratch(pa.into_storage(), pb.into_storage());
+    }
+    Ok((GemmResult { d, stats }, summary))
+}
+
+/// Route a BLAS-3 call through the checked driver when the context has an
+/// armed fault plan, the production driver otherwise — the single policy
+/// seam every `*_faulted_ctx` body below goes through.
+#[allow(clippy::too_many_arguments)]
+fn try_blas3_routed<E, SA, SB>(
+    ctx: &M3xuContext,
+    op_name: &'static str,
+    mode: MxuMode,
+    a: &SA,
+    b: &SB,
+    alpha: E::Scalar,
+    beta: E::Scalar,
+    c: &Matrix<E>,
+    region: OutRegion,
+    force_real_diag: bool,
+) -> Result<(GemmResult<E>, FaultSummary), M3xuError>
+where
+    E: Blas3Elem + AbftElem,
+    SA: MatSource<E>,
+    SB: MatSource<E>,
+{
+    match ctx.fault_plan() {
+        Some(plan) => try_blas3_abft(
+            ctx.pool(),
+            op_name,
+            mode,
+            a,
+            b,
+            alpha,
+            beta,
+            c,
+            region,
+            force_real_diag,
+            Some(ctx),
+            plan,
+        ),
+        None => try_blas3_packed(
+            ctx.pool(),
+            mode,
+            a,
+            b,
+            alpha,
+            beta,
+            c,
+            region,
+            force_real_diag,
+            Some(ctx),
+        )
+        .map(|r| (r, FaultSummary::default())),
+    }
+}
+
 /// The transpose of `op(A)` for a real rank-k update's second operand
 /// (`H` collapses to `T` on real elements).
 fn syrk_b_op(op: MatOp) -> MatOp {
@@ -505,9 +901,26 @@ pub(crate) fn try_gemm_op_f32_ctx(
     beta: f32,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
+    try_gemm_op_f32_faulted_ctx(ctx, precision, op_a, a, op_b, b, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_gemm_op_f32_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_gemm_op_f32_faulted_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    op_a: MatOp,
+    a: &Matrix<f32>,
+    op_b: MatOp,
+    b: &Matrix<f32>,
+    alpha: f32,
+    beta: f32,
+    c: &Matrix<f32>,
+) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
     check_precision(precision, true, "gemm_op_f32")?;
-    try_blas3_packed(
-        ctx.pool(),
+    try_blas3_routed(
+        ctx,
+        "gemm_op",
         precision.mode(),
         &OpView::new(a, op_a),
         &OpView::new(b, op_b),
@@ -516,7 +929,6 @@ pub(crate) fn try_gemm_op_f32_ctx(
         c,
         OutRegion::Full,
         false,
-        Some(ctx),
     )
 }
 
@@ -532,8 +944,24 @@ pub(crate) fn try_cgemm_op_c32_ctx(
     beta: Complex<f32>,
     c: &Matrix<Complex<f32>>,
 ) -> Result<GemmResult<Complex<f32>>, M3xuError> {
-    try_blas3_packed(
-        ctx.pool(),
+    try_cgemm_op_c32_faulted_ctx(ctx, op_a, a, op_b, b, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_cgemm_op_c32_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_cgemm_op_c32_faulted_ctx(
+    ctx: &M3xuContext,
+    op_a: MatOp,
+    a: &Matrix<Complex<f32>>,
+    op_b: MatOp,
+    b: &Matrix<Complex<f32>>,
+    alpha: Complex<f32>,
+    beta: Complex<f32>,
+    c: &Matrix<Complex<f32>>,
+) -> Result<(GemmResult<Complex<f32>>, FaultSummary), M3xuError> {
+    try_blas3_routed(
+        ctx,
+        "cgemm_op",
         MxuMode::M3xuFp32c,
         &OpView::new(a, op_a),
         &OpView::new(b, op_b),
@@ -542,7 +970,6 @@ pub(crate) fn try_cgemm_op_c32_ctx(
         c,
         OutRegion::Full,
         false,
-        Some(ctx),
     )
 }
 
@@ -559,9 +986,26 @@ pub(crate) fn try_gemm_op_f64_ctx(
     beta: f64,
     c: &Matrix<f64>,
 ) -> Result<GemmResult<f64>, M3xuError> {
+    try_gemm_op_f64_faulted_ctx(ctx, precision, op_a, a, op_b, b, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_gemm_op_f64_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_gemm_op_f64_faulted_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    op_a: MatOp,
+    a: &Matrix<f64>,
+    op_b: MatOp,
+    b: &Matrix<f64>,
+    alpha: f64,
+    beta: f64,
+    c: &Matrix<f64>,
+) -> Result<(GemmResult<f64>, FaultSummary), M3xuError> {
     check_precision(precision, false, "gemm_op_f64")?;
-    try_blas3_packed(
-        ctx.pool(),
+    try_blas3_routed(
+        ctx,
+        "gemm_op_f64",
         precision.mode(),
         &OpView::new(a, op_a),
         &OpView::new(b, op_b),
@@ -570,7 +1014,6 @@ pub(crate) fn try_gemm_op_f64_ctx(
         c,
         OutRegion::Full,
         false,
-        Some(ctx),
     )
 }
 
@@ -587,9 +1030,25 @@ pub(crate) fn try_syrk_f32_ctx(
     beta: f32,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
+    try_syrk_f32_faulted_ctx(ctx, precision, tri, op_a, a, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_syrk_f32_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_syrk_f32_faulted_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    tri: Triangle,
+    op_a: MatOp,
+    a: &Matrix<f32>,
+    alpha: f32,
+    beta: f32,
+    c: &Matrix<f32>,
+) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
     check_precision(precision, true, "syrk_f32")?;
-    try_blas3_packed(
-        ctx.pool(),
+    try_blas3_routed(
+        ctx,
+        "syrk",
         precision.mode(),
         &OpView::new(a, op_a),
         &OpView::new(a, syrk_b_op(op_a)),
@@ -598,7 +1057,6 @@ pub(crate) fn try_syrk_f32_ctx(
         c,
         OutRegion::Tri(tri),
         false,
-        Some(ctx),
     )
 }
 
@@ -616,6 +1074,20 @@ pub(crate) fn try_herk_c32_ctx(
     beta: f32,
     c: &Matrix<Complex<f32>>,
 ) -> Result<GemmResult<Complex<f32>>, M3xuError> {
+    try_herk_c32_faulted_ctx(ctx, tri, op_a, a, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_herk_c32_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_herk_c32_faulted_ctx(
+    ctx: &M3xuContext,
+    tri: Triangle,
+    op_a: MatOp,
+    a: &Matrix<Complex<f32>>,
+    alpha: f32,
+    beta: f32,
+    c: &Matrix<Complex<f32>>,
+) -> Result<(GemmResult<Complex<f32>>, FaultSummary), M3xuError> {
     let b_op = match op_a {
         MatOp::N => MatOp::H,
         MatOp::H => MatOp::N,
@@ -626,8 +1098,9 @@ pub(crate) fn try_herk_c32_ctx(
             })
         }
     };
-    try_blas3_packed(
-        ctx.pool(),
+    try_blas3_routed(
+        ctx,
+        "herk",
         MxuMode::M3xuFp32c,
         &OpView::new(a, op_a),
         &OpView::new(a, b_op),
@@ -636,7 +1109,6 @@ pub(crate) fn try_herk_c32_ctx(
         c,
         OutRegion::Tri(tri),
         true,
-        Some(ctx),
     )
 }
 
@@ -655,6 +1127,22 @@ pub(crate) fn try_symm_f32_ctx(
     beta: f32,
     c: &Matrix<f32>,
 ) -> Result<GemmResult<f32>, M3xuError> {
+    try_symm_f32_faulted_ctx(ctx, precision, side, tri, a, b, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_symm_f32_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_symm_f32_faulted_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    side: Side,
+    tri: Triangle,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    alpha: f32,
+    beta: f32,
+    c: &Matrix<f32>,
+) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
     check_precision(precision, true, "symm_f32")?;
     if a.rows() != a.cols() {
         return Err(M3xuError::ShapeMismatch {
@@ -665,8 +1153,9 @@ pub(crate) fn try_symm_f32_ctx(
     }
     let sym = MirrorView::new(a, tri, false);
     match side {
-        Side::Left => try_blas3_packed(
-            ctx.pool(),
+        Side::Left => try_blas3_routed(
+            ctx,
+            "symm",
             precision.mode(),
             &sym,
             b,
@@ -675,10 +1164,10 @@ pub(crate) fn try_symm_f32_ctx(
             c,
             OutRegion::Full,
             false,
-            Some(ctx),
         ),
-        Side::Right => try_blas3_packed(
-            ctx.pool(),
+        Side::Right => try_blas3_routed(
+            ctx,
+            "symm",
             precision.mode(),
             b,
             &sym,
@@ -687,7 +1176,6 @@ pub(crate) fn try_symm_f32_ctx(
             c,
             OutRegion::Full,
             false,
-            Some(ctx),
         ),
     }
 }
@@ -706,6 +1194,21 @@ pub(crate) fn try_hemm_c32_ctx(
     beta: Complex<f32>,
     c: &Matrix<Complex<f32>>,
 ) -> Result<GemmResult<Complex<f32>>, M3xuError> {
+    try_hemm_c32_faulted_ctx(ctx, side, tri, a, b, alpha, beta, c).map(|(r, _)| r)
+}
+
+/// [`try_hemm_c32_ctx`] with the invocation's [`FaultSummary`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_hemm_c32_faulted_ctx(
+    ctx: &M3xuContext,
+    side: Side,
+    tri: Triangle,
+    a: &Matrix<Complex<f32>>,
+    b: &Matrix<Complex<f32>>,
+    alpha: Complex<f32>,
+    beta: Complex<f32>,
+    c: &Matrix<Complex<f32>>,
+) -> Result<(GemmResult<Complex<f32>>, FaultSummary), M3xuError> {
     if a.rows() != a.cols() {
         return Err(M3xuError::ShapeMismatch {
             context: "hemm(A): A must be square",
@@ -715,8 +1218,9 @@ pub(crate) fn try_hemm_c32_ctx(
     }
     let herm = MirrorView::new(a, tri, true);
     match side {
-        Side::Left => try_blas3_packed(
-            ctx.pool(),
+        Side::Left => try_blas3_routed(
+            ctx,
+            "hemm",
             MxuMode::M3xuFp32c,
             &herm,
             b,
@@ -725,10 +1229,10 @@ pub(crate) fn try_hemm_c32_ctx(
             c,
             OutRegion::Full,
             false,
-            Some(ctx),
         ),
-        Side::Right => try_blas3_packed(
-            ctx.pool(),
+        Side::Right => try_blas3_routed(
+            ctx,
+            "hemm",
             MxuMode::M3xuFp32c,
             b,
             &herm,
@@ -737,7 +1241,6 @@ pub(crate) fn try_hemm_c32_ctx(
             c,
             OutRegion::Full,
             false,
-            Some(ctx),
         ),
     }
 }

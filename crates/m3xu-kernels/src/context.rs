@@ -468,10 +468,11 @@ impl M3xuContext {
     }
 
     /// [`M3xuContext::try_gemm_f32`] with fault telemetry: additionally
-    /// returns the [`FaultSummary`] of this one invocation. With no armed
-    /// plan — or an engine the ABFT algebra does not cover (the narrow
-    /// modes quantise operands at the buffers) — the production driver
-    /// runs and the summary is zero.
+    /// returns the [`FaultSummary`] of this one invocation. Every f32
+    /// precision is covered — the expected checksums read the packed
+    /// buffer entries, so quantising narrow modes verify exactly — and
+    /// with no armed plan the production driver runs and the summary is
+    /// zero.
     pub fn try_gemm_f32_faulted(
         &self,
         precision: GemmPrecision,
@@ -491,6 +492,18 @@ impl M3xuContext {
         c: &Matrix<C32>,
     ) -> Result<(GemmResult<C32>, FaultSummary), M3xuError> {
         gemm::try_cgemm_c32_faulted_ctx(self, a, b, c)
+    }
+
+    /// [`M3xuContext::try_gemm_f64`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    pub fn try_gemm_f64_faulted(
+        &self,
+        precision: GemmPrecision,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        c: &Matrix<f64>,
+    ) -> Result<(GemmResult<f64>, FaultSummary), M3xuError> {
+        gemm::try_gemm_f64_faulted_ctx(self, precision, a, b, c)
     }
 
     /// Fallible tiled emulated-FP64 GEMM `D = A·B + C`, counted into this
@@ -572,6 +585,23 @@ impl M3xuContext {
         blas3::try_gemm_op_f32_ctx(self, precision, op_a, a, op_b, b, alpha, beta, c)
     }
 
+    /// [`M3xuContext::try_gemm_op_f32`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_op_f32_faulted(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        op_b: MatOp,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+        blas3::try_gemm_op_f32_faulted_ctx(self, precision, op_a, a, op_b, b, alpha, beta, c)
+    }
+
     /// [`M3xuContext::try_gemm_op_f32`], panicking on invalid shapes or
     /// precision.
     #[allow(clippy::too_many_arguments)]
@@ -607,6 +637,22 @@ impl M3xuContext {
         blas3::try_cgemm_op_c32_ctx(self, op_a, a, op_b, b, alpha, beta, c)
     }
 
+    /// [`M3xuContext::try_cgemm_op_c32`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_cgemm_op_c32_faulted(
+        &self,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        op_b: MatOp,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<(GemmResult<C32>, FaultSummary), M3xuError> {
+        blas3::try_cgemm_op_c32_faulted_ctx(self, op_a, a, op_b, b, alpha, beta, c)
+    }
+
     /// [`M3xuContext::try_cgemm_op_c32`], panicking on invalid shapes.
     #[allow(clippy::too_many_arguments)]
     pub fn cgemm_op_c32(
@@ -638,6 +684,23 @@ impl M3xuContext {
         c: &Matrix<f64>,
     ) -> Result<GemmResult<f64>, M3xuError> {
         blas3::try_gemm_op_f64_ctx(self, precision, op_a, a, op_b, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_gemm_op_f64`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_op_f64_faulted(
+        &self,
+        precision: GemmPrecision,
+        op_a: MatOp,
+        a: &Matrix<f64>,
+        op_b: MatOp,
+        b: &Matrix<f64>,
+        alpha: f64,
+        beta: f64,
+        c: &Matrix<f64>,
+    ) -> Result<(GemmResult<f64>, FaultSummary), M3xuError> {
+        blas3::try_gemm_op_f64_faulted_ctx(self, precision, op_a, a, op_b, b, alpha, beta, c)
     }
 
     /// [`M3xuContext::try_gemm_op_f64`], panicking on invalid shapes or
@@ -676,6 +739,23 @@ impl M3xuContext {
         blas3::try_syrk_f32_ctx(self, precision, tri, op_a, a, alpha, beta, c)
     }
 
+    /// [`M3xuContext::try_syrk_f32`] with fault telemetry — verification
+    /// prices only the `T(T+1)/2` scheduled triangular tiles; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_syrk_f32_faulted(
+        &self,
+        precision: GemmPrecision,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+        blas3::try_syrk_f32_faulted_ctx(self, precision, tri, op_a, a, alpha, beta, c)
+    }
+
     /// [`M3xuContext::try_syrk_f32`], panicking on invalid shapes or
     /// precision.
     #[allow(clippy::too_many_arguments)]
@@ -710,6 +790,21 @@ impl M3xuContext {
         blas3::try_herk_c32_ctx(self, tri, op_a, a, alpha, beta, c)
     }
 
+    /// [`M3xuContext::try_herk_c32`] with fault telemetry; see
+    /// [`M3xuContext::try_syrk_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_herk_c32_faulted(
+        &self,
+        tri: Triangle,
+        op_a: MatOp,
+        a: &Matrix<C32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<C32>,
+    ) -> Result<(GemmResult<C32>, FaultSummary), M3xuError> {
+        blas3::try_herk_c32_faulted_ctx(self, tri, op_a, a, alpha, beta, c)
+    }
+
     /// [`M3xuContext::try_herk_c32`], panicking on invalid shapes or op.
     pub fn herk_c32(
         &self,
@@ -741,6 +836,23 @@ impl M3xuContext {
         c: &Matrix<f32>,
     ) -> Result<GemmResult<f32>, M3xuError> {
         blas3::try_symm_f32_ctx(self, precision, side, tri, a, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_symm_f32`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_symm_f32_faulted(
+        &self,
+        precision: GemmPrecision,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<f32>,
+        b: &Matrix<f32>,
+        alpha: f32,
+        beta: f32,
+        c: &Matrix<f32>,
+    ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+        blas3::try_symm_f32_faulted_ctx(self, precision, side, tri, a, b, alpha, beta, c)
     }
 
     /// [`M3xuContext::try_symm_f32`], panicking on invalid shapes or
@@ -777,6 +889,22 @@ impl M3xuContext {
         c: &Matrix<C32>,
     ) -> Result<GemmResult<C32>, M3xuError> {
         blas3::try_hemm_c32_ctx(self, side, tri, a, b, alpha, beta, c)
+    }
+
+    /// [`M3xuContext::try_hemm_c32`] with fault telemetry; see
+    /// [`M3xuContext::try_gemm_f32_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_hemm_c32_faulted(
+        &self,
+        side: Side,
+        tri: Triangle,
+        a: &Matrix<C32>,
+        b: &Matrix<C32>,
+        alpha: C32,
+        beta: C32,
+        c: &Matrix<C32>,
+    ) -> Result<(GemmResult<C32>, FaultSummary), M3xuError> {
+        blas3::try_hemm_c32_faulted_ctx(self, side, tri, a, b, alpha, beta, c)
     }
 
     /// [`M3xuContext::try_hemm_c32`], panicking on invalid shapes.

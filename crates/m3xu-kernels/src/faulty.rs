@@ -13,13 +13,15 @@
 //!   ([`FaultyExecutor::unarmed`]) delegates straight to the context —
 //!   bit-identical results, identical counters, no checksum work. The
 //!   differential test suite pins this.
-//! * **Armed is honest.** With a plan, FP32/FP32C GEMMs run the checked
-//!   driver: every recovered run is bit-identical to the oracle, and an
-//!   unrecoverable one returns
+//! * **Armed is honest.** With a plan, every GEMM precision — true FP32,
+//!   the truncated fast schedule, the quantising narrow engines
+//!   (FP16/BF16/TF32), and FP32C — runs the checked driver: every
+//!   recovered run is bit-identical to the oracle, and an unrecoverable
+//!   one returns
 //!   [`M3xuError::FaultDetected`]
-//!   — never a panic, never silent corruption the checksums can see. The
-//!   narrow engines (FP16/BF16/TF32) quantise operands at the buffers,
-//!   outside the checksum algebra, and keep the production path.
+//!   — never a panic, never silent corruption the checksums can see.
+//!   (The expected checksums read the packed buffer entries, so
+//!   quantisation happens on both sides of the comparison.)
 
 use crate::context::{GemmExecutor, M3xuContext};
 use crate::gemm::{self, GemmPrecision, GemmResult};
@@ -46,7 +48,7 @@ impl<'c> FaultyExecutor<'c> {
         FaultyExecutor { ctx, plan: None }
     }
 
-    /// Wrap `ctx` with an armed plan: FP32/FP32C GEMMs run the
+    /// Wrap `ctx` with an armed plan: every GEMM precision runs the
     /// ABFT-checked self-healing driver under `plan`'s fault schedule
     /// (the context's own plan, if any, is ignored for these calls).
     pub fn armed(ctx: &'c M3xuContext, plan: Arc<FaultPlan>) -> Self {
@@ -67,8 +69,7 @@ impl<'c> FaultyExecutor<'c> {
     }
 
     /// Real GEMM with this executor's fault policy, returning the
-    /// invocation's [`FaultSummary`] (zero when unarmed or on a narrow
-    /// engine).
+    /// invocation's [`FaultSummary`] (zero when unarmed).
     pub fn try_gemm_f32_faulted(
         &self,
         precision: GemmPrecision,
@@ -76,9 +77,11 @@ impl<'c> FaultyExecutor<'c> {
         b: &Matrix<f32>,
         c: &Matrix<f32>,
     ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
+        gemm::check_precision(precision, true, "gemm_f32")?;
         match &self.plan {
-            Some(plan) if precision == GemmPrecision::M3xuFp32 => gemm::try_gemm_abft(
+            Some(plan) => gemm::try_gemm_abft(
                 self.ctx.pool(),
+                "gemm",
                 precision.mode(),
                 a,
                 b,
@@ -86,7 +89,7 @@ impl<'c> FaultyExecutor<'c> {
                 Some(self.ctx),
                 plan,
             ),
-            _ => self
+            None => self
                 .ctx
                 .try_gemm_f32(precision, a, b, c)
                 .map(|r| (r, FaultSummary::default())),
@@ -104,6 +107,7 @@ impl<'c> FaultyExecutor<'c> {
         match &self.plan {
             Some(plan) => gemm::try_gemm_abft(
                 self.ctx.pool(),
+                "cgemm",
                 m3xu_mxu::modes::MxuMode::M3xuFp32c,
                 a,
                 b,

@@ -486,27 +486,31 @@ fn try_gemm_packed<E: PackedElem>(
 /// with rate < 1 usually clears within a retry or two (the residual
 /// failure probability is `rate^4` per chunk); a plan with rate 1.0
 /// exhausts them and exercises the error path.
-const MAX_TILE_ATTEMPTS: u64 = 4;
+pub(crate) const MAX_TILE_ATTEMPTS: u64 = 4;
 
 /// Pool-epoch re-submissions the checked driver performs when an injected
 /// task panic (or an abruptly-killed worker) loses a whole epoch.
-const MAX_EPOCH_ATTEMPTS: u64 = 4;
+pub(crate) const MAX_EPOCH_ATTEMPTS: u64 = 4;
 
 /// An element type the ABFT-checked driver can verify: [`PackedElem`]
 /// plus the per-k-chunk checksum pair — the *expected* side from the
 /// operands and seeds, the *computed* side from the checked MMA's
 /// accumulator state (see [`m3xu_mxu::abft`]).
 pub(crate) trait AbftElem: PackedElem {
-    /// Expected checksum of one k-chunk, from the tile's operand bands
-    /// and its pre-chunk accumulator (`seeds`, row-major `rows × cols`).
+    /// Expected checksum of one k-chunk, from the tile's **packed**
+    /// operand bands and its pre-chunk accumulator (`seeds`, row-major
+    /// `rows × cols`). Reading the packed planes (not the source
+    /// matrices) is what makes every precision checkable: quantisation,
+    /// alpha folding, and op views all happen at pack time, so the
+    /// expected side predicts exactly what the MMA multiplies.
     #[allow(clippy::too_many_arguments)]
     fn expected_chunk(
-        a: &Matrix<Self>,
-        b: &Matrix<Self>,
+        a: &PackedOperand,
+        b: &PackedOperand,
         seeds: &[Self],
-        i0: usize,
+        r0: usize,
         rows: usize,
-        j0: usize,
+        c0: usize,
         cols: usize,
         k0: usize,
         kend: usize,
@@ -533,17 +537,17 @@ pub(crate) trait AbftElem: PackedElem {
 
 impl AbftElem for f32 {
     fn expected_chunk(
-        a: &Matrix<f32>,
-        b: &Matrix<f32>,
+        a: &PackedOperand,
+        b: &PackedOperand,
         seeds: &[f32],
-        i0: usize,
+        r0: usize,
         rows: usize,
-        j0: usize,
+        c0: usize,
         cols: usize,
         k0: usize,
         kend: usize,
     ) -> Checksum {
-        abft::expected_chunk_f32(a, b, seeds, i0, rows, j0, cols, k0, kend)
+        abft::expected_chunk_packed_f32(a, b, seeds, r0, rows, c0, cols, k0, kend)
     }
 
     fn execute_checked(
@@ -565,17 +569,17 @@ impl AbftElem for f32 {
 
 impl AbftElem for Complex<f32> {
     fn expected_chunk(
-        a: &Matrix<Complex<f32>>,
-        b: &Matrix<Complex<f32>>,
+        a: &PackedOperand,
+        b: &PackedOperand,
         seeds: &[Complex<f32>],
-        i0: usize,
+        r0: usize,
         rows: usize,
-        j0: usize,
+        c0: usize,
         cols: usize,
         k0: usize,
         kend: usize,
     ) -> Checksum {
-        abft::expected_chunk_c32(a, b, seeds, i0, rows, j0, cols, k0, kend)
+        abft::expected_chunk_packed_c32(a, b, seeds, r0, rows, c0, cols, k0, kend)
     }
 
     fn execute_checked(
@@ -592,6 +596,38 @@ impl AbftElem for Complex<f32> {
         fault: Option<&MmaFault>,
     ) -> Checksum {
         dpu.mma_c32_checked_into(a, b, r0, rows, c0, cols, k0, klen, acc, fault)
+    }
+}
+
+impl AbftElem for f64 {
+    fn expected_chunk(
+        a: &PackedOperand,
+        b: &PackedOperand,
+        seeds: &[f64],
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        kend: usize,
+    ) -> Checksum {
+        abft::expected_chunk_packed_f64(a, b, seeds, r0, rows, c0, cols, k0, kend)
+    }
+
+    fn execute_checked(
+        dpu: &mut DotProductUnit,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f64],
+        fault: Option<&MmaFault>,
+    ) -> Checksum {
+        dpu.mma_f64_checked_into(a, b, r0, rows, c0, cols, k0, klen, acc, fault)
     }
 }
 
@@ -620,8 +656,10 @@ impl AbftElem for Complex<f32> {
 /// instruction-count cross-validation holds unchanged; verification work
 /// and re-executions are reported in the [`FaultSummary`] and the
 /// context's fault counters instead.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn try_gemm_abft<E: AbftElem>(
     pool: &WorkerPool,
+    op: &'static str,
     mode: MxuMode,
     a: &Matrix<E>,
     b: &Matrix<E>,
@@ -724,7 +762,7 @@ pub(crate) fn try_gemm_abft<E: AbftElem>(
                     seeds.copy_from_slice(acc);
                     // The expected side reads the chunk's seeds once; the
                     // retries below restore them bit-exactly.
-                    let expected = E::expected_chunk(a, b, seeds, i0, rows, j0, cols, k0, kend);
+                    let expected = E::expected_chunk(&pa, &pb, seeds, i0, rows, j0, cols, k0, kend);
                     let mut chunk_fails = 0u64;
                     let mut chunk_ok = false;
                     for attempt in 0..MAX_TILE_ATTEMPTS {
@@ -834,6 +872,8 @@ pub(crate) fn try_gemm_abft<E: AbftElem>(
             cx.put_scratch(pa.into_storage(), pb.into_storage());
         }
         return Err(M3xuError::FaultDetected {
+            op,
+            mode,
             tiles: failed as usize,
             detected,
             corrected: summary.corrected,
@@ -862,10 +902,10 @@ pub(crate) fn try_gemm_abft<E: AbftElem>(
 
 /// Context-attached real GEMM: the body of
 /// [`M3xuContext::try_gemm_f32`](crate::context::M3xuContext::try_gemm_f32).
-/// An armed fault plan routes the FP32 engine through the ABFT-checked
-/// self-healing driver; the narrow engines (whose operands quantise at
-/// the buffers, outside the checksum algebra) stay on the production
-/// path.
+/// An armed fault plan routes **every** f32 precision through the
+/// ABFT-checked self-healing driver: the expected checksums read the
+/// packed buffer entries, so quantising narrow engines (FP16/BF16/TF32)
+/// and the truncated fast schedule verify exactly alongside true FP32.
 pub(crate) fn try_gemm_f32_ctx(
     ctx: &M3xuContext,
     precision: GemmPrecision,
@@ -897,18 +937,26 @@ pub(crate) fn try_gemm_f32_faulted_ctx(
 ) -> Result<(GemmResult<f32>, FaultSummary), M3xuError> {
     check_precision(precision, true, "gemm_f32")?;
     match ctx.fault_plan() {
-        Some(plan) if precision == GemmPrecision::M3xuFp32 => {
-            try_gemm_abft(ctx.pool(), precision.mode(), a, b, c, Some(ctx), plan)
-        }
-        _ => try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
+        Some(plan) => try_gemm_abft(
+            ctx.pool(),
+            "gemm",
+            precision.mode(),
+            a,
+            b,
+            c,
+            Some(ctx),
+            plan,
+        ),
+        None => try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
             .map(|r| (r, FaultSummary::default())),
     }
 }
 
 /// Context-attached emulated-FP64 GEMM: the body of
 /// [`M3xuContext::try_gemm_f64`](crate::context::M3xuContext::try_gemm_f64).
-/// The FP64 path has no checked (ABFT) variant — the checksum algebra is
-/// FP32 — so an armed fault plan does not reroute it.
+/// An armed fault plan reroutes through the checked driver: the residue
+/// homomorphism extends to every f64 dyadic rational, and the expected
+/// side reads the five packed mantissa slices directly.
 pub(crate) fn try_gemm_f64_ctx(
     ctx: &M3xuContext,
     precision: GemmPrecision,
@@ -916,8 +964,32 @@ pub(crate) fn try_gemm_f64_ctx(
     b: &Matrix<f64>,
     c: &Matrix<f64>,
 ) -> Result<GemmResult<f64>, M3xuError> {
+    try_gemm_f64_faulted_ctx(ctx, precision, a, b, c).map(|(r, _)| r)
+}
+
+/// [`try_gemm_f64_ctx`] with the invocation's [`FaultSummary`].
+pub(crate) fn try_gemm_f64_faulted_ctx(
+    ctx: &M3xuContext,
+    precision: GemmPrecision,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &Matrix<f64>,
+) -> Result<(GemmResult<f64>, FaultSummary), M3xuError> {
     check_precision(precision, false, "gemm_f64")?;
-    try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
+    match ctx.fault_plan() {
+        Some(plan) => try_gemm_abft(
+            ctx.pool(),
+            "gemm_f64",
+            precision.mode(),
+            a,
+            b,
+            c,
+            Some(ctx),
+            plan,
+        ),
+        None => try_gemm_packed(ctx.pool(), precision.mode(), a, b, c, Some(ctx))
+            .map(|r| (r, FaultSummary::default())),
+    }
 }
 
 /// [`try_cgemm_c32_ctx`] with the invocation's [`FaultSummary`].
@@ -928,7 +1000,16 @@ pub(crate) fn try_cgemm_c32_faulted_ctx(
     c: &Matrix<Complex<f32>>,
 ) -> Result<(GemmResult<Complex<f32>>, FaultSummary), M3xuError> {
     match ctx.fault_plan() {
-        Some(plan) => try_gemm_abft(ctx.pool(), MxuMode::M3xuFp32c, a, b, c, Some(ctx), plan),
+        Some(plan) => try_gemm_abft(
+            ctx.pool(),
+            "cgemm",
+            MxuMode::M3xuFp32c,
+            a,
+            b,
+            c,
+            Some(ctx),
+            plan,
+        ),
         None => try_gemm_packed(ctx.pool(), MxuMode::M3xuFp32c, a, b, c, Some(ctx))
             .map(|r| (r, FaultSummary::default())),
     }
@@ -1676,7 +1757,8 @@ mod tests {
         let a = Matrix::<f32>::random(23, 11, 40);
         let b = Matrix::<f32>::random(11, 19, 41);
         let c = Matrix::<f32>::random(23, 19, 42);
-        let (r, s) = try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
+        let (r, s) =
+            try_gemm_abft(&pool, "gemm", MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
         let oracle = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
         assert_bits_f32(&r.d, &oracle.d, "abft zero-rate");
         assert_eq!(r.stats, oracle.stats);
@@ -1693,7 +1775,8 @@ mod tests {
         let mut saw_faults = false;
         for seed in 0..8u64 {
             let plan = FaultPlan::new(seed, 0.05);
-            let (r, s) = try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
+            let (r, s) =
+                try_gemm_abft(&pool, "gemm", MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
             assert_bits_f32(&r.d, &oracle.d, &format!("abft recovery seed {seed}"));
             assert_eq!(s.detected, s.corrected, "seed {seed}: {s:?}");
             saw_faults |= s.detected > 0;
@@ -1709,7 +1792,8 @@ mod tests {
         let c = Matrix::random_c32(17, 13, 62);
         let oracle = baseline::cgemm_c32(&a, &b, &c);
         let plan = FaultPlan::new(3, 0.05);
-        let (r, s) = try_gemm_abft(&pool, MxuMode::M3xuFp32c, &a, &b, &c, None, &plan).unwrap();
+        let (r, s) =
+            try_gemm_abft(&pool, "cgemm", MxuMode::M3xuFp32c, &a, &b, &c, None, &plan).unwrap();
         assert_bits_c32(&r.d, &oracle.d, "abft complex recovery");
         assert_eq!(s.detected, s.corrected);
     }
@@ -1721,13 +1805,17 @@ mod tests {
         let a = Matrix::<f32>::random(16, 8, 70);
         let b = Matrix::<f32>::random(8, 16, 71);
         let c = Matrix::<f32>::zeros(16, 16);
-        match try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan) {
+        match try_gemm_abft(&pool, "gemm", MxuMode::M3xuFp32, &a, &b, &c, None, &plan) {
             Err(M3xuError::FaultDetected {
+                op,
+                mode,
                 tiles,
                 detected,
                 corrected,
                 retries,
             }) => {
+                assert_eq!(op, "gemm");
+                assert_eq!(mode, MxuMode::M3xuFp32);
                 assert!(tiles > 0);
                 assert!(detected > corrected);
                 assert!(retries > 0);
@@ -1753,7 +1841,8 @@ mod tests {
         let c = Matrix::<f32>::random(19, 11, 82);
         let oracle = baseline::gemm_f32(GemmPrecision::M3xuFp32, &a, &b, &c);
         let plan = FaultPlan::new(4, 0.2);
-        let (r, _) = try_gemm_abft(&pool, MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
+        let (r, _) =
+            try_gemm_abft(&pool, "gemm", MxuMode::M3xuFp32, &a, &b, &c, None, &plan).unwrap();
         assert_bits_f32(&r.d, &oracle.d, "abft specials");
     }
 }

@@ -32,6 +32,25 @@
 //! The identity must be checked per k-chunk: each chunk rounds its
 //! results and re-seeds the next one, and rounding is not additive.
 //!
+//! ## Expected checksums come from the packed planes
+//!
+//! The expected side is computed from the [`PackedOperand`] buffer
+//! entries — the quantised, alpha-folded, slice-split values the
+//! multiplier array *actually* consumes — not from the source matrices.
+//! That one choice is what makes the whole op × precision surface
+//! checkable with a single algebra:
+//!
+//! * narrow modes (FP16/BF16/TF32): the entries *are* the quantised
+//!   values, so quantisation needs no modelling;
+//! * the BLAS-3 driver's `alpha` fold and `op(X)` views: packing already
+//!   applied them, so the checksum algebra inherits them for free;
+//! * emulated FP64: the 5 mantissa slices per element are entries like
+//!   any other, and the 53-bit/2^-1074 dyadic range is inside `F_p`'s
+//!   image ([`m3xu_fp::residue::residue_f64`]);
+//! * the truncated fast-FP32 schedule: the per-slice column sums
+//!   `S_A[s]`, `S_B[t]` are combined term-by-term, skipping exactly the
+//!   `s + t >= N` products the datapath skips.
+//!
 //! ## Special values
 //!
 //! NaN/Inf have no dyadic value. A chunk whose seeds or operand band
@@ -41,8 +60,12 @@
 //! which never targets special-valued lanes (they bypass the multiplier
 //! array).
 
-use crate::matrix::Matrix;
-use m3xu_fp::residue::{add_m61, mul_m61, residue_f32, sub_m61};
+use crate::buffer::BufferEntry;
+use crate::modes::MxuMode;
+use crate::packed::PackedOperand;
+use m3xu_fp::residue::{
+    add_m61, mul_m61, neg_m61, pow2_m61, reduce_u64, residue_f32, residue_f64, sub_m61,
+};
 use m3xu_fp::C32;
 
 /// A per-chunk checksum: the residue pair (imaginary part zero for real
@@ -117,19 +140,91 @@ fn cmul_m61(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
     )
 }
 
-/// Expected checksum of one real k-chunk: `Σ seeds + Σ_k S_A[k]·S_B[k]`
-/// over the tile `(i0.., j0..) × (k0..kend)`, where `S_A[k]` sums column
-/// `k` of the tile's A rows and `S_B[k]` sums row `k` of the tile's B
-/// columns. `seeds` is the tile's accumulator *before* the chunk runs,
-/// row-major `rows × cols`.
+/// `F_p` residue of the exact dyadic value one [`BufferEntry`] denotes
+/// (`±mant · 2^pow`); `None` for a special-valued entry, which has no
+/// dyadic value. This is the same map the checked executors apply to
+/// their contribution lists, so expected and computed sides agree
+/// definitionally on what each lane is worth.
+pub fn entry_residue(e: &BufferEntry) -> Option<u64> {
+    if e.special.is_some() {
+        return None;
+    }
+    let r = mul_m61(reduce_u64(e.mant as u64), pow2_m61(e.pow as i64));
+    Some(if e.sign { neg_m61(r) } else { r })
+}
+
+/// Per-slice column sums of one packed operand at reduction index `k`:
+/// `out[s] = Σ_v residue(entry_s(vec v, k))` over vectors
+/// `v0 .. v0 + n`. `None` when any entry in the band is special.
+fn slice_sums(p: &PackedOperand, v0: usize, n: usize, k: usize, out: &mut [u64]) -> Option<()> {
+    out.fill(0);
+    let epe = p.epe();
+    for v in 0..n {
+        let elem = &p.vec(v0 + v)[k * epe..(k + 1) * epe];
+        for (slot, e) in out.iter_mut().zip(elem) {
+            *slot = add_m61(*slot, entry_residue(e)?);
+        }
+    }
+    Some(())
+}
+
+/// The shared real-mode core: seeds are already absorbed into `sum`;
+/// accumulate the per-k slice-product terms. For the full modes every
+/// `(s, t)` slice pair is issued; the truncated fast-FP32 schedule skips
+/// `s + t >= N`, mirroring the datapath's term schedule exactly.
 #[allow(clippy::too_many_arguments)]
-pub fn expected_chunk_f32(
-    a: &Matrix<f32>,
-    b: &Matrix<f32>,
-    seeds: &[f32],
-    i0: usize,
+fn expected_real_core(
+    a: &PackedOperand,
+    b: &PackedOperand,
+    mut sum: Checksum,
+    r0: usize,
     rows: usize,
-    j0: usize,
+    c0: usize,
+    cols: usize,
+    k0: usize,
+    kend: usize,
+) -> Checksum {
+    debug_assert_eq!(a.mode(), b.mode(), "operand modes disagree");
+    let epe = a.epe();
+    let truncated = a.mode() == MxuMode::M3xuFp32Fast;
+    let mut sa = [0u64; m3xu_fp::split::MAX_SLICES];
+    let mut sb = [0u64; m3xu_fp::split::MAX_SLICES];
+    for k in k0..kend {
+        if slice_sums(a, r0, rows, k, &mut sa[..epe]).is_none()
+            || slice_sums(b, c0, cols, k, &mut sb[..epe]).is_none()
+        {
+            return Checksum::UNVERIFIABLE;
+        }
+        for (s, &va) in sa[..epe].iter().enumerate() {
+            for (t, &vb) in sb[..epe].iter().enumerate() {
+                if truncated && s + t >= epe {
+                    continue;
+                }
+                sum.re = add_m61(sum.re, mul_m61(va, vb));
+            }
+        }
+    }
+    sum
+}
+
+/// Expected checksum of one real k-chunk, from the **packed** operand
+/// planes: `Σ seeds + Σ_k Σ_(s,t) S_A[s][k]·S_B[t][k]` over the tile
+/// `(r0.., c0..) × (k0..kend)`, where `S_A[s][k]` sums slice `s` of
+/// packed element `k` over the tile's A vectors (rows) and `S_B[t][k]`
+/// does the same over the B vectors (columns). `seeds` is the tile's
+/// accumulator *before* the chunk runs, row-major `rows × cols`.
+///
+/// Because the entries are the values the multiplier array consumes —
+/// quantised, alpha-folded, op-viewed — this one function covers every
+/// real f32 mode, including the truncated fast schedule.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_chunk_packed_f32(
+    a: &PackedOperand,
+    b: &PackedOperand,
+    seeds: &[f32],
+    r0: usize,
+    rows: usize,
+    c0: usize,
     cols: usize,
     k0: usize,
     kend: usize,
@@ -141,36 +236,47 @@ pub fn expected_chunk_f32(
             return Checksum::UNVERIFIABLE;
         }
     }
-    for k in k0..kend {
-        let mut sa = 0u64;
-        for i in 0..rows {
-            match residue_f32(a.get(i0 + i, k)) {
-                Some(r) => sa = add_m61(sa, r),
-                None => return Checksum::UNVERIFIABLE,
-            }
-        }
-        let mut sb = 0u64;
-        for j in 0..cols {
-            match residue_f32(b.get(k, j0 + j)) {
-                Some(r) => sb = add_m61(sb, r),
-                None => return Checksum::UNVERIFIABLE,
-            }
-        }
-        sum.re = add_m61(sum.re, mul_m61(sa, sb));
-    }
-    sum
+    expected_real_core(a, b, sum, r0, rows, c0, cols, k0, kend)
 }
 
-/// Expected checksum of one complex k-chunk; the per-k outer product uses
-/// the complex field structure of `F_p × F_p`.
+/// [`expected_chunk_packed_f32`] for the emulated-FP64 pipeline: `f64`
+/// seeds (the accumulator is `f64` end-to-end) and the full `N × N`
+/// slice cross product per element.
 #[allow(clippy::too_many_arguments)]
-pub fn expected_chunk_c32(
-    a: &Matrix<C32>,
-    b: &Matrix<C32>,
-    seeds: &[C32],
-    i0: usize,
+pub fn expected_chunk_packed_f64(
+    a: &PackedOperand,
+    b: &PackedOperand,
+    seeds: &[f64],
+    r0: usize,
     rows: usize,
-    j0: usize,
+    c0: usize,
+    cols: usize,
+    k0: usize,
+    kend: usize,
+) -> Checksum {
+    let mut sum = Checksum::ZERO;
+    for &s in &seeds[..rows * cols] {
+        sum.absorb_re(residue_f64(s));
+        if !sum.ok {
+            return Checksum::UNVERIFIABLE;
+        }
+    }
+    expected_real_core(a, b, sum, r0, rows, c0, cols, k0, kend)
+}
+
+/// Expected checksum of one complex k-chunk from the packed component
+/// planes. Each packed element holds `[re_hi, re_lo, im_hi, im_lo]`;
+/// the element's residue pair is the half sums, and the per-k outer
+/// product uses the complex field structure of `F_p × F_p` — which
+/// absorbs the 16-lane component schedule in one multiplication.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_chunk_packed_c32(
+    a: &PackedOperand,
+    b: &PackedOperand,
+    seeds: &[C32],
+    r0: usize,
+    rows: usize,
+    c0: usize,
     cols: usize,
     k0: usize,
     kend: usize,
@@ -182,21 +288,21 @@ pub fn expected_chunk_c32(
             return Checksum::UNVERIFIABLE;
         }
     }
+    let pair_sum = |p: &PackedOperand, v0: usize, n: usize, k: usize| -> Option<(u64, u64)> {
+        let mut acc = (0u64, 0u64);
+        for v in 0..n {
+            let e = &p.vec(v0 + v)[k * 4..(k + 1) * 4];
+            let re = add_m61(entry_residue(&e[0])?, entry_residue(&e[1])?);
+            let im = add_m61(entry_residue(&e[2])?, entry_residue(&e[3])?);
+            acc = (add_m61(acc.0, re), add_m61(acc.1, im));
+        }
+        Some(acc)
+    };
     for k in k0..kend {
-        let mut sa = (0u64, 0u64);
-        for i in 0..rows {
-            match residue_c32(a.get(i0 + i, k)) {
-                Some(r) => sa = (add_m61(sa.0, r.0), add_m61(sa.1, r.1)),
-                None => return Checksum::UNVERIFIABLE,
-            }
-        }
-        let mut sb = (0u64, 0u64);
-        for j in 0..cols {
-            match residue_c32(b.get(k, j0 + j)) {
-                Some(r) => sb = (add_m61(sb.0, r.0), add_m61(sb.1, r.1)),
-                None => return Checksum::UNVERIFIABLE,
-            }
-        }
+        let (sa, sb) = match (pair_sum(a, r0, rows, k), pair_sum(b, c0, cols, k)) {
+            (Some(sa), Some(sb)) => (sa, sb),
+            _ => return Checksum::UNVERIFIABLE,
+        };
         let prod = cmul_m61(sa, sb);
         sum.re = add_m61(sum.re, prod.0);
         sum.im = add_m61(sum.im, prod.1);
@@ -230,14 +336,54 @@ mod tests {
 
     #[test]
     fn specials_anywhere_poison_the_expected_side() {
+        use crate::matrix::Matrix;
         let mut a = Matrix::<f32>::random(4, 4, 1);
         let b = Matrix::<f32>::random(4, 4, 2);
         let seeds = [0.0f32; 16];
-        assert!(expected_chunk_f32(&a, &b, &seeds, 0, 4, 0, 4, 0, 4).ok);
+        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
+        let pack = |m: &Matrix<f32>| PackedOperand::pack_rows_f32(m, MxuMode::M3xuFp32);
+        assert!(expected_chunk_packed_f32(&pack(&a), &pb, &seeds, 0, 4, 0, 4, 0, 4).ok);
         a.set(2, 3, f32::NAN);
-        assert!(!expected_chunk_f32(&a, &b, &seeds, 0, 4, 0, 4, 0, 4).ok);
+        assert!(!expected_chunk_packed_f32(&pack(&a), &pb, &seeds, 0, 4, 0, 4, 0, 4).ok);
         // A NaN outside the chunk's k-range does not poison it.
-        assert!(expected_chunk_f32(&a, &b, &seeds, 0, 4, 0, 4, 0, 3).ok);
+        assert!(expected_chunk_packed_f32(&pack(&a), &pb, &seeds, 0, 4, 0, 4, 0, 3).ok);
+        // A NaN seed does, regardless of the operands.
+        let mut bad_seeds = seeds;
+        bad_seeds[5] = f32::NAN;
+        assert!(!expected_chunk_packed_f32(&pack(&b), &pb, &bad_seeds, 0, 4, 0, 4, 0, 3).ok);
+    }
+
+    #[test]
+    fn entry_residue_matches_the_value_residue_for_lossless_packs() {
+        // An FP32-mode hi/lo pair denotes the exact input value, so the
+        // entry residues must sum to the value's residue.
+        for &x in &[1.5f32, -3.25, 0.1, 123456.78, f32::MIN_POSITIVE, 0.0] {
+            let (hi, lo) = crate::buffer::decode_fp32(x);
+            let r = add_m61(entry_residue(&hi).unwrap(), entry_residue(&lo).unwrap());
+            assert_eq!(r, residue_f32(x).unwrap(), "{x}");
+        }
+    }
+
+    #[test]
+    fn packed_expected_agrees_across_pack_flavours() {
+        use crate::matrix::Matrix;
+        // alpha = 1 (bitwise) src packing must produce the same expected
+        // checksum as the plain packers — same planes, same algebra.
+        let a = Matrix::<f32>::random(4, 6, 31);
+        let b = Matrix::<f32>::random(6, 4, 32);
+        let seeds = [0.25f32; 16];
+        for mode in [MxuMode::M3xuFp32, MxuMode::M3xuFp32Fast, MxuMode::Bf16] {
+            let pa = PackedOperand::pack_rows_f32(&a, mode);
+            let pb = PackedOperand::pack_cols_f32(&b, mode);
+            let sa =
+                PackedOperand::try_pack_rows_f32_src_in(&a, 1.0, mode, Default::default()).unwrap();
+            let sb =
+                PackedOperand::try_pack_cols_f32_src_in(&b, 1.0, mode, Default::default()).unwrap();
+            let want = expected_chunk_packed_f32(&pa, &pb, &seeds, 0, 4, 0, 4, 0, 6);
+            let got = expected_chunk_packed_f32(&sa, &sb, &seeds, 0, 4, 0, 4, 0, 6);
+            assert!(want.ok);
+            assert_eq!(want, got, "{mode:?}");
+        }
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub enum M3xuError {
     /// returned on success, so callers can attribute fault telemetry even
     /// on the error path.
     FaultDetected {
+        /// The BLAS operation that failed verification (`"gemm"`,
+        /// `"syrk"`, `"herk"`, …) — a serve-layer log line can say *what*
+        /// failed, not just that something did.
+        op: &'static str,
+        /// The MXU execution mode the failed run was using.
+        mode: MxuMode,
         /// Output tiles still failing verification when the budget ran out.
         tiles: usize,
         /// Checksum mismatches (plus lost epochs) observed across all
@@ -157,14 +163,16 @@ impl fmt::Display for M3xuError {
             ),
             M3xuError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
             M3xuError::FaultDetected {
+                op,
+                mode,
                 tiles,
                 detected,
                 corrected,
                 retries,
             } => write!(
                 f,
-                "fault detected: {tiles} tile(s) unrecoverable after {retries} \
-                 retries ({detected} checksum mismatches, {corrected} corrected)"
+                "fault detected in {op} ({mode}): {tiles} tile(s) unrecoverable after \
+                 {retries} retries ({detected} checksum mismatches, {corrected} corrected)"
             ),
         }
     }

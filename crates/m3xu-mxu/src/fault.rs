@@ -20,7 +20,9 @@
 //! The plan is resolved from the environment once per context, mirroring
 //! `M3XU_THREADS`: `M3XU_FAULT_SEED` arms it (any `u64`), and
 //! `M3XU_FAULT_RATE` sets the per-product fault probability (default
-//! `1e-3`, clamped to `[0, 1]`).
+//! `1e-3`; values outside `[0, 1]`, NaN included, warn once and disarm
+//! the injector rather than arming it at some rate the operator did not
+//! ask for).
 //!
 //! [`M3xuError::FaultDetected`]: crate::error::M3xuError::FaultDetected
 
@@ -75,6 +77,15 @@ impl MmaFault {
             MmaFault::FlipBit { bit, .. } => 1u32 << (bit % 32),
             MmaFault::CorruptValue { mask, .. } => mask | 1,
         }
+    }
+
+    /// The XOR mask this fault applies to an IEEE-754 double encoding.
+    ///
+    /// The 32-bit site mask lands in the low half of the double — a
+    /// mantissa-burst corruption that always keeps the value finite and,
+    /// thanks to the guaranteed LSB, always changes it.
+    pub fn mask64(&self) -> u64 {
+        self.mask32() as u64
     }
 }
 
@@ -180,8 +191,11 @@ impl FaultPlan {
     /// Resolve a plan from `M3XU_FAULT_SEED` / `M3XU_FAULT_RATE`.
     ///
     /// `None` when `M3XU_FAULT_SEED` is absent (the production case: no
-    /// plan is even allocated). Unparseable values warn once on stderr and
-    /// fall back (no plan / default rate), mirroring `M3XU_THREADS`.
+    /// plan is even allocated). Unparseable or out-of-range values warn
+    /// once on stderr and **disarm** the injector entirely — a chaos run
+    /// configured with `M3XU_FAULT_RATE=NaN` (or `-1`, or `2.0`) must not
+    /// silently run at some other rate and report misleading fault
+    /// counters.
     pub fn from_env() -> Option<FaultPlan> {
         static WARN_SEED: Once = Once::new();
         static WARN_RATE: Once = Once::new();
@@ -206,11 +220,11 @@ impl FaultPlan {
                 _ => {
                     WARN_RATE.call_once(|| {
                         eprintln!(
-                            "m3xu: ignoring out-of-range M3XU_FAULT_RATE={raw:?} \
-                             (want a probability in [0, 1]); using 1e-3"
+                            "m3xu: disarming fault injection: out-of-range \
+                             M3XU_FAULT_RATE={raw:?} (want a probability in [0, 1])"
                         );
                     });
-                    1e-3
+                    return None;
                 }
             },
         };
@@ -309,6 +323,24 @@ pub(crate) fn corrupt_f32(v: f32, fault: &MmaFault) -> Option<f32> {
         Some(candidate)
     } else {
         Some(f32::from_bits(bits ^ 1))
+    }
+}
+
+/// Apply `fault` to a rounded `f64` product. Same contract as
+/// [`corrupt_f32`]: `None` for specials (not fault targets), otherwise a
+/// finite value numerically distinct from `v`. The 32-bit site mask lands
+/// in the mantissa's low half, so the exponent field is never touched and
+/// the defensive retarget only matters in principle.
+pub(crate) fn corrupt_f64(v: f64, fault: &MmaFault) -> Option<f64> {
+    if !v.is_finite() {
+        return None;
+    }
+    let bits = v.to_bits();
+    let candidate = f64::from_bits(bits ^ fault.mask64());
+    if candidate.is_finite() && candidate != v {
+        Some(candidate)
+    } else {
+        Some(f64::from_bits(bits ^ 1))
     }
 }
 

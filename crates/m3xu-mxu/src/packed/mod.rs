@@ -1059,7 +1059,9 @@ fn try_fast_real(
 }
 
 /// Fast path plus the `F_p` residue of the exact pre-rounding value, for
-/// the ABFT-checked drivers.
+/// the ABFT-checked drivers. The residue is of whatever term schedule the
+/// datapath ran — truncated or full — because the contribution list *is*
+/// that schedule; the expected side mirrors the same truncation rule.
 #[inline]
 fn try_fast_real_checked(
     seed: f32,
@@ -1068,8 +1070,9 @@ fn try_fast_real_checked(
     k0: usize,
     kend: usize,
     epe: usize,
+    truncated: bool,
 ) -> Option<(f32, u64)> {
-    let dot = build_fast_real(seed, av, bv, k0, kend, epe, false)?;
+    let dot = build_fast_real(seed, av, bv, k0, kend, epe, truncated)?;
     Some((dot.reduce()?, dot.residue_m61()))
 }
 
@@ -2009,18 +2012,12 @@ impl DotProductUnit {
     ) -> Checksum {
         use m3xu_fp::residue::{add_m61, residue_f32, sub_m61};
         assert_eq!(a.mode, b.mode, "operand modes disagree");
-        // The ABFT checksum identity assumes the full product schedule; the
-        // truncated fast mode routes through the unchecked executors only.
-        assert_ne!(
-            a.mode,
-            MxuMode::M3xuFp32Fast,
-            "checked MMA requires a full product schedule"
-        );
         assert_eq!(a.len, b.len, "reduction lengths disagree");
         assert!(acc.len() >= rows * cols, "accumulator scratch too short");
         let kend = (k0 + klen).min(a.len);
         let epe = a.epe;
-        let lanes_per_element = ((kend.saturating_sub(k0)) * epe * epe) as u64;
+        let truncated = a.mode == MxuMode::M3xuFp32Fast;
+        let lanes_per_element = (kend.saturating_sub(k0)) as u64 * a.mode.terms_per_mac();
         let target = fault.map(|f| (f.lane() % (rows * cols).max(1) as u64) as usize);
         let mut sum = Checksum::ZERO;
         for i in 0..rows {
@@ -2028,35 +2025,56 @@ impl DotProductUnit {
             for j in 0..cols {
                 let bv = b.vec(c0 + j);
                 let d = &mut acc[i * cols + j];
-                let (mut v, mut res) = match try_fast_real_checked(*d, av, bv, k0, kend, epe) {
-                    Some((v, r)) => {
-                        self.lane_ops += lanes_per_element;
-                        (v, Some(r))
-                    }
-                    None => {
-                        self.clear_real();
-                        self.seed_real(*d as f64);
-                        match epe {
-                            1 => {
-                                for k in k0..kend {
-                                    self.execute_lane_op(&lane(av[k], bv[k], false, Target::Real));
-                                }
-                            }
-                            2 => {
-                                for k in k0..kend {
-                                    let (ah, al) = (av[2 * k], av[2 * k + 1]);
-                                    let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
-                                    self.execute_lane_op(&lane(ah, bh, false, Target::Real));
-                                    self.execute_lane_op(&lane(al, bl, false, Target::Real));
-                                    self.execute_lane_op(&lane(ah, bl, false, Target::Real));
-                                    self.execute_lane_op(&lane(al, bh, false, Target::Real));
-                                }
-                            }
-                            _ => unreachable!("real-mode packing uses 1 or 2 entries per element"),
+                let (mut v, mut res) =
+                    match try_fast_real_checked(*d, av, bv, k0, kend, epe, truncated) {
+                        Some((v, r)) => {
+                            self.lane_ops += lanes_per_element;
+                            (v, Some(r))
                         }
-                        (self.read_real_f32(), self.real_residue_m61())
-                    }
-                };
+                        None => {
+                            self.clear_real();
+                            self.seed_real(*d as f64);
+                            match (epe, truncated) {
+                                (1, _) => {
+                                    for k in k0..kend {
+                                        self.execute_lane_op(&lane(
+                                            av[k],
+                                            bv[k],
+                                            false,
+                                            Target::Real,
+                                        ));
+                                    }
+                                }
+                                (2, false) => {
+                                    for k in k0..kend {
+                                        let (ah, al) = (av[2 * k], av[2 * k + 1]);
+                                        let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
+                                        self.execute_lane_op(&lane(ah, bh, false, Target::Real));
+                                        self.execute_lane_op(&lane(al, bl, false, Target::Real));
+                                        self.execute_lane_op(&lane(ah, bl, false, Target::Real));
+                                        self.execute_lane_op(&lane(al, bh, false, Target::Real));
+                                    }
+                                }
+                                (2, true) => {
+                                    // The truncated fast schedule: HH, HL,
+                                    // LH — the residue the register reports
+                                    // is of exactly these terms, matching
+                                    // the expected side's truncation rule.
+                                    for k in k0..kend {
+                                        let (ah, al) = (av[2 * k], av[2 * k + 1]);
+                                        let (bh, bl) = (bv[2 * k], bv[2 * k + 1]);
+                                        self.execute_lane_op(&lane(ah, bh, false, Target::Real));
+                                        self.execute_lane_op(&lane(ah, bl, false, Target::Real));
+                                        self.execute_lane_op(&lane(al, bh, false, Target::Real));
+                                    }
+                                }
+                                _ => {
+                                    unreachable!("real f32 packing uses 1 or 2 entries per element")
+                                }
+                            }
+                            (self.read_real_f32(), self.real_residue_m61())
+                        }
+                    };
                 if let (Some(f), Some(t)) = (fault, target) {
                     if i * cols + j == t {
                         if let Some(cv) = crate::fault::corrupt_f32(v, f) {
@@ -2166,6 +2184,78 @@ impl DotProductUnit {
                     (Some(re), Some(im)) => Some((re, im)),
                     _ => None,
                 });
+                *d = v;
+            }
+        }
+        sum
+    }
+
+    /// [`mma_f64_into`](DotProductUnit::mma_f64_into) with ABFT checksum
+    /// extraction and optional fault injection — the emulated-FP64
+    /// counterpart of [`mma_f32_checked_into`]. Always the Kulisch
+    /// pipeline (the emulated mode has no fast window); the residue is
+    /// drained from the same exact register state as the rounded value,
+    /// and an injected fault corrupts both together.
+    ///
+    /// [`mma_f32_checked_into`]: DotProductUnit::mma_f32_checked_into
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_f64_checked_into(
+        &mut self,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        r0: usize,
+        rows: usize,
+        c0: usize,
+        cols: usize,
+        k0: usize,
+        klen: usize,
+        acc: &mut [f64],
+        fault: Option<&MmaFault>,
+    ) -> Checksum {
+        use m3xu_fp::residue::{add_m61, residue_f64, sub_m61};
+        assert_eq!(a.mode, MxuMode::M3xuFp64Emu, "a is not FP64-slice-packed");
+        assert_eq!(b.mode, MxuMode::M3xuFp64Emu, "b is not FP64-slice-packed");
+        assert_eq!(a.len, b.len, "reduction lengths disagree");
+        assert!(acc.len() >= rows * cols, "accumulator scratch too short");
+        let kend = (k0 + klen).min(a.len);
+        let epe = a.epe;
+        let target = fault.map(|f| (f.lane() % (rows * cols).max(1) as u64) as usize);
+        let mut sum = Checksum::ZERO;
+        for i in 0..rows {
+            let av = a.vec(r0 + i);
+            for j in 0..cols {
+                let bv = b.vec(c0 + j);
+                let d = &mut acc[i * cols + j];
+                self.clear_real();
+                self.seed_real(*d);
+                for k in k0..kend {
+                    for si in 0..epe {
+                        for sj in 0..epe {
+                            self.execute_lane_op(&lane(
+                                av[epe * k + si],
+                                bv[epe * k + sj],
+                                false,
+                                Target::Real,
+                            ));
+                        }
+                    }
+                }
+                let mut v = self.read_real_f64();
+                let mut res = self.real_residue_m61();
+                if let (Some(f), Some(t)) = (fault, target) {
+                    if i * cols + j == t {
+                        if let Some(cv) = crate::fault::corrupt_f64(v, f) {
+                            res = match (res, residue_f64(v), residue_f64(cv)) {
+                                (Some(r), Some(old), Some(new)) => {
+                                    Some(add_m61(sub_m61(r, old), new))
+                                }
+                                _ => None,
+                            };
+                            v = cv;
+                        }
+                    }
+                }
+                sum.absorb_re(res);
                 *d = v;
             }
         }
@@ -2707,36 +2797,75 @@ mod tests {
 
     #[test]
     fn checked_mma_f32_is_bit_identical_and_checksum_verifies() {
-        use crate::abft::expected_chunk_f32;
-        // Fast-path inputs plus a wide-exponent-spread case that forces
-        // the Kulisch fallback; both must verify.
-        for (sa, scale) in [(21u64, 1.0f32), (22, 1.0e30)] {
-            let mut a = Matrix::<f32>::random(8, 2, sa);
-            if scale != 1.0 {
-                a.set(0, 0, a.get(0, 0) * scale);
-                a.set(0, 1, a.get(0, 1) / scale);
+        use crate::abft::expected_chunk_packed_f32;
+        // Every real f32 mode — including the truncated fast schedule and
+        // the narrow formats — plus a wide-exponent-spread case that
+        // forces the Kulisch fallback; all must verify.
+        for mode in [
+            MxuMode::M3xuFp32,
+            MxuMode::M3xuFp32Fast,
+            MxuMode::Tf32,
+            MxuMode::Fp16,
+            MxuMode::Bf16,
+        ] {
+            for (sa, scale) in [(21u64, 1.0f32), (22, 1.0e30)] {
+                let mut a = Matrix::<f32>::random(8, 2, sa);
+                if scale != 1.0 {
+                    a.set(0, 0, a.get(0, 0) * scale);
+                    a.set(0, 1, a.get(0, 1) / scale);
+                }
+                let b = Matrix::<f32>::random(2, 8, sa + 1);
+                let c = Matrix::<f32>::random(8, 8, sa + 2);
+                let pa = PackedOperand::pack_rows_f32(&a, mode);
+                let pb = PackedOperand::pack_cols_f32(&b, mode);
+                let mut dpu = DotProductUnit::new();
+                let mut plain: Vec<f32> = c.as_slice().to_vec();
+                dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut plain);
+                let mut checked: Vec<f32> = c.as_slice().to_vec();
+                let expected = expected_chunk_packed_f32(&pa, &pb, &checked, 0, 8, 0, 8, 0, 2);
+                let computed =
+                    dpu.mma_f32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut checked, None);
+                for (x, y) in checked.iter().zip(&plain) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{mode:?}");
+                }
+                // The scaled case overflows the narrow formats to Inf at
+                // quantisation — those chunks are correctly unverifiable;
+                // a special-free band must always verify.
+                if scale == 1.0 {
+                    assert!(expected.ok, "{mode:?}: finite inputs must be verifiable");
+                }
+                assert!(
+                    expected.matches(&computed),
+                    "{mode:?}: honest run must verify"
+                );
             }
-            let b = Matrix::<f32>::random(2, 8, sa + 1);
-            let c = Matrix::<f32>::random(8, 8, sa + 2);
-            let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
-            let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
-            let mut dpu = DotProductUnit::new();
-            let mut plain: Vec<f32> = c.as_slice().to_vec();
-            dpu.mma_f32_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut plain);
-            let mut checked: Vec<f32> = c.as_slice().to_vec();
-            let expected = expected_chunk_f32(&a, &b, &checked, 0, 8, 0, 8, 0, 2);
-            let computed = dpu.mma_f32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut checked, None);
-            for (x, y) in checked.iter().zip(&plain) {
-                assert_eq!(x.to_bits(), y.to_bits());
-            }
-            assert!(expected.ok, "finite inputs must be verifiable");
-            assert!(expected.matches(&computed), "honest run must verify");
         }
     }
 
     #[test]
+    fn checked_mma_f64_is_bit_identical_and_checksum_verifies() {
+        use crate::abft::expected_chunk_packed_f64;
+        let a = Matrix::from_fn(8, 2, |i, j| ((i * 2 + j) as f64 - 7.5) / 3.0);
+        let b = Matrix::from_fn(2, 8, |i, j| ((i * 8 + j) as f64 - 6.5) / 7.0);
+        let c = Matrix::from_fn(8, 8, |i, j| ((i * 8 + j) as f64 - 31.5) / 11.0);
+        let pa = PackedOperand::try_pack_rows_f64(&a, MxuMode::M3xuFp64Emu).unwrap();
+        let pb = PackedOperand::try_pack_cols_f64(&b, MxuMode::M3xuFp64Emu).unwrap();
+        let mut dpu = DotProductUnit::new();
+        let mut plain: Vec<f64> = c.as_slice().to_vec();
+        dpu.mma_f64_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut plain);
+        let mut checked: Vec<f64> = c.as_slice().to_vec();
+        let expected = expected_chunk_packed_f64(&pa, &pb, &checked, 0, 8, 0, 8, 0, 2);
+        let computed = dpu.mma_f64_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut checked, None);
+        for (x, y) in checked.iter().zip(&plain) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(expected.ok, "finite inputs must be verifiable");
+        assert!(expected.matches(&computed), "honest run must verify");
+    }
+
+    #[test]
     fn checked_mma_c32_is_bit_identical_and_checksum_verifies() {
-        use crate::abft::expected_chunk_c32;
+        use crate::abft::expected_chunk_packed_c32;
         let a = Matrix::random_c32(8, 1, 61);
         let b = Matrix::random_c32(1, 8, 62);
         let c = Matrix::random_c32(8, 8, 63);
@@ -2746,7 +2875,7 @@ mod tests {
         let mut plain: Vec<Complex<f32>> = c.as_slice().to_vec();
         dpu.mma_c32_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut plain);
         let mut checked: Vec<Complex<f32>> = c.as_slice().to_vec();
-        let expected = expected_chunk_c32(&a, &b, &checked, 0, 8, 0, 8, 0, 1);
+        let expected = expected_chunk_packed_c32(&pa, &pb, &checked, 0, 8, 0, 8, 0, 1);
         let computed = dpu.mma_c32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut checked, None);
         for (x, y) in checked.iter().zip(&plain) {
             assert_eq!(x.re.to_bits(), y.re.to_bits());
@@ -2757,14 +2886,10 @@ mod tests {
 
     #[test]
     fn injected_faults_are_always_detected() {
-        use crate::abft::{expected_chunk_c32, expected_chunk_f32};
+        use crate::abft::{
+            expected_chunk_packed_c32, expected_chunk_packed_f32, expected_chunk_packed_f64,
+        };
         use crate::fault::MmaFault;
-        let a = Matrix::<f32>::random(8, 2, 71);
-        let b = Matrix::<f32>::random(2, 8, 72);
-        let c = Matrix::<f32>::random(8, 8, 73);
-        let pa = PackedOperand::pack_rows_f32(&a, MxuMode::M3xuFp32);
-        let pb = PackedOperand::pack_cols_f32(&b, MxuMode::M3xuFp32);
-        let mut dpu = DotProductUnit::new();
         let faults = [
             MmaFault::FlipBit { lane: 5, bit: 31 },
             MmaFault::FlipBit { lane: 63, bit: 0 },
@@ -2778,13 +2903,51 @@ mod tests {
                 mask: 0x7f80_0000, // would create a special: retargeted
             },
         ];
-        for f in &faults {
-            let mut acc: Vec<f32> = c.as_slice().to_vec();
-            let expected = expected_chunk_f32(&a, &b, &acc, 0, 8, 0, 8, 0, 2);
-            let computed = dpu.mma_f32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc, Some(f));
-            assert!(!expected.matches(&computed), "fault {f:?} must be detected");
+
+        // Every real f32 mode, including the truncated fast schedule.
+        for mode in [
+            MxuMode::M3xuFp32,
+            MxuMode::M3xuFp32Fast,
+            MxuMode::Tf32,
+            MxuMode::Fp16,
+            MxuMode::Bf16,
+        ] {
+            let a = Matrix::<f32>::random(8, 2, 71);
+            let b = Matrix::<f32>::random(2, 8, 72);
+            let c = Matrix::<f32>::random(8, 8, 73);
+            let pa = PackedOperand::pack_rows_f32(&a, mode);
+            let pb = PackedOperand::pack_cols_f32(&b, mode);
+            let mut dpu = DotProductUnit::new();
+            for f in &faults {
+                let mut acc: Vec<f32> = c.as_slice().to_vec();
+                let expected = expected_chunk_packed_f32(&pa, &pb, &acc, 0, 8, 0, 8, 0, 2);
+                let computed =
+                    dpu.mma_f32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc, Some(f));
+                assert!(
+                    !expected.matches(&computed),
+                    "{mode:?}: fault {f:?} must be detected"
+                );
+            }
         }
 
+        // Emulated FP64.
+        let a = Matrix::from_fn(8, 2, |i, j| ((i * 2 + j) as f64 - 7.5) / 3.0);
+        let b = Matrix::from_fn(2, 8, |i, j| ((i * 8 + j) as f64 - 6.5) / 7.0);
+        let c = Matrix::from_fn(8, 8, |i, j| ((i * 8 + j) as f64 - 31.5) / 11.0);
+        let pa = PackedOperand::try_pack_rows_f64(&a, MxuMode::M3xuFp64Emu).unwrap();
+        let pb = PackedOperand::try_pack_cols_f64(&b, MxuMode::M3xuFp64Emu).unwrap();
+        let mut dpu = DotProductUnit::new();
+        for f in &faults {
+            let mut acc: Vec<f64> = c.as_slice().to_vec();
+            let expected = expected_chunk_packed_f64(&pa, &pb, &acc, 0, 8, 0, 8, 0, 2);
+            let computed = dpu.mma_f64_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 2, &mut acc, Some(f));
+            assert!(
+                !expected.matches(&computed),
+                "f64 fault {f:?} must be detected"
+            );
+        }
+
+        // FP32C.
         let a = Matrix::random_c32(8, 1, 81);
         let b = Matrix::random_c32(1, 8, 82);
         let c = Matrix::random_c32(8, 8, 83);
@@ -2792,7 +2955,7 @@ mod tests {
         let pb = PackedOperand::pack_cols_c32(&b);
         for f in &faults {
             let mut acc: Vec<Complex<f32>> = c.as_slice().to_vec();
-            let expected = expected_chunk_c32(&a, &b, &acc, 0, 8, 0, 8, 0, 1);
+            let expected = expected_chunk_packed_c32(&pa, &pb, &acc, 0, 8, 0, 8, 0, 1);
             let computed = dpu.mma_c32_checked_into(&pa, &pb, 0, 8, 0, 8, 0, 1, &mut acc, Some(f));
             assert!(
                 !expected.matches(&computed),

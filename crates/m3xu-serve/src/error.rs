@@ -57,6 +57,18 @@ pub enum ServeError {
         /// The OS error, stringified.
         reason: String,
     },
+    /// The request panicked the worker executing it (a *poison* request)
+    /// on every quarantined re-execution, so it was failed alone. The
+    /// scheduler catches the panic, isolates the request (it re-runs
+    /// serially, never pooled with batch-mates), and resolves its ticket
+    /// with this error after the attempt budget — without advancing the
+    /// tenant's circuit breaker, which tracks hardware fault health, not
+    /// request toxicity.
+    Quarantined {
+        /// Executions that ended in a panic before the request was
+        /// failed.
+        attempts: u32,
+    },
     /// The kernel rejected the request at execution time; the inner
     /// [`M3xuError`] is exactly what a direct context call would return.
     Exec(M3xuError),
@@ -86,6 +98,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::SpawnFailed { reason } => {
                 write!(f, "failed to spawn a shard scheduler thread: {reason}")
+            }
+            ServeError::Quarantined { attempts } => {
+                write!(
+                    f,
+                    "poison request quarantined after {attempts} panicking execution attempt(s)"
+                )
             }
             ServeError::Exec(e) => write!(f, "execution rejected: {e}"),
         }
@@ -138,6 +156,33 @@ mod tests {
         }
         .to_string()
         .contains("out of threads"));
+        assert!(ServeError::Quarantined { attempts: 3 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn fault_detected_carries_op_and_mode_through_the_conversion() {
+        use m3xu_mxu::modes::MxuMode;
+        let inner = M3xuError::FaultDetected {
+            op: "syrk",
+            mode: MxuMode::M3xuFp32,
+            tiles: 2,
+            detected: 5,
+            corrected: 3,
+            retries: 7,
+        };
+        let e = ServeError::from(inner.clone());
+        match &e {
+            ServeError::Exec(M3xuError::FaultDetected { op, mode, .. }) => {
+                assert_eq!(*op, "syrk");
+                assert_eq!(*mode, MxuMode::M3xuFp32);
+            }
+            other => panic!("expected Exec(FaultDetected), got {other:?}"),
+        }
+        // The display names the failing op so a serve log line is
+        // attributable without structured access.
+        assert!(e.to_string().contains("syrk"));
     }
 
     #[test]

@@ -49,14 +49,27 @@
 //!   tenants these reproduce the summed per-shard [`ExecStats`] totals —
 //!   flat and per mode — at every shard count.
 //! * **fault tolerance** — arming [`ServeConfig::fault_plan`] routes
-//!   FP32/FP32C GEMMs through the ABFT-checked self-healing driver.
-//!   Requests that still fail with `FaultDetected` are retried with
-//!   exponential backoff ([`ServeConfig::max_retries`]); tenants with a
-//!   failure streak trip a per-tenant circuit breaker
-//!   ([`ServeError::BreakerOpen`] at admission); a service-wide streak
-//!   switches scheduling into a degraded serial mode until a request
-//!   succeeds. Fault telemetry lands in both [`TenantStats`] and the
-//!   shards' [`ExecStats`].
+//!   *every* submittable operation — GEMM across the whole precision
+//!   dial (`Fp16` through `Fp64Emulated`), CGEMM, the op-GEMMs, and the
+//!   triangular BLAS-3 surface (SYRK/HERK/SYMM/HEMM) — through its
+//!   ABFT-checked self-healing driver. Requests that still fail with
+//!   `FaultDetected` are retried with exponential backoff
+//!   ([`ServeConfig::max_retries`]), then *hedged* once on a sibling
+//!   shard's context before the error (which names the failing op and
+//!   mode) reaches the client; tenants with a failure streak trip a
+//!   per-tenant circuit breaker ([`ServeError::BreakerOpen`] at
+//!   admission); a service-wide streak switches scheduling into a
+//!   degraded serial mode until a request succeeds. Fault telemetry
+//!   lands in both [`TenantStats`] and the shards' [`ExecStats`].
+//! * **self-healing shards** — a watchdog thread detects a shard
+//!   scheduler that died outside shutdown and respawns it on the same
+//!   context; the shard's queue lives in shared state, so queued
+//!   requests survive and the per-tenant conservation law (`submitted ==
+//!   completed + rejected + deadline_missed + exec_errors`) holds across
+//!   the death. A *poison* request — one that panics its worker — is
+//!   caught, re-run alone, and after a bounded number of attempts failed
+//!   with [`ServeError::Quarantined`] without tripping its tenant's
+//!   breaker.
 //!
 //! ```
 //! use m3xu_serve::{M3xuServe, ServeConfig, SubmitOpts};
@@ -110,11 +123,14 @@ use crate::queue::{Request, ShardSet, Work};
 use crate::scheduler::{CostModel, ExecPolicy, ShardCore, SharedSched};
 use crate::tenant::TenantRegistry;
 use m3xu_mxu::matrix::Matrix;
-use std::sync::atomic::AtomicU32;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+#[doc(hidden)]
+pub use queue::ChaosKind;
 
 /// When does a shard fold a drained batch of small requests into one
 /// worker-pool epoch instead of running them back to back on its own
@@ -165,9 +181,10 @@ pub struct ServeConfig {
     pub rate_limit: Option<RateLimit>,
     /// Fault-injection plan armed on every shard's context. `None` (the
     /// default) keeps the production drivers: zero checksum work,
-    /// bit-identical results. Arming a plan routes FP32/FP32C GEMMs
-    /// through the ABFT-checked self-healing driver and activates the
-    /// retry / breaker / degraded-mode machinery below.
+    /// bit-identical results. Arming a plan routes every GEMM precision
+    /// and the whole BLAS-3 surface through the ABFT-checked
+    /// self-healing drivers and activates the retry / hedging / breaker
+    /// / degraded-mode machinery below.
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Extra executions a request is granted after failing with
     /// `FaultDetected` (exponential backoff between attempts).
@@ -254,7 +271,71 @@ pub struct M3xuServe {
     set: Arc<ShardSet>,
     registry: TenantRegistry,
     default_limit: Option<RateLimit>,
-    schedulers: Vec<JoinHandle<()>>,
+    /// One handle per shard, shared with the watchdog (which replaces a
+    /// dead shard's handle with its respawn's).
+    schedulers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    watchdog: Option<JoinHandle<()>>,
+    /// Shard scheduler threads the watchdog has respawned so far.
+    respawns: Arc<AtomicU64>,
+}
+
+/// How often the watchdog polls shard-scheduler liveness. Short enough
+/// that a killed shard's queued requests stall only momentarily; long
+/// enough that an idle service costs nothing measurable.
+const WATCHDOG_PERIOD: Duration = Duration::from_millis(2);
+
+/// Spawn (or respawn) the scheduler thread for shard `index`.
+fn spawn_shard(
+    index: usize,
+    ctx: Arc<M3xuContext>,
+    shared: Arc<SharedSched>,
+) -> std::io::Result<JoinHandle<()>> {
+    let cost = CostModel::for_context(&ctx);
+    let core = ShardCore {
+        index,
+        ctx,
+        shared,
+        cost,
+    };
+    std::thread::Builder::new()
+        .name(format!("m3xu-serve-shard{index}"))
+        .spawn(move || core.run_loop())
+}
+
+/// The watchdog thread body: poll every shard scheduler's liveness and
+/// respawn any that died outside shutdown. The shard's queue lives in
+/// the shared [`ShardSet`], untouched by the death, so the respawned
+/// scheduler resumes exactly where its predecessor stopped — including
+/// any requests the dying thread re-enqueued on its way down.
+fn watchdog_loop(
+    set: Arc<ShardSet>,
+    shared: Arc<SharedSched>,
+    contexts: Vec<Arc<M3xuContext>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    respawns: Arc<AtomicU64>,
+) {
+    loop {
+        std::thread::sleep(WATCHDOG_PERIOD);
+        if set.is_shutdown() {
+            return;
+        }
+        let mut hs = handles.lock().unwrap_or_else(|e| e.into_inner());
+        for index in 0..hs.len() {
+            if !hs[index].is_finished() || set.is_shutdown() {
+                continue;
+            }
+            // On spawn failure (resource pressure) the dead handle stays
+            // in place and the next tick retries.
+            if let Ok(fresh) = spawn_shard(index, Arc::clone(&contexts[index]), Arc::clone(&shared))
+            {
+                // Reap the dead thread (dropping its panic payload) only
+                // after its replacement is running.
+                let dead = std::mem::replace(&mut hs[index], fresh);
+                let _ = dead.join();
+                respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// FNV-1a over the tenant name — the shard router. Stable across runs,
@@ -289,6 +370,7 @@ impl M3xuServe {
         let set = Arc::new(ShardSet::new(shards, config.queue_capacity));
         let shared = Arc::new(SharedSched {
             set: Arc::clone(&set),
+            contexts: contexts.clone(),
             policy: ExecPolicy {
                 max_retries: config.max_retries,
                 retry_backoff: config.retry_backoff,
@@ -302,36 +384,50 @@ impl M3xuServe {
             fault_streak: AtomicU32::new(0),
         });
         let mut schedulers = Vec::with_capacity(shards);
+        // Tear down cleanly on any spawn failure: wake and join whatever
+        // already started.
+        let teardown = |set: &ShardSet, schedulers: Vec<JoinHandle<()>>, e: std::io::Error| {
+            set.shutdown();
+            for h in schedulers {
+                let _ = h.join();
+            }
+            ServeError::SpawnFailed {
+                reason: e.to_string(),
+            }
+        };
         for (index, ctx) in contexts.iter().enumerate() {
-            let core = ShardCore {
-                index,
-                ctx: Arc::clone(ctx),
-                shared: Arc::clone(&shared),
-                cost: CostModel::for_context(ctx),
-            };
-            let spawned = std::thread::Builder::new()
-                .name(format!("m3xu-serve-shard{index}"))
-                .spawn(move || core.run_loop());
-            match spawned {
+            match spawn_shard(index, Arc::clone(ctx), Arc::clone(&shared)) {
                 Ok(h) => schedulers.push(h),
-                Err(e) => {
-                    // Tear down cleanly: wake and join whatever started.
-                    set.shutdown();
-                    for h in schedulers {
-                        let _ = h.join();
-                    }
-                    return Err(ServeError::SpawnFailed {
-                        reason: e.to_string(),
-                    });
-                }
+                Err(e) => return Err(teardown(&set, schedulers, e)),
             }
         }
+        let schedulers = Arc::new(Mutex::new(schedulers));
+        let respawns = Arc::new(AtomicU64::new(0));
+        let watchdog = {
+            let set2 = Arc::clone(&set);
+            let shared2 = Arc::clone(&shared);
+            let contexts2 = contexts.clone();
+            let handles2 = Arc::clone(&schedulers);
+            let respawns2 = Arc::clone(&respawns);
+            std::thread::Builder::new()
+                .name("m3xu-serve-watchdog".into())
+                .spawn(move || watchdog_loop(set2, shared2, contexts2, handles2, respawns2))
+        };
+        let watchdog = match watchdog {
+            Ok(h) => h,
+            Err(e) => {
+                let hs = std::mem::take(&mut *schedulers.lock().unwrap_or_else(|e| e.into_inner()));
+                return Err(teardown(&set, hs, e));
+            }
+        };
         Ok(M3xuServe {
             contexts,
             set,
             registry: TenantRegistry::default(),
             default_limit: config.rate_limit,
             schedulers,
+            watchdog: Some(watchdog),
+            respawns,
         })
     }
 
@@ -384,6 +480,7 @@ impl M3xuServe {
             enqueued: now,
             deadline: opts.deadline.map(|d| now + d),
             priority: opts.priority,
+            poison_attempts: 0,
             work,
         };
         match self.set.push(shard, req, blocking) {
@@ -1157,6 +1254,22 @@ impl M3xuServe {
         self.submit_fft(tenant, x, opts)?.wait()
     }
 
+    /// Test-only chaos hook: submit a request that misbehaves on the
+    /// shard executing it ([`ChaosKind::Panic`] exercises the poison
+    /// quarantine, [`ChaosKind::KillShard`] the watchdog respawn). The
+    /// chaos suites are the only intended caller.
+    #[doc(hidden)]
+    pub fn inject_chaos(
+        &self,
+        tenant: &str,
+        kind: ChaosKind,
+        opts: SubmitOpts,
+    ) -> Result<Ticket<()>, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.push(tenant, opts, Work::Chaos { kind, reply }, false)?;
+        Ok(Ticket { rx })
+    }
+
     /// Stop the service: flags shutdown, wakes every submitter parked in
     /// a blocking `submit_*` call (they fail with
     /// [`ServeError::ShuttingDown`]), and lets each shard sweep its
@@ -1191,6 +1304,13 @@ impl M3xuServe {
     /// Number of shards (contexts / queues / scheduler threads).
     pub fn shard_count(&self) -> usize {
         self.contexts.len()
+    }
+
+    /// Shard scheduler threads the watchdog has respawned after dying
+    /// outside shutdown. `0` on a healthy service; the self-healing
+    /// suites use it to confirm a deliberate kill was repaired.
+    pub fn respawn_count(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
     }
 
     /// One shard's cumulative [`ExecStats`]; `None` past the shard count.
@@ -1247,7 +1367,12 @@ impl M3xuServe {
 impl Drop for M3xuServe {
     fn drop(&mut self) {
         self.set.shutdown();
-        for h in self.schedulers.drain(..) {
+        // Join the watchdog first so no respawn races the final joins.
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        let mut hs = self.schedulers.lock().unwrap_or_else(|e| e.into_inner());
+        for h in hs.drain(..) {
             let _ = h.join();
         }
     }

@@ -58,6 +58,22 @@ impl Priority {
     }
 }
 
+/// Test-only misbehaviour injected through `M3xuServe::inject_chaos`,
+/// exercising the scheduler's self-healing paths from outside the crate.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Panic on every execution attempt — a *poison* request. The
+    /// quarantine guard catches the panic, re-runs the request alone, and
+    /// finally fails it with [`ServeError::Quarantined`] without touching
+    /// the tenant's circuit breaker.
+    Panic,
+    /// Settle the request successfully, then kill the shard scheduler
+    /// thread executing it — the watchdog must respawn the scheduler with
+    /// the shard's queue intact.
+    KillShard,
+}
+
 /// One queued operation, with the reply channel its [`Ticket`](crate::Ticket)
 /// listens on. Reply senders are rendezvous-free (`sync_channel(1)`): the
 /// single reply never blocks the worker.
@@ -225,6 +241,15 @@ pub(crate) enum Work {
         /// Reply channel.
         reply: SyncSender<Result<GemmResult<C32>, ServeError>>,
     },
+    /// Test-only chaos hook (see [`ChaosKind`]). Classified as "large"
+    /// (`usize::MAX` output tiles) so it always executes serially on the
+    /// scheduler thread itself, never inside a pooled epoch.
+    Chaos {
+        /// The misbehaviour to perform.
+        kind: ChaosKind,
+        /// Reply channel.
+        reply: SyncSender<Result<(), ServeError>>,
+    },
 }
 
 impl Work {
@@ -264,6 +289,7 @@ impl Work {
             Work::HerkC32 { op_a, a, .. } => tri_grid(op_a.dims(a.rows(), a.cols()).0),
             Work::SymmF32 { c, .. } => grid(c.rows(), c.cols()),
             Work::HemmC32 { c, .. } => grid(c.rows(), c.cols()),
+            Work::Chaos { .. } => usize::MAX,
         }
     }
 
@@ -280,6 +306,7 @@ impl Work {
             Work::HerkC32 { reply, .. } => drop(reply.try_send(Err(err))),
             Work::SymmF32 { reply, .. } => drop(reply.try_send(Err(err))),
             Work::HemmC32 { reply, .. } => drop(reply.try_send(Err(err))),
+            Work::Chaos { reply, .. } => drop(reply.try_send(Err(err))),
         }
     }
 }
@@ -296,6 +323,12 @@ pub(crate) struct Request {
     pub deadline: Option<Instant>,
     /// Queue-ordering class.
     pub priority: Priority,
+    /// Executions of this request that ended in a caught panic (the
+    /// scheduler's quarantine guard). A suspect (`> 0`) always re-runs
+    /// serially — alone, never pooled with batch-mates — and at the
+    /// quarantine threshold the request is failed with
+    /// [`ServeError::Quarantined`].
+    pub poison_attempts: u32,
     /// The operation itself.
     pub work: Work,
 }
@@ -505,6 +538,16 @@ impl ShardSet {
         self.ready.notify_all();
     }
 
+    /// Whether service shutdown has been flagged — the watchdog reads
+    /// this to distinguish a shard scheduler that exited *because* of
+    /// shutdown (leave it) from one that died mid-service (respawn it).
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.signal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown
+    }
+
     /// Current generation — read *before* scanning the queues, so a push
     /// racing the scan is caught by [`ShardSet::wait_for_work`] returning
     /// immediately.
@@ -580,6 +623,7 @@ mod tests {
             enqueued: Instant::now(),
             deadline: None,
             priority,
+            poison_attempts: 0,
             work: Work::GemmF32 {
                 precision: GemmPrecision::M3xuFp32,
                 a: Matrix::zeros(n, n),

@@ -60,10 +60,14 @@
 //!
 //! # Fault handling
 //!
-//! When a shard's context carries an armed fault plan, execution can fail
-//! with [`M3xuError::FaultDetected`] — the ABFT driver detected
-//! corruption it could not repair within its per-chunk retry budget. The
-//! scheduler owns the next three lines of defence:
+//! When a shard's context carries an armed fault plan, every submittable
+//! operation — GEMM at every precision of the dial (including emulated
+//! FP64), CGEMM, the op-GEMMs, and the triangular BLAS-3 surface
+//! (SYRK/HERK/SYMM/HEMM) — routes through its ABFT-checked driver, and
+//! execution can fail with [`M3xuError::FaultDetected`] (now carrying
+//! the failing op and mode): the driver detected corruption it could not
+//! repair within its per-chunk retry budget. The scheduler owns the next
+//! lines of defence:
 //!
 //! * **bounded retry** — each request is re-executed up to
 //!   [`ExecPolicy::max_retries`] more times with exponential backoff
@@ -72,6 +76,12 @@
 //!   replaying it. Time burned on failed attempts and backoff sleeps is
 //!   kept out of the tenant's `exec_ns` (which charges only the final
 //!   attempt) and surfaced as `retry_ns`.
+//! * **hedged re-dispatch** — a request that is still ABFT-unrecoverable
+//!   after its home shard's retry budget is executed once more on a
+//!   *sibling* shard's context (a different pool, different fault salt)
+//!   before `FaultDetected` is surfaced to the client. The hedged work
+//!   lands in the sibling's `ExecStats` and the tenant's counters alike,
+//!   so reconciliation still holds.
 //! * **circuit breaker** — a tenant whose requests keep failing with
 //!   `FaultDetected` (a streak of [`ExecPolicy::breaker_threshold`])
 //!   trips its breaker: subsequent submissions are shed at admission with
@@ -86,10 +96,32 @@
 //! Every invocation's [`FaultSummary`] — including those of failed
 //! attempts, recovered from the error's fields — is absorbed into the
 //! tenant account verbatim, so summed tenant fault counters reproduce the
-//! summed shard `ExecStats` fault counters exactly for GEMM/CGEMM
-//! traffic. (FFT-internal faults are visible in the context's counters
-//! only: the FFT's CGEMM decomposition is checked and retried, but its
-//! per-call summaries are not surfaced through the FFT return type.)
+//! summed shard `ExecStats` fault counters exactly for GEMM/CGEMM and
+//! BLAS-3 traffic. (FFT-internal faults are visible in the context's
+//! counters only: the FFT's CGEMM decomposition is checked and retried,
+//! but its per-call summaries are not surfaced through the FFT return
+//! type.)
+//!
+//! # Poison quarantine and the shard watchdog
+//!
+//! Two failure modes live *above* the checksum algebra:
+//!
+//! * A **poison request** panics the worker executing it. Every
+//!   execution runs under a quarantine guard ([`catch_unwind`]); a caught
+//!   panic marks the request suspect, and suspects re-run *alone* —
+//!   serially on the scheduler thread, never pooled with batch-mates.
+//!   After [`QUARANTINE_ATTEMPTS`] panicking executions the request fails
+//!   with [`ServeError::Quarantined`], recorded as an `exec_error` so the
+//!   conservation law holds — and the tenant's circuit breaker is *not*
+//!   advanced (it tracks hardware fault health, not request toxicity).
+//! * A **dead shard scheduler** (a defect, or the chaos suite's
+//!   deliberate kill) is detected by the service's watchdog thread, which
+//!   respawns the scheduler on the same context. The shard's queue lives
+//!   in the shared [`ShardSet`], so queued requests survive the death; a
+//!   dying scheduler re-enqueues the drained-but-undispatched remainder
+//!   of its batch on the way down (see [`Undispatched`]), so nothing is
+//!   silently dropped and `submitted == completed + rejected +
+//!   deadline_missed + exec_errors` survives the kill.
 //!
 //! # Deadlines
 //!
@@ -105,7 +137,7 @@
 //! completion time.
 
 use crate::error::ServeError;
-use crate::queue::{Request, ShardSet, Wake, Work};
+use crate::queue::{ChaosKind, Request, ShardSet, Wake, Work};
 use crate::BatchPolicy;
 use m3xu_kernels::blas3::Side;
 use m3xu_kernels::context::M3xuContext;
@@ -113,7 +145,9 @@ use m3xu_kernels::gemm::GemmResult;
 use m3xu_kernels::FaultSummary;
 use m3xu_mxu::error::M3xuError;
 use m3xu_mxu::modes::MxuMode;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -139,6 +173,11 @@ pub(crate) struct ExecPolicy {
 /// State shared by every shard scheduler and the service handle.
 pub(crate) struct SharedSched {
     pub set: Arc<ShardSet>,
+    /// Every shard's execution context, indexed by shard — the hedged
+    /// re-dispatch path executes an ABFT-unrecoverable request on a
+    /// sibling's context, and the watchdog respawns a dead scheduler on
+    /// its original one.
+    pub contexts: Vec<Arc<M3xuContext>>,
     pub policy: ExecPolicy,
     pub batching: BatchPolicy,
     pub max_batch: usize,
@@ -147,6 +186,17 @@ pub(crate) struct SharedSched {
     /// with `FaultDetected`; any success resets it.
     pub fault_streak: AtomicU32,
 }
+
+/// Panicking executions a poison request is granted (the first plus
+/// quarantined re-runs) before it is failed alone with
+/// [`ServeError::Quarantined`].
+pub(crate) const QUARANTINE_ATTEMPTS: u32 = 3;
+
+/// Panic payload of [`ChaosKind::KillShard`]: the quarantine guard lets
+/// it pass through ([`resume_unwind`]) so it kills the scheduler thread
+/// instead of marking the request poison — the watchdog test's stand-in
+/// for a scheduler-thread defect.
+struct ShardKill;
 
 /// Output-tile bound for the cache-residency pooling rule. A request at
 /// or under this many output tiles (a 128x128 FP32 output is 256; its
@@ -298,7 +348,9 @@ impl ShardCore {
     /// small requests either as one pool epoch (when the batching policy
     /// says it wins) or serially inline, and the large ones one at a time
     /// sharded across the pool. In degraded mode (fault streak at or past
-    /// the threshold) everything runs serially.
+    /// the threshold) everything runs serially. Poison suspects
+    /// (`poison_attempts > 0`) are never pooled: they join the serial
+    /// list so a re-panic cannot take a batch epoch down with it.
     fn schedule(&self, batch: Vec<Request>) {
         let shared = &*self.shared;
         let mut small = Vec::new();
@@ -313,7 +365,7 @@ impl ShardCore {
                     continue;
                 }
             }
-            if req.work.output_tiles() <= shared.shard_tiles {
+            if req.poison_attempts == 0 && req.work.output_tiles() <= shared.shard_tiles {
                 small.push(req);
             } else {
                 large.push(req);
@@ -328,15 +380,86 @@ impl ShardCore {
                 BatchPolicy::Adaptive => self.cost.batch_wins(&small),
             };
         if pool_small {
-            self.ctx
-                .run_tasks(small.len(), |i| execute(self, &small[i]));
+            // Each pool task runs under its own quarantine guard, so a
+            // poison batch-mate marks only itself (a flag per index) and
+            // never unwinds a pool worker.
+            let poisoned: Vec<AtomicBool> = small.iter().map(|_| AtomicBool::new(false)).collect();
+            self.ctx.run_tasks(small.len(), |i| {
+                if matches!(execute(self, &small[i]), Disposition::Poisoned) {
+                    poisoned[i].store(true, Ordering::Relaxed);
+                }
+            });
+            for (req, flag) in small.into_iter().zip(&poisoned) {
+                if flag.load(Ordering::Relaxed) {
+                    self.handle_poison(req);
+                }
+            }
         } else {
-            for req in &small {
-                execute(self, req);
+            self.run_serial(small);
+        }
+        self.run_serial(large);
+    }
+
+    /// Run `reqs` one at a time on this scheduler thread. The pending
+    /// remainder is held in an [`Undispatched`] guard: if a chaos kill
+    /// (or any future defect) unwinds this thread mid-batch, the guard's
+    /// drop re-enqueues what was drained but not yet executed, so the
+    /// respawned scheduler picks it up and no request is silently lost.
+    fn run_serial(&self, reqs: Vec<Request>) {
+        let mut pending = Undispatched {
+            core: self,
+            reqs: VecDeque::from(reqs),
+        };
+        while let Some(req) = pending.reqs.pop_front() {
+            if matches!(execute(self, &req), Disposition::Poisoned) {
+                self.handle_poison(req);
             }
         }
-        for req in &large {
-            execute(self, req);
+    }
+
+    /// One execution of `req` panicked (and was caught). Requeue the
+    /// suspect for an isolated re-run, or — at the quarantine threshold,
+    /// or if its shard queue has no space — fail it alone with
+    /// [`ServeError::Quarantined`]. Deliberately *not*
+    /// [`settle_failure`]: a poison request says nothing about hardware
+    /// fault health, so the tenant's breaker and the degraded-mode streak
+    /// are left untouched. The failure is an `exec_error`, keeping the
+    /// tenant's conservation law exact.
+    fn handle_poison(&self, mut req: Request) {
+        req.poison_attempts += 1;
+        let attempts = req.poison_attempts;
+        let quarantine = |req: Request| {
+            req.tenant
+                .record_exec_error(ns(req.enqueued, Instant::now()), 0, 0);
+            req.work.reject(ServeError::Quarantined { attempts });
+        };
+        if attempts >= QUARANTINE_ATTEMPTS {
+            quarantine(req);
+        } else if let Err((req, _)) = self.shared.set.push(self.index, req, false) {
+            quarantine(req);
+        }
+    }
+}
+
+/// Holds the drained-but-not-yet-executed tail of a serial batch; its
+/// drop re-enqueues the remainder if the scheduler thread unwinds. On
+/// the normal path the deque is empty by drop time and this is a no-op.
+struct Undispatched<'a> {
+    core: &'a ShardCore,
+    reqs: VecDeque<Request>,
+}
+
+impl Drop for Undispatched<'_> {
+    fn drop(&mut self) {
+        while let Some(req) = self.reqs.pop_front() {
+            // `record_submitted` already ran at admission; a plain
+            // re-push keeps the accounting untouched. If the queue has
+            // no space (or shutdown raced us), settle as a rejection so
+            // the ticket resolves and the conservation law holds.
+            if let Err((req, e)) = self.core.shared.set.push(self.core.index, req, false) {
+                req.tenant.record_rejected();
+                req.work.reject(e);
+            }
         }
     }
 }
@@ -427,6 +550,60 @@ fn run_with_retries<T>(
     }
 }
 
+/// Run `call` against the home shard's context under the retry policy,
+/// then — if the terminal error is still [`M3xuError::FaultDetected`] —
+/// hedge once on a sibling shard's context before giving up. A different
+/// shard means a different worker pool and a different fault-plan salt,
+/// so a fault pattern that is somehow sticky on the home shard gets one
+/// independent roll elsewhere. With a single shard there is no sibling
+/// and the retry result stands. The hedged attempt's telemetry is
+/// absorbed like any retry: its work lands in the *sibling's*
+/// `ExecStats` and the tenant's counters, so cross-shard reconciliation
+/// still balances.
+fn run_hedged<T>(
+    shard: &ShardCore,
+    mut call: impl FnMut(&M3xuContext) -> Result<(T, FaultSummary), M3xuError>,
+) -> (Result<T, M3xuError>, FaultSummary, AttemptTimes) {
+    let (out, mut total, mut times) = run_with_retries(&shard.shared.policy, || call(&shard.ctx));
+    let err = match out {
+        Err(e) if matches!(e, M3xuError::FaultDetected { .. }) => e,
+        other => return (other, total, times),
+    };
+    let n = shard.shared.contexts.len();
+    if n < 2 {
+        return (Err(err), total, times);
+    }
+    let sibling = &shard.shared.contexts[(shard.index + 1) % n];
+    // The home shard's terminal attempt becomes retry overhead; the
+    // hedged attempt is now the request's final execution.
+    times.retry_ns += times.exec_ns;
+    let t0 = Instant::now();
+    let hedged = call(sibling);
+    times.exec_ns = ns(t0, Instant::now());
+    match hedged {
+        Ok((res, s)) => {
+            total.absorb(s);
+            (Ok(res), total, times)
+        }
+        Err(e) => {
+            if let M3xuError::FaultDetected {
+                detected,
+                corrected,
+                retries,
+                ..
+            } = e
+            {
+                total.absorb(FaultSummary {
+                    detected,
+                    corrected,
+                    retries,
+                });
+            }
+            (Err(e), total, times)
+        }
+    }
+}
+
 /// A request executed successfully but past its deadline: classify it
 /// `deadline_missed` while still attributing the executed work, then
 /// resolve the ticket with the post-completion lateness. Returns `true`
@@ -460,11 +637,40 @@ fn settle_post_deadline(
     }
 }
 
-/// Execute one request on the shard's context, record the outcome into
-/// its tenant account, and resolve its ticket. Runs either inside a pool
-/// task (pooled small path) or on the shard thread (serial small path,
-/// large path, degraded mode).
-pub(crate) fn execute(shard: &ShardCore, req: &Request) {
+/// How one guarded execution of a request ended, as seen by the
+/// dispatch loop.
+pub(crate) enum Disposition {
+    /// The request settled: its ticket was resolved and its tenant
+    /// account recorded an outcome (success, typed error, or deadline).
+    Settled,
+    /// The execution panicked and the quarantine guard caught it; the
+    /// ticket is still unresolved and the caller owns the next step
+    /// ([`ShardCore::handle_poison`]).
+    Poisoned,
+}
+
+/// Execute one request on the shard's context under the quarantine
+/// guard, record the outcome into its tenant account, and resolve its
+/// ticket. Runs either inside a pool task (pooled small path) or on the
+/// shard thread (serial small path, large path, degraded mode). A panic
+/// inside the execution is caught and reported as
+/// [`Disposition::Poisoned`] — except the chaos suite's deliberate
+/// [`ShardKill`], which is re-thrown so it takes the scheduler thread
+/// down (the watchdog's job to heal).
+pub(crate) fn execute(shard: &ShardCore, req: &Request) -> Disposition {
+    match catch_unwind(AssertUnwindSafe(|| execute_inner(shard, req))) {
+        Ok(()) => Disposition::Settled,
+        Err(payload) => {
+            if payload.downcast_ref::<ShardKill>().is_some() {
+                resume_unwind(payload);
+            }
+            Disposition::Poisoned
+        }
+    }
+}
+
+/// The unguarded execution body: one `Work` arm per operation.
+fn execute_inner(shard: &ShardCore, req: &Request) {
     let core = &*shard.shared;
     let started = Instant::now();
     let wait_ns = ns(req.enqueued, started);
@@ -480,7 +686,6 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             return;
         }
     }
-    let ctx = &*shard.ctx;
     let tiles = req.work.output_tiles();
     match &req.work {
         Work::GemmF32 {
@@ -490,9 +695,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_gemm_f32_faulted(*precision, a, b, c)
-            });
+            let (out, faults, times) =
+                run_hedged(shard, |ctx| ctx.try_gemm_f32_faulted(*precision, a, b, c));
             req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
@@ -536,14 +740,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            // No ABFT variant exists for the f64 path (the checksum
-            // algebra is FP32), so fault plans never reroute it and its
-            // fault summary is identically zero; the retry loop is still
-            // used for its timing discipline.
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_gemm_f64(*precision, a, b, c)
-                    .map(|res| (res, FaultSummary::default()))
-            });
+            let (out, faults, times) =
+                run_hedged(shard, |ctx| ctx.try_gemm_f64_faulted(*precision, a, b, c));
             req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
@@ -581,8 +779,7 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             }
         }
         Work::CgemmC32 { a, b, c, reply } => {
-            let (out, faults, times) =
-                run_with_retries(&core.policy, || ctx.try_cgemm_c32_faulted(a, b, c));
+            let (out, faults, times) = run_hedged(shard, |ctx| ctx.try_cgemm_c32_faulted(a, b, c));
             req.tenant.record_faults(&faults);
             match out {
                 Ok(res) => {
@@ -630,13 +827,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            // The BLAS-3 drivers never route through ABFT (the checksum
-            // algebra is plain A·B + C), so like the f64 arm their fault
-            // summaries are identically zero; the retry loop is kept for
-            // its timing discipline.
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_gemm_op_f32(*precision, *op_a, a, *op_b, b, *alpha, *beta, c)
-                    .map(|res| (res, FaultSummary::default()))
+            let (out, faults, times) = run_hedged(shard, |ctx| {
+                ctx.try_gemm_op_f32_faulted(*precision, *op_a, a, *op_b, b, *alpha, *beta, c)
             });
             let (m, k) = op_a.dims(a.rows(), a.cols());
             let n = op_b.dims(b.rows(), b.cols()).1;
@@ -654,9 +846,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_cgemm_op_c32(*op_a, a, *op_b, b, *alpha, *beta, c)
-                    .map(|res| (res, FaultSummary::default()))
+            let (out, faults, times) = run_hedged(shard, |ctx| {
+                ctx.try_cgemm_op_c32_faulted(*op_a, a, *op_b, b, *alpha, *beta, c)
             });
             let (m, k) = op_a.dims(a.rows(), a.cols());
             let n = op_b.dims(b.rows(), b.cols()).1;
@@ -683,9 +874,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_syrk_f32(*precision, *tri, *op_a, a, *alpha, *beta, c)
-                    .map(|res| (res, FaultSummary::default()))
+            let (out, faults, times) = run_hedged(shard, |ctx| {
+                ctx.try_syrk_f32_faulted(*precision, *tri, *op_a, a, *alpha, *beta, c)
             });
             // Rank-k traffic at logical dims: op(A) packs once per
             // orientation, n x k each way — the driver's (m*k + k*n)
@@ -704,9 +894,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_herk_c32(*tri, *op_a, a, *alpha, *beta, c)
-                    .map(|res| (res, FaultSummary::default()))
+            let (out, faults, times) = run_hedged(shard, |ctx| {
+                ctx.try_herk_c32_faulted(*tri, *op_a, a, *alpha, *beta, c)
             });
             let (n, k) = op_a.dims(a.rows(), a.cols());
             let bytes = gemm_operand_bytes(n, k, n, MxuMode::M3xuFp32c);
@@ -733,9 +922,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_symm_f32(*precision, *side, *tri, a, b, *alpha, *beta, c)
-                    .map(|res| (res, FaultSummary::default()))
+            let (out, faults, times) = run_hedged(shard, |ctx| {
+                ctx.try_symm_f32_faulted(*precision, *side, *tri, a, b, *alpha, *beta, c)
             });
             // The expanded square operand is read in full on its side.
             let nsq = a.rows();
@@ -756,9 +944,8 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             c,
             reply,
         } => {
-            let (out, faults, times) = run_with_retries(&core.policy, || {
-                ctx.try_hemm_c32(*side, *tri, a, b, *alpha, *beta, c)
-                    .map(|res| (res, FaultSummary::default()))
+            let (out, faults, times) = run_hedged(shard, |ctx| {
+                ctx.try_hemm_c32_faulted(*side, *tri, a, b, *alpha, *beta, c)
             });
             let nsq = a.rows();
             let bytes = match side {
@@ -778,10 +965,11 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
             );
         }
         Work::Fft { x, reply } => {
-            // The FFT's internal CGEMMs run checked (and are retried here
-            // on FaultDetected), but their summaries stay context-level:
-            // the tenant-facing summary of an FFT is zero by design.
-            let (out, _, times) = run_with_retries(&core.policy, || {
+            // The FFT's internal CGEMMs run checked (and are retried and
+            // hedged here on FaultDetected), but their summaries stay
+            // context-level: the tenant-facing summary of an FFT is zero
+            // by design.
+            let (out, _, times) = run_hedged(shard, |ctx| {
                 ctx.try_gemm_fft(x).map(|y| (y, FaultSummary::default()))
             });
             match out {
@@ -820,6 +1008,26 @@ pub(crate) fn execute(shard: &ShardCore, req: &Request) {
                 }
             }
         }
+        Work::Chaos { kind, reply } => match kind {
+            ChaosKind::Panic => panic!("chaos: poison request"),
+            ChaosKind::KillShard => {
+                // Settle the request *before* dying — completed, zero MXU
+                // work — so the tenant's conservation law survives the
+                // kill; then throw the marker the quarantine guard lets
+                // through, taking the scheduler thread down.
+                settle_success(core, req);
+                req.tenant.record_completed(
+                    MxuMode::M3xuFp32,
+                    &m3xu_mxu::mma::MmaStats::default(),
+                    0,
+                    wait_ns,
+                    0,
+                    0,
+                );
+                drop(reply.try_send(Ok(())));
+                std::panic::panic_any(ShardKill);
+            }
+        },
     }
 }
 

@@ -58,17 +58,27 @@ for threads in 1 8; do
 done
 
 # Chaos gate: the fault-injection suite, debug and release. The first
-# run (no env arming) includes the zero-fault differential gate; the seed
-# grid then re-runs the whole suite with every process-wide context armed
-# at a small rate — recoverable by construction, so everything must still
-# be bit-identical.
+# run (no env arming) includes the zero-fault differential gate, the
+# universal-ABFT BLAS-3/f64 sweeps, and the shard self-healing tests
+# (watchdog kill + poison quarantine); the seed x rate grid then re-runs
+# the whole suite with every process-wide context armed — recoverable by
+# construction, so everything must still be bit-identical.
 for profile in "" "--release"; do
     echo "== chaos suite ${profile:-debug} (zero-fault gate + armed sweeps)"
     cargo test -q ${profile} --test chaos_faults --test chaos_env --test serve_edge
+    echo "== universal-ABFT gate ${profile:-debug} (BLAS-3/f64 sweeps + self-healing, named)"
+    cargo test -q ${profile} --test chaos_faults -- \
+        armed_blas3_and_f64_sweep_recovers_bit_identically \
+        serve_blas3_chaos_single_shard_reconciles \
+        serve_blas3_chaos_four_shards_reconcile \
+        watchdog_respawns_a_killed_shard_and_conserves_accounting \
+        poison_request_quarantines_alone_without_tripping_the_breaker
     for seed in 1 7 23; do
-        echo "== chaos suite ${profile:-debug} under M3XU_FAULT_SEED=${seed} M3XU_FAULT_RATE=1e-3"
-        M3XU_FAULT_SEED=${seed} M3XU_FAULT_RATE=1e-3 cargo test -q ${profile} \
-            --test chaos_faults
+        for rate in 1e-3 2e-2; do
+            echo "== chaos suite ${profile:-debug} under M3XU_FAULT_SEED=${seed} M3XU_FAULT_RATE=${rate}"
+            M3XU_FAULT_SEED=${seed} M3XU_FAULT_RATE=${rate} cargo test -q ${profile} \
+                --test chaos_faults
+        done
     done
 done
 

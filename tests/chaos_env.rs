@@ -50,4 +50,25 @@ fn env_armed_context_recovers_bit_identically() {
 
     // A context constructed after the vars were removed is unarmed again.
     assert!(M3xuContext::with_threads(2).fault_plan().is_none());
+
+    // Invalid rates must *disarm* (with a one-time warning), never
+    // silently clamp into an armed plan: a NaN, a negative, an
+    // out-of-range probability, or garbage all leave the context
+    // unarmed. (Same test function: env mutation must stay serial.)
+    for bad in ["NaN", "-0.5", "1.5", "inf", "bogus"] {
+        std::env::set_var("M3XU_FAULT_SEED", "5");
+        std::env::set_var("M3XU_FAULT_RATE", bad);
+        let ctx = M3xuContext::with_threads(1);
+        assert!(
+            ctx.fault_plan().is_none(),
+            "M3XU_FAULT_RATE={bad:?} must disarm, not clamp"
+        );
+    }
+    // A valid rate with the same seed still arms — the disarm above was
+    // the rate's doing, not a stuck state.
+    std::env::set_var("M3XU_FAULT_RATE", "0.5");
+    assert!(M3xuContext::with_threads(1).fault_plan().is_some());
+    std::env::remove_var("M3XU_FAULT_SEED");
+    std::env::remove_var("M3XU_FAULT_RATE");
+    assert!(M3xuContext::with_threads(1).fault_plan().is_none());
 }

@@ -418,8 +418,8 @@ fn tripped_breaker_sheds_blas3_at_admission() {
         Err(ServeError::Exec(_)) => {}
         other => panic!("expected Exec(FaultDetected), got {other:?}"),
     }
-    // BLAS-3 never routes through the ABFT driver, but the breaker guards
-    // *admission*, so the tripped tenant's SYRK and HEMM are shed too.
+    // The breaker guards *admission*, so the tripped tenant's SYRK and
+    // HEMM are shed at the door without touching the queue.
     let syrk = serve.try_submit_syrk_f32(
         "flaky",
         GemmPrecision::M3xuFp32,
@@ -456,22 +456,31 @@ fn tripped_breaker_sheds_blas3_at_admission() {
     assert_eq!(s.exec_errors, 1);
     assert_eq!(s.rejected, 2);
     assert_conserved(&s);
-    // An untouched tenant still executes BLAS-3 work (FP32C HEMM does not
-    // consult the FP32 fault plan's checked GEMM path).
-    serve
-        .blocking_hemm_c32(
-            "healthy",
-            Side::Left,
-            Triangle::Lower,
-            Matrix::random_c32(12, 12, 47),
-            Matrix::random_c32(12, 12, 48),
-            C32::new(1.0, 0.0),
-            C32::ZERO,
-            Matrix::random_c32(12, 12, 49),
-            SubmitOpts::default(),
-        )
-        .unwrap();
-    assert_eq!(serve.tenant_stats("healthy").unwrap().completed, 1);
+    // Universal ABFT routes the FP32C HEMM through the checked driver
+    // too, so under the saturated plan an untouched tenant is *admitted*
+    // (its own breaker is closed — per-tenant isolation) and fails at
+    // execution, not at the door.
+    let healthy = serve.blocking_hemm_c32(
+        "healthy",
+        Side::Left,
+        Triangle::Lower,
+        Matrix::random_c32(12, 12, 47),
+        Matrix::random_c32(12, 12, 48),
+        C32::new(1.0, 0.0),
+        C32::ZERO,
+        Matrix::random_c32(12, 12, 49),
+        SubmitOpts::default(),
+    );
+    match healthy {
+        Err(ServeError::Exec(m3xu::M3xuError::FaultDetected { op, .. })) => {
+            assert_eq!(op, "hemm", "the typed error names the failing op");
+        }
+        other => panic!("healthy hemm: expected Exec(FaultDetected), got {other:?}"),
+    }
+    let h = serve.tenant_stats("healthy").unwrap();
+    assert_eq!(h.rejected, 0, "the healthy tenant was admitted");
+    assert_eq!(h.exec_errors, 1);
+    assert_conserved(&h);
 }
 
 #[test]
